@@ -1,0 +1,76 @@
+// Projection: PCIe Gen 4 and wider links (§6: "we expect the pcie-bench
+// methodology to be equally applicable to other PCIe configurations
+// including the next generation PCIe Gen 4 once hardware is available").
+//
+// Runs the analytic models and the simulator across Gen 3 x8 / x16 and
+// Gen 4 x8 / x16 and reports which configurations sustain 100GbE and
+// 2x40GbE full duplex per packet size.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/nic_models.hpp"
+#include "pcie/bandwidth.hpp"
+
+int main() {
+  using namespace pcieb;
+  bench::print_header(
+      "Projection: PCIe Gen 4 and wider links for 100GbE-class NICs",
+      "Gen 3 x8 cannot carry 100GbE at any packet size; Gen 3 x16 and "
+      "Gen 4 x8 carry it only for large packets with an optimized "
+      "device/driver; Gen 4 x16 has headroom.");
+
+  struct LinkCase {
+    const char* name;
+    proto::Generation gen;
+    unsigned lanes;
+  };
+  const LinkCase cases[] = {
+      {"Gen3 x8", proto::Generation::Gen3, 8},
+      {"Gen3 x16", proto::Generation::Gen3, 16},
+      {"Gen4 x8", proto::Generation::Gen4, 8},
+      {"Gen4 x16", proto::Generation::Gen4, 16},
+  };
+
+  const auto dpdk = model::modern_nic_dpdk();
+  for (double wire : {40.0, 100.0}) {
+    std::printf("--- %gGbE full duplex, Modern NIC (DPDK driver) ---\n", wire);
+    TextTable table({"size_B", "demand_Gbps", "Gen3x8", "Gen3x16", "Gen4x8",
+                     "Gen4x16"});
+    for (std::uint32_t sz : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+      std::vector<std::string> row{
+          std::to_string(sz),
+          TextTable::num(proto::ethernet_pcie_demand_gbps(wire, sz), 1)};
+      for (const auto& c : cases) {
+        proto::LinkConfig link = proto::gen3_x8();
+        link.gen = c.gen;
+        link.lanes = c.lanes;
+        const double g = model::bidirectional_goodput_gbps(link, dpdk, sz);
+        const bool ok = g >= proto::ethernet_pcie_demand_gbps(wire, sz);
+        row.push_back(TextTable::num(g, 1) + (ok ? " ok" : " --"));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Simulated spot check: the same host profile with a Gen 4 x16 link.
+  std::printf("--- simulated NetFPGA-class device on Gen4 x16 ---\n");
+  TextTable sim_tbl({"size_B", "BW_RD_Gbps", "BW_WR_Gbps"});
+  for (std::uint32_t sz : {256u, 1024u, 2048u}) {
+    auto cfg = sys::netfpga_hsw().config;
+    cfg.link.gen = proto::Generation::Gen4;
+    cfg.link.lanes = 16;
+    cfg.device.read_tags = 128;  // a Gen4-class engine needs deeper tags
+    bench::BandwidthSpec spec;
+    spec.size = sz;
+    spec.iterations = 25000;
+    spec.kind = core::BenchKind::BwRd;
+    const double rd = bench::run_bw_gbps(cfg, spec);
+    spec.kind = core::BenchKind::BwWr;
+    const double wr = bench::run_bw_gbps(cfg, spec);
+    sim_tbl.add_row({std::to_string(sz), TextTable::num(rd, 1),
+                     TextTable::num(wr, 1)});
+  }
+  std::printf("%s", sim_tbl.to_string().c_str());
+  return 0;
+}

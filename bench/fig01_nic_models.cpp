@@ -1,0 +1,42 @@
+// Figure 1: modeled bidirectional bandwidth of a PCIe Gen 3 x8 link for
+// the effective-PCIe reference and three NIC/driver interaction models,
+// against the 40GbE line-rate requirement.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/nic_models.hpp"
+#include "pcie/bandwidth.hpp"
+
+int main() {
+  using namespace pcieb;
+  bench::print_header(
+      "Figure 1: modeled NIC/driver goodput on PCIe Gen 3 x8",
+      "Paper: effective PCIe ~33->50 Gb/s; the Simple NIC reaches 40GbE "
+      "line rate only above 512 B; driver optimizations (DPDK) recover "
+      "several Gb/s over a kernel driver.");
+
+  const auto cfg = proto::gen3_x8();
+  const auto eff = model::effective_pcie();
+  const auto simple = model::simple_nic();
+  const auto kernel = model::modern_nic_kernel();
+  const auto dpdk = model::modern_nic_dpdk();
+
+  TextTable table({"size_B", "effective_pcie", "40G_ethernet", "simple_nic",
+                   "modern_kernel", "modern_dpdk"});
+  for (std::uint32_t sz = 64; sz <= 1280; sz += 32) {
+    table.add_row({std::to_string(sz),
+                   TextTable::num(model::bidirectional_goodput_gbps(cfg, eff, sz)),
+                   TextTable::num(proto::ethernet_pcie_demand_gbps(40.0, sz)),
+                   TextTable::num(model::bidirectional_goodput_gbps(cfg, simple, sz)),
+                   TextTable::num(model::bidirectional_goodput_gbps(cfg, kernel, sz)),
+                   TextTable::num(model::bidirectional_goodput_gbps(cfg, dpdk, sz))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The §2 crossover claims, restated from the model.
+  const double d512 = proto::ethernet_pcie_demand_gbps(40.0, 512);
+  const double s512 = model::bidirectional_goodput_gbps(cfg, simple, 512);
+  std::printf("Simple NIC at 512 B: %.2f Gb/s vs 40GbE demand %.2f Gb/s "
+              "(crossover at 512 B as in the paper)\n", s512, d512);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// §6.2's bandwidth observations, which the paper describes but does not
+// plot ("The differences are also reflected in the bandwidth benchmarks
+// (not shown) where for DMA reads the Xeon E3 system only matches the
+// Xeon E5 system for transfers larger than 512B and, for DMA writes,
+// never achieves the throughput required for 40Gb/s Ethernet for any
+// transfer size.").
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "pcie/bandwidth.hpp"
+
+int main() {
+  using namespace pcieb;
+  using core::BenchKind;
+  bench::print_header(
+      "Fig 6 companion: Xeon E3 vs E5 bandwidth (described in §6.2, not "
+      "plotted in the paper)",
+      "E3 reads match the E5 only above 512 B; E3 writes never reach the "
+      "40GbE requirement at any size.");
+
+  const auto e5 = sys::nfp6000_hsw().config;
+  const auto e3 = sys::nfp6000_hsw_e3().config;
+
+  TextTable table({"size_B", "E5_RD", "E3_RD", "E5_WR", "E3_WR",
+                   "40G_demand", "E3_WR_meets_40G"});
+  for (std::uint32_t sz : {64u, 128u, 256u, 512u, 1024u, 1536u, 2048u}) {
+    auto run = [&](const sim::SystemConfig& cfg, BenchKind kind) {
+      bench::BandwidthSpec spec;
+      spec.kind = kind;
+      spec.size = sz;
+      spec.iterations = 20000;
+      return bench::run_bw_gbps(cfg, spec);
+    };
+    const double demand = proto::ethernet_pcie_demand_gbps(40.0, sz);
+    const double e3_wr = run(e3, BenchKind::BwWr);
+    table.add_row({std::to_string(sz),
+                   TextTable::num(run(e5, BenchKind::BwRd), 1),
+                   TextTable::num(run(e3, BenchKind::BwRd), 1),
+                   TextTable::num(run(e5, BenchKind::BwWr), 1),
+                   TextTable::num(e3_wr, 1), TextTable::num(demand, 1),
+                   e3_wr >= demand ? "yes (BUG)" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: cache and DDIO effects on NFP6000-SNB.
+//  (a) 8 B LAT_RD / LAT_WRRD, cold vs warm, across window sizes (via the
+//      NFP's direct PCIe command interface, as in the paper);
+//  (b) 64 B BW_RD / BW_WR, cold vs warm, across window sizes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcieb;
+  using core::BenchKind;
+  using core::CacheState;
+  bench::print_header(
+      "Figure 7: cache effects on latency and bandwidth (NFP6000-SNB)",
+      "Paper: warm reads ~70 ns faster until the window exceeds the 15 MB "
+      "LLC; cold writes stay fast until the window exceeds the ~10% DDIO "
+      "quota, then pay a ~70 ns dirty-line flush; BW_WR is insensitive to "
+      "cache state; 64 B BW_RD gains from residency.");
+
+  const auto cfg = sys::nfp6000_snb().config;
+
+  std::printf("--- (a) 8 B latency, PCIe command interface ---\n");
+  TextTable lat({"window", "RD_cold_ns", "RD_warm_ns", "WRRD_cold_ns",
+                 "WRRD_warm_ns"});
+  for (std::uint64_t w : bench::window_ladder()) {
+    auto run = [&](BenchKind kind, CacheState cs) {
+      bench::LatencySpec spec;
+      spec.kind = kind;
+      spec.size = 8;
+      spec.window = w;
+      spec.cache = cs;
+      spec.cmd_if = true;
+      spec.iterations = 12000;
+      spec.warmup = 50000;  // settle the DDIO quota, as 2M-sample runs do
+      return bench::run_latency(cfg, spec).summary.median_ns;
+    };
+    lat.add_row({bench::human_window(w),
+                 TextTable::num(run(BenchKind::LatRd, CacheState::Thrash), 0),
+                 TextTable::num(run(BenchKind::LatRd, CacheState::HostWarm), 0),
+                 TextTable::num(run(BenchKind::LatWrRd, CacheState::Thrash), 0),
+                 TextTable::num(run(BenchKind::LatWrRd, CacheState::HostWarm), 0)});
+  }
+  std::printf("%s\n", lat.to_string().c_str());
+
+  std::printf("--- (b) 64 B bandwidth ---\n");
+  TextTable bw({"window", "RD_cold_Gbps", "RD_warm_Gbps", "WR_cold_Gbps",
+                "WR_warm_Gbps"});
+  for (std::uint64_t w : bench::window_ladder()) {
+    auto run = [&](BenchKind kind, CacheState cs) {
+      bench::BandwidthSpec spec;
+      spec.kind = kind;
+      spec.size = 64;
+      spec.window = w;
+      spec.cache = cs;
+      spec.iterations = 25000;
+      return bench::run_bw_gbps(cfg, spec);
+    };
+    bw.add_row({bench::human_window(w),
+                TextTable::num(run(BenchKind::BwRd, CacheState::Thrash), 1),
+                TextTable::num(run(BenchKind::BwRd, CacheState::HostWarm), 1),
+                TextTable::num(run(BenchKind::BwWr, CacheState::Thrash), 1),
+                TextTable::num(run(BenchKind::BwWr, CacheState::HostWarm), 1)});
+  }
+  std::printf("%s", bw.to_string().c_str());
+  return 0;
+}

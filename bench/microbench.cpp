@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks for the library's hot paths: the
+// packetizer, the event engine, the cache tag array and the RNG. These
+// guard the simulator's own performance (a full figure sweep executes
+// hundreds of millions of events).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "pcie/packetizer.hpp"
+#include "sim/cache.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pcieb;
+
+void BM_SegmentWrite(benchmark::State& state) {
+  const auto cfg = proto::gen3_x8();
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::segment_write(cfg, 0x1000, len));
+  }
+}
+BENCHMARK(BM_SegmentWrite)->Arg(64)->Arg(1500)->Arg(4096);
+
+void BM_DmaReadBytes(benchmark::State& state) {
+  const auto cfg = proto::gen3_x8();
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::dma_read_bytes(cfg, 0x1000, len));
+  }
+}
+BENCHMARK(BM_DmaReadBytes)->Arg(64)->Arg(1500)->Arg(65536);
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < depth; ++i) {
+      sim.at(static_cast<Picos>((i * 2654435761u) % 1000000), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+void BM_EventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int hops = 0;
+    std::function<void()> chain = [&] {
+      if (++hops < 10000) sim.after(1, chain);
+    };
+    sim.after(0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventChain);
+
+void BM_CacheProbe(benchmark::State& state) {
+  sim::CacheConfig cfg;
+  cfg.size_bytes = 15ull << 20;
+  sim::LastLevelCache cache(cfg);
+  Xoshiro256 rng(1);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    cache.host_touch(i * 64, false);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.read_probe(rng.below(1 << 24) * 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbe);
+
+void BM_CacheWriteAllocate(benchmark::State& state) {
+  sim::CacheConfig cfg;
+  cfg.size_bytes = 15ull << 20;
+  sim::LastLevelCache cache(cfg);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.write_allocate(rng.below(1 << 24) * 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheWriteAllocate);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_SerialResource(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::SerialResource res(sim);
+    for (int i = 0; i < 1000; ++i) res.occupy(10);
+    sim.run();
+    benchmark::DoNotOptimize(res.busy_total());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SerialResource);
+
+}  // namespace
+
+BENCHMARK_MAIN();

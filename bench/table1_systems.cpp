@@ -1,0 +1,22 @@
+// Table 1: the evaluated system configurations, as modelled.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcieb;
+  bench::print_header("Table 1: system configurations",
+                      "The six host/adapter pairings of the paper, as "
+                      "simulation profiles. All systems have a 15 MB LLC "
+                      "except NFP6000-BDW (25 MB).");
+
+  TextTable table({"Name", "CPU", "NUMA", "Architecture", "Memory",
+                   "OS/Kernel", "Network Adapter", "LLC_MB"});
+  for (const auto& p : sys::all_profiles()) {
+    table.add_row({p.name, p.cpu, p.numa_nodes > 1 ? "2-way" : "no", p.arch,
+                   p.memory, p.os, p.adapter,
+                   std::to_string(p.config.cache.size_bytes >> 20)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Why poll-mode drivers avoid device registers (§3's footnote 6).
+//
+// A kernel driver learns about completed packets by reading a NIC
+// register (MMIO read: a full PCIe round trip that stalls the CPU);
+// DPDK-style drivers poll write-back descriptors in host memory instead
+// (a cache hit once DDIO has landed the write). This example measures
+// both costs on the simulated systems.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sysconfig/profiles.hpp"
+
+int main() {
+  using namespace pcieb;
+  std::printf("Cost of the driver's 'is there work?' check:\n\n");
+
+  TextTable table({"system", "mmio_register_read_ns", "writeback_poll_ns",
+                   "ratio"});
+  for (const char* name : {"NFP6000-HSW", "NetFPGA-HSW", "NFP6000-HSW-E3"}) {
+    const auto& prof = sys::profile_by_name(name);
+    sim::System system(prof.config);
+    auto& sim = system.sim();
+    auto& rc = system.root_complex();
+
+    // (a) MMIO register read: host -> device -> host round trip.
+    SampleSet mmio;
+    for (int i = 0; i < 2000; ++i) {
+      const Picos t0 = sim.now();
+      bool done = false;
+      rc.host_mmio_read(0x40, 4, [&] {
+        mmio.add(to_nanos(sim.now() - t0));
+        done = true;
+      });
+      sim.run();
+      if (!done) return 1;
+    }
+
+    // (b) Write-back descriptor poll: the host reads a cache line that
+    // the device DMA-wrote — an LLC hit thanks to DDIO. Model: the LLC
+    // access latency of this host (cores sit closer than the root
+    // complex, so this bounds it from above).
+    const double writeback_ns = to_nanos(prof.config.mem.llc_hit);
+
+    table.add_row({name,
+                   TextTable::num(mmio.median(), 0),
+                   TextTable::num(writeback_ns, 0),
+                   TextTable::num(mmio.median() / writeback_ns, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "An MMIO register read costs a full PCIe round trip — an order of "
+      "magnitude more than polling a DDIO-resident write-back descriptor. "
+      "That differential is most of the Fig 1 gap between the kernel and "
+      "DPDK driver models at small packet sizes.\n");
+  return 0;
+}

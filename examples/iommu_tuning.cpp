@@ -1,0 +1,61 @@
+// IOMMU tuning for a virtualized network appliance (§6.5/§7).
+//
+// Scenario: a packet-processing VM is assigned a NIC via the IOMMU. Its
+// packet-buffer pool is far larger than the IO-TLB's 4 KB-page reach, so
+// small-packet throughput collapses. The fix the paper recommends:
+// co-locate the I/O buffers into superpages.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "pcie/bandwidth.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace {
+
+double measure(const pcieb::sim::SystemConfig& cfg, std::uint32_t pkt,
+               std::uint64_t pool_bytes, std::uint64_t page_bytes) {
+  pcieb::sim::System system(cfg);
+  pcieb::core::BenchParams p;
+  p.kind = pcieb::core::BenchKind::BwRd;  // NIC TX path: device reads buffers
+  p.transfer_size = pkt;
+  p.window_bytes = pool_bytes;
+  p.cache_state = pcieb::core::CacheState::HostWarm;
+  p.page_bytes = page_bytes;
+  p.iterations = 25000;
+  p.warmup = 5000;
+  return pcieb::core::run_bandwidth_bench(system, p).gbps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pcieb;
+  const std::uint64_t pool = 16ull << 20;  // 16 MB packet-buffer pool
+  std::printf("Scenario: 16 MB VM packet pool behind the IOMMU "
+              "(NFP6000-BDW host), NIC transmit path (DMA reads).\n\n");
+
+  const auto base = sys::nfp6000_bdw().config;
+  TextTable table({"pkt_B", "iommu_off", "4K_pages", "2M_superpages",
+                   "4K_loss_%", "2M_loss_%", "40G_demand"});
+  for (std::uint32_t pkt : {64u, 128u, 256u, 512u, 1024u}) {
+    const double off = measure(base, pkt, pool, 4096);
+    const double on4k =
+        measure(sys::with_iommu(base, true, 4096), pkt, pool, 4096);
+    const double on2m =
+        measure(sys::with_iommu(base, true, 2ull << 20), pkt, pool, 2ull << 20);
+    table.add_row({std::to_string(pkt), TextTable::num(off, 1),
+                   TextTable::num(on4k, 1), TextTable::num(on2m, 1),
+                   TextTable::num(core::pct_change(off, on4k), 1),
+                   TextTable::num(core::pct_change(off, on2m), 1),
+                   TextTable::num(proto::ethernet_pcie_demand_gbps(40.0, pkt), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "With 4 KB pages the 64-entry IO-TLB covers only 256 KB of the pool; "
+      "2 MB superpages cover it 16x over, restoring the IOMMU-off numbers.\n"
+      "Also note (§7): in multi-tenant assignment the IO-TLB is shared — "
+      "isolation of I/O performance between VMs is not achievable.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// How many in-flight DMAs does a NIC need? (§2 and §7.)
+//
+// Combines measured DMA latency from the simulated systems with the
+// analytic inter-packet budget to size DMA engines, rings and thread
+// counts — the calculation Netronome used to dimension firmware.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "model/latency_budget.hpp"
+#include "sysconfig/profiles.hpp"
+
+int main() {
+  using namespace pcieb;
+
+  // Measure the 128 B DMA read latency on each Table 1 system.
+  std::printf("Measured 128 B DMA read latency (warm), per system:\n");
+  TextTable lat({"system", "median_ns", "p99_ns"});
+  struct Row { std::string name; double med; double p99; };
+  std::vector<Row> rows;
+  for (const auto& prof : sys::all_profiles()) {
+    sim::System system(prof.config);
+    core::BenchParams p;
+    p.kind = core::BenchKind::LatRd;
+    p.transfer_size = 128;
+    p.window_bytes = 8192;
+    p.cache_state = core::CacheState::HostWarm;
+    p.iterations = 4000;
+    const auto r = core::run_latency_bench(system, p);
+    rows.push_back({prof.name, r.summary.median_ns, r.summary.p99_ns});
+    lat.add_row({prof.name, TextTable::num(r.summary.median_ns, 0),
+                 TextTable::num(r.summary.p99_ns, 0)});
+  }
+  std::printf("%s\n", lat.to_string().c_str());
+
+  // In-flight budget per wire rate, sized on the median and on the p99
+  // (the paper: "the NIC has to handle at least 30 concurrent DMAs").
+  std::printf("Required in-flight 128 B DMAs per direction:\n");
+  TextTable budget({"system", "40G(med)", "40G(p99)", "100G(med)",
+                    "40G(med,+IOMMU miss)"});
+  for (const auto& row : rows) {
+    budget.add_row(
+        {row.name,
+         std::to_string(model::required_inflight_dmas(row.med, 40.0, 128)),
+         std::to_string(model::required_inflight_dmas(row.p99, 40.0, 128)),
+         std::to_string(model::required_inflight_dmas(row.med, 100.0, 128)),
+         std::to_string(
+             model::required_inflight_dmas(row.med + 330.0, 40.0, 128))});
+  }
+  std::printf("%s\n", budget.to_string().c_str());
+
+  // Cycle budget per DMA for firmware running on a 1.2 GHz NFP with a
+  // varying number of worker threads.
+  std::printf("Cycle budget per 128 B DMA at 40GbE line rate (1.2 GHz FPC):\n");
+  TextTable cycles({"worker_threads", "cycles_per_dma"});
+  for (unsigned workers : {1u, 8u, 24u, 48u, 96u}) {
+    cycles.add_row({std::to_string(workers),
+                    TextTable::num(model::cycle_budget_per_dma(40.0, 128,
+                                                               workers, 1.2),
+                                   0)});
+  }
+  std::printf("%s", cycles.to_string().c_str());
+  return 0;
+}

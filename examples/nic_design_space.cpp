@@ -1,0 +1,100 @@
+// Design-space exploration for a custom programmable-NIC offload (§3/§7:
+// "the model can and has been used to quickly assess the impact of
+// alternatives when designing custom NIC functionality").
+//
+// Sweeps descriptor batching, write-back batching and doorbell batching
+// through the analytic model, reports which configurations sustain 40GbE
+// at 128 B full duplex, then validates the chosen design by running the
+// executable NIC datapath on the simulator.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "model/nic_models.hpp"
+#include "nic/nic_sim.hpp"
+#include "pcie/bandwidth.hpp"
+#include "sysconfig/profiles.hpp"
+
+int main() {
+  using namespace pcieb;
+  const auto link = proto::gen3_x8();
+  const std::uint32_t pkt = 128;
+  const double demand = proto::ethernet_pcie_demand_gbps(40.0, pkt);
+  std::printf("Target: full-duplex 40GbE at %u B packets -> %.2f Gb/s of "
+              "PCIe goodput per direction.\n\n", pkt, demand);
+
+  struct Candidate {
+    model::ModernNicOptions opt;
+    double goodput = 0.0;
+  };
+  std::vector<Candidate> winners;
+
+  TextTable table({"desc_batch", "writeback", "doorbell", "goodput_Gbps",
+                   "meets_40G"});
+  for (unsigned desc : {1u, 4u, 8u, 16u, 32u}) {
+    for (unsigned wb : {1u, 4u, 8u}) {
+      for (unsigned db : {1u, 8u, 32u}) {
+        model::ModernNicOptions opt;
+        opt.desc_batch = desc;
+        opt.tx_writeback_batch = wb;
+        opt.rx_writeback_batch = wb;
+        opt.doorbell_batch = db;
+        // Poll-mode driver assumed: no interrupts to amortize.
+        const double g = model::bidirectional_goodput_gbps(
+            link, model::modern_nic_dpdk(opt), pkt);
+        const bool ok = g >= demand;
+        if (ok) winners.push_back({opt, g});
+        table.add_row({std::to_string(desc), std::to_string(wb),
+                       std::to_string(db), TextTable::num(g, 2),
+                       ok ? "yes" : "no"});
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (winners.empty()) {
+    std::printf("No configuration meets the target.\n");
+    return 1;
+  }
+  // Prefer the *least* aggressive batching that still meets the target —
+  // smaller batches mean lower latency and simpler on-chip state. But the
+  // byte-accounting model ignores latency-bound effects (DMA tags,
+  // descriptor fetch latency), so validate each candidate on the
+  // executable datapath and escalate until one actually delivers.
+  const auto cost = [](const model::ModernNicOptions& o) {
+    return o.desc_batch + o.tx_writeback_batch + o.doorbell_batch;
+  };
+  std::sort(winners.begin(), winners.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              return cost(a.opt) < cost(b.opt);
+            });
+
+  for (const auto& c : winners) {
+    std::printf("Candidate desc_batch=%u writeback=%u doorbell=%u "
+                "(model: %.2f Gb/s): ", c.opt.desc_batch,
+                c.opt.tx_writeback_batch, c.opt.doorbell_batch, c.goodput);
+    sim::System system(sys::netfpga_hsw().config);
+    nic::NicSimConfig sim_cfg = nic::NicSimConfig::modern_dpdk();
+    sim_cfg.frame_bytes = pkt;
+    sim_cfg.desc_batch = c.opt.desc_batch;
+    sim_cfg.tx_wb_batch = c.opt.tx_writeback_batch;
+    sim_cfg.rx_wb_batch = c.opt.rx_writeback_batch;
+    sim_cfg.doorbell_batch = c.opt.doorbell_batch;
+    sim_cfg.packets = 20000;
+    const auto r = nic::run_nic_sim(system, sim_cfg);
+    std::printf("simulated TX %.2f / RX %.2f Gb/s, %llu drops -> ",
+                r.tx_goodput_gbps, r.rx_goodput_gbps,
+                static_cast<unsigned long long>(r.rx_dropped));
+    if (r.per_direction_goodput_gbps >= demand * 0.95) {
+      std::printf("ACCEPTED\n");
+      std::printf("\nLesson: the analytic model prunes the space; the "
+                  "simulator catches latency-bound shortfalls the byte "
+                  "accounting cannot see.\n");
+      return 0;
+    }
+    std::printf("insufficient, escalating\n");
+  }
+  std::printf("No candidate validated on the simulator.\n");
+  return 1;
+}

@@ -1,0 +1,88 @@
+// Quickstart: the three things pcie-bench-sim does.
+//
+//  1. Model a device/driver interaction analytically (§3) — what goodput
+//     can my design reach on a given PCIe configuration?
+//  2. Measure latency micro-benchmarks on a simulated host (§4.1).
+//  3. Measure bandwidth micro-benchmarks on a simulated host (§4.2).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "model/interaction.hpp"
+#include "model/nic_models.hpp"
+#include "pcie/bandwidth.hpp"
+#include "sysconfig/profiles.hpp"
+
+int main() {
+  using namespace pcieb;
+
+  // --- 1. analytic model ----------------------------------------------------
+  // Describe a custom NIC: per packet it fetches a 16 B descriptor (in
+  // batches of 16), DMAs the packet, and writes back an 8 B completion
+  // (in batches of 8). The driver rings a doorbell every 16 packets.
+  model::InteractionModel custom;
+  custom.name = "my custom NIC";
+  custom.tx_ops = [](std::uint32_t pkt) {
+    return std::vector<model::PcieOp>{
+        {model::OpKind::MmioWrite, 4, 16.0, "doorbell"},
+        {model::OpKind::DmaRead, 256, 16.0, "descriptor batch"},
+        {model::OpKind::DmaRead, pkt, 1.0, "packet"},
+        {model::OpKind::DmaWrite, 64, 8.0, "completion batch"},
+    };
+  };
+  custom.rx_ops = [](std::uint32_t pkt) {
+    return std::vector<model::PcieOp>{
+        {model::OpKind::MmioWrite, 4, 16.0, "freelist doorbell"},
+        {model::OpKind::DmaRead, 256, 16.0, "freelist batch"},
+        {model::OpKind::DmaWrite, pkt, 1.0, "packet"},
+        {model::OpKind::DmaWrite, 64, 8.0, "rx descriptor batch"},
+    };
+  };
+
+  const auto link = proto::gen3_x8();
+  std::printf("Link: %s\n\n", link.describe().c_str());
+  std::printf("%-28s %8s %8s %8s\n", "model @ pkt size", "128B", "256B", "1500B");
+  for (const auto& m :
+       {custom, model::simple_nic(), model::modern_nic_dpdk()}) {
+    std::printf("%-28s %7.1fG %7.1fG %7.1fG\n", m.name.c_str(),
+                model::bidirectional_goodput_gbps(link, m, 128),
+                model::bidirectional_goodput_gbps(link, m, 256),
+                model::bidirectional_goodput_gbps(link, m, 1500));
+  }
+  std::printf("40GbE demand                 %7.1fG %7.1fG %7.1fG\n\n",
+              proto::ethernet_pcie_demand_gbps(40.0, 128),
+              proto::ethernet_pcie_demand_gbps(40.0, 256),
+              proto::ethernet_pcie_demand_gbps(40.0, 1500));
+
+  // --- 2. latency micro-benchmark -------------------------------------------
+  // LAT_RD: 64 B DMA reads from a warm 8 KB window on the NFP6000-HSW
+  // pairing of Table 1.
+  {
+    sim::System system(sys::nfp6000_hsw().config);
+    core::BenchParams p;
+    p.kind = core::BenchKind::LatRd;
+    p.transfer_size = 64;
+    p.window_bytes = 8192;
+    p.cache_state = core::CacheState::HostWarm;
+    p.iterations = 20000;
+    const auto r = core::run_latency_bench(system, p);
+    std::printf("%s\n", core::format(r).c_str());
+  }
+
+  // --- 3. bandwidth micro-benchmark ------------------------------------------
+  // BW_RDWR: alternating 512 B reads and writes.
+  {
+    sim::System system(sys::nfp6000_hsw().config);
+    core::BenchParams p;
+    p.kind = core::BenchKind::BwRdWr;
+    p.transfer_size = 512;
+    p.window_bytes = 8192;
+    p.cache_state = core::CacheState::HostWarm;
+    p.iterations = 30000;
+    const auto r = core::run_bandwidth_bench(system, p);
+    std::printf("%s\n", core::format(r).c_str());
+  }
+  return 0;
+}

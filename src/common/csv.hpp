@@ -1,0 +1,51 @@
+// Small CSV writer used to dump raw benchmark series (CDFs, sweeps) for
+// external plotting, mirroring the paper control programs' raw output mode.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pcieb {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+
+  void header(std::initializer_list<std::string> cols) { write_cells(cols); }
+
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(vals)), ...);
+    write_cells(cells);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  template <typename Range>
+  void write_cells(const Range& cells) {
+    bool first = true;
+    for (const auto& c : cells) {
+      if (!first) out_ << ',';
+      out_ << c;
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace pcieb

@@ -1,0 +1,31 @@
+// Minimal aligned-column table printer for bench output. Bench binaries
+// print the same series the paper's figures plot, as plain text tables
+// (one row per x-value, one column per curve).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcieb {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, "-" for NaN.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcieb

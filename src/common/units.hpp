@@ -1,0 +1,48 @@
+// Unit helpers shared across the library.
+//
+// Simulated time is kept in picoseconds as a signed 64-bit integer so that
+// event ordering is exact and runs are bit-reproducible. Human-facing
+// values (reports, calibration constants) are expressed in nanoseconds as
+// doubles and converted at the boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace pcieb {
+
+/// Simulated time in picoseconds.
+using Picos = std::int64_t;
+
+constexpr Picos kPicosPerNano = 1000;
+
+constexpr Picos from_nanos(double ns) {
+  return static_cast<Picos>(ns * static_cast<double>(kPicosPerNano) + 0.5);
+}
+
+constexpr double to_nanos(Picos ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPicosPerNano);
+}
+
+constexpr Picos from_micros(double us) { return from_nanos(us * 1e3); }
+constexpr Picos from_millis(double ms) { return from_nanos(ms * 1e6); }
+constexpr Picos from_seconds(double s) { return from_nanos(s * 1e9); }
+constexpr double to_seconds(Picos ps) { return to_nanos(ps) * 1e-9; }
+
+/// Sizes in bytes.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+/// Convert a byte count and a duration into Gb/s.
+constexpr double gbps(std::uint64_t bytes, Picos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / static_cast<double>(elapsed) * 1e3;
+}
+
+/// Time to serialize `bytes` at `rate_gbps` gigabits per second.
+constexpr Picos serialization_ps(std::uint64_t bytes, double rate_gbps) {
+  // bytes*8 bits / (rate_gbps * 1e9 bit/s) seconds -> picoseconds
+  return static_cast<Picos>(static_cast<double>(bytes) * 8.0 / rate_gbps * 1e3 + 0.5);
+}
+
+}  // namespace pcieb

@@ -1,0 +1,32 @@
+#include "core/addressing.hpp"
+
+#include <stdexcept>
+
+namespace pcieb::core {
+
+AddressSequence::AddressSequence(const BenchParams& params,
+                                 const sim::HostBuffer& buffer,
+                                 unsigned cacheline)
+    : buffer_(buffer),
+      unit_bytes_(params.unit_bytes(cacheline)),
+      units_(params.units(cacheline)),
+      offset_(params.offset),
+      pattern_(params.pattern),
+      rng_(params.seed) {
+  if (params.window_bytes > buffer.size()) {
+    throw std::invalid_argument("AddressSequence: window larger than buffer");
+  }
+}
+
+std::uint64_t AddressSequence::next() {
+  std::uint64_t unit;
+  if (pattern_ == AccessPattern::Random) {
+    unit = rng_.below(units_);
+  } else {
+    unit = cursor_;
+    cursor_ = (cursor_ + 1) % units_;
+  }
+  return buffer_.iova(unit * unit_bytes_ + offset_);
+}
+
+}  // namespace pcieb::core

@@ -1,0 +1,38 @@
+// Address sequence generation over the benchmark window (§4, Figure 3).
+//
+// The window is split into equal units (offset + transfer size rounded up
+// to whole cache lines); each DMA targets `unit_base + offset`. Sequential
+// mode walks the units in order and wraps; random mode draws units
+// independently and uniformly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/params.hpp"
+#include "sim/host_buffer.hpp"
+
+namespace pcieb::core {
+
+class AddressSequence {
+ public:
+  AddressSequence(const BenchParams& params, const sim::HostBuffer& buffer,
+                  unsigned cacheline = 64);
+
+  /// IOVA of the next DMA target.
+  std::uint64_t next();
+
+  std::uint64_t unit_bytes() const { return unit_bytes_; }
+  std::uint64_t units() const { return units_; }
+
+ private:
+  const sim::HostBuffer& buffer_;
+  std::uint64_t unit_bytes_;
+  std::uint64_t units_;
+  std::uint32_t offset_;
+  AccessPattern pattern_;
+  Xoshiro256 rng_;
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace pcieb::core

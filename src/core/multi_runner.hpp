@@ -1,0 +1,49 @@
+// Bandwidth measurement across concurrently active devices — the driver
+// for the §9 multi-device study. Each device hammers its own buffer
+// window with DMA reads (or writes); the shared LLC, DRAM channels,
+// IOMMU walkers and IO-TLB are where they interact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/multi_system.hpp"
+#include "sim/switched_system.hpp"
+
+namespace pcieb::core {
+
+struct MultiDeviceSpec {
+  BenchKind kind = BenchKind::BwRd;  ///< BwRd or BwWr
+  std::uint32_t transfer_size = 64;
+  std::uint64_t window_bytes = 128ull << 10;  ///< per device
+  CacheState cache_state = CacheState::HostWarm;
+  std::uint64_t page_bytes = 4096;
+  std::size_t iterations = 20000;  ///< per device
+  std::size_t warmup = 4000;       ///< per device
+  std::uint64_t seed = 42;
+  /// Devices actually driven; the rest stay idle (0 = all).
+  unsigned active_devices = 0;
+};
+
+struct MultiDeviceResult {
+  std::vector<double> per_device_gbps;  ///< goodput of each active device
+  double total_gbps = 0.0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t tlb_hits = 0;
+};
+
+/// Runs the spec on every active device concurrently and reports
+/// per-device goodput. Throws on latency kinds. Works on both
+/// independent-link (MultiDeviceSystem) and shared-uplink
+/// (SwitchedSystem) topologies.
+template <typename SystemT>
+MultiDeviceResult run_multi_device_bandwidth(SystemT& system,
+                                             const MultiDeviceSpec& spec);
+
+extern template MultiDeviceResult run_multi_device_bandwidth(
+    sim::MultiDeviceSystem&, const MultiDeviceSpec&);
+extern template MultiDeviceResult run_multi_device_bandwidth(
+    sim::SwitchedSystem&, const MultiDeviceSpec&);
+
+}  // namespace pcieb::core

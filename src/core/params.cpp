@@ -1,0 +1,71 @@
+#include "core/params.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pcieb::core {
+
+const char* to_string(BenchKind k) {
+  switch (k) {
+    case BenchKind::LatRd: return "LAT_RD";
+    case BenchKind::LatWrRd: return "LAT_WRRD";
+    case BenchKind::BwRd: return "BW_RD";
+    case BenchKind::BwWr: return "BW_WR";
+    case BenchKind::BwRdWr: return "BW_RDWR";
+  }
+  return "?";
+}
+
+bool is_latency(BenchKind k) {
+  return k == BenchKind::LatRd || k == BenchKind::LatWrRd;
+}
+
+const char* to_string(CacheState s) {
+  switch (s) {
+    case CacheState::Thrash: return "cold";
+    case CacheState::HostWarm: return "host-warm";
+    case CacheState::DeviceWarm: return "device-warm";
+  }
+  return "?";
+}
+
+std::uint64_t BenchParams::unit_bytes(unsigned cacheline) const {
+  const std::uint64_t raw = offset + transfer_size;
+  return (raw + cacheline - 1) / cacheline * cacheline;
+}
+
+std::uint64_t BenchParams::units(unsigned cacheline) const {
+  return window_bytes / unit_bytes(cacheline);
+}
+
+void BenchParams::validate() const {
+  if (transfer_size == 0) {
+    throw std::invalid_argument("BenchParams: transfer_size must be > 0");
+  }
+  if (offset >= 64) {
+    throw std::invalid_argument("BenchParams: offset must be < cache line");
+  }
+  if (units() == 0) {
+    throw std::invalid_argument("BenchParams: window smaller than one unit");
+  }
+  if (iterations == 0) {
+    throw std::invalid_argument("BenchParams: iterations must be > 0");
+  }
+  if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0) {
+    throw std::invalid_argument("BenchParams: page_bytes must be a power of 2");
+  }
+}
+
+std::string BenchParams::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " sz=" << transfer_size << " off=" << offset
+     << " window=" << window_bytes
+     << " pattern=" << (pattern == AccessPattern::Random ? "rand" : "seq")
+     << " cache=" << to_string(cache_state)
+     << " numa=" << (numa_local ? "local" : "remote")
+     << " page=" << page_bytes << " iters=" << iterations
+     << " warmup=" << warmup;
+  return os.str();
+}
+
+}  // namespace pcieb::core

@@ -1,0 +1,65 @@
+// Benchmark parameter set — the §4 methodology knobs (Figure 3).
+//
+// A host buffer much larger than the LLC is allocated; each benchmark
+// repeatedly accesses a `window_bytes` subset of it, divided into units of
+// ceil(offset + transfer_size, cacheline) bytes so every DMA touches the
+// same number of cache lines. Access order, cache state, buffer locality,
+// page size and IOMMU state are all controlled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcieb::core {
+
+enum class BenchKind : std::uint8_t {
+  LatRd,    ///< latency of DMA reads
+  LatWrRd,  ///< latency of DMA write followed by read from the same address
+  BwRd,     ///< DMA read bandwidth
+  BwWr,     ///< DMA write bandwidth
+  BwRdWr,   ///< alternating read/write bandwidth
+};
+
+const char* to_string(BenchKind k);
+bool is_latency(BenchKind k);
+
+enum class AccessPattern : std::uint8_t { Sequential, Random };
+
+enum class CacheState : std::uint8_t {
+  Thrash,      ///< cold: LLC filled with unrelated lines before the run
+  HostWarm,    ///< host wrote the window beforehand
+  DeviceWarm,  ///< device DMA-wrote the window beforehand (DDIO ways)
+};
+
+const char* to_string(CacheState s);
+
+struct BenchParams {
+  BenchKind kind = BenchKind::LatRd;
+  std::uint32_t transfer_size = 64;
+  std::uint32_t offset = 0;  ///< start offset within a cache line
+  std::uint64_t window_bytes = 8192;
+  AccessPattern pattern = AccessPattern::Random;
+  CacheState cache_state = CacheState::HostWarm;
+  bool numa_local = true;
+  std::uint64_t page_bytes = 4096;
+  bool use_cmd_if = false;  ///< NFP direct PCIe command interface
+  std::size_t iterations = 20000;
+  /// Transactions executed before measurement starts: brings the DDIO
+  /// quota and IO-TLB to steady state, standing in for the long runs
+  /// (2 M / 8 M transactions) the paper's control programs use.
+  std::size_t warmup = 0;
+  std::uint64_t seed = 42;
+
+  /// Unit size: offset + transfer rounded up to whole cache lines (§4).
+  std::uint64_t unit_bytes(unsigned cacheline = 64) const;
+  /// Number of units in the window.
+  std::uint64_t units(unsigned cacheline = 64) const;
+
+  /// Throws std::invalid_argument for inconsistent settings (window
+  /// smaller than one unit, zero transfer...).
+  void validate() const;
+
+  std::string describe() const;
+};
+
+}  // namespace pcieb::core

@@ -1,0 +1,68 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pcieb::core {
+
+double pct_change(double base, double value) {
+  if (base == 0.0) return 0.0;
+  return (value - base) / base * 100.0;
+}
+
+std::string format(const LatencyResult& r) {
+  std::ostringstream os;
+  os << r.params.describe() << " :: " << format_latency_summary(r.summary);
+  return os.str();
+}
+
+std::string format(const BandwidthResult& r) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << r.params.describe() << " :: " << r.gbps << " Gb/s (" << r.mtps
+     << " MT/s)";
+  return os.str();
+}
+
+std::string cdf_dump(const LatencyResult& r, std::size_t points) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  for (const auto& [value, frac] : r.samples_ns.cdf(points)) {
+    os << value << ' ' << frac << '\n';
+  }
+  return os.str();
+}
+
+std::string histogram_dump(const LatencyResult& r, std::size_t bins) {
+  std::ostringstream os;
+  if (r.samples_ns.empty() || bins == 0) return os.str();
+  const double lo = r.samples_ns.min();
+  double hi = r.samples_ns.percentile(99.9);
+  if (hi <= lo) hi = lo + 1.0;
+  Histogram h(lo, hi, bins);
+  for (double v : r.samples_ns.raw()) h.add(v);
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    os << h.bin_lo(b) << ' ' << h.bin_hi(b) << ' ' << h.bin_count(b) << '\n';
+  }
+  return os.str();
+}
+
+std::string time_series_dump(const LatencyResult& r, std::size_t points) {
+  std::ostringstream os;
+  const auto& raw = r.samples_ns.raw();
+  if (raw.empty() || points == 0) return os.str();
+  const std::size_t stride = std::max<std::size_t>(1, raw.size() / points);
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  for (std::size_t i = 0; i < raw.size(); i += stride) {
+    os << i << ' ' << raw[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pcieb::core

@@ -1,0 +1,32 @@
+// Result formatting helpers shared by benches, examples and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace pcieb::core {
+
+/// Percentage change from `base` to `value` (negative = drop), the y-axis
+/// of Figures 8 and 9.
+double pct_change(double base, double value);
+
+/// One-line human-readable result summaries.
+std::string format(const LatencyResult& r);
+std::string format(const BandwidthResult& r);
+
+/// Dump a latency CDF as "value_ns fraction" lines (Fig 6 raw output).
+std::string cdf_dump(const LatencyResult& r, std::size_t points = 100);
+
+/// Dump a latency histogram as "bin_lo_ns bin_hi_ns count" lines. The
+/// range defaults to [min, p99.9] with overflow collected in the last bin,
+/// matching the paper control program's histogram mode (§5.4).
+std::string histogram_dump(const LatencyResult& r, std::size_t bins = 50);
+
+/// Dump a time series as "index latency_ns" lines, thinned to at most
+/// `points` samples in measurement order — the §5.4 time-series mode,
+/// useful for spotting periodic excursions like the E3's stalls.
+std::string time_series_dump(const LatencyResult& r, std::size_t points = 500);
+
+}  // namespace pcieb::core

@@ -1,0 +1,219 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "core/addressing.hpp"
+
+namespace pcieb::core {
+namespace {
+
+/// Buffers are sized well beyond the largest LLC we model (§4: "must be
+/// significantly larger than the size of the Last Level Cache").
+constexpr std::uint64_t kMinBufferBytes = 64ull << 20;
+
+sim::BufferConfig buffer_config(const BenchParams& p) {
+  sim::BufferConfig cfg;
+  cfg.size_bytes = std::max(kMinBufferBytes, p.window_bytes);
+  cfg.page_bytes = p.page_bytes;
+  cfg.local = p.numa_local;
+  cfg.seed = p.seed ^ 0xb0ff'e12aULL;
+  return cfg;
+}
+
+}  // namespace
+
+BenchRunner::BenchRunner(sim::System& system, const BenchParams& params)
+    : system_(system), params_(params), buffer_(buffer_config(params)) {
+  params_.validate();
+  if (!system_.sim().empty()) {
+    throw std::logic_error("BenchRunner: simulator has pending events");
+  }
+  system_.attach_buffer(&buffer_);
+  // The IOMMU granule follows the buffer's backing page size.
+  if (system_.iommu().config().enabled &&
+      system_.iommu().config().page_bytes != params_.page_bytes) {
+    throw std::logic_error(
+        "BenchRunner: system IOMMU page size differs from buffer pages; "
+        "configure IommuConfig::page_bytes to match BenchParams::page_bytes");
+  }
+  prepare_state();
+}
+
+void BenchRunner::prepare_state() {
+  system_.thrash_cache();
+  switch (params_.cache_state) {
+    case CacheState::Thrash:
+      break;
+    case CacheState::HostWarm:
+      system_.warm_host(buffer_, 0, params_.window_bytes);
+      break;
+    case CacheState::DeviceWarm:
+      system_.warm_device(buffer_, 0, params_.window_bytes);
+      break;
+  }
+  system_.iommu().flush_tlb();
+  system_.iommu().reset_stats();
+  system_.memory().cache().reset_stats();
+}
+
+Picos BenchRunner::quantize(Picos t) const {
+  const Picos res = system_.device().profile().timestamp_resolution;
+  if (res <= 0) return t;
+  return t / res * res;
+}
+
+LatencyResult BenchRunner::run_latency() {
+  if (!is_latency(params_.kind)) {
+    throw std::logic_error("run_latency: params describe a bandwidth test");
+  }
+  auto& sim = system_.sim();
+  auto& dev = system_.device();
+  AddressSequence seq(params_, buffer_);
+  SampleSet samples;
+  samples.reserve(params_.iterations);
+
+  std::size_t remaining = params_.warmup + params_.iterations;
+  std::size_t discard = params_.warmup;
+  const std::uint32_t sz = params_.transfer_size;
+  const bool cmd_if = params_.use_cmd_if;
+  const bool wrrd = params_.kind == BenchKind::LatWrRd;
+
+  std::function<void()> issue_next = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    const std::uint64_t addr = seq.next();
+    const Picos t0 = sim.now();
+    auto record_and_continue = [&, t0] {
+      if (discard > 0) {
+        --discard;
+      } else {
+        samples.add(to_nanos(quantize(sim.now() - t0)));
+      }
+      issue_next();
+    };
+    if (wrrd) {
+      // §4.1: a posted write followed by a read from the same address;
+      // PCIe ordering makes the root complex handle the read after the
+      // write. The read is issued once the write's TLPs are on the wire.
+      dev.dma_write(
+          addr, sz,
+          [&, addr, record_and_continue] {
+            dev.dma_read(addr, sz, record_and_continue, cmd_if);
+          },
+          cmd_if);
+    } else {
+      dev.dma_read(addr, sz, record_and_continue, cmd_if);
+    }
+  };
+  issue_next();
+  sim.run();
+
+  LatencyResult result{params_, std::move(samples), {}};
+  result.summary = summarize_latency(result.samples_ns);
+  return result;
+}
+
+BandwidthResult BenchRunner::run_bandwidth() {
+  if (is_latency(params_.kind)) {
+    throw std::logic_error("run_bandwidth: params describe a latency test");
+  }
+  auto& sim = system_.sim();
+  auto& dev = system_.device();
+  AddressSequence seq(params_, buffer_);
+  const std::uint32_t sz = params_.transfer_size;
+
+  // One bandwidth phase: a shared work counter decremented by a pool of
+  // logical workers, mirroring the NFP firmware's atomic-counter scheme
+  // (§5.1). Returns the time of the last completion event.
+  auto run_phase = [&](std::size_t total) -> Picos {
+    std::size_t n_reads = 0;
+    std::size_t n_writes = 0;
+    switch (params_.kind) {
+      case BenchKind::BwRd: n_reads = total; break;
+      case BenchKind::BwWr: n_writes = total; break;
+      case BenchKind::BwRdWr:
+        n_reads = (total + 1) / 2;  // even indices read, odd write
+        n_writes = total / 2;
+        break;
+      default: break;
+    }
+    const std::uint64_t write_bytes_expected =
+        static_cast<std::uint64_t>(n_writes) * sz;
+
+    std::size_t counter = total;
+    std::size_t issued = 0;
+    std::size_t reads_done = 0;
+    std::uint64_t write_bytes_committed = 0;
+    Picos end_time = sim.now();
+
+    system_.set_write_observer([&](std::uint32_t bytes) {
+      write_bytes_committed += bytes;
+      if (write_bytes_committed >= write_bytes_expected) {
+        end_time = std::max(end_time, sim.now());
+      }
+    });
+
+    std::function<void()> work = [&] {
+      if (counter == 0) return;
+      --counter;
+      const std::size_t n = issued++;
+      const bool is_read = params_.kind == BenchKind::BwRd ||
+                           (params_.kind == BenchKind::BwRdWr && n % 2 == 0);
+      const std::uint64_t addr = seq.next();
+      if (is_read) {
+        dev.dma_read(addr, sz, [&] {
+          ++reads_done;
+          if (reads_done >= n_reads) end_time = std::max(end_time, sim.now());
+          work();
+        });
+      } else {
+        // For posted writes the worker continues once the engine accepted
+        // the descriptor's TLPs; commits are tracked via the root complex.
+        dev.dma_write(addr, sz, [&] { work(); });
+      }
+    };
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(kBandwidthWorkers, total));
+    for (unsigned w = 0; w < workers; ++w) work();
+    sim.run();
+    system_.set_write_observer({});
+
+    if (reads_done != n_reads || write_bytes_committed != write_bytes_expected) {
+      throw std::logic_error("run_bandwidth: lost transactions");
+    }
+    return end_time;
+  };
+
+  if (params_.warmup > 0) run_phase(params_.warmup);
+  const std::size_t total = params_.iterations;
+  const Picos start_time = sim.now();
+  const Picos end_time = run_phase(total);
+
+  BandwidthResult result;
+  result.params = params_;
+  // BW_RDWR reports per-direction goodput (read payload flows down while
+  // write payload flows up at the same rate), matching Fig 4c's axis.
+  result.payload_bytes = params_.kind == BenchKind::BwRdWr
+                             ? static_cast<std::uint64_t>(total) * sz / 2
+                             : static_cast<std::uint64_t>(total) * sz;
+  result.elapsed = end_time - start_time;
+  result.gbps = gbps(result.payload_bytes, result.elapsed);
+  result.mtps =
+      result.elapsed > 0
+          ? static_cast<double>(total) /
+                (static_cast<double>(result.elapsed) * 1e-12) / 1e6
+          : 0.0;
+  return result;
+}
+
+LatencyResult run_latency_bench(sim::System& system, const BenchParams& p) {
+  return BenchRunner(system, p).run_latency();
+}
+
+BandwidthResult run_bandwidth_bench(sim::System& system, const BenchParams& p) {
+  return BenchRunner(system, p).run_bandwidth();
+}
+
+}  // namespace pcieb::core

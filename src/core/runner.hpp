@@ -1,0 +1,64 @@
+// Benchmark execution: drives a simulated System through the pcie-bench
+// micro-benchmarks (§4.1 latency, §4.2 bandwidth) and collects results.
+//
+// Latency runs are strictly serial — one transaction at a time, as the
+// NFP/NetFPGA firmware does — with per-transaction timestamps quantized to
+// the device's counter resolution. Bandwidth runs emulate the NFP's
+// worker-thread scheme: a pool of logical workers each keeps one DMA in
+// flight and decrements a shared counter, which saturates the engine's
+// tags/credits exactly the way the firmware's 12 cores x 8 threads do.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "core/params.hpp"
+#include "sim/host_buffer.hpp"
+#include "sim/system.hpp"
+
+namespace pcieb::core {
+
+struct LatencyResult {
+  BenchParams params;
+  SampleSet samples_ns;
+  LatencySummary summary;
+};
+
+struct BandwidthResult {
+  BenchParams params;
+  std::uint64_t payload_bytes = 0;
+  Picos elapsed = 0;
+  double gbps = 0.0;
+  double mtps = 0.0;  ///< millions of DMA transactions per second
+};
+
+/// Number of logical DMA workers for bandwidth runs (NFP firmware uses
+/// 12 cores x 8 threads = 96).
+constexpr unsigned kBandwidthWorkers = 96;
+
+class BenchRunner {
+ public:
+  /// The runner prepares cache/IOMMU state per `params` before measuring;
+  /// the system's simulator must be idle.
+  BenchRunner(sim::System& system, const BenchParams& params);
+
+  LatencyResult run_latency();
+  BandwidthResult run_bandwidth();
+
+  const sim::HostBuffer& buffer() const { return buffer_; }
+
+ private:
+  void prepare_state();
+  Picos quantize(Picos t) const;
+
+  sim::System& system_;
+  BenchParams params_;
+  sim::HostBuffer buffer_;
+};
+
+/// Convenience: build a fresh runner and dispatch on params.kind.
+LatencyResult run_latency_bench(sim::System& system, const BenchParams& p);
+BandwidthResult run_bandwidth_bench(sim::System& system, const BenchParams& p);
+
+}  // namespace pcieb::core

@@ -1,0 +1,153 @@
+#include "core/suite.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb::core {
+
+void Suite::add(Experiment experiment) {
+  for (const auto& e : experiments_) {
+    if (e.name == experiment.name) {
+      throw std::invalid_argument("Suite: duplicate experiment name " +
+                                  experiment.name);
+    }
+  }
+  experiment.params.validate();
+  sys::profile_by_name(experiment.system_name);  // throws if unknown
+  experiments_.push_back(std::move(experiment));
+}
+
+void Suite::add_latency(const std::string& name, const std::string& system,
+                        BenchKind kind, std::uint32_t size,
+                        std::function<void(BenchParams&)> tweak) {
+  if (!is_latency(kind)) {
+    throw std::invalid_argument("add_latency: bandwidth kind");
+  }
+  Experiment e;
+  e.name = name;
+  e.system_name = system;
+  e.params.kind = kind;
+  e.params.transfer_size = size;
+  if (tweak) tweak(e.params);
+  add(std::move(e));
+}
+
+void Suite::add_bandwidth(const std::string& name, const std::string& system,
+                          BenchKind kind, std::uint32_t size,
+                          std::function<void(BenchParams&)> tweak) {
+  if (is_latency(kind)) {
+    throw std::invalid_argument("add_bandwidth: latency kind");
+  }
+  Experiment e;
+  e.name = name;
+  e.system_name = system;
+  e.params.kind = kind;
+  e.params.transfer_size = size;
+  if (tweak) tweak(e.params);
+  add(std::move(e));
+}
+
+std::vector<ExperimentRecord> Suite::run(
+    const std::string& filter,
+    std::function<void(const ExperimentRecord&)> progress) const {
+  std::vector<ExperimentRecord> records;
+  for (const auto& e : experiments_) {
+    if (!filter.empty() && e.name.find(filter) == std::string::npos) continue;
+    const auto& profile = sys::profile_by_name(e.system_name);
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::System system(profile.config);
+    ExperimentRecord record;
+    record.experiment = e;
+    if (is_latency(e.params.kind)) {
+      record.latency = run_latency_bench(system, e.params);
+    } else {
+      record.bandwidth = run_bandwidth_bench(system, e.params);
+    }
+    record.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (progress) progress(record);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Suite Suite::standard(const std::string& system_name) {
+  Suite suite;
+  const std::vector<std::uint32_t> sizes = {8,   16,  32,  64,   128,
+                                            256, 512, 1024, 2048};
+  const std::vector<std::pair<CacheState, const char*>> states = {
+      {CacheState::Thrash, "cold"}, {CacheState::HostWarm, "warm"}};
+  for (const auto& [state, label] : states) {
+    for (std::uint32_t sz : sizes) {
+      for (auto kind : {BenchKind::LatRd, BenchKind::LatWrRd}) {
+        std::ostringstream name;
+        name << to_string(kind) << '/' << sz << '/' << label;
+        suite.add_latency(name.str(), system_name, kind, sz,
+                          [&](BenchParams& p) {
+                            p.cache_state = state;
+                            p.iterations = 5000;
+                          });
+      }
+      for (auto kind : {BenchKind::BwRd, BenchKind::BwWr, BenchKind::BwRdWr}) {
+        std::ostringstream name;
+        name << to_string(kind) << '/' << sz << '/' << label;
+        suite.add_bandwidth(name.str(), system_name, kind, sz,
+                            [&](BenchParams& p) {
+                              p.cache_state = state;
+                              p.iterations = 15000;
+                            });
+      }
+    }
+  }
+  return suite;
+}
+
+std::string summarize(const std::vector<ExperimentRecord>& records) {
+  TextTable table({"experiment", "system", "median_ns", "p99_ns", "Gbps",
+                   "MT/s"});
+  for (const auto& r : records) {
+    std::string med = "-", p99 = "-", gbps = "-", mtps = "-";
+    if (r.latency) {
+      med = TextTable::num(r.latency->summary.median_ns, 0);
+      p99 = TextTable::num(r.latency->summary.p99_ns, 0);
+    }
+    if (r.bandwidth) {
+      gbps = TextTable::num(r.bandwidth->gbps, 2);
+      mtps = TextTable::num(r.bandwidth->mtps, 2);
+    }
+    table.add_row({r.experiment.name, r.experiment.system_name, med, p99,
+                   gbps, mtps});
+  }
+  return table.to_string();
+}
+
+void write_csv(const std::vector<ExperimentRecord>& records,
+               const std::string& path) {
+  CsvWriter csv(path);
+  csv.header({"experiment", "system", "kind", "size", "window", "cache",
+              "median_ns", "p95_ns", "p99_ns", "gbps", "mtps"});
+  for (const auto& r : records) {
+    const auto& p = r.experiment.params;
+    std::string med, p95, p99, gbps, mtps;
+    if (r.latency) {
+      med = TextTable::num(r.latency->summary.median_ns, 1);
+      p95 = TextTable::num(r.latency->summary.p95_ns, 1);
+      p99 = TextTable::num(r.latency->summary.p99_ns, 1);
+    }
+    if (r.bandwidth) {
+      gbps = TextTable::num(r.bandwidth->gbps, 3);
+      mtps = TextTable::num(r.bandwidth->mtps, 3);
+    }
+    csv.row(r.experiment.name, r.experiment.system_name, to_string(p.kind),
+            p.transfer_size, p.window_bytes, to_string(p.cache_state), med,
+            p95, p99, gbps, mtps);
+  }
+}
+
+}  // namespace pcieb::core

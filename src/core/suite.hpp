@@ -1,0 +1,74 @@
+// The §5.4 control-program layer: named experiments, full-suite runs and
+// structured reporting.
+//
+// The paper's NFP control program runs ~2500 individual tests over ~4
+// hours and post-processes percentiles, CDFs, histograms and time series.
+// Here a Suite is a declarative list of (system, parameters) experiments;
+// run() executes them on fresh simulated systems and returns structured
+// records that the reporting helpers turn into text or CSV.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "sim/system.hpp"
+
+namespace pcieb::core {
+
+struct Experiment {
+  std::string name;         ///< unique label, e.g. "lat_rd/64/warm"
+  std::string system_name;  ///< Table 1 profile name
+  BenchParams params;
+};
+
+struct ExperimentRecord {
+  Experiment experiment;
+  /// Exactly one of these is set, by params.kind.
+  std::optional<LatencyResult> latency;
+  std::optional<BandwidthResult> bandwidth;
+  double wall_seconds = 0.0;  ///< host time spent simulating
+};
+
+class Suite {
+ public:
+  /// Add one experiment; names must be unique (throws otherwise).
+  void add(Experiment experiment);
+
+  /// Convenience builders.
+  void add_latency(const std::string& name, const std::string& system,
+                   BenchKind kind, std::uint32_t size,
+                   std::function<void(BenchParams&)> tweak = {});
+  void add_bandwidth(const std::string& name, const std::string& system,
+                     BenchKind kind, std::uint32_t size,
+                     std::function<void(BenchParams&)> tweak = {});
+
+  std::size_t size() const { return experiments_.size(); }
+  const std::vector<Experiment>& experiments() const { return experiments_; }
+
+  /// Run every experiment whose name contains `filter` (all if empty).
+  /// `progress` (optional) is invoked after each experiment completes.
+  std::vector<ExperimentRecord> run(
+      const std::string& filter = "",
+      std::function<void(const ExperimentRecord&)> progress = {}) const;
+
+  /// The standard sweep the paper's control program covers: LAT_RD,
+  /// LAT_WRRD, BW_RD, BW_WR, BW_RDWR over transfer sizes and cache states
+  /// for one system.
+  static Suite standard(const std::string& system_name);
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// One-line summary per record, aligned.
+std::string summarize(const std::vector<ExperimentRecord>& records);
+
+/// CSV with one row per record (kind-dependent columns filled or empty).
+void write_csv(const std::vector<ExperimentRecord>& records,
+               const std::string& path);
+
+}  // namespace pcieb::core

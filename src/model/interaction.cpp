@@ -1,0 +1,88 @@
+#include "model/interaction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pcieb::model {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::DmaRead: return "DmaRead";
+    case OpKind::DmaWrite: return "DmaWrite";
+    case OpKind::MmioRead: return "MmioRead";
+    case OpKind::MmioWrite: return "MmioWrite";
+  }
+  return "?";
+}
+
+DirectionLoad load_of(const proto::LinkConfig& cfg,
+                      const std::vector<PcieOp>& ops) {
+  DirectionLoad load;
+  for (const auto& op : ops) {
+    if (op.per_packets <= 0.0) {
+      throw std::invalid_argument("PcieOp: per_packets must be positive");
+    }
+    proto::DirectionBytes b;
+    switch (op.kind) {
+      case OpKind::DmaRead: b = proto::dma_read_bytes(cfg, 0, op.bytes); break;
+      case OpKind::DmaWrite: b = proto::dma_write_bytes(cfg, 0, op.bytes); break;
+      case OpKind::MmioRead: b = proto::mmio_read_bytes(cfg, op.bytes); break;
+      case OpKind::MmioWrite: b = proto::mmio_write_bytes(cfg, op.bytes); break;
+    }
+    load.upstream += static_cast<double>(b.upstream) / op.per_packets;
+    load.downstream += static_cast<double>(b.downstream) / op.per_packets;
+  }
+  return load;
+}
+
+double max_symmetric_packet_rate(const proto::LinkConfig& cfg,
+                                 const InteractionModel& model,
+                                 std::uint32_t pkt_bytes) {
+  DirectionLoad total = load_of(cfg, model.tx_ops(pkt_bytes));
+  total += load_of(cfg, model.rx_ops(pkt_bytes));
+  const double cap = cfg.tlp_gbps() * 1e9 / 8.0;  // bytes/s per direction
+  double rate = std::numeric_limits<double>::infinity();
+  if (total.upstream > 0.0) rate = std::min(rate, cap / total.upstream);
+  if (total.downstream > 0.0) rate = std::min(rate, cap / total.downstream);
+  return rate;
+}
+
+double bidirectional_goodput_gbps(const proto::LinkConfig& cfg,
+                                  const InteractionModel& model,
+                                  std::uint32_t pkt_bytes) {
+  const double rate = max_symmetric_packet_rate(cfg, model, pkt_bytes);
+  return rate * static_cast<double>(pkt_bytes) * 8.0 / 1e9;
+}
+
+double max_mixed_packet_rate(const proto::LinkConfig& cfg,
+                             const InteractionModel& model,
+                             std::uint32_t pkt_bytes, double tx_fraction) {
+  if (tx_fraction < 0.0 || tx_fraction > 1.0) {
+    throw std::invalid_argument("max_mixed_packet_rate: tx_fraction in [0,1]");
+  }
+  const DirectionLoad tx = load_of(cfg, model.tx_ops(pkt_bytes));
+  const DirectionLoad rx = load_of(cfg, model.rx_ops(pkt_bytes));
+  // Average wire bytes per packet of the mixed stream, per direction.
+  const double up = tx_fraction * tx.upstream + (1.0 - tx_fraction) * rx.upstream;
+  const double down =
+      tx_fraction * tx.downstream + (1.0 - tx_fraction) * rx.downstream;
+  const double cap = cfg.tlp_gbps() * 1e9 / 8.0;
+  double rate = std::numeric_limits<double>::infinity();
+  if (up > 0.0) rate = std::min(rate, cap / up);
+  if (down > 0.0) rate = std::min(rate, cap / down);
+  return rate;
+}
+
+MixedGoodput mixed_goodput_gbps(const proto::LinkConfig& cfg,
+                                const InteractionModel& model,
+                                std::uint32_t pkt_bytes, double tx_fraction) {
+  const double rate = max_mixed_packet_rate(cfg, model, pkt_bytes, tx_fraction);
+  MixedGoodput g;
+  g.tx_gbps = rate * tx_fraction * pkt_bytes * 8.0 / 1e9;
+  g.rx_gbps = rate * (1.0 - tx_fraction) * pkt_bytes * 8.0 / 1e9;
+  g.total_gbps = g.tx_gbps + g.rx_gbps;
+  return g;
+}
+
+}  // namespace pcieb::model

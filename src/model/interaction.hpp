@@ -1,0 +1,94 @@
+// Programmatic modelling of device/host interactions (§3).
+//
+// A NIC (or any DMA device) is described as the list of PCIe operations it
+// performs per packet sent and per packet received — descriptor fetches,
+// packet DMA, write-backs, doorbells, interrupts — each with an
+// amortization factor for batched operations. The rate solver then
+// computes the highest symmetric packet rate the link sustains and reports
+// the resulting goodput, which is exactly how the curves of Figure 1 are
+// derived.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pcie/link_config.hpp"
+#include "pcie/packetizer.hpp"
+
+namespace pcieb::model {
+
+enum class OpKind : std::uint8_t {
+  DmaRead,    ///< Device reads host memory (MRd up, CplD down).
+  DmaWrite,   ///< Device writes host memory (MWr up).
+  MmioRead,   ///< Driver reads a device register (MRd down, CplD up).
+  MmioWrite,  ///< Driver writes a device register (MWr down).
+};
+
+const char* to_string(OpKind k);
+
+/// One interaction, amortized: it occurs once every `per_packets` packets.
+struct PcieOp {
+  OpKind kind = OpKind::DmaRead;
+  std::uint32_t bytes = 0;
+  double per_packets = 1.0;
+  std::string label;
+};
+
+/// Average wire bytes per packet contributed by a list of ops.
+struct DirectionLoad {
+  double upstream = 0.0;    ///< device -> root complex, bytes/packet
+  double downstream = 0.0;  ///< root complex -> device, bytes/packet
+
+  DirectionLoad& operator+=(const DirectionLoad& o) {
+    upstream += o.upstream;
+    downstream += o.downstream;
+    return *this;
+  }
+};
+
+DirectionLoad load_of(const proto::LinkConfig& cfg,
+                      const std::vector<PcieOp>& ops);
+
+/// A device/driver combination: ops per TX packet and per RX packet as a
+/// function of the packet size.
+struct InteractionModel {
+  std::string name;
+  std::function<std::vector<PcieOp>(std::uint32_t pkt_bytes)> tx_ops;
+  std::function<std::vector<PcieOp>(std::uint32_t pkt_bytes)> rx_ops;
+};
+
+/// Highest symmetric (full-duplex) packet rate in packets/s for
+/// `pkt_bytes`-sized packets, limited by whichever link direction
+/// saturates first.
+double max_symmetric_packet_rate(const proto::LinkConfig& cfg,
+                                 const InteractionModel& model,
+                                 std::uint32_t pkt_bytes);
+
+/// Per-direction goodput in Gb/s at that rate (packet payload only) —
+/// the y-axis of Figure 1.
+double bidirectional_goodput_gbps(const proto::LinkConfig& cfg,
+                                  const InteractionModel& model,
+                                  std::uint32_t pkt_bytes);
+
+/// Asymmetric traffic mixes. `tx_fraction` is the share of transmitted
+/// packets in the total packet stream (0 = pure receive, 1 = pure
+/// transmit, 0.5 = the symmetric Figure 1 case). Returns the highest
+/// total packet rate (TX + RX) the link sustains at that mix.
+double max_mixed_packet_rate(const proto::LinkConfig& cfg,
+                             const InteractionModel& model,
+                             std::uint32_t pkt_bytes, double tx_fraction);
+
+struct MixedGoodput {
+  double tx_gbps = 0.0;
+  double rx_gbps = 0.0;
+  double total_gbps = 0.0;
+};
+
+/// Payload goodput split for an asymmetric mix at the maximal rate.
+MixedGoodput mixed_goodput_gbps(const proto::LinkConfig& cfg,
+                                const InteractionModel& model,
+                                std::uint32_t pkt_bytes, double tx_fraction);
+
+}  // namespace pcieb::model

@@ -1,0 +1,35 @@
+#include "model/latency_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pcie/bandwidth.hpp"
+
+namespace pcieb::model {
+
+double inter_packet_time_ns(double wire_gbps, std::uint32_t frame_bytes) {
+  if (wire_gbps <= 0.0 || frame_bytes == 0) {
+    throw std::invalid_argument("inter_packet_time_ns: invalid arguments");
+  }
+  const double wire_bytes =
+      static_cast<double>(frame_bytes + proto::kEthernetWireOverhead);
+  return wire_bytes * 8.0 / wire_gbps;
+}
+
+unsigned required_inflight_dmas(double dma_latency_ns, double wire_gbps,
+                                std::uint32_t frame_bytes) {
+  const double ipt = inter_packet_time_ns(wire_gbps, frame_bytes);
+  return std::max(1u, static_cast<unsigned>(std::ceil(dma_latency_ns / ipt)));
+}
+
+double cycle_budget_per_dma(double wire_gbps, std::uint32_t frame_bytes,
+                            unsigned engines, double clock_ghz) {
+  if (engines == 0 || clock_ghz <= 0.0) {
+    throw std::invalid_argument("cycle_budget_per_dma: invalid arguments");
+  }
+  const double ipt = inter_packet_time_ns(wire_gbps, frame_bytes);
+  return ipt * static_cast<double>(engines) * clock_ghz;
+}
+
+}  // namespace pcieb::model

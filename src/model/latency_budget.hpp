@@ -1,0 +1,27 @@
+// In-flight DMA budgeting (§2 and §7).
+//
+// At 40 Gb/s line rate a 128 B packet arrives roughly every 30 ns, while a
+// 128 B DMA costs 560–666 ns end to end — so a NIC must keep ≥ 30 DMAs in
+// flight per direction to hide the PCIe latency. These helpers make that
+// calculation a library function.
+#pragma once
+
+#include <cstdint>
+
+namespace pcieb::model {
+
+/// Time between packets on the wire, in nanoseconds (includes the 24 B
+/// per-frame Ethernet overhead; FCS assumed stripped from the DMA size).
+double inter_packet_time_ns(double wire_gbps, std::uint32_t frame_bytes);
+
+/// Minimum concurrent DMAs needed to sustain line rate given per-DMA
+/// latency. Ceil(latency / inter-packet-time), at least 1.
+unsigned required_inflight_dmas(double dma_latency_ns, double wire_gbps,
+                                std::uint32_t frame_bytes);
+
+/// Per-DMA cycle budget at line rate for `engines` parallel DMA engines
+/// running at `clock_ghz`.
+double cycle_budget_per_dma(double wire_gbps, std::uint32_t frame_bytes,
+                            unsigned engines, double clock_ghz);
+
+}  // namespace pcieb::model

@@ -1,0 +1,134 @@
+#include "model/nic_models.hpp"
+
+namespace pcieb::model {
+namespace {
+
+constexpr std::uint32_t kDescriptor = 16;
+constexpr std::uint32_t kPointer = 4;
+
+}  // namespace
+
+ModernNicOptions ModernNicOptions::kernel_defaults() {
+  ModernNicOptions o;
+  o.doorbell_batch = 2;
+  o.irq_moderation = 4;
+  return o;
+}
+
+ModernNicOptions ModernNicOptions::dpdk_defaults() {
+  ModernNicOptions o;
+  o.doorbell_batch = 32;
+  return o;
+}
+
+InteractionModel effective_pcie() {
+  InteractionModel m;
+  m.name = "Effective PCIe BW";
+  m.tx_ops = [](std::uint32_t pkt) {
+    return std::vector<PcieOp>{{OpKind::DmaRead, pkt, 1.0, "tx packet"}};
+  };
+  m.rx_ops = [](std::uint32_t pkt) {
+    return std::vector<PcieOp>{{OpKind::DmaWrite, pkt, 1.0, "rx packet"}};
+  };
+  return m;
+}
+
+InteractionModel simple_nic() {
+  InteractionModel m;
+  m.name = "Simple NIC";
+  // §3: per TX packet the driver writes the TX tail pointer, the device
+  // DMAs the descriptor then the packet, raises an interrupt, and the
+  // driver reads the TX head pointer.
+  m.tx_ops = [](std::uint32_t pkt) {
+    return std::vector<PcieOp>{
+        {OpKind::MmioWrite, kPointer, 1.0, "tx tail pointer"},
+        {OpKind::DmaRead, kDescriptor, 1.0, "tx descriptor"},
+        {OpKind::DmaRead, pkt, 1.0, "tx packet"},
+        {OpKind::DmaWrite, kPointer, 1.0, "tx interrupt"},
+        {OpKind::MmioRead, kPointer, 1.0, "tx head pointer"},
+    };
+  };
+  // Per RX packet: freelist tail pointer write, freelist descriptor fetch,
+  // packet DMA, RX descriptor write-back, interrupt, RX head pointer read.
+  m.rx_ops = [](std::uint32_t pkt) {
+    return std::vector<PcieOp>{
+        {OpKind::MmioWrite, kPointer, 1.0, "rx tail pointer"},
+        {OpKind::DmaRead, kDescriptor, 1.0, "freelist descriptor"},
+        {OpKind::DmaWrite, pkt, 1.0, "rx packet"},
+        {OpKind::DmaWrite, kDescriptor, 1.0, "rx descriptor"},
+        {OpKind::DmaWrite, kPointer, 1.0, "rx interrupt"},
+        {OpKind::MmioRead, kPointer, 1.0, "rx head pointer"},
+    };
+  };
+  return m;
+}
+
+InteractionModel modern_nic_kernel(const ModernNicOptions& opt) {
+  InteractionModel m;
+  m.name = "Modern NIC (kernel driver)";
+  const double batch = opt.desc_batch;
+  const double db = opt.doorbell_batch;
+  const double irq = opt.irq_moderation;
+  const std::uint32_t desc = opt.descriptor_bytes;
+  const std::uint32_t desc_dma = desc * opt.desc_batch;
+  const std::uint32_t txwb_dma = desc * opt.tx_writeback_batch;
+  const std::uint32_t rxwb_dma = desc * opt.rx_writeback_batch;
+  const double txwb = opt.tx_writeback_batch;
+  const double rxwb = opt.rx_writeback_batch;
+  m.tx_ops = [=](std::uint32_t pkt) {
+    return std::vector<PcieOp>{
+        {OpKind::MmioWrite, kPointer, db, "tx tail pointer (batched)"},
+        {OpKind::DmaRead, desc_dma, batch, "tx descriptor batch"},
+        {OpKind::DmaRead, pkt, 1.0, "tx packet"},
+        {OpKind::DmaWrite, txwb_dma, txwb, "tx descriptor write-back"},
+        {OpKind::DmaWrite, kPointer, irq, "tx interrupt (moderated)"},
+        {OpKind::MmioRead, kPointer, irq, "status register read"},
+    };
+  };
+  m.rx_ops = [=](std::uint32_t pkt) {
+    return std::vector<PcieOp>{
+        {OpKind::MmioWrite, kPointer, db, "rx tail pointer (batched)"},
+        {OpKind::DmaRead, desc_dma, batch, "freelist descriptor batch"},
+        {OpKind::DmaWrite, pkt, 1.0, "rx packet"},
+        {OpKind::DmaWrite, rxwb_dma, rxwb, "rx descriptor write-back"},
+        {OpKind::DmaWrite, kPointer, irq, "rx interrupt (moderated)"},
+        {OpKind::MmioRead, kPointer, irq, "status register read"},
+    };
+  };
+  return m;
+}
+
+InteractionModel modern_nic_dpdk(const ModernNicOptions& opt) {
+  InteractionModel m;
+  m.name = "Modern NIC (DPDK driver)";
+  // Same device as the kernel preset, but the poll-mode driver disables
+  // interrupts and never reads device registers: it polls the write-back
+  // descriptors in host memory instead (§3 footnote 6).
+  const double batch = opt.desc_batch;
+  const double db = opt.doorbell_batch;
+  const std::uint32_t desc = opt.descriptor_bytes;
+  const std::uint32_t desc_dma = desc * opt.desc_batch;
+  const std::uint32_t txwb_dma = desc * opt.tx_writeback_batch;
+  const std::uint32_t rxwb_dma = desc * opt.rx_writeback_batch;
+  const double txwb = opt.tx_writeback_batch;
+  const double rxwb = opt.rx_writeback_batch;
+  m.tx_ops = [=](std::uint32_t pkt) {
+    return std::vector<PcieOp>{
+        {OpKind::MmioWrite, kPointer, db, "tx tail pointer (batched)"},
+        {OpKind::DmaRead, desc_dma, batch, "tx descriptor batch"},
+        {OpKind::DmaRead, pkt, 1.0, "tx packet"},
+        {OpKind::DmaWrite, txwb_dma, txwb, "tx descriptor write-back"},
+    };
+  };
+  m.rx_ops = [=](std::uint32_t pkt) {
+    return std::vector<PcieOp>{
+        {OpKind::MmioWrite, kPointer, db, "rx tail pointer (batched)"},
+        {OpKind::DmaRead, desc_dma, batch, "freelist descriptor batch"},
+        {OpKind::DmaWrite, pkt, 1.0, "rx packet"},
+        {OpKind::DmaWrite, rxwb_dma, rxwb, "rx descriptor write-back"},
+    };
+  };
+  return m;
+}
+
+}  // namespace pcieb::model

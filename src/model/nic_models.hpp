@@ -1,0 +1,49 @@
+// The three NIC/driver interaction presets of Figure 1 plus the raw
+// "effective PCIe" reference curve, built on the interaction model.
+//
+//  * simple_nic(): one descriptor DMA per packet, per-packet doorbells,
+//    interrupts and head-pointer reads — the §3 strawman.
+//  * modern_nic_kernel(): Intel Niantic-class optimizations with a stock
+//    kernel driver — batched descriptor fetches and write-backs, moderated
+//    interrupts, per-interrupt register reads.
+//  * modern_nic_dpdk(): same hardware driven by a DPDK-style poll-mode
+//    driver — no interrupts, no device register reads; the driver polls
+//    write-back descriptors in host memory.
+#pragma once
+
+#include <cstdint>
+
+#include "model/interaction.hpp"
+
+namespace pcieb::model {
+
+/// Knobs for the modern-NIC presets; defaults follow the Niantic-style
+/// batching the paper describes (descriptor batches of up to 40, TX
+/// write-back batches of 8, interrupt moderation).
+struct ModernNicOptions {
+  unsigned desc_batch = 32;        ///< Descriptors fetched per DMA read.
+  unsigned tx_writeback_batch = 8; ///< TX descriptors written back per DMA.
+  unsigned rx_writeback_batch = 4; ///< RX descriptors written back per DMA.
+  unsigned doorbell_batch = 8;     ///< Packets per tail-pointer MMIO write.
+  unsigned irq_moderation = 32;    ///< Packets per interrupt (kernel only).
+  unsigned descriptor_bytes = 16;
+
+  /// Kernel drivers ring the doorbell nearly per packet and take an
+  /// interrupt (plus a status register read) every few packets.
+  static ModernNicOptions kernel_defaults();
+  /// Poll-mode drivers batch doorbells per burst; interrupts and register
+  /// reads are gone entirely (irq_moderation is ignored by the preset).
+  static ModernNicOptions dpdk_defaults();
+};
+
+InteractionModel simple_nic();
+InteractionModel modern_nic_kernel(
+    const ModernNicOptions& opt = ModernNicOptions::kernel_defaults());
+InteractionModel modern_nic_dpdk(
+    const ModernNicOptions& opt = ModernNicOptions::dpdk_defaults());
+
+/// The pure packet-data reference: one DMA read (TX) and one DMA write
+/// (RX) per packet and nothing else — "Effective PCIe BW" in Figure 1.
+InteractionModel effective_pcie();
+
+}  // namespace pcieb::model

@@ -1,0 +1,27 @@
+// Ethernet framing constants shared by the NIC substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace pcieb::nic {
+
+constexpr std::uint32_t kMinFrame = 60;    ///< minimum frame, FCS stripped
+constexpr std::uint32_t kMaxFrame = 1514;  ///< standard MTU frame, FCS stripped
+constexpr std::uint32_t kFcsBytes = 4;
+constexpr std::uint32_t kPreambleSfd = 8;
+constexpr std::uint32_t kInterFrameGap = 12;
+
+/// Wire bytes consumed per frame whose DMA size is `frame_bytes`
+/// (FCS stripped before DMA, so wire adds FCS + preamble + IFG = 24 B).
+constexpr std::uint32_t wire_bytes(std::uint32_t frame_bytes) {
+  return frame_bytes + kFcsBytes + kPreambleSfd + kInterFrameGap;
+}
+
+/// Time one frame occupies the wire at `gbps`.
+constexpr Picos wire_time(std::uint32_t frame_bytes, double gbps) {
+  return serialization_ps(wire_bytes(frame_bytes), gbps);
+}
+
+}  // namespace pcieb::nic

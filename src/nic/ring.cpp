@@ -1,0 +1,2 @@
+// DescriptorRing is header-only; this TU pins the header's self-containment.
+#include "nic/ring.hpp"

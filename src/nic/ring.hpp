@@ -1,0 +1,51 @@
+// Descriptor ring bookkeeping, as shared between a NIC and its driver.
+//
+// This models only the occupancy protocol (producer/consumer indices over
+// a fixed number of slots); descriptor *contents* travel over the
+// simulated PCIe link as DMA reads/writes sized by the ring's descriptor
+// size.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace pcieb::nic {
+
+class DescriptorRing {
+ public:
+  DescriptorRing(std::uint32_t slots, std::uint32_t descriptor_bytes)
+      : slots_(slots), descriptor_bytes_(descriptor_bytes) {
+    if (slots == 0) throw std::invalid_argument("DescriptorRing: zero slots");
+  }
+
+  /// Producer (driver on TX / freelist; device on RX completion) posts
+  /// `n` descriptors. Returns how many actually fit.
+  std::uint32_t post(std::uint32_t n) {
+    const std::uint32_t fit = std::min(n, free_slots());
+    tail_ += fit;
+    return fit;
+  }
+
+  /// Consumer takes up to `n` descriptors; returns how many were taken.
+  std::uint32_t consume(std::uint32_t n) {
+    const std::uint32_t take = std::min(n, pending());
+    head_ += take;
+    return take;
+  }
+
+  std::uint32_t pending() const { return tail_ - head_; }
+  std::uint32_t free_slots() const { return slots_ - pending(); }
+  std::uint32_t slots() const { return slots_; }
+  std::uint32_t descriptor_bytes() const { return descriptor_bytes_; }
+  std::uint64_t total_posted() const { return tail_; }
+  std::uint64_t total_consumed() const { return head_; }
+
+ private:
+  std::uint32_t slots_;
+  std::uint32_t descriptor_bytes_;
+  std::uint64_t tail_ = 0;  ///< producer index (monotonic)
+  std::uint64_t head_ = 0;  ///< consumer index (monotonic)
+};
+
+}  // namespace pcieb::nic

@@ -1,0 +1,49 @@
+#include "pcie/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "pcie/packetizer.hpp"
+
+namespace pcieb::proto {
+namespace {
+
+double bytes_per_second(const LinkConfig& cfg) {
+  return cfg.tlp_gbps() * 1e9 / 8.0;
+}
+
+}  // namespace
+
+double effective_write_gbps(const LinkConfig& cfg, std::uint32_t size,
+                            std::uint64_t addr) {
+  const auto b = dma_write_bytes(cfg, addr, size);
+  const double rate = bytes_per_second(cfg) / static_cast<double>(b.upstream);
+  return rate * static_cast<double>(size) * 8.0 / 1e9;
+}
+
+double effective_read_gbps(const LinkConfig& cfg, std::uint32_t size,
+                           std::uint64_t addr) {
+  const auto b = dma_read_bytes(cfg, addr, size);
+  const double cap = bytes_per_second(cfg);
+  const double rate = std::min(cap / static_cast<double>(b.upstream),
+                               cap / static_cast<double>(b.downstream));
+  return rate * static_cast<double>(size) * 8.0 / 1e9;
+}
+
+double effective_rdwr_gbps(const LinkConfig& cfg, std::uint32_t size,
+                           std::uint64_t addr) {
+  const auto wr = dma_write_bytes(cfg, addr, size);
+  const auto rd = dma_read_bytes(cfg, addr, size);
+  const double up = static_cast<double>(wr.upstream + rd.upstream);
+  const double down = static_cast<double>(wr.downstream + rd.downstream);
+  const double cap = bytes_per_second(cfg);
+  const double pair_rate = std::min(cap / up, cap / down);
+  return pair_rate * static_cast<double>(size) * 8.0 / 1e9;
+}
+
+double ethernet_pcie_demand_gbps(double wire_gbps, std::uint32_t frame_bytes) {
+  if (frame_bytes == 0) return 0.0;
+  return wire_gbps * static_cast<double>(frame_bytes) /
+         static_cast<double>(frame_bytes + kEthernetWireOverhead);
+}
+
+}  // namespace pcieb::proto

@@ -1,0 +1,41 @@
+// Closed-form effective bandwidth per the paper's §3 model.
+//
+// All results are payload goodput in Gb/s on a link whose TLP-layer budget
+// is LinkConfig::tlp_gbps() (57.88 Gb/s for the default Gen 3 x8). Byte
+// accounting reuses the packetizer so MPS/MRRS/RCB and 4 KB-crossing rules
+// are applied exactly; addresses default to aligned.
+#pragma once
+
+#include <cstdint>
+
+#include "pcie/link_config.hpp"
+
+namespace pcieb::proto {
+
+/// Goodput of back-to-back DMA writes of `size` bytes.
+double effective_write_gbps(const LinkConfig& cfg, std::uint32_t size,
+                            std::uint64_t addr = 0);
+
+/// Goodput of back-to-back DMA reads of `size` bytes. Reads consume both
+/// directions (MRd requests upstream, CplD downstream); the binding
+/// direction limits the rate.
+double effective_read_gbps(const LinkConfig& cfg, std::uint32_t size,
+                           std::uint64_t addr = 0);
+
+/// Per-direction goodput for a 1:1 alternating read/write mix of equal
+/// sizes — the quantity plotted as "Effective PCIe BW" (Fig 1) and
+/// "Model BW" for BW_RDWR (Fig 4c). Write payload flows upstream while
+/// read payload flows downstream at the same transaction rate, so the
+/// per-direction goodput equals pair_rate * size.
+double effective_rdwr_gbps(const LinkConfig& cfg, std::uint32_t size,
+                           std::uint64_t addr = 0);
+
+/// PCIe payload rate needed to sustain `wire_gbps` of Ethernet with frames
+/// of `frame_bytes` (FCS stripped before DMA): each frame costs an extra
+/// 24 B on the wire (preamble 7, SFD 1, IFG 12, FCS 4).
+double ethernet_pcie_demand_gbps(double wire_gbps, std::uint32_t frame_bytes);
+
+/// Ethernet per-frame wire overhead in bytes (preamble+SFD+IFG+FCS).
+constexpr std::uint32_t kEthernetWireOverhead = 24;
+
+}  // namespace pcieb::proto

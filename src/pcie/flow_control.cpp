@@ -1,0 +1,83 @@
+#include "pcie/flow_control.hpp"
+
+#include <limits>
+
+namespace pcieb::proto {
+
+CreditPool pool_for(TlpType t) {
+  switch (t) {
+    case TlpType::MemWr: return CreditPool::Posted;
+    case TlpType::MemRd: return CreditPool::NonPosted;
+    case TlpType::CplD:
+    case TlpType::Cpl:
+      return CreditPool::Completion;
+  }
+  throw std::invalid_argument("unknown TLP type");
+}
+
+std::uint32_t data_credits(std::uint32_t payload_bytes) {
+  return (payload_bytes + 15u) / 16u;
+}
+
+CreditLimits CreditLimits::infinite_completions() {
+  CreditLimits l;
+  l.completion_hdr = std::numeric_limits<std::uint32_t>::max();
+  l.completion_data = std::numeric_limits<std::uint32_t>::max();
+  return l;
+}
+
+bool CreditLedger::can_send(const Tlp& tlp) const {
+  switch (pool_for(tlp.type)) {
+    case CreditPool::Posted:
+      return posted_hdr_ + 1 <= limits_.posted_hdr &&
+             posted_data_ + data_credits(tlp.payload) <= limits_.posted_data;
+    case CreditPool::NonPosted:
+      return nonposted_hdr_ + 1 <= limits_.nonposted_hdr;
+    case CreditPool::Completion:
+      return completion_hdr_ + 1 <= limits_.completion_hdr &&
+             completion_data_ + data_credits(tlp.payload) <=
+                 limits_.completion_data;
+  }
+  return false;
+}
+
+void CreditLedger::consume(const Tlp& tlp) {
+  if (!can_send(tlp)) {
+    throw std::logic_error("CreditLedger: consume without available credits");
+  }
+  switch (pool_for(tlp.type)) {
+    case CreditPool::Posted:
+      posted_hdr_ += 1;
+      posted_data_ += data_credits(tlp.payload);
+      break;
+    case CreditPool::NonPosted:
+      nonposted_hdr_ += 1;
+      break;
+    case CreditPool::Completion:
+      completion_hdr_ += 1;
+      completion_data_ += data_credits(tlp.payload);
+      break;
+  }
+}
+
+void CreditLedger::release(const Tlp& tlp) {
+  auto take = [](std::uint32_t& v, std::uint32_t amount) {
+    if (v < amount) throw std::logic_error("CreditLedger: release underflow");
+    v -= amount;
+  };
+  switch (pool_for(tlp.type)) {
+    case CreditPool::Posted:
+      take(posted_hdr_, 1);
+      take(posted_data_, data_credits(tlp.payload));
+      break;
+    case CreditPool::NonPosted:
+      take(nonposted_hdr_, 1);
+      break;
+    case CreditPool::Completion:
+      take(completion_hdr_, 1);
+      take(completion_data_, data_credits(tlp.payload));
+      break;
+  }
+}
+
+}  // namespace pcieb::proto

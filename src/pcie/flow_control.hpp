@@ -1,0 +1,66 @@
+// Credit-based flow control accounting.
+//
+// PCIe receivers advertise credits per traffic class: header credits (one
+// per TLP) and data credits (one per 16 B of payload) for each of the
+// Posted, Non-Posted and Completion pools. A transmitter may only emit a
+// TLP when the matching pool has room; credits return when the receiver
+// drains its buffers. The simulator uses this to bound the number of
+// unacknowledged TLPs in flight on a link.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "pcie/tlp.hpp"
+
+namespace pcieb::proto {
+
+enum class CreditPool : std::uint8_t { Posted, NonPosted, Completion };
+
+/// Which pool a TLP consumes from.
+CreditPool pool_for(TlpType t);
+
+/// Data credits required for a payload (1 credit per 16 B, rounded up).
+std::uint32_t data_credits(std::uint32_t payload_bytes);
+
+struct CreditLimits {
+  std::uint32_t posted_hdr = 64;
+  std::uint32_t posted_data = 1024;      // 16 KB of posted payload
+  std::uint32_t nonposted_hdr = 64;
+  std::uint32_t completion_hdr = 64;
+  std::uint32_t completion_data = 1024;  // 16 KB of completion payload
+
+  /// "Infinite" completion credits, the common root-complex advertisement.
+  static CreditLimits infinite_completions();
+};
+
+class CreditLedger {
+ public:
+  explicit CreditLedger(const CreditLimits& limits) : limits_(limits) {}
+
+  /// True if the TLP fits in the advertised window right now.
+  bool can_send(const Tlp& tlp) const;
+
+  /// Consume credits for a TLP; throws std::logic_error if violated
+  /// (callers must gate on can_send).
+  void consume(const Tlp& tlp);
+
+  /// Return credits when the receiver drains the TLP.
+  void release(const Tlp& tlp);
+
+  std::uint32_t posted_hdr_in_use() const { return posted_hdr_; }
+  std::uint32_t posted_data_in_use() const { return posted_data_; }
+  std::uint32_t nonposted_hdr_in_use() const { return nonposted_hdr_; }
+  std::uint32_t completion_hdr_in_use() const { return completion_hdr_; }
+  std::uint32_t completion_data_in_use() const { return completion_data_; }
+
+ private:
+  CreditLimits limits_;
+  std::uint32_t posted_hdr_ = 0;
+  std::uint32_t posted_data_ = 0;
+  std::uint32_t nonposted_hdr_ = 0;
+  std::uint32_t completion_hdr_ = 0;
+  std::uint32_t completion_data_ = 0;
+};
+
+}  // namespace pcieb::proto

@@ -1,0 +1,76 @@
+#include "pcie/link_config.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcieb::proto {
+
+double per_lane_gts(Generation gen) {
+  switch (gen) {
+    case Generation::Gen1: return 2.5;
+    case Generation::Gen2: return 5.0;
+    case Generation::Gen3: return 8.0;
+    case Generation::Gen4: return 16.0;
+    case Generation::Gen5: return 32.0;
+  }
+  throw std::invalid_argument("unknown PCIe generation");
+}
+
+double encoding_efficiency(Generation gen) {
+  switch (gen) {
+    case Generation::Gen1:
+    case Generation::Gen2:
+      return 8.0 / 10.0;
+    case Generation::Gen3:
+    case Generation::Gen4:
+    case Generation::Gen5:
+      return 128.0 / 130.0;
+  }
+  throw std::invalid_argument("unknown PCIe generation");
+}
+
+double per_lane_gbps(Generation gen) {
+  return per_lane_gts(gen) * encoding_efficiency(gen);
+}
+
+double LinkConfig::raw_gbps() const {
+  return per_lane_gbps(gen) * static_cast<double>(lanes);
+}
+
+double LinkConfig::tlp_gbps() const {
+  return raw_gbps() * (1.0 - dllp_overhead);
+}
+
+void LinkConfig::validate() const {
+  auto pow2_in = [](unsigned v, unsigned lo, unsigned hi) {
+    return std::has_single_bit(v) && v >= lo && v <= hi;
+  };
+  if (lanes == 0 || lanes > 32 || !std::has_single_bit(lanes)) {
+    throw std::invalid_argument("LinkConfig: lanes must be 1/2/4/8/16/32");
+  }
+  if (!pow2_in(mps, 128, 4096)) {
+    throw std::invalid_argument("LinkConfig: MPS must be 128..4096, power of 2");
+  }
+  if (!pow2_in(mrrs, 128, 4096)) {
+    throw std::invalid_argument("LinkConfig: MRRS must be 128..4096, power of 2");
+  }
+  if (rcb != 64 && rcb != 128) {
+    throw std::invalid_argument("LinkConfig: RCB must be 64 or 128");
+  }
+  if (dllp_overhead < 0.0 || dllp_overhead >= 1.0) {
+    throw std::invalid_argument("LinkConfig: dllp_overhead must be in [0, 1)");
+  }
+}
+
+std::string LinkConfig::describe() const {
+  std::ostringstream os;
+  os << "PCIe Gen " << static_cast<int>(gen) << " x" << lanes
+     << " (raw " << raw_gbps() << " Gb/s, TLP " << tlp_gbps()
+     << " Gb/s, MPS " << mps << ", MRRS " << mrrs << ", RCB " << rcb << ")";
+  return os.str();
+}
+
+LinkConfig gen3_x8() { return LinkConfig{}; }
+
+}  // namespace pcieb::proto

@@ -1,0 +1,60 @@
+// PCIe link parameters: generation, width, and the negotiated transaction
+// layer attributes (MPS, MRRS, RCB, addressing) that drive all byte
+// accounting in the model and simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcieb::proto {
+
+enum class Generation : std::uint8_t { Gen1 = 1, Gen2, Gen3, Gen4, Gen5 };
+
+/// Transfer rate of one lane in GT/s.
+double per_lane_gts(Generation gen);
+
+/// Line-coding efficiency (8b/10b for Gen1/2, 128b/130b from Gen3).
+double encoding_efficiency(Generation gen);
+
+/// Payload-carrying rate of one lane in Gb/s after line coding.
+double per_lane_gbps(Generation gen);
+
+struct LinkConfig {
+  Generation gen = Generation::Gen3;
+  unsigned lanes = 8;
+
+  /// Maximum Payload Size: largest data payload in one TLP (bytes).
+  unsigned mps = 256;
+  /// Maximum Read Request Size: largest read request (bytes).
+  unsigned mrrs = 512;
+  /// Read Completion Boundary: completions are cut at these boundaries.
+  unsigned rcb = 64;
+
+  /// 64-bit addressing grows MRd/MWr headers from 8 B to 12 B.
+  bool addr64 = true;
+  /// Optional end-to-end CRC digest (4 B per TLP).
+  bool ecrc = false;
+
+  /// Fraction of raw link bandwidth consumed by DLLPs (flow control
+  /// updates, ACK/NAK). The PCIe specification's recommended values yield
+  /// roughly 8 % for Gen 3 x8 — this default reproduces the paper's
+  /// 57.88 Gb/s TLP-layer budget on a 62.96 Gb/s physical link.
+  double dllp_overhead = 0.0809;
+
+  /// Raw physical-layer bandwidth in Gb/s (after line coding).
+  double raw_gbps() const;
+  /// Bandwidth available to TLPs in Gb/s (after DLLP traffic).
+  double tlp_gbps() const;
+
+  /// Throws std::invalid_argument on nonsensical values (MPS/MRRS not
+  /// powers of two in [128, 4096], RCB not 64/128, zero lanes...).
+  void validate() const;
+
+  std::string describe() const;
+};
+
+/// The configuration used throughout the paper: Gen 3 x8, MPS 256,
+/// MRRS 512, 64-bit addressing.
+LinkConfig gen3_x8();
+
+}  // namespace pcieb::proto

@@ -1,0 +1,117 @@
+#include "pcie/packetizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcieb::proto {
+namespace {
+
+constexpr std::uint64_t k4K = 4096;
+
+std::uint32_t bytes_to_boundary(std::uint64_t addr, std::uint64_t boundary) {
+  return static_cast<std::uint32_t>(boundary - (addr % boundary));
+}
+
+void check_len(std::uint32_t len) {
+  if (len == 0) throw std::invalid_argument("packetizer: zero-length DMA");
+}
+
+}  // namespace
+
+std::vector<Tlp> segment_write(const LinkConfig& cfg, std::uint64_t addr,
+                               std::uint32_t len) {
+  check_len(len);
+  std::vector<Tlp> out;
+  std::uint32_t tag = 0;
+  while (len > 0) {
+    std::uint32_t chunk = std::min<std::uint32_t>(len, cfg.mps);
+    chunk = std::min(chunk, bytes_to_boundary(addr, k4K));
+    out.push_back(Tlp{TlpType::MemWr, addr, chunk, 0, tag++});
+    addr += chunk;
+    len -= chunk;
+  }
+  return out;
+}
+
+std::vector<Tlp> segment_read_requests(const LinkConfig& cfg,
+                                       std::uint64_t addr, std::uint32_t len) {
+  check_len(len);
+  std::vector<Tlp> out;
+  std::uint32_t tag = 0;
+  while (len > 0) {
+    std::uint32_t chunk = std::min<std::uint32_t>(len, cfg.mrrs);
+    chunk = std::min(chunk, bytes_to_boundary(addr, k4K));
+    out.push_back(Tlp{TlpType::MemRd, addr, 0, chunk, tag++});
+    addr += chunk;
+    len -= chunk;
+  }
+  return out;
+}
+
+std::vector<Tlp> segment_completions(const LinkConfig& cfg, std::uint64_t addr,
+                                     std::uint32_t len) {
+  check_len(len);
+  std::vector<Tlp> out;
+  std::uint32_t tag = 0;
+  // An RCB-unaligned first completion must end at the next RCB boundary;
+  // aligned ones may carry a full MPS. Subsequent completions carry up to
+  // MPS bytes each (MPS is a multiple of RCB, so they stay RCB-cut).
+  const std::uint32_t first =
+      addr % cfg.rcb != 0
+          ? std::min<std::uint32_t>(len, bytes_to_boundary(addr, cfg.rcb))
+          : std::min<std::uint32_t>(len, cfg.mps);
+  out.push_back(Tlp{TlpType::CplD, addr, first, 0, tag});
+  addr += first;
+  len -= first;
+  while (len > 0) {
+    std::uint32_t chunk = std::min<std::uint32_t>(len, cfg.mps);
+    out.push_back(Tlp{TlpType::CplD, addr, chunk, 0, tag});
+    addr += chunk;
+    len -= chunk;
+  }
+  return out;
+}
+
+DirectionBytes dma_write_bytes(const LinkConfig& cfg, std::uint64_t addr,
+                               std::uint32_t len) {
+  DirectionBytes b;
+  for (const auto& tlp : segment_write(cfg, addr, len)) {
+    b.upstream += tlp.wire_bytes(cfg);
+  }
+  return b;
+}
+
+DirectionBytes dma_read_bytes(const LinkConfig& cfg, std::uint64_t addr,
+                              std::uint32_t len) {
+  DirectionBytes b;
+  for (const auto& req : segment_read_requests(cfg, addr, len)) {
+    b.upstream += req.wire_bytes(cfg);
+    for (const auto& cpl : segment_completions(cfg, req.addr, req.read_len)) {
+      b.downstream += cpl.wire_bytes(cfg);
+    }
+  }
+  return b;
+}
+
+DirectionBytes mmio_write_bytes(const LinkConfig& cfg, std::uint32_t len) {
+  check_len(len);
+  DirectionBytes b;
+  for (const auto& tlp : segment_write(cfg, 0, len)) {
+    b.downstream += tlp.wire_bytes(cfg);
+  }
+  return b;
+}
+
+DirectionBytes mmio_read_bytes(const LinkConfig& cfg, std::uint32_t len) {
+  check_len(len);
+  DirectionBytes b;
+  for (const auto& req : segment_read_requests(cfg, 0, len)) {
+    b.downstream += req.wire_bytes(cfg);
+    for (const auto& cpl : segment_completions(cfg, req.addr, req.read_len)) {
+      b.upstream += cpl.wire_bytes(cfg);
+    }
+  }
+  return b;
+}
+
+}  // namespace pcieb::proto

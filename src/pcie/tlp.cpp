@@ -1,0 +1,44 @@
+#include "pcie/tlp.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pcieb::proto {
+
+const char* to_string(TlpType t) {
+  switch (t) {
+    case TlpType::MemRd: return "MRd";
+    case TlpType::MemWr: return "MWr";
+    case TlpType::CplD: return "CplD";
+    case TlpType::Cpl: return "Cpl";
+  }
+  return "?";
+}
+
+unsigned type_header_bytes(TlpType t, bool addr64) {
+  switch (t) {
+    case TlpType::MemRd:
+    case TlpType::MemWr:
+      return addr64 ? 12u : 8u;
+    case TlpType::CplD:
+    case TlpType::Cpl:
+      return 8u;
+  }
+  throw std::invalid_argument("unknown TLP type");
+}
+
+unsigned overhead_bytes(TlpType t, const LinkConfig& cfg) {
+  unsigned bytes = kFramingBytes + kDllHeaderBytes + kTlpCommonHeaderBytes +
+                   type_header_bytes(t, cfg.addr64);
+  if (cfg.ecrc) bytes += kEcrcBytes;
+  return bytes;
+}
+
+std::string Tlp::describe() const {
+  std::ostringstream os;
+  os << to_string(type) << " addr=0x" << std::hex << addr << std::dec
+     << " payload=" << payload << " read_len=" << read_len << " tag=" << tag;
+  return os.str();
+}
+
+}  // namespace pcieb::proto

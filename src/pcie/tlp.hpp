@@ -1,0 +1,53 @@
+// Transaction Layer Packet byte accounting.
+//
+// Wire layout per TLP (PCIe Base Spec 3.1, matching §3 of the paper):
+//   2 B physical framing + 6 B DLL header + 4 B TLP common header
+//   + type-specific header (12 B MRd/MWr with 64-bit addressing, 8 B with
+//   32-bit; 8 B completions) + payload + optional 4 B ECRC digest.
+// That puts MWr/MRd overhead at 24 B and CplD overhead at 20 B per TLP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pcie/link_config.hpp"
+
+namespace pcieb::proto {
+
+enum class TlpType : std::uint8_t {
+  MemRd,  ///< Memory read request (no payload).
+  MemWr,  ///< Posted memory write (carries payload).
+  CplD,   ///< Completion with data.
+  Cpl,    ///< Completion without data (e.g. zero-length read flush).
+};
+
+const char* to_string(TlpType t);
+
+constexpr unsigned kFramingBytes = 2;
+constexpr unsigned kDllHeaderBytes = 6;
+constexpr unsigned kTlpCommonHeaderBytes = 4;
+constexpr unsigned kEcrcBytes = 4;
+
+/// Type-specific header size (excludes the 4 B common header).
+unsigned type_header_bytes(TlpType t, bool addr64);
+
+/// All per-TLP overhead bytes: framing + DLL + common + type header
+/// (+ digest if enabled). MWr/MRd with 64-bit addressing: 24 B; CplD: 20 B.
+unsigned overhead_bytes(TlpType t, const LinkConfig& cfg);
+
+struct Tlp {
+  TlpType type = TlpType::MemWr;
+  std::uint64_t addr = 0;      ///< Target address (MRd/MWr) or 0.
+  std::uint32_t payload = 0;   ///< Data bytes carried (MWr/CplD).
+  std::uint32_t read_len = 0;  ///< Bytes requested (MRd only).
+  std::uint32_t tag = 0;       ///< Transaction tag for request/completion matching.
+
+  /// Total bytes this TLP occupies on the link.
+  unsigned wire_bytes(const LinkConfig& cfg) const {
+    return overhead_bytes(type, cfg) + payload;
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace pcieb::proto

@@ -1,0 +1,125 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace pcieb::sim {
+
+LastLevelCache::LastLevelCache(const CacheConfig& cfg)
+    : cfg_(cfg), num_sets_(cfg.sets()) {
+  if (cfg_.ways == 0 || cfg_.line_bytes == 0 || num_sets_ == 0) {
+    throw std::invalid_argument("CacheConfig: zero-sized structure");
+  }
+  if (cfg_.ddio_ways == 0 || cfg_.ddio_ways > cfg_.ways) {
+    throw std::invalid_argument("CacheConfig: ddio_ways must be in [1, ways]");
+  }
+  if (!std::has_single_bit(static_cast<std::uint64_t>(cfg_.line_bytes))) {
+    throw std::invalid_argument("CacheConfig: line size must be a power of 2");
+  }
+  lines_.resize(num_sets_ * cfg_.ways);
+}
+
+std::uint64_t LastLevelCache::set_index(std::uint64_t addr) const {
+  return (addr / cfg_.line_bytes) % num_sets_;
+}
+
+std::uint64_t LastLevelCache::tag_of(std::uint64_t addr) const {
+  return (addr / cfg_.line_bytes) / num_sets_;
+}
+
+LastLevelCache::Line* LastLevelCache::find(std::uint64_t addr) {
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set_index(addr) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const LastLevelCache::Line* LastLevelCache::find(std::uint64_t addr) const {
+  return const_cast<LastLevelCache*>(this)->find(addr);
+}
+
+bool LastLevelCache::read_probe(std::uint64_t addr) {
+  if (Line* line = find(addr)) {
+    line->lru = ++lru_clock_;
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+LastLevelCache::WriteOutcome LastLevelCache::write_allocate(std::uint64_t addr) {
+  if (Line* line = find(addr)) {
+    line->lru = ++lru_clock_;
+    line->dirty = true;
+    ++hits_;
+    return WriteOutcome::HitUpdate;
+  }
+  ++misses_;
+  // Allocate within the DDIO quota: LRU among the first ddio_ways ways.
+  Line* base = &lines_[set_index(addr) * cfg_.ways];
+  Line* victim = &base[0];
+  for (unsigned w = 1; w < cfg_.ddio_ways; ++w) {
+    if (!base[w].valid) { victim = &base[w]; break; }
+    if (!victim->valid) break;
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  const bool was_dirty = victim->valid && victim->dirty;
+  if (was_dirty) ++dirty_evictions_;
+  victim->valid = true;
+  victim->dirty = true;
+  victim->tag = tag_of(addr);
+  victim->lru = ++lru_clock_;
+  return was_dirty ? WriteOutcome::AllocatedDirty : WriteOutcome::AllocatedClean;
+}
+
+void LastLevelCache::host_touch(std::uint64_t addr, bool dirty) {
+  if (Line* line = find(addr)) {
+    line->lru = ++lru_clock_;
+    line->dirty = line->dirty || dirty;
+    return;
+  }
+  Line* base = &lines_[set_index(addr) * cfg_.ways];
+  Line* victim = &base[0];
+  for (unsigned w = 1; w < cfg_.ways; ++w) {
+    if (!base[w].valid) { victim = &base[w]; break; }
+    if (!victim->valid) break;
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid && victim->dirty) ++dirty_evictions_;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->tag = tag_of(addr);
+  victim->lru = ++lru_clock_;
+}
+
+void LastLevelCache::thrash() {
+  // Clean foreign lines everywhere: tags that no benchmark buffer address
+  // maps to (top bit set), so every subsequent probe misses.
+  for (std::uint64_t s = 0; s < num_sets_; ++s) {
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+      Line& line = lines_[s * cfg_.ways + w];
+      line.valid = true;
+      line.dirty = false;
+      line.tag = (std::uint64_t{1} << 63) | w;
+      line.lru = ++lru_clock_;
+    }
+  }
+}
+
+void LastLevelCache::clear() {
+  for (auto& line : lines_) line = Line{};
+}
+
+void LastLevelCache::reset_stats() {
+  hits_ = misses_ = dirty_evictions_ = 0;
+}
+
+bool LastLevelCache::contains(std::uint64_t addr) const {
+  return find(addr) != nullptr;
+}
+
+}  // namespace pcieb::sim

@@ -1,0 +1,89 @@
+// Last-level cache with a DDIO allocation quota.
+//
+// A real set-associative tag array (64 B lines, LRU within each set). Two
+// write paths exist, matching Intel Data Direct I/O:
+//  * host_touch()    — the host CPU warming lines; may allocate any way.
+//  * write_allocate()— inbound DMA writes; may only allocate into the
+//    first `ddio_ways` ways of a set (10 % of the LLC by default), though
+//    they update a line in place wherever it already resides.
+// DMA reads probe the whole cache (read_probe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pcieb::sim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 15 * (1ull << 20);
+  unsigned ways = 20;
+  unsigned line_bytes = 64;
+  unsigned ddio_ways = 2;  ///< ways DMA writes may allocate into (~10 %).
+
+  std::uint64_t sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
+  }
+};
+
+class LastLevelCache {
+ public:
+  enum class WriteOutcome {
+    HitUpdate,        ///< line already resident, updated in place
+    AllocatedClean,   ///< allocated; victim was clean or empty
+    AllocatedDirty,   ///< allocated; a dirty victim had to be flushed first
+  };
+
+  explicit LastLevelCache(const CacheConfig& cfg);
+
+  /// DMA read probe: true on hit (refreshes LRU).
+  bool read_probe(std::uint64_t addr);
+
+  /// Inbound DMA write (DDIO). Marks the line dirty.
+  WriteOutcome write_allocate(std::uint64_t addr);
+
+  /// Host warms a line (may use any way).
+  void host_touch(std::uint64_t addr, bool dirty);
+
+  /// Fill the whole cache with clean foreign lines, evicting everything —
+  /// the pcie-bench "thrash the cache" step.
+  void thrash();
+
+  /// Drop all contents (power-on state).
+  void clear();
+
+  const CacheConfig& config() const { return cfg_; }
+
+  // Statistics since construction or reset_stats().
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t dirty_evictions() const { return dirty_evictions_; }
+  void reset_stats();
+
+  /// True if the line holding addr is resident (no LRU update) — test hook.
+  bool contains(std::uint64_t addr) const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+  Line* find(std::uint64_t addr);
+  const Line* find(std::uint64_t addr) const;
+
+  CacheConfig cfg_;
+  std::uint64_t num_sets_;
+  std::vector<Line> lines_;  ///< num_sets_ * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t dirty_evictions_ = 0;
+};
+
+}  // namespace pcieb::sim

@@ -1,0 +1,191 @@
+#include "sim/device.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pcieb::sim {
+
+DeviceProfile DeviceProfile::nfp6000() {
+  DeviceProfile p;
+  p.name = "NFP6000";
+  p.dma_enqueue = from_nanos(100);
+  p.issue_interval = from_nanos(13);
+  p.read_tags = 22;
+  p.completion_fixed = from_nanos(25);
+  p.staging_gbps = 64.0;  // 8 GB/s CTM <-> internal memory path
+  p.staging_base = from_nanos(20);
+  p.cmd_if_max_bytes = 128;
+  p.cmd_if_overhead = from_nanos(10);
+  p.timestamp_resolution = from_nanos(19.2);
+  return p;
+}
+
+DeviceProfile DeviceProfile::netfpga_sume() {
+  DeviceProfile p;
+  p.name = "NetFPGA-SUME";
+  p.dma_enqueue = 0;
+  p.issue_interval = from_nanos(4);  // one request per 250 MHz cycle
+  p.read_tags = 22;
+  p.completion_fixed = from_nanos(20);
+  p.staging_gbps = 0.0;
+  p.staging_base = 0;
+  p.cmd_if_max_bytes = 0;
+  p.timestamp_resolution = from_nanos(4);
+  return p;
+}
+
+Picos DeviceProfile::staging_delay(std::uint32_t len) const {
+  if (staging_gbps <= 0.0) return 0;
+  return staging_base + serialization_ps(len, staging_gbps);
+}
+
+DmaDevice::DmaDevice(Simulator& sim, const DeviceProfile& profile,
+                     const proto::LinkConfig& link_cfg, Link& upstream)
+    : sim_(sim),
+      profile_(profile),
+      link_cfg_(link_cfg),
+      upstream_(upstream),
+      read_issue_(sim),
+      write_issue_(sim),
+      read_tags_(sim, profile.read_tags),
+      posted_credits_(profile.posted_credit_bytes) {}
+
+void DmaDevice::dma_read(std::uint64_t addr, std::uint32_t len, Callback done,
+                         bool use_cmd_if) {
+  if (len == 0) throw std::invalid_argument("dma_read: zero length");
+  if (use_cmd_if &&
+      (profile_.cmd_if_max_bytes == 0 || len > profile_.cmd_if_max_bytes)) {
+    throw std::invalid_argument("dma_read: command interface unavailable");
+  }
+  const std::uint32_t dma_id = next_dma_id_++;
+  const auto reqs = proto::segment_read_requests(link_cfg_, addr, len);
+  read_ops_[dma_id] = DmaReadOp{static_cast<std::uint32_t>(reqs.size()),
+                                use_cmd_if ? 0 : len, std::move(done)};
+  const Picos front_delay =
+      use_cmd_if ? profile_.cmd_if_overhead : profile_.dma_enqueue;
+  sim_.after(front_delay,
+             [this, addr, len, dma_id] { issue_read_requests(addr, len, dma_id); });
+}
+
+void DmaDevice::issue_read_requests(std::uint64_t addr, std::uint32_t len,
+                                    std::uint32_t dma_id) {
+  for (auto req : proto::segment_read_requests(link_cfg_, addr, len)) {
+    read_tags_.acquire([this, req, dma_id]() mutable {
+      const std::uint32_t tag = next_tag_++;
+      req.tag = tag;
+      inflight_reads_[tag] = ReadState{req.read_len, dma_id};
+      read_issue_.occupy(profile_.issue_interval,
+                         [this, req] { upstream_.send(req); });
+    });
+  }
+}
+
+void DmaDevice::on_downstream(const proto::Tlp& tlp) {
+  if (tlp.type == proto::TlpType::MemWr) {
+    // Host MMIO write (doorbell / register update): posted, absorbed here.
+    ++doorbells_;
+    if (mmio_handler_) mmio_handler_(tlp, /*is_write=*/true);
+    return;
+  }
+  if (tlp.type == proto::TlpType::MemRd) {
+    // Host MMIO register read: answer with a completion after the BAR
+    // access latency, echoing the requester's tag.
+    ++mmio_reads_served_;
+    if (mmio_handler_) mmio_handler_(tlp, /*is_write=*/false);
+    proto::Tlp cpl{proto::TlpType::CplD, tlp.addr, tlp.read_len, 0, tlp.tag};
+    sim_.after(profile_.mmio_read_latency,
+               [this, cpl] { upstream_.send(cpl); });
+    return;
+  }
+  auto it = inflight_reads_.find(tlp.tag);
+  if (it == inflight_reads_.end()) {
+    throw std::logic_error("DmaDevice: completion for unknown tag");
+  }
+  ReadState& state = it->second;
+  if (tlp.payload > state.remaining) {
+    throw std::logic_error("DmaDevice: completion overruns request");
+  }
+  state.remaining -= tlp.payload;
+  if (state.remaining > 0) return;
+
+  const std::uint32_t dma_id = state.dma_id;
+  inflight_reads_.erase(it);
+  read_tags_.release();
+
+  auto op_it = read_ops_.find(dma_id);
+  if (op_it == read_ops_.end()) {
+    throw std::logic_error("DmaDevice: completion for unknown DMA op");
+  }
+  DmaReadOp& op = op_it->second;
+  if (--op.requests_left > 0) return;
+
+  // Whole DMA satisfied: device-side completion handling plus the staging
+  // hop (skipped on the direct command interface, where total_len is 0).
+  const Picos tail = profile_.completion_fixed +
+                     (op.total_len ? profile_.staging_delay(op.total_len) : 0);
+  Callback done = std::move(op.done);
+  read_ops_.erase(op_it);
+  ++reads_completed_;
+  if (done) {
+    sim_.after(tail, std::move(done));
+  }
+}
+
+void DmaDevice::dma_write(std::uint64_t addr, std::uint32_t len, Callback done,
+                          bool use_cmd_if) {
+  if (len == 0) throw std::invalid_argument("dma_write: zero length");
+  if (use_cmd_if &&
+      (profile_.cmd_if_max_bytes == 0 || len > profile_.cmd_if_max_bytes)) {
+    throw std::invalid_argument("dma_write: command interface unavailable");
+  }
+  Picos front_delay;
+  if (use_cmd_if) {
+    front_delay = profile_.cmd_if_overhead;
+  } else {
+    // Writes stage data into the PCIe-adjacent SRAM before the engine can
+    // emit TLPs (NFP internal architecture; zero-cost on NetFPGA).
+    front_delay = profile_.dma_enqueue + profile_.staging_delay(len);
+  }
+  sim_.after(front_delay, [this, addr, len, done = std::move(done)]() mutable {
+    send_write_tlps(addr, len, std::move(done));
+  });
+}
+
+void DmaDevice::send_write_tlps(std::uint64_t addr, std::uint32_t len,
+                                Callback done) {
+  auto tlps = proto::segment_write(link_cfg_, addr, len);
+  for (std::size_t i = 0; i < tlps.size(); ++i) {
+    const bool last = (i + 1 == tlps.size());
+    pending_writes_.push_back(
+        PendingWrite{tlps[i], last ? std::move(done) : Callback{}});
+  }
+  try_send_pending_writes();
+}
+
+void DmaDevice::try_send_pending_writes() {
+  while (!pending_writes_.empty()) {
+    PendingWrite& pw = pending_writes_.front();
+    const std::int64_t cost = pw.tlp.payload;
+    if (posted_credits_ < cost) return;  // wait for grant_posted_credits
+    posted_credits_ -= cost;
+    proto::Tlp tlp = pw.tlp;
+    Callback done = std::move(pw.done);
+    pending_writes_.pop_front();
+    ++writes_sent_;
+    write_issue_.occupy(profile_.issue_interval,
+                        [this, tlp, done = std::move(done)] {
+                          upstream_.send(tlp);
+                          if (done) done();
+                        });
+  }
+}
+
+void DmaDevice::grant_posted_credits(std::uint32_t payload_bytes) {
+  posted_credits_ += payload_bytes;
+  if (posted_credits_ > static_cast<std::int64_t>(profile_.posted_credit_bytes)) {
+    throw std::logic_error("DmaDevice: credit overflow");
+  }
+  try_send_pending_writes();
+}
+
+}  // namespace pcieb::sim

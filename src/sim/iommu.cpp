@@ -1,0 +1,67 @@
+#include "sim/iommu.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pcieb::sim {
+
+Iommu::Iommu(Simulator& sim, const IommuConfig& cfg)
+    : sim_(sim), cfg_(cfg), walkers_(sim, cfg.walkers) {
+  if (cfg_.enabled) {
+    if (cfg_.tlb_entries == 0 || cfg_.walkers == 0 || cfg_.page_bytes == 0) {
+      throw std::invalid_argument("IommuConfig: zero-sized structure");
+    }
+  }
+}
+
+bool Iommu::tlb_lookup(std::uint64_t page) {
+  auto it = tlb_.find(page);
+  if (it == tlb_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void Iommu::tlb_insert(std::uint64_t page) {
+  if (tlb_.contains(page)) return;  // a concurrent walk already filled it
+  if (tlb_.size() >= cfg_.tlb_entries) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    tlb_.erase(victim);
+  }
+  lru_.push_front(page);
+  tlb_[page] = lru_.begin();
+}
+
+void Iommu::translate(std::uint64_t addr, bool is_write, Callback done) {
+  if (!cfg_.enabled) {
+    done();
+    return;
+  }
+  const std::uint64_t page = addr / cfg_.page_bytes;
+  if (tlb_lookup(page)) {
+    ++hits_;
+    done();
+    return;
+  }
+  ++misses_;
+  const Picos occupancy =
+      is_write ? cfg_.walk_occupancy_write : cfg_.walk_occupancy_read;
+  const Picos latency = cfg_.walk_latency;
+  walkers_.acquire([this, page, occupancy, latency, done = std::move(done)]() mutable {
+    // The walker is busy for `occupancy`; the requester additionally waits
+    // the full walk latency (occupancy <= latency).
+    const Picos start = sim_.now();
+    sim_.after(occupancy, [this] { walkers_.release(); });
+    sim_.at(start + latency, [this, page, done = std::move(done)] {
+      tlb_insert(page);
+      done();
+    });
+  });
+}
+
+void Iommu::flush_tlb() {
+  tlb_.clear();
+  lru_.clear();
+}
+
+}  // namespace pcieb::sim

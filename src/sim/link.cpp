@@ -1,0 +1,36 @@
+#include "sim/link.hpp"
+
+#include <stdexcept>
+
+namespace pcieb::sim {
+
+Picos Link::send(const proto::Tlp& tlp) {
+  const unsigned wire_bytes = tlp.wire_bytes(cfg_);
+  ++tlps_;
+  bytes_ += wire_bytes;
+  payload_bytes_ += tlp.payload;
+  const Picos ser = serialization_ps(wire_bytes, cfg_.tlp_gbps());
+
+  // DLL error injection: a corrupted TLP occupies the wire, is NAKed, and
+  // is replayed after the ack-timeout penalty. Replays happen before any
+  // later TLP is accepted (the DLL retry buffer preserves order), so the
+  // wasted attempt plus the timeout gap simply extend the wire occupancy.
+  if (faults_.replay_probability > 0.0 &&
+      rng_.uniform() < faults_.replay_probability) {
+    ++replays_;
+    bytes_ += wire_bytes;
+    wire_.occupy(ser + faults_.replay_penalty);
+  }
+
+  proto::Tlp copy = tlp;
+  const Picos done = wire_.occupy(ser, [this, copy] {
+    if (deliver_) {
+      // Deliver after the propagation delay; Link::send callers rely on
+      // in-order delivery, which holds because propagation is constant.
+      sim_.after(propagation_, [this, copy] { deliver_(copy); });
+    }
+  });
+  return done + propagation_;
+}
+
+}  // namespace pcieb::sim

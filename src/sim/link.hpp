@@ -1,0 +1,72 @@
+// One direction of a PCIe link as a serializing resource.
+//
+// Each TLP occupies the wire for wire_bytes at the TLP-layer rate (the raw
+// rate derated by DLLP traffic — see LinkConfig::tlp_gbps), then arrives
+// at the far end after a fixed propagation/PHY-pipeline delay. Delivery is
+// in order, matching PCIe's per-VC ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "pcie/link_config.hpp"
+#include "pcie/tlp.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcieb::sim {
+
+/// Data-link-layer error injection: with the given per-TLP probability a
+/// TLP fails its LCRC check, the receiver NAKs it, and the transmitter
+/// replays it after the ack-timeout penalty — consuming the wire twice.
+/// Models the DLL recovery the paper's §3 mentions but clean testbeds
+/// never exercise.
+struct LinkFaultModel {
+  double replay_probability = 0.0;
+  Picos replay_penalty = from_nanos(250);
+  std::uint64_t seed = 0x11ce;
+};
+
+class Link {
+ public:
+  using Deliver = std::function<void(const proto::Tlp&)>;
+
+  Link(Simulator& sim, const proto::LinkConfig& cfg, Picos propagation,
+       const LinkFaultModel& faults = {})
+      : sim_(sim), cfg_(cfg), wire_(sim), propagation_(propagation),
+        faults_(faults), rng_(faults.seed) {}
+
+  void set_deliver(Deliver d) { deliver_ = std::move(d); }
+
+  /// Queue a TLP for transmission. Serialization starts when the wire is
+  /// free; the receiver's deliver callback fires at
+  /// serialization-complete + propagation. Returns the delivery time.
+  Picos send(const proto::Tlp& tlp);
+
+  /// When the wire would next be free (for backpressure decisions).
+  Picos next_free() const { return wire_.next_free(); }
+
+  std::uint64_t tlps_sent() const { return tlps_; }
+  std::uint64_t wire_bytes_sent() const { return bytes_; }
+  std::uint64_t payload_bytes_sent() const { return payload_bytes_; }
+  std::uint64_t replays() const { return replays_; }
+  Picos busy_total() const { return wire_.busy_total(); }
+
+  const proto::LinkConfig& config() const { return cfg_; }
+
+ private:
+  Simulator& sim_;
+  proto::LinkConfig cfg_;
+  SerialResource wire_;
+  Picos propagation_;
+  LinkFaultModel faults_;
+  Xoshiro256 rng_;
+  Deliver deliver_;
+  std::uint64_t tlps_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t replays_ = 0;
+};
+
+}  // namespace pcieb::sim

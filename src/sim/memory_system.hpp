@@ -1,0 +1,97 @@
+// The host memory path behind the root complex: LLC (with DDIO), DRAM
+// channels per NUMA node, the socket interconnect, and the per-transaction
+// jitter model. Produces the latency and contention behaviour the paper
+// measures in §6.3 (caching/DDIO) and §6.4 (NUMA).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/cache.hpp"
+#include "sim/jitter.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcieb::sim {
+
+struct MemoryConfig {
+  /// Data return from the LLC to the root complex.
+  Picos llc_hit = from_nanos(40);
+  /// Additional latency when the LLC misses and DRAM is accessed — the
+  /// ~70 ns warm-vs-cold delta of §6.3.
+  Picos dram_extra = from_nanos(70);
+  /// Aggregate DRAM bandwidth of one node.
+  double dram_gbps = 320.0;  // 40 GB/s
+  /// Extra latency for requests that hit the remote node's cache (§6.4).
+  Picos numa_hop = from_nanos(130);
+  /// Extra latency for remote requests that miss to DRAM — smaller, since
+  /// the directory lookup overlaps the interconnect transit; this is why
+  /// the paper's cold-cache remote penalty (~10 %) is half the warm one.
+  Picos numa_hop_miss = from_nanos(60);
+  /// Socket interconnect bandwidth (QPI/UPI class).
+  double interconnect_gbps = 160.0;  // 20 GB/s
+  /// Flush of a dirty victim before a DDIO allocation can complete.
+  Picos flush_penalty = from_nanos(70);
+  /// Uncore ingest ceiling for inbound DMA writes. Effectively unbounded
+  /// on Xeon E5 parts; the Xeon E3 profile sets it below 40 Gb/s, which is
+  /// why that system never sustains 40GbE writes (§6.2).
+  double write_ingest_gbps = 800.0;
+  /// Machine-wide stall events (the suspected power-management events of
+  /// §6.2): a Poisson process in *time* — not per transaction — that
+  /// pauses the whole memory path for a uniformly drawn duration. They
+  /// produce the E3's millisecond-scale latency excursions (Fig 6) while
+  /// costing well under 1 % of aggregate throughput, which is why the
+  /// E3's read bandwidth still matches the E5 for large transfers.
+  /// stall_interval == 0 disables the mechanism (all E5 profiles).
+  Picos stall_interval = 0;  ///< mean time between events
+  Picos stall_min = from_millis(1.0);
+  Picos stall_max = from_millis(5.3);
+  /// Read-side pipeline between root complex and LLC/DRAM.
+  double read_pipeline_gbps = 400.0;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(Simulator& sim, const CacheConfig& cache_cfg,
+               const MemoryConfig& mem_cfg, const JitterModel& jitter,
+               std::uint64_t seed);
+
+  /// Fetch [addr, addr+len) for a DMA read. `local` selects whether the
+  /// backing memory is on the device's node. `done` runs when the data is
+  /// available at the root complex.
+  void fetch(std::uint64_t addr, std::uint32_t len, bool local, Callback done);
+
+  /// Commit a DMA write (DDIO allocation policy). `done` runs when the
+  /// write is globally visible (the ordering point for later reads).
+  void write(std::uint64_t addr, std::uint32_t len, bool local, Callback done);
+
+  LastLevelCache& cache() { return cache_; }
+  const MemoryConfig& config() const { return mem_cfg_; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  Simulator& sim_;
+  MemoryConfig mem_cfg_;
+  LastLevelCache cache_;
+  BandwidthResource dram_;
+  BandwidthResource remote_dram_;
+  BandwidthResource interconnect_;
+  BandwidthResource write_ingest_;
+  BandwidthResource read_pipeline_;
+  /// Returns the time until which the memory path is stalled, advancing
+  /// the lazily evaluated stall schedule first.
+  Picos stall_gate();
+
+  JitterModel jitter_;
+  Xoshiro256 rng_;
+  Picos stall_until_ = 0;
+  Picos next_stall_at_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace pcieb::sim

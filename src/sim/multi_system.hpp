@@ -1,0 +1,54 @@
+// Multiple PCIe devices in one server — the study the paper's §9 calls
+// out as future work ("such a study would reveal further insights into
+// the implementation of IOMMUs (e.g., are IO-TLB entries shared between
+// devices) and potentially unearth further bottlenecks in the PCIe root
+// complex implementation").
+//
+// Each device gets its own link pair and root-complex port, but all ports
+// share ONE memory system (LLC/DDIO, DRAM channels) and ONE IOMMU — so
+// IO-TLB entries and page walkers are shared between devices, as they are
+// on Intel parts, and devices evict each other's translations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/host_buffer.hpp"
+#include "sim/system.hpp"
+
+namespace pcieb::sim {
+
+class MultiDeviceSystem {
+ public:
+  /// `base` describes the host and the (replicated) device/link setup.
+  MultiDeviceSystem(const SystemConfig& base, unsigned device_count);
+
+  Simulator& sim() { return sim_; }
+  unsigned device_count() const { return static_cast<unsigned>(ports_.size()); }
+  DmaDevice& device(unsigned i) { return *ports_.at(i).device; }
+  RootComplex& root_complex(unsigned i) { return *ports_.at(i).rc; }
+  MemorySystem& memory() { return *mem_; }
+  Iommu& iommu() { return *iommu_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Cache-state control, as in System.
+  void warm_host(const HostBuffer& buf, std::uint64_t offset, std::uint64_t len);
+  void thrash_cache();
+
+ private:
+  struct Port {
+    std::unique_ptr<Link> up;
+    std::unique_ptr<Link> down;
+    std::unique_ptr<RootComplex> rc;
+    std::unique_ptr<DmaDevice> device;
+  };
+
+  SystemConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::unique_ptr<Iommu> iommu_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace pcieb::sim

@@ -1,0 +1,45 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace pcieb::sim {
+
+Picos SerialResource::occupy(Picos service, Callback done) {
+  if (service < 0) throw std::invalid_argument("SerialResource: negative service");
+  const Picos start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + service;
+  busy_total_ += service;
+  if (done) sim_.at(busy_until_, std::move(done));
+  return busy_until_;
+}
+
+void TokenPool::acquire(Callback granted) {
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    // Run via the scheduler so acquisition order stays deterministic and
+    // callers never re-enter their own call stack.
+    sim_.after(0, std::move(granted));
+  } else {
+    waiters_.push_back(std::move(granted));
+  }
+}
+
+void TokenPool::release() {
+  if (in_use_ == 0) throw std::logic_error("TokenPool: release without acquire");
+  if (!waiters_.empty()) {
+    Callback next = std::move(waiters_.front());
+    waiters_.pop_front();
+    sim_.after(0, std::move(next));
+    // Token transfers directly to the waiter; in_use_ unchanged.
+  } else {
+    --in_use_;
+  }
+}
+
+Picos BandwidthResource::transfer(std::uint64_t bytes, Callback done) {
+  return serial_.occupy(serialization_ps(bytes, gbps_), std::move(done));
+}
+
+}  // namespace pcieb::sim

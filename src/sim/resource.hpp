@@ -1,0 +1,79 @@
+// Generic contention primitives for the simulator.
+//
+//  * SerialResource — a single FIFO server (a link direction, a DMA engine
+//    issue stage, a page walker): each job occupies it for a service time;
+//    jobs queue behind the previous completion.
+//  * TokenPool — a counting semaphore with FIFO waiters (DMA read tags,
+//    page-walker slots).
+//  * BandwidthResource — a SerialResource whose service time is bytes at a
+//    fixed rate (memory channels, socket interconnect).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcieb::sim {
+
+class SerialResource {
+ public:
+  explicit SerialResource(Simulator& sim) : sim_(sim) {}
+
+  /// Occupy the resource for `service` starting no earlier than now and no
+  /// earlier than the previous job's completion. Returns the completion
+  /// time; if `done` is provided it is scheduled at that time.
+  Picos occupy(Picos service, Callback done = {});
+
+  /// Earliest time a new job could start.
+  Picos next_free() const { return busy_until_; }
+
+  /// Total busy time accumulated (for utilization reporting).
+  Picos busy_total() const { return busy_total_; }
+
+ private:
+  Simulator& sim_;
+  Picos busy_until_ = 0;
+  Picos busy_total_ = 0;
+};
+
+class TokenPool {
+ public:
+  TokenPool(Simulator& sim, unsigned capacity)
+      : sim_(sim), capacity_(capacity) {}
+
+  /// Run `granted` once a token is available (immediately if one is free).
+  void acquire(Callback granted);
+
+  /// Return a token; hands it to the oldest waiter if any.
+  void release();
+
+  unsigned in_use() const { return in_use_; }
+  unsigned capacity() const { return capacity_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  unsigned capacity_;
+  unsigned in_use_ = 0;
+  std::deque<Callback> waiters_;
+};
+
+class BandwidthResource {
+ public:
+  BandwidthResource(Simulator& sim, double gbps)
+      : serial_(sim), gbps_(gbps) {}
+
+  /// Stream `bytes` through; `done` runs when the last byte has passed.
+  Picos transfer(std::uint64_t bytes, Callback done = {});
+
+  double rate_gbps() const { return gbps_; }
+  Picos busy_total() const { return serial_.busy_total(); }
+
+ private:
+  SerialResource serial_;
+  double gbps_;
+};
+
+}  // namespace pcieb::sim

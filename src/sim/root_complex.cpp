@@ -1,0 +1,104 @@
+#include "sim/root_complex.hpp"
+
+#include "pcie/packetizer.hpp"
+
+namespace pcieb::sim {
+
+RootComplex::RootComplex(Simulator& sim, const proto::LinkConfig& link_cfg,
+                         const RootComplexConfig& cfg, MemorySystem& mem,
+                         Iommu& iommu, Link& downstream)
+    : sim_(sim),
+      link_cfg_(link_cfg),
+      cfg_(cfg),
+      mem_(mem),
+      iommu_(iommu),
+      downstream_(downstream),
+      pipeline_(sim),
+      is_local_([](std::uint64_t) { return true; }) {}
+
+void RootComplex::on_upstream(const proto::Tlp& tlp) {
+  switch (tlp.type) {
+    case proto::TlpType::MemWr:
+      handle_write(tlp);
+      return;
+    case proto::TlpType::MemRd:
+      handle_read(tlp);
+      return;
+    case proto::TlpType::CplD:
+    case proto::TlpType::Cpl: {
+      // Completion for a host-initiated MMIO read.
+      auto it = host_reads_.find(tlp.tag);
+      if (it != host_reads_.end()) {
+        Callback done = std::move(it->second);
+        host_reads_.erase(it);
+        if (done) done();
+      }
+      return;
+    }
+  }
+}
+
+void RootComplex::host_mmio_write(std::uint64_t addr, std::uint32_t len) {
+  for (const auto& tlp : proto::segment_write(link_cfg_, addr, len)) {
+    downstream_.send(tlp);
+  }
+}
+
+void RootComplex::host_mmio_read(std::uint64_t addr, std::uint32_t len,
+                                 Callback done) {
+  const std::uint32_t tag = next_host_tag_++;
+  host_reads_[tag] = std::move(done);
+  proto::Tlp req{proto::TlpType::MemRd, addr, 0, len, tag};
+  downstream_.send(req);
+}
+
+void RootComplex::handle_write(const proto::Tlp& tlp) {
+  ++writes_arrived_;
+  pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp] {
+    iommu_.translate(tlp.addr, /*is_write=*/true, [this, tlp] {
+      const bool local = is_local_(tlp.addr);
+      mem_.write(tlp.addr, tlp.payload, local, [this, tlp] {
+        ++writes_committed_;
+        write_bytes_ += tlp.payload;
+        if (on_write_commit_) on_write_commit_(tlp.payload);
+        drain_ordered_reads();
+      });
+    });
+  });
+}
+
+void RootComplex::handle_read(const proto::Tlp& tlp) {
+  ++reads_;
+  // Snapshot the posted writes this read must not pass (arrival order).
+  const std::uint64_t fence = writes_arrived_;
+  pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp, fence] {
+    iommu_.translate(tlp.addr, /*is_write=*/false, [this, tlp, fence] {
+      if (writes_committed_ >= fence) {
+        emit_completions(tlp);
+      } else {
+        ordered_reads_.push_back(PendingRead{tlp, fence});
+      }
+    });
+  });
+}
+
+void RootComplex::drain_ordered_reads() {
+  while (!ordered_reads_.empty() &&
+         writes_committed_ >= ordered_reads_.front().writes_before) {
+    proto::Tlp req = ordered_reads_.front().req;
+    ordered_reads_.pop_front();
+    emit_completions(req);
+  }
+}
+
+void RootComplex::emit_completions(const proto::Tlp& req) {
+  const bool local = is_local_(req.addr);
+  mem_.fetch(req.addr, req.read_len, local, [this, req] {
+    for (auto cpl : proto::segment_completions(link_cfg_, req.addr, req.read_len)) {
+      cpl.tag = req.tag;
+      downstream_.send(cpl);
+    }
+  });
+}
+
+}  // namespace pcieb::sim

@@ -1,0 +1,96 @@
+// Root complex model: the junction between the PCIe link and the host
+// memory system (§2's "PCIe root complex").
+//
+// Inbound TLPs pass a short per-TLP pipeline stage, are translated by the
+// IOMMU (when enabled), and then hit the memory system. Memory reads
+// honour PCIe producer/consumer ordering — a read never passes an earlier
+// posted write — and their completions are cut at RCB/MPS boundaries and
+// streamed back down the link. Posted-write buffer credits are returned to
+// the device once the write commits, which is what backpressures write
+// bandwidth to the uncore ingest rate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "pcie/link_config.hpp"
+#include "pcie/tlp.hpp"
+#include "sim/iommu.hpp"
+#include "sim/link.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcieb::sim {
+
+struct RootComplexConfig {
+  /// Per-TLP pipeline occupancy in the inbound path.
+  Picos tlp_pipeline = from_nanos(3);
+};
+
+class RootComplex {
+ public:
+  RootComplex(Simulator& sim, const proto::LinkConfig& link_cfg,
+              const RootComplexConfig& cfg, MemorySystem& mem, Iommu& iommu,
+              Link& downstream);
+
+  /// Entry point: wire this to the upstream link's deliver callback.
+  void on_upstream(const proto::Tlp& tlp);
+
+  /// Host-initiated MMIO access to the device (driver doorbells and
+  /// register reads). Writes are posted; reads call `done` when the
+  /// device's completion returns — the §3 cost a poll-mode driver avoids
+  /// by reading write-back descriptors in host memory instead.
+  void host_mmio_write(std::uint64_t addr, std::uint32_t len);
+  void host_mmio_read(std::uint64_t addr, std::uint32_t len, Callback done);
+
+  /// Decides whether an address is local to the device's NUMA node.
+  using LocalityResolver = std::function<bool(std::uint64_t)>;
+  void set_locality_resolver(LocalityResolver r) { is_local_ = std::move(r); }
+
+  /// Invoked when a posted write commits, with its payload size — used by
+  /// the device model to return flow-control credits and by benchmarks to
+  /// time write streams.
+  using WriteCommitHook = std::function<void(std::uint32_t)>;
+  void set_write_commit_hook(WriteCommitHook h) { on_write_commit_ = std::move(h); }
+
+  std::uint64_t reads_handled() const { return reads_; }
+  std::uint64_t writes_committed() const { return writes_committed_; }
+  std::uint64_t write_bytes_committed() const { return write_bytes_; }
+
+ private:
+  void handle_write(const proto::Tlp& tlp);
+  void handle_read(const proto::Tlp& tlp);
+  void emit_completions(const proto::Tlp& req);
+  void drain_ordered_reads();
+
+  Simulator& sim_;
+  proto::LinkConfig link_cfg_;
+  RootComplexConfig cfg_;
+  MemorySystem& mem_;
+  Iommu& iommu_;
+  Link& downstream_;
+  SerialResource pipeline_;
+  LocalityResolver is_local_;
+  WriteCommitHook on_write_commit_;
+
+  std::uint64_t writes_arrived_ = 0;
+  std::uint64_t writes_committed_ = 0;
+  std::uint64_t write_bytes_ = 0;
+  std::uint64_t reads_ = 0;
+
+  struct PendingRead {
+    proto::Tlp req;
+    std::uint64_t writes_before;  ///< writes that must commit first
+  };
+  std::deque<PendingRead> ordered_reads_;
+
+  /// Outstanding host MMIO reads, keyed by tag (high-bit tag space so
+  /// they never collide with device DMA tags).
+  std::uint32_t next_host_tag_ = 0x8000'0000u;
+  std::unordered_map<std::uint32_t, Callback> host_reads_;
+};
+
+}  // namespace pcieb::sim

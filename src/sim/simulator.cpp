@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pcieb::sim {
+
+void Simulator::at(Picos t, Callback fn) {
+  if (t < now_) {
+    throw std::logic_error("Simulator::at: scheduling into the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast of the handle,
+  // then pop. The callback may schedule further events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Picos t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace pcieb::sim

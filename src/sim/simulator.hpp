@@ -1,0 +1,61 @@
+// Discrete-event simulation engine.
+//
+// Time is integer picoseconds; events at equal timestamps run in schedule
+// order (a monotonically increasing sequence number breaks ties), so runs
+// are fully deterministic and bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pcieb::sim {
+
+using Callback = std::function<void()>;
+
+class Simulator {
+ public:
+  Picos now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must not be in the past).
+  void at(Picos t, Callback fn);
+
+  /// Schedule `fn` after `delay` from now.
+  void after(Picos delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Execute one event; false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run events with time <= t, then set now() to t.
+  void run_until(Picos t);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t executed() const { return executed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Picos time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Picos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace pcieb::sim

@@ -1,0 +1,74 @@
+// PCIe switch: N downstream ports sharing one upstream port.
+//
+// Datacenter servers often hang several devices off one switch (or share
+// root-port lanes), so the devices contend for a single link to the root
+// complex — a different bottleneck than the shared-IOMMU case that
+// MultiDeviceSystem models with independent links. The switch:
+//  * forwards upstream TLPs onto the shared upstream link (store and
+//    forward, per-port ingress then shared egress serialization);
+//  * translates request tags so concurrent devices' MRd tags cannot
+//    collide (real switches disambiguate by requester ID);
+//  * routes completions back to the issuing port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pcie/link_config.hpp"
+#include "pcie/tlp.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcieb::sim {
+
+struct SwitchConfig {
+  /// Forwarding latency through the switch, each direction.
+  Picos forward_latency = from_nanos(100);
+  /// Per-port link between device and switch (usually matches the
+  /// device's own width); the upstream link is owned by the caller.
+  proto::LinkConfig port_link;
+};
+
+class PcieSwitch {
+ public:
+  /// `upstream` carries traffic to the root complex; `downstream` carries
+  /// completions and MMIO back from it. Port links are created per device
+  /// via add_port().
+  PcieSwitch(Simulator& sim, const SwitchConfig& cfg, Link& upstream);
+
+  /// Create a port; returns its index. The returned ingress link is what
+  /// the device transmits into; `deliver_to_device` receives TLPs routed
+  /// back down to this port.
+  unsigned add_port(Link::Deliver deliver_to_device);
+
+  /// The link a device on `port` transmits into.
+  Link& port_ingress(unsigned port);
+
+  /// Wire this to the downstream (RC -> switch) link's deliver callback.
+  void on_downstream(const proto::Tlp& tlp);
+
+  std::uint64_t forwarded_upstream() const { return forwarded_up_; }
+  std::uint64_t forwarded_downstream() const { return forwarded_down_; }
+
+ private:
+  void on_port_ingress(unsigned port, const proto::Tlp& tlp);
+
+  struct Port {
+    std::unique_ptr<Link> ingress;      ///< device -> switch
+    std::unique_ptr<Link> egress;       ///< switch -> device
+  };
+
+  Simulator& sim_;
+  SwitchConfig cfg_;
+  Link& upstream_;
+  std::vector<Port> ports_;
+  std::uint32_t next_tag_ = 1;
+  /// switch tag -> (port, original device tag)
+  std::unordered_map<std::uint32_t, std::pair<unsigned, std::uint32_t>> tags_;
+  std::uint64_t forwarded_up_ = 0;
+  std::uint64_t forwarded_down_ = 0;
+};
+
+}  // namespace pcieb::sim

@@ -1,0 +1,56 @@
+#include "sim/system.hpp"
+
+namespace pcieb::sim {
+
+System::System(const SystemConfig& cfg) : cfg_(cfg) {
+  cfg_.link.validate();
+  LinkFaultModel up_faults = cfg_.link_faults;
+  LinkFaultModel down_faults = cfg_.link_faults;
+  down_faults.seed ^= 0xd041ULL;
+  up_ = std::make_unique<Link>(sim_, cfg_.link, cfg_.up_propagation, up_faults);
+  down_ =
+      std::make_unique<Link>(sim_, cfg_.link, cfg_.down_propagation, down_faults);
+  mem_ = std::make_unique<MemorySystem>(sim_, cfg_.cache, cfg_.mem,
+                                        cfg_.jitter, cfg_.seed);
+  iommu_ = std::make_unique<Iommu>(sim_, cfg_.iommu);
+  rc_ = std::make_unique<RootComplex>(sim_, cfg_.link, cfg_.rc, *mem_,
+                                      *iommu_, *down_);
+  device_ = std::make_unique<DmaDevice>(sim_, cfg_.device, cfg_.link, *up_);
+
+  up_->set_deliver([this](const proto::Tlp& t) { rc_->on_upstream(t); });
+  down_->set_deliver([this](const proto::Tlp& t) { device_->on_downstream(t); });
+  rc_->set_write_commit_hook([this](std::uint32_t bytes) {
+    device_->grant_posted_credits(bytes);
+    if (write_observer_) write_observer_(bytes);
+  });
+}
+
+void System::attach_buffer(const HostBuffer* buf) {
+  buffer_ = buf;
+  rc_->set_locality_resolver([this](std::uint64_t addr) {
+    if (buffer_ && buffer_->contains_iova(addr)) return buffer_->local();
+    return true;
+  });
+}
+
+void System::warm_host(const HostBuffer& buf, std::uint64_t offset,
+                       std::uint64_t len) {
+  auto& cache = mem_->cache();
+  const unsigned line = cache.config().line_bytes;
+  for (std::uint64_t o = offset; o < offset + len; o += line) {
+    cache.host_touch(buf.iova(o), /*dirty=*/true);
+  }
+}
+
+void System::warm_device(const HostBuffer& buf, std::uint64_t offset,
+                         std::uint64_t len) {
+  auto& cache = mem_->cache();
+  const unsigned line = cache.config().line_bytes;
+  for (std::uint64_t o = offset; o < offset + len; o += line) {
+    cache.write_allocate(buf.iova(o));
+  }
+}
+
+void System::thrash_cache() { mem_->cache().thrash(); }
+
+}  // namespace pcieb::sim

@@ -1,0 +1,87 @@
+// Top-level composition: device <-> link pair <-> root complex <-> memory.
+//
+// A System owns a Simulator plus every component and wires them together,
+// matching one row of the paper's Table 1 (host CPU + network adapter).
+// Addressing note: DMA targets are IOVAs; with the IOMMU disabled Linux
+// direct-maps DMA, and with it enabled our page mappings are identity at
+// the chunk level, so the memory system indexes caches by IOVA directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/cache.hpp"
+#include "sim/device.hpp"
+#include "sim/host_buffer.hpp"
+#include "sim/iommu.hpp"
+#include "sim/jitter.hpp"
+#include "sim/link.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/root_complex.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcieb::sim {
+
+struct SystemConfig {
+  std::string name = "generic";
+  proto::LinkConfig link;
+  RootComplexConfig rc;
+  CacheConfig cache;
+  MemoryConfig mem;
+  IommuConfig iommu;
+  JitterModel jitter = JitterModel::none();
+  DeviceProfile device = DeviceProfile::netfpga_sume();
+  /// One-way PHY + switch-fabric pipeline delay per direction.
+  Picos up_propagation = from_nanos(140);
+  Picos down_propagation = from_nanos(140);
+  /// DLL error injection (replays); off by default.
+  LinkFaultModel link_faults;
+  std::uint64_t seed = 1;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+
+  Simulator& sim() { return sim_; }
+  DmaDevice& device() { return *device_; }
+  RootComplex& root_complex() { return *rc_; }
+  MemorySystem& memory() { return *mem_; }
+  Iommu& iommu() { return *iommu_; }
+  Link& upstream() { return *up_; }
+  Link& downstream() { return *down_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Register the benchmark buffer so NUMA locality resolves per-address.
+  void attach_buffer(const HostBuffer* buf);
+
+  /// Observe posted-write commits (payload bytes) — used to time BW_WR.
+  using WriteObserver = std::function<void(std::uint32_t)>;
+  void set_write_observer(WriteObserver obs) { write_observer_ = std::move(obs); }
+
+  // --- cache state control (the §4 warm/thrash levers) -----------------
+  /// Host warms a window by writing it (dirty lines, any way).
+  void warm_host(const HostBuffer& buf, std::uint64_t offset,
+                 std::uint64_t len);
+  /// Device warms a window (models prior DMA writes: DDIO ways, dirty).
+  void warm_device(const HostBuffer& buf, std::uint64_t offset,
+                   std::uint64_t len);
+  /// Fill the LLC with unrelated clean lines.
+  void thrash_cache();
+
+ private:
+  SystemConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<Link> up_;
+  std::unique_ptr<Link> down_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::unique_ptr<Iommu> iommu_;
+  std::unique_ptr<RootComplex> rc_;
+  std::unique_ptr<DmaDevice> device_;
+  const HostBuffer* buffer_ = nullptr;
+  WriteObserver write_observer_;
+};
+
+}  // namespace pcieb::sim

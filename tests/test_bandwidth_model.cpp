@@ -1,0 +1,112 @@
+#include "pcie/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcie/link_config.hpp"
+
+namespace pcieb::proto {
+namespace {
+
+TEST(EffectiveBandwidth, WriteHandComputedValues) {
+  const LinkConfig cfg = gen3_x8();
+  // 64 B write: 64/(64+24) of the TLP-layer rate.
+  EXPECT_NEAR(effective_write_gbps(cfg, 64),
+              cfg.tlp_gbps() * 64.0 / 88.0, 0.01);
+  // 256 B: 256/280.
+  EXPECT_NEAR(effective_write_gbps(cfg, 256),
+              cfg.tlp_gbps() * 256.0 / 280.0, 0.01);
+}
+
+TEST(EffectiveBandwidth, ReadIsCompletionBoundAtSmallSizes) {
+  const LinkConfig cfg = gen3_x8();
+  // 64 B read: downstream CplD 84 B per 64 B payload binds.
+  EXPECT_NEAR(effective_read_gbps(cfg, 64), cfg.tlp_gbps() * 64.0 / 84.0, 0.01);
+}
+
+TEST(EffectiveBandwidth, SawToothAtMpsBoundary) {
+  const LinkConfig cfg = gen3_x8();
+  const double at_mps = effective_write_gbps(cfg, 256);
+  const double above_mps = effective_write_gbps(cfg, 257);
+  EXPECT_GT(at_mps, above_mps);  // extra header for 1 extra byte
+  // And it recovers as the second TLP fills.
+  EXPECT_GT(effective_write_gbps(cfg, 512), above_mps);
+}
+
+TEST(EffectiveBandwidth, ReadSawToothAtMrrsBoundary) {
+  const LinkConfig cfg = gen3_x8();
+  EXPECT_GT(effective_read_gbps(cfg, 512), effective_read_gbps(cfg, 513));
+}
+
+TEST(EffectiveBandwidth, RdwrBelowBothSingles) {
+  const LinkConfig cfg = gen3_x8();
+  for (std::uint32_t sz : {64u, 256u, 1024u}) {
+    const double rdwr = effective_rdwr_gbps(cfg, sz);
+    EXPECT_LT(rdwr, effective_write_gbps(cfg, sz));
+    EXPECT_LE(rdwr, effective_read_gbps(cfg, sz) + 0.01);
+  }
+}
+
+TEST(EffectiveBandwidth, RdwrMatchesFigureOneAnchors) {
+  // Fig 1 "Effective PCIe BW": ~33 Gb/s at 64 B rising to ~50 Gb/s at
+  // 1280 B ("PCIe protocol overheads reduce the usable bandwidth to
+  // around 50 Gb/s", §2).
+  const LinkConfig cfg = gen3_x8();
+  EXPECT_NEAR(effective_rdwr_gbps(cfg, 64), 33.1, 0.5);
+  EXPECT_NEAR(effective_rdwr_gbps(cfg, 1280), 50.4, 0.7);
+}
+
+TEST(EffectiveBandwidth, MonotoneOverallTrend) {
+  const LinkConfig cfg = gen3_x8();
+  // Compare across full-MPS multiples where the saw-tooth peaks.
+  double prev = 0.0;
+  for (std::uint32_t sz = 256; sz <= 4096; sz += 256) {
+    const double g = effective_write_gbps(cfg, sz);
+    EXPECT_GE(g, prev - 1e-9) << "sz=" << sz;
+    prev = g;
+  }
+}
+
+TEST(EffectiveBandwidth, NeverExceedsTlpRate) {
+  const LinkConfig cfg = gen3_x8();
+  for (std::uint32_t sz = 1; sz <= 8192; sz *= 2) {
+    EXPECT_LT(effective_write_gbps(cfg, sz), cfg.tlp_gbps());
+    EXPECT_LT(effective_read_gbps(cfg, sz), cfg.tlp_gbps());
+    EXPECT_LT(effective_rdwr_gbps(cfg, sz), cfg.tlp_gbps());
+  }
+}
+
+TEST(EthernetDemand, AnchorsAt40G) {
+  // 40GbE needs 40 * sz/(sz+24) Gb/s of PCIe payload.
+  EXPECT_NEAR(ethernet_pcie_demand_gbps(40.0, 64), 29.09, 0.01);
+  EXPECT_NEAR(ethernet_pcie_demand_gbps(40.0, 512), 38.21, 0.01);
+  EXPECT_NEAR(ethernet_pcie_demand_gbps(40.0, 1500), 39.37, 0.01);
+  EXPECT_EQ(ethernet_pcie_demand_gbps(40.0, 0), 0.0);
+}
+
+TEST(EthernetDemand, ApproachesWireRateForLargeFrames) {
+  EXPECT_LT(ethernet_pcie_demand_gbps(40.0, 9000), 40.0);
+  EXPECT_GT(ethernet_pcie_demand_gbps(40.0, 9000), 39.8);
+}
+
+class WriteBwSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WriteBwSweep, UnalignedWritesNeverBeatAligned) {
+  const LinkConfig cfg = gen3_x8();
+  const std::uint32_t sz = GetParam();
+  EXPECT_LE(effective_write_gbps(cfg, sz, 63),
+            effective_write_gbps(cfg, sz, 0) + 1e-9);
+}
+
+TEST_P(WriteBwSweep, UnalignedReadsNeverBeatAligned) {
+  const LinkConfig cfg = gen3_x8();
+  const std::uint32_t sz = GetParam();
+  EXPECT_LE(effective_read_gbps(cfg, sz, 63),
+            effective_read_gbps(cfg, sz, 0) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WriteBwSweep,
+                         ::testing::Values(64, 128, 256, 512, 1024, 1500,
+                                           2048, 4096));
+
+}  // namespace
+}  // namespace pcieb::proto

@@ -1,0 +1,181 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::sim {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig cfg;
+  cfg.size_bytes = 64 * 1024;  // 64 KB: 4 sets x 16 lines... see below
+  cfg.ways = 4;
+  cfg.line_bytes = 64;
+  cfg.ddio_ways = 1;
+  return cfg;
+}
+
+TEST(CacheConfigTest, SetArithmetic) {
+  CacheConfig cfg = small_cache();
+  EXPECT_EQ(cfg.sets(), 64u * 1024 / (4 * 64));
+}
+
+TEST(CacheTest, RejectsBadConfig) {
+  CacheConfig cfg = small_cache();
+  cfg.ddio_ways = 0;
+  EXPECT_THROW(LastLevelCache{cfg}, std::invalid_argument);
+  cfg = small_cache();
+  cfg.ddio_ways = 5;  // > ways
+  EXPECT_THROW(LastLevelCache{cfg}, std::invalid_argument);
+  cfg = small_cache();
+  cfg.line_bytes = 48;
+  EXPECT_THROW(LastLevelCache{cfg}, std::invalid_argument);
+}
+
+TEST(CacheTest, ColdReadMisses) {
+  LastLevelCache cache(small_cache());
+  EXPECT_FALSE(cache.read_probe(0x1000));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheTest, ReadsDoNotAllocate) {
+  // PCIe reads are served from cache when resident but do not pull data
+  // into the cache on a miss (the Fig 7a cold-read behaviour).
+  LastLevelCache cache(small_cache());
+  EXPECT_FALSE(cache.read_probe(0x1000));
+  EXPECT_FALSE(cache.read_probe(0x1000));
+  EXPECT_FALSE(cache.contains(0x1000));
+}
+
+TEST(CacheTest, HostTouchMakesReadsHit) {
+  LastLevelCache cache(small_cache());
+  cache.host_touch(0x1000, false);
+  EXPECT_TRUE(cache.read_probe(0x1000));
+  // 0x1040 is the next 64 B line; it was never touched and must miss.
+  EXPECT_FALSE(cache.read_probe(0x1040));
+}
+
+TEST(CacheTest, SameLineDifferentOffsetHits) {
+  LastLevelCache cache(small_cache());
+  cache.host_touch(0x1000, false);
+  EXPECT_TRUE(cache.read_probe(0x1020));  // byte 32 of the same line
+}
+
+TEST(CacheTest, DmaWriteAllocatesAndDirties) {
+  LastLevelCache cache(small_cache());
+  EXPECT_EQ(cache.write_allocate(0x2000),
+            LastLevelCache::WriteOutcome::AllocatedClean);
+  EXPECT_TRUE(cache.contains(0x2000));
+  EXPECT_EQ(cache.write_allocate(0x2000),
+            LastLevelCache::WriteOutcome::HitUpdate);
+}
+
+TEST(CacheTest, DdioQuotaForcesDirtyEvictions) {
+  // ddio_ways = 1: two DMA-written lines mapping to the same set must
+  // evict each other, and the victim is dirty.
+  CacheConfig cfg = small_cache();
+  LastLevelCache cache(cfg);
+  const std::uint64_t set_stride = cfg.sets() * cfg.line_bytes;
+  EXPECT_EQ(cache.write_allocate(0), LastLevelCache::WriteOutcome::AllocatedClean);
+  EXPECT_EQ(cache.write_allocate(set_stride),
+            LastLevelCache::WriteOutcome::AllocatedDirty);
+  EXPECT_EQ(cache.dirty_evictions(), 1u);
+  EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(CacheTest, DmaWritesCannotUseNonDdioWays) {
+  // With ddio_ways=1, DMA writes churn one way while host lines in other
+  // ways survive.
+  CacheConfig cfg = small_cache();
+  LastLevelCache cache(cfg);
+  const std::uint64_t set_stride = cfg.sets() * cfg.line_bytes;
+  cache.host_touch(7 * set_stride, false);  // same set, host-allocated
+  for (int i = 0; i < 4; ++i) {
+    cache.write_allocate(static_cast<std::uint64_t>(i) * set_stride);
+  }
+  EXPECT_TRUE(cache.contains(7 * set_stride)) << "host line was evicted";
+}
+
+TEST(CacheTest, HostTouchEvictsLruAcrossAllWays) {
+  CacheConfig cfg = small_cache();
+  LastLevelCache cache(cfg);
+  const std::uint64_t set_stride = cfg.sets() * cfg.line_bytes;
+  for (std::uint64_t i = 0; i < 4; ++i) cache.host_touch(i * set_stride, false);
+  // Touch line 0 to refresh it, then add a 5th: line 1 is the LRU victim.
+  cache.host_touch(0, false);
+  cache.host_touch(4 * set_stride, false);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(set_stride));
+}
+
+TEST(CacheTest, ThrashMakesEverythingMissCleanly) {
+  LastLevelCache cache(small_cache());
+  cache.host_touch(0x5000, true);
+  cache.thrash();
+  EXPECT_FALSE(cache.contains(0x5000));
+  cache.reset_stats();
+  // A write allocation after thrash evicts only clean foreign lines.
+  EXPECT_EQ(cache.write_allocate(0x5000),
+            LastLevelCache::WriteOutcome::AllocatedClean);
+}
+
+TEST(CacheTest, ClearEmptiesTheCache) {
+  LastLevelCache cache(small_cache());
+  cache.host_touch(0x100, true);
+  cache.clear();
+  EXPECT_FALSE(cache.contains(0x100));
+}
+
+TEST(CacheTest, CapacityHonored) {
+  // Host-touch exactly size/line distinct lines: all resident.
+  CacheConfig cfg = small_cache();
+  LastLevelCache cache(cfg);
+  const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    cache.host_touch(i * cfg.line_bytes, false);
+  }
+  std::uint64_t resident = 0;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    if (cache.contains(i * cfg.line_bytes)) ++resident;
+  }
+  EXPECT_EQ(resident, lines);
+  // One more line must evict exactly one.
+  cache.host_touch(lines * cfg.line_bytes, false);
+  resident = 0;
+  for (std::uint64_t i = 0; i <= lines; ++i) {
+    if (cache.contains(i * cfg.line_bytes)) ++resident;
+  }
+  EXPECT_EQ(resident, lines);
+}
+
+TEST(CacheTest, StatsReset) {
+  LastLevelCache cache(small_cache());
+  cache.read_probe(0);
+  cache.write_allocate(0);
+  cache.reset_stats();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.dirty_evictions(), 0u);
+}
+
+class DdioWaySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DdioWaySweep, DirtyEvictionsStartOnceQuotaExceeded) {
+  CacheConfig cfg = small_cache();
+  cfg.ddio_ways = GetParam();
+  LastLevelCache cache(cfg);
+  const std::uint64_t set_stride = cfg.sets() * cfg.line_bytes;
+  // Fill the DDIO quota of one set: all clean allocations.
+  for (unsigned i = 0; i < cfg.ddio_ways; ++i) {
+    EXPECT_EQ(cache.write_allocate(i * set_stride),
+              LastLevelCache::WriteOutcome::AllocatedClean);
+  }
+  // The next allocation in the same set must flush a dirty victim.
+  EXPECT_EQ(cache.write_allocate(100 * set_stride),
+            LastLevelCache::WriteOutcome::AllocatedDirty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quota, DdioWaySweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace pcieb::sim

@@ -1,0 +1,147 @@
+// Invariants that must hold on EVERY Table 1 system — parameterized over
+// the six profiles. These are the properties the paper treats as
+// universal across its host generations (§6.1: "very similar across the
+// four generations of Intel processors we measured").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "pcie/bandwidth.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb {
+namespace {
+
+using core::BenchKind;
+using core::BenchParams;
+using core::CacheState;
+
+class CrossSystem : public ::testing::TestWithParam<std::string> {
+ protected:
+  const sys::Profile& profile() const {
+    return sys::profile_by_name(GetParam());
+  }
+
+  core::LatencyResult lat(BenchKind kind, std::uint32_t sz, CacheState cs,
+                          std::size_t iters = 1500) const {
+    sim::System system(profile().config);
+    BenchParams p;
+    p.kind = kind;
+    p.transfer_size = sz;
+    p.window_bytes = 8192;
+    p.cache_state = cs;
+    p.iterations = iters;
+    return core::run_latency_bench(system, p);
+  }
+
+  core::BandwidthResult bw(BenchKind kind, std::uint32_t sz,
+                           std::size_t iters = 12000) const {
+    sim::System system(profile().config);
+    BenchParams p;
+    p.kind = kind;
+    p.transfer_size = sz;
+    p.window_bytes = 8192;
+    p.cache_state = CacheState::HostWarm;
+    p.iterations = iters;
+    return core::run_bandwidth_bench(system, p);
+  }
+};
+
+TEST_P(CrossSystem, WarmReadsNeverSlowerThanCold) {
+  const auto warm = lat(BenchKind::LatRd, 64, CacheState::HostWarm);
+  const auto cold = lat(BenchKind::LatRd, 64, CacheState::Thrash);
+  EXPECT_LE(warm.summary.median_ns, cold.summary.median_ns);
+  EXPECT_GT(cold.summary.median_ns - warm.summary.median_ns, 40.0);
+}
+
+TEST_P(CrossSystem, WriteReadAboveReadAlone) {
+  const auto rd = lat(BenchKind::LatRd, 64, CacheState::HostWarm);
+  const auto wrrd = lat(BenchKind::LatWrRd, 64, CacheState::HostWarm);
+  EXPECT_GT(wrrd.summary.median_ns, rd.summary.median_ns);
+}
+
+TEST_P(CrossSystem, LatencyGrowsWithTransferSize) {
+  const auto small = lat(BenchKind::LatRd, 64, CacheState::HostWarm);
+  const auto big = lat(BenchKind::LatRd, 2048, CacheState::HostWarm);
+  EXPECT_GT(big.summary.median_ns, small.summary.median_ns + 150.0);
+}
+
+TEST_P(CrossSystem, MinIsNoGreaterThanMedian) {
+  const auto r = lat(BenchKind::LatRd, 64, CacheState::HostWarm, 3000);
+  EXPECT_LE(r.summary.min_ns, r.summary.median_ns);
+  EXPECT_LE(r.summary.median_ns, r.summary.p95_ns);
+  EXPECT_LE(r.summary.p95_ns, r.summary.p99_ns);
+  EXPECT_LE(r.summary.p99_ns, r.summary.max_ns);
+}
+
+TEST_P(CrossSystem, SamplesQuantizedToDeviceCounter) {
+  const auto r = lat(BenchKind::LatRd, 64, CacheState::HostWarm, 500);
+  const double res = to_nanos(profile().config.device.timestamp_resolution);
+  for (double v : r.samples_ns.sorted()) {
+    const double ticks = v / res;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-6);
+  }
+}
+
+TEST_P(CrossSystem, MeasuredBandwidthNeverExceedsModel) {
+  const auto& link = profile().config.link;
+  for (std::uint32_t sz : {64u, 256u, 1024u}) {
+    EXPECT_LE(bw(BenchKind::BwRd, sz).gbps,
+              proto::effective_read_gbps(link, sz) * 1.005)
+        << sz;
+    EXPECT_LE(bw(BenchKind::BwWr, sz).gbps,
+              proto::effective_write_gbps(link, sz) * 1.005)
+        << sz;
+    EXPECT_LE(bw(BenchKind::BwRdWr, sz).gbps,
+              proto::effective_rdwr_gbps(link, sz) * 1.005)
+        << sz;
+  }
+}
+
+TEST_P(CrossSystem, LargeTransfersApproachLinkEfficiency) {
+  const auto& link = profile().config.link;
+  const double model = proto::effective_write_gbps(link, 2048);
+  const double cap = profile().name == "NFP6000-HSW-E3"
+                         ? 33.5  // the E3's write-ingest ceiling (§6.2)
+                         : model * 0.93;
+  EXPECT_GE(bw(BenchKind::BwWr, 2048).gbps, cap * 0.9);
+  EXPECT_LE(bw(BenchKind::BwWr, 2048).gbps, model * 1.005);
+}
+
+TEST_P(CrossSystem, BandwidthRunsAreDeterministic) {
+  const double a = bw(BenchKind::BwRd, 128, 6000).gbps;
+  const double b = bw(BenchKind::BwRd, 128, 6000).gbps;
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(CrossSystem, CmdInterfaceOnlyOnNfp) {
+  sim::System system(profile().config);
+  BenchParams p;
+  p.kind = BenchKind::LatRd;
+  p.transfer_size = 8;
+  p.use_cmd_if = true;
+  p.iterations = 100;
+  const bool is_nfp = profile().config.device.cmd_if_max_bytes > 0;
+  if (is_nfp) {
+    EXPECT_NO_THROW(core::run_latency_bench(system, p));
+  } else {
+    EXPECT_THROW(core::run_latency_bench(system, p), std::invalid_argument);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, CrossSystem,
+    ::testing::Values("NFP6000-BDW", "NetFPGA-HSW", "NFP6000-HSW",
+                      "NFP6000-HSW-E3", "NFP6000-IB", "NFP6000-SNB"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pcieb

@@ -1,0 +1,317 @@
+// Shape assertions for the §6.3–6.5 experiments: caching/DDIO (Fig 7),
+// NUMA (Fig 8) and the IOMMU (Fig 9). These run the same sweeps as the
+// bench binaries, at reduced iteration counts, and assert the paper's
+// qualitative claims — who wins, where the knees fall, roughly how deep
+// the drops are.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb {
+namespace {
+
+using core::BenchKind;
+using core::BenchParams;
+using core::CacheState;
+
+double lat_med(const sim::SystemConfig& cfg, BenchKind kind, std::uint32_t sz,
+               std::uint64_t window, CacheState cs, bool cmd_if,
+               std::size_t iters = 3000, std::size_t warmup = 0) {
+  sim::System system(cfg);
+  BenchParams p;
+  p.kind = kind;
+  p.transfer_size = sz;
+  p.window_bytes = window;
+  p.cache_state = cs;
+  p.use_cmd_if = cmd_if;
+  p.iterations = iters;
+  p.warmup = warmup;
+  return core::run_latency_bench(system, p).summary.median_ns;
+}
+
+double bw_gbps(const sim::SystemConfig& cfg, BenchKind kind, std::uint32_t sz,
+               std::uint64_t window, CacheState cs, bool local = true,
+               std::uint64_t page = 4096, std::size_t iters = 25000) {
+  sim::System system(cfg);
+  BenchParams p;
+  p.kind = kind;
+  p.transfer_size = sz;
+  p.window_bytes = window;
+  p.cache_state = cs;
+  p.numa_local = local;
+  p.page_bytes = page;
+  p.iterations = iters;
+  p.warmup = iters / 5;
+  return core::run_bandwidth_bench(system, p).gbps;
+}
+
+constexpr std::uint64_t kSmallWindow = 64ull << 10;
+constexpr std::uint64_t kHugeWindow = 64ull << 20;
+
+// ---- Fig 7a: cache effects on latency (NFP6000-SNB, 8 B cmd IF) ------------
+
+TEST(Fig7Cache, WarmReadsServedFromLlcSaveAbout70ns) {
+  const auto cfg = sys::nfp6000_snb().config;
+  const double warm = lat_med(cfg, BenchKind::LatRd, 8, kSmallWindow,
+                              CacheState::HostWarm, true);
+  const double cold = lat_med(cfg, BenchKind::LatRd, 8, kSmallWindow,
+                              CacheState::Thrash, true);
+  EXPECT_NEAR(cold - warm, 70.0, 25.0);
+}
+
+TEST(Fig7Cache, ColdReadLatencyFlatAcrossWindowSizes) {
+  const auto cfg = sys::nfp6000_snb().config;
+  const double small = lat_med(cfg, BenchKind::LatRd, 8, kSmallWindow,
+                               CacheState::Thrash, true);
+  const double huge = lat_med(cfg, BenchKind::LatRd, 8, kHugeWindow,
+                              CacheState::Thrash, true);
+  EXPECT_NEAR(small, huge, 25.0);
+}
+
+TEST(Fig7Cache, WarmReadLatencyRisesPastLlcSize) {
+  const auto cfg = sys::nfp6000_snb().config;  // 15 MB LLC
+  const double in_cache = lat_med(cfg, BenchKind::LatRd, 8, 4ull << 20,
+                                  CacheState::HostWarm, true);
+  const double past = lat_med(cfg, BenchKind::LatRd, 8, kHugeWindow,
+                              CacheState::HostWarm, true);
+  EXPECT_GT(past - in_cache, 45.0);
+}
+
+TEST(Fig7Cache, DdioAbsorbsColdWritesInSmallWindows) {
+  // Cold WRRD in a window within the DDIO quota is as fast as warm.
+  const auto cfg = sys::nfp6000_snb().config;
+  const double cold = lat_med(cfg, BenchKind::LatWrRd, 8, kSmallWindow,
+                              CacheState::Thrash, true, 3000, 2000);
+  const double warm = lat_med(cfg, BenchKind::LatWrRd, 8, kSmallWindow,
+                              CacheState::HostWarm, true, 3000, 2000);
+  EXPECT_NEAR(cold, warm, 25.0);
+}
+
+TEST(Fig7Cache, ColdWritesPayFlushPastDdioQuota) {
+  // §6.3: beyond ~10 % of the LLC, dirty lines must be flushed before the
+  // write completes, costing ~70 ns. (DDIO quota here: 1.5 MB.)
+  const auto cfg = sys::nfp6000_snb().config;
+  const double small = lat_med(cfg, BenchKind::LatWrRd, 8, kSmallWindow,
+                               CacheState::Thrash, true, 4000, 2000);
+  // 60k warm-up transactions saturate the quota's sets in a 16 MB window.
+  const double past_quota = lat_med(cfg, BenchKind::LatWrRd, 8, 16ull << 20,
+                                    CacheState::Thrash, true, 4000, 60000);
+  EXPECT_NEAR(past_quota - small, 65.0, 25.0);
+}
+
+// ---- Fig 7b: cache effects on bandwidth -------------------------------------
+
+TEST(Fig7Cache, SmallReadBandwidthBenefitsFromWarmCache) {
+  const auto cfg = sys::nfp6000_snb().config;
+  const double warm =
+      bw_gbps(cfg, BenchKind::BwRd, 64, kSmallWindow, CacheState::HostWarm);
+  const double cold =
+      bw_gbps(cfg, BenchKind::BwRd, 64, kSmallWindow, CacheState::Thrash);
+  EXPECT_GT(warm, cold * 1.08);
+}
+
+TEST(Fig7Cache, WarmReadBandwidthFallsToColdPastLlc) {
+  const auto cfg = sys::nfp6000_snb().config;
+  const double warm_small =
+      bw_gbps(cfg, BenchKind::BwRd, 64, kSmallWindow, CacheState::HostWarm);
+  const double warm_huge =
+      bw_gbps(cfg, BenchKind::BwRd, 64, kHugeWindow, CacheState::HostWarm);
+  const double cold =
+      bw_gbps(cfg, BenchKind::BwRd, 64, kHugeWindow, CacheState::Thrash);
+  EXPECT_LT(warm_huge, warm_small);
+  EXPECT_NEAR(warm_huge, cold, cold * 0.08);
+}
+
+TEST(Fig7Cache, LargeReadBandwidthInsensitiveToCache) {
+  // §6.3: "from 512B DMA Reads onwards, there is no measurable difference".
+  const auto cfg = sys::nfp6000_snb().config;
+  const double warm =
+      bw_gbps(cfg, BenchKind::BwRd, 512, kSmallWindow, CacheState::HostWarm);
+  const double cold =
+      bw_gbps(cfg, BenchKind::BwRd, 512, kSmallWindow, CacheState::Thrash);
+  EXPECT_NEAR(warm, cold, warm * 0.03);
+}
+
+TEST(Fig7Cache, WriteBandwidthInsensitiveToCacheState) {
+  // §6.3: "For DMA Writes, there is no benefit if the data is resident".
+  const auto cfg = sys::nfp6000_snb().config;
+  for (std::uint64_t window : {kSmallWindow, std::uint64_t{4} << 20, kHugeWindow}) {
+    const double warm =
+        bw_gbps(cfg, BenchKind::BwWr, 64, window, CacheState::HostWarm);
+    const double cold =
+        bw_gbps(cfg, BenchKind::BwWr, 64, window, CacheState::Thrash);
+    EXPECT_NEAR(warm, cold, warm * 0.03) << window;
+  }
+}
+
+// ---- Fig 8: NUMA (NFP6000-BDW, warm) ----------------------------------------
+
+TEST(Fig8Numa, Remote64BReadsDropAbout20PercentWhenCacheResident) {
+  const auto cfg = sys::nfp6000_bdw().config;
+  const double local =
+      bw_gbps(cfg, BenchKind::BwRd, 64, kSmallWindow, CacheState::HostWarm, true);
+  const double remote = bw_gbps(cfg, BenchKind::BwRd, 64, kSmallWindow,
+                                CacheState::HostWarm, false);
+  const double drop = core::pct_change(local, remote);
+  EXPECT_LT(drop, -15.0);
+  EXPECT_GT(drop, -30.0);
+}
+
+TEST(Fig8Numa, PenaltyShrinksOnceOutOfCache) {
+  const auto cfg = sys::nfp6000_bdw().config;  // 25 MB LLC
+  const double local = bw_gbps(cfg, BenchKind::BwRd, 64, kHugeWindow,
+                               CacheState::HostWarm, true);
+  const double remote = bw_gbps(cfg, BenchKind::BwRd, 64, kHugeWindow,
+                                CacheState::HostWarm, false);
+  const double drop_out = core::pct_change(local, remote);
+  const double drop_in = core::pct_change(
+      bw_gbps(cfg, BenchKind::BwRd, 64, kSmallWindow, CacheState::HostWarm, true),
+      bw_gbps(cfg, BenchKind::BwRd, 64, kSmallWindow, CacheState::HostWarm,
+              false));
+  EXPECT_GT(drop_out, drop_in);  // less negative
+}
+
+TEST(Fig8Numa, MidSizePenaltySingleDigit) {
+  const auto cfg = sys::nfp6000_bdw().config;
+  const double local = bw_gbps(cfg, BenchKind::BwRd, 128, kSmallWindow,
+                               CacheState::HostWarm, true);
+  const double remote = bw_gbps(cfg, BenchKind::BwRd, 128, kSmallWindow,
+                                CacheState::HostWarm, false);
+  const double drop = core::pct_change(local, remote);
+  EXPECT_LT(drop, -1.0);
+  EXPECT_GT(drop, -12.0);
+}
+
+TEST(Fig8Numa, NoPenaltyFor512BReads) {
+  const auto cfg = sys::nfp6000_bdw().config;
+  const double local = bw_gbps(cfg, BenchKind::BwRd, 512, kSmallWindow,
+                               CacheState::HostWarm, true);
+  const double remote = bw_gbps(cfg, BenchKind::BwRd, 512, kSmallWindow,
+                                CacheState::HostWarm, false);
+  EXPECT_NEAR(local, remote, local * 0.02);
+}
+
+TEST(Fig8Numa, WriteThroughputUnaffectedByLocality) {
+  // §6.4: "throughput of DMA Writes does not seem to be affected by the
+  // locality of the host buffer".
+  const auto cfg = sys::nfp6000_bdw().config;
+  const double local =
+      bw_gbps(cfg, BenchKind::BwWr, 64, kSmallWindow, CacheState::HostWarm, true);
+  const double remote = bw_gbps(cfg, BenchKind::BwWr, 64, kSmallWindow,
+                                CacheState::HostWarm, false);
+  EXPECT_NEAR(local, remote, local * 0.02);
+}
+
+TEST(Fig8Numa, RemoteAddsAbout100nsLatency) {
+  const auto cfg = sys::nfp6000_bdw().config;
+  sim::System sys_local(cfg);
+  BenchParams p;
+  p.kind = BenchKind::LatRd;
+  p.transfer_size = 64;
+  p.window_bytes = kSmallWindow;
+  p.cache_state = CacheState::HostWarm;
+  p.iterations = 2000;
+  auto local = core::run_latency_bench(sys_local, p);
+  sim::System sys_remote(cfg);
+  p.numa_local = false;
+  auto remote = core::run_latency_bench(sys_remote, p);
+  EXPECT_NEAR(remote.summary.median_ns - local.summary.median_ns, 90.0, 35.0);
+}
+
+// ---- Fig 9: IOMMU (NFP6000-BDW, warm, 4 KB pages) ---------------------------
+
+TEST(Fig9Iommu, NoImpactWhileWindowFitsTlb) {
+  // 64 entries x 4 KB = 256 KB of reach.
+  const auto base = sys::nfp6000_bdw().config;
+  const auto on = sys::with_iommu(base, true, 4096);
+  for (std::uint32_t sz : {64u, 256u}) {
+    const double off =
+        bw_gbps(base, BenchKind::BwRd, sz, 128ull << 10, CacheState::HostWarm);
+    const double with =
+        bw_gbps(on, BenchKind::BwRd, sz, 128ull << 10, CacheState::HostWarm);
+    EXPECT_NEAR(with, off, off * 0.03) << sz;
+  }
+}
+
+TEST(Fig9Iommu, SmallReadsCollapsePastTlbReach) {
+  // §6.5: 64 B reads drop by almost 70 % once the window exceeds 256 KB.
+  const auto base = sys::nfp6000_bdw().config;
+  const auto on = sys::with_iommu(base, true, 4096);
+  const double off =
+      bw_gbps(base, BenchKind::BwRd, 64, 16ull << 20, CacheState::HostWarm);
+  const double with =
+      bw_gbps(on, BenchKind::BwRd, 64, 16ull << 20, CacheState::HostWarm);
+  const double drop = core::pct_change(off, with);
+  EXPECT_LT(drop, -55.0);
+  EXPECT_GT(drop, -80.0);
+}
+
+TEST(Fig9Iommu, MidSizeDropIsModerate) {
+  const auto base = sys::nfp6000_bdw().config;
+  const auto on = sys::with_iommu(base, true, 4096);
+  const double off =
+      bw_gbps(base, BenchKind::BwRd, 256, 16ull << 20, CacheState::HostWarm);
+  const double with =
+      bw_gbps(on, BenchKind::BwRd, 256, 16ull << 20, CacheState::HostWarm);
+  const double drop = core::pct_change(off, with);
+  EXPECT_LT(drop, -15.0);
+  EXPECT_GT(drop, -45.0);
+}
+
+TEST(Fig9Iommu, NoChangeFor512BAndAbove) {
+  const auto base = sys::nfp6000_bdw().config;
+  const auto on = sys::with_iommu(base, true, 4096);
+  const double off =
+      bw_gbps(base, BenchKind::BwRd, 512, 16ull << 20, CacheState::HostWarm);
+  const double with =
+      bw_gbps(on, BenchKind::BwRd, 512, 16ull << 20, CacheState::HostWarm);
+  EXPECT_NEAR(with, off, off * 0.03);
+}
+
+TEST(Fig9Iommu, WritesDropLessThanReads) {
+  // §6.5: ~55 % drop for 64 B writes vs ~70 % for reads.
+  const auto base = sys::nfp6000_bdw().config;
+  const auto on = sys::with_iommu(base, true, 4096);
+  const double wr_drop = core::pct_change(
+      bw_gbps(base, BenchKind::BwWr, 64, 16ull << 20, CacheState::HostWarm),
+      bw_gbps(on, BenchKind::BwWr, 64, 16ull << 20, CacheState::HostWarm));
+  const double rd_drop = core::pct_change(
+      bw_gbps(base, BenchKind::BwRd, 64, 16ull << 20, CacheState::HostWarm),
+      bw_gbps(on, BenchKind::BwRd, 64, 16ull << 20, CacheState::HostWarm));
+  EXPECT_LT(wr_drop, -35.0);
+  EXPECT_GT(wr_drop, rd_drop);  // writes lose less
+}
+
+TEST(Fig9Iommu, TlbMissAddsAbout330nsLatency) {
+  // §6.5: 64 B read latency rises from ~430 ns to ~760 ns under misses.
+  const auto base = sys::nfp6000_bdw().config;
+  const auto on = sys::with_iommu(base, true, 4096);
+  sim::System off_sys(base);
+  BenchParams p;
+  p.kind = BenchKind::LatRd;
+  p.transfer_size = 64;
+  p.window_bytes = 16ull << 20;  // far beyond TLB reach
+  p.cache_state = CacheState::HostWarm;
+  p.use_cmd_if = true;
+  p.iterations = 2000;
+  auto off = core::run_latency_bench(off_sys, p);
+  sim::System on_sys(on);
+  auto with = core::run_latency_bench(on_sys, p);
+  EXPECT_NEAR(with.summary.median_ns - off.summary.median_ns, 330.0, 40.0);
+}
+
+TEST(Fig9Iommu, SuperpagesRestoreThroughput) {
+  // §7 recommendation: superpages collapse the IO-TLB footprint.
+  const auto base = sys::nfp6000_bdw().config;
+  const auto sp = sys::with_iommu(base, true, 2ull << 20);
+  const double off =
+      bw_gbps(base, BenchKind::BwRd, 64, 16ull << 20, CacheState::HostWarm);
+  const double with_sp = bw_gbps(sp, BenchKind::BwRd, 64, 16ull << 20,
+                                 CacheState::HostWarm, true, 2ull << 20);
+  EXPECT_NEAR(with_sp, off, off * 0.05);
+}
+
+}  // namespace
+}  // namespace pcieb

@@ -1,0 +1,99 @@
+#include "pcie/flow_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::proto {
+namespace {
+
+Tlp write_tlp(std::uint32_t payload) {
+  return Tlp{TlpType::MemWr, 0, payload, 0, 0};
+}
+Tlp read_tlp() { return Tlp{TlpType::MemRd, 0, 0, 64, 0}; }
+Tlp cpl_tlp(std::uint32_t payload) {
+  return Tlp{TlpType::CplD, 0, payload, 0, 0};
+}
+
+TEST(CreditMath, PoolMapping) {
+  EXPECT_EQ(pool_for(TlpType::MemWr), CreditPool::Posted);
+  EXPECT_EQ(pool_for(TlpType::MemRd), CreditPool::NonPosted);
+  EXPECT_EQ(pool_for(TlpType::CplD), CreditPool::Completion);
+  EXPECT_EQ(pool_for(TlpType::Cpl), CreditPool::Completion);
+}
+
+TEST(CreditMath, DataCreditsAre16ByteUnits) {
+  EXPECT_EQ(data_credits(0), 0u);
+  EXPECT_EQ(data_credits(1), 1u);
+  EXPECT_EQ(data_credits(16), 1u);
+  EXPECT_EQ(data_credits(17), 2u);
+  EXPECT_EQ(data_credits(256), 16u);
+}
+
+TEST(CreditLedgerTest, ConsumeAndRelease) {
+  CreditLimits limits;
+  limits.posted_hdr = 2;
+  limits.posted_data = 20;
+  CreditLedger ledger(limits);
+
+  const Tlp w = write_tlp(128);  // 8 data credits
+  EXPECT_TRUE(ledger.can_send(w));
+  ledger.consume(w);
+  EXPECT_EQ(ledger.posted_hdr_in_use(), 1u);
+  EXPECT_EQ(ledger.posted_data_in_use(), 8u);
+  ledger.consume(w);
+  EXPECT_FALSE(ledger.can_send(w));  // hdr would fit? no: hdr full (2)
+  ledger.release(w);
+  EXPECT_TRUE(ledger.can_send(w));
+}
+
+TEST(CreditLedgerTest, DataCreditsCanBlockBeforeHeaders) {
+  CreditLimits limits;
+  limits.posted_hdr = 100;
+  limits.posted_data = 10;  // 160 B
+  CreditLedger ledger(limits);
+  ledger.consume(write_tlp(128));  // 8 credits
+  EXPECT_TRUE(ledger.can_send(write_tlp(32)));   // 2 more fits
+  EXPECT_FALSE(ledger.can_send(write_tlp(64)));  // 4 more does not
+}
+
+TEST(CreditLedgerTest, NonPostedUsesHeaderOnly) {
+  CreditLimits limits;
+  limits.nonposted_hdr = 1;
+  CreditLedger ledger(limits);
+  ledger.consume(read_tlp());
+  EXPECT_FALSE(ledger.can_send(read_tlp()));
+  ledger.release(read_tlp());
+  EXPECT_TRUE(ledger.can_send(read_tlp()));
+}
+
+TEST(CreditLedgerTest, InfiniteCompletionsNeverBlock) {
+  CreditLedger ledger(CreditLimits::infinite_completions());
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ledger.can_send(cpl_tlp(256)));
+    ledger.consume(cpl_tlp(256));
+  }
+}
+
+TEST(CreditLedgerTest, ConsumeWithoutCreditsThrows) {
+  CreditLimits limits;
+  limits.posted_hdr = 0;
+  CreditLedger ledger(limits);
+  EXPECT_THROW(ledger.consume(write_tlp(4)), std::logic_error);
+}
+
+TEST(CreditLedgerTest, ReleaseUnderflowThrows) {
+  CreditLedger ledger(CreditLimits{});
+  EXPECT_THROW(ledger.release(write_tlp(4)), std::logic_error);
+}
+
+TEST(CreditLedgerTest, PoolsAreIndependent) {
+  CreditLimits limits;
+  limits.posted_hdr = 1;
+  limits.nonposted_hdr = 1;
+  CreditLedger ledger(limits);
+  ledger.consume(write_tlp(4));
+  EXPECT_FALSE(ledger.can_send(write_tlp(4)));
+  EXPECT_TRUE(ledger.can_send(read_tlp()));  // non-posted unaffected
+}
+
+}  // namespace
+}  // namespace pcieb::proto

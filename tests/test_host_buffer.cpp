@@ -1,0 +1,98 @@
+#include "sim/host_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pcieb::sim {
+namespace {
+
+TEST(HostBufferTest, IovaIsContiguous) {
+  HostBuffer buf(BufferConfig{});
+  EXPECT_EQ(buf.iova(1), buf.iova(0) + 1);
+  EXPECT_EQ(buf.iova(4096), buf.iova(0) + 4096);
+}
+
+TEST(HostBufferTest, BoundsChecked) {
+  BufferConfig cfg;
+  cfg.size_bytes = 1 << 20;
+  HostBuffer buf(cfg);
+  EXPECT_NO_THROW(buf.iova(cfg.size_bytes - 1));
+  EXPECT_THROW(buf.iova(cfg.size_bytes), std::out_of_range);
+  EXPECT_THROW(buf.phys(cfg.size_bytes), std::out_of_range);
+}
+
+TEST(HostBufferTest, ContainsIova) {
+  BufferConfig cfg;
+  cfg.size_bytes = 4096;
+  HostBuffer buf(cfg);
+  EXPECT_TRUE(buf.contains_iova(buf.base_iova()));
+  EXPECT_TRUE(buf.contains_iova(buf.base_iova() + 4095));
+  EXPECT_FALSE(buf.contains_iova(buf.base_iova() + 4096));
+  EXPECT_FALSE(buf.contains_iova(buf.base_iova() - 1));
+}
+
+TEST(HostBufferTest, PhysContiguousWithinChunk) {
+  BufferConfig cfg;
+  cfg.size_bytes = 16ull << 20;
+  cfg.chunk_bytes = 4ull << 20;
+  HostBuffer buf(cfg);
+  // Within one chunk, physical addresses are contiguous.
+  EXPECT_EQ(buf.phys(100), buf.phys(0) + 100);
+  EXPECT_EQ(buf.phys((4ull << 20) - 1), buf.phys(0) + (4ull << 20) - 1);
+}
+
+TEST(HostBufferTest, ChunksAreScattered) {
+  BufferConfig cfg;
+  cfg.size_bytes = 64ull << 20;
+  cfg.chunk_bytes = 4ull << 20;
+  HostBuffer buf(cfg);
+  std::set<std::uint64_t> bases;
+  for (int c = 0; c < 16; ++c) {
+    bases.insert(buf.phys(static_cast<std::uint64_t>(c) * (4ull << 20)));
+  }
+  EXPECT_GT(bases.size(), 1u);  // not one contiguous region
+}
+
+TEST(HostBufferTest, ChunkPlacementIsDeterministicPerSeed) {
+  BufferConfig cfg;
+  cfg.seed = 77;
+  HostBuffer a(cfg), b(cfg);
+  EXPECT_EQ(a.phys(0), b.phys(0));
+  EXPECT_EQ(a.phys(5ull << 20), b.phys(5ull << 20));
+  cfg.seed = 78;
+  HostBuffer c(cfg);
+  EXPECT_NE(a.phys(0), c.phys(0));
+}
+
+TEST(HostBufferTest, IovaToPhysRoundTrip) {
+  HostBuffer buf(BufferConfig{});
+  EXPECT_EQ(buf.iova_to_phys(buf.iova(12345)), buf.phys(12345));
+  EXPECT_THROW(buf.iova_to_phys(0), std::out_of_range);
+}
+
+TEST(HostBufferTest, RejectsZeroSizes) {
+  BufferConfig cfg;
+  cfg.size_bytes = 0;
+  EXPECT_THROW(HostBuffer{cfg}, std::invalid_argument);
+  cfg = BufferConfig{};
+  cfg.page_bytes = 0;
+  EXPECT_THROW(HostBuffer{cfg}, std::invalid_argument);
+}
+
+TEST(HostBufferTest, PageSizeRecorded) {
+  BufferConfig cfg;
+  cfg.page_bytes = 2ull << 20;
+  HostBuffer buf(cfg);
+  EXPECT_EQ(buf.page_bytes(), 2ull << 20);
+}
+
+TEST(HostBufferTest, LocalityFlag) {
+  BufferConfig cfg;
+  cfg.local = false;
+  HostBuffer buf(cfg);
+  EXPECT_FALSE(buf.local());
+}
+
+}  // namespace
+}  // namespace pcieb::sim

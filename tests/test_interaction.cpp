@@ -1,0 +1,190 @@
+#include "model/interaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/nic_models.hpp"
+#include "pcie/bandwidth.hpp"
+
+namespace pcieb::model {
+namespace {
+
+const proto::LinkConfig kCfg = proto::gen3_x8();
+
+TEST(LoadOf, SingleDmaWrite) {
+  auto load = load_of(kCfg, {{OpKind::DmaWrite, 64, 1.0, "w"}});
+  EXPECT_DOUBLE_EQ(load.upstream, 88.0);
+  EXPECT_DOUBLE_EQ(load.downstream, 0.0);
+}
+
+TEST(LoadOf, SingleDmaRead) {
+  auto load = load_of(kCfg, {{OpKind::DmaRead, 64, 1.0, "r"}});
+  EXPECT_DOUBLE_EQ(load.upstream, 24.0);
+  EXPECT_DOUBLE_EQ(load.downstream, 84.0);
+}
+
+TEST(LoadOf, BatchingDividesCost) {
+  auto per_pkt = load_of(kCfg, {{OpKind::DmaWrite, 4, 1.0, "irq"}});
+  auto batched = load_of(kCfg, {{OpKind::DmaWrite, 4, 8.0, "irq"}});
+  EXPECT_NEAR(batched.upstream, per_pkt.upstream / 8.0, 1e-12);
+}
+
+TEST(LoadOf, MmioOpsGoTheRightWay) {
+  auto wr = load_of(kCfg, {{OpKind::MmioWrite, 4, 1.0, "db"}});
+  EXPECT_EQ(wr.upstream, 0.0);
+  EXPECT_DOUBLE_EQ(wr.downstream, 28.0);
+  auto rd = load_of(kCfg, {{OpKind::MmioRead, 4, 1.0, "head"}});
+  EXPECT_DOUBLE_EQ(rd.downstream, 24.0);
+  EXPECT_DOUBLE_EQ(rd.upstream, 24.0);
+}
+
+TEST(LoadOf, NonPositivePerPacketsThrows) {
+  EXPECT_THROW(load_of(kCfg, {{OpKind::DmaRead, 64, 0.0, "bad"}}),
+               std::invalid_argument);
+  EXPECT_THROW(load_of(kCfg, {{OpKind::DmaRead, 64, -1.0, "bad"}}),
+               std::invalid_argument);
+}
+
+TEST(RateSolver, EffectivePcieMatchesClosedForm) {
+  // The interaction-model route and the closed-form §3 model must agree
+  // on the pure packet-data reference.
+  const auto eff = effective_pcie();
+  for (std::uint32_t sz : {64u, 256u, 512u, 1024u, 1280u}) {
+    EXPECT_NEAR(bidirectional_goodput_gbps(kCfg, eff, sz),
+                proto::effective_rdwr_gbps(kCfg, sz), 0.01)
+        << "sz=" << sz;
+  }
+}
+
+TEST(NicModels, Figure1OrderingHolds) {
+  const auto eff = effective_pcie();
+  const auto simple = simple_nic();
+  const auto kern = modern_nic_kernel();
+  const auto dpdk = modern_nic_dpdk();
+  for (std::uint32_t sz : {64u, 128u, 256u, 512u, 1024u, 1280u}) {
+    const double g_eff = bidirectional_goodput_gbps(kCfg, eff, sz);
+    const double g_simple = bidirectional_goodput_gbps(kCfg, simple, sz);
+    const double g_kern = bidirectional_goodput_gbps(kCfg, kern, sz);
+    const double g_dpdk = bidirectional_goodput_gbps(kCfg, dpdk, sz);
+    EXPECT_LT(g_simple, g_kern) << sz;
+    EXPECT_LT(g_kern, g_dpdk) << sz;
+    EXPECT_LT(g_dpdk, g_eff) << sz;
+  }
+}
+
+TEST(NicModels, SimpleNicReachesLineRateExactlyAt512) {
+  // §2: "Such a device would only achieve 40 Gb/s line rate throughput
+  // for Ethernet frames larger than 512 B."
+  const auto simple = simple_nic();
+  const double demand_512 = proto::ethernet_pcie_demand_gbps(40.0, 512);
+  const double ach_512 = bidirectional_goodput_gbps(kCfg, simple, 512);
+  EXPECT_NEAR(ach_512, demand_512, 0.05);  // crossover lands at 512 B
+
+  const double demand_256 = proto::ethernet_pcie_demand_gbps(40.0, 256);
+  EXPECT_LT(bidirectional_goodput_gbps(kCfg, simple, 256), demand_256);
+
+  const double demand_1024 = proto::ethernet_pcie_demand_gbps(40.0, 1024);
+  EXPECT_GT(bidirectional_goodput_gbps(kCfg, simple, 1024), demand_1024);
+}
+
+TEST(NicModels, ModernNicsSustain40GAt128B) {
+  const double demand = proto::ethernet_pcie_demand_gbps(40.0, 128);
+  EXPECT_LT(bidirectional_goodput_gbps(kCfg, simple_nic(), 128), demand);
+  EXPECT_GT(bidirectional_goodput_gbps(kCfg, modern_nic_dpdk(), 128), demand);
+}
+
+TEST(NicModels, DpdkRemovesInterruptCost) {
+  // The DPDK preset differs from the kernel preset exactly by interrupts
+  // and register reads, so its per-packet load must be strictly smaller.
+  const auto kern = modern_nic_kernel();
+  const auto dpdk = modern_nic_dpdk();
+  auto load_k = load_of(kCfg, kern.tx_ops(256));
+  load_k += load_of(kCfg, kern.rx_ops(256));
+  auto load_d = load_of(kCfg, dpdk.tx_ops(256));
+  load_d += load_of(kCfg, dpdk.rx_ops(256));
+  EXPECT_LT(load_d.upstream, load_k.upstream);
+  EXPECT_LT(load_d.downstream, load_k.downstream);
+}
+
+TEST(NicModels, BiggerDescriptorBatchesHelp) {
+  ModernNicOptions small = ModernNicOptions::dpdk_defaults();
+  small.desc_batch = 1;
+  ModernNicOptions big = ModernNicOptions::dpdk_defaults();
+  big.desc_batch = 64;
+  EXPECT_GT(bidirectional_goodput_gbps(kCfg, modern_nic_dpdk(big), 64),
+            bidirectional_goodput_gbps(kCfg, modern_nic_dpdk(small), 64));
+}
+
+TEST(RateSolver, RateScalesWithLinkWidth) {
+  proto::LinkConfig x16 = kCfg;
+  x16.lanes = 16;
+  const auto eff = effective_pcie();
+  EXPECT_NEAR(max_symmetric_packet_rate(x16, eff, 256),
+              2.0 * max_symmetric_packet_rate(kCfg, eff, 256), 1e3);
+}
+
+TEST(MixedTraffic, SymmetricMixMatchesBidirectional) {
+  const auto dpdk = modern_nic_dpdk();
+  for (std::uint32_t sz : {64u, 512u, 1500u}) {
+    const auto g = mixed_goodput_gbps(kCfg, dpdk, sz, 0.5);
+    // At 0.5 the per-direction goodput equals the Fig 1 quantity.
+    EXPECT_NEAR(g.tx_gbps, bidirectional_goodput_gbps(kCfg, dpdk, sz), 0.01)
+        << sz;
+    EXPECT_NEAR(g.tx_gbps, g.rx_gbps, 1e-9);
+  }
+}
+
+TEST(MixedTraffic, PureReceiveBeatsSymmetricReceiveGoodput) {
+  // With no transmit traffic competing for the upstream direction, the
+  // receive goodput exceeds the symmetric case's RX share.
+  const auto dpdk = modern_nic_dpdk();
+  const auto rx_only = mixed_goodput_gbps(kCfg, dpdk, 256, 0.0);
+  const auto sym = mixed_goodput_gbps(kCfg, dpdk, 256, 0.5);
+  EXPECT_EQ(rx_only.tx_gbps, 0.0);
+  EXPECT_GT(rx_only.rx_gbps, sym.rx_gbps);
+}
+
+TEST(MixedTraffic, PureTransmitBoundByCompletions) {
+  // TX-only: packet data arrives as completions downstream; the rate is
+  // bounded by the downstream CplD budget.
+  const auto eff = effective_pcie();
+  const auto g = mixed_goodput_gbps(kCfg, eff, 256, 1.0);
+  EXPECT_EQ(g.rx_gbps, 0.0);
+  EXPECT_NEAR(g.tx_gbps, proto::effective_read_gbps(kCfg, 256), 0.05);
+}
+
+TEST(MixedTraffic, TotalGoodputContinuousInMix) {
+  const auto kern = modern_nic_kernel();
+  double prev = mixed_goodput_gbps(kCfg, kern, 512, 0.0).total_gbps;
+  for (double f = 0.1; f <= 1.0001; f += 0.1) {
+    const double cur = mixed_goodput_gbps(kCfg, kern, 512, f).total_gbps;
+    EXPECT_LT(std::abs(cur - prev), prev * 0.35) << f;  // no cliffs
+    prev = cur;
+  }
+}
+
+TEST(MixedTraffic, InvalidFractionThrows) {
+  EXPECT_THROW(max_mixed_packet_rate(kCfg, effective_pcie(), 64, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(max_mixed_packet_rate(kCfg, effective_pcie(), 64, 1.1),
+               std::invalid_argument);
+}
+
+class ModelSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ModelSizeSweep, GoodputPositiveAndBelowLinkRate) {
+  for (const auto& m :
+       {effective_pcie(), simple_nic(), modern_nic_kernel(), modern_nic_dpdk()}) {
+    const double g = bidirectional_goodput_gbps(kCfg, m, GetParam());
+    EXPECT_GT(g, 0.0) << m.name;
+    EXPECT_LT(g, kCfg.tlp_gbps()) << m.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ModelSizeSweep,
+                         ::testing::Values(64, 65, 127, 128, 256, 511, 512,
+                                           513, 1024, 1280, 1500));
+
+}  // namespace
+}  // namespace pcieb::model

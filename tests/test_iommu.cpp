@@ -1,0 +1,156 @@
+#include "sim/iommu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::sim {
+namespace {
+
+IommuConfig enabled_cfg() {
+  IommuConfig cfg;
+  cfg.enabled = true;
+  cfg.tlb_entries = 4;
+  cfg.page_bytes = 4096;
+  cfg.walkers = 2;
+  cfg.walk_latency = from_nanos(330);
+  cfg.walk_occupancy_read = from_nanos(330);
+  cfg.walk_occupancy_write = from_nanos(165);
+  return cfg;
+}
+
+Picos translate_at(Simulator& sim, Iommu& iommu, std::uint64_t addr,
+                   bool is_write = false) {
+  Picos done = -1;
+  iommu.translate(addr, is_write, [&] { done = sim.now(); });
+  sim.run();
+  return done;
+}
+
+TEST(IommuTest, DisabledIsFree) {
+  Simulator sim;
+  Iommu iommu(sim, IommuConfig{});
+  EXPECT_EQ(translate_at(sim, iommu, 0x1234), 0);
+  EXPECT_EQ(iommu.tlb_misses(), 0u);
+}
+
+TEST(IommuTest, FirstAccessWalks) {
+  Simulator sim;
+  Iommu iommu(sim, enabled_cfg());
+  EXPECT_EQ(translate_at(sim, iommu, 0x1000), from_nanos(330));
+  EXPECT_EQ(iommu.tlb_misses(), 1u);
+}
+
+TEST(IommuTest, SecondAccessSamePageHits) {
+  Simulator sim;
+  Iommu iommu(sim, enabled_cfg());
+  translate_at(sim, iommu, 0x1000);
+  const Picos before = sim.now();
+  Picos done = -1;
+  iommu.translate(0x1a00, false, [&] { done = sim.now(); });  // same page
+  sim.run();
+  EXPECT_EQ(done, before);  // no walk, no added latency
+  EXPECT_EQ(iommu.tlb_hits(), 1u);
+}
+
+TEST(IommuTest, LruEviction) {
+  Simulator sim;
+  Iommu iommu(sim, enabled_cfg());  // 4 entries
+  for (std::uint64_t p = 0; p < 5; ++p) {
+    translate_at(sim, iommu, p * 4096);  // fills and evicts page 0
+  }
+  iommu.reset_stats();
+  translate_at(sim, iommu, 0);  // page 0 was evicted
+  EXPECT_EQ(iommu.tlb_misses(), 1u);
+  iommu.reset_stats();
+  translate_at(sim, iommu, 4 * 4096);  // page 4 still resident
+  EXPECT_EQ(iommu.tlb_hits(), 1u);
+}
+
+TEST(IommuTest, LruRefreshOnHit) {
+  Simulator sim;
+  Iommu iommu(sim, enabled_cfg());
+  for (std::uint64_t p = 0; p < 4; ++p) translate_at(sim, iommu, p * 4096);
+  translate_at(sim, iommu, 0);           // refresh page 0
+  translate_at(sim, iommu, 100 * 4096);  // evicts page 1 (now LRU), not 0
+  iommu.reset_stats();
+  translate_at(sim, iommu, 0);
+  EXPECT_EQ(iommu.tlb_hits(), 1u);
+  iommu.reset_stats();
+  translate_at(sim, iommu, 4096);
+  EXPECT_EQ(iommu.tlb_misses(), 1u);
+}
+
+TEST(IommuTest, WalkerPoolBoundsThroughput) {
+  Simulator sim;
+  Iommu iommu(sim, enabled_cfg());  // 2 walkers, 330 ns occupancy
+  int done = 0;
+  for (std::uint64_t p = 0; p < 6; ++p) {
+    iommu.translate(p * 4096, false, [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 6);
+  // 6 misses on 2 walkers at 330 ns -> three serialized rounds.
+  EXPECT_EQ(sim.now(), from_nanos(3 * 330));
+}
+
+TEST(IommuTest, WriteWalksOccupyLess) {
+  // Writes hold a walker for half the time, so a stream of write misses
+  // finishes sooner than the same stream of read misses.
+  Simulator sim_rd;
+  Iommu iommu_rd(sim_rd, enabled_cfg());
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    iommu_rd.translate(p * 4096, false, [] {});
+  }
+  sim_rd.run();
+
+  Simulator sim_wr;
+  Iommu iommu_wr(sim_wr, enabled_cfg());
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    iommu_wr.translate(p * 4096, true, [] {});
+  }
+  sim_wr.run();
+  EXPECT_LT(sim_wr.now(), sim_rd.now());
+}
+
+TEST(IommuTest, SuperpagesCollapseFootprint) {
+  IommuConfig cfg = enabled_cfg();
+  cfg.page_bytes = 2ull << 20;  // 2 MB superpages
+  Simulator sim;
+  Iommu iommu(sim, cfg);
+  // 64 distinct 4 KB-page addresses inside one superpage: one walk total.
+  for (std::uint64_t p = 0; p < 64; ++p) translate_at(sim, iommu, p * 4096);
+  EXPECT_EQ(iommu.tlb_misses(), 1u);
+  EXPECT_EQ(iommu.tlb_hits(), 63u);
+}
+
+TEST(IommuTest, FlushForcesRewalk) {
+  Simulator sim;
+  Iommu iommu(sim, enabled_cfg());
+  translate_at(sim, iommu, 0x1000);
+  iommu.flush_tlb();
+  iommu.reset_stats();
+  translate_at(sim, iommu, 0x1000);
+  EXPECT_EQ(iommu.tlb_misses(), 1u);
+}
+
+TEST(IommuTest, EnabledZeroStructuresThrow) {
+  IommuConfig cfg = enabled_cfg();
+  cfg.tlb_entries = 0;
+  Simulator sim;
+  EXPECT_THROW(Iommu(sim, cfg), std::invalid_argument);
+}
+
+TEST(IommuTest, ConcurrentMissesOnSamePageInsertOnce) {
+  Simulator sim;
+  Iommu iommu(sim, enabled_cfg());
+  int done = 0;
+  iommu.translate(0x1000, false, [&] { ++done; });
+  iommu.translate(0x1000, false, [&] { ++done; });  // racing walk, same page
+  sim.run();
+  EXPECT_EQ(done, 2);
+  iommu.reset_stats();
+  translate_at(sim, iommu, 0x1000);
+  EXPECT_EQ(iommu.tlb_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace pcieb::sim

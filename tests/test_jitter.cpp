@@ -1,0 +1,96 @@
+#include "sim/jitter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::sim {
+namespace {
+
+TEST(SplicedDistributionTest, RejectsBadKnots) {
+  using K = SplicedDistribution::Knot;
+  EXPECT_THROW(SplicedDistribution({{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(SplicedDistribution({K{0.1, 0.0}, K{1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(SplicedDistribution({K{0.0, 0.0}, K{0.9, 1.0}}),
+               std::invalid_argument);
+  // Decreasing value
+  EXPECT_THROW(SplicedDistribution({K{0.0, 5.0}, K{0.5, 1.0}, K{1.0, 6.0}}),
+               std::invalid_argument);
+  // Non-increasing quantile
+  EXPECT_THROW(SplicedDistribution({K{0.0, 0.0}, K{0.5, 1.0}, K{0.5, 2.0},
+                                    K{1.0, 3.0}}),
+               std::invalid_argument);
+}
+
+TEST(SplicedDistributionTest, QuantileInterpolatesLinearly) {
+  SplicedDistribution d({{0.0, 0.0}, {0.5, 100.0}, {1.0, 200.0}});
+  EXPECT_DOUBLE_EQ(d.quantile_ns(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile_ns(0.25), 50.0);
+  EXPECT_DOUBLE_EQ(d.quantile_ns(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(d.quantile_ns(0.75), 150.0);
+  EXPECT_DOUBLE_EQ(d.quantile_ns(1.0), 200.0);
+  EXPECT_DOUBLE_EQ(d.quantile_ns(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile_ns(2.0), 200.0);
+}
+
+TEST(SplicedDistributionTest, MeanOfUniformSegment) {
+  SplicedDistribution d({{0.0, 0.0}, {1.0, 100.0}});
+  EXPECT_DOUBLE_EQ(d.mean_ns(), 50.0);
+}
+
+TEST(SplicedDistributionTest, SamplesRespectBounds) {
+  SplicedDistribution d({{0.0, 10.0}, {1.0, 20.0}});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = d.sample_ns(rng);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 20.0);
+  }
+}
+
+TEST(SplicedDistributionTest, EmpiricalQuantilesMatch) {
+  SplicedDistribution d({{0.0, 0.0}, {0.5, 100.0}, {0.9, 500.0}, {1.0, 1000.0}});
+  Xoshiro256 rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(d.sample_ns(rng));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 100.0, 5.0);
+  EXPECT_NEAR(samples[static_cast<std::size_t>(samples.size() * 0.9)], 500.0,
+              25.0);
+}
+
+TEST(JitterModelTest, NoneIsAlwaysZero) {
+  auto m = JitterModel::none();
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m.sample(rng), 0);
+}
+
+TEST(JitterModelTest, XeonE5IsNarrow) {
+  // Fig 6 E5: 99.9 % of transactions within an 80 ns band of the minimum.
+  auto m = JitterModel::xeon_e5();
+  EXPECT_DOUBLE_EQ(m.dist.quantile_ns(0.0), 0.0);
+  EXPECT_NEAR(m.dist.quantile_ns(0.5), 27.0, 1.0);
+  EXPECT_LE(m.dist.quantile_ns(0.999), 80.0);
+  EXPECT_LE(m.dist.quantile_ns(1.0), 430.0);
+}
+
+TEST(JitterModelTest, XeonE3HasHeavyTail) {
+  // Fig 6 E3 anchors (delta above the 493 ns minimum): median +720,
+  // p99 +5214, p99.9 +11494. The millisecond extreme tail is produced by
+  // MemoryConfig::stall_interval events, not this distribution.
+  auto m = JitterModel::xeon_e3();
+  EXPECT_NEAR(m.dist.quantile_ns(0.5), 720.0, 5.0);
+  EXPECT_NEAR(m.dist.quantile_ns(0.99), 5210.0, 30.0);
+  EXPECT_NEAR(m.dist.quantile_ns(0.999), 11490.0, 60.0);
+  EXPECT_GT(m.dist.quantile_ns(1.0), 20000.0);
+}
+
+TEST(JitterModelTest, E3MedianDominatesE5ByFarMoreThanTail) {
+  // The paper's headline: E3 median is more than double the E5 median
+  // while minima are comparable.
+  auto e5 = JitterModel::xeon_e5();
+  auto e3 = JitterModel::xeon_e3();
+  EXPECT_GT(e3.dist.quantile_ns(0.5), 20.0 * e5.dist.quantile_ns(0.5));
+}
+
+}  // namespace
+}  // namespace pcieb::sim

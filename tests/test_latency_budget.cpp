@@ -1,0 +1,68 @@
+#include "model/latency_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::model {
+namespace {
+
+TEST(InterPacketTime, Anchor128BAt40G) {
+  // §2: "With 40 Gb/s Ethernet at line rate for 128 B packets, a new
+  // packet needs to be received and sent around every 30 ns."
+  EXPECT_NEAR(inter_packet_time_ns(40.0, 128), 30.4, 0.1);
+}
+
+TEST(InterPacketTime, MinimumFrameAt40G) {
+  // 60 B frame + 24 B overhead = 84 B -> 16.8 ns at 40 Gb/s.
+  EXPECT_NEAR(inter_packet_time_ns(40.0, 60), 16.8, 0.01);
+}
+
+TEST(InterPacketTime, InvalidArgumentsThrow) {
+  EXPECT_THROW(inter_packet_time_ns(0.0, 128), std::invalid_argument);
+  EXPECT_THROW(inter_packet_time_ns(40.0, 0), std::invalid_argument);
+}
+
+TEST(RequiredInflight, PaperAnchorThirtyDmas) {
+  // §2: ~900 ns of PCIe latency at 30 ns inter-packet time means the NIC
+  // "has to handle at least 30 concurrent DMAs in each direction".
+  EXPECT_EQ(required_inflight_dmas(900.0, 40.0, 128), 30u);
+}
+
+TEST(RequiredInflight, Nfp6000HswWorstCase) {
+  // §7: 560-666 ns to move 128 B; at 29.6 ns per packet that is ~23
+  // in-flight DMAs at the upper bound.
+  EXPECT_EQ(required_inflight_dmas(666.0, 40.0, 128), 22u);
+}
+
+TEST(RequiredInflight, AtLeastOne) {
+  EXPECT_EQ(required_inflight_dmas(1.0, 40.0, 1500), 1u);
+}
+
+TEST(RequiredInflight, ScalesWithWireRate) {
+  const unsigned at40 = required_inflight_dmas(900.0, 40.0, 128);
+  const unsigned at100 = required_inflight_dmas(900.0, 100.0, 128);
+  EXPECT_GT(at100, 2 * at40);  // 2.5x the rate, same latency
+}
+
+TEST(RequiredInflight, IommuMissHeadroom) {
+  // §7: with the IOMMU on, the engines must also cover ~330 ns of
+  // occasional TLB-miss latency.
+  const unsigned base = required_inflight_dmas(666.0, 40.0, 128);
+  const unsigned with_miss = required_inflight_dmas(666.0 + 330.0, 40.0, 128);
+  EXPECT_GT(with_miss, base);
+  EXPECT_EQ(with_miss, 33u);
+}
+
+TEST(CycleBudget, MatchesHandComputation) {
+  // 1.2 GHz, 1 engine, 128 B at 40G: 30.4 ns -> ~36.5 cycles per DMA.
+  EXPECT_NEAR(cycle_budget_per_dma(40.0, 128, 1, 1.2), 36.48, 0.05);
+  // Spreading over 4 engines quadruples the budget.
+  EXPECT_NEAR(cycle_budget_per_dma(40.0, 128, 4, 1.2), 4 * 36.48, 0.2);
+}
+
+TEST(CycleBudget, InvalidArgumentsThrow) {
+  EXPECT_THROW(cycle_budget_per_dma(40.0, 128, 0, 1.2), std::invalid_argument);
+  EXPECT_THROW(cycle_budget_per_dma(40.0, 128, 1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcieb::model

@@ -1,0 +1,92 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcieb::sim {
+namespace {
+
+proto::Tlp write_tlp(std::uint32_t payload) {
+  return proto::Tlp{proto::TlpType::MemWr, 0x1000, payload, 0, 0};
+}
+
+TEST(LinkTest, DeliveryTimeIsSerializationPlusPropagation) {
+  Simulator sim;
+  proto::LinkConfig cfg = proto::gen3_x8();
+  Link link(sim, cfg, from_nanos(100));
+  Picos delivered = -1;
+  link.set_deliver([&](const proto::Tlp&) { delivered = sim.now(); });
+  const proto::Tlp t = write_tlp(256);  // 280 wire bytes
+  const Picos predicted = link.send(t);
+  sim.run();
+  EXPECT_EQ(delivered, predicted);
+  const Picos ser = serialization_ps(280, cfg.tlp_gbps());
+  EXPECT_EQ(delivered, ser + from_nanos(100));
+}
+
+TEST(LinkTest, BackToBackTlpsSerialize) {
+  Simulator sim;
+  proto::LinkConfig cfg = proto::gen3_x8();
+  Link link(sim, cfg, 0);
+  std::vector<Picos> times;
+  link.set_deliver([&](const proto::Tlp&) { times.push_back(sim.now()); });
+  link.send(write_tlp(256));
+  link.send(write_tlp(256));
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[1] - times[0], serialization_ps(280, cfg.tlp_gbps()));
+}
+
+TEST(LinkTest, DeliveryPreservesOrder) {
+  Simulator sim;
+  Link link(sim, proto::gen3_x8(), from_nanos(50));
+  std::vector<std::uint32_t> tags;
+  link.set_deliver([&](const proto::Tlp& t) { tags.push_back(t.tag); });
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    proto::Tlp t = write_tlp(64);
+    t.tag = i;
+    link.send(t);
+  }
+  sim.run();
+  ASSERT_EQ(tags.size(), 20u);
+  for (std::uint32_t i = 0; i < 20; ++i) EXPECT_EQ(tags[i], i);
+}
+
+TEST(LinkTest, CountsBytesAndTlps) {
+  Simulator sim;
+  Link link(sim, proto::gen3_x8(), 0);
+  link.set_deliver([](const proto::Tlp&) {});
+  link.send(write_tlp(64));   // 88 wire bytes
+  link.send(write_tlp(128));  // 152 wire bytes
+  sim.run();
+  EXPECT_EQ(link.tlps_sent(), 2u);
+  EXPECT_EQ(link.wire_bytes_sent(), 240u);
+  EXPECT_EQ(link.payload_bytes_sent(), 192u);
+}
+
+TEST(LinkTest, SustainedRateMatchesConfiguredBandwidth) {
+  Simulator sim;
+  proto::LinkConfig cfg = proto::gen3_x8();
+  Link link(sim, cfg, from_nanos(100));
+  std::size_t delivered = 0;
+  link.set_deliver([&](const proto::Tlp&) { ++delivered; });
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) link.send(write_tlp(256));
+  sim.run();
+  EXPECT_EQ(delivered, static_cast<std::size_t>(n));
+  // Payload goodput over the busy interval: 256/280 of the TLP rate.
+  const double achieved = gbps(static_cast<std::uint64_t>(n) * 256,
+                               sim.now() - from_nanos(100));
+  EXPECT_NEAR(achieved, cfg.tlp_gbps() * 256.0 / 280.0, 0.2);
+}
+
+TEST(LinkTest, NoDeliverCallbackIsSafe) {
+  Simulator sim;
+  Link link(sim, proto::gen3_x8(), 0);
+  link.send(write_tlp(64));
+  EXPECT_NO_THROW(sim.run());
+}
+
+}  // namespace
+}  // namespace pcieb::sim

@@ -1,0 +1,112 @@
+#include "pcie/link_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::proto {
+namespace {
+
+TEST(Generations, LaneRates) {
+  EXPECT_DOUBLE_EQ(per_lane_gts(Generation::Gen1), 2.5);
+  EXPECT_DOUBLE_EQ(per_lane_gts(Generation::Gen2), 5.0);
+  EXPECT_DOUBLE_EQ(per_lane_gts(Generation::Gen3), 8.0);
+  EXPECT_DOUBLE_EQ(per_lane_gts(Generation::Gen4), 16.0);
+  EXPECT_DOUBLE_EQ(per_lane_gts(Generation::Gen5), 32.0);
+}
+
+TEST(Generations, EncodingEfficiency) {
+  EXPECT_DOUBLE_EQ(encoding_efficiency(Generation::Gen1), 0.8);
+  EXPECT_DOUBLE_EQ(encoding_efficiency(Generation::Gen2), 0.8);
+  EXPECT_DOUBLE_EQ(encoding_efficiency(Generation::Gen3), 128.0 / 130.0);
+}
+
+TEST(Generations, Gen3LaneIsAbout7_87Gbps) {
+  // §3: "each lane offers 8 GT/s using 128b/130b encoding, resulting in
+  // 8 x 7.87 Gb/s = 62.96 Gb/s at the physical layer".
+  EXPECT_NEAR(per_lane_gbps(Generation::Gen3), 7.87, 0.01);
+}
+
+TEST(LinkConfigTest, Gen3x8PhysicalRate) {
+  const LinkConfig cfg = gen3_x8();
+  EXPECT_NEAR(cfg.raw_gbps(), 62.96, 0.1);
+}
+
+TEST(LinkConfigTest, Gen3x8TlpLayerRateMatchesPaper) {
+  // §3: "leaving around 57.88 Gb/s available at the TLP layer".
+  const LinkConfig cfg = gen3_x8();
+  EXPECT_NEAR(cfg.tlp_gbps(), 57.88, 0.15);
+}
+
+TEST(LinkConfigTest, DefaultsMatchPaperSetup) {
+  const LinkConfig cfg = gen3_x8();
+  EXPECT_EQ(cfg.mps, 256u);
+  EXPECT_EQ(cfg.mrrs, 512u);
+  EXPECT_EQ(cfg.rcb, 64u);
+  EXPECT_TRUE(cfg.addr64);
+  EXPECT_FALSE(cfg.ecrc);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(LinkConfigTest, Gen4DoublesGen3) {
+  LinkConfig g3 = gen3_x8();
+  LinkConfig g4 = g3;
+  g4.gen = Generation::Gen4;
+  EXPECT_NEAR(g4.raw_gbps(), 2.0 * g3.raw_gbps(), 1e-9);
+}
+
+TEST(LinkConfigTest, ValidationRejectsBadLanes) {
+  LinkConfig cfg = gen3_x8();
+  cfg.lanes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.lanes = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.lanes = 64;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(LinkConfigTest, ValidationRejectsBadMps) {
+  LinkConfig cfg = gen3_x8();
+  cfg.mps = 100;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mps = 64;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mps = 8192;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(LinkConfigTest, ValidationRejectsBadRcb) {
+  LinkConfig cfg = gen3_x8();
+  cfg.rcb = 32;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.rcb = 128;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(LinkConfigTest, ValidationRejectsBadDllpOverhead) {
+  LinkConfig cfg = gen3_x8();
+  cfg.dllp_overhead = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.dllp_overhead = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(LinkConfigTest, DescribeMentionsKeyFields) {
+  const std::string d = gen3_x8().describe();
+  EXPECT_NE(d.find("Gen 3"), std::string::npos);
+  EXPECT_NE(d.find("x8"), std::string::npos);
+  EXPECT_NE(d.find("MPS 256"), std::string::npos);
+}
+
+class LaneSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LaneSweep, BandwidthScalesLinearlyInLanes) {
+  LinkConfig cfg = gen3_x8();
+  cfg.lanes = GetParam();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_NEAR(cfg.raw_gbps(),
+              per_lane_gbps(Generation::Gen3) * GetParam(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneSweep, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace pcieb::proto

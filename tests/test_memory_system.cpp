@@ -1,0 +1,197 @@
+#include "sim/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::sim {
+namespace {
+
+CacheConfig cache_cfg() {
+  CacheConfig cfg;
+  cfg.size_bytes = 1 << 20;
+  cfg.ways = 16;
+  cfg.ddio_ways = 2;
+  return cfg;
+}
+
+MemoryConfig mem_cfg() {
+  MemoryConfig cfg;
+  cfg.llc_hit = from_nanos(40);
+  cfg.dram_extra = from_nanos(70);
+  cfg.numa_hop = from_nanos(130);
+  cfg.numa_hop_miss = from_nanos(60);
+  cfg.flush_penalty = from_nanos(70);
+  return cfg;
+}
+
+struct Fixture {
+  Simulator sim;
+  MemorySystem mem;
+  Fixture() : mem(sim, cache_cfg(), mem_cfg(), JitterModel::none(), 1) {}
+
+  Picos fetch(std::uint64_t addr, std::uint32_t len, bool local = true) {
+    Picos done = -1;
+    mem.fetch(addr, len, local, [&] { done = sim.now(); });
+    sim.run();
+    return done;
+  }
+  Picos write(std::uint64_t addr, std::uint32_t len, bool local = true) {
+    Picos done = -1;
+    mem.write(addr, len, local, [&] { done = sim.now(); });
+    sim.run();
+    return done;
+  }
+};
+
+TEST(MemorySystemTest, ColdFetchPaysDramExtra) {
+  Fixture f;
+  const Picos t = f.fetch(0x10000, 64);
+  EXPECT_GE(t, from_nanos(110));  // llc + dram_extra
+  EXPECT_LT(t, from_nanos(120));
+}
+
+TEST(MemorySystemTest, WarmFetchIsLlcLatency) {
+  Fixture f;
+  f.mem.cache().host_touch(0x10000, false);
+  const Picos start = f.sim.now();
+  const Picos t = f.fetch(0x10000, 64) - start;
+  EXPECT_GE(t, from_nanos(40));
+  EXPECT_LT(t, from_nanos(45));
+}
+
+TEST(MemorySystemTest, WarmVsColdDeltaIsDramExtra) {
+  // The §6.3 ~70 ns warm/cold difference.
+  Fixture f;
+  f.mem.cache().host_touch(0, false);
+  const Picos warm = f.fetch(0, 64);
+  Fixture g;
+  const Picos cold = g.fetch(0, 64);
+  EXPECT_EQ(cold - warm, mem_cfg().dram_extra);
+}
+
+TEST(MemorySystemTest, PartialHitStillPaysDram) {
+  Fixture f;
+  f.mem.cache().host_touch(0, false);  // first line of a 128 B fetch
+  const Picos t = f.fetch(0, 128);
+  EXPECT_GE(t, from_nanos(110));
+}
+
+TEST(MemorySystemTest, RemoteWarmFetchAddsFullHop) {
+  Fixture f;
+  f.mem.cache().host_touch(0, false);
+  const Picos local = f.fetch(0, 64, true);
+  Fixture g;
+  g.mem.cache().host_touch(0, false);
+  const Picos remote = g.fetch(0, 64, false);
+  EXPECT_NEAR(to_nanos(remote - local), 130.0, 2.0);
+}
+
+TEST(MemorySystemTest, RemoteColdFetchAddsSmallerHop) {
+  Fixture f;
+  const Picos local = f.fetch(0, 64, true);
+  Fixture g;
+  const Picos remote = g.fetch(0, 64, false);
+  EXPECT_NEAR(to_nanos(remote - local), 60.0, 2.0);
+}
+
+TEST(MemorySystemTest, WriteCommitsAtLlcLatency) {
+  Fixture f;
+  const Picos t = f.write(0x40, 64);
+  EXPECT_GE(t, from_nanos(40));
+  EXPECT_LT(t, from_nanos(45));
+}
+
+TEST(MemorySystemTest, WriteIsNumaInsensitive) {
+  // §6.4: DMA writes are handled by the local DDIO cache regardless of
+  // buffer locality.
+  Fixture f;
+  const Picos local = f.write(0x40, 64, true);
+  Fixture g;
+  const Picos remote = g.write(0x40, 64, false);
+  EXPECT_EQ(local, remote);
+}
+
+TEST(MemorySystemTest, DirtyEvictionAddsFlushPenalty) {
+  Fixture f;
+  const auto& cfg = cache_cfg();
+  const std::uint64_t set_stride =
+      static_cast<std::uint64_t>(cfg.sets()) * cfg.line_bytes;
+  // Fill both DDIO ways of set 0 with dirty DMA lines.
+  const Picos t1 = f.write(0, 64);
+  const Picos t2 = f.write(set_stride, 64) - t1;
+  // Third allocation in the same set evicts a dirty line.
+  const Picos start = f.sim.now();
+  const Picos t3 = f.write(2 * set_stride, 64) - start;
+  EXPECT_EQ(t3 - t2, mem_cfg().flush_penalty);
+}
+
+TEST(MemorySystemTest, RewriteSameLineHasNoPenalty) {
+  Fixture f;
+  const Picos t1 = f.write(0, 64);
+  const Picos start = f.sim.now();
+  const Picos t2 = f.write(0, 64) - start;
+  EXPECT_EQ(t2, t1);
+}
+
+TEST(MemorySystemTest, IngestCapThrottlesWrites) {
+  MemoryConfig slow = mem_cfg();
+  slow.write_ingest_gbps = 8.0;  // 1 byte/ns
+  Simulator sim;
+  MemorySystem mem(sim, cache_cfg(), slow, JitterModel::none(), 1);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    mem.write(static_cast<std::uint64_t>(i) * 4096, 1000, true,
+              [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 10);
+  // 10 KB at 1 B/ns streams for ~10 us.
+  EXPECT_GE(sim.now(), from_nanos(10000));
+}
+
+TEST(MemorySystemTest, StallEventsPauseTheMemoryPath) {
+  // §6.2: machine-wide stall events (suspected power management) pause
+  // every in-flight request; they show up as millisecond latency
+  // excursions while costing almost no aggregate throughput.
+  MemoryConfig cfg = mem_cfg();
+  cfg.stall_interval = from_millis(1.0);  // frequent, for the test
+  Simulator sim;
+  MemorySystem mem(sim, cache_cfg(), cfg, JitterModel::none(), 7);
+  // Drive fetches 1 us apart for 20 ms of simulated time; at least one
+  // stall must occur and gate a fetch for >= stall_min.
+  Picos max_latency = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sim.run_until(static_cast<Picos>(i) * from_nanos(1000));
+    const Picos start = sim.now();
+    mem.fetch(static_cast<std::uint64_t>(i) * 64, 64, true, [&, start] {
+      max_latency = std::max(max_latency, sim.now() - start);
+    });
+  }
+  sim.run();
+  EXPECT_GE(max_latency, from_millis(1.0));
+}
+
+TEST(MemorySystemTest, StallsDisabledByDefault) {
+  Fixture f;
+  Picos max_latency = 0;
+  for (int i = 0; i < 5000; ++i) {
+    f.sim.run_until(static_cast<Picos>(i) * from_nanos(1000));
+    const Picos start = f.sim.now();
+    f.mem.fetch(static_cast<std::uint64_t>(i) * 64, 64, true, [&, start] {
+      max_latency = std::max(max_latency, f.sim.now() - start);
+    });
+  }
+  f.sim.run();
+  EXPECT_LT(max_latency, from_nanos(500));
+}
+
+TEST(MemorySystemTest, CountsAccesses) {
+  Fixture f;
+  f.fetch(0, 64);
+  f.fetch(64, 64);
+  f.write(0, 64);
+  EXPECT_EQ(f.mem.reads(), 2u);
+  EXPECT_EQ(f.mem.writes(), 1u);
+}
+
+}  // namespace
+}  // namespace pcieb::sim

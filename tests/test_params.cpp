@@ -1,0 +1,83 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::core {
+namespace {
+
+TEST(BenchParamsTest, UnitRoundsUpToCacheLines) {
+  BenchParams p;
+  p.transfer_size = 64;
+  p.offset = 0;
+  EXPECT_EQ(p.unit_bytes(), 64u);
+  p.offset = 1;
+  EXPECT_EQ(p.unit_bytes(), 128u);
+  p.transfer_size = 8;
+  p.offset = 0;
+  EXPECT_EQ(p.unit_bytes(), 64u);
+  p.transfer_size = 65;
+  EXPECT_EQ(p.unit_bytes(), 128u);
+}
+
+TEST(BenchParamsTest, UnitsDivideWindow) {
+  BenchParams p;
+  p.transfer_size = 64;
+  p.window_bytes = 8192;
+  EXPECT_EQ(p.units(), 128u);
+  p.transfer_size = 100;  // unit 128
+  EXPECT_EQ(p.units(), 64u);
+}
+
+TEST(BenchParamsTest, ValidationCatchesBadSettings) {
+  BenchParams p;
+  p.transfer_size = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = BenchParams{};
+  p.offset = 64;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = BenchParams{};
+  p.window_bytes = 32;  // smaller than one unit
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = BenchParams{};
+  p.iterations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = BenchParams{};
+  p.page_bytes = 3000;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(BenchParams{}.validate());
+}
+
+TEST(BenchParamsTest, KindPredicates) {
+  EXPECT_TRUE(is_latency(BenchKind::LatRd));
+  EXPECT_TRUE(is_latency(BenchKind::LatWrRd));
+  EXPECT_FALSE(is_latency(BenchKind::BwRd));
+  EXPECT_FALSE(is_latency(BenchKind::BwWr));
+  EXPECT_FALSE(is_latency(BenchKind::BwRdWr));
+}
+
+TEST(BenchParamsTest, NamesMatchPaperLabels) {
+  EXPECT_STREQ(to_string(BenchKind::LatRd), "LAT_RD");
+  EXPECT_STREQ(to_string(BenchKind::LatWrRd), "LAT_WRRD");
+  EXPECT_STREQ(to_string(BenchKind::BwRd), "BW_RD");
+  EXPECT_STREQ(to_string(BenchKind::BwWr), "BW_WR");
+  EXPECT_STREQ(to_string(BenchKind::BwRdWr), "BW_RDWR");
+}
+
+TEST(BenchParamsTest, DescribeIsInformative) {
+  BenchParams p;
+  p.kind = BenchKind::BwRd;
+  p.transfer_size = 128;
+  p.cache_state = CacheState::Thrash;
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("BW_RD"), std::string::npos);
+  EXPECT_NE(d.find("sz=128"), std::string::npos);
+  EXPECT_NE(d.find("cold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcieb::core

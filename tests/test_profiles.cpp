@@ -1,0 +1,92 @@
+#include "sysconfig/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::sys {
+namespace {
+
+TEST(ProfilesTest, AllSixTable1SystemsExist) {
+  const auto& all = all_profiles();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_NO_THROW(profile_by_name("NFP6000-BDW"));
+  EXPECT_NO_THROW(profile_by_name("NetFPGA-HSW"));
+  EXPECT_NO_THROW(profile_by_name("NFP6000-HSW"));
+  EXPECT_NO_THROW(profile_by_name("NFP6000-HSW-E3"));
+  EXPECT_NO_THROW(profile_by_name("NFP6000-IB"));
+  EXPECT_NO_THROW(profile_by_name("NFP6000-SNB"));
+}
+
+TEST(ProfilesTest, UnknownNameThrows) {
+  EXPECT_THROW(profile_by_name("NFP6000-SKL"), std::out_of_range);
+}
+
+TEST(ProfilesTest, LlcSizesMatchTable1) {
+  // "All systems have 15MB of LLC, except NFP6000-BDW, which has 25MB."
+  for (const auto& p : all_profiles()) {
+    const std::uint64_t expect =
+        p.name == "NFP6000-BDW" ? 25ull << 20 : 15ull << 20;
+    EXPECT_EQ(p.config.cache.size_bytes, expect) << p.name;
+  }
+}
+
+TEST(ProfilesTest, NumaArityMatchesTable1) {
+  EXPECT_EQ(profile_by_name("NFP6000-BDW").numa_nodes, 2);
+  EXPECT_EQ(profile_by_name("NFP6000-IB").numa_nodes, 2);
+  EXPECT_EQ(profile_by_name("NFP6000-HSW").numa_nodes, 1);
+  EXPECT_EQ(profile_by_name("NetFPGA-HSW").numa_nodes, 1);
+  EXPECT_TRUE(profile_by_name("NFP6000-BDW").has_remote_node());
+  EXPECT_FALSE(profile_by_name("NFP6000-SNB").has_remote_node());
+}
+
+TEST(ProfilesTest, AdaptersMatchTable1) {
+  EXPECT_EQ(profile_by_name("NetFPGA-HSW").config.device.name, "NetFPGA-SUME");
+  EXPECT_EQ(profile_by_name("NFP6000-HSW").config.device.name, "NFP6000");
+}
+
+TEST(ProfilesTest, E3HasHeavyTailJitterAndWriteCeiling) {
+  const auto e3 = profile_by_name("NFP6000-HSW-E3");
+  EXPECT_EQ(e3.config.jitter.kind, sim::JitterModel::Kind::Spliced);
+  EXPECT_GT(e3.config.jitter.dist.quantile_ns(0.999), 10000.0);
+  EXPECT_LT(e3.config.mem.write_ingest_gbps, 40.0);
+}
+
+TEST(ProfilesTest, E5SystemsHaveNarrowJitter) {
+  const auto hsw = profile_by_name("NFP6000-HSW");
+  EXPECT_LE(hsw.config.jitter.dist.quantile_ns(0.999), 80.0);
+}
+
+TEST(ProfilesTest, IommuOffByDefault) {
+  for (const auto& p : all_profiles()) {
+    EXPECT_FALSE(p.config.iommu.enabled) << p.name;
+  }
+}
+
+TEST(ProfilesTest, WithIommuTogglesAndSetsPages) {
+  auto cfg = with_iommu(nfp6000_bdw().config, true, 4096);
+  EXPECT_TRUE(cfg.iommu.enabled);
+  EXPECT_EQ(cfg.iommu.page_bytes, 4096u);
+  auto sp = with_iommu(nfp6000_bdw().config, true, 2ull << 20);
+  EXPECT_EQ(sp.iommu.page_bytes, 2ull << 20);
+}
+
+TEST(ProfilesTest, Iommu64EntryTlbDefault) {
+  // §6.5: "we conclude that the IO-TLB has 64 entries".
+  EXPECT_EQ(nfp6000_bdw().config.iommu.tlb_entries, 64u);
+}
+
+TEST(ProfilesTest, AllConfigsConstructValidSystems) {
+  for (const auto& p : all_profiles()) {
+    EXPECT_NO_THROW(sim::System{p.config}) << p.name;
+  }
+}
+
+TEST(ProfilesTest, DdioQuotaIsTenPercent) {
+  for (const auto& p : all_profiles()) {
+    const auto& c = p.config.cache;
+    EXPECT_EQ(c.ddio_ways, 2u) << p.name;
+    EXPECT_EQ(c.ways, 20u) << p.name;  // 2/20 = the 10 % §6.3 quota
+  }
+}
+
+}  // namespace
+}  // namespace pcieb::sys

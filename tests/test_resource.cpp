@@ -1,0 +1,126 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcieb::sim {
+namespace {
+
+TEST(SerialResourceTest, FirstJobStartsImmediately) {
+  Simulator sim;
+  SerialResource res(sim);
+  Picos done = -1;
+  res.occupy(100, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, 100);
+}
+
+TEST(SerialResourceTest, JobsQueueFifo) {
+  Simulator sim;
+  SerialResource res(sim);
+  std::vector<Picos> done;
+  res.occupy(100, [&] { done.push_back(sim.now()); });
+  res.occupy(50, [&] { done.push_back(sim.now()); });
+  res.occupy(25, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 100);
+  EXPECT_EQ(done[1], 150);
+  EXPECT_EQ(done[2], 175);
+}
+
+TEST(SerialResourceTest, IdleGapResetsStart) {
+  Simulator sim;
+  SerialResource res(sim);
+  Picos done = -1;
+  res.occupy(10);
+  sim.at(1000, [&] { res.occupy(10, [&] { done = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(done, 1010);  // starts at 1000, not queued behind idle time
+}
+
+TEST(SerialResourceTest, ReturnsCompletionTime) {
+  Simulator sim;
+  SerialResource res(sim);
+  EXPECT_EQ(res.occupy(40), 40);
+  EXPECT_EQ(res.occupy(5), 45);
+  EXPECT_EQ(res.next_free(), 45);
+}
+
+TEST(SerialResourceTest, NegativeServiceThrows) {
+  Simulator sim;
+  SerialResource res(sim);
+  EXPECT_THROW(res.occupy(-1), std::invalid_argument);
+}
+
+TEST(SerialResourceTest, BusyTotalAccumulates) {
+  Simulator sim;
+  SerialResource res(sim);
+  res.occupy(30);
+  res.occupy(20);
+  EXPECT_EQ(res.busy_total(), 50);
+}
+
+TEST(TokenPoolTest, GrantsUpToCapacity) {
+  Simulator sim;
+  TokenPool pool(sim, 2);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  sim.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_EQ(pool.waiting(), 1u);
+}
+
+TEST(TokenPoolTest, ReleaseWakesOldestWaiter) {
+  Simulator sim;
+  TokenPool pool(sim, 1);
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(0); });
+  pool.acquire([&] { order.push_back(1); });
+  pool.acquire([&] { order.push_back(2); });
+  sim.run();
+  pool.release();
+  sim.run();
+  pool.release();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TokenPoolTest, ReleaseWithoutAcquireThrows) {
+  Simulator sim;
+  TokenPool pool(sim, 1);
+  EXPECT_THROW(pool.release(), std::logic_error);
+}
+
+TEST(TokenPoolTest, FullCycleReturnsToZero) {
+  Simulator sim;
+  TokenPool pool(sim, 3);
+  for (int i = 0; i < 3; ++i) pool.acquire([] {});
+  sim.run();
+  for (int i = 0; i < 3; ++i) pool.release();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(BandwidthResourceTest, TransferTimeMatchesRate) {
+  Simulator sim;
+  BandwidthResource bw(sim, 8.0);  // 1 byte per ns
+  Picos done = -1;
+  bw.transfer(1000, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, from_nanos(1000));
+}
+
+TEST(BandwidthResourceTest, TransfersSerialize) {
+  Simulator sim;
+  BandwidthResource bw(sim, 8.0);
+  const Picos t1 = bw.transfer(100);
+  const Picos t2 = bw.transfer(100);
+  EXPECT_EQ(t2, t1 + from_nanos(100));
+}
+
+}  // namespace
+}  // namespace pcieb::sim

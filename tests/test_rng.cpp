@@ -1,0 +1,89 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pcieb {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, KnownVector) {
+  // Reference values for seed 0 from the published SplitMix64 algorithm.
+  SplitMix64 s(0);
+  EXPECT_EQ(s.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(s.next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256Test, BelowZeroBoundIsZero) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256Test, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, UniformMeanIsHalf) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, BelowCoversAllResidues) {
+  Xoshiro256 rng(21);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256Test, BelowRoughlyUniform) {
+  Xoshiro256 rng(31);
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(16)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 16, n / 16 * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace pcieb

@@ -1,0 +1,140 @@
+#include "sim/root_complex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcieb::sim {
+namespace {
+
+struct Fixture {
+  proto::LinkConfig link_cfg = proto::gen3_x8();
+  Simulator sim;
+  Link downstream{sim, link_cfg, from_nanos(10)};
+  MemorySystem mem;
+  Iommu iommu{sim, IommuConfig{}};
+  RootComplex rc;
+
+  Fixture()
+      : mem(sim, CacheConfig{}, MemoryConfig{}, JitterModel::none(), 1),
+        rc(sim, link_cfg, RootComplexConfig{}, mem, iommu, downstream) {}
+
+  proto::Tlp mwr(std::uint64_t addr, std::uint32_t payload) {
+    return proto::Tlp{proto::TlpType::MemWr, addr, payload, 0, 0};
+  }
+  proto::Tlp mrd(std::uint64_t addr, std::uint32_t len, std::uint32_t tag) {
+    return proto::Tlp{proto::TlpType::MemRd, addr, 0, len, tag};
+  }
+};
+
+TEST(RootComplexTest, ReadGeneratesCompletions) {
+  Fixture f;
+  std::vector<proto::Tlp> cpls;
+  f.downstream.set_deliver([&](const proto::Tlp& t) { cpls.push_back(t); });
+  f.rc.on_upstream(f.mrd(0x1000, 512, 7));
+  f.sim.run();
+  // 512 B with MPS 256, aligned: two CplD TLPs tagged like the request.
+  ASSERT_EQ(cpls.size(), 2u);
+  EXPECT_EQ(cpls[0].payload + cpls[1].payload, 512u);
+  EXPECT_EQ(cpls[0].tag, 7u);
+  EXPECT_EQ(cpls[1].tag, 7u);
+  EXPECT_EQ(f.rc.reads_handled(), 1u);
+}
+
+TEST(RootComplexTest, WriteCommitsAndCountsBytes) {
+  Fixture f;
+  std::uint32_t committed = 0;
+  f.rc.set_write_commit_hook([&](std::uint32_t b) { committed += b; });
+  f.rc.on_upstream(f.mwr(0x2000, 256));
+  f.sim.run();
+  EXPECT_EQ(committed, 256u);
+  EXPECT_EQ(f.rc.writes_committed(), 1u);
+  EXPECT_EQ(f.rc.write_bytes_committed(), 256u);
+}
+
+TEST(RootComplexTest, ReadDoesNotPassEarlierWrite) {
+  // LAT_WRRD's foundation (§4.1): the root complex handles the read after
+  // the write.
+  Fixture f;
+  Picos write_done = -1;
+  Picos cpl_sent = -1;
+  f.rc.set_write_commit_hook([&](std::uint32_t) { write_done = f.sim.now(); });
+  f.downstream.set_deliver([&](const proto::Tlp&) { cpl_sent = f.sim.now(); });
+  f.rc.on_upstream(f.mwr(0x3000, 64));
+  f.rc.on_upstream(f.mrd(0x3000, 64, 1));
+  f.sim.run();
+  ASSERT_GE(write_done, 0);
+  ASSERT_GE(cpl_sent, 0);
+  EXPECT_GT(cpl_sent, write_done);
+}
+
+TEST(RootComplexTest, ReadAfterWriteSeesWarmLine) {
+  Fixture f;
+  int fetch_hits_before = 0;
+  f.rc.on_upstream(f.mwr(0x4000, 64));
+  f.sim.run();
+  fetch_hits_before = static_cast<int>(f.mem.cache().hits());
+  f.rc.on_upstream(f.mrd(0x4000, 64, 2));
+  f.sim.run();
+  EXPECT_GT(static_cast<int>(f.mem.cache().hits()), fetch_hits_before);
+}
+
+TEST(RootComplexTest, IndependentReadProceedsWithoutWrites) {
+  Fixture f;
+  Picos cpl_sent = -1;
+  f.downstream.set_deliver([&](const proto::Tlp&) { cpl_sent = f.sim.now(); });
+  f.rc.on_upstream(f.mrd(0x5000, 64, 3));
+  f.sim.run();
+  EXPECT_GE(cpl_sent, 0);
+}
+
+TEST(RootComplexTest, MultipleWritesAllCommitBeforeLaterRead) {
+  Fixture f;
+  std::size_t commits_at_cpl = 0;
+  f.downstream.set_deliver([&](const proto::Tlp&) {
+    commits_at_cpl = f.rc.writes_committed();
+  });
+  for (int i = 0; i < 5; ++i) f.rc.on_upstream(f.mwr(0x6000 + i * 64, 64));
+  f.rc.on_upstream(f.mrd(0x6000, 64, 4));
+  f.sim.run();
+  EXPECT_EQ(commits_at_cpl, 5u);
+}
+
+TEST(RootComplexTest, LocalityResolverControlsNumaPath) {
+  Fixture f;
+  Picos local_done = -1;
+  f.downstream.set_deliver([&](const proto::Tlp&) { local_done = f.sim.now(); });
+  f.rc.on_upstream(f.mrd(0x7000, 64, 5));
+  f.sim.run();
+
+  Fixture g;
+  g.rc.set_locality_resolver([](std::uint64_t) { return false; });
+  Picos remote_done = -1;
+  g.downstream.set_deliver([&](const proto::Tlp&) { remote_done = g.sim.now(); });
+  g.rc.on_upstream(g.mrd(0x7000, 64, 5));
+  g.sim.run();
+  EXPECT_GT(remote_done, local_done);
+}
+
+TEST(RootComplexTest, CompletionsArriveAtRequestOrderPerTag) {
+  Fixture f;
+  std::vector<std::uint32_t> tags;
+  f.downstream.set_deliver([&](const proto::Tlp& t) { tags.push_back(t.tag); });
+  f.rc.on_upstream(f.mrd(0x8000, 64, 10));
+  f.rc.on_upstream(f.mrd(0x9000, 64, 11));
+  f.sim.run();
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], 10u);
+  EXPECT_EQ(tags[1], 11u);
+}
+
+TEST(RootComplexTest, UpstreamCompletionsAreIgnored) {
+  Fixture f;
+  proto::Tlp cpl{proto::TlpType::CplD, 0, 64, 0, 0};
+  EXPECT_NO_THROW(f.rc.on_upstream(cpl));
+  f.sim.run();
+  EXPECT_EQ(f.rc.reads_handled(), 0u);
+}
+
+}  // namespace
+}  // namespace pcieb::sim

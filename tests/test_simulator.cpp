@@ -1,0 +1,103 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcieb::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator sim;
+  Picos seen = -1;
+  sim.at(50, [&] { sim.after(25, [&] { seen = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(50, [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1, [&] { ++count; });
+  sim.at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1234);
+  EXPECT_EQ(sim.now(), 1234);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int ran = 0;
+  sim.at(10, [&] { ++ran; });
+  sim.at(100, [&] { ++ran; });
+  sim.run_until(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, EventsMayScheduleChains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 1000) sim.after(1, chain);
+  };
+  sim.after(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 1000);
+  EXPECT_EQ(sim.executed(), 1000u);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtSameTime) {
+  Simulator sim;
+  Picos when = -1;
+  sim.at(42, [&] { sim.after(0, [&] { when = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(when, 42);
+}
+
+}  // namespace
+}  // namespace pcieb::sim

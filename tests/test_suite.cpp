@@ -1,0 +1,117 @@
+#include "core/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace pcieb::core {
+namespace {
+
+TEST(SuiteTest, AddRejectsDuplicates) {
+  Suite suite;
+  suite.add_latency("a", "NFP6000-HSW", BenchKind::LatRd, 64);
+  EXPECT_THROW(suite.add_latency("a", "NFP6000-HSW", BenchKind::LatRd, 128),
+               std::invalid_argument);
+}
+
+TEST(SuiteTest, AddRejectsUnknownSystem) {
+  Suite suite;
+  EXPECT_THROW(suite.add_latency("x", "NFP6000-SKL", BenchKind::LatRd, 64),
+               std::out_of_range);
+}
+
+TEST(SuiteTest, AddRejectsKindMismatch) {
+  Suite suite;
+  EXPECT_THROW(suite.add_latency("x", "NFP6000-HSW", BenchKind::BwRd, 64),
+               std::invalid_argument);
+  EXPECT_THROW(suite.add_bandwidth("y", "NFP6000-HSW", BenchKind::LatRd, 64),
+               std::invalid_argument);
+}
+
+TEST(SuiteTest, AddValidatesParams) {
+  Suite suite;
+  EXPECT_THROW(
+      suite.add_latency("bad", "NFP6000-HSW", BenchKind::LatRd, 64,
+                        [](BenchParams& p) { p.iterations = 0; }),
+      std::invalid_argument);
+}
+
+TEST(SuiteTest, RunExecutesAndFills) {
+  Suite suite;
+  suite.add_latency("lat", "NFP6000-HSW", BenchKind::LatRd, 64,
+                    [](BenchParams& p) { p.iterations = 300; });
+  suite.add_bandwidth("bw", "NFP6000-HSW", BenchKind::BwWr, 64,
+                      [](BenchParams& p) { p.iterations = 2000; });
+  const auto records = suite.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].latency.has_value());
+  EXPECT_FALSE(records[0].bandwidth.has_value());
+  EXPECT_GT(records[0].latency->summary.median_ns, 0.0);
+  EXPECT_TRUE(records[1].bandwidth.has_value());
+  EXPECT_GT(records[1].bandwidth->gbps, 0.0);
+  EXPECT_GT(records[0].wall_seconds, 0.0);
+}
+
+TEST(SuiteTest, FilterSelectsByName) {
+  Suite suite;
+  suite.add_latency("lat/64", "NFP6000-HSW", BenchKind::LatRd, 64,
+                    [](BenchParams& p) { p.iterations = 200; });
+  suite.add_bandwidth("bw/64", "NFP6000-HSW", BenchKind::BwWr, 64,
+                      [](BenchParams& p) { p.iterations = 1000; });
+  EXPECT_EQ(suite.run("lat").size(), 1u);
+  EXPECT_EQ(suite.run("nope").size(), 0u);
+  EXPECT_EQ(suite.run("").size(), 2u);
+}
+
+TEST(SuiteTest, ProgressCallbackFires) {
+  Suite suite;
+  suite.add_latency("lat", "NFP6000-HSW", BenchKind::LatRd, 64,
+                    [](BenchParams& p) { p.iterations = 100; });
+  int calls = 0;
+  suite.run("", [&](const ExperimentRecord&) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SuiteTest, StandardSuiteCoversAllKindsAndStates) {
+  const auto suite = Suite::standard("NFP6000-SNB");
+  // 9 sizes x 5 kinds x 2 cache states.
+  EXPECT_EQ(suite.size(), 9u * 5u * 2u);
+  bool has_wrrd_cold = false;
+  for (const auto& e : suite.experiments()) {
+    if (e.name == "LAT_WRRD/64/cold") has_wrrd_cold = true;
+  }
+  EXPECT_TRUE(has_wrrd_cold);
+}
+
+TEST(SuiteTest, SummaryListsEveryRecord) {
+  Suite suite;
+  suite.add_latency("one", "NFP6000-HSW", BenchKind::LatRd, 64,
+                    [](BenchParams& p) { p.iterations = 100; });
+  suite.add_bandwidth("two", "NFP6000-HSW", BenchKind::BwRd, 64,
+                      [](BenchParams& p) { p.iterations = 1000; });
+  const auto records = suite.run();
+  const std::string text = summarize(records);
+  EXPECT_NE(text.find("one"), std::string::npos);
+  EXPECT_NE(text.find("two"), std::string::npos);
+}
+
+TEST(SuiteTest, CsvHasHeaderAndRows) {
+  Suite suite;
+  suite.add_latency("one", "NFP6000-HSW", BenchKind::LatRd, 64,
+                    [](BenchParams& p) { p.iterations = 100; });
+  const auto records = suite.run();
+  const std::string path = ::testing::TempDir() + "/pcieb_suite.csv";
+  write_csv(records, path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("experiment"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find("one"), std::string::npos);
+  EXPECT_NE(line.find("LAT_RD"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pcieb::core

@@ -1,0 +1,206 @@
+// End-to-end checks of the composed system against the paper's published
+// calibration anchors (Figs 4-6) — latency percentiles and bandwidth for
+// the NFP6000-HSW / NetFPGA-HSW pairings.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "pcie/bandwidth.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb {
+namespace {
+
+using core::BenchKind;
+using core::BenchParams;
+using core::CacheState;
+
+core::LatencyResult lat(const sim::SystemConfig& cfg, BenchKind kind,
+                        std::uint32_t sz, std::size_t iters = 4000) {
+  sim::System system(cfg);
+  BenchParams p;
+  p.kind = kind;
+  p.transfer_size = sz;
+  p.window_bytes = 8192;
+  p.cache_state = CacheState::HostWarm;
+  p.iterations = iters;
+  return core::run_latency_bench(system, p);
+}
+
+core::BandwidthResult bw(const sim::SystemConfig& cfg, BenchKind kind,
+                         std::uint32_t sz, std::size_t iters = 30000) {
+  sim::System system(cfg);
+  BenchParams p;
+  p.kind = kind;
+  p.transfer_size = sz;
+  p.window_bytes = 8192;
+  p.cache_state = CacheState::HostWarm;
+  p.iterations = iters;
+  return core::run_bandwidth_bench(system, p);
+}
+
+// ---- Fig 6 anchors: NFP6000-HSW 64 B warm reads -----------------------------
+
+TEST(Calibration, Fig6XeonE5LatencyPercentiles) {
+  auto r = lat(sys::nfp6000_hsw().config, BenchKind::LatRd, 64, 20000);
+  // Paper: min 520 ns, median 547 ns, 99.9 % within 80 ns of min, max 947.
+  EXPECT_NEAR(r.summary.min_ns, 520.0, 15.0);
+  EXPECT_NEAR(r.summary.median_ns, 547.0, 15.0);
+  EXPECT_LT(r.summary.p999_ns - r.summary.min_ns, 100.0);
+  EXPECT_LT(r.summary.max_ns, 1000.0);
+}
+
+TEST(Calibration, Fig6XeonE3LatencyPercentiles) {
+  auto r = lat(sys::nfp6000_hsw_e3().config, BenchKind::LatRd, 64, 60000);
+  // Paper: min 493, median 1213, p99 5707, p99.9 11987. (The paper's
+  // millisecond-scale maximum comes from rare machine-wide stalls that
+  // need 2M-sample runs to observe — bench/fig06_latency_cdf runs those;
+  // the mechanism itself is unit-tested in test_memory_system.)
+  EXPECT_NEAR(r.summary.min_ns, 493.0, 20.0);
+  EXPECT_NEAR(r.summary.median_ns, 1213.0, 60.0);
+  EXPECT_NEAR(r.summary.p99_ns, 5707.0, 400.0);
+  EXPECT_NEAR(r.summary.p999_ns, 11987.0, 1200.0);
+}
+
+TEST(Calibration, E3MinimumIsLowerButMedianFarHigherThanE5) {
+  auto e5 = lat(sys::nfp6000_hsw().config, BenchKind::LatRd, 64, 8000);
+  auto e3 = lat(sys::nfp6000_hsw_e3().config, BenchKind::LatRd, 64, 8000);
+  EXPECT_LT(e3.summary.min_ns, e5.summary.min_ns);
+  EXPECT_GT(e3.summary.median_ns, 2.0 * e5.summary.median_ns);
+}
+
+// ---- Fig 5 anchors: latency vs transfer size -------------------------------
+
+TEST(Calibration, Fig5LatencyGrowsWithTransferSize) {
+  const auto cfg = sys::nfp6000_hsw().config;
+  double prev = 0.0;
+  for (std::uint32_t sz : {8u, 64u, 256u, 1024u, 2048u}) {
+    auto r = lat(cfg, BenchKind::LatRd, sz, 1500);
+    EXPECT_GT(r.summary.median_ns, prev) << sz;
+    prev = r.summary.median_ns;
+  }
+}
+
+TEST(Calibration, Fig5WrRdAboveRd) {
+  const auto cfg = sys::nfp6000_hsw().config;
+  for (std::uint32_t sz : {64u, 512u, 2048u}) {
+    auto rd = lat(cfg, BenchKind::LatRd, sz, 1500);
+    auto wrrd = lat(cfg, BenchKind::LatWrRd, sz, 1500);
+    EXPECT_GT(wrrd.summary.median_ns, rd.summary.median_ns) << sz;
+  }
+}
+
+TEST(Calibration, Fig5NfpCarriesFixedOffsetOverNetfpga) {
+  // §6.1: NFP latency ~100 ns above NetFPGA for small transfers
+  // (enqueue overhead), gap widening with size (staging transfer).
+  auto nfp_small = lat(sys::nfp6000_hsw().config, BenchKind::LatRd, 64, 1500);
+  auto fpga_small = lat(sys::netfpga_hsw().config, BenchKind::LatRd, 64, 1500);
+  const double small_gap =
+      nfp_small.summary.median_ns - fpga_small.summary.median_ns;
+  EXPECT_GT(small_gap, 80.0);
+  EXPECT_LT(small_gap, 220.0);
+
+  auto nfp_big = lat(sys::nfp6000_hsw().config, BenchKind::LatRd, 2048, 1500);
+  auto fpga_big = lat(sys::netfpga_hsw().config, BenchKind::LatRd, 2048, 1500);
+  EXPECT_GT(nfp_big.summary.median_ns - fpga_big.summary.median_ns, small_gap);
+}
+
+TEST(Calibration, CmdInterfaceClosesTheGap) {
+  // §6.1: with the direct PCIe command interface the NFP matches the
+  // NetFPGA latency for small transfers.
+  sim::System nfp(sys::nfp6000_hsw().config);
+  BenchParams p;
+  p.kind = BenchKind::LatRd;
+  p.transfer_size = 64;
+  p.window_bytes = 8192;
+  p.cache_state = CacheState::HostWarm;
+  p.iterations = 1500;
+  p.use_cmd_if = true;
+  auto cmd = core::run_latency_bench(nfp, p);
+  auto fpga = lat(sys::netfpga_hsw().config, BenchKind::LatRd, 64, 1500);
+  EXPECT_NEAR(cmd.summary.median_ns, fpga.summary.median_ns, 40.0);
+}
+
+// ---- Fig 4 anchors: baseline bandwidth -------------------------------------
+
+TEST(Calibration, Fig4NetfpgaTracksModelBandwidth) {
+  const auto cfg = sys::netfpga_hsw().config;
+  for (std::uint32_t sz : {256u, 512u, 1024u, 2048u}) {
+    const double model = proto::effective_read_gbps(cfg.link, sz);
+    EXPECT_NEAR(bw(cfg, BenchKind::BwRd, sz).gbps, model, model * 0.06) << sz;
+    const double wmodel = proto::effective_write_gbps(cfg.link, sz);
+    EXPECT_NEAR(bw(cfg, BenchKind::BwWr, sz).gbps, wmodel, wmodel * 0.06) << sz;
+  }
+}
+
+TEST(Calibration, Fig4NfpSlightlyBelowNetfpga) {
+  for (auto kind : {BenchKind::BwRd, BenchKind::BwWr, BenchKind::BwRdWr}) {
+    const double nfp = bw(sys::nfp6000_hsw().config, kind, 64).gbps;
+    const double fpga = bw(sys::netfpga_hsw().config, kind, 64).gbps;
+    EXPECT_LT(nfp, fpga + 0.1) << static_cast<int>(kind);
+    EXPECT_GT(nfp, fpga * 0.5) << static_cast<int>(kind);
+  }
+}
+
+TEST(Calibration, Fig4SmallReadsMiss40GLineRate) {
+  // §6.1: "neither implementation is able to achieve a read throughput
+  // required to transfer 40Gb/s Ethernet at line rate for small packets".
+  const double demand = proto::ethernet_pcie_demand_gbps(40.0, 64);
+  EXPECT_LT(bw(sys::nfp6000_hsw().config, BenchKind::BwRd, 64).gbps, demand);
+}
+
+TEST(Calibration, Fig4LargeTransfersSustain40G) {
+  const double demand = proto::ethernet_pcie_demand_gbps(40.0, 1024);
+  EXPECT_GT(bw(sys::nfp6000_hsw().config, BenchKind::BwRd, 1024).gbps, demand);
+  EXPECT_GT(bw(sys::nfp6000_hsw().config, BenchKind::BwWr, 1024).gbps, demand);
+}
+
+TEST(Calibration, Fig4SawToothVisibleInMeasurement) {
+  // +1 B past the MPS boundary costs an extra TLP.
+  const auto cfg = sys::netfpga_hsw().config;
+  const double at = bw(cfg, BenchKind::BwWr, 256).gbps;
+  const double past = bw(cfg, BenchKind::BwWr, 257).gbps;
+  EXPECT_GT(at, past + 2.0);
+}
+
+TEST(Calibration, RdwrOrdering) {
+  // Alternating read/write per-direction goodput sits below both
+  // unidirectional results (Fig 4c vs 4a/4b).
+  const auto cfg = sys::netfpga_hsw().config;
+  for (std::uint32_t sz : {64u, 512u}) {
+    const double rd = bw(cfg, BenchKind::BwRd, sz).gbps;
+    const double wr = bw(cfg, BenchKind::BwWr, sz).gbps;
+    const double rdwr = bw(cfg, BenchKind::BwRdWr, sz).gbps;
+    EXPECT_LT(rdwr, rd + 0.2) << sz;
+    EXPECT_LT(rdwr, wr + 0.2) << sz;
+  }
+}
+
+TEST(Calibration, E3WritesNeverReach40GDemand) {
+  // §6.2: the E3 "never achieves the throughput required for 40Gb/s
+  // Ethernet for any transfer size" on DMA writes.
+  const auto cfg = sys::nfp6000_hsw_e3().config;
+  for (std::uint32_t sz : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+    const double demand = proto::ethernet_pcie_demand_gbps(40.0, sz);
+    EXPECT_LT(bw(cfg, BenchKind::BwWr, sz, 20000).gbps, demand) << sz;
+  }
+}
+
+TEST(Calibration, E3ReadsMatchE5OnlyForLargeTransfers) {
+  const auto e3 = sys::nfp6000_hsw_e3().config;
+  const auto e5 = sys::nfp6000_hsw().config;
+  EXPECT_LT(bw(e3, BenchKind::BwRd, 64, 20000).gbps,
+            0.5 * bw(e5, BenchKind::BwRd, 64, 20000).gbps);
+  EXPECT_GT(bw(e3, BenchKind::BwRd, 1024, 20000).gbps,
+            0.85 * bw(e5, BenchKind::BwRd, 1024, 20000).gbps);
+}
+
+TEST(Calibration, DeterministicAcrossRuns) {
+  auto a = lat(sys::nfp6000_hsw().config, BenchKind::LatRd, 64, 1000);
+  auto b = lat(sys::nfp6000_hsw().config, BenchKind::LatRd, 64, 1000);
+  EXPECT_EQ(a.summary.median_ns, b.summary.median_ns);
+  EXPECT_EQ(a.summary.max_ns, b.summary.max_ns);
+}
+
+}  // namespace
+}  // namespace pcieb

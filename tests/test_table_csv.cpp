@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace pcieb {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"xxxxx", "1"});
+  const std::string out = t.to_string();
+  std::istringstream is(out);
+  std::string header, sep, row;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row);
+  EXPECT_NE(header.find("long_header"), std::string::npos);
+  EXPECT_NE(sep.find("---"), std::string::npos);
+  EXPECT_NE(row.find("xxxxx"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(std::nan(""), 2), "-");
+}
+
+TEST(TextTableTest, EmptyTableStillPrintsHeader) {
+  TextTable t({"col"});
+  EXPECT_NE(t.to_string().find("col"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/pcieb_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.header({"x", "y"});
+    w.row(1, 2.5);
+    w.row("a", "b");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pcieb

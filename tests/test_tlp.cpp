@@ -1,0 +1,67 @@
+#include "pcie/tlp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb::proto {
+namespace {
+
+TEST(TlpHeaders, TypeSpecificSizes) {
+  EXPECT_EQ(type_header_bytes(TlpType::MemWr, true), 12u);
+  EXPECT_EQ(type_header_bytes(TlpType::MemWr, false), 8u);
+  EXPECT_EQ(type_header_bytes(TlpType::MemRd, true), 12u);
+  EXPECT_EQ(type_header_bytes(TlpType::CplD, true), 8u);
+  EXPECT_EQ(type_header_bytes(TlpType::Cpl, false), 8u);
+}
+
+TEST(TlpHeaders, PaperOverheadNumbers) {
+  // §3: MWr_Hdr and MRd_Hdr are 24 B (2 framing + 6 DLL + 4 TLP common +
+  // 12 type header); CplD_Hdr is 20 B.
+  const LinkConfig cfg = gen3_x8();
+  EXPECT_EQ(overhead_bytes(TlpType::MemWr, cfg), 24u);
+  EXPECT_EQ(overhead_bytes(TlpType::MemRd, cfg), 24u);
+  EXPECT_EQ(overhead_bytes(TlpType::CplD, cfg), 20u);
+}
+
+TEST(TlpHeaders, Addr32ShrinksMemHeaders) {
+  LinkConfig cfg = gen3_x8();
+  cfg.addr64 = false;
+  EXPECT_EQ(overhead_bytes(TlpType::MemWr, cfg), 20u);
+  EXPECT_EQ(overhead_bytes(TlpType::CplD, cfg), 20u);  // unchanged
+}
+
+TEST(TlpHeaders, EcrcAddsFourBytes) {
+  LinkConfig cfg = gen3_x8();
+  cfg.ecrc = true;
+  EXPECT_EQ(overhead_bytes(TlpType::MemWr, cfg), 28u);
+  EXPECT_EQ(overhead_bytes(TlpType::CplD, cfg), 24u);
+}
+
+TEST(TlpWire, WriteWireBytes) {
+  const LinkConfig cfg = gen3_x8();
+  Tlp w{TlpType::MemWr, 0x1000, 256, 0, 0};
+  EXPECT_EQ(w.wire_bytes(cfg), 280u);
+}
+
+TEST(TlpWire, ReadRequestCarriesNoPayload) {
+  const LinkConfig cfg = gen3_x8();
+  Tlp r{TlpType::MemRd, 0x1000, 0, 512, 0};
+  EXPECT_EQ(r.wire_bytes(cfg), 24u);
+}
+
+TEST(TlpStrings, Names) {
+  EXPECT_STREQ(to_string(TlpType::MemRd), "MRd");
+  EXPECT_STREQ(to_string(TlpType::MemWr), "MWr");
+  EXPECT_STREQ(to_string(TlpType::CplD), "CplD");
+  EXPECT_STREQ(to_string(TlpType::Cpl), "Cpl");
+}
+
+TEST(TlpStrings, DescribeIncludesFields) {
+  Tlp t{TlpType::MemRd, 0xabc, 0, 64, 7};
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("MRd"), std::string::npos);
+  EXPECT_NE(d.find("abc"), std::string::npos);
+  EXPECT_NE(d.find("tag=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcieb::proto

@@ -1,0 +1,52 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcieb {
+namespace {
+
+TEST(UnitsTest, NanosRoundTrip) {
+  EXPECT_EQ(from_nanos(1.0), 1000);
+  EXPECT_DOUBLE_EQ(to_nanos(from_nanos(123.456)), 123.456);
+  EXPECT_EQ(from_nanos(19.2), 19200);
+}
+
+TEST(UnitsTest, ScaledConstructors) {
+  EXPECT_EQ(from_micros(1.0), from_nanos(1000.0));
+  EXPECT_EQ(from_millis(1.0), from_micros(1000.0));
+  EXPECT_EQ(from_seconds(1.0), from_millis(1000.0));
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(2.5)), 2.5);
+}
+
+TEST(UnitsTest, SizeLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(UnitsTest, GbpsComputation) {
+  // 1000 bytes in 1 us = 8 Gb/s.
+  EXPECT_DOUBLE_EQ(gbps(1000, from_micros(1.0)), 8.0);
+  EXPECT_EQ(gbps(1000, 0), 0.0);
+  EXPECT_EQ(gbps(1000, -5), 0.0);
+}
+
+TEST(UnitsTest, SerializationTime) {
+  // 1000 bytes at 8 Gb/s = 1 us.
+  EXPECT_EQ(serialization_ps(1000, 8.0), from_micros(1.0));
+  // 88 wire bytes at 57.88 Gb/s ~ 12.16 ns (the 64 B MWr TLP time).
+  EXPECT_NEAR(to_nanos(serialization_ps(88, 57.88)), 12.16, 0.01);
+  EXPECT_EQ(serialization_ps(0, 10.0), 0);
+}
+
+TEST(UnitsTest, GbpsAndSerializationAreInverse) {
+  for (std::uint64_t bytes : {64ull, 1500ull, 1ull << 20}) {
+    for (double rate : {1.0, 8.0, 57.88, 252.06}) {
+      const Picos t = serialization_ps(bytes, rate);
+      EXPECT_NEAR(gbps(bytes, t), rate, rate * 0.001) << bytes << "@" << rate;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcieb

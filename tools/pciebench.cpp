@@ -1,0 +1,238 @@
+// pciebench — command-line control program, the equivalent of the
+// paper's §5.4 user-space tools: run individual micro-benchmarks or full
+// suites against any Table 1 system profile, with optional IOMMU
+// configuration, and emit summaries, CDFs, histograms, time series or CSV.
+//
+// Examples:
+//   pciebench list-systems
+//   pciebench run --system NFP6000-HSW --bench LAT_RD --size 64 \
+//       --window 8K --cache warm --iters 20000 --cdf
+//   pciebench run --system NFP6000-BDW --bench BW_RD --size 64 \
+//       --window 16M --iommu on --pages 4K
+//   pciebench suite --system NFP6000-SNB --filter BW_RD --csv out.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace {
+
+using namespace pcieb;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(usage:
+  pciebench list-systems
+  pciebench run --system NAME --bench KIND [options]
+  pciebench suite --system NAME [--filter STR] [--csv FILE]
+
+run options:
+  --bench KIND      LAT_RD | LAT_WRRD | BW_RD | BW_WR | BW_RDWR
+  --size N          transfer size in bytes            (default 64)
+  --offset N        offset within a cache line        (default 0)
+  --window SZ       window size, e.g. 8K, 1M, 64M     (default 8K)
+  --pattern P       rand | seq                        (default rand)
+  --cache S         warm | cold | device              (default warm)
+  --numa L          local | remote                    (default local)
+  --iommu S         on | off                          (default off)
+  --pages SZ        4K | 2M | 1G backing pages        (default 4K)
+  --iters N         measured transactions             (default 20000)
+  --warmup N        unmeasured lead-in transactions   (default 0)
+  --cmd-if          use the NFP direct command interface
+  --seed N          RNG seed                          (default 42)
+  --cdf             print the latency CDF
+  --histogram       print a latency histogram
+  --timeseries      print a thinned latency time series
+)");
+  std::exit(2);
+}
+
+std::uint64_t parse_size(const std::string& s) {
+  if (s.empty()) usage("empty size");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  std::uint64_t mult = 1;
+  if (end && *end) {
+    switch (*end) {
+      case 'k': case 'K': mult = 1ull << 10; break;
+      case 'm': case 'M': mult = 1ull << 20; break;
+      case 'g': case 'G': mult = 1ull << 30; break;
+      default: usage(("bad size suffix in '" + s + "'").c_str());
+    }
+  }
+  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
+}
+
+core::BenchKind parse_kind(const std::string& s) {
+  static const std::map<std::string, core::BenchKind> kinds = {
+      {"LAT_RD", core::BenchKind::LatRd},
+      {"LAT_WRRD", core::BenchKind::LatWrRd},
+      {"BW_RD", core::BenchKind::BwRd},
+      {"BW_WR", core::BenchKind::BwWr},
+      {"BW_RDWR", core::BenchKind::BwRdWr},
+  };
+  const auto it = kinds.find(s);
+  if (it == kinds.end()) usage(("unknown bench kind '" + s + "'").c_str());
+  return it->second;
+}
+
+struct Args {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& f) const {
+    for (const auto& g : flags) {
+      if (g == f) return true;
+    }
+    return false;
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) usage(("unexpected argument '" + a + "'").c_str());
+    a = a.substr(2);
+    const bool takes_value =
+        a != "cdf" && a != "histogram" && a != "timeseries" && a != "cmd-if";
+    if (!takes_value) {
+      args.flags.push_back(a);
+    } else {
+      if (i + 1 >= argc) usage(("missing value for --" + a).c_str());
+      args.values[a] = argv[++i];
+    }
+  }
+  return args;
+}
+
+int cmd_list_systems() {
+  std::printf("%-16s %-28s %-6s %-13s %s\n", "name", "cpu", "numa", "arch",
+              "adapter");
+  for (const auto& p : sys::all_profiles()) {
+    std::printf("%-16s %-28s %-6s %-13s %s\n", p.name.c_str(), p.cpu.c_str(),
+                p.numa_nodes > 1 ? "2-way" : "no", p.arch.c_str(),
+                p.adapter.c_str());
+  }
+  return 0;
+}
+
+sim::SystemConfig configured_system(const Args& args,
+                                    core::BenchParams& params) {
+  const std::string system_name = args.get("system", "");
+  if (system_name.empty()) usage("--system is required");
+  auto cfg = sys::profile_by_name(system_name).config;
+
+  params.transfer_size =
+      static_cast<std::uint32_t>(parse_size(args.get("size", "64")));
+  params.offset = static_cast<std::uint32_t>(parse_size(args.get("offset", "0")));
+  params.window_bytes = parse_size(args.get("window", "8K"));
+  params.iterations = std::strtoull(args.get("iters", "20000").c_str(), nullptr, 10);
+  params.warmup = std::strtoull(args.get("warmup", "0").c_str(), nullptr, 10);
+  params.seed = std::strtoull(args.get("seed", "42").c_str(), nullptr, 10);
+  params.use_cmd_if = args.has_flag("cmd-if");
+
+  const std::string pattern = args.get("pattern", "rand");
+  if (pattern == "rand") params.pattern = core::AccessPattern::Random;
+  else if (pattern == "seq") params.pattern = core::AccessPattern::Sequential;
+  else usage("--pattern must be rand or seq");
+
+  const std::string cache = args.get("cache", "warm");
+  if (cache == "warm") params.cache_state = core::CacheState::HostWarm;
+  else if (cache == "cold") params.cache_state = core::CacheState::Thrash;
+  else if (cache == "device") params.cache_state = core::CacheState::DeviceWarm;
+  else usage("--cache must be warm, cold or device");
+
+  const std::string numa = args.get("numa", "local");
+  if (numa == "local") params.numa_local = true;
+  else if (numa == "remote") params.numa_local = false;
+  else usage("--numa must be local or remote");
+
+  params.page_bytes = parse_size(args.get("pages", "4K"));
+  const std::string iommu = args.get("iommu", "off");
+  if (iommu == "on") {
+    cfg = sys::with_iommu(cfg, true, params.page_bytes);
+  } else if (iommu != "off") {
+    usage("--iommu must be on or off");
+  }
+  return cfg;
+}
+
+int cmd_run(const Args& args) {
+  core::BenchParams params;
+  params.kind = parse_kind(args.get("bench", "LAT_RD"));
+  const auto cfg = configured_system(args, params);
+  sim::System system(cfg);
+
+  if (core::is_latency(params.kind)) {
+    const auto r = core::run_latency_bench(system, params);
+    std::printf("%s\n", core::format(r).c_str());
+    if (args.has_flag("cdf")) {
+      std::printf("# cdf: latency_ns fraction\n%s",
+                  core::cdf_dump(r).c_str());
+    }
+    if (args.has_flag("histogram")) {
+      std::printf("# histogram: lo_ns hi_ns count\n%s",
+                  core::histogram_dump(r).c_str());
+    }
+    if (args.has_flag("timeseries")) {
+      std::printf("# timeseries: index latency_ns\n%s",
+                  core::time_series_dump(r).c_str());
+    }
+  } else {
+    const auto r = core::run_bandwidth_bench(system, params);
+    std::printf("%s\n", core::format(r).c_str());
+  }
+  return 0;
+}
+
+int cmd_suite(const Args& args) {
+  const std::string system_name = args.get("system", "");
+  if (system_name.empty()) usage("--system is required");
+  sys::profile_by_name(system_name);  // validate early
+
+  const auto suite = core::Suite::standard(system_name);
+  std::size_t done = 0;
+  const auto records =
+      suite.run(args.get("filter", ""), [&](const core::ExperimentRecord& r) {
+        ++done;
+        std::fprintf(stderr, "[%3zu] %-22s %.2fs\n", done,
+                     r.experiment.name.c_str(), r.wall_seconds);
+      });
+  std::printf("%s", core::summarize(records).c_str());
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty()) {
+    core::write_csv(records, csv);
+    std::printf("wrote %zu records to %s\n", records.size(), csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list-systems") return cmd_list_systems();
+    if (cmd == "run") return cmd_run(parse_args(argc, argv, 2));
+    if (cmd == "suite") return cmd_suite(parse_args(argc, argv, 2));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command '" + cmd + "'").c_str());
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commodity.dir/bench/ablation_commodity.cpp.o"
+  "CMakeFiles/ablation_commodity.dir/bench/ablation_commodity.cpp.o.d"
+  "bench/ablation_commodity"
+  "bench/ablation_commodity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commodity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gen4.dir/bench/ablation_gen4.cpp.o"
+  "CMakeFiles/ablation_gen4.dir/bench/ablation_gen4.cpp.o.d"
+  "bench/ablation_gen4"
+  "bench/ablation_gen4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gen4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

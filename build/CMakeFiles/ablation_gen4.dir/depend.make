@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_gen4.
+# This may be replaced when dependencies are built.

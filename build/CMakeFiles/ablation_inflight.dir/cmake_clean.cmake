@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inflight.dir/bench/ablation_inflight.cpp.o"
+  "CMakeFiles/ablation_inflight.dir/bench/ablation_inflight.cpp.o.d"
+  "bench/ablation_inflight"
+  "bench/ablation_inflight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inflight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

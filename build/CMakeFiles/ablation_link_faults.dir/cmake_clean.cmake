@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_faults.dir/bench/ablation_link_faults.cpp.o"
+  "CMakeFiles/ablation_link_faults.dir/bench/ablation_link_faults.cpp.o.d"
+  "bench/ablation_link_faults"
+  "bench/ablation_link_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mps_mrrs.dir/bench/ablation_mps_mrrs.cpp.o"
+  "CMakeFiles/ablation_mps_mrrs.dir/bench/ablation_mps_mrrs.cpp.o.d"
+  "bench/ablation_mps_mrrs"
+  "bench/ablation_mps_mrrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mps_mrrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

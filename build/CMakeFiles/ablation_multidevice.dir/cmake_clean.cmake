@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multidevice.dir/bench/ablation_multidevice.cpp.o"
+  "CMakeFiles/ablation_multidevice.dir/bench/ablation_multidevice.cpp.o.d"
+  "bench/ablation_multidevice"
+  "bench/ablation_multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_superpages.dir/bench/ablation_superpages.cpp.o"
+  "CMakeFiles/ablation_superpages.dir/bench/ablation_superpages.cpp.o.d"
+  "bench/ablation_superpages"
+  "bench/ablation_superpages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_superpages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unaligned.dir/bench/ablation_unaligned.cpp.o"
+  "CMakeFiles/ablation_unaligned.dir/bench/ablation_unaligned.cpp.o.d"
+  "bench/ablation_unaligned"
+  "bench/ablation_unaligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

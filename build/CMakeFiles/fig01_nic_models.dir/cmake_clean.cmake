@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_nic_models.dir/bench/fig01_nic_models.cpp.o"
+  "CMakeFiles/fig01_nic_models.dir/bench/fig01_nic_models.cpp.o.d"
+  "bench/fig01_nic_models"
+  "bench/fig01_nic_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_nic_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

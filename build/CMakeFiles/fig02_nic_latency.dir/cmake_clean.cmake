@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_nic_latency.dir/bench/fig02_nic_latency.cpp.o"
+  "CMakeFiles/fig02_nic_latency.dir/bench/fig02_nic_latency.cpp.o.d"
+  "bench/fig02_nic_latency"
+  "bench/fig02_nic_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_nic_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

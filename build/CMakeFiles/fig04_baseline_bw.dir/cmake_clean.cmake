@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_baseline_bw.dir/bench/fig04_baseline_bw.cpp.o"
+  "CMakeFiles/fig04_baseline_bw.dir/bench/fig04_baseline_bw.cpp.o.d"
+  "bench/fig04_baseline_bw"
+  "bench/fig04_baseline_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_baseline_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dma_latency.dir/bench/fig05_dma_latency.cpp.o"
+  "CMakeFiles/fig05_dma_latency.dir/bench/fig05_dma_latency.cpp.o.d"
+  "bench/fig05_dma_latency"
+  "bench/fig05_dma_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dma_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_e3_bandwidth.dir/bench/fig06b_e3_bandwidth.cpp.o"
+  "CMakeFiles/fig06b_e3_bandwidth.dir/bench/fig06b_e3_bandwidth.cpp.o.d"
+  "bench/fig06b_e3_bandwidth"
+  "bench/fig06b_e3_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_e3_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

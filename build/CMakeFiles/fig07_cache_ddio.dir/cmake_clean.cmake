@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cache_ddio.dir/bench/fig07_cache_ddio.cpp.o"
+  "CMakeFiles/fig07_cache_ddio.dir/bench/fig07_cache_ddio.cpp.o.d"
+  "bench/fig07_cache_ddio"
+  "bench/fig07_cache_ddio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cache_ddio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_iommu.dir/bench/fig09_iommu.cpp.o"
+  "CMakeFiles/fig09_iommu.dir/bench/fig09_iommu.cpp.o.d"
+  "bench/fig09_iommu"
+  "bench/fig09_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench.dir/bench/microbench.cpp.o"
+  "CMakeFiles/microbench.dir/bench/microbench.cpp.o.d"
+  "bench/microbench"
+  "bench/microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_findings.dir/bench/table2_findings.cpp.o"
+  "CMakeFiles/table2_findings.dir/bench/table2_findings.cpp.o.d"
+  "bench/table2_findings"
+  "bench/table2_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

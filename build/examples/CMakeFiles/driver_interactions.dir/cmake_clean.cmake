@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_interactions.dir/driver_interactions.cpp.o"
+  "CMakeFiles/driver_interactions.dir/driver_interactions.cpp.o.d"
+  "driver_interactions"
+  "driver_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

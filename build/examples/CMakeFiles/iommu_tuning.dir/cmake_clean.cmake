@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iommu_tuning.dir/iommu_tuning.cpp.o"
+  "CMakeFiles/iommu_tuning.dir/iommu_tuning.cpp.o.d"
+  "iommu_tuning"
+  "iommu_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iommu_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_budget.dir/latency_budget.cpp.o"
+  "CMakeFiles/latency_budget.dir/latency_budget.cpp.o.d"
+  "latency_budget"
+  "latency_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

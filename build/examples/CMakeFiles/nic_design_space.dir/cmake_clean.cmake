@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_design_space.dir/nic_design_space.cpp.o"
+  "CMakeFiles/nic_design_space.dir/nic_design_space.cpp.o.d"
+  "nic_design_space"
+  "nic_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

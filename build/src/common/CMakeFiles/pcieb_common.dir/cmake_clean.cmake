@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcieb_common.dir/stats.cpp.o"
+  "CMakeFiles/pcieb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pcieb_common.dir/table.cpp.o"
+  "CMakeFiles/pcieb_common.dir/table.cpp.o.d"
+  "libpcieb_common.a"
+  "libpcieb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcieb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

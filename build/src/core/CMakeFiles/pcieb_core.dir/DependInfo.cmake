@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/addressing.cpp" "src/core/CMakeFiles/pcieb_core.dir/addressing.cpp.o" "gcc" "src/core/CMakeFiles/pcieb_core.dir/addressing.cpp.o.d"
+  "/root/repo/src/core/multi_runner.cpp" "src/core/CMakeFiles/pcieb_core.dir/multi_runner.cpp.o" "gcc" "src/core/CMakeFiles/pcieb_core.dir/multi_runner.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/pcieb_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/pcieb_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/pcieb_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/pcieb_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/pcieb_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/pcieb_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/suite.cpp" "src/core/CMakeFiles/pcieb_core.dir/suite.cpp.o" "gcc" "src/core/CMakeFiles/pcieb_core.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysconfig/CMakeFiles/pcieb_sysconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcieb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/pcieb_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcieb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcieb_core.dir/addressing.cpp.o"
+  "CMakeFiles/pcieb_core.dir/addressing.cpp.o.d"
+  "CMakeFiles/pcieb_core.dir/multi_runner.cpp.o"
+  "CMakeFiles/pcieb_core.dir/multi_runner.cpp.o.d"
+  "CMakeFiles/pcieb_core.dir/params.cpp.o"
+  "CMakeFiles/pcieb_core.dir/params.cpp.o.d"
+  "CMakeFiles/pcieb_core.dir/report.cpp.o"
+  "CMakeFiles/pcieb_core.dir/report.cpp.o.d"
+  "CMakeFiles/pcieb_core.dir/runner.cpp.o"
+  "CMakeFiles/pcieb_core.dir/runner.cpp.o.d"
+  "CMakeFiles/pcieb_core.dir/suite.cpp.o"
+  "CMakeFiles/pcieb_core.dir/suite.cpp.o.d"
+  "libpcieb_core.a"
+  "libpcieb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcieb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/interaction.cpp" "src/model/CMakeFiles/pcieb_model.dir/interaction.cpp.o" "gcc" "src/model/CMakeFiles/pcieb_model.dir/interaction.cpp.o.d"
+  "/root/repo/src/model/latency_budget.cpp" "src/model/CMakeFiles/pcieb_model.dir/latency_budget.cpp.o" "gcc" "src/model/CMakeFiles/pcieb_model.dir/latency_budget.cpp.o.d"
+  "/root/repo/src/model/nic_models.cpp" "src/model/CMakeFiles/pcieb_model.dir/nic_models.cpp.o" "gcc" "src/model/CMakeFiles/pcieb_model.dir/nic_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/pcieb_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcieb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcieb_model.dir/interaction.cpp.o"
+  "CMakeFiles/pcieb_model.dir/interaction.cpp.o.d"
+  "CMakeFiles/pcieb_model.dir/latency_budget.cpp.o"
+  "CMakeFiles/pcieb_model.dir/latency_budget.cpp.o.d"
+  "CMakeFiles/pcieb_model.dir/nic_models.cpp.o"
+  "CMakeFiles/pcieb_model.dir/nic_models.cpp.o.d"
+  "libpcieb_model.a"
+  "libpcieb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcieb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcieb_model.a"
+)

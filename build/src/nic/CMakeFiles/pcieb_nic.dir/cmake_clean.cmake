@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcieb_nic.dir/commodity.cpp.o"
+  "CMakeFiles/pcieb_nic.dir/commodity.cpp.o.d"
+  "CMakeFiles/pcieb_nic.dir/loopback.cpp.o"
+  "CMakeFiles/pcieb_nic.dir/loopback.cpp.o.d"
+  "CMakeFiles/pcieb_nic.dir/nic_sim.cpp.o"
+  "CMakeFiles/pcieb_nic.dir/nic_sim.cpp.o.d"
+  "CMakeFiles/pcieb_nic.dir/ring.cpp.o"
+  "CMakeFiles/pcieb_nic.dir/ring.cpp.o.d"
+  "libpcieb_nic.a"
+  "libpcieb_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcieb_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

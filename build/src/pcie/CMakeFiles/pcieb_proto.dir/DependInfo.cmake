@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/bandwidth.cpp" "src/pcie/CMakeFiles/pcieb_proto.dir/bandwidth.cpp.o" "gcc" "src/pcie/CMakeFiles/pcieb_proto.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/pcie/flow_control.cpp" "src/pcie/CMakeFiles/pcieb_proto.dir/flow_control.cpp.o" "gcc" "src/pcie/CMakeFiles/pcieb_proto.dir/flow_control.cpp.o.d"
+  "/root/repo/src/pcie/link_config.cpp" "src/pcie/CMakeFiles/pcieb_proto.dir/link_config.cpp.o" "gcc" "src/pcie/CMakeFiles/pcieb_proto.dir/link_config.cpp.o.d"
+  "/root/repo/src/pcie/packetizer.cpp" "src/pcie/CMakeFiles/pcieb_proto.dir/packetizer.cpp.o" "gcc" "src/pcie/CMakeFiles/pcieb_proto.dir/packetizer.cpp.o.d"
+  "/root/repo/src/pcie/tlp.cpp" "src/pcie/CMakeFiles/pcieb_proto.dir/tlp.cpp.o" "gcc" "src/pcie/CMakeFiles/pcieb_proto.dir/tlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcieb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

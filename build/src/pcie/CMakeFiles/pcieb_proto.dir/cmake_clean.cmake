@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcieb_proto.dir/bandwidth.cpp.o"
+  "CMakeFiles/pcieb_proto.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/pcieb_proto.dir/flow_control.cpp.o"
+  "CMakeFiles/pcieb_proto.dir/flow_control.cpp.o.d"
+  "CMakeFiles/pcieb_proto.dir/link_config.cpp.o"
+  "CMakeFiles/pcieb_proto.dir/link_config.cpp.o.d"
+  "CMakeFiles/pcieb_proto.dir/packetizer.cpp.o"
+  "CMakeFiles/pcieb_proto.dir/packetizer.cpp.o.d"
+  "CMakeFiles/pcieb_proto.dir/tlp.cpp.o"
+  "CMakeFiles/pcieb_proto.dir/tlp.cpp.o.d"
+  "libpcieb_proto.a"
+  "libpcieb_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcieb_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

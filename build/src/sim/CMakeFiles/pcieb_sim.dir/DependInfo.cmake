@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/host_buffer.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/host_buffer.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/host_buffer.cpp.o.d"
+  "/root/repo/src/sim/iommu.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/iommu.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/iommu.cpp.o.d"
+  "/root/repo/src/sim/jitter.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/jitter.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/jitter.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/multi_system.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/multi_system.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/multi_system.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/resource.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/resource.cpp.o.d"
+  "/root/repo/src/sim/root_complex.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/root_complex.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/root_complex.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/switch.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/switch.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/switch.cpp.o.d"
+  "/root/repo/src/sim/switched_system.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/switched_system.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/switched_system.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/pcieb_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/pcieb_sim.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/pcieb_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcieb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

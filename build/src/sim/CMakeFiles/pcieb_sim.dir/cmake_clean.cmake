@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcieb_sim.dir/cache.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/device.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/device.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/host_buffer.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/host_buffer.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/iommu.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/iommu.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/jitter.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/jitter.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/link.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/link.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/multi_system.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/multi_system.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/resource.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/root_complex.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/root_complex.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/switch.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/switch.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/switched_system.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/switched_system.cpp.o.d"
+  "CMakeFiles/pcieb_sim.dir/system.cpp.o"
+  "CMakeFiles/pcieb_sim.dir/system.cpp.o.d"
+  "libpcieb_sim.a"
+  "libpcieb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcieb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

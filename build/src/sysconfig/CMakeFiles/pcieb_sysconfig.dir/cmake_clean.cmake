@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcieb_sysconfig.dir/profiles.cpp.o"
+  "CMakeFiles/pcieb_sysconfig.dir/profiles.cpp.o.d"
+  "libpcieb_sysconfig.a"
+  "libpcieb_sysconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcieb_sysconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pcieb_sysconfig.
+# This may be replaced when dependencies are built.

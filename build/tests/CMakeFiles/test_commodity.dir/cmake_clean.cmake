@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commodity.dir/test_commodity.cpp.o"
+  "CMakeFiles/test_commodity.dir/test_commodity.cpp.o.d"
+  "test_commodity"
+  "test_commodity.pdb"
+  "test_commodity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commodity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

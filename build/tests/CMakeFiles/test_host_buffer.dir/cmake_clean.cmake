@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_buffer.dir/test_host_buffer.cpp.o"
+  "CMakeFiles/test_host_buffer.dir/test_host_buffer.cpp.o.d"
+  "test_host_buffer"
+  "test_host_buffer.pdb"
+  "test_host_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

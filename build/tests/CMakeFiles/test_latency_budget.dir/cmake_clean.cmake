@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_budget.dir/test_latency_budget.cpp.o"
+  "CMakeFiles/test_latency_budget.dir/test_latency_budget.cpp.o.d"
+  "test_latency_budget"
+  "test_latency_budget.pdb"
+  "test_latency_budget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

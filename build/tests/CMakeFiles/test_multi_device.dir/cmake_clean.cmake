@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_device.dir/test_multi_device.cpp.o"
+  "CMakeFiles/test_multi_device.dir/test_multi_device.cpp.o.d"
+  "test_multi_device"
+  "test_multi_device.pdb"
+  "test_multi_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

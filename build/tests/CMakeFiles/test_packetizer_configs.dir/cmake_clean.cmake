@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packetizer_configs.dir/test_packetizer_configs.cpp.o"
+  "CMakeFiles/test_packetizer_configs.dir/test_packetizer_configs.cpp.o.d"
+  "test_packetizer_configs"
+  "test_packetizer_configs.pdb"
+  "test_packetizer_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packetizer_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

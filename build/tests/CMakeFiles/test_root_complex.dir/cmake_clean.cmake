@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_root_complex.dir/test_root_complex.cpp.o"
+  "CMakeFiles/test_root_complex.dir/test_root_complex.cpp.o.d"
+  "test_root_complex"
+  "test_root_complex.pdb"
+  "test_root_complex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_root_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlp.dir/test_tlp.cpp.o"
+  "CMakeFiles/test_tlp.dir/test_tlp.cpp.o.d"
+  "test_tlp"
+  "test_tlp.pdb"
+  "test_tlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

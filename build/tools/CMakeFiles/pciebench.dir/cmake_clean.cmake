@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciebench.dir/pciebench.cpp.o"
+  "CMakeFiles/pciebench.dir/pciebench.cpp.o.d"
+  "pciebench"
+  "pciebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

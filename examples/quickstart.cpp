@@ -1,13 +1,16 @@
-// Quickstart: the three things pcie-bench-sim does.
+// Quickstart: the four things pcie-bench-sim does.
 //
 //  1. Model a device/driver interaction analytically (§3) — what goodput
 //     can my design reach on a given PCIe configuration?
 //  2. Measure latency micro-benchmarks on a simulated host (§4.1).
 //  3. Measure bandwidth micro-benchmarks on a simulated host (§4.2).
+//  4. Observe a run: trace every TLP, dump component counters, and
+//     attribute the measured latency to pipeline stages (docs/OBSERVABILITY.md).
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "core/observe.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "model/interaction.hpp"
@@ -83,6 +86,33 @@ int main() {
     p.iterations = 30000;
     const auto r = core::run_bandwidth_bench(system, p);
     std::printf("%s\n", core::format(r).c_str());
+  }
+
+  // --- 4. observed run --------------------------------------------------------
+  // Rerun the latency benchmark with tracing and breakdown attached; write
+  // a Perfetto-loadable trace and account for every nanosecond by stage.
+  {
+    sim::System system(sys::nfp6000_hsw().config);
+    core::ObsSession::Options opts;
+    opts.trace = true;
+    opts.breakdown = true;
+    core::ObsSession obs(system, opts);
+
+    core::BenchParams p;
+    p.kind = core::BenchKind::LatRd;
+    p.transfer_size = 64;
+    p.window_bytes = 8192;
+    p.cache_state = core::CacheState::HostWarm;
+    p.iterations = 1000;
+    core::run_latency_bench(system, p);
+
+    obs.write_trace_json("quickstart_trace.json");
+    std::printf("wrote quickstart_trace.json (%zu events; open in "
+                "ui.perfetto.dev)\n",
+                obs.sink()->size());
+    std::printf("link.down.wire_bytes = %.0f\n",
+                obs.counters().value("link.down.wire_bytes"));
+    std::printf("%s", core::format_breakdown(obs.breakdown_report()).c_str());
   }
   return 0;
 }

@@ -110,6 +110,31 @@ double Histogram::bin_hi(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i + 1);
 }
 
+LogHistogram::LogHistogram(double lo, std::size_t bins)
+    : lo_(lo), counts_(bins, 0) {
+  if (bins == 0 || lo <= 0.0) {
+    throw std::invalid_argument("LogHistogram: need bins > 0 and lo > 0");
+  }
+}
+
+void LogHistogram::add(double x) {
+  std::size_t idx = 0;
+  if (x >= lo_) {
+    idx = static_cast<std::size_t>(std::log2(x / lo_));
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return lo_ * std::exp2(static_cast<double>(i));
+}
+
+double LogHistogram::bin_hi(std::size_t i) const {
+  return lo_ * std::exp2(static_cast<double>(i + 1));
+}
+
 LatencySummary summarize_latency(const SampleSet& s) {
   LatencySummary out;
   out.count = s.count();

@@ -1,6 +1,7 @@
 // Streaming and sample-based statistics used by the benchmark reporting
 // layer: Welford running moments, exact percentiles over retained samples,
-// CDFs and log-scaled histograms.
+// CDFs, and both linear (Histogram) and log-scaled (LogHistogram)
+// histograms.
 #pragma once
 
 #include <cstddef>
@@ -82,6 +83,29 @@ class Histogram {
   double lo_;
   double hi_;
   double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Log-scaled histogram: bin i covers [lo*2^i, lo*2^(i+1)) — constant
+/// relative resolution across orders of magnitude, the right shape for
+/// latency distributions whose tail is multiplicative (used by the trace
+/// latency-breakdown output). Values below `lo` land in bin 0; values at
+/// or above the top edge land in the last bin.
+class LogHistogram {
+ public:
+  /// `lo` is the lower edge of the first bin (> 0); `bins` log2 octaves.
+  LogHistogram(double lo, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
 };

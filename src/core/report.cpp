@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/table.hpp"
+
 namespace pcieb::core {
 
 double pct_change(double base, double value) {
@@ -61,6 +63,57 @@ std::string time_series_dump(const LatencyResult& r, std::size_t points) {
   os.precision(1);
   for (std::size_t i = 0; i < raw.size(); i += stride) {
     os << i << ' ' << raw[i] << '\n';
+  }
+  return os.str();
+}
+
+std::string format_breakdown(const obs::BreakdownReport& r,
+                             const model::ReadStageBudget* budget) {
+  std::ostringstream os;
+  os << "latency breakdown: " << r.transactions << " serial reads attributed";
+  if (r.skipped_overlapped > 0) {
+    os << ", " << r.skipped_overlapped << " overlapped reads skipped";
+  }
+  os << '\n';
+  if (r.transactions == 0) return os.str();
+
+  std::vector<std::string> headers{"stage",  "mean_ns", "p50_ns",
+                                   "p95_ns", "max_ns",  "share_pct"};
+  std::vector<double> budget_ns;
+  if (budget) {
+    headers.push_back("budget_ns");
+    budget_ns = {budget->device_issue_ns, budget->link_up_ns,
+                 budget->rc_pipeline_ns,  budget->iommu_ns,
+                 budget->order_wait_ns,   budget->memory_llc_ns,
+                 budget->memory_dram_ns,  budget->link_down_ns,
+                 budget->device_done_ns};
+  }
+  TextTable table(std::move(headers));
+  for (std::size_t s = 0; s < r.stages.size(); ++s) {
+    const auto& row = r.stages[s];
+    std::vector<std::string> cells{
+        row.stage,
+        TextTable::num(row.mean_ns),  TextTable::num(row.p50_ns),
+        TextTable::num(row.p95_ns),   TextTable::num(row.max_ns),
+        TextTable::num(row.share_pct, 1)};
+    if (budget) cells.push_back(TextTable::num(budget_ns.at(s)));
+    table.add_row(std::move(cells));
+  }
+  os << table.to_string();
+
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "end-to-end mean " << r.end_to_end_mean_ns << " ns, stage sum "
+     << r.stage_sum_mean_ns << " ns";
+  if (budget) os << ", model budget " << budget->total_ns() << " ns";
+  os << '\n';
+
+  if (!r.log2_hist.empty()) {
+    os << "end-to-end latency, log2 bins (ns):\n";
+    os.precision(0);
+    for (const auto& h : r.log2_hist) {
+      os << "  [" << h.lo_ns << ", " << h.hi_ns << ") " << h.count << '\n';
+    }
   }
   return os.str();
 }

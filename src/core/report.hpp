@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "model/latency_budget.hpp"
+#include "obs/latency_breakdown.hpp"
 
 namespace pcieb::core {
 
@@ -28,5 +30,12 @@ std::string histogram_dump(const LatencyResult& r, std::size_t bins = 50);
 /// `points` samples in measurement order — the §5.4 time-series mode,
 /// useful for spotting periodic excursions like the E3's stalls.
 std::string time_series_dump(const LatencyResult& r, std::size_t points = 500);
+
+/// Render a latency-breakdown report as an aligned table: one row per
+/// stage (mean/p50/p95/max/share), the end-to-end vs stage-sum check
+/// line, and the log2 latency histogram. When `budget` is given a
+/// "budget_ns" column compares each stage with the model's §3 prediction.
+std::string format_breakdown(const obs::BreakdownReport& r,
+                             const model::ReadStageBudget* budget = nullptr);
 
 }  // namespace pcieb::core

@@ -64,6 +64,13 @@ Picos BenchRunner::quantize(Picos t) const {
   return t / res * res;
 }
 
+void BenchRunner::mark_phase(std::uint8_t phase) const {
+  if (auto* sink = system_.trace_sink()) {
+    sink->record({system_.sim().now(), 0, 0, 0, 0,
+                  obs::EventKind::BenchPhase, obs::Component::Bench, phase});
+  }
+}
+
 LatencyResult BenchRunner::run_latency() {
   if (!is_latency(params_.kind)) {
     throw std::logic_error("run_latency: params describe a bandwidth test");
@@ -80,6 +87,7 @@ LatencyResult BenchRunner::run_latency() {
   const bool cmd_if = params_.use_cmd_if;
   const bool wrrd = params_.kind == BenchKind::LatWrRd;
 
+  mark_phase(discard > 0 ? 0 : 1);
   std::function<void()> issue_next = [&] {
     if (remaining == 0) return;
     --remaining;
@@ -87,7 +95,7 @@ LatencyResult BenchRunner::run_latency() {
     const Picos t0 = sim.now();
     auto record_and_continue = [&, t0] {
       if (discard > 0) {
-        --discard;
+        if (--discard == 0) mark_phase(1);
       } else {
         samples.add(to_nanos(quantize(sim.now() - t0)));
       }
@@ -186,7 +194,11 @@ BandwidthResult BenchRunner::run_bandwidth() {
     return end_time;
   };
 
-  if (params_.warmup > 0) run_phase(params_.warmup);
+  if (params_.warmup > 0) {
+    mark_phase(0);
+    run_phase(params_.warmup);
+  }
+  mark_phase(1);
   const std::size_t total = params_.iterations;
   const Picos start_time = sim.now();
   const Picos end_time = run_phase(total);

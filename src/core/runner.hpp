@@ -51,6 +51,9 @@ class BenchRunner {
  private:
   void prepare_state();
   Picos quantize(Picos t) const;
+  /// Emit a BenchPhase trace marker (0 = warmup, 1 = measurement start)
+  /// when the system has a trace sink attached.
+  void mark_phase(std::uint8_t phase) const;
 
   sim::System& system_;
   BenchParams params_;

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "pcie/link_config.hpp"
+
 namespace pcieb::model {
 
 /// Time between packets on the wire, in nanoseconds (includes the 24 B
@@ -23,5 +25,58 @@ unsigned required_inflight_dmas(double dma_latency_ns, double wire_gbps,
 /// running at `clock_ghz`.
 double cycle_budget_per_dma(double wire_gbps, std::uint32_t frame_bytes,
                             unsigned engines, double clock_ghz);
+
+// --- per-stage DMA-read latency budget (§3) ---------------------------
+//
+// First-principles prediction of where a serial DMA read's wall time
+// goes, stage by stage, using the same stage names as the simulator's
+// obs::LatencyBreakdown. For a jitter-free system with idle resources the
+// prediction is exact (it mirrors the simulator's integer picosecond
+// arithmetic), so `pciebench --breakdown` can print measured and budgeted
+// columns side by side and tests can require equality.
+
+/// Scalar inputs to the stage budget. All latencies in nanoseconds;
+/// bandwidths in Gb/s. Defaults are neutral (stage contributes nothing).
+struct StageBudgetInputs {
+  proto::LinkConfig link;       ///< wire format + TLP-layer rate
+  double device_front_ns = 0;   ///< descriptor enqueue (or cmd-if overhead)
+  double issue_interval_ns = 0; ///< engine occupancy before the TLP departs
+  double up_propagation_ns = 0;
+  double down_propagation_ns = 0;
+  double rc_pipeline_ns = 0;    ///< root-complex per-TLP pipeline stage
+  double iommu_walk_ns = 0;     ///< expected walk; 0 = IO-TLB hit / disabled
+  double llc_hit_ns = 0;        ///< LLC data-return latency
+  double dram_extra_ns = 0;     ///< added on an LLC miss
+  double read_pipeline_gbps = 0;///< RC <-> memory read path (0 = infinite)
+  double dram_gbps = 0;         ///< DRAM bandwidth (0 = infinite)
+  unsigned cache_line_bytes = 64;
+  bool expect_llc_miss = false; ///< cold buffer: whole fetch goes to DRAM
+  double completion_fixed_ns = 0;  ///< device-side completion handling
+  double staging_base_ns = 0;   ///< device staging hop (gbps 0 disables)
+  double staging_gbps = 0;
+};
+
+/// Predicted nanoseconds per obs::Stage for one DMA read. Stages that
+/// cannot occur on the modelled path (ordering waits) are zero.
+struct ReadStageBudget {
+  double device_issue_ns = 0;  ///< submit -> request TLP starts serializing
+  double link_up_ns = 0;       ///< request serialization + upstream flight
+  double rc_pipeline_ns = 0;
+  double iommu_ns = 0;
+  double order_wait_ns = 0;
+  double memory_llc_ns = 0;    ///< LLC-hit fetch (0 when a miss is expected)
+  double memory_dram_ns = 0;   ///< whole fetch on the expected-miss path
+  double link_down_ns = 0;     ///< completion serialization + flight
+  double device_done_ns = 0;   ///< completion handling + staging hop
+
+  double total_ns() const;
+};
+
+/// Stage budget for a serial DMA read of `size` bytes at `addr`. Mirrors
+/// the simulator's arithmetic exactly (integer picoseconds, identical TLP
+/// segmentation), assuming idle resources and no jitter. `size` must fit
+/// one read request (size <= MRRS and no 4 KB crossing); throws otherwise.
+ReadStageBudget dma_read_stage_budget(const StageBudgetInputs& in,
+                                      std::uint64_t addr, std::uint32_t size);
 
 }  // namespace pcieb::model

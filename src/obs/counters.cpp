@@ -1,0 +1,90 @@
+#include "obs/counters.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace pcieb::obs {
+
+const char* to_string(MetricKind k) {
+  return k == MetricKind::Counter ? "counter" : "gauge";
+}
+
+void CounterRegistry::add(const std::string& name, MetricKind kind,
+                          Reader read) {
+  if (name.empty() || !read) {
+    throw std::invalid_argument("CounterRegistry: empty name or reader");
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("CounterRegistry: duplicate metric " + name);
+  }
+  entries_.push_back(Entry{name, kind, std::move(read)});
+}
+
+void CounterRegistry::add_counter(const std::string& name, Reader read) {
+  add(name, MetricKind::Counter, std::move(read));
+}
+
+void CounterRegistry::add_gauge(const std::string& name, Reader read) {
+  add(name, MetricKind::Gauge, std::move(read));
+}
+
+bool CounterRegistry::contains(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+double CounterRegistry::value(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.read();
+  }
+  throw std::out_of_range("CounterRegistry: unknown metric " + name);
+}
+
+std::vector<MetricSample> CounterRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(MetricSample{e.name, e.kind, e.read()});
+  }
+  return out;
+}
+
+namespace {
+
+/// Counters are integral totals; print them without a fraction. Gauges
+/// (utilization, occupancy) keep a short decimal tail.
+std::string format_value(const MetricSample& s) {
+  if (s.kind == MetricKind::Counter &&
+      s.value == std::floor(s.value) && std::abs(s.value) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(s.value);
+    return os.str();
+  }
+  return TextTable::num(s.value, 4);
+}
+
+}  // namespace
+
+std::string CounterRegistry::to_table() const {
+  TextTable table({"metric", "kind", "value"});
+  for (const MetricSample& s : snapshot()) {
+    table.add_row({s.name, to_string(s.kind), format_value(s)});
+  }
+  return table.to_string();
+}
+
+void CounterRegistry::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.header({"metric", "kind", "value"});
+  for (const MetricSample& s : snapshot()) {
+    csv.row(s.name, to_string(s.kind), format_value(s));
+  }
+}
+
+}  // namespace pcieb::obs

@@ -1,0 +1,66 @@
+// Registry of named simulator metrics.
+//
+// Components register read-out lambdas over the counters they already
+// maintain — registration costs nothing on the hot path; values are pulled
+// only when a snapshot is taken. Two kinds exist:
+//  * counter — monotonically non-decreasing totals (TLPs sent, IO-TLB
+//    misses, flow-control stall picoseconds);
+//  * gauge   — instantaneous values that may move both ways (queue
+//    occupancy, link utilization).
+// Snapshots dump as an aligned stdout table (common/table) or CSV
+// (common/csv) for diffing against bench/expected/ baselines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pcieb::obs {
+
+enum class MetricKind : std::uint8_t { Counter, Gauge };
+const char* to_string(MetricKind k);
+
+struct MetricSample {
+  std::string name;
+  MetricKind kind;
+  double value;
+};
+
+class CounterRegistry {
+ public:
+  using Reader = std::function<double()>;
+
+  /// Register a monotonic counter. Names are hierarchical by convention
+  /// ("link.up.tlps"); duplicates throw.
+  void add_counter(const std::string& name, Reader read);
+  /// Register a gauge (may decrease between snapshots).
+  void add_gauge(const std::string& name, Reader read);
+
+  std::size_t size() const { return entries_.size(); }
+  bool contains(const std::string& name) const;
+
+  /// Read a single metric by name; throws std::out_of_range if unknown.
+  double value(const std::string& name) const;
+
+  /// Pull every registered metric, in registration order.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Aligned "name kind value" table for stdout.
+  std::string to_table() const;
+
+  /// "name,kind,value" CSV (header row included).
+  void write_csv(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    Reader read;
+  };
+  void add(const std::string& name, MetricKind kind, Reader read);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pcieb::obs

@@ -1,0 +1,152 @@
+#include "obs/latency_breakdown.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "pcie/tlp.hpp"
+
+namespace pcieb::obs {
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::DeviceIssue: return "device_issue";
+    case Stage::LinkUp: return "link_up";
+    case Stage::RcPipeline: return "rc_pipeline";
+    case Stage::Iommu: return "iommu";
+    case Stage::OrderWait: return "order_wait";
+    case Stage::MemoryLlc: return "memory_llc";
+    case Stage::MemoryDram: return "memory_dram";
+    case Stage::LinkDown: return "link_down";
+    case Stage::DeviceDone: return "device_done";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::uint8_t kMemRd =
+    static_cast<std::uint8_t>(proto::TlpType::MemRd);
+
+std::size_t idx(Stage s) { return static_cast<std::size_t>(s); }
+}  // namespace
+
+void LatencyBreakdown::take(Stage s, Picos t) {
+  if (!open_ || tainted_ || seen_[idx(s)]) return;
+  seen_[idx(s)] = true;
+  t = std::max(t, last_);
+  acc_[idx(s)] = t - last_;
+  last_ = t;
+}
+
+void LatencyBreakdown::commit(Picos done_ts) {
+  acc_[idx(Stage::DeviceDone)] = std::max(done_ts, last_) - last_;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    stage_ns_[s].push_back(to_nanos(acc_[s]));
+  }
+  totals_ns_.push_back(to_nanos(done_ts - t0_));
+}
+
+void LatencyBreakdown::on_event(const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::DmaReadSubmit:
+      ++submitted_;
+      ++open_reads_;
+      if (open_reads_ == 1) {
+        open_ = true;
+        tainted_ = false;
+        open_id_ = e.id;
+        t0_ = last_ = e.ts;
+        acc_.fill(0);
+        seen_.fill(false);
+      } else if (open_) {
+        tainted_ = true;  // the tracked read is no longer serial
+      }
+      return;
+    case EventKind::DmaReadDone:
+      if (open_reads_ > 0) --open_reads_;
+      if (open_ && e.id == open_id_) {
+        if (!tainted_) commit(e.ts);
+        open_ = false;
+      }
+      return;
+    case EventKind::LinkTx:
+      if (e.comp == Component::LinkUp && e.flags == kMemRd) {
+        take(Stage::DeviceIssue, e.ts);
+      }
+      return;
+    case EventKind::RcRx:
+      if (e.flags == kMemRd) take(Stage::LinkUp, e.ts);
+      return;
+    case EventKind::RcPipeline:
+      if (e.flags == kMemRd) take(Stage::RcPipeline, e.end());
+      return;
+    case EventKind::IommuHit:
+      if (!(e.flags & 1)) take(Stage::Iommu, e.ts);
+      return;
+    case EventKind::IommuWalk:
+      if (!(e.flags & 1)) take(Stage::Iommu, e.end());
+      return;
+    case EventKind::RcOrderWait:
+      take(Stage::OrderWait, e.end());
+      return;
+    case EventKind::MemRead:
+      take((e.flags & 1) ? Stage::MemoryDram : Stage::MemoryLlc, e.end());
+      return;
+    case EventKind::DevCplRx:
+      if ((e.flags & 1) && open_ && e.id == open_id_) {
+        take(Stage::LinkDown, e.ts);
+      }
+      return;
+    case EventKind::BenchPhase:
+      if (e.flags == 1) {
+        // Measurement starts: drop warmup attribution so the report covers
+        // exactly the measured transactions.
+        for (auto& v : stage_ns_) v.clear();
+        totals_ns_.clear();
+        submitted_ = open_ ? 1 : 0;
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+BreakdownReport LatencyBreakdown::report() const {
+  BreakdownReport out;
+  out.transactions = totals_ns_.size();
+  const std::uint64_t accounted =
+      static_cast<std::uint64_t>(totals_ns_.size()) + (open_ ? 1u : 0u);
+  out.skipped_overlapped =
+      submitted_ > accounted ? submitted_ - accounted : 0;
+  if (totals_ns_.empty()) return out;
+
+  SampleSet totals(totals_ns_);
+  out.end_to_end_mean_ns = totals.mean();
+
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    SampleSet set(stage_ns_[s]);
+    BreakdownReport::Row row;
+    row.stage = to_string(static_cast<Stage>(s));
+    row.mean_ns = set.mean();
+    row.p50_ns = set.median();
+    row.p95_ns = set.percentile(95.0);
+    row.max_ns = set.max();
+    row.share_pct = out.end_to_end_mean_ns > 0
+                        ? row.mean_ns / out.end_to_end_mean_ns * 100.0
+                        : 0.0;
+    out.stage_sum_mean_ns += row.mean_ns;
+    out.stages.push_back(std::move(row));
+  }
+
+  // End-to-end latency in log2 octaves starting at 16 ns — covers 16 ns to
+  // ~0.5 ms, wide enough for every modeled system including E3 stalls.
+  LogHistogram hist(16.0, 15);
+  for (double t : totals_ns_) hist.add(t);
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    if (hist.bin_count(b) == 0) continue;
+    out.log2_hist.push_back(BreakdownReport::HistRow{
+        hist.bin_lo(b), hist.bin_hi(b), hist.bin_count(b)});
+  }
+  return out;
+}
+
+}  // namespace pcieb::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pcieb::obs {
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::Device: return "device";
+    case Component::LinkUp: return "link.up";
+    case Component::LinkDown: return "link.down";
+    case Component::RootComplex: return "root_complex";
+    case Component::Iommu: return "iommu";
+    case Component::Memory: return "memory";
+    case Component::Bench: return "bench";
+  }
+  return "?";
+}
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::DmaReadSubmit: return "dma_read_submit";
+    case EventKind::DmaWriteSubmit: return "dma_write_submit";
+    case EventKind::DmaReadDone: return "dma_read_done";
+    case EventKind::DmaWriteDone: return "dma_write_done";
+    case EventKind::DevCplRx: return "cpl_rx";
+    case EventKind::FcStall: return "fc_stall";
+    case EventKind::LinkTx: return "wire";
+    case EventKind::LinkReplay: return "dll_replay";
+    case EventKind::RcRx: return "rc_rx";
+    case EventKind::RcPipeline: return "rc_pipeline";
+    case EventKind::RcOrderWait: return "order_wait";
+    case EventKind::IommuHit: return "iotlb_hit";
+    case EventKind::IommuWalk: return "page_walk";
+    case EventKind::LlcLookup: return "llc_lookup";
+    case EventKind::DramRead: return "dram_read";
+    case EventKind::MemRead: return "mem_read";
+    case EventKind::MemWrite: return "mem_write";
+    case EventKind::BenchPhase: return "bench_phase";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("TraceSink: zero capacity");
+  ring_.reserve(capacity_);
+}
+
+void TraceSink::record(const TraceEvent& e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+  if (listener_) listener_(e);
+}
+
+std::size_t TraceSink::size() const { return ring_.size(); }
+
+std::uint64_t TraceSink::dropped() const { return recorded_ - ring_.size(); }
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+namespace {
+
+/// Picoseconds as a microsecond decimal string without floating-point
+/// rounding (1 ps = 1e-6 us, so six fractional digits are always exact).
+std::string ps_to_us(Picos ps) {
+  const bool neg = ps < 0;
+  const std::uint64_t v = static_cast<std::uint64_t>(neg ? -ps : ps);
+  std::string frac = std::to_string(v % 1000000);
+  frac.insert(0, 6 - frac.size(), '0');
+  return (neg ? "-" : "") + std::to_string(v / 1000000) + "." + frac;
+}
+
+}  // namespace
+
+void TraceSink::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << c
+       << ",\"args\":{\"name\":\"" << to_string(static_cast<Component>(c))
+       << "\"}}";
+  }
+  for (const TraceEvent& e : events()) {
+    os << ",{\"name\":\"" << to_string(e.kind) << "\",\"cat\":\""
+       << to_string(e.comp) << "\",\"ph\":\"" << (e.dur > 0 ? 'X' : 'i')
+       << "\",\"ts\":" << ps_to_us(e.ts);
+    if (e.dur > 0) {
+      os << ",\"dur\":" << ps_to_us(e.dur);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"pid\":0,\"tid\":" << static_cast<unsigned>(e.comp)
+       << ",\"args\":{\"id\":" << e.id << ",\"addr\":" << e.addr
+       << ",\"len\":" << e.len << ",\"flags\":" << static_cast<unsigned>(e.flags)
+       << "}}";
+  }
+  os << "]}\n";
+}
+
+void TraceSink::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceSink: cannot open " + path);
+  write_chrome_json(out);
+}
+
+}  // namespace pcieb::obs

@@ -1,0 +1,119 @@
+// Per-TLP lifecycle tracing for the simulator.
+//
+// Components record fixed-size TraceEvents (picosecond timestamps, TLP
+// tags/DMA ids, optional durations) into a bounded ring buffer owned by a
+// TraceSink. When no sink is attached the instrumented hot paths reduce to
+// one null-pointer check — no allocation, no branch-heavy work — so
+// tracing is zero-overhead when disabled.
+//
+// The buffer exports as Chrome trace-event JSON ("trace event format"),
+// loadable in Perfetto / chrome://tracing: one track (tid) per component,
+// complete events ("X") for spans such as wire occupancy or page walks,
+// instant events ("i") for milestones such as TLP arrival. A listener hook
+// lets live consumers (obs::LatencyBreakdown) observe every event as it is
+// recorded, independent of ring capacity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pcieb::obs {
+
+/// Simulator component that emitted an event — one trace track each.
+enum class Component : std::uint8_t {
+  Device,       ///< DMA engine / device-side completion handling
+  LinkUp,       ///< device -> root complex link direction
+  LinkDown,     ///< root complex -> device link direction
+  RootComplex,  ///< inbound TLP pipeline and ordering logic
+  Iommu,        ///< IO-TLB and page-table walkers
+  Memory,       ///< LLC + DRAM + interconnect behind the root complex
+  Bench,        ///< benchmark-runner phase markers
+};
+constexpr std::size_t kComponentCount = 7;
+const char* to_string(Component c);
+
+enum class EventKind : std::uint8_t {
+  // Device-side DMA lifecycle.
+  DmaReadSubmit,   ///< dma_read() accepted an op (instant; id = dma id)
+  DmaWriteSubmit,  ///< dma_write() accepted an op (instant; id = dma id)
+  DmaReadDone,     ///< read data usable on the device (instant)
+  DmaWriteDone,    ///< last write TLP handed to the link (instant)
+  DevCplRx,        ///< completion TLP arrived (flags bit0: op complete)
+  FcStall,         ///< posted writes blocked on flow-control credits (span)
+  // Link layer.
+  LinkTx,          ///< TLP wire occupancy (span; flags = TlpType)
+  LinkReplay,      ///< DLL replay of a corrupted TLP (instant)
+  // Root complex.
+  RcRx,            ///< TLP arrived at the root complex (flags = TlpType)
+  RcPipeline,      ///< inbound per-TLP pipeline stage (span; flags = TlpType)
+  RcOrderWait,     ///< read held for producer/consumer ordering (span)
+  // IOMMU.
+  IommuHit,        ///< IO-TLB hit (instant; flags bit0: is_write)
+  IommuWalk,       ///< IO-TLB miss -> page walk (span; flags bit0: is_write)
+  // Memory system.
+  LlcLookup,       ///< LLC probe result (instant; flags bit0: missed)
+  DramRead,        ///< DRAM access for LLC-missing lines (span)
+  MemRead,         ///< full fetch span behind the RC (flags bit0: missed)
+  MemWrite,        ///< full write-commit span (flags bit0: dirty flush)
+  // Benchmark phases.
+  BenchPhase,      ///< flags: 0 = warmup start, 1 = measurement start
+};
+const char* to_string(EventKind k);
+
+struct TraceEvent {
+  Picos ts = 0;             ///< start time (sim picoseconds)
+  Picos dur = 0;            ///< span duration; 0 = instant event
+  std::uint64_t addr = 0;   ///< target address, when meaningful
+  std::uint32_t id = 0;     ///< TLP tag or DMA op id
+  std::uint32_t len = 0;    ///< payload / request / wire bytes
+  EventKind kind = EventKind::BenchPhase;
+  Component comp = Component::Bench;
+  std::uint8_t flags = 0;   ///< kind-specific (see EventKind comments)
+
+  Picos end() const { return ts + dur; }
+};
+
+class TraceSink {
+ public:
+  using Listener = std::function<void(const TraceEvent&)>;
+
+  /// `capacity` bounds the ring buffer; older events are overwritten once
+  /// it fills (`dropped()` counts them). Listeners still see every event.
+  explicit TraceSink(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& e);
+
+  /// Live consumer invoked on every record() (after ring insertion).
+  void set_listener(Listener l) { listener_ = std::move(l); }
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const;
+
+  /// Buffered events, oldest first (chronological by record order).
+  std::vector<TraceEvent> events() const;
+
+  void clear();
+
+  /// Chrome trace-event JSON (one "thread" per component, named via
+  /// thread_name metadata). Timestamps are microseconds with picosecond
+  /// precision; open the file in https://ui.perfetto.dev.
+  void write_chrome_json(std::ostream& os) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;       ///< next write position once full
+  std::uint64_t recorded_ = 0;
+  Listener listener_;
+};
+
+}  // namespace pcieb::obs

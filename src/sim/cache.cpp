@@ -69,6 +69,8 @@ LastLevelCache::WriteOutcome LastLevelCache::write_allocate(std::uint64_t addr) 
   }
   const bool was_dirty = victim->valid && victim->dirty;
   if (was_dirty) ++dirty_evictions_;
+  ++ddio_allocations_;
+  if (victim->valid) ++ddio_evictions_;
   victim->valid = true;
   victim->dirty = true;
   victim->tag = tag_of(addr);
@@ -116,6 +118,7 @@ void LastLevelCache::clear() {
 
 void LastLevelCache::reset_stats() {
   hits_ = misses_ = dirty_evictions_ = 0;
+  ddio_allocations_ = ddio_evictions_ = 0;
 }
 
 bool LastLevelCache::contains(std::uint64_t addr) const {

@@ -59,6 +59,10 @@ class LastLevelCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t dirty_evictions() const { return dirty_evictions_; }
+  /// Lines allocated by inbound DMA writes (DDIO-way allocations).
+  std::uint64_t ddio_allocations() const { return ddio_allocations_; }
+  /// Valid lines displaced by those allocations (clean or dirty).
+  std::uint64_t ddio_evictions() const { return ddio_evictions_; }
   void reset_stats();
 
   /// True if the line holding addr is resident (no LRU update) — test hook.
@@ -84,6 +88,8 @@ class LastLevelCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t dirty_evictions_ = 0;
+  std::uint64_t ddio_allocations_ = 0;
+  std::uint64_t ddio_evictions_ = 0;
 };
 
 }  // namespace pcieb::sim

@@ -1,5 +1,6 @@
 #include "sim/device.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -58,6 +59,11 @@ void DmaDevice::dma_read(std::uint64_t addr, std::uint32_t len, Callback done,
     throw std::invalid_argument("dma_read: command interface unavailable");
   }
   const std::uint32_t dma_id = next_dma_id_++;
+  if (trace_) {
+    trace_->record({sim_.now(), 0, addr, dma_id, len,
+                    obs::EventKind::DmaReadSubmit, obs::Component::Device,
+                    static_cast<std::uint8_t>(use_cmd_if ? 1 : 0)});
+  }
   const auto reqs = proto::segment_read_requests(link_cfg_, addr, len);
   read_ops_[dma_id] = DmaReadOp{static_cast<std::uint32_t>(reqs.size()),
                                 use_cmd_if ? 0 : len, std::move(done)};
@@ -74,6 +80,7 @@ void DmaDevice::issue_read_requests(std::uint64_t addr, std::uint32_t len,
       const std::uint32_t tag = next_tag_++;
       req.tag = tag;
       inflight_reads_[tag] = ReadState{req.read_len, dma_id};
+      tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
       read_issue_.occupy(profile_.issue_interval,
                          [this, req] { upstream_.send(req); });
     });
@@ -106,7 +113,13 @@ void DmaDevice::on_downstream(const proto::Tlp& tlp) {
     throw std::logic_error("DmaDevice: completion overruns request");
   }
   state.remaining -= tlp.payload;
-  if (state.remaining > 0) return;
+  if (state.remaining > 0) {
+    if (trace_) {
+      trace_->record({sim_.now(), 0, tlp.addr, state.dma_id, tlp.payload,
+                      obs::EventKind::DevCplRx, obs::Component::Device, 0});
+    }
+    return;
+  }
 
   const std::uint32_t dma_id = state.dma_id;
   inflight_reads_.erase(it);
@@ -117,7 +130,13 @@ void DmaDevice::on_downstream(const proto::Tlp& tlp) {
     throw std::logic_error("DmaDevice: completion for unknown DMA op");
   }
   DmaReadOp& op = op_it->second;
-  if (--op.requests_left > 0) return;
+  const bool op_complete = (--op.requests_left == 0);
+  if (trace_) {
+    trace_->record({sim_.now(), 0, tlp.addr, dma_id, tlp.payload,
+                    obs::EventKind::DevCplRx, obs::Component::Device,
+                    static_cast<std::uint8_t>(op_complete ? 1 : 0)});
+  }
+  if (!op_complete) return;
 
   // Whole DMA satisfied: device-side completion handling plus the staging
   // hop (skipped on the direct command interface, where total_len is 0).
@@ -126,8 +145,15 @@ void DmaDevice::on_downstream(const proto::Tlp& tlp) {
   Callback done = std::move(op.done);
   read_ops_.erase(op_it);
   ++reads_completed_;
-  if (done) {
-    sim_.after(tail, std::move(done));
+  if (done || trace_) {
+    sim_.after(tail, [this, dma_id, done = std::move(done)] {
+      if (trace_) {
+        trace_->record({sim_.now(), 0, 0, dma_id, 0,
+                        obs::EventKind::DmaReadDone, obs::Component::Device,
+                        0});
+      }
+      if (done) done();
+    });
   }
 }
 
@@ -138,6 +164,12 @@ void DmaDevice::dma_write(std::uint64_t addr, std::uint32_t len, Callback done,
       (profile_.cmd_if_max_bytes == 0 || len > profile_.cmd_if_max_bytes)) {
     throw std::invalid_argument("dma_write: command interface unavailable");
   }
+  const std::uint32_t dma_id = next_dma_id_++;
+  if (trace_) {
+    trace_->record({sim_.now(), 0, addr, dma_id, len,
+                    obs::EventKind::DmaWriteSubmit, obs::Component::Device,
+                    static_cast<std::uint8_t>(use_cmd_if ? 1 : 0)});
+  }
   Picos front_delay;
   if (use_cmd_if) {
     front_delay = profile_.cmd_if_overhead;
@@ -146,18 +178,19 @@ void DmaDevice::dma_write(std::uint64_t addr, std::uint32_t len, Callback done,
     // emit TLPs (NFP internal architecture; zero-cost on NetFPGA).
     front_delay = profile_.dma_enqueue + profile_.staging_delay(len);
   }
-  sim_.after(front_delay, [this, addr, len, done = std::move(done)]() mutable {
-    send_write_tlps(addr, len, std::move(done));
-  });
+  sim_.after(front_delay,
+             [this, addr, len, dma_id, done = std::move(done)]() mutable {
+               send_write_tlps(addr, len, dma_id, std::move(done));
+             });
 }
 
 void DmaDevice::send_write_tlps(std::uint64_t addr, std::uint32_t len,
-                                Callback done) {
+                                std::uint32_t dma_id, Callback done) {
   auto tlps = proto::segment_write(link_cfg_, addr, len);
   for (std::size_t i = 0; i < tlps.size(); ++i) {
     const bool last = (i + 1 == tlps.size());
-    pending_writes_.push_back(
-        PendingWrite{tlps[i], last ? std::move(done) : Callback{}});
+    pending_writes_.push_back(PendingWrite{
+        tlps[i], last ? std::move(done) : Callback{}, last, dma_id});
   }
   try_send_pending_writes();
 }
@@ -166,15 +199,39 @@ void DmaDevice::try_send_pending_writes() {
   while (!pending_writes_.empty()) {
     PendingWrite& pw = pending_writes_.front();
     const std::int64_t cost = pw.tlp.payload;
-    if (posted_credits_ < cost) return;  // wait for grant_posted_credits
+    if (posted_credits_ < cost) {  // wait for grant_posted_credits
+      if (!stalled_) {
+        stalled_ = true;
+        stall_start_ = sim_.now();
+      }
+      return;
+    }
+    if (stalled_) {
+      stalled_ = false;
+      const Picos stalled_for = sim_.now() - stall_start_;
+      fc_stall_ps_ += stalled_for;
+      if (trace_ && stalled_for > 0) {
+        trace_->record({stall_start_, stalled_for, pw.tlp.addr, pw.dma_id,
+                        pw.tlp.payload, obs::EventKind::FcStall,
+                        obs::Component::Device, 0});
+      }
+    }
     posted_credits_ -= cost;
     proto::Tlp tlp = pw.tlp;
     Callback done = std::move(pw.done);
+    const bool last = pw.last;
+    const std::uint32_t dma_id = pw.dma_id;
     pending_writes_.pop_front();
     ++writes_sent_;
     write_issue_.occupy(profile_.issue_interval,
-                        [this, tlp, done = std::move(done)] {
+                        [this, tlp, last, dma_id, done = std::move(done)] {
                           upstream_.send(tlp);
+                          if (trace_ && last) {
+                            trace_->record({sim_.now(), 0, tlp.addr, dma_id,
+                                            tlp.payload,
+                                            obs::EventKind::DmaWriteDone,
+                                            obs::Component::Device, 0});
+                          }
                           if (done) done();
                         });
   }

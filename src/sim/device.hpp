@@ -23,6 +23,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/packetizer.hpp"
 #include "pcie/tlp.hpp"
@@ -109,6 +110,13 @@ class DmaDevice {
   std::uint64_t reads_completed() const { return reads_completed_; }
   std::uint64_t writes_sent() const { return writes_sent_; }
   unsigned read_tags_in_use() const { return read_tags_.in_use(); }
+  /// Most read tags ever simultaneously in flight.
+  unsigned read_tags_hwm() const { return tags_hwm_; }
+  /// Total time posted writes sat blocked on flow-control credits.
+  Picos fc_stall_total() const { return fc_stall_ps_; }
+
+  /// Attach tracing (nullptr detaches).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
  private:
   struct ReadState {
@@ -123,7 +131,8 @@ class DmaDevice {
 
   void issue_read_requests(std::uint64_t addr, std::uint32_t len,
                            std::uint32_t dma_id);
-  void send_write_tlps(std::uint64_t addr, std::uint32_t len, Callback done);
+  void send_write_tlps(std::uint64_t addr, std::uint32_t len,
+                       std::uint32_t dma_id, Callback done);
   void try_send_pending_writes();
 
   Simulator& sim_;
@@ -142,15 +151,22 @@ class DmaDevice {
   std::int64_t posted_credits_;  ///< bytes of posted payload window left
   struct PendingWrite {
     proto::Tlp tlp;
-    Callback done;  ///< set on the final TLP of a DMA write
+    Callback done;      ///< set on the final TLP of a DMA write
+    bool last = false;  ///< final TLP of its DMA op
+    std::uint32_t dma_id = 0;
   };
   std::deque<PendingWrite> pending_writes_;
 
   MmioHandler mmio_handler_;
+  obs::TraceSink* trace_ = nullptr;
   std::uint64_t reads_completed_ = 0;
   std::uint64_t writes_sent_ = 0;
   std::uint64_t mmio_reads_served_ = 0;
   std::uint64_t doorbells_ = 0;
+  unsigned tags_hwm_ = 0;
+  Picos fc_stall_ps_ = 0;
+  Picos stall_start_ = 0;
+  bool stalled_ = false;
 };
 
 }  // namespace pcieb::sim

@@ -27,6 +27,7 @@ void Iommu::tlb_insert(std::uint64_t page) {
     const std::uint64_t victim = lru_.back();
     lru_.pop_back();
     tlb_.erase(victim);
+    ++evictions_;
   }
   lru_.push_front(page);
   tlb_[page] = lru_.begin();
@@ -40,20 +41,35 @@ void Iommu::translate(std::uint64_t addr, bool is_write, Callback done) {
   const std::uint64_t page = addr / cfg_.page_bytes;
   if (tlb_lookup(page)) {
     ++hits_;
+    if (trace_) {
+      trace_->record({sim_.now(), 0, addr, 0, 0, obs::EventKind::IommuHit,
+                      obs::Component::Iommu,
+                      static_cast<std::uint8_t>(is_write ? 1 : 0)});
+    }
     done();
     return;
   }
   ++misses_;
+  const Picos requested = sim_.now();
   const Picos occupancy =
       is_write ? cfg_.walk_occupancy_write : cfg_.walk_occupancy_read;
   const Picos latency = cfg_.walk_latency;
-  walkers_.acquire([this, page, occupancy, latency, done = std::move(done)]() mutable {
+  walkers_.acquire([this, page, addr, is_write, requested, occupancy, latency,
+                    done = std::move(done)]() mutable {
     // The walker is busy for `occupancy`; the requester additionally waits
     // the full walk latency (occupancy <= latency).
     const Picos start = sim_.now();
     sim_.after(occupancy, [this] { walkers_.release(); });
-    sim_.at(start + latency, [this, page, done = std::move(done)] {
+    sim_.at(start + latency, [this, page, addr, is_write, requested,
+                              done = std::move(done)] {
       tlb_insert(page);
+      if (trace_) {
+        // Span covers the requester's whole wait, including any queueing
+        // for a free walker, so breakdown attribution stays exact.
+        trace_->record({requested, sim_.now() - requested, addr, 0, 0,
+                        obs::EventKind::IommuWalk, obs::Component::Iommu,
+                        static_cast<std::uint8_t>(is_write ? 1 : 0)});
+      }
       done();
     });
   });

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
@@ -48,7 +49,11 @@ class Iommu {
   const IommuConfig& config() const { return cfg_; }
   std::uint64_t tlb_hits() const { return hits_; }
   std::uint64_t tlb_misses() const { return misses_; }
-  void reset_stats() { hits_ = misses_ = 0; }
+  std::uint64_t tlb_evictions() const { return evictions_; }
+  void reset_stats() { hits_ = misses_ = evictions_ = 0; }
+
+  /// Attach tracing (nullptr detaches).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
  private:
   using LruList = std::list<std::uint64_t>;  // front = most recent
@@ -63,6 +68,8 @@ class Iommu {
   std::unordered_map<std::uint64_t, LruList::iterator> tlb_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace pcieb::sim

@@ -1,5 +1,6 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pcieb::sim {
@@ -20,6 +21,20 @@ Picos Link::send(const proto::Tlp& tlp) {
     ++replays_;
     bytes_ += wire_bytes;
     wire_.occupy(ser + faults_.replay_penalty);
+    if (trace_) {
+      trace_->record({sim_.now(), 0, tlp.addr, tlp.tag, wire_bytes,
+                      obs::EventKind::LinkReplay, trace_comp_,
+                      static_cast<std::uint8_t>(tlp.type)});
+    }
+  }
+
+  if (trace_) {
+    // Span covers the wire occupancy (start may be in the future when the
+    // TLP queues behind earlier traffic); delivery adds propagation.
+    const Picos start = std::max(sim_.now(), wire_.next_free());
+    trace_->record({start, ser, tlp.addr, tlp.tag, wire_bytes,
+                    obs::EventKind::LinkTx, trace_comp_,
+                    static_cast<std::uint8_t>(tlp.type)});
   }
 
   proto::Tlp copy = tlp;

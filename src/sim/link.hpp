@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/tlp.hpp"
 #include "sim/resource.hpp"
@@ -55,6 +56,13 @@ class Link {
 
   const proto::LinkConfig& config() const { return cfg_; }
 
+  /// Attach tracing (nullptr detaches); `comp` names this direction's
+  /// trace track (LinkUp / LinkDown).
+  void set_trace(obs::TraceSink* sink, obs::Component comp) {
+    trace_ = sink;
+    trace_comp_ = comp;
+  }
+
  private:
   Simulator& sim_;
   proto::LinkConfig cfg_;
@@ -63,6 +71,8 @@ class Link {
   LinkFaultModel faults_;
   Xoshiro256 rng_;
   Deliver deliver_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Component trace_comp_ = obs::Component::LinkUp;
   std::uint64_t tlps_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t payload_bytes_ = 0;

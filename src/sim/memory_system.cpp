@@ -61,6 +61,12 @@ void MemorySystem::fetch(std::uint64_t addr, std::uint32_t len, bool local,
     if (!cache_.read_probe(l * line)) miss_bytes += line;
   }
 
+  const Picos started = sim_.now();
+  if (trace_) {
+    trace_->record({started, 0, addr, 0, miss_bytes,
+                    obs::EventKind::LlcLookup, obs::Component::Memory,
+                    static_cast<std::uint8_t>(miss_bytes > 0 ? 1 : 0)});
+  }
   Picos ready = sim_.now() + mem_cfg_.llc_hit + jitter_.sample(rng_);
   ready = std::max(ready, stall_gate());
   ready = std::max(ready, read_pipeline_.transfer(len));
@@ -74,7 +80,17 @@ void MemorySystem::fetch(std::uint64_t addr, std::uint32_t len, bool local,
   if (miss_bytes > 0) {
     BandwidthResource& mem = local ? dram_ : remote_dram_;
     const Picos t_dram = mem.transfer(miss_bytes);
-    ready = std::max(ready, t_dram) + mem_cfg_.dram_extra;
+    const Picos dram_done = std::max(ready, t_dram) + mem_cfg_.dram_extra;
+    if (trace_) {
+      trace_->record({ready, dram_done - ready, addr, 0, miss_bytes,
+                      obs::EventKind::DramRead, obs::Component::Memory, 0});
+    }
+    ready = dram_done;
+  }
+  if (trace_) {
+    trace_->record({started, ready - started, addr, 0, len,
+                    obs::EventKind::MemRead, obs::Component::Memory,
+                    static_cast<std::uint8_t>(miss_bytes > 0 ? 1 : 0)});
   }
   sim_.at(ready, std::move(done));
 }
@@ -96,6 +112,7 @@ void MemorySystem::write(std::uint64_t addr, std::uint32_t len, bool local,
     }
   }
 
+  const Picos started = sim_.now();
   Picos ready = sim_.now() + mem_cfg_.llc_hit;
   ready = std::max(ready, write_ingest_.transfer(len));
   if (flushed_bytes > 0) {
@@ -104,6 +121,11 @@ void MemorySystem::write(std::uint64_t addr, std::uint32_t len, bool local,
     BandwidthResource& mem = local ? dram_ : remote_dram_;
     mem.transfer(flushed_bytes);
     ready += mem_cfg_.flush_penalty;
+  }
+  if (trace_) {
+    trace_->record({started, ready - started, addr, 0, len,
+                    obs::EventKind::MemWrite, obs::Component::Memory,
+                    static_cast<std::uint8_t>(flushed_bytes > 0 ? 1 : 0)});
   }
   sim_.at(ready, std::move(done));
 }

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "sim/cache.hpp"
 #include "sim/jitter.hpp"
 #include "sim/resource.hpp"
@@ -73,6 +74,9 @@ class MemorySystem {
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
 
+  /// Attach tracing (nullptr detaches).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   Simulator& sim_;
   MemoryConfig mem_cfg_;
@@ -88,6 +92,7 @@ class MemorySystem {
 
   JitterModel jitter_;
   Xoshiro256 rng_;
+  obs::TraceSink* trace_ = nullptr;
   Picos stall_until_ = 0;
   Picos next_stall_at_ = 0;
   std::uint64_t reads_ = 0;

@@ -1,5 +1,7 @@
 #include "sim/root_complex.hpp"
 
+#include <algorithm>
+
 #include "pcie/packetizer.hpp"
 
 namespace pcieb::sim {
@@ -54,6 +56,8 @@ void RootComplex::host_mmio_read(std::uint64_t addr, std::uint32_t len,
 
 void RootComplex::handle_write(const proto::Tlp& tlp) {
   ++writes_arrived_;
+  posted_hwm_ = std::max(posted_hwm_, posted_writes_pending());
+  if (trace_) record_rx_and_pipeline(tlp);
   pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp] {
     iommu_.translate(tlp.addr, /*is_write=*/true, [this, tlp] {
       const bool local = is_local_(tlp.addr);
@@ -69,6 +73,7 @@ void RootComplex::handle_write(const proto::Tlp& tlp) {
 
 void RootComplex::handle_read(const proto::Tlp& tlp) {
   ++reads_;
+  if (trace_) record_rx_and_pipeline(tlp);
   // Snapshot the posted writes this read must not pass (arrival order).
   const std::uint64_t fence = writes_arrived_;
   pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp, fence] {
@@ -76,7 +81,9 @@ void RootComplex::handle_read(const proto::Tlp& tlp) {
       if (writes_committed_ >= fence) {
         emit_completions(tlp);
       } else {
-        ordered_reads_.push_back(PendingRead{tlp, fence});
+        ordered_reads_.push_back(PendingRead{tlp, fence, sim_.now()});
+        ordered_hwm_ = std::max(ordered_hwm_,
+                                static_cast<std::uint64_t>(ordered_reads_.size()));
       }
     });
   });
@@ -85,10 +92,30 @@ void RootComplex::handle_read(const proto::Tlp& tlp) {
 void RootComplex::drain_ordered_reads() {
   while (!ordered_reads_.empty() &&
          writes_committed_ >= ordered_reads_.front().writes_before) {
-    proto::Tlp req = ordered_reads_.front().req;
+    PendingRead pending = ordered_reads_.front();
     ordered_reads_.pop_front();
-    emit_completions(req);
+    if (trace_) {
+      trace_->record({pending.deferred_at, sim_.now() - pending.deferred_at,
+                      pending.req.addr, pending.req.tag, pending.req.read_len,
+                      obs::EventKind::RcOrderWait, obs::Component::RootComplex,
+                      static_cast<std::uint8_t>(pending.req.type)});
+    }
+    emit_completions(pending.req);
   }
+}
+
+/// Record the TLP's arrival plus the pipeline span it is about to occupy
+/// (start may be later than now when the pipeline is busy).
+void RootComplex::record_rx_and_pipeline(const proto::Tlp& tlp) {
+  const auto type = static_cast<std::uint8_t>(tlp.type);
+  const std::uint32_t len =
+      tlp.type == proto::TlpType::MemRd ? tlp.read_len : tlp.payload;
+  trace_->record({sim_.now(), 0, tlp.addr, tlp.tag, len, obs::EventKind::RcRx,
+                  obs::Component::RootComplex, type});
+  const Picos start = std::max(sim_.now(), pipeline_.next_free());
+  trace_->record({start, cfg_.tlp_pipeline, tlp.addr, tlp.tag, len,
+                  obs::EventKind::RcPipeline, obs::Component::RootComplex,
+                  type});
 }
 
 void RootComplex::emit_completions(const proto::Tlp& req) {

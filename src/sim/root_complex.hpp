@@ -15,6 +15,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/tlp.hpp"
 #include "sim/iommu.hpp"
@@ -60,11 +61,24 @@ class RootComplex {
   std::uint64_t writes_committed() const { return writes_committed_; }
   std::uint64_t write_bytes_committed() const { return write_bytes_; }
 
+  /// Posted writes arrived but not yet globally visible (buffer occupancy).
+  std::uint64_t posted_writes_pending() const {
+    return writes_arrived_ - writes_committed_;
+  }
+  /// High-water mark of the posted-write buffer occupancy.
+  std::uint64_t posted_writes_pending_hwm() const { return posted_hwm_; }
+  /// High-water mark of the ordered-read queue depth.
+  std::uint64_t ordered_reads_hwm() const { return ordered_hwm_; }
+
+  /// Attach tracing (nullptr detaches).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   void handle_write(const proto::Tlp& tlp);
   void handle_read(const proto::Tlp& tlp);
   void emit_completions(const proto::Tlp& req);
   void drain_ordered_reads();
+  void record_rx_and_pipeline(const proto::Tlp& tlp);
 
   Simulator& sim_;
   proto::LinkConfig link_cfg_;
@@ -80,10 +94,14 @@ class RootComplex {
   std::uint64_t writes_committed_ = 0;
   std::uint64_t write_bytes_ = 0;
   std::uint64_t reads_ = 0;
+  std::uint64_t posted_hwm_ = 0;
+  std::uint64_t ordered_hwm_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 
   struct PendingRead {
     proto::Tlp req;
     std::uint64_t writes_before;  ///< writes that must commit first
+    Picos deferred_at;            ///< when ordering held it back
   };
   std::deque<PendingRead> ordered_reads_;
 

@@ -25,6 +25,82 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   });
 }
 
+void System::set_trace_sink(obs::TraceSink* sink) {
+  trace_ = sink;
+  up_->set_trace(sink, obs::Component::LinkUp);
+  down_->set_trace(sink, obs::Component::LinkDown);
+  rc_->set_trace(sink);
+  iommu_->set_trace(sink);
+  mem_->set_trace(sink);
+  device_->set_trace(sink);
+}
+
+void System::register_counters(obs::CounterRegistry& reg) {
+  auto link_counters = [&](const char* prefix, Link* link) {
+    const std::string p = prefix;
+    reg.add_counter(p + ".tlps", [link] { return double(link->tlps_sent()); });
+    reg.add_counter(p + ".wire_bytes",
+                    [link] { return double(link->wire_bytes_sent()); });
+    reg.add_counter(p + ".payload_bytes",
+                    [link] { return double(link->payload_bytes_sent()); });
+    reg.add_counter(p + ".replays", [link] { return double(link->replays()); });
+    reg.add_counter(p + ".busy_ps",
+                    [link] { return double(link->busy_total()); });
+    reg.add_gauge(p + ".utilization", [this, link] {
+      const Picos now = sim_.now();
+      return now > 0 ? double(link->busy_total()) / double(now) : 0.0;
+    });
+  };
+  link_counters("link.up", up_.get());
+  link_counters("link.down", down_.get());
+
+  DmaDevice* dev = device_.get();
+  reg.add_counter("device.reads_completed",
+                  [dev] { return double(dev->reads_completed()); });
+  reg.add_counter("device.writes_sent",
+                  [dev] { return double(dev->writes_sent()); });
+  reg.add_counter("device.fc_stall_ps",
+                  [dev] { return double(dev->fc_stall_total()); });
+  reg.add_counter("device.read_tags_hwm",
+                  [dev] { return double(dev->read_tags_hwm()); });
+  reg.add_gauge("device.read_tags_in_use",
+                [dev] { return double(dev->read_tags_in_use()); });
+
+  RootComplex* rc = rc_.get();
+  reg.add_counter("rc.reads", [rc] { return double(rc->reads_handled()); });
+  reg.add_counter("rc.writes_committed",
+                  [rc] { return double(rc->writes_committed()); });
+  reg.add_counter("rc.write_bytes",
+                  [rc] { return double(rc->write_bytes_committed()); });
+  reg.add_counter("rc.ordered_queue_hwm",
+                  [rc] { return double(rc->ordered_reads_hwm()); });
+  reg.add_counter("rc.posted_buffer_hwm",
+                  [rc] { return double(rc->posted_writes_pending_hwm()); });
+  reg.add_gauge("rc.posted_buffer_occupancy",
+                [rc] { return double(rc->posted_writes_pending()); });
+
+  Iommu* mmu = iommu_.get();
+  reg.add_counter("iommu.tlb_hits", [mmu] { return double(mmu->tlb_hits()); });
+  reg.add_counter("iommu.tlb_misses",
+                  [mmu] { return double(mmu->tlb_misses()); });
+  reg.add_counter("iommu.tlb_evictions",
+                  [mmu] { return double(mmu->tlb_evictions()); });
+
+  LastLevelCache* llc = &mem_->cache();
+  reg.add_counter("cache.hits", [llc] { return double(llc->hits()); });
+  reg.add_counter("cache.misses", [llc] { return double(llc->misses()); });
+  reg.add_counter("cache.dirty_evictions",
+                  [llc] { return double(llc->dirty_evictions()); });
+  reg.add_counter("cache.ddio_allocations",
+                  [llc] { return double(llc->ddio_allocations()); });
+  reg.add_counter("cache.ddio_evictions",
+                  [llc] { return double(llc->ddio_evictions()); });
+
+  MemorySystem* mem = mem_.get();
+  reg.add_counter("mem.reads", [mem] { return double(mem->reads()); });
+  reg.add_counter("mem.writes", [mem] { return double(mem->writes()); });
+}
+
 void System::attach_buffer(const HostBuffer* buf) {
   buffer_ = buf;
   rc_->set_locality_resolver([this](std::uint64_t addr) {

@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/cache.hpp"
 #include "sim/device.hpp"
 #include "sim/host_buffer.hpp"
@@ -61,6 +63,16 @@ class System {
   using WriteObserver = std::function<void(std::uint32_t)>;
   void set_write_observer(WriteObserver obs) { write_observer_ = std::move(obs); }
 
+  /// Attach a trace sink to every component (nullptr detaches). Costs one
+  /// null-pointer check per would-be event when detached.
+  void set_trace_sink(obs::TraceSink* sink);
+  obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Register every component's counters and gauges with `reg` under the
+  /// stable names documented in docs/OBSERVABILITY.md. Gauges sample live
+  /// state, so the registry must not outlive this System.
+  void register_counters(obs::CounterRegistry& reg);
+
   // --- cache state control (the §4 warm/thrash levers) -----------------
   /// Host warms a window by writing it (dirty lines, any way).
   void warm_host(const HostBuffer& buf, std::uint64_t offset,
@@ -82,6 +94,7 @@ class System {
   std::unique_ptr<DmaDevice> device_;
   const HostBuffer* buffer_ = nullptr;
   WriteObserver write_observer_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace pcieb::sim

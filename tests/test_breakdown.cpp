@@ -1,0 +1,147 @@
+#include "obs/latency_breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/observe.hpp"
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "model/latency_budget.hpp"
+#include "sim/system.hpp"
+
+namespace pcieb {
+namespace {
+
+core::BenchParams lat_params(std::uint32_t size) {
+  core::BenchParams p;
+  p.kind = core::BenchKind::LatRd;
+  p.transfer_size = size;
+  p.window_bytes = 8192;
+  p.cache_state = core::CacheState::HostWarm;
+  p.iterations = 300;
+  p.warmup = 50;
+  p.seed = 7;
+  return p;
+}
+
+obs::BreakdownReport run_with_breakdown(sim::System& system,
+                                        const core::BenchParams& p) {
+  core::ObsSession::Options opts;
+  opts.breakdown = true;
+  core::ObsSession obs(system, opts);
+  core::run_latency_bench(system, p);
+  return obs.breakdown_report();
+}
+
+double stage_mean(const obs::BreakdownReport& r, const char* name) {
+  for (const auto& row : r.stages) {
+    if (row.stage == name) return row.mean_ns;
+  }
+  ADD_FAILURE() << "no stage " << name;
+  return -1.0;
+}
+
+// The telescoping-milestone design makes the per-stage means sum to the
+// end-to-end mean exactly — the property that turns the breakdown from a
+// suggestive table into a checkable account.
+TEST(BreakdownTest, StageMeansSumToEndToEndMean) {
+  sim::SystemConfig cfg;  // jitter-free defaults
+  sim::System system(cfg);
+  const auto r = run_with_breakdown(system, lat_params(64));
+  ASSERT_EQ(r.transactions, 300u);  // warmup excluded via BenchPhase reset
+  EXPECT_EQ(r.skipped_overlapped, 0u);
+  EXPECT_NEAR(r.stage_sum_mean_ns, r.end_to_end_mean_ns, 1e-6);
+  EXPECT_GT(r.end_to_end_mean_ns, 0.0);
+}
+
+// On a jitter-free system every stage must equal the model's §3 budget —
+// the simulator and the analytical model are two derivations of the same
+// pipeline, so their disagreement would flag a modelling bug.
+TEST(BreakdownTest, WarmReadMatchesModelStageBudget) {
+  sim::SystemConfig cfg;
+  sim::System system(cfg);
+  const auto params = lat_params(64);
+  const auto r = run_with_breakdown(system, params);
+
+  const auto budget = model::dma_read_stage_budget(
+      core::stage_budget_inputs(cfg, params), params.offset,
+      params.transfer_size);
+  EXPECT_NEAR(stage_mean(r, "device_issue"), budget.device_issue_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "link_up"), budget.link_up_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "rc_pipeline"), budget.rc_pipeline_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "iommu"), budget.iommu_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "order_wait"), budget.order_wait_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "memory_llc"), budget.memory_llc_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "memory_dram"), budget.memory_dram_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "link_down"), budget.link_down_ns, 1e-6);
+  EXPECT_NEAR(stage_mean(r, "device_done"), budget.device_done_ns, 1e-6);
+  EXPECT_NEAR(r.end_to_end_mean_ns, budget.total_ns(), 1e-6);
+}
+
+// Cold cache: DMA reads never allocate, so every iteration misses and the
+// whole memory span lands in the DRAM stage (the §6.3 ~70 ns delta plus
+// the DRAM transfer itself).
+TEST(BreakdownTest, ColdReadShiftsMemoryTimeToDramStage) {
+  sim::SystemConfig cfg;
+  sim::System system(cfg);
+  auto params = lat_params(64);
+  params.cache_state = core::CacheState::Thrash;
+  const auto r = run_with_breakdown(system, params);
+
+  const auto budget = model::dma_read_stage_budget(
+      core::stage_budget_inputs(cfg, params), params.offset,
+      params.transfer_size);
+  EXPECT_TRUE(budget.memory_llc_ns == 0.0);
+  EXPECT_NEAR(stage_mean(r, "memory_llc"), 0.0, 1e-9);
+  EXPECT_NEAR(stage_mean(r, "memory_dram"), budget.memory_dram_ns, 1e-6);
+  EXPECT_GT(budget.memory_dram_ns, to_nanos(cfg.mem.dram_extra));
+  EXPECT_NEAR(r.end_to_end_mean_ns, budget.total_ns(), 1e-6);
+}
+
+// LAT_WRRD: the read queues behind its paired posted write at the root
+// complex; that wait must surface in order_wait, and the telescoping
+// property must survive the concurrent write traffic.
+TEST(BreakdownTest, WriteReadPairShowsOrderingWait) {
+  sim::SystemConfig cfg;
+  sim::System system(cfg);
+  auto params = lat_params(64);
+  params.kind = core::BenchKind::LatWrRd;
+  const auto r = run_with_breakdown(system, params);
+  ASSERT_EQ(r.transactions, 300u);
+  EXPECT_NEAR(r.stage_sum_mean_ns, r.end_to_end_mean_ns, 1e-6);
+  EXPECT_GT(stage_mean(r, "order_wait"), 0.0);
+}
+
+// Bandwidth runs keep ~tag-limit reads in flight; attribution would be
+// ambiguous, so overlapped reads are skipped and counted, never guessed.
+TEST(BreakdownTest, OverlappedReadsAreSkippedNotMisattributed) {
+  sim::SystemConfig cfg;
+  sim::System system(cfg);
+  core::BenchParams p;
+  p.kind = core::BenchKind::BwRd;
+  p.transfer_size = 64;
+  p.window_bytes = 8192;
+  p.iterations = 2000;
+  core::ObsSession::Options opts;
+  opts.breakdown = true;
+  core::ObsSession obs(system, opts);
+  core::run_bandwidth_bench(system, p);
+  const auto r = obs.breakdown_report();
+  EXPECT_GT(r.skipped_overlapped, 0u);
+  EXPECT_LE(r.transactions + r.skipped_overlapped, 2000u);
+}
+
+// Oversized transfers (several read requests in flight for one DMA) fall
+// outside the model's single-request budget — the model must say so
+// rather than return a wrong prediction.
+TEST(BreakdownTest, BudgetRejectsMultiRequestSizes) {
+  sim::SystemConfig cfg;
+  const auto params = lat_params(2048);  // > MRRS 512
+  EXPECT_THROW(model::dma_read_stage_budget(
+                   core::stage_budget_inputs(cfg, params), 0, 2048),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcieb

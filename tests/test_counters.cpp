@@ -1,0 +1,122 @@
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace pcieb::obs {
+namespace {
+
+TEST(CounterRegistryTest, RegistrationAndLookup) {
+  CounterRegistry reg;
+  double x = 3.0;
+  reg.add_counter("a.total", [&] { return x; });
+  reg.add_gauge("a.depth", [&] { return x / 2.0; });
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains("a.total"));
+  EXPECT_FALSE(reg.contains("a.other"));
+  EXPECT_DOUBLE_EQ(reg.value("a.total"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("a.depth"), 1.5);
+  EXPECT_THROW(reg.value("missing"), std::out_of_range);
+}
+
+TEST(CounterRegistryTest, DuplicateAndInvalidRegistrationThrows) {
+  CounterRegistry reg;
+  reg.add_counter("dup", [] { return 0.0; });
+  EXPECT_THROW(reg.add_counter("dup", [] { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add_gauge("dup", [] { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add_counter("", [] { return 0.0; }), std::invalid_argument);
+  EXPECT_THROW(reg.add_counter("no-reader", CounterRegistry::Reader{}),
+               std::invalid_argument);
+}
+
+TEST(CounterRegistryTest, SnapshotPullsLiveValuesInRegistrationOrder) {
+  CounterRegistry reg;
+  double v = 1.0;
+  reg.add_counter("first", [&] { return v; });
+  reg.add_gauge("second", [&] { return v * 10.0; });
+  v = 7.0;
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "first");
+  EXPECT_EQ(snap[0].kind, MetricKind::Counter);
+  EXPECT_DOUBLE_EQ(snap[0].value, 7.0);
+  EXPECT_EQ(snap[1].name, "second");
+  EXPECT_EQ(snap[1].kind, MetricKind::Gauge);
+  EXPECT_DOUBLE_EQ(snap[1].value, 70.0);
+}
+
+/// Run a small DMA workload on a System with registered counters and check
+/// the counters only ever move up (monotonicity of "counter" kind).
+TEST(CounterRegistryTest, SystemCountersAreMonotonic) {
+  sim::SystemConfig cfg;
+  sim::System system(cfg);
+  CounterRegistry reg;
+  system.register_counters(reg);
+  ASSERT_GT(reg.size(), 20u);
+
+  auto counters_only = [&] {
+    std::vector<MetricSample> out;
+    for (const auto& s : reg.snapshot()) {
+      if (s.kind == MetricKind::Counter) out.push_back(s);
+    }
+    return out;
+  };
+
+  auto before = counters_only();
+  for (int i = 0; i < 16; ++i) {
+    system.device().dma_read(0x4000 + i * 64, 64, {});
+    system.device().dma_write(0x8000 + i * 64, 64, {});
+    system.sim().run();
+    const auto after = counters_only();
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t k = 0; k < after.size(); ++k) {
+      EXPECT_GE(after[k].value, before[k].value) << after[k].name;
+    }
+    before = after;
+  }
+  EXPECT_DOUBLE_EQ(reg.value("device.reads_completed"), 16.0);
+  EXPECT_DOUBLE_EQ(reg.value("device.writes_sent"), 16.0);
+  EXPECT_DOUBLE_EQ(reg.value("mem.reads"), 16.0);
+  EXPECT_DOUBLE_EQ(reg.value("mem.writes"), 16.0);
+}
+
+TEST(CounterRegistryTest, TableListsEveryMetric) {
+  sim::SystemConfig cfg;
+  sim::System system(cfg);
+  CounterRegistry reg;
+  system.register_counters(reg);
+  const std::string table = reg.to_table();
+  for (const auto& s : reg.snapshot()) {
+    EXPECT_NE(table.find(s.name), std::string::npos) << s.name;
+  }
+}
+
+TEST(CounterRegistryTest, CsvDumpRoundTrips) {
+  CounterRegistry reg;
+  reg.add_counter("x.count", [] { return 42.0; });
+  reg.add_gauge("x.util", [] { return 0.25; });
+  const std::string path = ::testing::TempDir() + "counters_test.csv";
+  reg.write_csv(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "metric,kind,value");
+  EXPECT_EQ(lines[1], "x.count,counter,42");
+  EXPECT_EQ(lines[2], "x.util,gauge,0.2500");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pcieb::obs

@@ -128,6 +128,47 @@ TEST(RootComplexTest, CompletionsArriveAtRequestOrderPerTag) {
   EXPECT_EQ(tags[1], 11u);
 }
 
+TEST(RootComplexTest, SingleReadEmitsExpectedTraceSequence) {
+  // One 64 B DMA read through root complex + memory must produce exactly
+  // the lifecycle the observability docs promise: arrival, pipeline span,
+  // LLC probe, full memory span — in that order, with consistent times.
+  Fixture f;
+  obs::TraceSink sink;
+  f.rc.set_trace(&sink);
+  f.mem.set_trace(&sink);
+  f.iommu.set_trace(&sink);
+  f.downstream.set_deliver([](const proto::Tlp&) {});
+  f.rc.on_upstream(f.mrd(0xA000, 64, 9));
+  f.sim.run();
+
+  const auto events = sink.events();
+  std::vector<obs::EventKind> kinds;
+  for (const auto& e : events) kinds.push_back(e.kind);
+  // Cold cache: the probe misses, so a DRAM access sits inside the memory
+  // span. IOMMU disabled: no translation events.
+  const std::vector<obs::EventKind> expected = {
+      obs::EventKind::RcRx, obs::EventKind::RcPipeline,
+      obs::EventKind::LlcLookup, obs::EventKind::DramRead,
+      obs::EventKind::MemRead};
+  ASSERT_EQ(kinds, expected);
+
+  EXPECT_EQ(events[0].ts, 0);            // arrival
+  EXPECT_EQ(events[1].ts, 0);            // pipeline starts immediately...
+  EXPECT_GT(events[1].dur, 0);           // ...and is a span
+  EXPECT_EQ(events[2].ts, events[1].end());  // LLC probe after the pipeline
+  EXPECT_EQ(events[2].flags, 1u);            // flagged as a miss
+  EXPECT_EQ(events[4].ts, events[2].ts);     // memory span opens at the probe
+  EXPECT_GT(events[4].dur, 0);
+  // The DRAM leg nests inside the memory span.
+  EXPECT_GE(events[3].ts, events[4].ts);
+  EXPECT_EQ(events[3].end(), events[4].end());
+  for (const auto& e : events) {
+    EXPECT_EQ(e.addr, 0xA000u);
+    EXPECT_EQ(e.len, 64u);
+  }
+  EXPECT_EQ(events[0].id, 9u);  // RcRx carries the TLP tag
+}
+
 TEST(RootComplexTest, UpstreamCompletionsAreIgnored) {
   Fixture f;
   proto::Tlp cpl{proto::TlpType::CplD, 0, 64, 0, 0};

@@ -1,0 +1,264 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace pcieb::obs {
+namespace {
+
+TraceEvent ev(Picos ts, EventKind kind, Component comp, std::uint32_t id = 0,
+              Picos dur = 0) {
+  TraceEvent e;
+  e.ts = ts;
+  e.dur = dur;
+  e.kind = kind;
+  e.comp = comp;
+  e.id = id;
+  return e;
+}
+
+// --- ring buffer bounds and ordering ----------------------------------
+
+TEST(TraceSinkTest, RecordsInOrderBelowCapacity) {
+  TraceSink sink(8);
+  for (int i = 0; i < 5; ++i) {
+    sink.record(ev(i * 10, EventKind::RcRx, Component::RootComplex, i));
+  }
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].id, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(events[i].ts, i * 10);
+  }
+}
+
+TEST(TraceSinkTest, RingOverwritesOldestAndCountsDrops) {
+  TraceSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    sink.record(ev(i, EventKind::LinkTx, Component::LinkUp, i));
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the four most recent survive, in record order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].id, static_cast<std::uint32_t>(6 + i));
+  }
+}
+
+TEST(TraceSinkTest, ZeroCapacityThrows) {
+  EXPECT_THROW(TraceSink(0), std::invalid_argument);
+}
+
+TEST(TraceSinkTest, ListenerSeesEveryEventEvenWhenRingWraps) {
+  TraceSink sink(2);
+  std::vector<std::uint32_t> seen;
+  sink.set_listener([&](const TraceEvent& e) { seen.push_back(e.id); });
+  for (int i = 0; i < 6; ++i) {
+    sink.record(ev(i, EventKind::RcRx, Component::RootComplex, i));
+  }
+  ASSERT_EQ(seen.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(seen[i], static_cast<std::uint32_t>(i));
+}
+
+TEST(TraceSinkTest, ClearResets) {
+  TraceSink sink(4);
+  sink.record(ev(1, EventKind::RcRx, Component::RootComplex));
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_TRUE(sink.events().empty());
+}
+
+// --- minimal JSON parser for round-trip validation --------------------
+//
+// Just enough of RFC 8259 to prove the exported trace is well-formed:
+// objects, arrays, strings (with escapes), numbers, true/false/null.
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+  /// Parses one value and requires end-of-input after it.
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  std::size_t objects() const { return objects_; }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++objects_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return pos_ > start && s_[start] != '.';
+  }
+
+  bool literal(const char* word) {
+    const std::string w = word;
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::size_t objects_ = 0;
+};
+
+TEST(TraceJsonTest, HandWrittenEventsExportWellFormedJson) {
+  TraceSink sink(16);
+  sink.record(ev(0, EventKind::DmaReadSubmit, Component::Device, 1));
+  sink.record(ev(1500, EventKind::LinkTx, Component::LinkUp, 1, 3300));
+  sink.record(ev(5000, EventKind::RcRx, Component::RootComplex, 1));
+  std::ostringstream os;
+  sink.write_chrome_json(os);
+  const std::string json = os.str();
+
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.parse()) << json;
+  // Top-level + 7 thread_name metadata (each with nested args) + 3 events
+  // (each with args) >= 1 + 14 + 6 objects.
+  EXPECT_GE(parser.objects(), 21u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // The 3.3 ns span exports as a complete event with exact decimals.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":0.001500,\"dur\":0.003300"),
+            std::string::npos);
+  // Instants carry the scope field instead of a duration.
+  EXPECT_NE(json.find("\"ph\":\"i\",\"ts\":0.000000,\"s\":\"t\""),
+            std::string::npos);
+}
+
+TEST(TraceJsonTest, SimulatedDmaTraceRoundTrips) {
+  sim::SystemConfig cfg;  // NetFPGA-class defaults, Gen3 x8
+  sim::System system(cfg);
+  TraceSink sink;
+  system.set_trace_sink(&sink);
+  bool done = false;
+  system.device().dma_read(0x10000, 512, [&] { done = true; });
+  system.sim().run();
+  ASSERT_TRUE(done);
+  ASSERT_GT(sink.size(), 0u);
+
+  std::ostringstream os;
+  sink.write_chrome_json(os);
+  JsonParser parser(os.str());
+  EXPECT_TRUE(parser.parse());
+
+  // Every lifecycle milestone of the single read is present and the
+  // stream is chronological per record order.
+  const auto events = sink.events();
+  bool saw_submit = false, saw_wire = false, saw_rc = false, saw_mem = false,
+       saw_cpl = false, saw_done = false;
+  for (const auto& e : events) {
+    EXPECT_GE(e.end(), e.ts);
+    switch (e.kind) {
+      case EventKind::DmaReadSubmit: saw_submit = true; break;
+      case EventKind::LinkTx: saw_wire = true; break;
+      case EventKind::RcRx: saw_rc = true; break;
+      case EventKind::MemRead: saw_mem = true; break;
+      case EventKind::DevCplRx: saw_cpl = true; break;
+      case EventKind::DmaReadDone: saw_done = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(saw_submit && saw_wire && saw_rc && saw_mem && saw_cpl &&
+              saw_done);
+}
+
+}  // namespace
+}  // namespace pcieb::obs

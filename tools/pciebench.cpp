@@ -5,20 +5,22 @@
 //
 // Examples:
 //   pciebench list-systems
-//   pciebench run --system NFP6000-HSW --bench LAT_RD --size 64 \
-//       --window 8K --cache warm --iters 20000 --cdf
-//   pciebench run --system NFP6000-BDW --bench BW_RD --size 64 \
-//       --window 16M --iommu on --pages 4K
+//   pciebench run --system NFP6000-HSW --bench LAT_RD --size 64
+//       --window 8K --cache warm --iters 20000 --cdf --breakdown
+//   pciebench run --system NFP6000-BDW --bench BW_RD --size 64
+//       --window 16M --iommu on --pages 4K --counters out.csv
 //   pciebench suite --system NFP6000-SNB --filter BW_RD --csv out.csv
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/observe.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/suite.hpp"
@@ -52,6 +54,14 @@ run options:
   --cdf             print the latency CDF
   --histogram       print a latency histogram
   --timeseries      print a thinned latency time series
+
+observability options (run):
+  --trace FILE      write a Chrome trace-event JSON (ui.perfetto.dev)
+  --counters DEST   dump component counters: CSV file, or - for stdout
+  --breakdown       per-stage latency attribution (serial reads), with the
+                    model's stage budget alongside when it applies
+
+unknown options are rejected; see docs/OBSERVABILITY.md for the schema.
 )");
   std::exit(2);
 }
@@ -101,23 +111,37 @@ struct Args {
   }
 };
 
-Args parse_args(int argc, char** argv, int start) {
+/// Parse `--key value` / `--flag` arguments, validating every key against
+/// the command's allowed sets — a typo exits non-zero instead of being
+/// silently swallowed.
+Args parse_args(int argc, char** argv, int start,
+                const std::set<std::string>& value_keys,
+                const std::set<std::string>& flag_keys) {
   Args args;
   for (int i = start; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) != 0) usage(("unexpected argument '" + a + "'").c_str());
     a = a.substr(2);
-    const bool takes_value =
-        a != "cdf" && a != "histogram" && a != "timeseries" && a != "cmd-if";
-    if (!takes_value) {
+    if (flag_keys.contains(a)) {
       args.flags.push_back(a);
-    } else {
+    } else if (value_keys.contains(a)) {
       if (i + 1 >= argc) usage(("missing value for --" + a).c_str());
       args.values[a] = argv[++i];
+    } else {
+      usage(("unknown option '--" + a + "'").c_str());
     }
   }
   return args;
 }
+
+const std::set<std::string> kRunValueKeys = {
+    "system", "bench",  "size", "offset", "window",  "pattern", "cache",
+    "numa",   "iommu",  "pages", "iters", "warmup",  "seed",    "trace",
+    "counters"};
+const std::set<std::string> kRunFlagKeys = {"cdf", "histogram", "timeseries",
+                                            "cmd-if", "breakdown"};
+const std::set<std::string> kSuiteValueKeys = {"system", "filter", "csv"};
+const std::set<std::string> kSuiteFlagKeys = {};
 
 int cmd_list_systems() {
   std::printf("%-16s %-28s %-6s %-13s %s\n", "name", "cpu", "numa", "arch",
@@ -177,6 +201,16 @@ int cmd_run(const Args& args) {
   const auto cfg = configured_system(args, params);
   sim::System system(cfg);
 
+  const std::string trace_path = args.get("trace", "");
+  const std::string counters_dest = args.get("counters", "");
+  core::ObsSession::Options oopts;
+  oopts.trace = !trace_path.empty();
+  oopts.breakdown = args.has_flag("breakdown");
+  std::optional<core::ObsSession> obs;
+  if (oopts.trace || oopts.breakdown || !counters_dest.empty()) {
+    obs.emplace(system, oopts);
+  }
+
   if (core::is_latency(params.kind)) {
     const auto r = core::run_latency_bench(system, params);
     std::printf("%s\n", core::format(r).c_str());
@@ -195,6 +229,36 @@ int cmd_run(const Args& args) {
   } else {
     const auto r = core::run_bandwidth_bench(system, params);
     std::printf("%s\n", core::format(r).c_str());
+  }
+
+  if (oopts.breakdown) {
+    // The model's stage budget applies to single-request reads on a
+    // jitter-free path; skip the column when the size doesn't fit.
+    std::optional<model::ReadStageBudget> budget;
+    try {
+      budget = model::dma_read_stage_budget(
+          core::stage_budget_inputs(cfg, params), params.offset,
+          params.transfer_size);
+    } catch (const std::invalid_argument&) {
+    }
+    std::printf("%s", core::format_breakdown(obs->breakdown_report(),
+                                             budget ? &*budget : nullptr)
+                          .c_str());
+  }
+  if (!counters_dest.empty()) {
+    if (counters_dest == "-") {
+      std::printf("%s", obs->counters().to_table().c_str());
+    } else {
+      obs->counters().write_csv(counters_dest);
+      std::printf("wrote %zu counters to %s\n", obs->counters().size(),
+                  counters_dest.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    obs->write_trace_json(trace_path);
+    std::printf("wrote %llu trace events to %s\n",
+                static_cast<unsigned long long>(obs->sink()->size()),
+                trace_path.c_str());
   }
   return 0;
 }
@@ -228,8 +292,13 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "list-systems") return cmd_list_systems();
-    if (cmd == "run") return cmd_run(parse_args(argc, argv, 2));
-    if (cmd == "suite") return cmd_suite(parse_args(argc, argv, 2));
+    if (cmd == "run") {
+      return cmd_run(parse_args(argc, argv, 2, kRunValueKeys, kRunFlagKeys));
+    }
+    if (cmd == "suite") {
+      return cmd_suite(
+          parse_args(argc, argv, 2, kSuiteValueKeys, kSuiteFlagKeys));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,87 @@
+// Goodput-vs-injected-error-rate sweep, shared between the
+// ablation_link_faults reproduction binary and the tier-2 snapshot test
+// (tests/test_fault_goodput_snapshot.cpp) so both always run the exact
+// same configuration. The committed CSV lives at
+// bench/expected/fault_goodput.csv; regenerate it with
+//   ./build/bench/ablation_link_faults bench/expected/fault_goodput.csv
+//
+// Every CSV column is an integer from the deterministic simulation, so
+// the snapshot comparison is exact — any drift is a semantic change to
+// the fault machinery, not numeric noise.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "fault/plan.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb::bench {
+
+struct FaultSweepRow {
+  std::string kind;  ///< "none", "drop" or "corrupt"
+  double rate;       ///< per-TLP probability on the upstream link
+  core::BandwidthResult result;
+  std::uint64_t injected = 0;  ///< faults the injector actually fired
+};
+
+/// One BW_WR point: 256 B posted writes over a 1 MB window on
+/// NetFPGA-HSW, with `kind@prob=rate,dir=up` armed. Drops cost goodput
+/// (payload lost for good); corruption costs only wire efficiency (the
+/// DLL replays it).
+inline FaultSweepRow run_fault_sweep_point(const std::string& kind,
+                                           double rate) {
+  auto cfg = sys::netfpga_hsw().config;
+  if (rate > 0.0) {
+    char spec[64];
+    std::snprintf(spec, sizeof spec, "%s@prob=%g,dir=up", kind.c_str(), rate);
+    cfg.fault_plan = fault::parse_plan(spec);
+  }
+  sim::System system(cfg);
+  core::BenchParams p;
+  p.kind = core::BenchKind::BwWr;
+  p.transfer_size = 256;
+  p.window_bytes = 1ull << 20;
+  p.iterations = 6000;
+  p.warmup = 500;
+  FaultSweepRow row;
+  row.kind = rate > 0.0 ? kind : "none";
+  row.rate = rate;
+  row.result = core::run_bandwidth_bench(system, p);
+  if (auto* inj = system.fault_injector()) row.injected = inj->injected_total();
+  return row;
+}
+
+inline std::vector<FaultSweepRow> run_fault_sweep() {
+  std::vector<FaultSweepRow> rows;
+  rows.push_back(run_fault_sweep_point("none", 0.0));
+  for (const char* kind : {"drop", "corrupt"}) {
+    for (double rate : {1e-4, 1e-3, 1e-2}) {
+      rows.push_back(run_fault_sweep_point(kind, rate));
+    }
+  }
+  return rows;
+}
+
+inline std::string fault_sweep_csv(const std::vector<FaultSweepRow>& rows) {
+  std::string out =
+      "kind,rate,offered_bytes,lost_bytes,wire_bytes,elapsed_ps,injected\n";
+  for (const auto& r : rows) {
+    char line[192];
+    std::snprintf(line, sizeof line, "%s,%g,%llu,%llu,%llu,%lld,%llu\n",
+                  r.kind.c_str(), r.rate,
+                  static_cast<unsigned long long>(r.result.payload_bytes),
+                  static_cast<unsigned long long>(r.result.lost_payload_bytes),
+                  static_cast<unsigned long long>(r.result.wire_bytes),
+                  static_cast<long long>(r.result.elapsed),
+                  static_cast<unsigned long long>(r.injected));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pcieb::bench

@@ -1,6 +1,7 @@
 #include "core/multi_runner.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -71,7 +72,13 @@ MultiDeviceResult run_multi_device_bandwidth(SystemT& system,
   system.iommu().flush_tlb();
   system.iommu().reset_stats();
 
-  // Two phases: warmup then measured, per device, all concurrent.
+  // Two phases: warmup then measured, per device, all concurrent. The
+  // per-device worker closures recurse through themselves (every
+  // completion launches the next transaction), so they are owned here —
+  // outliving every pending callback, since sim.run() drains before this
+  // scope ends — and the callbacks capture a plain pointer. Capturing a
+  // shared_ptr inside its own target would cycle and never free.
+  std::deque<std::function<void()>> worker_fns;
   auto run_phase = [&](std::size_t per_device) {
     for (auto& r : runs) {
       r.remaining = per_device;
@@ -80,7 +87,7 @@ MultiDeviceResult run_multi_device_bandwidth(SystemT& system,
     for (unsigned d = 0; d < devices; ++d) {
       DeviceRun& r = runs[d];
       auto& dev = system.device(d);
-      auto work = std::make_shared<std::function<void()>>();
+      std::function<void()>* work = &worker_fns.emplace_back();
       *work = [&, work] {
         if (r.remaining == 0) return;
         --r.remaining;

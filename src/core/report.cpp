@@ -25,6 +25,10 @@ std::string format(const BandwidthResult& r) {
   os.precision(2);
   os << r.params.describe() << " :: " << r.gbps << " Gb/s (" << r.mtps
      << " MT/s)";
+  if (r.lost_payload_bytes > 0) {
+    os << " goodput=" << r.goodput_gbps << " Gb/s wire=" << r.wire_gbps
+       << " Gb/s lost=" << r.lost_payload_bytes << " B";
+  }
   return os.str();
 }
 

@@ -117,6 +117,7 @@ LatencyResult BenchRunner::run_latency() {
   };
   issue_next();
   sim.run();
+  system_.check_deadlock();
 
   LatencyResult result{params_, std::move(samples), {}};
   result.summary = summarize_latency(result.samples_ns);
@@ -154,13 +155,23 @@ BandwidthResult BenchRunner::run_bandwidth() {
     std::size_t issued = 0;
     std::size_t reads_done = 0;
     std::uint64_t write_bytes_committed = 0;
+    std::uint64_t write_bytes_dropped = 0;
     Picos end_time = sim.now();
 
-    system_.set_write_observer([&](std::uint32_t bytes) {
-      write_bytes_committed += bytes;
-      if (write_bytes_committed >= write_bytes_expected) {
+    // Committed and dropped writes both retire offered bytes — a faulted
+    // stream must still terminate, with the loss reported as goodput.
+    const auto maybe_finish_writes = [&] {
+      if (write_bytes_committed + write_bytes_dropped >= write_bytes_expected) {
         end_time = std::max(end_time, sim.now());
       }
+    };
+    system_.set_write_observer([&](std::uint32_t bytes) {
+      write_bytes_committed += bytes;
+      maybe_finish_writes();
+    });
+    system_.set_write_drop_observer([&](std::uint32_t bytes) {
+      write_bytes_dropped += bytes;
+      maybe_finish_writes();
     });
 
     std::function<void()> work = [&] {
@@ -187,8 +198,13 @@ BandwidthResult BenchRunner::run_bandwidth() {
     for (unsigned w = 0; w < workers; ++w) work();
     sim.run();
     system_.set_write_observer({});
+    system_.set_write_drop_observer({});
 
-    if (reads_done != n_reads || write_bytes_committed != write_bytes_expected) {
+    // The watchdog's quiescent check turns a swallowed completion into a
+    // diagnostic rather than the bare "lost transactions" below.
+    system_.check_deadlock();
+    if (reads_done != n_reads ||
+        write_bytes_committed + write_bytes_dropped != write_bytes_expected) {
       throw std::logic_error("run_bandwidth: lost transactions");
     }
     return end_time;
@@ -201,6 +217,11 @@ BandwidthResult BenchRunner::run_bandwidth() {
   mark_phase(1);
   const std::size_t total = params_.iterations;
   const Picos start_time = sim.now();
+  // Deltas over the measurement phase only (warmup faults don't count).
+  const std::uint64_t lost_writes0 = system_.lost_write_bytes();
+  const std::uint64_t failed_reads0 = dev.failed_read_bytes();
+  const std::uint64_t up_wire0 = system_.upstream().wire_bytes_sent();
+  const std::uint64_t down_wire0 = system_.downstream().wire_bytes_sent();
   const Picos end_time = run_phase(total);
 
   BandwidthResult result;
@@ -217,6 +238,27 @@ BandwidthResult BenchRunner::run_bandwidth() {
           ? static_cast<double>(total) /
                 (static_cast<double>(result.elapsed) * 1e-12) / 1e6
           : 0.0;
+
+  // Goodput vs wire throughput: goodput subtracts payload lost to faults
+  // (dropped/rejected writes, reads whose retries were exhausted); wire
+  // counts every byte the payload-carrying direction(s) actually moved —
+  // headers, replays and retries included.
+  result.lost_payload_bytes = (system_.lost_write_bytes() - lost_writes0) +
+                              (dev.failed_read_bytes() - failed_reads0);
+  const std::uint64_t delivered =
+      result.payload_bytes > result.lost_payload_bytes
+          ? result.payload_bytes - result.lost_payload_bytes
+          : 0;
+  result.goodput_gbps = gbps(delivered, result.elapsed);
+  const std::uint64_t up_wire = system_.upstream().wire_bytes_sent() - up_wire0;
+  const std::uint64_t down_wire =
+      system_.downstream().wire_bytes_sent() - down_wire0;
+  switch (params_.kind) {
+    case BenchKind::BwRd: result.wire_bytes = down_wire; break;
+    case BenchKind::BwWr: result.wire_bytes = up_wire; break;
+    default: result.wire_bytes = up_wire + down_wire; break;
+  }
+  result.wire_gbps = gbps(result.wire_bytes, result.elapsed);
   return result;
 }
 

@@ -27,10 +27,16 @@ struct LatencyResult {
 
 struct BandwidthResult {
   BenchParams params;
-  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_bytes = 0;  ///< offered payload (measurement phase)
   Picos elapsed = 0;
-  double gbps = 0.0;
+  double gbps = 0.0;  ///< offered payload rate (legacy headline number)
   double mtps = 0.0;  ///< millions of DMA transactions per second
+
+  // Fault accounting (all zero on a fault-free run, where goodput == gbps).
+  std::uint64_t lost_payload_bytes = 0;  ///< dropped writes + failed reads
+  std::uint64_t wire_bytes = 0;  ///< link bytes moved, incl. headers/replays
+  double goodput_gbps = 0.0;     ///< payload actually delivered
+  double wire_gbps = 0.0;        ///< wire rate on the payload direction(s)
 };
 
 /// Number of logical DMA workers for bandwidth runs (NFP firmware uses

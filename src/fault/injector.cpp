@@ -1,0 +1,123 @@
+#include "fault/injector.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace pcieb::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+bool FaultInjector::matches(const FaultRule& rule, std::uint64_t ordinal,
+                            std::uint64_t addr, Picos now) {
+  if (now < rule.from || now >= rule.until) return false;
+  if (addr < rule.addr_lo || addr > rule.addr_hi) return false;
+  if (rule.nth != 0 && ordinal != rule.nth) return false;
+  if (rule.every != 0 && ordinal % rule.every != 0) return false;
+  // The probability draw comes last so deterministic predicate misses
+  // never consume randomness — keeps fault sequences stable when rules
+  // are added or reordered.
+  if (rule.prob > 0.0 && rng_.uniform() >= rule.prob) return false;
+  return true;
+}
+
+LinkTxDecision FaultInjector::on_link_tx(const proto::Tlp& tlp, bool upstream,
+                                         Picos now) {
+  const std::uint64_t ordinal = upstream ? ++up_tlps_ : ++down_tlps_;
+  LinkTxDecision d;
+  for (const auto& rule : plan_.rules) {
+    const bool dir_ok = rule.dir == LinkDir::Both ||
+                        (rule.dir == LinkDir::Up) == upstream;
+    if (!dir_ok) continue;
+    switch (rule.kind) {
+      case FaultKind::LinkDrop:
+        if (!d.drop && matches(rule, ordinal, tlp.addr, now)) {
+          d.drop = true;
+          tally(FaultKind::LinkDrop);
+        }
+        break;
+      case FaultKind::LinkCorrupt:
+        if (matches(rule, ordinal, tlp.addr, now)) {
+          d.corrupt_attempts += static_cast<unsigned>(rule.count);
+          tally(FaultKind::LinkCorrupt);
+        }
+        break;
+      case FaultKind::AckLoss:
+        if (matches(rule, ordinal, tlp.addr, now)) {
+          d.ack_losses += static_cast<unsigned>(rule.count);
+          tally(FaultKind::AckLoss);
+        }
+        break;
+      case FaultKind::Poison:
+        // Only payload-carrying TLPs can be poisoned (EP covers data).
+        if (!d.poison && tlp.payload > 0 &&
+            matches(rule, ordinal, tlp.addr, now)) {
+          d.poison = true;
+          tally(FaultKind::Poison);
+        }
+        break;
+      default:
+        break;  // not a link-site rule
+    }
+  }
+  return d;
+}
+
+CplFault FaultInjector::on_completion(const proto::Tlp& req, Picos now) {
+  const std::uint64_t ordinal = ++completions_;
+  for (const auto& rule : plan_.rules) {
+    if (rule.kind != FaultKind::CplUr && rule.kind != FaultKind::CplCa) {
+      continue;
+    }
+    if (matches(rule, ordinal, req.addr, now)) {
+      tally(rule.kind);
+      return rule.kind == FaultKind::CplUr ? CplFault::UnsupportedRequest
+                                           : CplFault::CompleterAbort;
+    }
+  }
+  return CplFault::None;
+}
+
+bool FaultInjector::on_translate(std::uint64_t addr, bool is_write,
+                                 Picos now) {
+  (void)is_write;
+  const std::uint64_t ordinal = ++translations_;
+  for (const auto& rule : plan_.rules) {
+    if (rule.kind != FaultKind::IommuFault) continue;
+    if (matches(rule, ordinal, addr, now)) {
+      tally(FaultKind::IommuFault);
+      return true;
+    }
+  }
+  return false;
+}
+
+const FaultRule* FaultInjector::downtrain_now(Picos now) const {
+  for (const auto& rule : plan_.rules) {
+    if (rule.kind != FaultKind::Downtrain) continue;
+    if (now >= rule.from && now < rule.until) return &rule;
+  }
+  return nullptr;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t sum = 0;
+  for (const auto v : injected_) sum += v;
+  return sum;
+}
+
+std::string FaultInjector::to_table() const {
+  TextTable table({"fault", "injected"});
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (injected_[k] == 0) continue;
+    table.add_row({to_string(static_cast<FaultKind>(k)),
+                   std::to_string(injected_[k])});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  os << "total injected: " << injected_total() << "\n";
+  return os.str();
+}
+
+}  // namespace pcieb::fault

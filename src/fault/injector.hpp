@@ -1,0 +1,81 @@
+// Deterministic fault injection over a FaultPlan.
+//
+// One injector is consulted from four sites in the TLP pipeline:
+//  * on_link_tx    — per TLP handed to a link direction: drop, poison,
+//    and/or force corrupt (NAK-path) and ack-loss (REPLAY_TIMER-path)
+//    replay attempts in the transmitter's DLL state machine;
+//  * on_completion — per read handled by a completer (the root complex):
+//    force an Unsupported Request / Completer Abort completion status;
+//  * on_translate  — per IOMMU translation: fail it;
+//  * downtrain_now — polled by the links: the lane/gen override active at
+//    a given sim time, if any.
+//
+// Each site keeps its own TLP ordinal, which is what nth=/every=
+// predicates index. Probabilistic rules draw from a single xoshiro
+// stream seeded from the plan, consulted in event order — the discrete
+// event simulator is deterministic, so the whole fault sequence is too:
+// same plan + seed -> identical faults, identical run.
+//
+// The injector also tallies every fault it injects, by kind; --errors
+// cross-checks these tallies against the AER log so every injected fault
+// is attributable to an error category.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+#include "pcie/tlp.hpp"
+
+namespace pcieb::fault {
+
+/// What happens to one TLP at link-transmit time.
+struct LinkTxDecision {
+  bool drop = false;
+  bool poison = false;
+  unsigned corrupt_attempts = 0;  ///< LCRC failures -> NAK -> replay
+  unsigned ack_losses = 0;        ///< lost ACKs -> REPLAY_TIMER -> replay
+};
+
+enum class CplFault : std::uint8_t { None, UnsupportedRequest, CompleterAbort };
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  LinkTxDecision on_link_tx(const proto::Tlp& tlp, bool upstream, Picos now);
+  CplFault on_completion(const proto::Tlp& req, Picos now);
+  /// True = translation fails for the page containing `addr`.
+  bool on_translate(std::uint64_t addr, bool is_write, Picos now);
+  /// The downtrain rule whose window covers `now`, or nullptr. Rules are
+  /// checked in plan order; the first match wins.
+  const FaultRule* downtrain_now(Picos now) const;
+  /// Called by a link when it enters a downtrain window, so injected
+  /// counts cover pull-style rules too.
+  void tally_downtrain() { tally(FaultKind::Downtrain); }
+
+  std::uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t injected_total() const;
+  const FaultPlan& plan() const { return plan_; }
+
+  /// "kind injected" table for --errors.
+  std::string to_table() const;
+
+ private:
+  bool matches(const FaultRule& rule, std::uint64_t ordinal,
+               std::uint64_t addr, Picos now);
+  void tally(FaultKind k) { ++injected_[static_cast<std::size_t>(k)]; }
+
+  FaultPlan plan_;
+  Xoshiro256 rng_;
+  std::uint64_t up_tlps_ = 0;    ///< TLPs seen on the upstream link
+  std::uint64_t down_tlps_ = 0;  ///< TLPs seen on the downstream link
+  std::uint64_t completions_ = 0;
+  std::uint64_t translations_ = 0;
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+};
+
+}  // namespace pcieb::fault

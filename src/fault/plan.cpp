@@ -1,0 +1,181 @@
+#include "fault/plan.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcieb::fault {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("fault spec: " + what);
+}
+
+FaultKind parse_kind(const std::string& s) {
+  if (s == "drop") return FaultKind::LinkDrop;
+  if (s == "corrupt") return FaultKind::LinkCorrupt;
+  if (s == "ack-loss") return FaultKind::AckLoss;
+  if (s == "poison") return FaultKind::Poison;
+  if (s == "cpl-ur") return FaultKind::CplUr;
+  if (s == "cpl-ca") return FaultKind::CplCa;
+  if (s == "iommu") return FaultKind::IommuFault;
+  if (s == "downtrain") return FaultKind::Downtrain;
+  bad_spec("unknown fault kind '" + s + "'");
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& key) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
+  if (s.empty() || (end && *end)) bad_spec("bad integer for " + key + ": '" + s + "'");
+  return v;
+}
+
+/// `12ns`, `3.5us`, `2ms`, `1s` — defaults to nanoseconds when bare.
+Picos parse_time(const std::string& s, const std::string& key) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) bad_spec("bad time for " + key + ": '" + s + "'");
+  const std::string unit = end ? std::string(end) : "";
+  if (unit.empty() || unit == "ns") return from_nanos(v);
+  if (unit == "ps") return static_cast<Picos>(v);
+  if (unit == "us") return from_micros(v);
+  if (unit == "ms") return from_millis(v);
+  if (unit == "s") return from_seconds(v);
+  bad_spec("bad time unit '" + unit + "' for " + key);
+}
+
+/// `A-B` split at the last '-' not preceded by an exponent or start.
+std::pair<std::string, std::string> split_range(const std::string& s,
+                                                const std::string& key) {
+  const auto dash = s.find('-', 1);
+  if (dash == std::string::npos) bad_spec(key + " wants a LO-HI range, got '" + s + "'");
+  return {s.substr(0, dash), s.substr(dash + 1)};
+}
+
+FaultRule parse_rule(const std::string& text) {
+  FaultRule rule;
+  const auto at = text.find('@');
+  rule.kind = parse_kind(text.substr(0, at));
+  if (at == std::string::npos) {
+    if (rule.kind == FaultKind::Downtrain) {
+      bad_spec("downtrain needs lanes= and/or gen=");
+    }
+    return rule;  // unconditional: fires on every TLP at the site
+  }
+
+  std::istringstream kv(text.substr(at + 1));
+  std::string item;
+  while (std::getline(kv, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) bad_spec("expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "nth") {
+      rule.nth = parse_u64(value, key);
+      if (rule.nth == 0) bad_spec("nth is 1-based");
+    } else if (key == "every") {
+      rule.every = parse_u64(value, key);
+      if (rule.every == 0) bad_spec("every must be >= 1");
+    } else if (key == "count") {
+      rule.count = parse_u64(value, key);
+      if (rule.count == 0) bad_spec("count must be >= 1");
+    } else if (key == "prob") {
+      char* end = nullptr;
+      rule.prob = std::strtod(value.c_str(), &end);
+      if (value.empty() || (end && *end) || rule.prob < 0.0 || rule.prob > 1.0) {
+        bad_spec("prob must be in [0,1], got '" + value + "'");
+      }
+    } else if (key == "time") {
+      const auto [lo, hi] = split_range(value, key);
+      rule.from = parse_time(lo, key);
+      rule.until = parse_time(hi, key);
+      if (rule.until <= rule.from) bad_spec("empty time window");
+    } else if (key == "addr") {
+      const auto [lo, hi] = split_range(value, key);
+      rule.addr_lo = parse_u64(lo, key);
+      rule.addr_hi = parse_u64(hi, key);
+      if (rule.addr_hi < rule.addr_lo) bad_spec("empty addr range");
+    } else if (key == "dir") {
+      if (value == "up") rule.dir = LinkDir::Up;
+      else if (value == "down") rule.dir = LinkDir::Down;
+      else bad_spec("dir must be up or down");
+    } else if (key == "lanes") {
+      rule.lanes = static_cast<unsigned>(parse_u64(value, key));
+    } else if (key == "gen") {
+      rule.gen = static_cast<unsigned>(parse_u64(value, key));
+      if (rule.gen < 1 || rule.gen > 5) bad_spec("gen must be 1..5");
+    } else {
+      bad_spec("unknown key '" + key + "'");
+    }
+  }
+  if (rule.kind == FaultKind::Downtrain && rule.lanes == 0 && rule.gen == 0) {
+    bad_spec("downtrain needs lanes= and/or gen=");
+  }
+  return rule;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::LinkDrop: return "drop";
+    case FaultKind::LinkCorrupt: return "corrupt";
+    case FaultKind::AckLoss: return "ack-loss";
+    case FaultKind::Poison: return "poison";
+    case FaultKind::CplUr: return "cpl-ur";
+    case FaultKind::CplCa: return "cpl-ca";
+    case FaultKind::IommuFault: return "iommu";
+    case FaultKind::Downtrain: return "downtrain";
+  }
+  return "?";
+}
+
+std::string FaultRule::describe() const {
+  std::ostringstream os;
+  os << to_string(kind);
+  const char* sep = "@";
+  auto emit = [&](const std::string& kv) {
+    os << sep << kv;
+    sep = ",";
+  };
+  if (nth) emit("nth=" + std::to_string(nth));
+  if (every) emit("every=" + std::to_string(every));
+  if (count != 1) emit("count=" + std::to_string(count));
+  if (prob > 0.0) emit("prob=" + std::to_string(prob));
+  if (from != 0 || until != std::numeric_limits<Picos>::max()) {
+    emit("time=" + std::to_string(to_nanos(from)) + "ns-" +
+         std::to_string(to_nanos(until)) + "ns");
+  }
+  if (addr_lo != 0 || addr_hi != std::numeric_limits<std::uint64_t>::max()) {
+    std::ostringstream a;
+    a << "addr=0x" << std::hex << addr_lo << "-0x" << addr_hi;
+    emit(a.str());
+  }
+  if (dir != LinkDir::Both) emit(std::string("dir=") + (dir == LinkDir::Up ? "up" : "down"));
+  if (lanes) emit("lanes=" + std::to_string(lanes));
+  if (gen) emit("gen=" + std::to_string(gen));
+  return os.str();
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const auto& r : rules) {
+    if (!out.empty()) out += ';';
+    out += r.describe();
+  }
+  return out;
+}
+
+FaultPlan parse_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream ss(spec);
+  std::string rule;
+  while (std::getline(ss, rule, ';')) {
+    if (rule.empty()) continue;
+    plan.rules.push_back(parse_rule(rule));
+  }
+  if (plan.rules.empty()) bad_spec("no rules in '" + spec + "'");
+  return plan;
+}
+
+}  // namespace pcieb::fault

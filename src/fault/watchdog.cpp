@@ -1,0 +1,66 @@
+#include "fault/watchdog.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace pcieb::fault {
+
+void Watchdog::add_outstanding(std::string name,
+                               std::function<std::uint64_t()> probe) {
+  outstanding_.push_back(Probe{std::move(name), std::move(probe)});
+}
+
+void Watchdog::add_diag(std::string name, std::function<std::string()> dump) {
+  diags_.push_back(Diag{std::move(name), std::move(dump)});
+}
+
+void Watchdog::on_event(Picos now, std::size_t executed) {
+  if (cfg_.max_sim_time > 0 && now > cfg_.max_sim_time) {
+    throw WatchdogError("watchdog: sim time " + std::to_string(to_nanos(now)) +
+                        " ns exceeded limit " +
+                        std::to_string(to_nanos(cfg_.max_sim_time)) + " ns\n" +
+                        dump(now));
+  }
+  if (!primed_) {
+    primed_ = true;
+    last_progress_ = progress_;
+    last_executed_ = executed;
+    return;
+  }
+  if (progress_ != last_progress_) {
+    last_progress_ = progress_;
+    last_executed_ = executed;
+    return;
+  }
+  if (executed - last_executed_ >= cfg_.stall_events) {
+    throw WatchdogError(
+        "watchdog: no forward progress in " +
+        std::to_string(executed - last_executed_) + " events (" +
+        std::to_string(progress_) + " transactions total)\n" + dump(now));
+  }
+}
+
+void Watchdog::check_quiescent(Picos now) const {
+  std::uint64_t total = 0;
+  for (const auto& probe : outstanding_) total += probe.count();
+  if (total == 0) return;
+  throw WatchdogError(
+      "watchdog: event queue drained with " + std::to_string(total) +
+      " transactions outstanding (a completion was swallowed and no "
+      "timeout was armed to recover it)\n" +
+      dump(now));
+}
+
+std::string Watchdog::dump(Picos now) const {
+  std::ostringstream os;
+  os << "--- watchdog diagnostic dump @ " << to_nanos(now) << " ns ---\n";
+  for (const auto& probe : outstanding_) {
+    os << "  outstanding " << probe.name << ": " << probe.count() << "\n";
+  }
+  for (const auto& diag : diags_) {
+    os << "  " << diag.name << ": " << diag.dump() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pcieb::fault

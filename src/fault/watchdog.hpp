@@ -1,0 +1,91 @@
+// Simulator watchdog: turns would-be hangs into diagnostics.
+//
+// Two failure shapes exist in a discrete-event simulation of a lossy
+// fabric:
+//  * event churn without progress — retry loops that schedule work
+//    forever while no transaction ever finishes. The watchdog hooks the
+//    simulator's step loop (sampled every `check_every_events`) and
+//    aborts once `stall_events` events ran with no progress kick and no
+//    sim-time advance past `max_sim_time`;
+//  * quiescent deadlock — the event queue drains while transactions are
+//    still outstanding (a completion was swallowed and nothing is armed
+//    to notice). check_quiescent() sums registered outstanding-work
+//    probes after the run and aborts when any work remains.
+// Both abort by throwing WatchdogError carrying a diagnostic dump built
+// from registered probe lambdas (outstanding DMA ops, queue depths, AER
+// totals), so a fault that escapes recovery ends with an explanation,
+// never a hang.
+//
+// Components report forward progress by calling kick() — cheap enough to
+// wire unconditionally behind a null check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pcieb::fault {
+
+struct WatchdogConfig {
+  /// Events between stall checks (power of two keeps the modulo cheap).
+  std::uint64_t check_every_events = 1 << 12;
+  /// Abort after this many events with no progress kick.
+  std::uint64_t stall_events = 1 << 22;
+  /// Abort when sim time exceeds this (0 = unlimited).
+  Picos max_sim_time = 0;
+};
+
+class WatchdogError : public std::runtime_error {
+ public:
+  explicit WatchdogError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Note forward progress (a transaction finished or committed).
+  void kick() { ++progress_; }
+
+  /// Register a named outstanding-work probe; nonzero after the event
+  /// queue drains means deadlock.
+  void add_outstanding(std::string name, std::function<std::uint64_t()> probe);
+  /// Register a free-form diagnostic line for the abort dump.
+  void add_diag(std::string name, std::function<std::string()> dump);
+
+  /// Wire to Simulator::set_step_hook; throws WatchdogError on stall.
+  void on_event(Picos now, std::size_t executed);
+
+  /// Call after Simulator::run() returns; throws WatchdogError when any
+  /// outstanding-work probe is nonzero.
+  void check_quiescent(Picos now) const;
+
+  const WatchdogConfig& config() const { return cfg_; }
+  std::uint64_t progress() const { return progress_; }
+
+ private:
+  std::string dump(Picos now) const;
+
+  WatchdogConfig cfg_;
+  std::uint64_t progress_ = 0;
+  std::uint64_t last_progress_ = 0;
+  std::size_t last_executed_ = 0;
+  bool primed_ = false;
+
+  struct Probe {
+    std::string name;
+    std::function<std::uint64_t()> count;
+  };
+  struct Diag {
+    std::string name;
+    std::function<std::string()> dump;
+  };
+  std::vector<Probe> outstanding_;
+  std::vector<Diag> diags_;
+};
+
+}  // namespace pcieb::fault

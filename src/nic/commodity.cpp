@@ -64,13 +64,6 @@ CommodityProbeResult run_commodity_probe(sim::System& system,
           dev.dma_read(rx_desc, 16, [&, rx_buf] {
             committed = 0;
             expected = cfg.frame_bytes + 16;  // packet + RX descriptor
-            system.set_write_observer([&](std::uint32_t bytes) {
-              committed += bytes;
-              if (committed < expected) return;
-              system.set_write_observer({});
-              samples.add(to_nanos(sim.now() - t0));
-              next();
-            });
             dev.dma_write(rx_buf, cfg.frame_bytes, {});
             dev.dma_write(rx_desc, 16, {});
           });
@@ -78,8 +71,20 @@ CommodityProbeResult run_commodity_probe(sim::System& system,
       });
     });
   };
+  // Installed once for the whole run: replacing or clearing the observer
+  // from inside its own invocation would destroy the std::function that
+  // is still executing. Writes only occur in the RX phase, after
+  // `expected` is set, so the permanent observer fires at the same points.
+  system.set_write_observer([&](std::uint32_t bytes) {
+    committed += bytes;
+    if (expected == 0 || committed < expected) return;
+    expected = 0;
+    samples.add(to_nanos(sim.now() - t0));
+    next();
+  });
   next();
   sim.run();
+  system.set_write_observer({});
 
   CommodityProbeResult result;
   result.config = cfg;

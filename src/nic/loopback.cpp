@@ -44,21 +44,25 @@ LoopbackResult run_loopback(sim::System& system, const LoopbackConfig& cfg) {
         // iteration completes when the whole write (possibly several MWr
         // TLPs) has committed at the root complex.
         committed = 0;
-        system.set_write_observer([&](std::uint32_t bytes) {
-          committed += bytes;
-          if (committed < cfg.frame_bytes) return;
-          system.set_write_observer({});
-          const double total_ns = to_nanos(sim.now() - t0);
-          totals.add(total_ns);
-          pcie.add(total_ns - to_nanos(wire_delay));
-          next_iteration();
-        });
         dev.dma_write(rx_addr, cfg.frame_bytes, {});
       });
     });
   };
+  // Installed once for the whole run: replacing or clearing the observer
+  // from inside its own invocation would destroy the std::function that
+  // is still executing. Writes only occur in the inbound phase, so the
+  // permanent observer fires at exactly the same points.
+  system.set_write_observer([&](std::uint32_t bytes) {
+    committed += bytes;
+    if (committed < cfg.frame_bytes) return;
+    const double total_ns = to_nanos(sim.now() - t0);
+    totals.add(total_ns);
+    pcie.add(total_ns - to_nanos(wire_delay));
+    next_iteration();
+  });
   next_iteration();
   sim.run();
+  system.set_write_observer({});
 
   LoopbackResult result;
   result.config = cfg;

@@ -15,6 +15,7 @@ const char* to_string(Component c) {
     case Component::Iommu: return "iommu";
     case Component::Memory: return "memory";
     case Component::Bench: return "bench";
+    case Component::Fault: return "fault";
   }
   return "?";
 }
@@ -39,6 +40,7 @@ const char* to_string(EventKind k) {
     case EventKind::MemRead: return "mem_read";
     case EventKind::MemWrite: return "mem_write";
     case EventKind::BenchPhase: return "bench_phase";
+    case EventKind::AerError: return "aer_error";
   }
   return "?";
 }

@@ -34,8 +34,9 @@ enum class Component : std::uint8_t {
   Iommu,        ///< IO-TLB and page-table walkers
   Memory,       ///< LLC + DRAM + interconnect behind the root complex
   Bench,        ///< benchmark-runner phase markers
+  Fault,        ///< AER error log and fault injection
 };
-constexpr std::size_t kComponentCount = 7;
+constexpr std::size_t kComponentCount = 8;
 const char* to_string(Component c);
 
 enum class EventKind : std::uint8_t {
@@ -63,6 +64,8 @@ enum class EventKind : std::uint8_t {
   MemWrite,        ///< full write-commit span (flags bit0: dirty flush)
   // Benchmark phases.
   BenchPhase,      ///< flags: 0 = warmup start, 1 = measurement start
+  // Fault subsystem.
+  AerError,        ///< AER error record (instant; flags = fault::ErrorType)
 };
 const char* to_string(EventKind k);
 

@@ -15,6 +15,15 @@ const char* to_string(TlpType t) {
   return "?";
 }
 
+const char* to_string(CplStatus s) {
+  switch (s) {
+    case CplStatus::SC: return "SC";
+    case CplStatus::UR: return "UR";
+    case CplStatus::CA: return "CA";
+  }
+  return "?";
+}
+
 unsigned type_header_bytes(TlpType t, bool addr64) {
   switch (t) {
     case TlpType::MemRd:
@@ -38,6 +47,8 @@ std::string Tlp::describe() const {
   std::ostringstream os;
   os << to_string(type) << " addr=0x" << std::hex << addr << std::dec
      << " payload=" << payload << " read_len=" << read_len << " tag=" << tag;
+  if (cpl_status != CplStatus::SC) os << " status=" << to_string(cpl_status);
+  if (poisoned) os << " EP";
   return os.str();
 }
 

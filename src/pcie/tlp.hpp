@@ -23,6 +23,17 @@ enum class TlpType : std::uint8_t {
 
 const char* to_string(TlpType t);
 
+/// Completion status field (Cpl/CplD header). SC is Successful Completion;
+/// UR/CA are the completer-error statuses a robust requester must handle
+/// (tag reclaim, no data).
+enum class CplStatus : std::uint8_t {
+  SC,  ///< successful completion
+  UR,  ///< unsupported request (no completer claimed the address)
+  CA,  ///< completer abort (completer claimed it but failed)
+};
+
+const char* to_string(CplStatus s);
+
 constexpr unsigned kFramingBytes = 2;
 constexpr unsigned kDllHeaderBytes = 6;
 constexpr unsigned kTlpCommonHeaderBytes = 4;
@@ -41,6 +52,13 @@ struct Tlp {
   std::uint32_t payload = 0;   ///< Data bytes carried (MWr/CplD).
   std::uint32_t read_len = 0;  ///< Bytes requested (MRd only).
   std::uint32_t tag = 0;       ///< Transaction tag for request/completion matching.
+  CplStatus cpl_status = CplStatus::SC;  ///< Completion status (Cpl/CplD).
+  bool poisoned = false;       ///< EP bit: payload known-corrupt in flight.
+
+  bool is_completion() const {
+    return type == TlpType::CplD || type == TlpType::Cpl;
+  }
+  bool completed_ok() const { return cpl_status == CplStatus::SC; }
 
   /// Total bytes this TLP occupies on the link.
   unsigned wire_bytes(const LinkConfig& cfg) const {

@@ -79,16 +79,98 @@ void DmaDevice::issue_read_requests(std::uint64_t addr, std::uint32_t len,
     read_tags_.acquire([this, req, dma_id]() mutable {
       const std::uint32_t tag = next_tag_++;
       req.tag = tag;
-      inflight_reads_[tag] = ReadState{req.read_len, dma_id};
+      inflight_reads_[tag] = ReadState{req.read_len, dma_id, req, 0, false};
       tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
-      read_issue_.occupy(profile_.issue_interval,
-                         [this, req] { upstream_.send(req); });
+      read_issue_.occupy(profile_.issue_interval, [this, req] {
+        upstream_.send(req);
+        arm_completion_timeout(req.tag);
+      });
     });
   }
 }
 
+Picos DmaDevice::retry_backoff_for(unsigned retries) const {
+  if (profile_.retry_backoff <= 0) return 0;
+  Picos backoff = profile_.retry_backoff;
+  for (unsigned i = 0; i < retries && backoff < profile_.retry_backoff_cap;
+       ++i) {
+    backoff <<= 1;
+  }
+  return std::min(backoff, profile_.retry_backoff_cap);
+}
+
+void DmaDevice::arm_completion_timeout(std::uint32_t tag) {
+  if (!timeouts_armed_ || profile_.completion_timeout <= 0) return;
+  sim_.after(profile_.completion_timeout,
+             [this, tag] { on_completion_timeout(tag); });
+}
+
+void DmaDevice::on_completion_timeout(std::uint32_t tag) {
+  auto it = inflight_reads_.find(tag);
+  // Tags are monotonic and never reused, so a missing tag means the read
+  // already finished (or was reissued) — this timer is stale.
+  if (it == inflight_reads_.end()) return;
+  ++completion_timeouts_;
+  ReadState state = std::move(it->second);
+  inflight_reads_.erase(it);
+  read_tags_.release();
+  if (aer_) {
+    aer_->record(fault::ErrorType::CompletionTimeout, sim_.now(),
+                 state.req.addr, tag, state.retries);
+  }
+  retry_or_fail(std::move(state));
+}
+
+void DmaDevice::retry_or_fail(ReadState state) {
+  if (state.retries < profile_.max_read_retries) {
+    ++read_retries_;
+    sim_.after(retry_backoff_for(state.retries),
+               [this, req = state.req, dma_id = state.dma_id,
+                retries = state.retries + 1] {
+                 reissue_read(req, dma_id, retries);
+               });
+  } else {
+    fail_request(state.dma_id, state.req);
+  }
+}
+
+void DmaDevice::reissue_read(proto::Tlp req, std::uint32_t dma_id,
+                             unsigned retries) {
+  read_tags_.acquire([this, req, dma_id, retries]() mutable {
+    const std::uint32_t tag = next_tag_++;
+    req.tag = tag;
+    inflight_reads_[tag] = ReadState{req.read_len, dma_id, req, retries, false};
+    tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
+    read_issue_.occupy(profile_.issue_interval, [this, req] {
+      upstream_.send(req);
+      arm_completion_timeout(req.tag);
+    });
+  });
+}
+
+void DmaDevice::fail_request(std::uint32_t dma_id, const proto::Tlp& req) {
+  if (aer_) {
+    aer_->record(fault::ErrorType::TransactionFailed, sim_.now(), req.addr,
+                 req.tag, req.read_len);
+  }
+  auto op_it = read_ops_.find(dma_id);
+  if (op_it == read_ops_.end()) return;
+  op_it->second.failed_bytes += req.read_len;
+  retire_request(dma_id);
+}
+
 void DmaDevice::on_downstream(const proto::Tlp& tlp) {
   if (tlp.type == proto::TlpType::MemWr) {
+    if (tlp.poisoned) {
+      // Poisoned doorbell: the payload is known-bad, so the CSR update is
+      // discarded rather than applied.
+      ++poisoned_rx_;
+      if (aer_) {
+        aer_->record(fault::ErrorType::PoisonedTlp, sim_.now(), tlp.addr,
+                     tlp.tag, tlp.payload);
+      }
+      return;
+    }
     // Host MMIO write (doorbell / register update): posted, absorbed here.
     ++doorbells_;
     if (mmio_handler_) mmio_handler_(tlp, /*is_write=*/true);
@@ -104,13 +186,48 @@ void DmaDevice::on_downstream(const proto::Tlp& tlp) {
                [this, cpl] { upstream_.send(cpl); });
     return;
   }
+  handle_completion(tlp);
+}
+
+void DmaDevice::handle_completion(const proto::Tlp& tlp) {
   auto it = inflight_reads_.find(tlp.tag);
   if (it == inflight_reads_.end()) {
-    throw std::logic_error("DmaDevice: completion for unknown tag");
+    // Stale (timed-out-and-reissued) or stray completion: tags are never
+    // reused, so nothing can be misdelivered — count it and move on.
+    ++unexpected_cpls_;
+    if (aer_) {
+      aer_->record(fault::ErrorType::UnexpectedCompletion, sim_.now(),
+                   tlp.addr, tlp.tag, tlp.payload);
+    }
+    return;
+  }
+  if (!tlp.completed_ok()) {
+    // UR/CA: the completer's verdict is authoritative — reclaim the tag
+    // and fail the request now rather than burn retries.
+    ++error_cpls_;
+    ReadState state = std::move(it->second);
+    inflight_reads_.erase(it);
+    read_tags_.release();
+    fail_request(state.dma_id, state.req);
+    return;
   }
   ReadState& state = it->second;
+  if (tlp.poisoned) {
+    ++poisoned_rx_;
+    state.poisoned = true;
+    if (aer_) {
+      aer_->record(fault::ErrorType::PoisonedTlp, sim_.now(), tlp.addr,
+                   tlp.tag, tlp.payload);
+    }
+  }
   if (tlp.payload > state.remaining) {
-    throw std::logic_error("DmaDevice: completion overruns request");
+    // Completion overrun: malformed by construction. Drop it; the
+    // request finishes via its remaining completions or times out.
+    if (aer_) {
+      aer_->record(fault::ErrorType::MalformedTlp, sim_.now(), tlp.addr,
+                   tlp.tag, tlp.payload);
+    }
+    return;
   }
   state.remaining -= tlp.payload;
   if (state.remaining > 0) {
@@ -121,40 +238,56 @@ void DmaDevice::on_downstream(const proto::Tlp& tlp) {
     return;
   }
 
-  const std::uint32_t dma_id = state.dma_id;
+  ReadState finished = std::move(state);
   inflight_reads_.erase(it);
   read_tags_.release();
-
-  auto op_it = read_ops_.find(dma_id);
-  if (op_it == read_ops_.end()) {
-    throw std::logic_error("DmaDevice: completion for unknown DMA op");
+  if (finished.poisoned) {
+    // All data arrived but some of it is known-bad: re-fetch the request
+    // (same path as a timeout) instead of handing poison to the engine.
+    retry_or_fail(std::move(finished));
+    return;
   }
-  DmaReadOp& op = op_it->second;
-  const bool op_complete = (--op.requests_left == 0);
+  const std::uint32_t dma_id = finished.dma_id;
+  const bool op_complete = retire_request(dma_id);
   if (trace_) {
     trace_->record({sim_.now(), 0, tlp.addr, dma_id, tlp.payload,
                     obs::EventKind::DevCplRx, obs::Component::Device,
                     static_cast<std::uint8_t>(op_complete ? 1 : 0)});
   }
-  if (!op_complete) return;
+}
 
-  // Whole DMA satisfied: device-side completion handling plus the staging
+bool DmaDevice::retire_request(std::uint32_t dma_id) {
+  auto op_it = read_ops_.find(dma_id);
+  if (op_it == read_ops_.end()) {
+    throw std::logic_error("DmaDevice: completion for unknown DMA op");
+  }
+  DmaReadOp& op = op_it->second;
+  if (--op.requests_left != 0) return false;
+
+  // Whole DMA retired: device-side completion handling plus the staging
   // hop (skipped on the direct command interface, where total_len is 0).
   const Picos tail = profile_.completion_fixed +
                      (op.total_len ? profile_.staging_delay(op.total_len) : 0);
   Callback done = std::move(op.done);
+  const std::uint32_t failed_bytes = op.failed_bytes;
   read_ops_.erase(op_it);
   ++reads_completed_;
+  if (failed_bytes > 0) {
+    ++reads_failed_;
+    failed_read_bytes_ += failed_bytes;
+  }
+  if (progress_) progress_();
   if (done || trace_) {
-    sim_.after(tail, [this, dma_id, done = std::move(done)] {
+    sim_.after(tail, [this, dma_id, failed_bytes, done = std::move(done)] {
       if (trace_) {
-        trace_->record({sim_.now(), 0, 0, dma_id, 0,
+        trace_->record({sim_.now(), 0, 0, dma_id, failed_bytes,
                         obs::EventKind::DmaReadDone, obs::Component::Device,
-                        0});
+                        static_cast<std::uint8_t>(failed_bytes ? 1 : 0)});
       }
       if (done) done();
     });
   }
+  return true;
 }
 
 void DmaDevice::dma_write(std::uint64_t addr, std::uint32_t len, Callback done,

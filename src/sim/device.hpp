@@ -15,6 +15,17 @@
 // host-side latency effects — cache misses, NUMA hops, IO-TLB walks —
 // surface as read-bandwidth deltas exactly as in §6.3–6.5. Posted writes
 // are bounded by flow-control credits returned at commit time.
+//
+// Error handling (PR 2): when timeouts are armed (arm_timeouts — done by
+// System whenever a fault plan is active, so fault-free runs pay nothing),
+// every outstanding read carries a completion timeout. On expiry the tag
+// is reclaimed and the request retried with a fresh tag after a capped
+// exponential backoff; after max_read_retries the request is failed —
+// its DMA op still calls `done` (marked failed) so workloads terminate
+// instead of hanging. UR/CA completions fail the request immediately (the
+// completer's verdict is authoritative); poisoned completions retry like
+// timeouts. Tags are monotonic and never reused, so stale timers and
+// late/stray completions are recognised by map lookup, counted, dropped.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +34,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/aer.hpp"
 #include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/packetizer.hpp"
@@ -65,6 +77,16 @@ struct DeviceProfile {
   /// Device-side latency to serve a host MMIO register read (BAR access
   /// pipeline). Host-observed round trips add both link directions.
   Picos mmio_read_latency = from_nanos(40);
+
+  /// Completion timeout for outstanding DMA reads. Only armed when a
+  /// fault plan is active (DmaDevice::arm_timeouts) — fault-free runs
+  /// schedule no timer events and stay bit-identical to the seed.
+  Picos completion_timeout = from_micros(50);
+  /// Retries of a timed-out / poisoned read before it is failed.
+  unsigned max_read_retries = 3;
+  /// Retry backoff: min(retry_backoff << attempt, retry_backoff_cap).
+  Picos retry_backoff = from_micros(1);
+  Picos retry_backoff_cap = from_micros(64);
 
   static DeviceProfile nfp6000();
   static DeviceProfile netfpga_sume();
@@ -115,22 +137,69 @@ class DmaDevice {
   /// Total time posted writes sat blocked on flow-control credits.
   Picos fc_stall_total() const { return fc_stall_ps_; }
 
+  /// Arm/disarm per-read completion timeouts (System arms them whenever a
+  /// fault plan is active; disarmed runs schedule no timer events).
+  void arm_timeouts(bool on) { timeouts_armed_ = on; }
+  bool timeouts_armed() const { return timeouts_armed_; }
+
+  std::uint64_t completion_timeouts() const { return completion_timeouts_; }
+  std::uint64_t read_retries() const { return read_retries_; }
+  /// DMA read ops that finished with at least one failed request.
+  std::uint64_t reads_failed() const { return reads_failed_; }
+  /// Requested bytes never delivered across failed requests.
+  std::uint64_t failed_read_bytes() const { return failed_read_bytes_; }
+  /// Completions whose tag matched nothing outstanding (counted, dropped).
+  std::uint64_t unexpected_completions() const { return unexpected_cpls_; }
+  /// UR/CA completions received (each fails its request, no retry).
+  std::uint64_t error_completions_received() const { return error_cpls_; }
+  /// Poisoned TLPs received (completions retried; doorbells discarded).
+  std::uint64_t poisoned_received() const { return poisoned_rx_; }
+
   /// Attach tracing (nullptr detaches).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Attach AER error reporting (nullptr detaches).
+  void set_aer(fault::AerLog* aer) { aer_ = aer; }
+
+  /// Invoked whenever a DMA read op retires — the watchdog's forward-
+  /// progress signal (writes kick via the RC commit hook).
+  using ProgressHook = std::function<void()>;
+  void set_progress_hook(ProgressHook h) { progress_ = std::move(h); }
+
+  // Outstanding-work probes for the watchdog's deadlock check.
+  std::size_t inflight_read_requests() const { return inflight_reads_.size(); }
+  std::size_t pending_read_ops() const { return read_ops_.size(); }
+  std::size_t pending_write_tlps() const { return pending_writes_.size(); }
 
  private:
   struct ReadState {
     std::uint32_t remaining = 0;  ///< completion bytes outstanding
     std::uint32_t dma_id = 0;
+    proto::Tlp req;               ///< original request, kept for retries
+    unsigned retries = 0;         ///< reissues already consumed
+    bool poisoned = false;        ///< a poisoned completion tainted the data
   };
   struct DmaReadOp {
     std::uint32_t requests_left = 0;
     std::uint32_t total_len = 0;
     Callback done;
+    std::uint32_t failed_bytes = 0;  ///< requested bytes never delivered
   };
 
   void issue_read_requests(std::uint64_t addr, std::uint32_t len,
                            std::uint32_t dma_id);
+  void handle_completion(const proto::Tlp& tlp);
+  void arm_completion_timeout(std::uint32_t tag);
+  void on_completion_timeout(std::uint32_t tag);
+  /// Reclaim the tag and either retry (after backoff) or fail the request.
+  void retry_or_fail(ReadState state);
+  void reissue_read(proto::Tlp req, std::uint32_t dma_id, unsigned retries);
+  void fail_request(std::uint32_t dma_id, const proto::Tlp& req);
+  /// One request of `dma_id` retired (delivered or failed); finishes the
+  /// op — tail latency, trace, `done` — once the last request retires.
+  /// Returns true when this retired the whole op.
+  bool retire_request(std::uint32_t dma_id);
+  Picos retry_backoff_for(unsigned retries) const;
   void send_write_tlps(std::uint64_t addr, std::uint32_t len,
                        std::uint32_t dma_id, Callback done);
   void try_send_pending_writes();
@@ -158,11 +227,21 @@ class DmaDevice {
   std::deque<PendingWrite> pending_writes_;
 
   MmioHandler mmio_handler_;
+  ProgressHook progress_;
   obs::TraceSink* trace_ = nullptr;
+  fault::AerLog* aer_ = nullptr;
+  bool timeouts_armed_ = false;
   std::uint64_t reads_completed_ = 0;
   std::uint64_t writes_sent_ = 0;
   std::uint64_t mmio_reads_served_ = 0;
   std::uint64_t doorbells_ = 0;
+  std::uint64_t completion_timeouts_ = 0;
+  std::uint64_t read_retries_ = 0;
+  std::uint64_t reads_failed_ = 0;
+  std::uint64_t failed_read_bytes_ = 0;
+  std::uint64_t unexpected_cpls_ = 0;
+  std::uint64_t error_cpls_ = 0;
+  std::uint64_t poisoned_rx_ = 0;
   unsigned tags_hwm_ = 0;
   Picos fc_stall_ps_ = 0;
   Picos stall_start_ = 0;

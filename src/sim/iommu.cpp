@@ -34,19 +34,30 @@ void Iommu::tlb_insert(std::uint64_t page) {
 }
 
 void Iommu::translate(std::uint64_t addr, bool is_write, Callback done) {
+  translate_checked(addr, is_write,
+                    [done = std::move(done)](bool /*ok*/) { done(); });
+}
+
+void Iommu::translate_checked(std::uint64_t addr, bool is_write,
+                              CheckedCallback done) {
   if (!cfg_.enabled) {
-    done();
+    done(true);
     return;
   }
+  // An injected fault models an unmapped/blocked page: such a page cannot
+  // be TLB-resident, so the fault forces the full walk, which discovers
+  // the missing leaf — full walk latency, nothing cached.
+  const bool fault =
+      injector_ && injector_->on_translate(addr, is_write, sim_.now());
   const std::uint64_t page = addr / cfg_.page_bytes;
-  if (tlb_lookup(page)) {
+  if (!fault && tlb_lookup(page)) {
     ++hits_;
     if (trace_) {
       trace_->record({sim_.now(), 0, addr, 0, 0, obs::EventKind::IommuHit,
                       obs::Component::Iommu,
                       static_cast<std::uint8_t>(is_write ? 1 : 0)});
     }
-    done();
+    done(true);
     return;
   }
   ++misses_;
@@ -54,23 +65,32 @@ void Iommu::translate(std::uint64_t addr, bool is_write, Callback done) {
   const Picos occupancy =
       is_write ? cfg_.walk_occupancy_write : cfg_.walk_occupancy_read;
   const Picos latency = cfg_.walk_latency;
-  walkers_.acquire([this, page, addr, is_write, requested, occupancy, latency,
-                    done = std::move(done)]() mutable {
+  walkers_.acquire([this, page, addr, is_write, fault, requested, occupancy,
+                    latency, done = std::move(done)]() mutable {
     // The walker is busy for `occupancy`; the requester additionally waits
     // the full walk latency (occupancy <= latency).
     const Picos start = sim_.now();
     sim_.after(occupancy, [this] { walkers_.release(); });
-    sim_.at(start + latency, [this, page, addr, is_write, requested,
+    sim_.at(start + latency, [this, page, addr, is_write, fault, requested,
                               done = std::move(done)] {
-      tlb_insert(page);
+      if (fault) {
+        ++faults_;
+        if (aer_) {
+          aer_->record(fault::ErrorType::IommuFault, sim_.now(), addr, 0,
+                       is_write ? 1 : 0);
+        }
+      } else {
+        tlb_insert(page);
+      }
       if (trace_) {
         // Span covers the requester's whole wait, including any queueing
         // for a free walker, so breakdown attribution stays exact.
         trace_->record({requested, sim_.now() - requested, addr, 0, 0,
                         obs::EventKind::IommuWalk, obs::Component::Iommu,
-                        static_cast<std::uint8_t>(is_write ? 1 : 0)});
+                        static_cast<std::uint8_t>((is_write ? 1 : 0) |
+                                                  (fault ? 2 : 0))});
       }
-      done();
+      done(!fault);
     });
   });
 }

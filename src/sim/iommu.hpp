@@ -19,6 +19,8 @@
 #include <unordered_map>
 
 #include "common/units.hpp"
+#include "fault/aer.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -40,8 +42,19 @@ class Iommu {
   Iommu(Simulator& sim, const IommuConfig& cfg);
 
   /// Translate the page containing `addr`; `done` runs when the
-  /// translation is available (immediately-ish on a TLB hit).
+  /// translation is available (immediately-ish on a TLB hit). Faulting
+  /// translations (see translate_checked) count but report success here —
+  /// callers that can handle faults must use translate_checked.
   void translate(std::uint64_t addr, bool is_write, Callback done);
+
+  /// Fault-aware translation: `done(ok)` runs when the translation
+  /// resolves; ok=false means the remapping faulted (unmapped or blocked
+  /// page — injected via the fault plan). A faulted walk still costs the
+  /// full walk latency (the fault is discovered at the leaf) and is never
+  /// cached, so retries of the same page fault again.
+  using CheckedCallback = std::function<void(bool ok)>;
+  void translate_checked(std::uint64_t addr, bool is_write,
+                         CheckedCallback done);
 
   /// Drop all cached translations (e.g. after a mapping change).
   void flush_tlb();
@@ -50,7 +63,12 @@ class Iommu {
   std::uint64_t tlb_hits() const { return hits_; }
   std::uint64_t tlb_misses() const { return misses_; }
   std::uint64_t tlb_evictions() const { return evictions_; }
-  void reset_stats() { hits_ = misses_ = evictions_ = 0; }
+  std::uint64_t faults() const { return faults_; }
+  void reset_stats() { hits_ = misses_ = evictions_ = faults_ = 0; }
+
+  /// Attach fault injection (nullptr detaches).
+  void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
+  void set_aer(fault::AerLog* aer) { aer_ = aer; }
 
   /// Attach tracing (nullptr detaches).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
@@ -69,6 +87,9 @@ class Iommu {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t faults_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::AerLog* aer_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
 };
 

@@ -5,27 +5,90 @@
 
 namespace pcieb::sim {
 
-Picos Link::send(const proto::Tlp& tlp) {
-  const unsigned wire_bytes = tlp.wire_bytes(cfg_);
-  ++tlps_;
-  bytes_ += wire_bytes;
-  payload_bytes_ += tlp.payload;
-  const Picos ser = serialization_ps(wire_bytes, cfg_.tlp_gbps());
+double Link::effective_rate() {
+  if (injector_) {
+    if (const fault::FaultRule* rule = injector_->downtrain_now(sim_.now())) {
+      if (!downtrained_) {
+        downtrained_ = true;
+        ++downtrains_;
+        injector_->tally_downtrain();
+        if (aer_) {
+          aer_->record(fault::ErrorType::LinkDowntrain, sim_.now(), 0, 0,
+                       rule->lanes ? rule->lanes : cfg_.lanes);
+        }
+      }
+      if (rule != derated_rule_) {
+        proto::LinkConfig derated = cfg_;
+        if (rule->lanes) derated.lanes = rule->lanes;
+        if (rule->gen) derated.gen = static_cast<proto::Generation>(rule->gen);
+        derated_rule_ = rule;
+        derated_rate_ = derated.tlp_gbps();
+      }
+      return derated_rate_;
+    }
+    downtrained_ = false;
+  }
+  return cfg_.tlp_gbps();
+}
 
-  // DLL error injection: a corrupted TLP occupies the wire, is NAKed, and
-  // is replayed after the ack-timeout penalty. Replays happen before any
-  // later TLP is accepted (the DLL retry buffer preserves order), so the
-  // wasted attempt plus the timeout gap simply extend the wire occupancy.
-  if (faults_.replay_probability > 0.0 &&
-      rng_.uniform() < faults_.replay_probability) {
+bool Link::replay_attempts(unsigned n, Picos gap, Picos ser,
+                           unsigned wire_bytes, const proto::Tlp& tlp,
+                           fault::ErrorType type, unsigned& consecutive) {
+  for (unsigned i = 0; i < n; ++i) {
+    if (consecutive >= dll_.replay_num) {
+      // REPLAY_NUM rollover: the DLL gives up on replaying and retrains
+      // the link instead; training flushes whatever was corrupting the
+      // lane, so the remaining injected attempts are moot.
+      ++retrains_;
+      wire_.occupy(dll_.retrain_time);
+      if (aer_) {
+        aer_->record(fault::ErrorType::ReplayNumRollover, sim_.now(),
+                     tlp.addr, tlp.tag, consecutive);
+      }
+      return false;
+    }
+    ++consecutive;
     ++replays_;
+    if (type == fault::ErrorType::ReplayTimeout) ++replay_timeouts_;
     bytes_ += wire_bytes;
-    wire_.occupy(ser + faults_.replay_penalty);
+    wire_.occupy(ser + gap);
     if (trace_) {
       trace_->record({sim_.now(), 0, tlp.addr, tlp.tag, wire_bytes,
                       obs::EventKind::LinkReplay, trace_comp_,
                       static_cast<std::uint8_t>(tlp.type)});
     }
+    if (aer_) aer_->record(type, sim_.now(), tlp.addr, tlp.tag, i);
+  }
+  return true;
+}
+
+Picos Link::send(const proto::Tlp& tlp) {
+  fault::LinkTxDecision decision;
+  if (injector_) decision = injector_->on_link_tx(tlp, upstream_, sim_.now());
+  // Legacy LinkFaultModel shim: one corruption draw per TLP, feeding the
+  // same replay state machine the injector uses.
+  if (faults_.replay_probability > 0.0 &&
+      rng_.uniform() < faults_.replay_probability) {
+    ++decision.corrupt_attempts;
+  }
+
+  const unsigned wire_bytes = tlp.wire_bytes(cfg_);
+  ++tlps_;
+  bytes_ += wire_bytes;
+  payload_bytes_ += tlp.payload;
+  const Picos ser = serialization_ps(wire_bytes, effective_rate());
+
+  // DLL recovery: each corrupted attempt occupies the wire, is NAKed, and
+  // is replayed after the ACK/NAK round trip; a lost ACK replays after
+  // REPLAY_TIMER instead. Replays happen before any later TLP is accepted
+  // (the DLL retry buffer preserves order), so the wasted attempts plus
+  // the timeout gaps simply extend the wire occupancy.
+  unsigned consecutive = 0;
+  if (replay_attempts(decision.corrupt_attempts, dll_.ack_latency, ser,
+                      wire_bytes, tlp, fault::ErrorType::BadTlp,
+                      consecutive)) {
+    replay_attempts(decision.ack_losses, dll_.replay_timer, ser, wire_bytes,
+                    tlp, fault::ErrorType::ReplayTimeout, consecutive);
   }
 
   if (trace_) {
@@ -37,12 +100,33 @@ Picos Link::send(const proto::Tlp& tlp) {
                     static_cast<std::uint8_t>(tlp.type)});
   }
 
+  if (decision.drop) {
+    // The TLP consumed the wire but never arrives — a loss that escaped
+    // the DLL. Requesters recover via completion timeout; posted writes
+    // are gone for good (the bench reports them as lost goodput).
+    ++dropped_;
+    if (on_drop_) on_drop_(tlp);
+    return wire_.occupy(ser) + propagation_;
+  }
+
   proto::Tlp copy = tlp;
+  if (decision.poison) {
+    copy.poisoned = true;
+    ++poisoned_;
+  }
+  ++unacked_;
+  unacked_hwm_ = std::max(unacked_hwm_, unacked_);
   const Picos done = wire_.occupy(ser, [this, copy] {
     if (deliver_) {
       // Deliver after the propagation delay; Link::send callers rely on
       // in-order delivery, which holds because propagation is constant.
-      sim_.after(propagation_, [this, copy] { deliver_(copy); });
+      sim_.after(propagation_, [this, copy] {
+        // The far end's ACK retires the retry-buffer entry.
+        if (unacked_ > 0) --unacked_;
+        deliver_(copy);
+      });
+    } else if (unacked_ > 0) {
+      --unacked_;
     }
   });
   return done + propagation_;

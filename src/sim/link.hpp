@@ -4,12 +4,24 @@
 // rate derated by DLLP traffic — see LinkConfig::tlp_gbps), then arrives
 // at the far end after a fixed propagation/PHY-pipeline delay. Delivery is
 // in order, matching PCIe's per-VC ordering.
+//
+// The data link layer's recovery machinery is modelled explicitly: a TLP
+// whose LCRC fails is NAKed and replayed from the retry buffer after the
+// ACK/NAK round trip; a lost ACK expires REPLAY_TIMER and forces the same
+// replay; and when one TLP accumulates REPLAY_NUM (4) replays the link
+// escalates to a retrain, which blocks the wire for LinkDllConfig::
+// retrain_time. The retry buffer preserves order, so recovery simply
+// extends the wire occupancy in front of later TLPs. Faults come either
+// from an attached fault::FaultInjector (drops, forced corruption bursts,
+// poison, downtrain windows) or from the legacy LinkFaultModel shim.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "common/rng.hpp"
+#include "fault/aer.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/tlp.hpp"
@@ -18,15 +30,29 @@
 
 namespace pcieb::sim {
 
-/// Data-link-layer error injection: with the given per-TLP probability a
-/// TLP fails its LCRC check, the receiver NAKs it, and the transmitter
-/// replays it after the ack-timeout penalty — consuming the wire twice.
-/// Models the DLL recovery the paper's §3 mentions but clean testbeds
-/// never exercise.
+/// Legacy DLL error injection (kept as a thin compat shim over the replay
+/// state machine): with the given per-TLP probability a TLP fails its
+/// LCRC check once, the receiver NAKs it, and the transmitter replays it
+/// after `replay_penalty` — consuming the wire twice. New code should
+/// configure a fault::FaultPlan instead (corrupt@prob=...), which adds
+/// bursts, ack-loss, drops, poison and downtrain on top.
 struct LinkFaultModel {
   double replay_probability = 0.0;
   Picos replay_penalty = from_nanos(250);
   std::uint64_t seed = 0x11ce;
+};
+
+/// Data-link-layer recovery parameters.
+struct LinkDllConfig {
+  /// NAK round trip before a corrupted TLP's replay begins.
+  Picos ack_latency = from_nanos(250);
+  /// REPLAY_TIMER expiry when an ACK is lost (spec: ~ twice the ack
+  /// latency plus receiver L0s exit; dominated by the timeout).
+  Picos replay_timer = from_nanos(1000);
+  /// Replays of one TLP before the DLL escalates to a link retrain.
+  unsigned replay_num = 4;
+  /// Recovery/retrain duration — the wire is dead for this long.
+  Picos retrain_time = from_micros(5);
 };
 
 class Link {
@@ -34,15 +60,21 @@ class Link {
   using Deliver = std::function<void(const proto::Tlp&)>;
 
   Link(Simulator& sim, const proto::LinkConfig& cfg, Picos propagation,
-       const LinkFaultModel& faults = {})
+       const LinkFaultModel& faults = {}, const LinkDllConfig& dll = {})
       : sim_(sim), cfg_(cfg), wire_(sim), propagation_(propagation),
-        faults_(faults), rng_(faults.seed) {}
+        faults_(faults), dll_(dll), rng_(faults.seed) {
+    // The compat shim's penalty is the NAK round trip of its era.
+    if (faults_.replay_probability > 0.0) {
+      dll_.ack_latency = faults_.replay_penalty;
+    }
+  }
 
   void set_deliver(Deliver d) { deliver_ = std::move(d); }
 
   /// Queue a TLP for transmission. Serialization starts when the wire is
   /// free; the receiver's deliver callback fires at
-  /// serialization-complete + propagation. Returns the delivery time.
+  /// serialization-complete + propagation. Returns the delivery time
+  /// (for dropped TLPs: when delivery would have happened).
   Picos send(const proto::Tlp& tlp);
 
   /// When the wire would next be free (for backpressure decisions).
@@ -52,9 +84,33 @@ class Link {
   std::uint64_t wire_bytes_sent() const { return bytes_; }
   std::uint64_t payload_bytes_sent() const { return payload_bytes_; }
   std::uint64_t replays() const { return replays_; }
+  std::uint64_t replay_timeouts() const { return replay_timeouts_; }
+  std::uint64_t retrains() const { return retrains_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t poisoned() const { return poisoned_; }
+  std::uint64_t downtrains() const { return downtrains_; }
+  /// TLPs sent but not yet delivered (retry-buffer occupancy proxy).
+  std::uint64_t unacked() const { return unacked_; }
+  std::uint64_t unacked_hwm() const { return unacked_hwm_; }
   Picos busy_total() const { return wire_.busy_total(); }
 
   const proto::LinkConfig& config() const { return cfg_; }
+  const LinkDllConfig& dll_config() const { return dll_; }
+  void set_dll_config(const LinkDllConfig& dll) { dll_ = dll; }
+
+  /// Attach fault machinery (nullptrs detach). `upstream` names this
+  /// direction for the injector's dir= predicate (device -> RC is up).
+  void set_fault_injector(fault::FaultInjector* inj, bool upstream) {
+    injector_ = inj;
+    upstream_ = upstream;
+  }
+  void set_aer(fault::AerLog* aer) { aer_ = aer; }
+
+  /// Invoked with every TLP the link loses to an injected drop — the
+  /// System uses it to reclaim posted-write credits and account lost
+  /// goodput, since a dropped TLP produces no downstream event at all.
+  using DropHook = std::function<void(const proto::Tlp&)>;
+  void set_drop_hook(DropHook h) { on_drop_ = std::move(h); }
 
   /// Attach tracing (nullptr detaches); `comp` names this direction's
   /// trace track (LinkUp / LinkDown).
@@ -64,19 +120,44 @@ class Link {
   }
 
  private:
+  /// TLP-layer rate honouring any active downtrain window; logs the
+  /// transition into a window once per entry.
+  double effective_rate();
+  /// Run `n` replay attempts (each: wasted serialization + `gap`),
+  /// escalating to a retrain at REPLAY_NUM. Returns false once a retrain
+  /// happened (the fault is gone; stop injecting attempts).
+  bool replay_attempts(unsigned n, Picos gap, Picos ser, unsigned wire_bytes,
+                       const proto::Tlp& tlp, fault::ErrorType type,
+                       unsigned& consecutive);
+
   Simulator& sim_;
   proto::LinkConfig cfg_;
   SerialResource wire_;
   Picos propagation_;
   LinkFaultModel faults_;
+  LinkDllConfig dll_;
   Xoshiro256 rng_;
   Deliver deliver_;
+  DropHook on_drop_;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::AerLog* aer_ = nullptr;
+  bool upstream_ = true;
   obs::TraceSink* trace_ = nullptr;
   obs::Component trace_comp_ = obs::Component::LinkUp;
   std::uint64_t tlps_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t payload_bytes_ = 0;
   std::uint64_t replays_ = 0;
+  std::uint64_t replay_timeouts_ = 0;
+  std::uint64_t retrains_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t poisoned_ = 0;
+  std::uint64_t downtrains_ = 0;
+  std::uint64_t unacked_ = 0;
+  std::uint64_t unacked_hwm_ = 0;
+  bool downtrained_ = false;
+  const fault::FaultRule* derated_rule_ = nullptr;
+  double derated_rate_ = 0.0;
 };
 
 }  // namespace pcieb::sim

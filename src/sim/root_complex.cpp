@@ -28,13 +28,27 @@ void RootComplex::on_upstream(const proto::Tlp& tlp) {
       return;
     case proto::TlpType::CplD:
     case proto::TlpType::Cpl: {
-      // Completion for a host-initiated MMIO read.
+      // Completion for a host-initiated MMIO read. A completion whose tag
+      // matches nothing outstanding is counted and dropped — a stray
+      // completion must never take down the host.
       auto it = host_reads_.find(tlp.tag);
-      if (it != host_reads_.end()) {
-        Callback done = std::move(it->second);
-        host_reads_.erase(it);
-        if (done) done();
+      if (it == host_reads_.end()) {
+        ++unexpected_cpls_;
+        if (aer_) {
+          aer_->record(fault::ErrorType::UnexpectedCompletion, sim_.now(),
+                       tlp.addr, tlp.tag, tlp.payload);
+        }
+        return;
       }
+      if (tlp.poisoned && aer_) {
+        aer_->record(fault::ErrorType::PoisonedTlp, sim_.now(), tlp.addr,
+                     tlp.tag, tlp.payload);
+      }
+      Callback done = std::move(it->second);
+      host_reads_.erase(it);
+      // An error/poisoned status still completes the MMIO read — the
+      // driver sees all-ones (or bad) data, not a hang.
+      if (done) done();
       return;
     }
   }
@@ -54,12 +68,48 @@ void RootComplex::host_mmio_read(std::uint64_t addr, std::uint32_t len,
   downstream_.send(req);
 }
 
+void RootComplex::drop_write_payload(std::uint32_t payload) {
+  write_bytes_dropped_ += payload;
+  if (on_write_drop_) on_write_drop_(payload);
+}
+
 void RootComplex::handle_write(const proto::Tlp& tlp) {
+  // Validate before the write enters the ordering fence: a rejected write
+  // never becomes visible, so later reads must not wait on it. Credits
+  // still come back via the drop hook — a discard must not wedge the
+  // sender's flow control.
+  if (tlp.payload == 0 || tlp.payload > link_cfg_.mps) {
+    ++malformed_writes_;
+    if (aer_) {
+      aer_->record(fault::ErrorType::MalformedTlp, sim_.now(), tlp.addr,
+                   tlp.tag, tlp.payload);
+    }
+    drop_write_payload(tlp.payload);
+    return;
+  }
+  if (tlp.poisoned) {
+    ++poisoned_dropped_;
+    if (aer_) {
+      aer_->record(fault::ErrorType::PoisonedTlp, sim_.now(), tlp.addr,
+                   tlp.tag, tlp.payload);
+    }
+    drop_write_payload(tlp.payload);
+    return;
+  }
   ++writes_arrived_;
   posted_hwm_ = std::max(posted_hwm_, posted_writes_pending());
   if (trace_) record_rx_and_pipeline(tlp);
   pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp] {
-    iommu_.translate(tlp.addr, /*is_write=*/true, [this, tlp] {
+    iommu_.translate_checked(tlp.addr, /*is_write=*/true, [this, tlp](bool ok) {
+      if (!ok) {
+        // Remapping fault on a posted write: spec-correct silent discard
+        // (the IOMMU already logged the AER record). The write still
+        // retires from the ordering fence so fenced reads make progress.
+        ++writes_dropped_;
+        drop_write_payload(tlp.payload);
+        drain_ordered_reads();
+        return;
+      }
       const bool local = is_local_(tlp.addr);
       mem_.write(tlp.addr, tlp.payload, local, [this, tlp] {
         ++writes_committed_;
@@ -72,13 +122,30 @@ void RootComplex::handle_write(const proto::Tlp& tlp) {
 }
 
 void RootComplex::handle_read(const proto::Tlp& tlp) {
+  if (tlp.read_len == 0 || tlp.read_len > link_cfg_.mrrs) {
+    // Malformed read: no completion is owed — the requester's completion
+    // timeout is the recovery path.
+    ++malformed_reads_;
+    if (aer_) {
+      aer_->record(fault::ErrorType::MalformedTlp, sim_.now(), tlp.addr,
+                   tlp.tag, tlp.read_len);
+    }
+    return;
+  }
   ++reads_;
   if (trace_) record_rx_and_pipeline(tlp);
   // Snapshot the posted writes this read must not pass (arrival order).
   const std::uint64_t fence = writes_arrived_;
   pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp, fence] {
-    iommu_.translate(tlp.addr, /*is_write=*/false, [this, tlp, fence] {
-      if (writes_committed_ >= fence) {
+    iommu_.translate_checked(tlp.addr, /*is_write=*/false,
+                             [this, tlp, fence](bool ok) {
+      if (!ok) {
+        // Unmapped page: nobody can claim the read — answer UR so the
+        // requester reclaims its tag immediately instead of timing out.
+        send_error_completion(tlp, proto::CplStatus::UR);
+        return;
+      }
+      if (writes_retired() >= fence) {
         emit_completions(tlp);
       } else {
         ordered_reads_.push_back(PendingRead{tlp, fence, sim_.now()});
@@ -91,7 +158,7 @@ void RootComplex::handle_read(const proto::Tlp& tlp) {
 
 void RootComplex::drain_ordered_reads() {
   while (!ordered_reads_.empty() &&
-         writes_committed_ >= ordered_reads_.front().writes_before) {
+         writes_retired() >= ordered_reads_.front().writes_before) {
     PendingRead pending = ordered_reads_.front();
     ordered_reads_.pop_front();
     if (trace_) {
@@ -118,7 +185,31 @@ void RootComplex::record_rx_and_pipeline(const proto::Tlp& tlp) {
                   type});
 }
 
+void RootComplex::send_error_completion(const proto::Tlp& req,
+                                        proto::CplStatus status) {
+  ++error_cpls_;
+  proto::Tlp cpl{proto::TlpType::Cpl, req.addr, 0, 0, req.tag};
+  cpl.cpl_status = status;
+  downstream_.send(cpl);
+}
+
 void RootComplex::emit_completions(const proto::Tlp& req) {
+  if (injector_) {
+    // Forced completer errors fire before memory is touched: a UR means
+    // nobody claimed the address, a CA means the completer gave up.
+    const fault::CplFault f = injector_->on_completion(req, sim_.now());
+    if (f != fault::CplFault::None) {
+      const bool ur = f == fault::CplFault::UnsupportedRequest;
+      if (aer_) {
+        aer_->record(ur ? fault::ErrorType::UnsupportedRequest
+                        : fault::ErrorType::CompleterAbort,
+                     sim_.now(), req.addr, req.tag, req.read_len);
+      }
+      send_error_completion(
+          req, ur ? proto::CplStatus::UR : proto::CplStatus::CA);
+      return;
+    }
+  }
   const bool local = is_local_(req.addr);
   mem_.fetch(req.addr, req.read_len, local, [this, req] {
     for (auto cpl : proto::segment_completions(link_cfg_, req.addr, req.read_len)) {

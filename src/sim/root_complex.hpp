@@ -8,6 +8,16 @@
 // streamed back down the link. Posted-write buffer credits are returned to
 // the device once the write commits, which is what backpressures write
 // bandwidth to the uncore ingest rate.
+//
+// Error handling (PR 2): inbound TLPs are validated instead of trusted.
+// Malformed TLPs (zero/over-MPS payload, zero/over-MRRS read length) and
+// poisoned posted writes are dropped with an AER record; a dropped write
+// still returns flow-control credits via the write-drop hook so the
+// device is never wedged by a discard. IOMMU remapping faults turn reads
+// into Unsupported Request completions and silently drop writes (the
+// spec-correct behaviours). An attached FaultInjector can additionally
+// force UR/CA completion statuses at completion-emit time. Stray
+// completions (unknown tag) are counted and dropped, never fatal.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +25,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "fault/aer.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/tlp.hpp"
@@ -57,28 +69,64 @@ class RootComplex {
   using WriteCommitHook = std::function<void(std::uint32_t)>;
   void set_write_commit_hook(WriteCommitHook h) { on_write_commit_ = std::move(h); }
 
+  /// Invoked with the payload size of every inbound posted write the RC
+  /// discards (malformed, poisoned, or IOMMU-faulted) — the counterpart
+  /// of the commit hook, so flow-control credits are returned and the
+  /// bench can account lost goodput. Without it a discard would strand
+  /// the device's credits and wedge write streams.
+  using WriteDropHook = std::function<void(std::uint32_t)>;
+  void set_write_drop_hook(WriteDropHook h) { on_write_drop_ = std::move(h); }
+
   std::uint64_t reads_handled() const { return reads_; }
   std::uint64_t writes_committed() const { return writes_committed_; }
   std::uint64_t write_bytes_committed() const { return write_bytes_; }
 
+  /// Writes discarded by an IOMMU remapping fault (after entering the
+  /// ordering fence).
+  std::uint64_t writes_dropped() const { return writes_dropped_; }
+  /// Writes rejected at validation (malformed or poisoned), before they
+  /// entered the ordering fence.
+  std::uint64_t writes_rejected() const { return malformed_writes_ + poisoned_dropped_; }
+  /// Payload bytes across every discarded/rejected write.
+  std::uint64_t write_bytes_dropped() const { return write_bytes_dropped_; }
+  std::uint64_t malformed_tlps() const { return malformed_writes_ + malformed_reads_; }
+  std::uint64_t poisoned_dropped() const { return poisoned_dropped_; }
+  std::uint64_t unexpected_completions() const { return unexpected_cpls_; }
+  /// Error (UR/CA) completions sent downstream.
+  std::uint64_t error_completions() const { return error_cpls_; }
+
   /// Posted writes arrived but not yet globally visible (buffer occupancy).
   std::uint64_t posted_writes_pending() const {
-    return writes_arrived_ - writes_committed_;
+    return writes_arrived_ - writes_committed_ - writes_dropped_;
   }
   /// High-water mark of the posted-write buffer occupancy.
   std::uint64_t posted_writes_pending_hwm() const { return posted_hwm_; }
   /// High-water mark of the ordered-read queue depth.
   std::uint64_t ordered_reads_hwm() const { return ordered_hwm_; }
 
+  // Outstanding-work probes for the watchdog's deadlock check.
+  std::size_t host_reads_pending() const { return host_reads_.size(); }
+  std::size_t ordered_reads_pending() const { return ordered_reads_.size(); }
+
   /// Attach tracing (nullptr detaches).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Attach fault machinery (nullptrs detach).
+  void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
+  void set_aer(fault::AerLog* aer) { aer_ = aer; }
 
  private:
   void handle_write(const proto::Tlp& tlp);
   void handle_read(const proto::Tlp& tlp);
   void emit_completions(const proto::Tlp& req);
+  void send_error_completion(const proto::Tlp& req, proto::CplStatus status);
+  void drop_write_payload(std::uint32_t payload);
   void drain_ordered_reads();
   void record_rx_and_pipeline(const proto::Tlp& tlp);
+  /// Writes retired from the ordering fence (committed or discarded).
+  std::uint64_t writes_retired() const {
+    return writes_committed_ + writes_dropped_;
+  }
 
   Simulator& sim_;
   proto::LinkConfig link_cfg_;
@@ -89,6 +137,7 @@ class RootComplex {
   SerialResource pipeline_;
   LocalityResolver is_local_;
   WriteCommitHook on_write_commit_;
+  WriteDropHook on_write_drop_;
 
   std::uint64_t writes_arrived_ = 0;
   std::uint64_t writes_committed_ = 0;
@@ -96,7 +145,16 @@ class RootComplex {
   std::uint64_t reads_ = 0;
   std::uint64_t posted_hwm_ = 0;
   std::uint64_t ordered_hwm_ = 0;
+  std::uint64_t writes_dropped_ = 0;
+  std::uint64_t write_bytes_dropped_ = 0;
+  std::uint64_t malformed_writes_ = 0;
+  std::uint64_t malformed_reads_ = 0;
+  std::uint64_t poisoned_dropped_ = 0;
+  std::uint64_t unexpected_cpls_ = 0;
+  std::uint64_t error_cpls_ = 0;
   obs::TraceSink* trace_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::AerLog* aer_ = nullptr;
 
   struct PendingRead {
     proto::Tlp req;

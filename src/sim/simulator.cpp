@@ -20,8 +20,18 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.time;
   ++executed_;
+  if (step_hook_ && ++since_hook_ >= hook_every_) {
+    since_hook_ = 0;
+    step_hook_(now_, executed_);
+  }
   ev.fn();
   return true;
+}
+
+void Simulator::set_step_hook(StepHook hook, std::uint64_t every) {
+  step_hook_ = std::move(hook);
+  hook_every_ = every == 0 ? 1 : every;
+  since_hook_ = 0;
 }
 
 void Simulator::run() {

@@ -39,6 +39,12 @@ class Simulator {
   std::size_t executed() const { return executed_; }
   std::size_t pending() const { return queue_.size(); }
 
+  /// Invoke `hook(now, executed)` once per `every` executed events —
+  /// the watchdog's sampling point. One branch per event when unset;
+  /// pass an empty hook to detach. The hook may throw to abort the run.
+  using StepHook = std::function<void(Picos, std::size_t)>;
+  void set_step_hook(StepHook hook, std::uint64_t every = 1 << 12);
+
  private:
   struct Event {
     Picos time;
@@ -56,6 +62,9 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  StepHook step_hook_;
+  std::uint64_t hook_every_ = 1 << 12;
+  std::uint64_t since_hook_ = 0;
 };
 
 }  // namespace pcieb::sim

@@ -7,9 +7,10 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   LinkFaultModel up_faults = cfg_.link_faults;
   LinkFaultModel down_faults = cfg_.link_faults;
   down_faults.seed ^= 0xd041ULL;
-  up_ = std::make_unique<Link>(sim_, cfg_.link, cfg_.up_propagation, up_faults);
-  down_ =
-      std::make_unique<Link>(sim_, cfg_.link, cfg_.down_propagation, down_faults);
+  up_ = std::make_unique<Link>(sim_, cfg_.link, cfg_.up_propagation, up_faults,
+                               cfg_.dll);
+  down_ = std::make_unique<Link>(sim_, cfg_.link, cfg_.down_propagation,
+                                 down_faults, cfg_.dll);
   mem_ = std::make_unique<MemorySystem>(sim_, cfg_.cache, cfg_.mem,
                                         cfg_.jitter, cfg_.seed);
   iommu_ = std::make_unique<Iommu>(sim_, cfg_.iommu);
@@ -21,8 +22,81 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   down_->set_deliver([this](const proto::Tlp& t) { device_->on_downstream(t); });
   rc_->set_write_commit_hook([this](std::uint32_t bytes) {
     device_->grant_posted_credits(bytes);
+    if (watchdog_) watchdog_->kick();
     if (write_observer_) write_observer_(bytes);
   });
+  // Any write the RC discards still returns its flow-control credits —
+  // an error must degrade goodput, never wedge the device.
+  rc_->set_write_drop_hook([this](std::uint32_t bytes) {
+    device_->grant_posted_credits(bytes);
+    lost_write_bytes_ += bytes;
+    if (write_drop_observer_) write_drop_observer_(bytes);
+  });
+
+  // Error reporting is always on (legacy LinkFaultModel replays show up
+  // too); the injector, read timeouts and watchdog arm only with a plan,
+  // keeping plan-free runs bit-identical to the seed.
+  up_->set_aer(&aer_);
+  down_->set_aer(&aer_);
+  iommu_->set_aer(&aer_);
+  rc_->set_aer(&aer_);
+  device_->set_aer(&aer_);
+  if (!cfg_.fault_plan.empty()) arm_faults();
+}
+
+void System::arm_faults() {
+  injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault_plan);
+  up_->set_fault_injector(injector_.get(), /*upstream=*/true);
+  down_->set_fault_injector(injector_.get(), /*upstream=*/false);
+  iommu_->set_fault_injector(injector_.get());
+  rc_->set_fault_injector(injector_.get());
+  device_->arm_timeouts(true);
+
+  // A dropped posted write has no completion to time out on: reclaim its
+  // credits at the loss site and report it as failed goodput. Dropped
+  // reads/completions recover via the device's completion timeout.
+  up_->set_drop_hook([this](const proto::Tlp& t) {
+    if (t.type != proto::TlpType::MemWr) return;
+    aer_.record(fault::ErrorType::TransactionFailed, sim_.now(), t.addr,
+                t.tag, t.payload);
+    device_->grant_posted_credits(t.payload);
+    lost_write_bytes_ += t.payload;
+    if (write_drop_observer_) write_drop_observer_(t.payload);
+  });
+
+  watchdog_ = std::make_unique<fault::Watchdog>(cfg_.watchdog);
+  sim_.set_step_hook(
+      [this](Picos now, std::size_t executed) {
+        watchdog_->on_event(now, executed);
+      },
+      cfg_.watchdog.check_every_events);
+  device_->set_progress_hook([this] { watchdog_->kick(); });
+  DmaDevice* dev = device_.get();
+  RootComplex* rc = rc_.get();
+  watchdog_->add_outstanding("device.dma_read_ops",
+                             [dev] { return dev->pending_read_ops(); });
+  watchdog_->add_outstanding("device.read_requests",
+                             [dev] { return dev->inflight_read_requests(); });
+  watchdog_->add_outstanding("device.pending_write_tlps",
+                             [dev] { return dev->pending_write_tlps(); });
+  watchdog_->add_outstanding("rc.posted_writes",
+                             [rc] { return rc->posted_writes_pending(); });
+  watchdog_->add_outstanding("rc.host_mmio_reads",
+                             [rc] { return rc->host_reads_pending(); });
+  watchdog_->add_diag("aer", [this] {
+    return "correctable=" +
+           std::to_string(aer_.total(fault::ErrorSeverity::Correctable)) +
+           " nonfatal=" +
+           std::to_string(aer_.total(fault::ErrorSeverity::NonFatal)) +
+           " fatal=" + std::to_string(aer_.total(fault::ErrorSeverity::Fatal));
+  });
+  watchdog_->add_diag("injector", [this] {
+    return "injected_total=" + std::to_string(injector_->injected_total());
+  });
+}
+
+void System::check_deadlock() {
+  if (watchdog_) watchdog_->check_quiescent(sim_.now());
 }
 
 void System::set_trace_sink(obs::TraceSink* sink) {
@@ -33,6 +107,7 @@ void System::set_trace_sink(obs::TraceSink* sink) {
   iommu_->set_trace(sink);
   mem_->set_trace(sink);
   device_->set_trace(sink);
+  aer_.set_trace(sink);
 }
 
 void System::register_counters(obs::CounterRegistry& reg) {
@@ -44,6 +119,12 @@ void System::register_counters(obs::CounterRegistry& reg) {
     reg.add_counter(p + ".payload_bytes",
                     [link] { return double(link->payload_bytes_sent()); });
     reg.add_counter(p + ".replays", [link] { return double(link->replays()); });
+    reg.add_counter(p + ".replay_timeouts",
+                    [link] { return double(link->replay_timeouts()); });
+    reg.add_counter(p + ".retrains", [link] { return double(link->retrains()); });
+    reg.add_counter(p + ".dropped", [link] { return double(link->dropped()); });
+    reg.add_counter(p + ".poisoned",
+                    [link] { return double(link->poisoned()); });
     reg.add_counter(p + ".busy_ps",
                     [link] { return double(link->busy_total()); });
     reg.add_gauge(p + ".utilization", [this, link] {
@@ -63,6 +144,16 @@ void System::register_counters(obs::CounterRegistry& reg) {
                   [dev] { return double(dev->fc_stall_total()); });
   reg.add_counter("device.read_tags_hwm",
                   [dev] { return double(dev->read_tags_hwm()); });
+  reg.add_counter("device.completion_timeouts",
+                  [dev] { return double(dev->completion_timeouts()); });
+  reg.add_counter("device.read_retries",
+                  [dev] { return double(dev->read_retries()); });
+  reg.add_counter("device.reads_failed",
+                  [dev] { return double(dev->reads_failed()); });
+  reg.add_counter("device.failed_read_bytes",
+                  [dev] { return double(dev->failed_read_bytes()); });
+  reg.add_counter("device.unexpected_cpls",
+                  [dev] { return double(dev->unexpected_completions()); });
   reg.add_gauge("device.read_tags_in_use",
                 [dev] { return double(dev->read_tags_in_use()); });
 
@@ -76,6 +167,18 @@ void System::register_counters(obs::CounterRegistry& reg) {
                   [rc] { return double(rc->ordered_reads_hwm()); });
   reg.add_counter("rc.posted_buffer_hwm",
                   [rc] { return double(rc->posted_writes_pending_hwm()); });
+  reg.add_counter("rc.writes_dropped",
+                  [rc] { return double(rc->writes_dropped()); });
+  reg.add_counter("rc.write_bytes_dropped",
+                  [rc] { return double(rc->write_bytes_dropped()); });
+  reg.add_counter("rc.malformed_tlps",
+                  [rc] { return double(rc->malformed_tlps()); });
+  reg.add_counter("rc.poisoned_dropped",
+                  [rc] { return double(rc->poisoned_dropped()); });
+  reg.add_counter("rc.unexpected_cpls",
+                  [rc] { return double(rc->unexpected_completions()); });
+  reg.add_counter("rc.error_cpls",
+                  [rc] { return double(rc->error_completions()); });
   reg.add_gauge("rc.posted_buffer_occupancy",
                 [rc] { return double(rc->posted_writes_pending()); });
 
@@ -85,6 +188,18 @@ void System::register_counters(obs::CounterRegistry& reg) {
                   [mmu] { return double(mmu->tlb_misses()); });
   reg.add_counter("iommu.tlb_evictions",
                   [mmu] { return double(mmu->tlb_evictions()); });
+  reg.add_counter("iommu.faults", [mmu] { return double(mmu->faults()); });
+
+  const fault::AerLog* aer = &aer_;
+  reg.add_counter("aer.correctable", [aer] {
+    return double(aer->total(fault::ErrorSeverity::Correctable));
+  });
+  reg.add_counter("aer.nonfatal", [aer] {
+    return double(aer->total(fault::ErrorSeverity::NonFatal));
+  });
+  reg.add_counter("aer.fatal", [aer] {
+    return double(aer->total(fault::ErrorSeverity::Fatal));
+  });
 
   LastLevelCache* llc = &mem_->cache();
   reg.add_counter("cache.hits", [llc] { return double(llc->hits()); });

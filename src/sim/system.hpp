@@ -12,6 +12,10 @@
 #include <memory>
 #include <string>
 
+#include "fault/aer.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "sim/cache.hpp"
@@ -38,8 +42,17 @@ struct SystemConfig {
   /// One-way PHY + switch-fabric pipeline delay per direction.
   Picos up_propagation = from_nanos(140);
   Picos down_propagation = from_nanos(140);
-  /// DLL error injection (replays); off by default.
+  /// DLL error injection (replays); off by default. Legacy shim — new
+  /// code should put corrupt@prob=... rules in `fault_plan` instead.
   LinkFaultModel link_faults;
+  /// DLL recovery parameters (ACK latency, REPLAY_TIMER/NUM, retrain).
+  LinkDllConfig dll;
+  /// Deterministic fault plan; empty keeps the system entirely fault-free
+  /// (no injector, no read timeouts, no watchdog — seed benchmarks stay
+  /// bit-identical).
+  fault::FaultPlan fault_plan;
+  /// Watchdog thresholds; armed together with the fault plan.
+  fault::WatchdogConfig watchdog;
   std::uint64_t seed = 1;
 };
 
@@ -60,8 +73,35 @@ class System {
   void attach_buffer(const HostBuffer* buf);
 
   /// Observe posted-write commits (payload bytes) — used to time BW_WR.
+  /// The observer must not replace or clear itself from within its own
+  /// invocation (that destroys the std::function mid-call); install it
+  /// for the run and clear it once the simulator has drained.
   using WriteObserver = std::function<void(std::uint32_t)>;
   void set_write_observer(WriteObserver obs) { write_observer_ = std::move(obs); }
+
+  /// Observe posted-write payload lost to a drop anywhere on the path
+  /// (link loss, poisoned/malformed reject, IOMMU fault) — BW_WR uses
+  /// commits + drops to terminate under faults and report goodput.
+  void set_write_drop_observer(WriteObserver obs) {
+    write_drop_observer_ = std::move(obs);
+  }
+  /// Posted-write payload bytes lost to drops so far.
+  std::uint64_t lost_write_bytes() const { return lost_write_bytes_; }
+
+  // --- fault machinery (armed iff config().fault_plan is non-empty) ----
+  /// AER-style error log; always attached (legacy LinkFaultModel replays
+  /// report too), cheap when nothing records.
+  fault::AerLog& aer() { return aer_; }
+  const fault::AerLog& aer() const { return aer_; }
+  /// The active injector, or nullptr when no fault plan is armed.
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
+  fault::Watchdog* watchdog() { return watchdog_.get(); }
+  bool faults_armed() const { return injector_ != nullptr; }
+
+  /// Call once the event queue drains: throws fault::WatchdogError when
+  /// transactions are still outstanding (swallowed completion with no
+  /// timeout armed). No-op when faults are unarmed.
+  void check_deadlock();
 
   /// Attach a trace sink to every component (nullptr detaches). Costs one
   /// null-pointer check per would-be event when detached.
@@ -84,6 +124,8 @@ class System {
   void thrash_cache();
 
  private:
+  void arm_faults();
+
   SystemConfig cfg_;
   Simulator sim_;
   std::unique_ptr<Link> up_;
@@ -94,7 +136,12 @@ class System {
   std::unique_ptr<DmaDevice> device_;
   const HostBuffer* buffer_ = nullptr;
   WriteObserver write_observer_;
+  WriteObserver write_drop_observer_;
   obs::TraceSink* trace_ = nullptr;
+  fault::AerLog aer_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::Watchdog> watchdog_;
+  std::uint64_t lost_write_bytes_ = 0;
 };
 
 }  // namespace pcieb::sim

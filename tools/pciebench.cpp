@@ -9,6 +9,8 @@
 //       --window 8K --cache warm --iters 20000 --cdf --breakdown
 //   pciebench run --system NFP6000-BDW --bench BW_RD --size 64
 //       --window 16M --iommu on --pages 4K --counters out.csv
+//   pciebench run --system NetFPGA-HSW --bench BW_WR --size 256
+//       --window 1M --faults "drop@every=1000,dir=up" --errors
 //   pciebench suite --system NFP6000-SNB --filter BW_RD --csv out.csv
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/suite.hpp"
+#include "fault/plan.hpp"
 #include "sysconfig/profiles.hpp"
 
 namespace {
@@ -60,6 +63,14 @@ observability options (run):
   --counters DEST   dump component counters: CSV file, or - for stdout
   --breakdown       per-stage latency attribution (serial reads), with the
                     model's stage budget alongside when it applies
+
+fault-injection options (run):
+  --faults SPEC     arm a deterministic fault plan; SPEC is ';'-separated
+                    rules, e.g. "corrupt@prob=1e-3;drop@nth=100,dir=down"
+                    (grammar: docs/FAULTS.md). Arms completion timeouts,
+                    retries and the deadlock watchdog.
+  --fault-seed N    seed for probabilistic fault rules    (default 0x5eed)
+  --errors          print the AER error log and injected-fault tallies
 
 unknown options are rejected; see docs/OBSERVABILITY.md for the schema.
 )");
@@ -137,9 +148,9 @@ Args parse_args(int argc, char** argv, int start,
 const std::set<std::string> kRunValueKeys = {
     "system", "bench",  "size", "offset", "window",  "pattern", "cache",
     "numa",   "iommu",  "pages", "iters", "warmup",  "seed",    "trace",
-    "counters"};
+    "counters", "faults", "fault-seed"};
 const std::set<std::string> kRunFlagKeys = {"cdf", "histogram", "timeseries",
-                                            "cmd-if", "breakdown"};
+                                            "cmd-if", "breakdown", "errors"};
 const std::set<std::string> kSuiteValueKeys = {"system", "filter", "csv"};
 const std::set<std::string> kSuiteFlagKeys = {};
 
@@ -192,6 +203,13 @@ sim::SystemConfig configured_system(const Args& args,
   } else if (iommu != "off") {
     usage("--iommu must be on or off");
   }
+
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) {
+    cfg.fault_plan = fault::parse_plan(faults);
+    cfg.fault_plan.seed =
+        std::strtoull(args.get("fault-seed", "0x5eed").c_str(), nullptr, 0);
+  }
   return cfg;
 }
 
@@ -231,6 +249,12 @@ int cmd_run(const Args& args) {
     std::printf("%s\n", core::format(r).c_str());
   }
 
+  if (args.has_flag("errors")) {
+    std::printf("%s", system.aer().to_table().c_str());
+    if (auto* inj = system.fault_injector()) {
+      std::printf("%s", inj->to_table().c_str());
+    }
+  }
   if (oopts.breakdown) {
     // The model's stage budget applies to single-request reads on a
     // jitter-free path; skip the column when the size doesn't fit.

@@ -1,0 +1,54 @@
+// Ablation: how tightly does the simulator track the §3 protocol model?
+//
+// Prints the sim/model goodput ratio for both adapter families across
+// the transfer ladder and all three bandwidth kinds, in the model's
+// domain (warm 8 KB buffer, NUMA-local, no IOMMU, no faults). This is
+// the calibration source for the differential oracle's tolerance bands
+// (src/check/oracle.cpp, docs/CHECKING.md): the oracle's lower bounds
+// sit under the minima printed here with a regression margin, and its
+// upper bound asserts the simulator never beats the protocol.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "pcie/bandwidth.hpp"
+
+int main() {
+  using namespace pcieb;
+  using core::BenchKind;
+  bench::print_header(
+      "Ablation: simulator vs §3 protocol model (sim/model goodput ratio)",
+      "The model is an upper bound (infinitely fast device and host); the "
+      "simulator approaches it from below. NetFPGA tracks it closely; the "
+      "NFP sits lower for small transfers (enqueue FIFO, staging hop).");
+
+  struct Panel {
+    const char* title;
+    BenchKind kind;
+    double (*model)(const proto::LinkConfig&, std::uint32_t, std::uint64_t);
+  };
+  const Panel panels[] = {
+      {"(a) BW_RD", BenchKind::BwRd, proto::effective_read_gbps},
+      {"(b) BW_WR", BenchKind::BwWr, proto::effective_write_gbps},
+      {"(c) BW_RDWR", BenchKind::BwRdWr, proto::effective_rdwr_gbps},
+  };
+
+  const auto nfp = sys::nfp6000_hsw().config;
+  const auto fpga = sys::netfpga_hsw().config;
+
+  for (const auto& panel : panels) {
+    std::printf("--- %s ---\n", panel.title);
+    TextTable table({"size_B", "model_Gbps", "NFP_ratio", "NetFPGA_ratio"});
+    for (std::uint32_t sz : bench::transfer_ladder()) {
+      bench::BandwidthSpec spec;
+      spec.kind = panel.kind;
+      spec.size = sz;
+      spec.iterations = 25000;
+      const double model = panel.model(nfp.link, sz, 0);
+      table.add_row({std::to_string(sz), TextTable::num(model),
+                     TextTable::num(bench::run_bw_gbps(nfp, spec) / model),
+                     TextTable::num(bench::run_bw_gbps(fpga, spec) / model)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

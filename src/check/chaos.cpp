@@ -1,0 +1,316 @@
+#include "check/chaos.hpp"
+
+#include <iterator>
+#include <limits>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb::check {
+namespace {
+
+/// Sim-time ceiling per faulted trial: generous against the few ms a
+/// trial needs, tight enough that a livelocked one aborts in bounded
+/// wall time (the abort then IS the finding).
+constexpr Picos kTrialMaxSimTime = from_micros(2'000'000);  // 2 s sim time
+
+const char* kind_cli(core::BenchKind k) {
+  switch (k) {
+    case core::BenchKind::LatRd: return "LAT_RD";
+    case core::BenchKind::LatWrRd: return "LAT_WRRD";
+    case core::BenchKind::BwRd: return "BW_RD";
+    case core::BenchKind::BwWr: return "BW_WR";
+    case core::BenchKind::BwRdWr: return "BW_RDWR";
+  }
+  return "?";
+}
+
+const char* cache_cli(core::CacheState s) {
+  switch (s) {
+    case core::CacheState::HostWarm: return "warm";
+    case core::CacheState::Thrash: return "cold";
+    case core::CacheState::DeviceWarm: return "device";
+  }
+  return "?";
+}
+
+fault::FaultRule random_rule(Xoshiro256& rng) {
+  using fault::FaultKind;
+  static constexpr FaultKind kinds[] = {
+      FaultKind::LinkDrop,   FaultKind::LinkCorrupt, FaultKind::AckLoss,
+      FaultKind::Poison,     FaultKind::CplUr,       FaultKind::CplCa,
+      FaultKind::IommuFault, FaultKind::Downtrain};
+  fault::FaultRule r;
+  r.kind = kinds[rng.below(std::size(kinds))];
+
+  if (r.kind == FaultKind::Downtrain) {
+    // A degradation window, not a per-TLP event: lanes and/or gen plus a
+    // bounded time window inside the trial's runtime.
+    static constexpr unsigned lane_opts[] = {1, 2, 4};
+    if (rng.below(2) == 0) r.lanes = lane_opts[rng.below(std::size(lane_opts))];
+    if (r.lanes == 0 || rng.below(2) == 0) {
+      r.gen = 1 + static_cast<unsigned>(rng.below(3));
+    }
+    const Picos lo = from_micros(rng.below(200));
+    r.from = lo;
+    r.until = lo + from_micros(20 + rng.below(300));
+    return r;
+  }
+
+  // Exactly one trigger: a one-shot index, a period, or a probability.
+  switch (rng.below(3)) {
+    case 0: r.nth = 1 + rng.below(1500); break;
+    case 1: r.every = 50 + rng.below(450); break;
+    default: r.prob = 0.001 + 0.02 * rng.uniform(); break;
+  }
+
+  const bool link_site =
+      r.kind == FaultKind::LinkDrop || r.kind == FaultKind::LinkCorrupt ||
+      r.kind == FaultKind::AckLoss || r.kind == FaultKind::Poison;
+  if (link_site && rng.below(2) == 0) {
+    r.dir = rng.below(2) == 0 ? fault::LinkDir::Up : fault::LinkDir::Down;
+  }
+  if (r.kind == FaultKind::LinkCorrupt && rng.below(3) == 0) {
+    r.count = 2 + rng.below(3);  // bursts drive REPLAY_NUM escalation
+  }
+  if (rng.below(5) == 0) {
+    const Picos lo = from_micros(rng.below(300));
+    r.from = lo;
+    r.until = lo + from_micros(50 + rng.below(400));
+  }
+  return r;
+}
+
+/// Simpler variants of one rule: each clears one optional predicate back
+/// to its default (a cleared predicate admits MORE TLPs, so a failure
+/// that survives is a strictly smaller reproducer in spec terms).
+std::vector<fault::FaultRule> simplified_rules(const fault::FaultRule& r) {
+  std::vector<fault::FaultRule> out;
+  const auto push_if_changed = [&](fault::FaultRule c) {
+    if (!(c == r)) out.push_back(std::move(c));
+  };
+  {
+    fault::FaultRule c = r;
+    c.from = 0;
+    c.until = std::numeric_limits<Picos>::max();
+    push_if_changed(c);
+  }
+  {
+    fault::FaultRule c = r;
+    c.addr_lo = 0;
+    c.addr_hi = std::numeric_limits<std::uint64_t>::max();
+    push_if_changed(c);
+  }
+  {
+    fault::FaultRule c = r;
+    c.dir = fault::LinkDir::Both;
+    push_if_changed(c);
+  }
+  {
+    fault::FaultRule c = r;
+    c.count = 1;
+    push_if_changed(c);
+  }
+  return out;
+}
+
+std::string first_line(const std::string& s) {
+  const auto nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+}  // namespace
+
+std::string TrialSpec::describe() const {
+  std::ostringstream os;
+  os << "trial " << index << ": " << system << " " << kind_cli(params.kind)
+     << " size=" << params.transfer_size << " window=" << params.window_bytes
+     << (params.pattern == core::AccessPattern::Random ? " rand" : " seq")
+     << " cache=" << cache_cli(params.cache_state)
+     << (params.numa_local ? "" : " numa=remote") << (iommu ? " iommu" : "")
+     << " iters=" << params.iterations
+     << " faults=" << (plan.empty() ? "none" : plan.describe());
+  return os.str();
+}
+
+std::string TrialSpec::repro_command() const {
+  std::ostringstream os;
+  os << "pciebench run --system " << system << " --bench "
+     << kind_cli(params.kind) << " --size " << params.transfer_size
+     << " --window " << params.window_bytes << " --pattern "
+     << (params.pattern == core::AccessPattern::Random ? "rand" : "seq")
+     << " --cache " << cache_cli(params.cache_state) << " --numa "
+     << (params.numa_local ? "local" : "remote") << " --iters "
+     << params.iterations << " --seed " << params.seed;
+  if (params.offset != 0) os << " --offset " << params.offset;
+  if (iommu) os << " --iommu on --pages " << params.page_bytes;
+  if (!plan.empty()) {
+    os << " --faults '" << plan.describe() << "' --fault-seed " << plan.seed;
+  }
+  os << " --monitors";
+  return os.str();
+}
+
+std::string TrialOutcome::summary() const {
+  if (!failed) return "ok";
+  std::ostringstream os;
+  os << "FAILED:";
+  if (!error.empty()) os << " " << first_line(error);
+  if (total_violations > 0) {
+    os << " " << total_violations << " invariant violation"
+       << (total_violations == 1 ? "" : "s");
+    if (!violations.empty()) os << " (first: " << violations.front().format() << ")";
+  }
+  return os.str();
+}
+
+TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index) {
+  // Stateless per-index stream: any trial regenerates without replaying
+  // the campaign prefix (SplitMix decorrelates master seed from index).
+  SplitMix64 mix(cfg.master_seed);
+  Xoshiro256 rng(mix.next() ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+
+  TrialSpec t;
+  t.index = index;
+  const auto& profiles = sys::all_profiles();
+  const auto& prof = profiles[rng.below(profiles.size())];
+  t.system = prof.name;
+
+  auto& p = t.params;
+  static constexpr core::BenchKind kinds[] = {
+      core::BenchKind::BwWr, core::BenchKind::BwRd, core::BenchKind::BwRdWr};
+  p.kind = kinds[rng.below(std::size(kinds))];
+  static constexpr std::uint32_t sizes[] = {64,  128,  256,  257,
+                                            512, 1024, 1536, 2048};
+  p.transfer_size = sizes[rng.below(std::size(sizes))];
+  static constexpr std::uint64_t windows[] = {8ull << 10, 64ull << 10,
+                                              256ull << 10, 1ull << 20};
+  p.window_bytes = windows[rng.below(std::size(windows))];
+  p.pattern = rng.below(2) == 0 ? core::AccessPattern::Sequential
+                                : core::AccessPattern::Random;
+  static constexpr core::CacheState caches[] = {core::CacheState::HostWarm,
+                                                core::CacheState::Thrash,
+                                                core::CacheState::DeviceWarm};
+  p.cache_state = caches[rng.below(std::size(caches))];
+  p.numa_local = prof.has_remote_node() ? rng.below(2) == 0 : true;
+  t.iommu = rng.below(4) == 0;
+  p.page_bytes = (t.iommu && rng.below(2) == 0) ? (2ull << 20) : 4096;
+  p.iterations = cfg.iterations;
+  p.warmup = 0;
+  p.seed = rng.next();
+
+  const std::size_t nrules = rng.below(7);  // 0..6; 0 = fault-free trial
+  for (std::size_t i = 0; i < nrules; ++i) {
+    t.plan.rules.push_back(random_rule(rng));
+  }
+  t.plan.seed = rng.next();
+  t.seed_credit_leak_bug = cfg.seed_credit_leak_bug;
+  return t;
+}
+
+TrialOutcome run_trial(const TrialSpec& spec) {
+  TrialOutcome out;
+  auto cfg = sys::profile_by_name(spec.system).config;
+  if (spec.iommu) cfg = sys::with_iommu(cfg, true, spec.params.page_bytes);
+  cfg.fault_plan = spec.plan;
+  if (!spec.plan.empty()) cfg.watchdog.max_sim_time = kTrialMaxSimTime;
+
+  sim::System system(cfg);
+  if (spec.seed_credit_leak_bug) system.test_leak_credits_on_drop(true);
+  MonitorSuite monitors(system);
+  try {
+    if (core::is_latency(spec.params.kind)) {
+      core::run_latency_bench(system, spec.params);
+    } else {
+      core::run_bandwidth_bench(system, spec.params);
+    }
+    monitors.check_quiescent();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.total_violations = monitors.total_violations();
+  out.violations = monitors.violations();
+  out.failed = !monitors.ok() || !out.error.empty();
+  return out;
+}
+
+ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget) {
+  ShrinkResult res;
+  res.minimal = failing;
+  res.outcome = run_trial(failing);
+  res.runs = 1;
+
+  const auto attempt = [&](TrialSpec cand) {
+    if (res.runs >= budget) return false;
+    ++res.runs;
+    TrialOutcome out = run_trial(cand);
+    if (!out.failed) return false;
+    res.minimal = std::move(cand);
+    res.outcome = std::move(out);
+    return true;
+  };
+
+  // 1. Greedy clause removal to a fixed point: drop whole rules while
+  //    the trial still fails.
+  bool changed = true;
+  while (changed && !res.minimal.plan.rules.empty()) {
+    changed = false;
+    for (std::size_t i = 0; i < res.minimal.plan.rules.size(); ++i) {
+      TrialSpec cand = res.minimal;
+      cand.plan.rules.erase(cand.plan.rules.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (attempt(std::move(cand))) {
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // 2. Per-rule predicate clearing: reset time window, address range,
+  //    direction and burst count to defaults where the failure survives.
+  for (std::size_t i = 0; i < res.minimal.plan.rules.size(); ++i) {
+    bool simplified = true;
+    while (simplified) {
+      simplified = false;
+      for (const auto& simpler : simplified_rules(res.minimal.plan.rules[i])) {
+        TrialSpec cand = res.minimal;
+        cand.plan.rules[i] = simpler;
+        if (attempt(std::move(cand))) {
+          simplified = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Halve the trial length while it still reproduces.
+  while (res.minimal.params.iterations >= 100) {
+    TrialSpec cand = res.minimal;
+    cand.params.iterations /= 2;
+    if (!attempt(std::move(cand))) break;
+  }
+  return res;
+}
+
+CampaignResult run_campaign(const ChaosConfig& cfg,
+                            const TrialObserver& observe) {
+  CampaignResult res;
+  for (std::size_t i = 0; i < cfg.trials; ++i) {
+    const TrialSpec spec = generate_trial(cfg, i);
+    const TrialOutcome out = run_trial(spec);
+    ++res.trials_run;
+    if (observe) observe(spec, out);
+    if (out.failed) {
+      ++res.failures;
+      res.first_failure = spec;
+      if (cfg.shrink) res.minimized = shrink_trial(spec, cfg.shrink_budget);
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace pcieb::check

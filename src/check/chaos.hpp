@@ -1,0 +1,106 @@
+// Chaos campaigns: randomized fault plans x workloads x system configs,
+// run with the invariant monitors armed, with seed minimization.
+//
+// A campaign derives every trial deterministically from one master seed:
+// trial i is a pure function of (master_seed, i), so any failure is
+// replayable in isolation without re-running the campaign. Each trial
+// builds a Table 1 system, arms a randomized FaultPlan (sometimes empty —
+// fault-free trials double as monitor sanity checks), runs one
+// micro-benchmark with a MonitorSuite attached in record mode, and fails
+// when any invariant is violated or the run aborts (watchdog stall,
+// quiescent deadlock, logic error).
+//
+// On failure the shrinker reduces the trial to a minimal reproducer by
+// re-running candidates: greedily dropping fault-plan clauses, clearing
+// per-rule predicates (time window, address range, direction, burst
+// count) back to their defaults, and halving the trial length — keeping
+// each change only while the trial still fails. The result prints as a
+// one-line `pciebench run ... --faults '...' --monitors` command that
+// replays the violation exactly. See docs/CHECKING.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/monitors.hpp"
+#include "core/params.hpp"
+#include "fault/plan.hpp"
+
+namespace pcieb::check {
+
+/// One fully-specified chaos trial: system + workload + fault plan.
+struct TrialSpec {
+  std::uint64_t index = 0;      ///< position in the campaign
+  std::string system;           ///< Table 1 profile name
+  bool iommu = false;           ///< arm the IOMMU (pages per params)
+  core::BenchParams params;
+  fault::FaultPlan plan;        ///< empty = fault-free trial
+
+  /// TEST-ONLY: arm sim::System::test_leak_credits_on_drop so the credit
+  /// monitor has a known bug to catch (monitor self-tests, --seed-bug).
+  bool seed_credit_leak_bug = false;
+
+  /// One line: system, workload knobs and the fault plan.
+  std::string describe() const;
+  /// The exact `pciebench run ... --monitors` invocation replaying this
+  /// trial (the seeded-bug flag has no CLI equivalent and is omitted).
+  std::string repro_command() const;
+};
+
+struct TrialOutcome {
+  bool failed = false;
+  std::uint64_t total_violations = 0;
+  std::vector<Violation> violations;  ///< recorded subset, in order
+  std::string error;                  ///< abort reason, if the run threw
+
+  std::string summary() const;  ///< one line: pass, or why it failed
+};
+
+struct ChaosConfig {
+  std::uint64_t master_seed = 0xc4a05;
+  std::size_t trials = 20;
+  /// Measured transactions per trial; small keeps a campaign in seconds.
+  std::size_t iterations = 400;
+  bool shrink = true;
+  std::size_t shrink_budget = 128;  ///< max re-runs spent minimizing
+  bool seed_credit_leak_bug = false;  ///< TEST-ONLY, propagated to trials
+};
+
+/// Trial `index` of the campaign — pure in (cfg.master_seed, index).
+TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index);
+
+/// Build the system, arm monitors (record mode), run the workload, check
+/// quiesce. Never throws on a finding; exceptions from the run (watchdog,
+/// logic errors) become `outcome.error`.
+TrialOutcome run_trial(const TrialSpec& spec);
+
+struct ShrinkResult {
+  TrialSpec minimal;      ///< smallest spec that still fails
+  TrialOutcome outcome;   ///< its (failing) outcome
+  std::size_t runs = 0;   ///< trial executions spent shrinking
+};
+
+/// Minimize a failing trial; `failing` must fail under run_trial.
+ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget = 128);
+
+struct CampaignResult {
+  std::size_t trials_run = 0;
+  std::size_t failures = 0;
+  std::optional<TrialSpec> first_failure;
+  std::optional<ShrinkResult> minimized;  ///< present when shrink was on
+
+  bool ok() const { return failures == 0; }
+};
+
+/// Run the whole campaign; `observe` (optional) fires after every trial.
+/// Stops generating new trials after the first failure (which it shrinks
+/// when cfg.shrink) — one minimal reproducer beats a pile of raw failures.
+using TrialObserver =
+    std::function<void(const TrialSpec&, const TrialOutcome&)>;
+CampaignResult run_campaign(const ChaosConfig& cfg,
+                            const TrialObserver& observe = {});
+
+}  // namespace pcieb::check

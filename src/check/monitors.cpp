@@ -1,0 +1,169 @@
+#include "check/monitors.hpp"
+
+#include <sstream>
+
+namespace pcieb::check {
+
+std::string Violation::format() const {
+  std::ostringstream os;
+  os << "invariant '" << monitor << "' violated @ " << to_nanos(when)
+     << " ns: " << detail;
+  return os.str();
+}
+
+MonitorSuite::MonitorSuite(sim::System& system, MonitorConfig cfg)
+    : system_(system),
+      cfg_(cfg),
+      base_write_issued_(system.device().write_payload_issued()),
+      base_write_committed_(system.root_complex().write_bytes_committed()),
+      base_write_lost_(system.lost_write_bytes()),
+      base_read_requested_(system.device().read_payload_requested()),
+      base_read_delivered_(system.device().read_payload_delivered()),
+      base_read_failed_(system.device().failed_read_bytes()) {
+  system_.sim().set_check_hook([this](Picos now) { on_step(now); });
+}
+
+MonitorSuite::~MonitorSuite() { system_.sim().set_check_hook({}); }
+
+void MonitorSuite::record(const char* monitor, Picos now, std::string detail) {
+  ++total_;
+  Violation v{monitor, now, std::move(detail)};
+  if (cfg_.throw_on_violation) throw InvariantError(v);
+  if (violations_.size() < cfg_.max_recorded) violations_.push_back(std::move(v));
+}
+
+void MonitorSuite::on_step(Picos now) {
+  // Clock monotonicity first: if time ran backwards, everything else is
+  // suspect too.
+  if (clock_seen_ && now < last_now_) {
+    record("clock", now,
+           "event clock moved backwards: " + std::to_string(last_now_) +
+               " ps -> " + std::to_string(now) + " ps");
+  }
+  clock_seen_ = true;
+  last_now_ = now;
+  step_checks(now);
+}
+
+void MonitorSuite::step_checks(Picos now) {
+  const auto& dev = system_.device();
+
+  // credits: 0 <= available <= advertised window, at every instant.
+  const std::int64_t credits = dev.posted_credits_available();
+  const std::int64_t window =
+      static_cast<std::int64_t>(dev.profile().posted_credit_bytes);
+  if (credits < 0 || credits > window) {
+    record("credits", now,
+           "posted credits " + std::to_string(credits) +
+               " outside [0, " + std::to_string(window) + "]");
+  }
+
+  // tags: every issued tag is either retired or still in flight.
+  const std::uint64_t issued = dev.read_requests_issued();
+  const std::uint64_t retired = dev.read_requests_retired();
+  const std::uint64_t inflight = dev.inflight_read_requests();
+  if (retired > issued || issued - retired != inflight) {
+    record("tags", now,
+           "issued " + std::to_string(issued) + " != retired " +
+               std::to_string(retired) + " + in-flight " +
+               std::to_string(inflight) + " (" + dev.outstanding_tags() + ")");
+  }
+
+  // replay: the retry buffer tracks sent-but-unacked TLPs; it can never
+  // hold more than were ever sent (an excess means retire accounting
+  // drifted or wrapped).
+  for (const auto* link : {&system_.upstream(), &system_.downstream()}) {
+    if (link->unacked() > link->tlps_sent()) {
+      record("replay", now,
+             "retry buffer holds " + std::to_string(link->unacked()) +
+                 " TLPs but only " + std::to_string(link->tlps_sent()) +
+                 " were sent");
+    }
+  }
+}
+
+void MonitorSuite::check_now() { step_checks(system_.sim().now()); }
+
+void MonitorSuite::check_quiescent() {
+  const Picos now = system_.sim().now();
+  step_checks(now);
+
+  const auto& dev = system_.device();
+  const auto& rc = system_.root_complex();
+
+  // credits: with nothing in flight, the full window must have returned.
+  const std::int64_t credits = dev.posted_credits_available();
+  const std::int64_t window =
+      static_cast<std::int64_t>(dev.profile().posted_credit_bytes);
+  if (credits != window) {
+    record("credits", now,
+           "at quiesce " + std::to_string(credits) + " of " +
+               std::to_string(window) +
+               " posted credit bytes returned (leaked " +
+               std::to_string(window - credits) + ")");
+  }
+
+  // tags: nothing may still be in flight or queued anywhere.
+  if (dev.inflight_read_requests() != 0 || dev.pending_read_ops() != 0 ||
+      dev.pending_write_tlps() != 0 || rc.posted_writes_pending() != 0 ||
+      rc.host_reads_pending() != 0 || rc.ordered_reads_pending() != 0) {
+    record("tags", now,
+           "work outstanding at quiesce: read requests " +
+               std::to_string(dev.inflight_read_requests()) + " (" +
+               dev.outstanding_tags() + "), read ops " +
+               std::to_string(dev.pending_read_ops()) + ", queued writes " +
+               std::to_string(dev.pending_write_tlps()) +
+               ", rc posted " + std::to_string(rc.posted_writes_pending()) +
+               ", rc host reads " + std::to_string(rc.host_reads_pending()) +
+               ", rc ordered reads " +
+               std::to_string(rc.ordered_reads_pending()));
+  }
+
+  // payload: byte conservation over the suite's lifetime.
+  const std::uint64_t wr_issued = dev.write_payload_issued() - base_write_issued_;
+  const std::uint64_t wr_committed =
+      rc.write_bytes_committed() - base_write_committed_;
+  const std::uint64_t wr_lost = system_.lost_write_bytes() - base_write_lost_;
+  if (wr_issued != wr_committed + wr_lost) {
+    record("payload", now,
+           "write bytes not conserved: issued " + std::to_string(wr_issued) +
+               " != committed " + std::to_string(wr_committed) + " + lost " +
+               std::to_string(wr_lost));
+  }
+  const std::uint64_t rd_requested =
+      dev.read_payload_requested() - base_read_requested_;
+  const std::uint64_t rd_delivered =
+      dev.read_payload_delivered() - base_read_delivered_;
+  const std::uint64_t rd_failed = dev.failed_read_bytes() - base_read_failed_;
+  if (rd_requested != rd_delivered + rd_failed) {
+    record("payload", now,
+           "read bytes not conserved: requested " +
+               std::to_string(rd_requested) + " != delivered " +
+               std::to_string(rd_delivered) + " + failed " +
+               std::to_string(rd_failed));
+  }
+
+  // replay: the retry buffers must be empty once the queue drained.
+  if (system_.upstream().unacked() != 0 || system_.downstream().unacked() != 0) {
+    record("replay", now,
+           "retry buffers not empty at quiesce: up " +
+               std::to_string(system_.upstream().unacked()) + ", down " +
+               std::to_string(system_.downstream().unacked()));
+  }
+}
+
+std::string MonitorSuite::report() const {
+  if (total_ == 0) return "monitors: all invariants held\n";
+  std::ostringstream os;
+  for (const auto& v : violations_) os << v.format() << "\n";
+  if (total_ > violations_.size()) {
+    os << "... and " << (total_ - violations_.size())
+       << " further violations past the recording cap\n";
+  }
+  os << "monitors: " << total_ << " violation"
+     << (total_ == 1 ? "" : "s") << " (" << violations_.size()
+     << " recorded)\n";
+  return os.str();
+}
+
+}  // namespace pcieb::check

@@ -1,0 +1,121 @@
+// Invariant monitors: a self-checking harness over one sim::System.
+//
+// A MonitorSuite hooks the simulator's per-event check hook and asserts,
+// after every executed event, the conservation laws the components are
+// supposed to uphold by construction:
+//
+//  * credits — the posted-write credit ledger never goes negative and
+//    never exceeds the advertised window; at quiesce the full window has
+//    been returned (every consumed credit came back, via commit, RC drop
+//    or link drop).
+//  * tags — every DMA read request tag that was issued is retired exactly
+//    once (delivered, failed, or reclaimed by a timeout/error
+//    completion): issued == retired + in-flight at every step, and
+//    in-flight == 0 at quiesce with no leaked ops or queued writes.
+//  * payload — byte conservation at quiesce: write payload that consumed
+//    credits equals payload committed by the root complex plus payload
+//    accounted lost to drops; read payload requested equals payload
+//    delivered plus payload accounted failed.
+//  * replay — the DLL retry buffer is bounded: sent-but-unacked TLPs
+//    never exceed TLPs sent and the buffer is empty at quiesce.
+//  * clock — the event clock never moves backwards.
+//
+// Monitors are strictly opt-in: nothing constructs a MonitorSuite unless
+// asked (pciebench --monitors, the chaos driver, tests), and an unarmed
+// simulator pays exactly one null-function check per event — runs without
+// a suite attached stay bit-identical to the seed. Violations are
+// recorded (record mode, default) or thrown (throw_on_violation) —
+// record mode is what the chaos shrinker needs, since it must re-run
+// failing trials to completion. See docs/CHECKING.md.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/system.hpp"
+
+namespace pcieb::check {
+
+/// One invariant breach: which monitor, when, and what the ledger said.
+struct Violation {
+  std::string monitor;  ///< credits | tags | payload | replay | clock
+  Picos when = 0;
+  std::string detail;
+
+  std::string format() const;
+};
+
+class InvariantError : public std::runtime_error {
+ public:
+  explicit InvariantError(const Violation& v)
+      : std::runtime_error(v.format()), violation_(v) {}
+  const Violation& violation() const { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+struct MonitorConfig {
+  /// Throw InvariantError at the first breach instead of recording it.
+  bool throw_on_violation = false;
+  /// Recorded-violation cap: past it, breaches are counted but not kept
+  /// (one broken invariant re-fires every event; keep reports readable).
+  std::size_t max_recorded = 16;
+};
+
+class MonitorSuite {
+ public:
+  /// Attaches to `system`'s simulator check hook and captures baseline
+  /// payload tallies, so a suite attached mid-life checks only the delta.
+  /// One suite per system at a time (the hook has a single slot).
+  explicit MonitorSuite(sim::System& system, MonitorConfig cfg = {});
+  ~MonitorSuite();
+
+  MonitorSuite(const MonitorSuite&) = delete;
+  MonitorSuite& operator=(const MonitorSuite&) = delete;
+
+  /// Run the per-step invariants immediately (they otherwise run after
+  /// every executed event).
+  void check_now();
+
+  /// Run the quiesce invariants — call once the event queue has drained
+  /// (after the benchmark returns). Also re-runs the step invariants.
+  void check_quiescent();
+
+  bool ok() const { return total_ == 0; }
+  /// All breaches observed, including re-fires past the recording cap.
+  std::uint64_t total_violations() const { return total_; }
+  /// The first `max_recorded` breaches, in order of occurrence.
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Human-readable summary: every recorded violation plus totals, or a
+  /// one-line all-clear.
+  std::string report() const;
+
+ private:
+  void on_step(Picos now);
+  void step_checks(Picos now);
+  void record(const char* monitor, Picos now, std::string detail);
+
+  sim::System& system_;
+  MonitorConfig cfg_;
+
+  // Payload baselines at attach time (all zero on a fresh System).
+  std::uint64_t base_write_issued_;
+  std::uint64_t base_write_committed_;
+  std::uint64_t base_write_lost_;
+  std::uint64_t base_read_requested_;
+  std::uint64_t base_read_delivered_;
+  std::uint64_t base_read_failed_;
+
+  Picos last_now_ = 0;
+  bool clock_seen_ = false;
+
+  std::vector<Violation> violations_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pcieb::check

@@ -1,0 +1,185 @@
+#include "check/oracle.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/observe.hpp"
+#include "core/runner.hpp"
+#include "model/latency_budget.hpp"
+#include "pcie/bandwidth.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb::check {
+namespace {
+
+double model_gbps(const proto::LinkConfig& link, core::BenchKind kind,
+                  std::uint32_t size) {
+  switch (kind) {
+    case core::BenchKind::BwWr: return proto::effective_write_gbps(link, size);
+    case core::BenchKind::BwRd: return proto::effective_read_gbps(link, size);
+    case core::BenchKind::BwRdWr: return proto::effective_rdwr_gbps(link, size);
+    default:
+      throw std::invalid_argument("oracle: not a bandwidth bench kind");
+  }
+}
+
+}  // namespace
+
+OracleTolerance oracle_tolerance(const std::string& adapter,
+                                 core::BenchKind kind, std::uint32_t size) {
+  // Bands derived from bench/ablation_model_gap (HSW pairings, warm 8 KB
+  // buffer): measured sim/model ratios are 0.99-1.00 for transfers of
+  // 128 B and up on every kind and both adapters, and dip only at 64 B,
+  // where the transaction rate hits device issue limits and per-TLP
+  // overheads (observed minima: 0.62 BW_RD, 0.93 BW_WR, 0.75 BW_RDWR).
+  // Floors sit under the minima with a regression margin; the ceiling
+  // asserts the simulator never beats the protocol. docs/CHECKING.md
+  // tabulates the measurements. `adapter` is part of the contract so the
+  // bands can split when a future device model diverges further.
+  (void)adapter;
+  OracleTolerance tol;
+  tol.ratio_hi = 1.005;
+  if (size >= 128) {
+    tol.ratio_lo = 0.95;
+    return tol;
+  }
+  switch (kind) {
+    case core::BenchKind::BwRd: tol.ratio_lo = 0.55; break;
+    case core::BenchKind::BwWr: tol.ratio_lo = 0.85; break;
+    default: tol.ratio_lo = 0.65; break;
+  }
+  return tol;
+}
+
+std::string OracleRow::format() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%-5s %-16s %-8s %5u B  sim %7.2f  model %7.2f  ratio %.3f "
+                "(band %.3f..%.3f)",
+                ok ? "ok" : "FAIL", c.system.c_str(), to_string(c.kind),
+                c.size, sim_gbps, model_gbps, ratio, tol.ratio_lo,
+                tol.ratio_hi);
+  os << buf;
+  return os.str();
+}
+
+bool OracleReport::ok() const { return failures() == 0; }
+
+std::size_t OracleReport::failures() const {
+  std::size_t n = 0;
+  for (const auto& r : rows) {
+    if (!r.ok) ++n;
+  }
+  return n;
+}
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  for (const auto& r : rows) os << r.format() << "\n";
+  os << "oracle: " << rows.size() << " cases, " << failures() << " diverged\n";
+  return os.str();
+}
+
+std::vector<OracleCase> default_oracle_cases() {
+  std::vector<OracleCase> cases;
+  const core::BenchKind kinds[] = {core::BenchKind::BwWr,
+                                   core::BenchKind::BwRd,
+                                   core::BenchKind::BwRdWr};
+  const std::uint32_t sizes[] = {64, 256, 1024};
+  for (const char* system : {"NFP6000-HSW", "NetFPGA-HSW"}) {
+    for (const auto kind : kinds) {
+      for (const auto size : sizes) {
+        OracleCase c;
+        c.system = system;
+        c.kind = kind;
+        c.size = size;
+        cases.push_back(c);
+      }
+    }
+  }
+  return cases;
+}
+
+OracleRow run_oracle_case(const OracleCase& c) {
+  OracleRow row;
+  row.c = c;
+
+  // The model's domain: warm cache, NUMA-local, sequential, IOMMU off,
+  // no faults (profiles are fault-free by construction).
+  const auto cfg = sys::profile_by_name(c.system).config;
+  sim::System system(cfg);
+  core::BenchParams p;
+  p.kind = c.kind;
+  p.transfer_size = c.size;
+  p.window_bytes = c.window;
+  p.pattern = core::AccessPattern::Sequential;
+  p.cache_state = core::CacheState::HostWarm;
+  p.numa_local = true;
+  p.iterations = c.iterations;
+  p.warmup = c.warmup;
+  row.sim_gbps = core::run_bandwidth_bench(system, p).gbps;
+
+  row.model_gbps = model_gbps(cfg.link, c.kind, c.size);
+  row.ratio = row.model_gbps > 0.0 ? row.sim_gbps / row.model_gbps : 0.0;
+  row.tol = oracle_tolerance(cfg.device.name, c.kind, c.size);
+  row.ok = row.ratio >= row.tol.ratio_lo && row.ratio <= row.tol.ratio_hi;
+  return row;
+}
+
+OracleReport run_differential_oracle(const std::vector<OracleCase>& cases) {
+  OracleReport report;
+  report.rows.reserve(cases.size());
+  for (const auto& c : cases) report.rows.push_back(run_oracle_case(c));
+  return report;
+}
+
+std::string LatencyOracleRow::format() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%-5s %-16s LAT_RD %5u B  sim %8.1f ns  model %8.1f ns  "
+                "(tolerance %.1f ns)",
+                ok ? "ok" : "FAIL", system.c_str(), size, sim_median_ns,
+                model_ns, tolerance_ns);
+  os << buf;
+  return os.str();
+}
+
+LatencyOracleRow run_latency_oracle_case(const std::string& system,
+                                         std::uint32_t size) {
+  LatencyOracleRow row;
+  row.system = system;
+  row.size = size;
+
+  // The stage budget is exact only without jitter; strip it, keep every
+  // other calibrated constant.
+  auto cfg = sys::profile_by_name(system).config;
+  cfg.jitter = sim::JitterModel::none();
+
+  sim::System sys_(cfg);
+  core::BenchParams p;
+  p.kind = core::BenchKind::LatRd;
+  p.transfer_size = size;
+  p.window_bytes = 8192;
+  p.pattern = core::AccessPattern::Sequential;
+  p.cache_state = core::CacheState::HostWarm;
+  p.numa_local = true;
+  p.iterations = 400;
+  p.warmup = 50;
+  const auto r = core::run_latency_bench(sys_, p);
+  row.sim_median_ns = r.summary.median_ns;
+
+  const auto budget = model::dma_read_stage_budget(
+      core::stage_budget_inputs(cfg, p), p.offset, size);
+  row.model_ns = budget.total_ns();
+
+  // The device timestamps with finite resolution, so the measurement is
+  // quantized; allow one tick plus 1 ns of integer-rounding slack.
+  row.tolerance_ns = to_nanos(cfg.device.timestamp_resolution) + 1.0;
+  row.ok = std::fabs(row.sim_median_ns - row.model_ns) <= row.tolerance_ns;
+  return row;
+}
+
+}  // namespace pcieb::check

@@ -1,0 +1,104 @@
+// Differential oracle: simulator vs the paper's analytic models.
+//
+// The §3 protocol model (proto::effective_{write,read,rdwr}_gbps) is an
+// upper bound the simulator approaches from below: it accounts TLP
+// framing exactly but assumes an infinitely fast device and host. The
+// oracle runs fault-free bandwidth configurations through both the
+// simulator and the model and fails when the ratio sim/model leaves a
+// documented per-adapter band:
+//
+//  * above the band — the simulator moves payload faster than the
+//    protocol allows (byte accounting or timing bug);
+//  * below the band — a device/host bottleneck got slower than the
+//    calibrated systems justify (regression in the mechanism models).
+//
+// A second leg compares serial DMA read latency against the stage budget
+// (model::dma_read_stage_budget), which is exact for a jitter-free system
+// — the oracle disables jitter and requires agreement within the
+// device's timestamp quantization.
+//
+// The oracle's domain is the model's domain (§3/Fig 4): warm cache,
+// NUMA-local, sequential, IOMMU off, no faults. Chaos trials that draw an
+// empty fault plan cover the rest of configuration space via the
+// invariant monitors instead. Tolerances are documented in
+// docs/CHECKING.md and derived from bench/ablation_model_gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/system.hpp"
+
+namespace pcieb::check {
+
+/// One fault-free bandwidth configuration to cross-check.
+struct OracleCase {
+  std::string system;  ///< Table 1 profile name
+  core::BenchKind kind = core::BenchKind::BwWr;
+  std::uint32_t size = 256;
+  std::uint64_t window = 8192;
+  std::size_t iterations = 6000;
+  std::size_t warmup = 1000;
+};
+
+/// Acceptable band for the sim/model goodput ratio.
+struct OracleTolerance {
+  double ratio_lo = 0.0;
+  double ratio_hi = 1.005;
+};
+
+/// The documented band for one adapter/kind/size (docs/CHECKING.md).
+OracleTolerance oracle_tolerance(const std::string& adapter,
+                                 core::BenchKind kind, std::uint32_t size);
+
+struct OracleRow {
+  OracleCase c;
+  double sim_gbps = 0.0;
+  double model_gbps = 0.0;
+  double ratio = 0.0;
+  OracleTolerance tol;
+  bool ok = false;
+
+  std::string format() const;  ///< one aligned report line
+};
+
+struct OracleReport {
+  std::vector<OracleRow> rows;
+
+  bool ok() const;
+  std::size_t failures() const;
+  std::string summary() const;
+};
+
+/// The default case matrix: both adapter families x the three bandwidth
+/// kinds x small/medium/large transfers.
+std::vector<OracleCase> default_oracle_cases();
+
+/// Run one case through the simulator and the §3 model.
+OracleRow run_oracle_case(const OracleCase& c);
+
+/// Run every case; never throws on divergence (the report carries it).
+OracleReport run_differential_oracle(const std::vector<OracleCase>& cases);
+
+// --- latency leg ------------------------------------------------------
+
+struct LatencyOracleRow {
+  std::string system;
+  std::uint32_t size = 64;
+  double sim_median_ns = 0.0;
+  double model_ns = 0.0;
+  double tolerance_ns = 0.0;  ///< quantization + scheduling slack
+  bool ok = false;
+
+  std::string format() const;
+};
+
+/// Serial LAT_RD (warm, local, jitter disabled) vs the stage budget,
+/// which is exact on that path: agreement within one timestamp-counter
+/// tick plus a fixed 1 ns slack.
+LatencyOracleRow run_latency_oracle_case(const std::string& system,
+                                         std::uint32_t size);
+
+}  // namespace pcieb::check

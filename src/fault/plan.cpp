@@ -1,5 +1,6 @@
 #include "fault/plan.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,26 @@ namespace {
 
 [[noreturn]] void bad_spec(const std::string& what) {
   throw std::invalid_argument("fault spec: " + what);
+}
+
+/// Split at `sep`, rejecting empty items — "drop@prob=0.1," and "drop;;x"
+/// are malformed, not silently normalized.
+std::vector<std::string> split_strict(const std::string& s, char sep,
+                                      const std::string& what) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    const std::string item =
+        pos == std::string::npos ? s.substr(start) : s.substr(start, pos - start);
+    if (item.empty()) {
+      bad_spec("empty " + what + " in '" + s + "' (stray '" + sep + "'?)");
+    }
+    out.push_back(item);
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
 }
 
 FaultKind parse_kind(const std::string& s) {
@@ -30,18 +51,27 @@ std::uint64_t parse_u64(const std::string& s, const std::string& key) {
   return v;
 }
 
-/// `12ns`, `3.5us`, `2ms`, `1s` — defaults to nanoseconds when bare.
+/// `12ns`, `3.5us`, `2ms`, `1s`, `123ps` — defaults to nanoseconds when
+/// bare. Negative times are rejected; values beyond the Picos range clamp
+/// to the maximum (the "unbounded window" sentinel), so describe() output
+/// containing the sentinel parses back to it exactly.
 Picos parse_time(const std::string& s, const std::string& key) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str()) bad_spec("bad time for " + key + ": '" + s + "'");
+  if (v < 0.0) bad_spec("negative time for " + key + ": '" + s + "'");
   const std::string unit = end ? std::string(end) : "";
-  if (unit.empty() || unit == "ns") return from_nanos(v);
-  if (unit == "ps") return static_cast<Picos>(v);
-  if (unit == "us") return from_micros(v);
-  if (unit == "ms") return from_millis(v);
-  if (unit == "s") return from_seconds(v);
-  bad_spec("bad time unit '" + unit + "' for " + key);
+  double scale = 0.0;
+  if (unit.empty() || unit == "ns") scale = 1e3;
+  else if (unit == "ps") scale = 1.0;
+  else if (unit == "us") scale = 1e6;
+  else if (unit == "ms") scale = 1e9;
+  else if (unit == "s") scale = 1e12;
+  else bad_spec("bad time unit '" + unit + "' for " + key);
+  const double ps = v * scale;
+  constexpr Picos kMax = std::numeric_limits<Picos>::max();
+  if (ps >= static_cast<double>(kMax)) return kMax;
+  return static_cast<Picos>(ps + 0.5);
 }
 
 /// `A-B` split at the last '-' not preceded by an exponent or start.
@@ -63,9 +93,8 @@ FaultRule parse_rule(const std::string& text) {
     return rule;  // unconditional: fires on every TLP at the site
   }
 
-  std::istringstream kv(text.substr(at + 1));
-  std::string item;
-  while (std::getline(kv, item, ',')) {
+  for (const std::string& item :
+       split_strict(text.substr(at + 1), ',', "key=value item")) {
     const auto eq = item.find('=');
     if (eq == std::string::npos) bad_spec("expected key=value, got '" + item + "'");
     const std::string key = item.substr(0, eq);
@@ -100,7 +129,11 @@ FaultRule parse_rule(const std::string& text) {
       else if (value == "down") rule.dir = LinkDir::Down;
       else bad_spec("dir must be up or down");
     } else if (key == "lanes") {
-      rule.lanes = static_cast<unsigned>(parse_u64(value, key));
+      const std::uint64_t v = parse_u64(value, key);
+      if (v == 0 || (v & (v - 1)) != 0 || v > 32) {
+        bad_spec("lanes must be 1, 2, 4, 8, 16 or 32, got '" + value + "'");
+      }
+      rule.lanes = static_cast<unsigned>(v);
     } else if (key == "gen") {
       rule.gen = static_cast<unsigned>(parse_u64(value, key));
       if (rule.gen < 1 || rule.gen > 5) bad_spec("gen must be 1..5");
@@ -110,6 +143,9 @@ FaultRule parse_rule(const std::string& text) {
   }
   if (rule.kind == FaultKind::Downtrain && rule.lanes == 0 && rule.gen == 0) {
     bad_spec("downtrain needs lanes= and/or gen=");
+  }
+  if (rule.kind != FaultKind::Downtrain && (rule.lanes != 0 || rule.gen != 0)) {
+    bad_spec("lanes=/gen= only apply to downtrain rules");
   }
   return rule;
 }
@@ -141,10 +177,21 @@ std::string FaultRule::describe() const {
   if (nth) emit("nth=" + std::to_string(nth));
   if (every) emit("every=" + std::to_string(every));
   if (count != 1) emit("count=" + std::to_string(count));
-  if (prob > 0.0) emit("prob=" + std::to_string(prob));
+  if (prob > 0.0) {
+    // Shortest decimal that strtod recovers bit-exactly (%.17g is always
+    // sufficient for a double; try fewer digits first for readability).
+    char buf[40];
+    for (int digits = 9; digits <= 17; digits += 8) {
+      std::snprintf(buf, sizeof buf, "%.*g", digits, prob);
+      if (std::strtod(buf, nullptr) == prob) break;
+    }
+    emit(std::string("prob=") + buf);
+  }
   if (from != 0 || until != std::numeric_limits<Picos>::max()) {
-    emit("time=" + std::to_string(to_nanos(from)) + "ns-" +
-         std::to_string(to_nanos(until)) + "ns");
+    // Picosecond integers parse back exactly (parse_time clamps the
+    // unbounded-window sentinel back to Picos max).
+    emit("time=" + std::to_string(from) + "ps-" + std::to_string(until) +
+         "ps");
   }
   if (addr_lo != 0 || addr_hi != std::numeric_limits<std::uint64_t>::max()) {
     std::ostringstream a;
@@ -167,14 +214,11 @@ std::string FaultPlan::describe() const {
 }
 
 FaultPlan parse_plan(const std::string& spec) {
+  if (spec.empty()) bad_spec("no rules in ''");
   FaultPlan plan;
-  std::istringstream ss(spec);
-  std::string rule;
-  while (std::getline(ss, rule, ';')) {
-    if (rule.empty()) continue;
+  for (const std::string& rule : split_strict(spec, ';', "rule")) {
     plan.rules.push_back(parse_rule(rule));
   }
-  if (plan.rules.empty()) bad_spec("no rules in '" + spec + "'");
   return plan;
 }
 

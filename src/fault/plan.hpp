@@ -87,7 +87,13 @@ struct FaultRule {
   /// consuming randomness.
   bool deterministic() const { return prob <= 0.0; }
 
+  /// Format as one grammar rule. Exact inverse of parsing: for any rule
+  /// the parser accepts (and any generated rule with times below 2^53 ps),
+  /// parse_plan(describe()) reproduces the rule field-for-field — the
+  /// property the round-trip tests and the chaos shrinker rely on.
   std::string describe() const;
+
+  friend bool operator==(const FaultRule&, const FaultRule&) = default;
 };
 
 struct FaultPlan {
@@ -96,6 +102,8 @@ struct FaultPlan {
 
   bool empty() const { return rules.empty(); }
   std::string describe() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
 /// Parse the --faults spec grammar above; throws std::invalid_argument

@@ -33,10 +33,16 @@ void Watchdog::on_event(Picos now, std::size_t executed) {
     return;
   }
   if (executed - last_executed_ >= cfg_.stall_events) {
+    // Re-prime before throwing: a caller that catches the error and
+    // resumes the run gets exactly one report per stall episode — the
+    // next fires only after a further full stall window with no progress.
+    const std::size_t stalled_for = executed - last_executed_;
+    last_executed_ = executed;
+    last_progress_ = progress_;
     throw WatchdogError(
-        "watchdog: no forward progress in " +
-        std::to_string(executed - last_executed_) + " events (" +
-        std::to_string(progress_) + " transactions total)\n" + dump(now));
+        "watchdog: no forward progress in " + std::to_string(stalled_for) +
+        " events (" + std::to_string(progress_) + " transactions total)\n" +
+        dump(now));
   }
 }
 

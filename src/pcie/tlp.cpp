@@ -43,6 +43,98 @@ unsigned overhead_bytes(TlpType t, const LinkConfig& cfg) {
   return bytes;
 }
 
+namespace {
+
+[[noreturn]] void bad_header(const std::string& what) {
+  throw std::invalid_argument("tlp header: " + what);
+}
+
+/// Field combinations no well-formed TLP produces; shared between pack
+/// (don't emit garbage) and unpack (don't trust the wire).
+void validate_fields(const Tlp& t) {
+  switch (t.type) {
+    case TlpType::MemRd:
+      if (t.payload != 0) bad_header("MRd carries payload");
+      if (t.read_len == 0) bad_header("MRd with zero read length");
+      break;
+    case TlpType::MemWr:
+      if (t.read_len != 0) bad_header("MWr with read length");
+      if (t.payload == 0) bad_header("MWr without payload");
+      break;
+    case TlpType::CplD:
+      if (t.read_len != 0) bad_header("CplD with read length");
+      break;
+    case TlpType::Cpl:
+      if (t.payload != 0) bad_header("Cpl (no data) carries payload");
+      if (t.read_len != 0) bad_header("Cpl with read length");
+      break;
+  }
+  if (!t.is_completion() && t.cpl_status != CplStatus::SC) {
+    bad_header("completion status on a request TLP");
+  }
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+PackedHeader pack_header(const Tlp& tlp) {
+  validate_fields(tlp);
+  PackedHeader buf{};
+  buf[0] = static_cast<std::uint8_t>(tlp.type);
+  buf[1] = static_cast<std::uint8_t>(
+      (tlp.poisoned ? 1u : 0u) |
+      (static_cast<unsigned>(tlp.cpl_status) << 1));
+  put_u32(&buf[2], tlp.tag);
+  put_u64(&buf[6], tlp.addr);
+  put_u32(&buf[14], tlp.payload);
+  put_u32(&buf[18], tlp.read_len);
+  return buf;
+}
+
+Tlp unpack_header(const std::uint8_t* data, std::size_t size) {
+  if (size != kPackedHeaderBytes) {
+    bad_header("buffer is " + std::to_string(size) + " bytes, want " +
+               std::to_string(kPackedHeaderBytes));
+  }
+  if (data[0] > static_cast<std::uint8_t>(TlpType::Cpl)) {
+    bad_header("unknown TLP type code " + std::to_string(data[0]));
+  }
+  const std::uint8_t flags = data[1];
+  if ((flags & ~0x07u) != 0) {
+    bad_header("reserved flag bits set: " + std::to_string(flags));
+  }
+  const std::uint8_t status = (flags >> 1) & 0x3u;
+  if (status > static_cast<std::uint8_t>(CplStatus::CA)) {
+    bad_header("unknown completion status code " + std::to_string(status));
+  }
+  Tlp t;
+  t.type = static_cast<TlpType>(data[0]);
+  t.poisoned = (flags & 1u) != 0;
+  t.cpl_status = static_cast<CplStatus>(status);
+  t.tag = get_u32(&data[2]);
+  t.addr = get_u64(&data[6]);
+  t.payload = get_u32(&data[14]);
+  t.read_len = get_u32(&data[18]);
+  validate_fields(t);
+  return t;
+}
+
 std::string Tlp::describe() const {
   std::ostringstream os;
   os << to_string(type) << " addr=0x" << std::hex << addr << std::dec

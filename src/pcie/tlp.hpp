@@ -7,6 +7,8 @@
 // That puts MWr/MRd overhead at 24 B and CplD overhead at 20 B per TLP.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -66,6 +68,43 @@ struct Tlp {
   }
 
   std::string describe() const;
+
+  friend bool operator==(const Tlp&, const Tlp&) = default;
 };
+
+// --- canonical header serialization ---------------------------------
+//
+// The simulator's wire-format for TLP headers: the spec's field order
+// (type/format, then attributes, tag, address, lengths) in a fixed
+// little-endian layout, widened where the simulator's state outgrows the
+// spec's fields (32-bit tags instead of 8/10-bit, byte-granular lengths
+// instead of DW counts + byte enables). Byte *accounting* stays on the
+// spec constants above — this layout exists so headers can cross a
+// serialization boundary (trace persistence, multi-process backends) and
+// round-trip exactly, with malformed buffers rejected instead of trusted.
+//
+//   [0]      type            (TlpType)
+//   [1]      flags           bit0 = poisoned (EP), bits1-2 = CplStatus,
+//                            bits3-7 reserved-zero
+//   [2..5]   tag             u32 LE
+//   [6..13]  addr            u64 LE
+//   [14..17] payload bytes   u32 LE
+//   [18..21] read_len bytes  u32 LE
+
+constexpr std::size_t kPackedHeaderBytes = 22;
+using PackedHeader = std::array<std::uint8_t, kPackedHeaderBytes>;
+
+/// Pack the header fields. Throws std::invalid_argument when the Tlp is
+/// not well-formed (e.g. an MRd carrying payload, an error status on a
+/// non-completion) — the same predicate unpack_header enforces.
+PackedHeader pack_header(const Tlp& tlp);
+
+/// Parse a packed header back into a Tlp. Throws std::invalid_argument
+/// on short/long buffers, unknown type or status codes, nonzero reserved
+/// flag bits, or field combinations no well-formed TLP produces.
+Tlp unpack_header(const std::uint8_t* data, std::size_t size);
+inline Tlp unpack_header(const PackedHeader& buf) {
+  return unpack_header(buf.data(), buf.size());
+}
 
 }  // namespace pcieb::proto

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace pcieb::sim {
 
@@ -67,6 +68,7 @@ void DmaDevice::dma_read(std::uint64_t addr, std::uint32_t len, Callback done,
   const auto reqs = proto::segment_read_requests(link_cfg_, addr, len);
   read_ops_[dma_id] = DmaReadOp{static_cast<std::uint32_t>(reqs.size()),
                                 use_cmd_if ? 0 : len, std::move(done)};
+  read_bytes_requested_ += len;
   const Picos front_delay =
       use_cmd_if ? profile_.cmd_if_overhead : profile_.dma_enqueue;
   sim_.after(front_delay,
@@ -80,6 +82,7 @@ void DmaDevice::issue_read_requests(std::uint64_t addr, std::uint32_t len,
       const std::uint32_t tag = next_tag_++;
       req.tag = tag;
       inflight_reads_[tag] = ReadState{req.read_len, dma_id, req, 0, false};
+      ++read_reqs_issued_;
       tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
       read_issue_.occupy(profile_.issue_interval, [this, req] {
         upstream_.send(req);
@@ -113,6 +116,7 @@ void DmaDevice::on_completion_timeout(std::uint32_t tag) {
   ++completion_timeouts_;
   ReadState state = std::move(it->second);
   inflight_reads_.erase(it);
+  ++read_reqs_retired_;
   read_tags_.release();
   if (aer_) {
     aer_->record(fault::ErrorType::CompletionTimeout, sim_.now(),
@@ -140,6 +144,7 @@ void DmaDevice::reissue_read(proto::Tlp req, std::uint32_t dma_id,
     const std::uint32_t tag = next_tag_++;
     req.tag = tag;
     inflight_reads_[tag] = ReadState{req.read_len, dma_id, req, retries, false};
+    ++read_reqs_issued_;
     tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
     read_issue_.occupy(profile_.issue_interval, [this, req] {
       upstream_.send(req);
@@ -207,6 +212,7 @@ void DmaDevice::handle_completion(const proto::Tlp& tlp) {
     ++error_cpls_;
     ReadState state = std::move(it->second);
     inflight_reads_.erase(it);
+    ++read_reqs_retired_;
     read_tags_.release();
     fail_request(state.dma_id, state.req);
     return;
@@ -240,7 +246,9 @@ void DmaDevice::handle_completion(const proto::Tlp& tlp) {
 
   ReadState finished = std::move(state);
   inflight_reads_.erase(it);
+  ++read_reqs_retired_;
   read_tags_.release();
+  if (!finished.poisoned) read_bytes_delivered_ += finished.req.read_len;
   if (finished.poisoned) {
     // All data arrived but some of it is known-bad: re-fetch the request
     // (same path as a timeout) instead of handing poison to the engine.
@@ -350,6 +358,7 @@ void DmaDevice::try_send_pending_writes() {
       }
     }
     posted_credits_ -= cost;
+    write_bytes_issued_ += static_cast<std::uint64_t>(cost);
     proto::Tlp tlp = pw.tlp;
     Callback done = std::move(pw.done);
     const bool last = pw.last;
@@ -368,6 +377,20 @@ void DmaDevice::try_send_pending_writes() {
                           if (done) done();
                         });
   }
+}
+
+std::string DmaDevice::outstanding_tags() const {
+  std::vector<std::uint32_t> tags;
+  tags.reserve(inflight_reads_.size());
+  for (const auto& [tag, state] : inflight_reads_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  if (tags.empty()) return "none";
+  std::string out = "tags:";
+  for (const std::uint32_t t : tags) {
+    out += ' ';
+    out += std::to_string(t);
+  }
+  return out;
 }
 
 void DmaDevice::grant_posted_credits(std::uint32_t payload_bytes) {

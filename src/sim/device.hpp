@@ -171,6 +171,28 @@ class DmaDevice {
   std::size_t pending_read_ops() const { return read_ops_.size(); }
   std::size_t pending_write_tlps() const { return pending_writes_.size(); }
 
+  /// Sorted list of the tags currently in flight ("tags: 3,7,9" or
+  /// "none") — the watchdog's quiescent-deadlock report names each one.
+  std::string outstanding_tags() const;
+
+  // --- conservation probes (check::MonitorSuite) ----------------------
+  /// Posted-credit bytes currently available; the full advertised window
+  /// (profile().posted_credit_bytes) whenever no write payload is in
+  /// flight. Signed so a credit-accounting bug shows as a negative value
+  /// instead of wrapping.
+  std::int64_t posted_credits_available() const { return posted_credits_; }
+  /// Read-request tags handed out (first issues and retry reissues).
+  std::uint64_t read_requests_issued() const { return read_reqs_issued_; }
+  /// Read-request tags retired (delivered, failed, or reclaimed by a
+  /// timeout / error completion). issued == retired + in-flight, always.
+  std::uint64_t read_requests_retired() const { return read_reqs_retired_; }
+  /// Payload bytes requested by dma_read ops (measurement of intent).
+  std::uint64_t read_payload_requested() const { return read_bytes_requested_; }
+  /// Payload bytes fully delivered to the device across read requests.
+  std::uint64_t read_payload_delivered() const { return read_bytes_delivered_; }
+  /// Posted-write payload bytes handed to the link (credits consumed).
+  std::uint64_t write_payload_issued() const { return write_bytes_issued_; }
+
  private:
   struct ReadState {
     std::uint32_t remaining = 0;  ///< completion bytes outstanding
@@ -242,6 +264,11 @@ class DmaDevice {
   std::uint64_t unexpected_cpls_ = 0;
   std::uint64_t error_cpls_ = 0;
   std::uint64_t poisoned_rx_ = 0;
+  std::uint64_t read_reqs_issued_ = 0;
+  std::uint64_t read_reqs_retired_ = 0;
+  std::uint64_t read_bytes_requested_ = 0;
+  std::uint64_t read_bytes_delivered_ = 0;
+  std::uint64_t write_bytes_issued_ = 0;
   unsigned tags_hwm_ = 0;
   Picos fc_stall_ps_ = 0;
   Picos stall_start_ = 0;

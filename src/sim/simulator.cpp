@@ -25,6 +25,8 @@ bool Simulator::step() {
     step_hook_(now_, executed_);
   }
   ev.fn();
+  // Checked after the callback so monitors observe the post-event state.
+  if (check_hook_) check_hook_(now_);
   return true;
 }
 

@@ -45,6 +45,13 @@ class Simulator {
   using StepHook = std::function<void(Picos, std::size_t)>;
   void set_step_hook(StepHook hook, std::uint64_t every = 1 << 12);
 
+  /// Invoke `hook(now)` after every executed event — the invariant
+  /// monitors' sampling point (check::MonitorSuite). Independent of the
+  /// step hook so monitors and the watchdog can coexist; one branch per
+  /// event when unset. The hook may throw to abort the run.
+  using CheckHook = std::function<void(Picos)>;
+  void set_check_hook(CheckHook hook) { check_hook_ = std::move(hook); }
+
  private:
   struct Event {
     Picos time;
@@ -63,6 +70,7 @@ class Simulator {
   std::size_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   StepHook step_hook_;
+  CheckHook check_hook_;
   std::uint64_t hook_every_ = 1 << 12;
   std::uint64_t since_hook_ = 0;
 };

@@ -59,7 +59,9 @@ void System::arm_faults() {
     if (t.type != proto::TlpType::MemWr) return;
     aer_.record(fault::ErrorType::TransactionFailed, sim_.now(), t.addr,
                 t.tag, t.payload);
-    device_->grant_posted_credits(t.payload);
+    // test_leak_credits_on_drop_ omits the credit return (and only the
+    // credit return) so monitor self-tests can watch the ledger drift.
+    if (!test_leak_credits_on_drop_) device_->grant_posted_credits(t.payload);
     lost_write_bytes_ += t.payload;
     if (write_drop_observer_) write_drop_observer_(t.payload);
   });
@@ -83,6 +85,8 @@ void System::arm_faults() {
                              [rc] { return rc->posted_writes_pending(); });
   watchdog_->add_outstanding("rc.host_mmio_reads",
                              [rc] { return rc->host_reads_pending(); });
+  watchdog_->add_diag("device.outstanding_tags",
+                      [dev] { return dev->outstanding_tags(); });
   watchdog_->add_diag("aer", [this] {
     return "correctable=" +
            std::to_string(aer_.total(fault::ErrorSeverity::Correctable)) +

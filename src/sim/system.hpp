@@ -103,6 +103,15 @@ class System {
   /// timeout armed). No-op when faults are unarmed.
   void check_deadlock();
 
+  /// TEST-ONLY bug seeding for the invariant monitors (check::MonitorSuite
+  /// self-tests): when enabled, the up-link drop path "forgets" to return
+  /// the dropped write's posted credits — the one-line credit-return
+  /// omission the credit-conservation monitor exists to catch. Loss
+  /// accounting is untouched so benchmarks still terminate; only the
+  /// credit ledger drifts. Never enable outside tests.
+  void test_leak_credits_on_drop(bool on) { test_leak_credits_on_drop_ = on; }
+  bool test_leaks_credits_on_drop() const { return test_leak_credits_on_drop_; }
+
   /// Attach a trace sink to every component (nullptr detaches). Costs one
   /// null-pointer check per would-be event when detached.
   void set_trace_sink(obs::TraceSink* sink);
@@ -142,6 +151,7 @@ class System {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::Watchdog> watchdog_;
   std::uint64_t lost_write_bytes_ = 0;
+  bool test_leak_credits_on_drop_ = false;
 };
 
 }  // namespace pcieb::sim

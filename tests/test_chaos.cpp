@@ -1,0 +1,148 @@
+// Chaos driver: deterministic trial generation, fault-free and seeded-bug
+// trials, and the shrinker's contract — a many-clause failing plan
+// minimizes to a tiny reproducer that still fails, deterministically,
+// and round-trips through the --faults grammar.
+#include <gtest/gtest.h>
+
+#include "check/chaos.hpp"
+#include "fault/plan.hpp"
+
+namespace pcieb {
+namespace {
+
+check::TrialSpec seeded_bug_trial() {
+  check::TrialSpec spec;
+  spec.system = "NFP6000-HSW";
+  spec.params.kind = core::BenchKind::BwWr;
+  spec.params.transfer_size = 256;
+  spec.params.window_bytes = 8192;
+  spec.params.pattern = core::AccessPattern::Sequential;
+  spec.params.cache_state = core::CacheState::HostWarm;
+  spec.params.numa_local = true;
+  spec.params.iterations = 400;
+  spec.params.seed = 7;
+  // Six clauses; only the upstream drop interacts with the seeded
+  // credit-return omission — everything else is shrinkable noise.
+  spec.plan = fault::parse_plan(
+      "drop@every=150,dir=up,time=0ps-1000000000000ps;"
+      "corrupt@prob=0.002;"
+      "ack-loss@every=900;"
+      "poison@nth=50;"
+      "cpl-ur@every=700;"
+      "iommu@every=4000");
+  spec.plan.seed = 99;
+  spec.seed_credit_leak_bug = true;
+  return spec;
+}
+
+TEST(Chaos, GenerationIsDeterministic) {
+  check::ChaosConfig cfg;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto a = check::generate_trial(cfg, i);
+    const auto b = check::generate_trial(cfg, i);
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_EQ(a.repro_command(), b.repro_command());
+    EXPECT_EQ(a.plan, b.plan);
+  }
+}
+
+TEST(Chaos, DifferentIndicesGiveDifferentTrials) {
+  check::ChaosConfig cfg;
+  const auto a = check::generate_trial(cfg, 0);
+  const auto b = check::generate_trial(cfg, 1);
+  EXPECT_NE(a.describe(), b.describe());
+}
+
+TEST(Chaos, DifferentMasterSeedsGiveDifferentTrials) {
+  check::ChaosConfig a_cfg, b_cfg;
+  b_cfg.master_seed = a_cfg.master_seed + 1;
+  EXPECT_NE(check::generate_trial(a_cfg, 0).describe(),
+            check::generate_trial(b_cfg, 0).describe());
+}
+
+TEST(Chaos, FaultFreeTrialPasses) {
+  check::TrialSpec spec;
+  spec.system = "NetFPGA-HSW";
+  spec.params.kind = core::BenchKind::BwRd;
+  spec.params.transfer_size = 512;
+  spec.params.window_bytes = 8192;
+  spec.params.pattern = core::AccessPattern::Sequential;
+  spec.params.cache_state = core::CacheState::HostWarm;
+  spec.params.iterations = 200;
+  const auto out = check::run_trial(spec);
+  EXPECT_FALSE(out.failed) << out.summary();
+  EXPECT_EQ(out.total_violations, 0u);
+}
+
+TEST(Chaos, ReproCommandNamesTheTrial) {
+  const auto spec = seeded_bug_trial();
+  const auto cmd = spec.repro_command();
+  EXPECT_NE(cmd.find("pciebench run"), std::string::npos);
+  EXPECT_NE(cmd.find("--system NFP6000-HSW"), std::string::npos);
+  EXPECT_NE(cmd.find("--faults '"), std::string::npos);
+  EXPECT_NE(cmd.find("--fault-seed 99"), std::string::npos);
+  EXPECT_NE(cmd.find("--monitors"), std::string::npos);
+}
+
+// The headline acceptance path: a six-clause failing plan shrinks to a
+// <=2-clause minimal reproducer that still fails, within budget, and the
+// minimized plan survives a grammar round trip (so the printed --faults
+// string replays it exactly).
+TEST(Chaos, ShrinkerMinimizesSeededBugToTinyReproducer) {
+  const auto failing = seeded_bug_trial();
+  ASSERT_GE(failing.plan.rules.size(), 6u);
+
+  const auto first = check::run_trial(failing);
+  ASSERT_TRUE(first.failed) << first.summary();
+
+  const auto shrunk = check::shrink_trial(failing);
+  EXPECT_LE(shrunk.runs, 128u);
+  EXPECT_TRUE(shrunk.outcome.failed) << shrunk.outcome.summary();
+  EXPECT_LE(shrunk.minimal.plan.rules.size(), 2u)
+      << "minimal plan: " << shrunk.minimal.plan.describe();
+  EXPECT_LE(shrunk.minimal.params.iterations, failing.params.iterations);
+
+  // Deterministic replay: the minimal spec fails again, identically.
+  const auto replay = check::run_trial(shrunk.minimal);
+  EXPECT_TRUE(replay.failed);
+  EXPECT_EQ(replay.total_violations, shrunk.outcome.total_violations);
+
+  // Grammar round trip of the minimized plan.
+  const auto reparsed = fault::parse_plan(shrunk.minimal.plan.describe());
+  EXPECT_EQ(reparsed.rules, shrunk.minimal.plan.rules);
+}
+
+TEST(Chaos, CleanCampaignPasses) {
+  check::ChaosConfig cfg;
+  cfg.trials = 6;
+  cfg.iterations = 200;
+  std::size_t observed = 0;
+  const auto result = check::run_campaign(
+      cfg, [&](const check::TrialSpec&, const check::TrialOutcome&) {
+        ++observed;
+      });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.trials_run, 6u);
+  EXPECT_EQ(observed, 6u);
+  EXPECT_FALSE(result.first_failure.has_value());
+}
+
+TEST(Chaos, CampaignFindsAndShrinksSeededBug) {
+  check::ChaosConfig cfg;
+  cfg.trials = 40;
+  cfg.iterations = 2000;
+  cfg.seed_credit_leak_bug = true;
+  const auto result = check::run_campaign(cfg);
+  ASSERT_FALSE(result.ok()) << "campaign missed the seeded credit leak";
+  ASSERT_TRUE(result.first_failure.has_value());
+  ASSERT_TRUE(result.minimized.has_value());
+  EXPECT_TRUE(result.minimized->outcome.failed);
+  EXPECT_LE(result.minimized->minimal.plan.rules.size(),
+            result.first_failure->plan.rules.size());
+  // The reproducer prints a full replay command.
+  EXPECT_NE(result.minimized->minimal.repro_command().find("--monitors"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcieb

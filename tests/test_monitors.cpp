@@ -1,0 +1,123 @@
+// Invariant monitors: clean and faulted runs hold every invariant, the
+// deliberately seeded credit-return omission is caught at quiesce, throw
+// mode raises InvariantError, and detaching a suite frees the hook slot.
+#include <gtest/gtest.h>
+
+#include "check/monitors.hpp"
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "fault/plan.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb {
+namespace {
+
+core::BenchParams small_write_bench(std::size_t iterations = 300) {
+  core::BenchParams p;
+  p.kind = core::BenchKind::BwWr;
+  p.transfer_size = 256;
+  p.window_bytes = 8192;
+  p.pattern = core::AccessPattern::Sequential;
+  p.cache_state = core::CacheState::HostWarm;
+  p.numa_local = true;
+  p.iterations = iterations;
+  return p;
+}
+
+TEST(Monitors, CleanRunHoldsEveryInvariant) {
+  sim::System system(sys::profile_by_name("NFP6000-HSW").config);
+  check::MonitorSuite suite(system);
+  core::run_bandwidth_bench(system, small_write_bench());
+  suite.check_quiescent();
+  EXPECT_TRUE(suite.ok()) << suite.report();
+  EXPECT_EQ(suite.total_violations(), 0u);
+  EXPECT_NE(suite.report().find("all invariants held"), std::string::npos);
+}
+
+TEST(Monitors, FaultedRunHoldsEveryInvariant) {
+  // Drops, corruption and ack loss all exercise the recovery paths the
+  // conservation laws must survive — losses are accounted, not leaked.
+  auto cfg = sys::profile_by_name("NFP6000-HSW").config;
+  cfg.fault_plan =
+      fault::parse_plan("drop@every=150;corrupt@prob=0.01;ack-loss@every=700");
+  sim::System system(cfg);
+  check::MonitorSuite suite(system);
+  core::run_bandwidth_bench(system, small_write_bench(500));
+  suite.check_quiescent();
+  EXPECT_TRUE(suite.ok()) << suite.report();
+}
+
+TEST(Monitors, FaultedReadRunHoldsEveryInvariant) {
+  auto cfg = sys::profile_by_name("NetFPGA-HSW").config;
+  cfg.fault_plan = fault::parse_plan("cpl-ur@every=90;poison@prob=0.01");
+  sim::System system(cfg);
+  check::MonitorSuite suite(system);
+  auto p = small_write_bench(400);
+  p.kind = core::BenchKind::BwRd;
+  core::run_bandwidth_bench(system, p);
+  suite.check_quiescent();
+  EXPECT_TRUE(suite.ok()) << suite.report();
+}
+
+TEST(Monitors, SeededCreditLeakCaughtAtQuiesce) {
+  auto cfg = sys::profile_by_name("NFP6000-HSW").config;
+  cfg.fault_plan = fault::parse_plan("drop@every=100,dir=up");
+  sim::System system(cfg);
+  system.test_leak_credits_on_drop(true);
+
+  check::MonitorSuite suite(system);
+  core::run_bandwidth_bench(system, small_write_bench(400));
+  suite.check_quiescent();
+
+  ASSERT_FALSE(suite.ok()) << "seeded credit leak went undetected";
+  ASSERT_FALSE(suite.violations().empty());
+  const auto& v = suite.violations().front();
+  EXPECT_EQ(v.monitor, "credits");
+  EXPECT_NE(v.detail.find("leaked"), std::string::npos) << v.format();
+}
+
+TEST(Monitors, ThrowModeRaisesInvariantError) {
+  auto cfg = sys::profile_by_name("NFP6000-HSW").config;
+  cfg.fault_plan = fault::parse_plan("drop@every=100,dir=up");
+  sim::System system(cfg);
+  system.test_leak_credits_on_drop(true);
+
+  check::MonitorConfig mc;
+  mc.throw_on_violation = true;
+  check::MonitorSuite suite(system, mc);
+  core::run_bandwidth_bench(system, small_write_bench(400));
+  try {
+    suite.check_quiescent();
+    FAIL() << "expected InvariantError";
+  } catch (const check::InvariantError& e) {
+    EXPECT_EQ(e.violation().monitor, "credits");
+    EXPECT_NE(std::string(e.what()).find("credits"), std::string::npos);
+  }
+}
+
+TEST(Monitors, DetachFreesTheHookSlot) {
+  sim::System system(sys::profile_by_name("NetFPGA-HSW").config);
+  {
+    check::MonitorSuite suite(system);
+    core::run_bandwidth_bench(system, small_write_bench(100));
+    suite.check_quiescent();
+    EXPECT_TRUE(suite.ok());
+  }
+  // A second suite can attach to the same system, and mid-life attachment
+  // baselines the payload ledgers so prior traffic is not double-counted.
+  check::MonitorSuite again(system);
+  core::run_bandwidth_bench(system, small_write_bench(100));
+  again.check_quiescent();
+  EXPECT_TRUE(again.ok()) << again.report();
+}
+
+TEST(Monitors, CheckNowOnFreshSystemPasses) {
+  sim::System system(sys::profile_by_name("NFP6000-HSW").config);
+  check::MonitorSuite suite(system);
+  suite.check_now();
+  suite.check_quiescent();
+  EXPECT_TRUE(suite.ok()) << suite.report();
+}
+
+}  // namespace
+}  // namespace pcieb

@@ -1,0 +1,134 @@
+// Watchdog edge cases: a stall fires exactly once per episode (re-primed
+// before the throw), progress kicks and idle queues never false-positive,
+// and the quiescent-deadlock report names every outstanding probe and
+// every in-flight DMA tag.
+#include <gtest/gtest.h>
+
+#include "fault/plan.hpp"
+#include "fault/watchdog.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb {
+namespace {
+
+TEST(Watchdog, StallFiresExactlyOncePerEpisode) {
+  fault::WatchdogConfig cfg;
+  cfg.stall_events = 4;
+  fault::Watchdog wd(cfg);
+
+  wd.on_event(0, 0);  // primes
+  EXPECT_NO_THROW(wd.on_event(0, 3));
+  EXPECT_THROW(wd.on_event(0, 4), fault::WatchdogError);
+
+  // Same episode: the throw re-primed, so the very next events are quiet
+  // until a further full stall window elapses with no progress.
+  EXPECT_NO_THROW(wd.on_event(0, 5));
+  EXPECT_NO_THROW(wd.on_event(0, 7));
+  EXPECT_THROW(wd.on_event(0, 8), fault::WatchdogError);
+}
+
+TEST(Watchdog, ProgressKicksPreventStall) {
+  fault::WatchdogConfig cfg;
+  cfg.stall_events = 4;
+  fault::Watchdog wd(cfg);
+
+  wd.on_event(0, 0);
+  for (std::size_t e = 1; e <= 64; ++e) {
+    wd.kick();
+    EXPECT_NO_THROW(wd.on_event(0, e));
+  }
+
+  // After a stall throw, a kick starts a fresh window.
+  fault::Watchdog wd2(cfg);
+  wd2.on_event(0, 0);
+  EXPECT_THROW(wd2.on_event(0, 4), fault::WatchdogError);
+  wd2.kick();
+  EXPECT_NO_THROW(wd2.on_event(0, 9));   // progress noted, window resets at 9
+  EXPECT_NO_THROW(wd2.on_event(0, 12));  // 3 events into the new window
+  EXPECT_THROW(wd2.on_event(0, 13), fault::WatchdogError);
+}
+
+TEST(Watchdog, SimTimeLimitAborts) {
+  fault::WatchdogConfig cfg;
+  cfg.max_sim_time = from_nanos(100);
+  fault::Watchdog wd(cfg);
+  EXPECT_NO_THROW(wd.on_event(from_nanos(100), 1));
+  try {
+    wd.on_event(from_nanos(101), 2);
+    FAIL() << "expected WatchdogError";
+  } catch (const fault::WatchdogError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeded limit"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, QuiescentIdleNeverFalsePositives) {
+  fault::Watchdog wd;
+  EXPECT_NO_THROW(wd.check_quiescent(0));  // no probes at all
+
+  std::uint64_t pending = 0;
+  wd.add_outstanding("work", [&] { return pending; });
+  EXPECT_NO_THROW(wd.check_quiescent(from_nanos(5)));  // probe reads zero
+}
+
+TEST(Watchdog, QuiescentReportNamesEveryProbeAndDiag) {
+  fault::Watchdog wd;
+  wd.add_outstanding("device.dma_read_ops", [] { return std::uint64_t{2}; });
+  wd.add_outstanding("rc.posted_writes", [] { return std::uint64_t{0}; });
+  wd.add_outstanding("device.read_requests", [] { return std::uint64_t{1}; });
+  wd.add_diag("device.outstanding_tags", [] { return std::string("tags: 3,7,9"); });
+  try {
+    wd.check_quiescent(from_nanos(42));
+    FAIL() << "expected WatchdogError";
+  } catch (const fault::WatchdogError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("3 transactions outstanding"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("device.dma_read_ops: 2"), std::string::npos);
+    EXPECT_NE(msg.find("rc.posted_writes: 0"), std::string::npos);
+    EXPECT_NE(msg.find("device.read_requests: 1"), std::string::npos);
+    EXPECT_NE(msg.find("tags: 3,7,9"), std::string::npos);
+  }
+}
+
+// System-level: freeze a run mid-flight and the deadlock report must name
+// each in-flight tag, exactly as the device's own probe prints them.
+TEST(Watchdog, SystemQuiescentDeadlockNamesInFlightTags) {
+  auto cfg = sys::profile_by_name("NFP6000-HSW").config;
+  cfg.fault_plan = fault::parse_plan("drop@nth=1000000,dir=down");  // arms it
+  sim::System system(cfg);
+  ASSERT_NE(system.watchdog(), nullptr);
+
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    system.device().dma_read(static_cast<std::uint64_t>(i) * 4096, 256,
+                             [&] { ++done; });
+  }
+  // Step until all three MRd requests are on the wire but none completed.
+  while (system.device().inflight_read_requests() < 3 && system.sim().step()) {
+  }
+  ASSERT_EQ(system.device().inflight_read_requests(), 3u);
+  ASSERT_EQ(done, 0);
+
+  const std::string tags = system.device().outstanding_tags();
+  EXPECT_NE(tags.find("tags: "), std::string::npos);
+  EXPECT_EQ(tags.find("none"), std::string::npos);
+
+  try {
+    system.watchdog()->check_quiescent(system.sim().now());
+    FAIL() << "expected WatchdogError";
+  } catch (const fault::WatchdogError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("device.read_requests: 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(tags), std::string::npos)
+        << "report must name every in-flight tag\n"
+        << msg;
+  }
+
+  // Draining the queue completes the reads; quiesce is then clean.
+  system.sim().run();
+  EXPECT_EQ(done, 3);
+  EXPECT_NO_THROW(system.check_deadlock());
+}
+
+}  // namespace
+}  // namespace pcieb

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "check/chaos.hpp"
+#include "check/monitors.hpp"
 #include "core/observe.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
@@ -39,6 +41,7 @@ using namespace pcieb;
   pciebench list-systems
   pciebench run --system NAME --bench KIND [options]
   pciebench suite --system NAME [--filter STR] [--csv FILE]
+  pciebench chaos [--trials N] [--master-seed N] [--iters N] [--no-shrink]
 
 run options:
   --bench KIND      LAT_RD | LAT_WRRD | BW_RD | BW_WR | BW_RDWR
@@ -71,6 +74,20 @@ fault-injection options (run):
                     retries and the deadlock watchdog.
   --fault-seed N    seed for probabilistic fault rules    (default 0x5eed)
   --errors          print the AER error log and injected-fault tallies
+
+self-checking options (run):
+  --monitors        arm the invariant monitors (credit/tag/payload/replay
+                    conservation — docs/CHECKING.md); prints a report and
+                    exits non-zero on any violation
+
+chaos options:
+  --trials N        trials to run                         (default 20)
+  --master-seed N   campaign seed; every trial derives from it (default
+                    0xc4a05)
+  --iters N         measured transactions per trial       (default 400)
+  --no-shrink       report the first failure without minimizing it
+  --seed-bug        TEST-ONLY: plant the known credit-leak bug so the
+                    campaign demonstrably catches and shrinks a failure
 
 unknown options are rejected; see docs/OBSERVABILITY.md for the schema.
 )");
@@ -149,10 +166,14 @@ const std::set<std::string> kRunValueKeys = {
     "system", "bench",  "size", "offset", "window",  "pattern", "cache",
     "numa",   "iommu",  "pages", "iters", "warmup",  "seed",    "trace",
     "counters", "faults", "fault-seed"};
-const std::set<std::string> kRunFlagKeys = {"cdf", "histogram", "timeseries",
-                                            "cmd-if", "breakdown", "errors"};
+const std::set<std::string> kRunFlagKeys = {"cdf",    "histogram", "timeseries",
+                                            "cmd-if", "breakdown", "errors",
+                                            "monitors"};
 const std::set<std::string> kSuiteValueKeys = {"system", "filter", "csv"};
 const std::set<std::string> kSuiteFlagKeys = {};
+const std::set<std::string> kChaosValueKeys = {"trials", "master-seed",
+                                               "iters"};
+const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug"};
 
 int cmd_list_systems() {
   std::printf("%-16s %-28s %-6s %-13s %s\n", "name", "cpu", "numa", "arch",
@@ -219,6 +240,11 @@ int cmd_run(const Args& args) {
   const auto cfg = configured_system(args, params);
   sim::System system(cfg);
 
+  // Armed before the run so every event is checked; record mode keeps
+  // the run alive to quiesce, where the conservation checks live.
+  std::optional<check::MonitorSuite> monitors;
+  if (args.has_flag("monitors")) monitors.emplace(system);
+
   const std::string trace_path = args.get("trace", "");
   const std::string counters_dest = args.get("counters", "");
   core::ObsSession::Options oopts;
@@ -284,7 +310,51 @@ int cmd_run(const Args& args) {
                 static_cast<unsigned long long>(obs->sink()->size()),
                 trace_path.c_str());
   }
+  if (monitors) {
+    monitors->check_quiescent();
+    std::printf("%s", monitors->report().c_str());
+    if (!monitors->ok()) return 1;
+  }
   return 0;
+}
+
+int cmd_chaos(const Args& args) {
+  check::ChaosConfig cfg;
+  cfg.trials = std::strtoull(args.get("trials", "20").c_str(), nullptr, 0);
+  cfg.master_seed =
+      std::strtoull(args.get("master-seed", "0xc4a05").c_str(), nullptr, 0);
+  cfg.iterations = std::strtoull(args.get("iters", "400").c_str(), nullptr, 0);
+  cfg.shrink = !args.has_flag("no-shrink");
+  cfg.seed_credit_leak_bug = args.has_flag("seed-bug");
+
+  std::printf("chaos: %zu trials, master seed 0x%llx, %zu iters/trial%s\n",
+              cfg.trials, static_cast<unsigned long long>(cfg.master_seed),
+              cfg.iterations,
+              cfg.seed_credit_leak_bug ? " [credit-leak bug planted]" : "");
+  const auto result = check::run_campaign(
+      cfg, [](const check::TrialSpec& spec, const check::TrialOutcome& out) {
+        std::printf("%-4s %s\n", out.failed ? "FAIL" : "ok",
+                    spec.describe().c_str());
+        if (out.failed) std::printf("     %s\n", out.summary().c_str());
+      });
+
+  if (result.ok()) {
+    std::printf("chaos: %zu/%zu trials passed\n", result.trials_run,
+                result.trials_run);
+    return 0;
+  }
+  if (result.minimized) {
+    const auto& m = *result.minimized;
+    std::printf("\nminimized after %zu runs (%zu fault clause%s):\n  %s\n",
+                m.runs, m.minimal.plan.rules.size(),
+                m.minimal.plan.rules.size() == 1 ? "" : "s",
+                m.outcome.summary().c_str());
+    std::printf("replay:\n  %s\n", m.minimal.repro_command().c_str());
+  } else if (result.first_failure) {
+    std::printf("\nreplay (unminimized):\n  %s\n",
+                result.first_failure->repro_command().c_str());
+  }
+  return 1;
 }
 
 int cmd_suite(const Args& args) {
@@ -322,6 +392,10 @@ int main(int argc, char** argv) {
     if (cmd == "suite") {
       return cmd_suite(
           parse_args(argc, argv, 2, kSuiteValueKeys, kSuiteFlagKeys));
+    }
+    if (cmd == "chaos") {
+      return cmd_chaos(
+          parse_args(argc, argv, 2, kChaosValueKeys, kChaosFlagKeys));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,391 @@
+#include "check/campaign_exec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "exec/crash_hook.hpp"
+#include "exec/journal.hpp"
+
+namespace pcieb::check {
+namespace fs = std::filesystem;
+namespace {
+
+constexpr const char* kRecordHeader = "pcieb-trial v1";
+constexpr const char* kMetaHeader = "pcieb-campaign v1";
+
+/// Parse "key=value" lines (values escape_line-encoded) into a map; the
+/// first line is returned separately as the header.
+std::map<std::string, std::string> parse_kv(const std::string& payload,
+                                            std::string* header) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(payload);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {
+      if (header) *header = line;
+      first = false;
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = exec::unescape_line(line.substr(eq + 1));
+  }
+  return kv;
+}
+
+std::uint64_t kv_u64(const std::map<std::string, std::string>& kv,
+                     const std::string& key) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return 0;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+std::string kv_str(const std::map<std::string, std::string>& kv,
+                   const std::string& key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? std::string{} : it->second;
+}
+
+/// What a worker sends back to the supervisor: the TrialOutcome fields
+/// the campaign needs, in the same key=value shape as journal records.
+std::string serialize_worker_result(const TrialOutcome& out) {
+  std::ostringstream os;
+  os << "failed=" << (out.failed ? 1 : 0) << '\n'
+     << "violations=" << out.total_violations << '\n'
+     << "first="
+     << exec::escape_line(out.violations.empty() ? ""
+                                                 : out.violations.front().format())
+     << '\n'
+     << "error=" << exec::escape_line(out.error) << '\n';
+  return os.str();
+}
+
+/// CSV cell quoting (RFC-4180 style): fault specs contain commas.
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void check_or_write_meta(const exec::Journal& journal,
+                         const ChaosConfig& chaos, bool resume) {
+  const std::string path = journal.dir() + "/campaign.meta";
+  std::ostringstream os;
+  os << kMetaHeader << '\n'
+     << "master_seed=" << chaos.master_seed << '\n'
+     << "iters=" << chaos.iterations << '\n';
+  if (resume && fs::exists(path)) {
+    std::string header;
+    const auto kv = parse_kv(exec::read_file(path), &header);
+    if (header != kMetaHeader ||
+        kv_u64(kv, "master_seed") != chaos.master_seed ||
+        kv_u64(kv, "iters") != chaos.iterations) {
+      throw exec::InfraError(
+          "resume: journal " + journal.dir() +
+          " was written by a different campaign (seed/iters mismatch)");
+    }
+    return;
+  }
+  exec::atomic_write_file(path, os.str(), /*sync=*/true);
+}
+
+std::string artifact_text(const TrialRecord& rec, const exec::JobResult& job,
+                          const std::string& shrunk_section) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "# pciebench quarantined-trial artifact\n"
+     << "trial: " << rec.index << '\n'
+     << "spec: " << rec.spec << '\n'
+     << "status: quarantined\n"
+     << "classification: " << rec.classification << '\n'
+     << "attempts: " << rec.attempts << '\n'
+     << "wall_seconds_last_attempt: " << job.outcome.wall_seconds << '\n'
+     << "peak_rss_bytes: " << job.outcome.peak_rss_bytes << '\n'
+     << "monitor state: unavailable (worker did not complete)\n"
+     << "stderr tail:\n";
+  if (job.outcome.stderr_tail.empty()) {
+    os << "  (empty)\n";
+  } else {
+    std::istringstream tail(job.outcome.stderr_tail);
+    std::string line;
+    while (std::getline(tail, line)) os << "  " << line << '\n';
+  }
+  os << "repro:\n  " << rec.repro << '\n';
+  os << shrunk_section;
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(TrialRecord::Status s) {
+  switch (s) {
+    case TrialRecord::Status::Ok: return "ok";
+    case TrialRecord::Status::Violation: return "violation";
+    case TrialRecord::Status::Quarantined: return "quarantined";
+  }
+  return "?";
+}
+
+std::string TrialRecord::serialize() const {
+  std::ostringstream os;
+  os << kRecordHeader << '\n'
+     << "index=" << index << '\n'
+     << "status=" << to_string(status) << '\n'
+     << "classification=" << exec::escape_line(classification) << '\n'
+     << "attempts=" << attempts << '\n'
+     << "violations=" << violations << '\n'
+     << "first=" << exec::escape_line(first_violation) << '\n'
+     << "error=" << exec::escape_line(error) << '\n'
+     << "spec=" << exec::escape_line(spec) << '\n'
+     << "repro=" << exec::escape_line(repro) << '\n';
+  return os.str();
+}
+
+std::optional<TrialRecord> TrialRecord::deserialize(
+    const std::string& payload) {
+  std::string header;
+  const auto kv = parse_kv(payload, &header);
+  if (header != kRecordHeader) return std::nullopt;
+  TrialRecord rec;
+  rec.index = kv_u64(kv, "index");
+  const std::string status = kv_str(kv, "status");
+  if (status == "ok") rec.status = Status::Ok;
+  else if (status == "violation") rec.status = Status::Violation;
+  else if (status == "quarantined") rec.status = Status::Quarantined;
+  else return std::nullopt;
+  rec.classification = kv_str(kv, "classification");
+  rec.attempts = static_cast<unsigned>(kv_u64(kv, "attempts"));
+  rec.violations = kv_u64(kv, "violations");
+  rec.first_violation = kv_str(kv, "first");
+  rec.error = kv_str(kv, "error");
+  rec.spec = kv_str(kv, "spec");
+  rec.repro = kv_str(kv, "repro");
+  rec.resumed = true;
+  return rec;
+}
+
+std::string TrialRecord::summary_line() const {
+  char head[64];
+  std::snprintf(head, sizeof head, "%6llu  %-11s %-16s viol=%llu",
+                static_cast<unsigned long long>(index), to_string(status),
+                classification.c_str(),
+                static_cast<unsigned long long>(violations));
+  std::string out = head;
+  out += "  ";
+  out += spec;
+  if (!first_violation.empty()) out += " | first: " + first_violation;
+  if (!error.empty()) out += " | error: " + error;
+  return out;
+}
+
+std::string ExecCampaignResult::summary_text(const ChaosConfig& cfg) const {
+  std::ostringstream os;
+  os << "chaos campaign: " << records.size() << " trials, master seed 0x"
+     << std::hex << cfg.master_seed << std::dec << ", " << cfg.iterations
+     << " iters/trial\n";
+  for (const auto& r : records) os << r.summary_line() << '\n';
+
+  // Aggregate monitor-violation stats over completed (non-quarantined)
+  // trials. The SampleSet is empty when every trial was quarantined —
+  // the stats layer must report clean zeros, never NaN (docs/EXEC.md).
+  SampleSet violations_per_trial;
+  for (const auto& r : records) {
+    if (r.status != TrialRecord::Status::Quarantined) {
+      violations_per_trial.add(static_cast<double>(r.violations));
+    }
+  }
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "totals: ok=" << ok << " violation=" << violation
+     << " quarantined=" << quarantined << '\n'
+     << "completed-trial violations: n=" << violations_per_trial.count()
+     << " mean=" << violations_per_trial.mean()
+     << " max=" << violations_per_trial.max() << '\n';
+  return os.str();
+}
+
+void ExecCampaignResult::write_csv(const std::string& path) const {
+  std::ostringstream os;
+  os << "trial,status,classification,violations,first_violation,error,spec\n";
+  for (const auto& r : records) {
+    os << r.index << ',' << to_string(r.status) << ','
+       << csv_quote(r.classification) << ',' << r.violations << ','
+       << csv_quote(r.first_violation) << ',' << csv_quote(r.error) << ','
+       << csv_quote(r.spec) << '\n';
+  }
+  exec::atomic_write_file(path, os.str(), /*sync=*/false);
+}
+
+ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
+                                         const ExecTrialObserver& observe) {
+  ExecCampaignResult res;
+  const std::string journal_dir = cfg.journal_dir.empty()
+                                      ? exec::make_temp_dir("pcieb-chaos-")
+                                      : cfg.journal_dir;
+  exec::Journal journal(journal_dir);
+  res.journal_dir = journal_dir;
+  res.artifacts_dir =
+      cfg.artifacts_dir.empty() ? journal_dir + "/artifacts" : cfg.artifacts_dir;
+  check_or_write_meta(journal, cfg.chaos, cfg.resume);
+
+  std::error_code ec;
+  fs::create_directories(res.artifacts_dir, ec);
+  if (ec) {
+    throw exec::InfraError("cannot create artifacts dir " + res.artifacts_dir +
+                           ": " + ec.message());
+  }
+
+  exec::PoolConfig pool = cfg.pool;
+  if (pool.scratch_dir.empty()) pool.scratch_dir = journal_dir + "/scratch";
+
+  // Records already committed — a resumed campaign never re-runs them.
+  std::map<std::uint64_t, TrialRecord> records;
+  if (cfg.resume) {
+    for (auto& [id, payload] : exec::Journal::load(journal_dir)) {
+      if (id >= cfg.chaos.trials) continue;  // shrunken re-run of a campaign
+      if (auto rec = TrialRecord::deserialize(payload)) {
+        records.emplace(id, std::move(*rec));
+      }
+      // Malformed/foreign records are simply re-run.
+    }
+    for (const auto& [id, rec] : records) {
+      (void)id;
+      if (observe) observe(rec);
+    }
+  }
+
+  // Quarantined jobs kept around for artifact writing after the pool.
+  std::map<std::uint64_t, exec::JobResult> quarantined_jobs;
+
+  std::vector<exec::JobSpec> specs;
+  for (std::uint64_t i = 0; i < cfg.chaos.trials; ++i) {
+    if (records.count(i)) continue;
+    if (cfg.stop_after != 0 && specs.size() >= cfg.stop_after) break;
+    exec::JobSpec spec;
+    spec.id = i;
+    spec.name = "trial-" + std::to_string(i);
+    // Captured by value: the closure must stay self-contained across fork.
+    const ChaosConfig chaos = cfg.chaos;
+    spec.fn = [chaos, i](unsigned /*attempt*/) {
+      return serialize_worker_result(run_trial(generate_trial(chaos, i)));
+    };
+    specs.push_back(std::move(spec));
+  }
+
+  const auto on_job = [&](const exec::JobResult& job) {
+    TrialRecord rec;
+    rec.index = job.id;
+    rec.attempts = job.attempts;
+    const TrialSpec spec = generate_trial(cfg.chaos, job.id);
+    rec.spec = spec.describe();
+    rec.repro = spec.repro_command();
+    rec.classification = job.outcome.classify();
+    if (job.quarantined) {
+      rec.status = TrialRecord::Status::Quarantined;
+      quarantined_jobs[job.id] = job;
+      // Basic artifact immediately (crash-safe); enriched with a shrunk
+      // repro after the pool drains, when shrinking is enabled.
+      exec::atomic_write_file(
+          res.artifacts_dir + "/trial-" + std::to_string(job.id) + ".txt",
+          artifact_text(rec, job, ""), /*sync=*/true);
+    } else {
+      const auto kv = parse_kv("h\n" + job.outcome.payload, nullptr);
+      rec.status = kv_u64(kv, "failed") ? TrialRecord::Status::Violation
+                                        : TrialRecord::Status::Ok;
+      rec.violations = kv_u64(kv, "violations");
+      rec.first_violation = kv_str(kv, "first");
+      rec.error = kv_str(kv, "error");
+    }
+    journal.append(rec.index, rec.serialize());
+    if (observe) observe(rec);
+    records.emplace(rec.index, std::move(rec));
+  };
+
+  exec::run_jobs(pool, specs, on_job);
+
+  // Shrink quarantined trials in isolated workers: the parent must never
+  // run a candidate that might segfault or spin in-process. Resumed
+  // records were shrunk (or not) by the run that produced them.
+  if (cfg.chaos.shrink && cfg.quarantine_shrink_budget > 0) {
+    for (auto& [id, job] : quarantined_jobs) {
+      if (job.outcome.kind == exec::OutcomeKind::Timeout &&
+          !cfg.shrink_timeouts) {
+        continue;
+      }
+      const std::string prefix = pool.scratch_dir + "/shrink-" +
+                                 std::to_string(id);
+      const TrialRunner worker_runner = [&](const TrialSpec& cand) {
+        const exec::Outcome out = exec::run_job(
+            id, 0,
+            [cand](unsigned) {
+              return serialize_worker_result(run_trial(cand));
+            },
+            pool.limits, prefix);
+        TrialOutcome t;
+        if (!out.ok()) {
+          t.failed = true;
+          t.error = "worker " + out.classify();
+          return t;
+        }
+        const auto kv = parse_kv("h\n" + out.payload, nullptr);
+        t.failed = kv_u64(kv, "failed") != 0;
+        t.total_violations = kv_u64(kv, "violations");
+        t.error = kv_str(kv, "error");
+        return t;
+      };
+      const ShrinkResult shrunk = shrink_trial(
+          generate_trial(cfg.chaos, id), cfg.quarantine_shrink_budget,
+          worker_runner);
+      std::ostringstream extra;
+      extra << "shrunk repro (" << shrunk.runs << " candidate runs, "
+            << shrunk.minimal.plan.rules.size() << " fault clause"
+            << (shrunk.minimal.plan.rules.size() == 1 ? "" : "s") << "):\n  "
+            << shrunk.minimal.repro_command() << '\n';
+      auto rec_it = records.find(id);
+      exec::atomic_write_file(
+          res.artifacts_dir + "/trial-" + std::to_string(id) + ".txt",
+          artifact_text(rec_it->second, job, extra.str()), /*sync=*/true);
+    }
+  }
+
+  for (auto& [id, rec] : records) {
+    (void)id;
+    switch (rec.status) {
+      case TrialRecord::Status::Ok: ++res.ok; break;
+      case TrialRecord::Status::Violation: ++res.violation; break;
+      case TrialRecord::Status::Quarantined: ++res.quarantined; break;
+    }
+    if (rec.resumed) ++res.resumed;
+    res.records.push_back(std::move(rec));
+  }
+
+  // One minimal reproducer for the first invariant violation, as the
+  // in-process campaign produces: safe to run in-process because the
+  // trial completed inside a healthy worker.
+  if (cfg.chaos.shrink && cfg.stop_after == 0) {
+    for (const auto& rec : res.records) {
+      if (rec.status == TrialRecord::Status::Violation) {
+        res.minimized = shrink_trial(generate_trial(cfg.chaos, rec.index),
+                                     cfg.chaos.shrink_budget);
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace pcieb::check

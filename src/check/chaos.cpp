@@ -137,21 +137,9 @@ std::string TrialSpec::describe() const {
 }
 
 std::string TrialSpec::repro_command() const {
-  std::ostringstream os;
-  os << "pciebench run --system " << system << " --bench "
-     << kind_cli(params.kind) << " --size " << params.transfer_size
-     << " --window " << params.window_bytes << " --pattern "
-     << (params.pattern == core::AccessPattern::Random ? "rand" : "seq")
-     << " --cache " << cache_cli(params.cache_state) << " --numa "
-     << (params.numa_local ? "local" : "remote") << " --iters "
-     << params.iterations << " --seed " << params.seed;
-  if (params.offset != 0) os << " --offset " << params.offset;
-  if (iommu) os << " --iommu on --pages " << params.page_bytes;
-  if (!plan.empty()) {
-    os << " --faults '" << plan.describe() << "' --fault-seed " << plan.seed;
-  }
-  os << " --monitors";
-  return os.str();
+  return core::cli_run_command(system, params, iommu,
+                               plan.empty() ? "" : plan.describe(), plan.seed,
+                               /*monitors=*/true);
 }
 
 std::string TrialOutcome::summary() const {
@@ -238,15 +226,21 @@ TrialOutcome run_trial(const TrialSpec& spec) {
 }
 
 ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget) {
+  return shrink_trial(failing, budget,
+                      [](const TrialSpec& s) { return run_trial(s); });
+}
+
+ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget,
+                          const TrialRunner& runner) {
   ShrinkResult res;
   res.minimal = failing;
-  res.outcome = run_trial(failing);
+  res.outcome = runner(failing);
   res.runs = 1;
 
   const auto attempt = [&](TrialSpec cand) {
     if (res.runs >= budget) return false;
     ++res.runs;
-    TrialOutcome out = run_trial(cand);
+    TrialOutcome out = runner(cand);
     if (!out.failed) return false;
     res.minimal = std::move(cand);
     res.outcome = std::move(out);

@@ -83,8 +83,17 @@ struct ShrinkResult {
   std::size_t runs = 0;   ///< trial executions spent shrinking
 };
 
+/// How a shrink candidate is executed. The default is in-process
+/// run_trial; the crash-safe campaign driver substitutes a runner that
+/// executes candidates in isolated worker processes so that a trial that
+/// segfaults or hangs can still be minimized (docs/EXEC.md).
+using TrialRunner = std::function<TrialOutcome(const TrialSpec&)>;
+
 /// Minimize a failing trial; `failing` must fail under run_trial.
 ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget = 128);
+/// Same, but candidates run through `runner` ("fails" = outcome.failed).
+ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget,
+                          const TrialRunner& runner);
 
 struct CampaignResult {
   std::size_t trials_run = 0;

@@ -89,11 +89,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) return;  // NaN orders with nothing; no bin is right
   std::size_t idx;
   if (x < lo_) {
     idx = 0;
   } else if (x >= hi_) {
-    idx = counts_.size() - 1;
+    idx = counts_.size() - 1;  // also catches +inf (cast would be UB)
   } else {
     idx = static_cast<std::size_t>((x - lo_) / width_);
     idx = std::min(idx, counts_.size() - 1);
@@ -118,8 +119,11 @@ LogHistogram::LogHistogram(double lo, std::size_t bins)
 }
 
 void LogHistogram::add(double x) {
+  if (std::isnan(x)) return;  // NaN orders with nothing; no bin is right
   std::size_t idx = 0;
-  if (x >= lo_) {
+  if (std::isinf(x) && x > 0) {
+    idx = counts_.size() - 1;  // log2(inf) can't be cast to an index
+  } else if (x >= lo_) {
     idx = static_cast<std::size_t>(std::log2(x / lo_));
     idx = std::min(idx, counts_.size() - 1);
   }

@@ -19,7 +19,7 @@ void TextTable::add_row(std::vector<std::string> cells) {
 }
 
 std::string TextTable::num(double v, int precision) {
-  if (std::isnan(v)) return "-";
+  if (!std::isfinite(v)) return "-";  // NaN and ±inf have no digits to print
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(precision);

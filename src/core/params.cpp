@@ -68,4 +68,28 @@ std::string BenchParams::describe() const {
   return os.str();
 }
 
+std::string cli_run_command(const std::string& system, const BenchParams& p,
+                            bool iommu, const std::string& faults_spec,
+                            std::uint64_t fault_seed, bool monitors) {
+  const char* cache = "warm";
+  if (p.cache_state == CacheState::Thrash) cache = "cold";
+  if (p.cache_state == CacheState::DeviceWarm) cache = "device";
+  std::ostringstream os;
+  os << "pciebench run --system " << system << " --bench " << to_string(p.kind)
+     << " --size " << p.transfer_size << " --window " << p.window_bytes
+     << " --pattern " << (p.pattern == AccessPattern::Random ? "rand" : "seq")
+     << " --cache " << cache << " --numa "
+     << (p.numa_local ? "local" : "remote") << " --iters " << p.iterations
+     << " --seed " << p.seed;
+  if (p.offset != 0) os << " --offset " << p.offset;
+  if (p.warmup != 0) os << " --warmup " << p.warmup;
+  if (p.use_cmd_if) os << " --cmd-if";
+  if (iommu) os << " --iommu on --pages " << p.page_bytes;
+  if (!faults_spec.empty()) {
+    os << " --faults '" << faults_spec << "' --fault-seed " << fault_seed;
+  }
+  if (monitors) os << " --monitors";
+  return os.str();
+}
+
 }  // namespace pcieb::core

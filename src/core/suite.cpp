@@ -1,14 +1,62 @@
 #include "core/suite.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "exec/journal.hpp"
 #include "sysconfig/profiles.hpp"
 
 namespace pcieb::core {
+namespace {
+
+constexpr const char* kRecordHeader = "pcieb-exp v1";
+
+/// Full-precision double so serialize/deserialize round-trips exactly —
+/// the resume bit-identity guarantee rides on this.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::map<std::string, std::string> parse_kv(const std::string& payload,
+                                            std::string* header) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(payload);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {
+      if (header) *header = line;
+      first = false;
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = exec::unescape_line(line.substr(eq + 1));
+  }
+  return kv;
+}
+
+double kv_num(const std::map<std::string, std::string>& kv,
+              const std::string& key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::uint64_t kv_u64(const std::map<std::string, std::string>& kv,
+                     const std::string& key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? 0 : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace
 
 void Suite::add(Experiment experiment) {
   for (const auto& e : experiments_) {
@@ -106,6 +154,81 @@ Suite Suite::standard(const std::string& system_name) {
     }
   }
   return suite;
+}
+
+std::string serialize_record(const ExperimentRecord& record) {
+  std::ostringstream os;
+  os << kRecordHeader << '\n'
+     << "name=" << exec::escape_line(record.experiment.name) << '\n'
+     << "wall=" << num(record.wall_seconds) << '\n';
+  if (record.latency) {
+    const auto& s = record.latency->summary;
+    os << "kind=lat\n"
+       << "count=" << s.count << '\n'
+       << "mean=" << num(s.mean_ns) << '\n'
+       << "median=" << num(s.median_ns) << '\n'
+       << "min=" << num(s.min_ns) << '\n'
+       << "max=" << num(s.max_ns) << '\n'
+       << "p95=" << num(s.p95_ns) << '\n'
+       << "p99=" << num(s.p99_ns) << '\n'
+       << "p999=" << num(s.p999_ns) << '\n';
+  }
+  if (record.bandwidth) {
+    const auto& b = *record.bandwidth;
+    os << "kind=bw\n"
+       << "payload_bytes=" << b.payload_bytes << '\n'
+       << "elapsed=" << b.elapsed << '\n'
+       << "gbps=" << num(b.gbps) << '\n'
+       << "mtps=" << num(b.mtps) << '\n'
+       << "lost=" << b.lost_payload_bytes << '\n'
+       << "wire_bytes=" << b.wire_bytes << '\n'
+       << "goodput=" << num(b.goodput_gbps) << '\n'
+       << "wire_gbps=" << num(b.wire_gbps) << '\n';
+  }
+  return os.str();
+}
+
+std::optional<ExperimentRecord> deserialize_record(const std::string& payload,
+                                                   const Experiment& expected) {
+  std::string header;
+  const auto kv = parse_kv(payload, &header);
+  if (header != kRecordHeader) return std::nullopt;
+  const auto name = kv.find("name");
+  if (name == kv.end() || name->second != expected.name) return std::nullopt;
+
+  ExperimentRecord rec;
+  rec.experiment = expected;
+  rec.wall_seconds = kv_num(kv, "wall");
+  const auto kind = kv.find("kind");
+  if (kind == kv.end()) return std::nullopt;
+  if (kind->second == "lat") {
+    LatencyResult lat;
+    lat.params = expected.params;
+    lat.summary.count = kv_u64(kv, "count");
+    lat.summary.mean_ns = kv_num(kv, "mean");
+    lat.summary.median_ns = kv_num(kv, "median");
+    lat.summary.min_ns = kv_num(kv, "min");
+    lat.summary.max_ns = kv_num(kv, "max");
+    lat.summary.p95_ns = kv_num(kv, "p95");
+    lat.summary.p99_ns = kv_num(kv, "p99");
+    lat.summary.p999_ns = kv_num(kv, "p999");
+    rec.latency = std::move(lat);
+  } else if (kind->second == "bw") {
+    BandwidthResult bw;
+    bw.params = expected.params;
+    bw.payload_bytes = kv_u64(kv, "payload_bytes");
+    bw.elapsed = static_cast<Picos>(kv_u64(kv, "elapsed"));
+    bw.gbps = kv_num(kv, "gbps");
+    bw.mtps = kv_num(kv, "mtps");
+    bw.lost_payload_bytes = kv_u64(kv, "lost");
+    bw.wire_bytes = kv_u64(kv, "wire_bytes");
+    bw.goodput_gbps = kv_num(kv, "goodput");
+    bw.wire_gbps = kv_num(kv, "wire_gbps");
+    rec.bandwidth = std::move(bw);
+  } else {
+    return std::nullopt;
+  }
+  return rec;
 }
 
 std::string summarize(const std::vector<ExperimentRecord>& records) {

@@ -64,6 +64,19 @@ class Suite {
   std::vector<Experiment> experiments_;
 };
 
+/// Canonical serialization of a completed record ("pcieb-exp v1" +
+/// key=value lines, doubles at full precision) — the payload a
+/// process-isolated suite worker returns and the resume journal stores
+/// (docs/EXEC.md). Round-trips everything summarize()/write_csv() read;
+/// the raw latency SampleSet is not carried across the process boundary.
+std::string serialize_record(const ExperimentRecord& record);
+
+/// Inverse of serialize_record. `expected` supplies the experiment
+/// definition; nullopt when the payload is malformed or names a
+/// different experiment (the caller then re-runs it).
+std::optional<ExperimentRecord> deserialize_record(
+    const std::string& payload, const Experiment& expected);
+
 /// One-line summary per record, aligned.
 std::string summarize(const std::vector<ExperimentRecord>& records);
 

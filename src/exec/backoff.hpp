@@ -1,0 +1,29 @@
+// Capped exponential backoff between retry attempts of a failed worker.
+//
+// Delays are pure in the attempt number — no jitter — so a retried
+// campaign is wall-clock deterministic up to scheduling, and the journal
+// (which records results, never timing) stays bit-identical either way.
+#pragma once
+
+#include <algorithm>
+
+namespace pcieb::exec {
+
+struct Backoff {
+  double initial_seconds = 0.05;
+  double cap_seconds = 2.0;
+  double factor = 2.0;
+
+  /// Delay before retry `attempt` (0 = the first retry): the worker just
+  /// failed its (attempt+1)-th run.
+  double delay_seconds(unsigned attempt) const {
+    double d = initial_seconds;
+    for (unsigned i = 0; i < attempt; ++i) {
+      d *= factor;
+      if (d >= cap_seconds) return cap_seconds;
+    }
+    return std::min(d, cap_seconds);
+  }
+};
+
+}  // namespace pcieb::exec

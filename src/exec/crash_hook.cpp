@@ -1,0 +1,94 @@
+#include "exec/crash_hook.hpp"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcieb::exec {
+namespace {
+
+CrashHook::Action parse_action(const std::string& s) {
+  if (s == "segv") return CrashHook::Action::Segv;
+  if (s == "hang") return CrashHook::Action::Hang;
+  if (s == "oom") return CrashHook::Action::Oom;
+  throw std::invalid_argument("crash hook: unknown action '" + s +
+                              "' (want segv|hang|oom)");
+}
+
+}  // namespace
+
+CrashHook CrashHook::parse(const std::string& spec) {
+  CrashHook hook;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ';')) {
+    if (item.empty()) continue;
+    const auto at = item.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument("crash hook: rule '" + item +
+                                  "' missing '@id'");
+    }
+    Rule r;
+    r.action = parse_action(item.substr(0, at));
+    const std::string id = item.substr(at + 1);
+    if (id == "*") {
+      r.any = true;
+    } else {
+      std::size_t used = 0;
+      r.id = std::stoull(id, &used, 0);
+      if (used != id.size()) {
+        throw std::invalid_argument("crash hook: bad job id '" + id + "'");
+      }
+    }
+    hook.rules_.push_back(r);
+  }
+  return hook;
+}
+
+CrashHook CrashHook::from_env() {
+  const char* v = std::getenv(kEnvVar);
+  if (!v || !*v) return CrashHook{};
+  return parse(v);
+}
+
+CrashHook::Action CrashHook::action_for(std::uint64_t job_id) const {
+  for (const auto& r : rules_) {
+    if (r.any || r.id == job_id) return r.action;
+  }
+  return Action::None;
+}
+
+void CrashHook::fire(Action a) {
+  switch (a) {
+    case Action::None:
+      return;
+    case Action::Segv:
+      // The worker must die by a real SIGSEGV in every build flavor.
+      // A wild store would be intercepted by sanitizers (ASan's SEGV
+      // handler, UBSan's null check) and become exit(1), so restore
+      // the default disposition and raise the signal directly.
+      std::signal(SIGSEGV, SIG_DFL);
+      ::raise(SIGSEGV);
+      std::abort();  // unreachable; keeps the compiler honest
+    case Action::Hang:
+      // Spin (politely) until the supervisor's deadline kills us.
+      for (;;) usleep(10'000);
+    case Action::Oom:
+      // Leak touched memory in small steps so the supervisor's RSS
+      // sampler catches the growth; if an allocation itself fails first,
+      // the worker's new-handler exits with kOomExitCode.
+      for (;;) {
+        constexpr std::size_t kChunk = 4ull << 20;
+        char* c = new char[kChunk];
+        std::memset(c, 0x5a, kChunk);
+        usleep(2'000);
+      }
+  }
+}
+
+}  // namespace pcieb::exec

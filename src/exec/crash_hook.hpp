@@ -1,0 +1,53 @@
+// TEST-ONLY crash hook: makes a worker process segfault, spin past its
+// deadline, or exceed its RSS budget on demand, so the supervisor's
+// outcome classification, retry/quarantine machinery and the CI
+// interrupted-resume leg can exercise every failure class without a real
+// bug in the simulator.
+//
+// The hook is armed through the PCIEB_CRASH_HOOK environment variable —
+// workers read it after fork, so a test (or a shell) can arm it around a
+// whole campaign:
+//
+//   PCIEB_CRASH_HOOK="segv@1;hang@2;oom@3" pciebench chaos --jobs 2 ...
+//
+// Grammar: ';'-separated rules, each ACTION@ID where ACTION is segv |
+// hang | oom and ID is a job id (for campaigns, the trial index) or '*'
+// for every job. Nothing in production code sets the variable; an unset
+// or empty variable is a no-op on every worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcieb::exec {
+
+class CrashHook {
+ public:
+  enum class Action : std::uint8_t { None, Segv, Hang, Oom };
+
+  static constexpr const char* kEnvVar = "PCIEB_CRASH_HOOK";
+
+  /// Parse a spec like "segv@3;hang@*"; throws std::invalid_argument.
+  static CrashHook parse(const std::string& spec);
+  /// Hook from PCIEB_CRASH_HOOK (empty hook when unset/empty).
+  static CrashHook from_env();
+
+  bool empty() const { return rules_.empty(); }
+  Action action_for(std::uint64_t job_id) const;
+
+  /// Execute the action in the calling (worker) process. Never returns
+  /// for Segv (traps), Hang (loops until killed) or Oom (allocates until
+  /// the budget or the new-handler fires); returns for None.
+  static void fire(Action a);
+
+ private:
+  struct Rule {
+    Action action = Action::None;
+    bool any = false;        ///< '*' — applies to every job id
+    std::uint64_t id = 0;
+  };
+  std::vector<Rule> rules_;
+};
+
+}  // namespace pcieb::exec

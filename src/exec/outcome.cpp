@@ -1,0 +1,55 @@
+#include "exec/outcome.hpp"
+
+#include <csignal>
+#include <sstream>
+
+namespace pcieb::exec {
+
+const char* to_string(OutcomeKind k) {
+  switch (k) {
+    case OutcomeKind::Ok: return "ok";
+    case OutcomeKind::NonzeroExit: return "exit";
+    case OutcomeKind::Signal: return "signal";
+    case OutcomeKind::Timeout: return "timeout";
+    case OutcomeKind::Oom: return "oom";
+  }
+  return "?";
+}
+
+OutcomeKind outcome_kind_from_string(const std::string& s) {
+  if (s == "ok") return OutcomeKind::Ok;
+  if (s == "exit") return OutcomeKind::NonzeroExit;
+  if (s == "signal") return OutcomeKind::Signal;
+  if (s == "timeout") return OutcomeKind::Timeout;
+  if (s == "oom") return OutcomeKind::Oom;
+  throw std::invalid_argument("unknown outcome kind: " + s);
+}
+
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    default: break;
+  }
+  return "SIG" + std::to_string(sig);
+}
+
+std::string Outcome::classify() const {
+  std::ostringstream os;
+  switch (kind) {
+    case OutcomeKind::Ok: return "ok";
+    case OutcomeKind::NonzeroExit: os << "exit(" << exit_code << ")"; break;
+    case OutcomeKind::Signal: os << "signal(" << signal_name(term_signal) << ")"; break;
+    case OutcomeKind::Timeout: return "timeout";
+    case OutcomeKind::Oom: return "oom";
+  }
+  return os.str();
+}
+
+}  // namespace pcieb::exec

@@ -1,0 +1,59 @@
+// Worker pool: runs a batch of jobs across up to `jobs` concurrent forked
+// workers, retries infrastructure failures (crash, hang, OOM, nonzero
+// exit) with capped exponential backoff, and quarantines a job that keeps
+// failing — the batch always runs to completion instead of aborting.
+//
+// "Quarantined" is the graceful-degradation verdict: the job burned its
+// first attempt plus max_retries retries and never produced a result.
+// The pool reports it (final outcome, attempt count) and moves on; the
+// campaign layers turn that into a structured failure artifact and a
+// journal record so a resumed campaign does not re-run it.
+//
+// Results are returned in input order; the observer fires in completion
+// order (which is nondeterministic under jobs > 1 — anything that must be
+// byte-stable is derived from the sorted results, never from observer
+// order). See docs/EXEC.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/backoff.hpp"
+#include "exec/worker.hpp"
+
+namespace pcieb::exec {
+
+struct PoolConfig {
+  std::size_t jobs = 1;       ///< concurrent workers (>= 1)
+  Limits limits;              ///< per-attempt deadline and RSS budget
+  unsigned max_retries = 2;   ///< retries after the first attempt
+  Backoff backoff;
+  std::string scratch_dir;    ///< required; created if missing
+};
+
+struct JobSpec {
+  std::uint64_t id = 0;   ///< unique; keys scratch files and CrashHook
+  std::string name;       ///< for observers/artifacts
+  Job fn;
+};
+
+struct JobResult {
+  std::uint64_t id = 0;
+  std::string name;
+  Outcome outcome;            ///< the final attempt's outcome
+  unsigned attempts = 0;      ///< total attempts executed
+  bool quarantined = false;   ///< never produced a result
+};
+
+/// Fires once per job, after its final attempt.
+using JobObserver = std::function<void(const JobResult&)>;
+
+/// Run every job to a final verdict. Throws InfraError only for
+/// supervisor-side failures (fork, scratch dir); job failures never throw.
+std::vector<JobResult> run_jobs(const PoolConfig& cfg,
+                                const std::vector<JobSpec>& specs,
+                                const JobObserver& observe = {});
+
+}  // namespace pcieb::exec

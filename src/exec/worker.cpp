@@ -1,0 +1,210 @@
+#include "exec/worker.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <new>
+
+#include "exec/crash_hook.hpp"
+#include "exec/journal.hpp"
+
+namespace pcieb::exec {
+namespace {
+
+constexpr std::size_t kStderrTailBytes = 4096;
+
+/// Everything below runs in the child between fork and _exit: only
+/// async-signal-unsafe-but-practically-fine calls (we forked from a
+/// single-threaded supervisor), and _exit() everywhere so inherited stdio
+/// buffers are never double-flushed.
+[[noreturn]] void child_main(std::uint64_t job_id, unsigned attempt,
+                             const Job& job, const std::string& prefix) {
+  // No core dumps: crash classification comes from the wait status, and
+  // chaos campaigns would otherwise litter gigabytes of cores.
+  struct rlimit no_core = {0, 0};
+  ::setrlimit(RLIMIT_CORE, &no_core);
+
+  // Route stderr to the scratch file the supervisor will tail.
+  const std::string err_path = prefix + ".err";
+  const int err_fd = ::open(err_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (err_fd >= 0) {
+    ::dup2(err_fd, STDERR_FILENO);
+    ::close(err_fd);
+  }
+
+  // Allocation failure exits with the reserved OOM code rather than
+  // aborting, so the supervisor can tell "ran out of memory" from a bug.
+  std::set_new_handler([] { _exit(kOomExitCode); });
+
+  // TEST-ONLY: armed via PCIEB_CRASH_HOOK; a no-op when unset.
+  try {
+    CrashHook::fire(CrashHook::from_env().action_for(job_id));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "crash hook: %s\n", e.what());
+    _exit(2);
+  }
+
+  std::string payload;
+  try {
+    payload = job(attempt);
+  } catch (const std::bad_alloc&) {
+    _exit(kOomExitCode);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: %s\n", e.what());
+    _exit(1);
+  } catch (...) {
+    std::fprintf(stderr, "worker: unknown exception\n");
+    _exit(1);
+  }
+
+  try {
+    // Atomic so the supervisor never observes a half-written payload; no
+    // fsync needed — the result is consumed immediately by a live parent,
+    // and a crashed campaign re-runs the trial anyway.
+    atomic_write_file(prefix + ".out", payload, /*sync=*/false);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: writing result: %s\n", e.what());
+    _exit(3);
+  }
+  _exit(0);
+}
+
+void remove_scratch(const std::string& prefix) {
+  std::error_code ec;
+  std::filesystem::remove(prefix + ".out", ec);
+  std::filesystem::remove(prefix + ".out.tmp", ec);
+  std::filesystem::remove(prefix + ".err", ec);
+}
+
+}  // namespace
+
+double monotonic_seconds() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::uint64_t rss_bytes_of(int pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/statm");
+  if (!in) return 0;
+  std::uint64_t size_pages = 0, rss_pages = 0;
+  in >> size_pages >> rss_pages;
+  if (!in) return 0;
+  return rss_pages * static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+std::uint64_t own_rss_bytes() { return rss_bytes_of(::getpid()); }
+
+WorkerHandle spawn_worker(std::uint64_t job_id, unsigned attempt,
+                          const Job& job, const Limits& limits,
+                          const std::string& scratch_prefix) {
+  // Stale files from a previous attempt must not be misread as results.
+  remove_scratch(scratch_prefix);
+
+  // Inherited stdio buffers would be flushed by both processes otherwise.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw InfraError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) child_main(job_id, attempt, job, scratch_prefix);
+
+  WorkerHandle w;
+  w.pid = pid;
+  w.job_id = job_id;
+  w.attempt = attempt;
+  w.started = monotonic_seconds();
+  w.deadline = limits.wall_seconds > 0 ? w.started + limits.wall_seconds : 0;
+  w.rss_budget = limits.rss_bytes;
+  w.scratch_prefix = scratch_prefix;
+  return w;
+}
+
+std::optional<Outcome> poll_worker(WorkerHandle& w) {
+  int status = 0;
+  const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+  if (r == 0) {
+    // Still running: enforce the RSS budget, then the deadline. The kill
+    // is asynchronous; classification happens when the zombie is reaped.
+    if (w.rss_budget > 0 && !w.killed_for_rss && !w.killed_for_timeout) {
+      const std::uint64_t rss = rss_bytes_of(w.pid);
+      if (rss > w.peak_rss) w.peak_rss = rss;
+      if (rss > w.rss_budget) {
+        w.killed_for_rss = true;
+        ::kill(w.pid, SIGKILL);
+      }
+    }
+    if (w.deadline > 0 && !w.killed_for_timeout && !w.killed_for_rss &&
+        monotonic_seconds() >= w.deadline) {
+      w.killed_for_timeout = true;
+      ::kill(w.pid, SIGKILL);
+    }
+    return std::nullopt;
+  }
+
+  Outcome out;
+  out.wall_seconds = monotonic_seconds() - w.started;
+  out.peak_rss_bytes = w.peak_rss;
+  out.stderr_tail = read_file_tail(w.scratch_prefix + ".err",
+                                   kStderrTailBytes);
+  if (r < 0) {
+    // waitpid failed (should not happen for our own child): surface as an
+    // infrastructure-looking nonzero exit rather than throwing mid-pool.
+    out.kind = OutcomeKind::NonzeroExit;
+    out.exit_code = -1;
+    out.stderr_tail += "[supervisor: waitpid failed]";
+  } else if (w.killed_for_timeout) {
+    out.kind = OutcomeKind::Timeout;
+    out.term_signal = SIGKILL;
+  } else if (w.killed_for_rss) {
+    out.kind = OutcomeKind::Oom;
+    out.term_signal = SIGKILL;
+  } else if (WIFEXITED(status)) {
+    out.exit_code = WEXITSTATUS(status);
+    if (out.exit_code == 0) {
+      try {
+        out.payload = read_file(w.scratch_prefix + ".out");
+        out.kind = OutcomeKind::Ok;
+      } catch (const InfraError&) {
+        out.kind = OutcomeKind::NonzeroExit;
+        out.stderr_tail += "[worker exited 0 without a result payload]";
+      }
+    } else if (out.exit_code == kOomExitCode) {
+      out.kind = OutcomeKind::Oom;
+    } else {
+      out.kind = OutcomeKind::NonzeroExit;
+    }
+  } else if (WIFSIGNALED(status)) {
+    out.kind = OutcomeKind::Signal;
+    out.term_signal = WTERMSIG(status);
+  } else {
+    out.kind = OutcomeKind::NonzeroExit;
+    out.exit_code = -1;
+  }
+  remove_scratch(w.scratch_prefix);
+  w.pid = -1;
+  return out;
+}
+
+Outcome run_job(std::uint64_t job_id, unsigned attempt, const Job& job,
+                const Limits& limits, const std::string& scratch_prefix) {
+  WorkerHandle w = spawn_worker(job_id, attempt, job, limits, scratch_prefix);
+  for (;;) {
+    if (auto out = poll_worker(w)) return *out;
+    ::usleep(1'000);
+  }
+}
+
+}  // namespace pcieb::exec

@@ -1,0 +1,86 @@
+// Process-isolated worker execution: fork a child per job, give it a
+// wall-clock deadline and an RSS budget, and classify how it ended.
+//
+// Isolation model (see docs/EXEC.md for the full lifecycle):
+//
+//  * The job closure runs in a fork()ed child — it inherits the parent's
+//    memory image, so no job description needs to be serialized; only the
+//    result payload crosses the process boundary, via a scratch file the
+//    child renames into place before _exit(0).
+//  * The child's stderr is redirected to a scratch file; the supervisor
+//    keeps the tail for failure artifacts.
+//  * The supervisor polls: waitpid(WNOHANG) to reap, /proc/<pid>/statm to
+//    sample RSS against the budget, and a monotonic deadline. A worker
+//    past its deadline is SIGKILLed and classified Timeout; one over its
+//    RSS budget is SIGKILLed and classified Oom. The budget is enforced
+//    by the supervisor rather than RLIMIT_AS because address-space limits
+//    are meaningless under sanitizers (ASan reserves terabytes of shadow)
+//    — the child still uses setrlimit to disable core dumps, and installs
+//    a new-handler so a genuine allocation failure exits with the
+//    reserved OOM code instead of crashing.
+//
+// Workers are spawned non-blockingly (spawn_worker/poll_worker) so a pool
+// can multiplex many; run_job is the blocking single-job convenience.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "exec/outcome.hpp"
+
+namespace pcieb::exec {
+
+struct Limits {
+  double wall_seconds = 60.0;   ///< deadline; <= 0 disables it
+  std::uint64_t rss_bytes = 0;  ///< RSS budget; 0 disables it
+};
+
+/// The work a child process performs: returns the result payload recorded
+/// by the caller. `attempt` is 0 for the first run, 1 for the first
+/// retry, ... A thrown std::exception becomes NonzeroExit(1) with what()
+/// on stderr; std::bad_alloc becomes Oom.
+using Job = std::function<std::string(unsigned attempt)>;
+
+/// A live worker owned by the supervisor. Opaque outside exec.
+struct WorkerHandle {
+  int pid = -1;
+  std::uint64_t job_id = 0;
+  unsigned attempt = 0;
+  double started = 0;    ///< monotonic seconds
+  double deadline = 0;   ///< monotonic seconds; 0 = none
+  std::uint64_t rss_budget = 0;
+  std::uint64_t peak_rss = 0;
+  std::string scratch_prefix;
+  bool killed_for_timeout = false;
+  bool killed_for_rss = false;
+};
+
+/// Monotonic clock in seconds (CLOCK_MONOTONIC).
+double monotonic_seconds();
+
+/// Resident set size of `pid` (0 when unreadable); own_rss_bytes() is the
+/// calling process.
+std::uint64_t rss_bytes_of(int pid);
+std::uint64_t own_rss_bytes();
+
+/// Fork a worker for `job`. Scratch files are `<scratch_prefix>.out` /
+/// `.err`; the prefix's directory must exist. Throws InfraError when the
+/// fork fails. The child consults CrashHook (PCIEB_CRASH_HOOK) keyed by
+/// `job_id` before running the job — a test-only trapdoor.
+WorkerHandle spawn_worker(std::uint64_t job_id, unsigned attempt,
+                          const Job& job, const Limits& limits,
+                          const std::string& scratch_prefix);
+
+/// Reap/enforce without blocking: returns the classified Outcome once the
+/// worker has ended (scratch files are consumed and removed), nullopt
+/// while it is still running. Kills the worker on deadline or RSS-budget
+/// breach; the kill is classified on a later poll once reaped.
+std::optional<Outcome> poll_worker(WorkerHandle& w);
+
+/// Blocking convenience: spawn + poll until done (~1 ms poll period).
+Outcome run_job(std::uint64_t job_id, unsigned attempt, const Job& job,
+                const Limits& limits, const std::string& scratch_prefix);
+
+}  // namespace pcieb::exec

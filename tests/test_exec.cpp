@@ -1,0 +1,262 @@
+// Unit tests for the src/exec job-execution layer: outcome
+// classification, backoff, the crash-safe journal, forked workers under
+// deadlines and RSS budgets (driven by the test-only CrashHook), and the
+// retry/quarantine pool.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "exec/backoff.hpp"
+#include "exec/crash_hook.hpp"
+#include "exec/journal.hpp"
+#include "exec/outcome.hpp"
+#include "exec/pool.hpp"
+#include "exec/worker.hpp"
+
+namespace fs = std::filesystem;
+using namespace pcieb;
+
+namespace {
+
+/// A fresh scratch/journal directory removed on scope exit.
+struct TempDir {
+  std::string path = exec::make_temp_dir("pcieb-exec-test-");
+  ~TempDir() { fs::remove_all(path); }
+};
+
+}  // namespace
+
+TEST(Outcome, KindNamesRoundTrip) {
+  using exec::OutcomeKind;
+  for (auto k : {OutcomeKind::Ok, OutcomeKind::NonzeroExit, OutcomeKind::Signal,
+                 OutcomeKind::Timeout, OutcomeKind::Oom}) {
+    EXPECT_EQ(exec::outcome_kind_from_string(exec::to_string(k)), k);
+  }
+  EXPECT_THROW(exec::outcome_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Outcome, Classify) {
+  exec::Outcome o;
+  EXPECT_EQ(o.classify(), "ok");
+  o.kind = exec::OutcomeKind::NonzeroExit;
+  o.exit_code = 3;
+  EXPECT_EQ(o.classify(), "exit(3)");
+  o.kind = exec::OutcomeKind::Signal;
+  o.term_signal = SIGSEGV;
+  EXPECT_EQ(o.classify(), "signal(SIGSEGV)");
+  o.kind = exec::OutcomeKind::Timeout;
+  EXPECT_EQ(o.classify(), "timeout");
+  o.kind = exec::OutcomeKind::Oom;
+  EXPECT_EQ(o.classify(), "oom");
+}
+
+TEST(Backoff, GrowsThenSaturates) {
+  exec::Backoff b;
+  b.initial_seconds = 0.1;
+  b.cap_seconds = 0.5;
+  b.factor = 2.0;
+  EXPECT_DOUBLE_EQ(b.delay_seconds(0), 0.1);
+  EXPECT_DOUBLE_EQ(b.delay_seconds(1), 0.2);
+  EXPECT_DOUBLE_EQ(b.delay_seconds(2), 0.4);
+  EXPECT_DOUBLE_EQ(b.delay_seconds(3), 0.5);
+  EXPECT_DOUBLE_EQ(b.delay_seconds(30), 0.5);
+}
+
+TEST(Journal, RoundTripsRecordsIncludingNewlines) {
+  TempDir tmp;
+  exec::Journal journal(tmp.path);
+  journal.append(0, "plain");
+  journal.append(7, "multi\nline\r\nwith\\backslash");
+  journal.append(3, "");
+  const auto loaded = exec::Journal::load(tmp.path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.at(0), "plain");
+  EXPECT_EQ(loaded.at(7), "multi\nline\r\nwith\\backslash");
+  EXPECT_EQ(loaded.at(3), "");
+}
+
+TEST(Journal, OverwritingARecordKeepsTheLastValue) {
+  TempDir tmp;
+  exec::Journal journal(tmp.path);
+  journal.append(4, "first");
+  journal.append(4, "second");
+  EXPECT_EQ(exec::Journal::load(tmp.path).at(4), "second");
+}
+
+TEST(Journal, IgnoresTornAndForeignFiles) {
+  TempDir tmp;
+  exec::Journal journal(tmp.path);
+  journal.append(1, "good");
+  // A torn write leaves a .tmp behind; unrelated files can share the dir.
+  std::ofstream(tmp.path + "/r00000002.rec.tmp") << "torn";
+  std::ofstream(tmp.path + "/notes.txt") << "not a record";
+  std::ofstream(tmp.path + "/rXY.rec") << "bad digits";
+  const auto loaded = exec::Journal::load(tmp.path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.at(1), "good");
+}
+
+TEST(Journal, LoadOfAbsentDirectoryIsEmpty) {
+  EXPECT_TRUE(exec::Journal::load("/nonexistent/pcieb-journal").empty());
+}
+
+TEST(Journal, EscapeRoundTrip) {
+  const std::string nasty = "a\\b\nc\rd\\ne\\\\";
+  EXPECT_EQ(exec::unescape_line(exec::escape_line(nasty)), nasty);
+  EXPECT_EQ(exec::escape_line("x\ny").find('\n'), std::string::npos);
+}
+
+TEST(CrashHook, ParsesRulesAndWildcard) {
+  const auto hook = exec::CrashHook::parse("segv@3;hang@5;oom@*");
+  EXPECT_EQ(hook.action_for(3), exec::CrashHook::Action::Segv);
+  EXPECT_EQ(hook.action_for(5), exec::CrashHook::Action::Hang);
+  // First matching rule wins; the wildcard catches everything else.
+  EXPECT_EQ(hook.action_for(0), exec::CrashHook::Action::Oom);
+  EXPECT_EQ(hook.action_for(99), exec::CrashHook::Action::Oom);
+  EXPECT_TRUE(exec::CrashHook::parse("").empty());
+  EXPECT_EQ(exec::CrashHook::parse("segv@1").action_for(2),
+            exec::CrashHook::Action::None);
+}
+
+TEST(CrashHook, RejectsMalformedSpecs) {
+  EXPECT_THROW(exec::CrashHook::parse("explode@1"), std::invalid_argument);
+  EXPECT_THROW(exec::CrashHook::parse("segv"), std::invalid_argument);
+  EXPECT_THROW(exec::CrashHook::parse("segv@xyz"), std::invalid_argument);
+}
+
+TEST(Worker, OkJobReturnsPayloadAndAttempt) {
+  TempDir tmp;
+  exec::Limits limits;
+  const auto out = exec::run_job(
+      1, 2, [](unsigned attempt) { return "payload-" + std::to_string(attempt); },
+      limits, tmp.path + "/w");
+  ASSERT_TRUE(out.ok()) << out.classify();
+  EXPECT_EQ(out.payload, "payload-2");
+  EXPECT_GT(out.wall_seconds, 0.0);
+}
+
+TEST(Worker, ThrowingJobIsNonzeroExitWithStderrTail) {
+  TempDir tmp;
+  exec::Limits limits;
+  const auto out = exec::run_job(
+      1, 0,
+      [](unsigned) -> std::string {
+        throw std::runtime_error("deliberate test failure");
+      },
+      limits, tmp.path + "/w");
+  EXPECT_EQ(out.kind, exec::OutcomeKind::NonzeroExit);
+  EXPECT_EQ(out.exit_code, 1);
+  EXPECT_NE(out.stderr_tail.find("deliberate test failure"),
+            std::string::npos);
+}
+
+TEST(Worker, SegfaultClassifiedAsSignal) {
+  TempDir tmp;
+  exec::Limits limits;
+  const auto out = exec::run_job(
+      1, 0,
+      [](unsigned) -> std::string {
+        exec::CrashHook::fire(exec::CrashHook::Action::Segv);
+        return "unreachable";
+      },
+      limits, tmp.path + "/w");
+  EXPECT_EQ(out.kind, exec::OutcomeKind::Signal);
+  EXPECT_EQ(out.term_signal, SIGSEGV);
+  EXPECT_EQ(out.classify(), "signal(SIGSEGV)");
+}
+
+TEST(Worker, HangKilledAtDeadlineAsTimeout) {
+  TempDir tmp;
+  exec::Limits limits;
+  limits.wall_seconds = 0.3;
+  const auto out = exec::run_job(
+      1, 0,
+      [](unsigned) -> std::string {
+        exec::CrashHook::fire(exec::CrashHook::Action::Hang);
+        return "unreachable";
+      },
+      limits, tmp.path + "/w");
+  EXPECT_EQ(out.kind, exec::OutcomeKind::Timeout);
+  EXPECT_GE(out.wall_seconds, 0.3);
+}
+
+TEST(Worker, RssBudgetBreachClassifiedAsOom) {
+  TempDir tmp;
+  exec::Limits limits;
+  limits.wall_seconds = 30.0;
+  // Budget a margin above the current footprint the forked child inherits.
+  limits.rss_bytes = exec::own_rss_bytes() + (128ull << 20);
+  const auto out = exec::run_job(
+      1, 0,
+      [](unsigned) -> std::string {
+        exec::CrashHook::fire(exec::CrashHook::Action::Oom);
+        return "unreachable";
+      },
+      limits, tmp.path + "/w");
+  EXPECT_EQ(out.kind, exec::OutcomeKind::Oom);
+}
+
+TEST(Pool, RetriesUntilAJobSucceeds) {
+  TempDir tmp;
+  exec::PoolConfig cfg;
+  cfg.jobs = 2;
+  cfg.max_retries = 3;
+  cfg.backoff.initial_seconds = 0.01;
+  cfg.backoff.cap_seconds = 0.02;
+  cfg.scratch_dir = tmp.path;
+  std::vector<exec::JobSpec> specs(2);
+  specs[0].id = 0;
+  specs[0].name = "flaky";
+  // The worker is a fresh fork each attempt, so "fail the first two
+  // attempts" must key off the attempt number, not parent-side state.
+  specs[0].fn = [](unsigned attempt) -> std::string {
+    if (attempt < 2) throw std::runtime_error("not yet");
+    return "ok-after-retries";
+  };
+  specs[1].id = 1;
+  specs[1].name = "steady";
+  specs[1].fn = [](unsigned) { return std::string("steady-result"); };
+
+  const auto results = exec::run_jobs(cfg, specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 0u);  // input order, not completion order
+  EXPECT_FALSE(results[0].quarantined);
+  EXPECT_EQ(results[0].attempts, 3u);
+  EXPECT_EQ(results[0].outcome.payload, "ok-after-retries");
+  EXPECT_EQ(results[1].outcome.payload, "steady-result");
+  EXPECT_EQ(results[1].attempts, 1u);
+}
+
+TEST(Pool, QuarantinesAfterExhaustingRetries) {
+  TempDir tmp;
+  exec::PoolConfig cfg;
+  cfg.max_retries = 1;
+  cfg.backoff.initial_seconds = 0.01;
+  cfg.scratch_dir = tmp.path;
+  std::vector<exec::JobSpec> specs(1);
+  specs[0].id = 9;
+  specs[0].name = "doomed";
+  specs[0].fn = [](unsigned) -> std::string {
+    exec::CrashHook::fire(exec::CrashHook::Action::Segv);
+    return "unreachable";
+  };
+  std::size_t observed = 0;
+  const auto results =
+      exec::run_jobs(cfg, specs, [&](const exec::JobResult&) { ++observed; });
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].quarantined);
+  EXPECT_EQ(results[0].attempts, 2u);  // first attempt + one retry
+  EXPECT_EQ(results[0].outcome.kind, exec::OutcomeKind::Signal);
+  EXPECT_EQ(observed, 1u);
+}
+
+TEST(Pool, EmptyBatchIsANoOp) {
+  TempDir tmp;
+  exec::PoolConfig cfg;
+  cfg.scratch_dir = tmp.path;
+  EXPECT_TRUE(exec::run_jobs(cfg, {}).empty());
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 namespace pcieb {
@@ -192,6 +193,47 @@ TEST_P(PercentileSweep, PercentileIsMonotoneInP) {
 INSTANTIATE_TEST_SUITE_P(Sweep, PercentileSweep,
                          ::testing::Values(1.0, 5.0, 25.0, 50.0, 75.0, 90.0,
                                            95.0, 99.0, 99.9));
+
+TEST(SampleSet, EmptySummaryHasNoNaN) {
+  SampleSet s;
+  const auto sum = summarize_latency(s);
+  EXPECT_EQ(sum.count, 0u);
+  for (double v : {sum.mean_ns, sum.median_ns, sum.min_ns, sum.max_ns,
+                   sum.p95_ns, sum.p99_ns, sum.p999_ns}) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0);
+  }
+  // The formatted line must never leak "nan" into reports or CSV.
+  EXPECT_EQ(format_latency_summary(sum).find("nan"), std::string::npos);
+}
+
+TEST(Histogram, NonFiniteInputsAreSafe) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::nan(""));  // dropped: NaN orders with nothing
+  EXPECT_EQ(h.total(), 0u);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bin_count(3), 1u);  // +inf saturates the top bin
+  EXPECT_EQ(h.bin_count(0), 1u);  // -inf saturates the bottom bin
+}
+
+TEST(LogHistogram, NonFiniteInputsAreSafe) {
+  LogHistogram h(1.0, 5);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 0u);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);  // +inf saturates the top bin
+  EXPECT_EQ(h.bin_count(0), 1u);  // below-range (and -inf) land in bin 0
+}
+
+TEST(LogHistogram, EmptyHistogramReportsZeroTotal) {
+  LogHistogram h(1.0, 8);
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0u);
+}
 
 }  // namespace
 }  // namespace pcieb

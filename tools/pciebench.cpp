@@ -12,9 +12,11 @@
 //   pciebench run --system NetFPGA-HSW --bench BW_WR --size 256
 //       --window 1M --faults "drop@every=1000,dir=up" --errors
 //   pciebench suite --system NFP6000-SNB --filter BW_RD --csv out.csv
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <set>
@@ -22,12 +24,16 @@
 #include <string>
 #include <vector>
 
+#include "check/campaign_exec.hpp"
 #include "check/chaos.hpp"
 #include "check/monitors.hpp"
+#include "core/multi_runner.hpp"
 #include "core/observe.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/suite.hpp"
+#include "exec/outcome.hpp"
+#include "exec/pool.hpp"
 #include "fault/plan.hpp"
 #include "sysconfig/profiles.hpp"
 
@@ -35,13 +41,24 @@ namespace {
 
 using namespace pcieb;
 
+// Exit codes, uniform across subcommands (docs/EXEC.md):
+//   0 — success
+//   1 — benchmark failure / invariant violation
+//   2 — usage error (bad flags, unknown system, malformed specs)
+//   3 — infrastructure or worker error (journal I/O, quarantined jobs)
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInfra = 3;
+
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr, R"(usage:
   pciebench list-systems
   pciebench run --system NAME --bench KIND [options]
-  pciebench suite --system NAME [--filter STR] [--csv FILE]
+  pciebench suite --system NAME [--filter STR] [--csv FILE] [exec options]
   pciebench chaos [--trials N] [--master-seed N] [--iters N] [--no-shrink]
+                  [exec options] [--csv FILE] [--artifacts DIR]
 
 run options:
   --bench KIND      LAT_RD | LAT_WRRD | BW_RD | BW_WR | BW_RDWR
@@ -88,10 +105,48 @@ chaos options:
   --no-shrink       report the first failure without minimizing it
   --seed-bug        TEST-ONLY: plant the known credit-leak bug so the
                     campaign demonstrably catches and shrinks a failure
+  --csv FILE        write the canonical per-trial CSV (isolated mode)
+  --artifacts DIR   quarantine-artifact directory (default <journal>/artifacts)
+
+exec options (suite and chaos — any of them switches the command into
+crash-safe isolated mode: every trial/experiment runs in a forked worker
+with a deadline and an RSS budget, is retried with capped backoff, then
+quarantined; completed results append to a resumable journal. docs/EXEC.md):
+  --jobs N            concurrent worker processes          (default 1)
+  --trial-timeout S   per-attempt wall-clock deadline, sec (default 120)
+  --max-retries N     retries after the first attempt      (default 2)
+  --rss-budget SZ     per-worker RSS budget, e.g. 2G       (default off)
+  --journal DIR       journal directory for a fresh run    (default temp)
+  --resume DIR        resume from DIR, skipping journaled results
+                      (mutually exclusive with --journal)
+
+exit codes (all commands):
+  0  success          1  benchmark failure / invariant violation
+  2  usage error      3  infrastructure or worker error (incl. quarantines)
 
 unknown options are rejected; see docs/OBSERVABILITY.md for the schema.
 )");
   std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* key, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+  if (s.empty() || errno != 0 || end != s.c_str() + s.size() ||
+      s.front() == '-') {
+    usage(("bad number '" + s + "' for --" + key).c_str());
+  }
+  return v;
+}
+
+double parse_f64(const char* key, const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || !(v >= 0.0)) {
+    usage(("bad value '" + s + "' for --" + key).c_str());
+  }
+  return v;
 }
 
 std::uint64_t parse_size(const std::string& s) {
@@ -169,11 +224,50 @@ const std::set<std::string> kRunValueKeys = {
 const std::set<std::string> kRunFlagKeys = {"cdf",    "histogram", "timeseries",
                                             "cmd-if", "breakdown", "errors",
                                             "monitors"};
-const std::set<std::string> kSuiteValueKeys = {"system", "filter", "csv"};
+// Any exec key present switches suite/chaos into crash-safe isolated mode.
+const std::set<std::string> kExecValueKeys = {
+    "jobs", "trial-timeout", "max-retries", "rss-budget", "journal", "resume"};
+const std::set<std::string> kSuiteValueKeys = {
+    "system", "filter", "csv",
+    "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
+    "resume"};
 const std::set<std::string> kSuiteFlagKeys = {};
-const std::set<std::string> kChaosValueKeys = {"trials", "master-seed",
-                                               "iters"};
+const std::set<std::string> kChaosValueKeys = {
+    "trials", "master-seed", "iters", "csv", "artifacts",
+    "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
+    "resume"};
 const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug"};
+
+bool exec_mode_requested(const Args& args) {
+  for (const auto& key : kExecValueKeys) {
+    if (args.values.contains(key)) return true;
+  }
+  return false;
+}
+
+/// Shared exec-flag parsing for suite/chaos isolated modes. Returns the
+/// (journal_dir, resume) pair via out-params on the caller's config.
+exec::PoolConfig parse_pool_config(const Args& args, std::string& journal_dir,
+                                   bool& resume) {
+  exec::PoolConfig pool;
+  pool.jobs = parse_u64("jobs", args.get("jobs", "1"));
+  if (pool.jobs == 0) usage("--jobs must be >= 1");
+  pool.limits.wall_seconds =
+      parse_f64("trial-timeout", args.get("trial-timeout", "120"));
+  if (pool.limits.wall_seconds <= 0) usage("--trial-timeout must be > 0");
+  pool.max_retries = static_cast<unsigned>(
+      parse_u64("max-retries", args.get("max-retries", "2")));
+  const std::string rss = args.get("rss-budget", "");
+  if (!rss.empty()) pool.limits.rss_bytes = parse_size(rss);
+  const std::string journal = args.get("journal", "");
+  const std::string resume_dir = args.get("resume", "");
+  if (!journal.empty() && !resume_dir.empty()) {
+    usage("--journal and --resume are mutually exclusive");
+  }
+  journal_dir = resume_dir.empty() ? journal : resume_dir;
+  resume = !resume_dir.empty();
+  return pool;
+}
 
 int cmd_list_systems() {
   std::printf("%-16s %-28s %-6s %-13s %s\n", "name", "cpu", "numa", "arch",
@@ -196,9 +290,9 @@ sim::SystemConfig configured_system(const Args& args,
       static_cast<std::uint32_t>(parse_size(args.get("size", "64")));
   params.offset = static_cast<std::uint32_t>(parse_size(args.get("offset", "0")));
   params.window_bytes = parse_size(args.get("window", "8K"));
-  params.iterations = std::strtoull(args.get("iters", "20000").c_str(), nullptr, 10);
-  params.warmup = std::strtoull(args.get("warmup", "0").c_str(), nullptr, 10);
-  params.seed = std::strtoull(args.get("seed", "42").c_str(), nullptr, 10);
+  params.iterations = parse_u64("iters", args.get("iters", "20000"));
+  params.warmup = parse_u64("warmup", args.get("warmup", "0"));
+  params.seed = parse_u64("seed", args.get("seed", "42"));
   params.use_cmd_if = args.has_flag("cmd-if");
 
   const std::string pattern = args.get("pattern", "rand");
@@ -228,8 +322,7 @@ sim::SystemConfig configured_system(const Args& args,
   const std::string faults = args.get("faults", "");
   if (!faults.empty()) {
     cfg.fault_plan = fault::parse_plan(faults);
-    cfg.fault_plan.seed =
-        std::strtoull(args.get("fault-seed", "0x5eed").c_str(), nullptr, 0);
+    cfg.fault_plan.seed = parse_u64("fault-seed", args.get("fault-seed", "0x5eed"));
   }
   return cfg;
 }
@@ -318,14 +411,61 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+/// Crash-safe isolated campaign: progress to stderr, the canonical
+/// byte-stable summary (what the CI resume leg diffs) alone on stdout.
+int cmd_chaos_isolated(const Args& args, const check::ChaosConfig& chaos) {
+  check::ExecCampaignConfig cfg;
+  cfg.chaos = chaos;
+  cfg.pool = parse_pool_config(args, cfg.journal_dir, cfg.resume);
+  cfg.artifacts_dir = args.get("artifacts", "");
+
+  std::fprintf(stderr,
+               "chaos: %zu trials, master seed 0x%llx, %zu iters/trial, "
+               "%zu worker%s%s%s\n",
+               chaos.trials,
+               static_cast<unsigned long long>(chaos.master_seed),
+               chaos.iterations, cfg.pool.jobs, cfg.pool.jobs == 1 ? "" : "s",
+               cfg.resume ? ", resuming" : "",
+               chaos.seed_credit_leak_bug ? " [credit-leak bug planted]" : "");
+  const auto result = check::run_campaign_isolated(
+      cfg, [](const check::TrialRecord& r) {
+        std::fprintf(stderr, "%s%s\n", r.summary_line().c_str(),
+                     r.resumed ? "  [resumed]" : "");
+      });
+
+  std::fputs(result.summary_text(chaos).c_str(), stdout);
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty()) {
+    result.write_csv(csv);
+    std::fprintf(stderr, "wrote %zu trial records to %s\n",
+                 result.records.size(), csv.c_str());
+  }
+  std::fprintf(stderr, "journal: %s\n", result.journal_dir.c_str());
+  if (result.minimized) {
+    const auto& m = *result.minimized;
+    std::fprintf(stderr, "minimized after %zu runs:\n  replay: %s\n", m.runs,
+                 m.minimal.repro_command().c_str());
+  }
+  if (result.quarantined != 0) {
+    std::fprintf(stderr, "quarantine artifacts: %s\n",
+                 result.artifacts_dir.c_str());
+    return kExitInfra;
+  }
+  return result.violation != 0 ? kExitFailure : kExitOk;
+}
+
 int cmd_chaos(const Args& args) {
   check::ChaosConfig cfg;
-  cfg.trials = std::strtoull(args.get("trials", "20").c_str(), nullptr, 0);
-  cfg.master_seed =
-      std::strtoull(args.get("master-seed", "0xc4a05").c_str(), nullptr, 0);
-  cfg.iterations = std::strtoull(args.get("iters", "400").c_str(), nullptr, 0);
+  cfg.trials = parse_u64("trials", args.get("trials", "20"));
+  cfg.master_seed = parse_u64("master-seed", args.get("master-seed", "0xc4a05"));
+  cfg.iterations = parse_u64("iters", args.get("iters", "400"));
   cfg.shrink = !args.has_flag("no-shrink");
   cfg.seed_credit_leak_bug = args.has_flag("seed-bug");
+
+  if (exec_mode_requested(args)) return cmd_chaos_isolated(args, cfg);
+  if (args.values.contains("csv") || args.values.contains("artifacts")) {
+    usage("--csv/--artifacts require isolated mode (pass an exec option)");
+  }
 
   std::printf("chaos: %zu trials, master seed 0x%llx, %zu iters/trial%s\n",
               cfg.trials, static_cast<unsigned long long>(cfg.master_seed),
@@ -364,19 +504,46 @@ int cmd_suite(const Args& args) {
 
   const auto suite = core::Suite::standard(system_name);
   std::size_t done = 0;
-  const auto records =
-      suite.run(args.get("filter", ""), [&](const core::ExperimentRecord& r) {
-        ++done;
-        std::fprintf(stderr, "[%3zu] %-22s %.2fs\n", done,
-                     r.experiment.name.c_str(), r.wall_seconds);
-      });
+  const auto progress = [&](const core::ExperimentRecord& r) {
+    ++done;
+    std::fprintf(stderr, "[%3zu] %-22s %.2fs\n", done,
+                 r.experiment.name.c_str(), r.wall_seconds);
+  };
+
+  std::vector<core::ExperimentRecord> records;
+  int exit_code = kExitOk;
+  if (exec_mode_requested(args)) {
+    core::IsolatedRunConfig cfg;
+    cfg.pool = parse_pool_config(args, cfg.journal_dir, cfg.resume);
+    core::MultiRunner runner(suite, cfg);
+    auto res = runner.run(
+        args.get("filter", ""), progress,
+        [](const std::string& name, const exec::JobResult& job) {
+          std::fprintf(stderr, "quarantined: %s (%s after %u attempt%s)\n",
+                       name.c_str(), job.outcome.classify().c_str(),
+                       job.attempts, job.attempts == 1 ? "" : "s");
+        });
+    records = std::move(res.records);
+    std::fprintf(stderr, "journal: %s\n", res.journal_dir.c_str());
+    if (!res.quarantined.empty()) {
+      std::fprintf(stderr, "%zu experiment%s quarantined; artifacts: %s\n",
+                   res.quarantined.size(),
+                   res.quarantined.size() == 1 ? "" : "s",
+                   res.artifacts_dir.c_str());
+      exit_code = kExitInfra;
+    }
+  } else {
+    records = suite.run(args.get("filter", ""), progress);
+  }
+
   std::printf("%s", core::summarize(records).c_str());
   const std::string csv = args.get("csv", "");
   if (!csv.empty()) {
     core::write_csv(records, csv);
-    std::printf("wrote %zu records to %s\n", records.size(), csv.c_str());
+    std::fprintf(stderr, "wrote %zu records to %s\n", records.size(),
+                 csv.c_str());
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
@@ -397,9 +564,19 @@ int main(int argc, char** argv) {
       return cmd_chaos(
           parse_args(argc, argv, 2, kChaosValueKeys, kChaosFlagKeys));
     }
+  } catch (const exec::InfraError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInfra;
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInfra;
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());  // bad flag values, unknown systems: usage errors
+  } catch (const std::out_of_range& e) {
+    usage(e.what());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
   usage(("unknown command '" + cmd + "'").c_str());
 }

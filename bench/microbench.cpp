@@ -1,14 +1,19 @@
 // google-benchmark microbenchmarks for the library's hot paths: the
-// packetizer, the event engine, the cache tag array and the RNG. These
-// guard the simulator's own performance (a full figure sweep executes
-// hundreds of millions of events).
+// packetizer (both the allocating and the caller-owned-TlpVec forms), the
+// event engine and its SmallFn callable wrapper, the DMA in-flight map,
+// the cache tag array and the RNG. These guard the simulator's own
+// performance (a full figure sweep executes hundreds of millions of
+// events); `pciebench perf` measures the same paths end to end.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
 #include "pcie/packetizer.hpp"
+#include "pcie/tlp_vec.hpp"
 #include "sim/cache.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
+#include "sim/small_fn.hpp"
 
 namespace {
 
@@ -22,6 +27,21 @@ void BM_SegmentWrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SegmentWrite)->Arg(64)->Arg(1500)->Arg(4096);
+
+// The zero-copy form: one reusable caller-owned TlpVec, no allocation per
+// call. Contrast with BM_SegmentWrite's returned std::vector.
+void BM_SegmentWriteIntoTlpVec(benchmark::State& state) {
+  const auto cfg = proto::gen3_x8();
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  proto::TlpVec out;
+  for (auto _ : state) {
+    out.clear();
+    proto::segment_write(cfg, 0x1000, len, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentWriteIntoTlpVec)->Arg(64)->Arg(1500)->Arg(4096);
 
 void BM_DmaReadBytes(benchmark::State& state) {
   const auto cfg = proto::gen3_x8();
@@ -60,6 +80,56 @@ void BM_EventChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventChain);
+
+// SmallFn's fire-once cycle as the event loop drives it: emplace an
+// inline-capture callable, then invoke+destroy in one dispatch.
+void BM_SmallFnInlineConsume(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::SmallFn fn;
+    fn.emplace([&sink] { ++sink; });
+    fn.invoke_consume();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmallFnInlineConsume);
+
+// The >48 B spill path (one heap cell per emplace) — the cost cap for
+// oversized captures, not a path figure sweeps hit.
+void BM_SmallFnHeapConsume(benchmark::State& state) {
+  struct Big {
+    std::uint64_t* sink;
+    unsigned char pad[72];
+    void operator()() { ++*sink; }
+  };
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::SmallFn fn;
+    fn.emplace(Big{&sink, {}});
+    fn.invoke_consume();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmallFnHeapConsume);
+
+// The DMA engine's tag/dma_id bookkeeping shape: a sliding window of
+// monotone keys, insert + find + erase per transaction.
+void BM_FlatU32MapWindow(benchmark::State& state) {
+  const auto window = static_cast<std::uint32_t>(state.range(0));
+  sim::FlatU32Map<std::uint64_t> map;
+  std::uint32_t next = 1;
+  for (std::uint32_t i = 0; i < window; ++i) map.insert(next++, next);
+  for (auto _ : state) {
+    map.insert(next, next);
+    benchmark::DoNotOptimize(map.find(next));
+    map.erase(next - window);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatU32MapWindow)->Arg(32)->Arg(256);
 
 void BM_CacheProbe(benchmark::State& state) {
   sim::CacheConfig cfg;

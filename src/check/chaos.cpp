@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/runner.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/system.hpp"
 #include "sysconfig/profiles.hpp"
 
@@ -222,6 +223,8 @@ TrialOutcome run_trial(const TrialSpec& spec) {
   out.total_violations = monitors.total_violations();
   out.violations = monitors.violations();
   out.failed = !monitors.ok() || !out.error.empty();
+  out.events = system.sim().executed();
+  out.tlps = system.upstream().tlps_sent() + system.downstream().tlps_sent();
   return out;
 }
 
@@ -289,8 +292,55 @@ ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget,
   return res;
 }
 
+namespace {
+
+/// Thread-parallel campaign body: every trial executes (each on its own
+/// Simulator), outcomes are buffered by index, and the serial campaign's
+/// observable behaviour is then replayed from the buffer — observer calls
+/// in index order up to the lowest failure, trials_run = f + 1, one
+/// counted failure, serial shrink. Byte-identical to the serial path by
+/// construction; only wall-clock (and how many trials past f burned CPU)
+/// differs.
+CampaignResult run_campaign_threaded(const ChaosConfig& cfg,
+                                     const TrialObserver& observe) {
+  std::vector<TrialSpec> specs(cfg.trials);
+  std::vector<TrialOutcome> outs(cfg.trials);
+  exec::ThreadPool pool(cfg.threads);
+  pool.parallel_indexed(cfg.trials, [&](std::size_t i) {
+    specs[i] = generate_trial(cfg, i);
+    outs[i] = run_trial(specs[i]);
+  });
+
+  std::size_t last = cfg.trials;  // one past the last trial "run"
+  for (std::size_t i = 0; i < cfg.trials; ++i) {
+    if (outs[i].failed) {
+      last = i + 1;
+      break;
+    }
+  }
+
+  CampaignResult res;
+  for (std::size_t i = 0; i < last && i < cfg.trials; ++i) {
+    ++res.trials_run;
+    if (observe) observe(specs[i], outs[i]);
+    if (outs[i].failed) {
+      ++res.failures;
+      res.first_failure = specs[i];
+      if (cfg.shrink) {
+        res.minimized = shrink_trial(specs[i], cfg.shrink_budget);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const ChaosConfig& cfg,
                             const TrialObserver& observe) {
+  if (cfg.threads > 1 && cfg.trials > 1) {
+    return run_campaign_threaded(cfg, observe);
+  }
   CampaignResult res;
   for (std::size_t i = 0; i < cfg.trials; ++i) {
     const TrialSpec spec = generate_trial(cfg, i);

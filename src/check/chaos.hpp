@@ -55,6 +55,10 @@ struct TrialOutcome {
   std::uint64_t total_violations = 0;
   std::vector<Violation> violations;  ///< recorded subset, in order
   std::string error;                  ///< abort reason, if the run threw
+  /// Simulator events executed and TLPs sent (both link directions) by
+  /// the trial — the perf harness's raw material; zero-cost to record.
+  std::uint64_t events = 0;
+  std::uint64_t tlps = 0;
 
   std::string summary() const;  ///< one line: pass, or why it failed
 };
@@ -67,6 +71,15 @@ struct ChaosConfig {
   bool shrink = true;
   std::size_t shrink_budget = 128;  ///< max re-runs spent minimizing
   bool seed_credit_leak_bug = false;  ///< TEST-ONLY, propagated to trials
+  /// Intra-process parallelism: > 1 runs trials on a work-stealing thread
+  /// pool (each trial is pure in (master_seed, index) and builds its own
+  /// Simulator, so trials never share state). Outcomes are buffered and
+  /// replayed in index order, so the observer sequence, the summary and
+  /// the CampaignResult are byte-identical to a serial run — including
+  /// the stop-at-first-failure semantics: with a lowest failing index f,
+  /// the observer sees exactly trials 0..f and trials_run == f + 1, even
+  /// though later trials may have executed. Shrinking stays serial.
+  std::size_t threads = 1;
 };
 
 /// Trial `index` of the campaign — pure in (cfg.master_seed, index).

@@ -1,0 +1,70 @@
+// Performance-regression harness: fixed workloads, exact event counts,
+// wall-clock rates — the data behind `pciebench perf` and BENCH_perf.json.
+//
+// The simulator is deterministic, so every workload here executes an
+// EXACT number of events and TLPs on every run and every machine; only
+// wall-clock varies. That split is what makes the harness CI-able:
+// tools/ci_perf_check.sh asserts the event counts (non-flaky), while the
+// rates (events/sec, ns per simulated TLP) are recorded as trajectory
+// data in BENCH_perf.json rather than gated.
+//
+// Three workloads, chosen to exercise the three distinct hot-path mixes:
+//  * fig04_bw_sweep  — the paper's Figure 4 bandwidth sweep (BW_RD,
+//    64..2048 B on NFP6000-HSW): deep outstanding-transaction pipelines,
+//    the packetizer, the LLC probe loop. This is the headline workload
+//    the pre-change baseline (kBaselineEventsPerSec) was measured on.
+//  * fig05_latency   — serial DMA latency (LAT_RD / LAT_WRRD): one
+//    transaction in flight, so per-event engine overhead dominates.
+//  * chaos_dry_run   — a shrink-free chaos campaign: thousands of small
+//    heterogeneous systems built and torn down, fault machinery armed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcieb::check {
+
+/// Pre-change baseline on the full (non-quick) fig04_bw_sweep workload:
+/// events/sec of the seed-commit simulator (std::priority_queue +
+/// std::function event loop) on the reference container, and the exact
+/// event count of that workload. Recorded here so BENCH_perf.json always
+/// carries both sides of the before/after comparison.
+inline constexpr double kBaselineEventsPerSec = 7.03e6;
+inline constexpr std::uint64_t kFig04Events = 2'226'000;
+
+struct PerfConfig {
+  /// Quick mode: ~10x fewer iterations/trials per workload. Event counts
+  /// are still exact — just different constants from the full run.
+  bool quick = false;
+};
+
+struct PerfWorkloadResult {
+  std::string name;
+  std::uint64_t events = 0;  ///< simulator events executed (exact)
+  std::uint64_t tlps = 0;    ///< TLPs sent on both link directions (exact)
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double ns_per_tlp = 0.0;  ///< wall nanoseconds per simulated TLP
+};
+
+struct PerfReport {
+  bool quick = false;
+  std::vector<PerfWorkloadResult> workloads;
+  double baseline_events_per_sec = kBaselineEventsPerSec;
+  /// fig04 events/sec divided by the recorded baseline. Quick mode runs a
+  /// smaller sweep, so treat the quick-mode value as indicative only.
+  double fig04_speedup_vs_baseline = 0.0;
+
+  const PerfWorkloadResult* find(const std::string& name) const;
+  /// BENCH_perf.json payload (schema "pcieb-perf-v1").
+  std::string to_json() const;
+  /// Human-readable table for stdout.
+  std::string summary() const;
+};
+
+/// Run all three workloads serially (rates are meaningless under
+/// co-scheduling) and assemble the report.
+PerfReport run_perf(const PerfConfig& cfg);
+
+}  // namespace pcieb::check

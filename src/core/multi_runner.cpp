@@ -8,12 +8,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/addressing.hpp"
 #include "core/runner.hpp"
 #include "exec/journal.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/host_buffer.hpp"
 #include "sysconfig/profiles.hpp"
 
@@ -254,39 +256,86 @@ IsolatedRunResult MultiRunner::run(const std::string& filter,
     }
   }
 
-  std::vector<exec::JobSpec> specs;
+  std::vector<std::size_t> pending;
   for (const std::size_t idx : selected) {
     if (done.count(idx)) continue;
-    if (cfg_.stop_after != 0 && specs.size() >= cfg_.stop_after) break;
-    exec::JobSpec spec;
-    spec.id = idx;
-    spec.name = experiments[idx].name;
-    const Experiment e = experiments[idx];  // by value across fork
-    spec.fn = [e](unsigned) { return serialize_record(run_one_experiment(e)); };
-    specs.push_back(std::move(spec));
+    if (cfg_.stop_after != 0 && pending.size() >= cfg_.stop_after) break;
+    pending.push_back(idx);
   }
 
   // Quarantined experiments get a failure artifact but — unlike chaos
   // trials — no journal record: they produced no result, so a resumed
   // suite gives them another chance instead of skipping them.
   std::map<std::size_t, exec::JobResult> quarantined;
-  exec::run_jobs(pool, specs, [&](const exec::JobResult& job) {
-    const auto idx = static_cast<std::size_t>(job.id);
-    auto rec = job.quarantined
-                   ? std::nullopt
-                   : deserialize_record(job.outcome.payload, experiments[idx]);
-    if (!rec) {
-      exec::atomic_write_file(
-          res.artifacts_dir + "/" + artifact_filename(job.name) + ".txt",
-          experiment_artifact_text(experiments[idx], job), /*sync=*/true);
-      if (on_quarantine) on_quarantine(job.name, job);
-      quarantined.emplace(idx, job);
-      return;
+
+  if (cfg_.threads > 0) {
+    // In-process thread-parallel mode: same journal, artifacts and hooks
+    // as fork isolation, minus the process boundary. The journal, the
+    // done map and the user hooks are serialized on one mutex; everything
+    // byte-stable is later derived from `done` in selected order, never
+    // from completion order.
+    std::mutex m;
+    exec::ThreadPool threads(cfg_.threads);
+    threads.parallel_indexed(pending.size(), [&](std::size_t i) {
+      const std::size_t idx = pending[i];
+      const Experiment& e = experiments[idx];
+      try {
+        ExperimentRecord rec = run_one_experiment(e);
+        const std::string payload = serialize_record(rec);
+        std::lock_guard<std::mutex> lock(m);
+        journal.append(idx, payload);
+        if (progress) progress(rec);
+        done.emplace(idx, std::move(rec));
+      } catch (const std::exception& ex) {
+        // No retries in-process: the first throw quarantines, with the
+        // same artifact shape the fork path produces.
+        exec::JobResult job;
+        job.id = idx;
+        job.name = e.name;
+        job.outcome.kind = exec::OutcomeKind::NonzeroExit;
+        job.outcome.exit_code = 1;
+        job.outcome.stderr_tail = std::string(ex.what()) + "\n";
+        job.attempts = 1;
+        job.quarantined = true;
+        std::lock_guard<std::mutex> lock(m);
+        exec::atomic_write_file(
+            res.artifacts_dir + "/" + artifact_filename(job.name) + ".txt",
+            experiment_artifact_text(e, job), /*sync=*/true);
+        if (on_quarantine) on_quarantine(job.name, job);
+        quarantined.emplace(idx, std::move(job));
+      }
+    });
+  } else {
+    std::vector<exec::JobSpec> specs;
+    specs.reserve(pending.size());
+    for (const std::size_t idx : pending) {
+      exec::JobSpec spec;
+      spec.id = idx;
+      spec.name = experiments[idx].name;
+      const Experiment e = experiments[idx];  // by value across fork
+      spec.fn = [e](unsigned) {
+        return serialize_record(run_one_experiment(e));
+      };
+      specs.push_back(std::move(spec));
     }
-    journal.append(job.id, job.outcome.payload);
-    if (progress) progress(*rec);
-    done.emplace(idx, std::move(*rec));
-  });
+    exec::run_jobs(pool, specs, [&](const exec::JobResult& job) {
+      const auto idx = static_cast<std::size_t>(job.id);
+      auto rec = job.quarantined
+                     ? std::nullopt
+                     : deserialize_record(job.outcome.payload, experiments[idx]);
+      if (!rec) {
+        exec::atomic_write_file(
+            res.artifacts_dir + "/" + artifact_filename(job.name) + ".txt",
+            experiment_artifact_text(experiments[idx], job), /*sync=*/true);
+        if (on_quarantine) on_quarantine(job.name, job);
+        quarantined.emplace(idx, job);
+        return;
+      }
+      journal.append(job.id, job.outcome.payload);
+      if (progress) progress(*rec);
+      done.emplace(idx, std::move(*rec));
+    });
+  }
 
   for (const std::size_t idx : selected) {
     const auto it = done.find(idx);

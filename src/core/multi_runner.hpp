@@ -66,6 +66,15 @@ struct IsolatedRunConfig {
   /// Journal directory; empty = a fresh temp directory (no resume).
   std::string journal_dir;
   bool resume = false;       ///< skip experiments already journaled
+  /// Intra-process parallelism: > 0 runs experiments on a work-stealing
+  /// thread pool in THIS process instead of forked workers — no deadline,
+  /// no RSS budget, no retries (a throwing experiment is quarantined
+  /// immediately), but no fork/exec cost either. Each experiment builds
+  /// its own Simulator, so trials never share state; records are returned
+  /// index-sorted and the journal stays resumable, so canonical output is
+  /// byte-identical to fork-isolated and serial execution. 0 = use the
+  /// fork-isolated pool above.
+  std::size_t threads = 0;
   /// TEST-ONLY: commit at most this many new records then return early,
   /// simulating a suite run killed mid-flight (0 = run everything).
   std::size_t stop_after = 0;

@@ -26,8 +26,8 @@ CreditLimits CreditLimits::infinite_completions() {
   return l;
 }
 
-bool CreditLedger::can_send(const Tlp& tlp) const {
-  switch (pool_for(tlp.type)) {
+bool CreditLedger::can_send_pool(CreditPool pool, Tlp tlp) const {
+  switch (pool) {
     case CreditPool::Posted:
       return posted_hdr_ + 1 <= limits_.posted_hdr &&
              posted_data_ + data_credits(tlp.payload) <= limits_.posted_data;
@@ -41,11 +41,16 @@ bool CreditLedger::can_send(const Tlp& tlp) const {
   return false;
 }
 
-void CreditLedger::consume(const Tlp& tlp) {
-  if (!can_send(tlp)) {
+bool CreditLedger::can_send(Tlp tlp) const {
+  return can_send_pool(pool_for(tlp.type), tlp);
+}
+
+void CreditLedger::consume(Tlp tlp) {
+  const CreditPool pool = pool_for(tlp.type);
+  if (!can_send_pool(pool, tlp)) {
     throw std::logic_error("CreditLedger: consume without available credits");
   }
-  switch (pool_for(tlp.type)) {
+  switch (pool) {
     case CreditPool::Posted:
       posted_hdr_ += 1;
       posted_data_ += data_credits(tlp.payload);
@@ -60,7 +65,7 @@ void CreditLedger::consume(const Tlp& tlp) {
   }
 }
 
-void CreditLedger::release(const Tlp& tlp) {
+void CreditLedger::release(Tlp tlp) {
   auto take = [](std::uint32_t& v, std::uint32_t amount) {
     if (v < amount) throw std::logic_error("CreditLedger: release underflow");
     v -= amount;

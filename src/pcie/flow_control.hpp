@@ -38,15 +38,18 @@ class CreditLedger {
  public:
   explicit CreditLedger(const CreditLimits& limits) : limits_(limits) {}
 
+  // Tlp is a 32-byte trivially-copyable value; passing it by value keeps
+  // these hot accounting calls free of aliasing and indirection.
+
   /// True if the TLP fits in the advertised window right now.
-  bool can_send(const Tlp& tlp) const;
+  bool can_send(Tlp tlp) const;
 
   /// Consume credits for a TLP; throws std::logic_error if violated
   /// (callers must gate on can_send).
-  void consume(const Tlp& tlp);
+  void consume(Tlp tlp);
 
   /// Return credits when the receiver drains the TLP.
-  void release(const Tlp& tlp);
+  void release(Tlp tlp);
 
   std::uint32_t posted_hdr_in_use() const { return posted_hdr_; }
   std::uint32_t posted_data_in_use() const { return posted_data_; }
@@ -55,6 +58,10 @@ class CreditLedger {
   std::uint32_t completion_data_in_use() const { return completion_data_; }
 
  private:
+  /// can_send with the pool already resolved, so consume() looks the pool
+  /// up exactly once per TLP.
+  bool can_send_pool(CreditPool pool, Tlp tlp) const;
+
   CreditLimits limits_;
   std::uint32_t posted_hdr_ = 0;
   std::uint32_t posted_data_ = 0;

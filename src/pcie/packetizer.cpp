@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace pcieb::proto {
 namespace {
@@ -16,43 +17,43 @@ void check_len(std::uint32_t len) {
   if (len == 0) throw std::invalid_argument("packetizer: zero-length DMA");
 }
 
-}  // namespace
+// The three cut rules, each written once as a loop over an emitter so the
+// vector, TlpVec, counting, and byte-totalling forms all share one
+// definition and cannot drift apart.
 
-std::vector<Tlp> segment_write(const LinkConfig& cfg, std::uint64_t addr,
-                               std::uint32_t len) {
+template <typename Emit>
+void emit_write(const LinkConfig& cfg, std::uint64_t addr, std::uint32_t len,
+                Emit&& emit) {
   check_len(len);
-  std::vector<Tlp> out;
   std::uint32_t tag = 0;
   while (len > 0) {
     std::uint32_t chunk = std::min<std::uint32_t>(len, cfg.mps);
     chunk = std::min(chunk, bytes_to_boundary(addr, k4K));
-    out.push_back(Tlp{TlpType::MemWr, addr, chunk, 0, tag++});
+    emit(Tlp{TlpType::MemWr, addr, chunk, 0, tag++});
     addr += chunk;
     len -= chunk;
   }
-  return out;
 }
 
-std::vector<Tlp> segment_read_requests(const LinkConfig& cfg,
-                                       std::uint64_t addr, std::uint32_t len) {
+template <typename Emit>
+void emit_read_requests(const LinkConfig& cfg, std::uint64_t addr,
+                        std::uint32_t len, Emit&& emit) {
   check_len(len);
-  std::vector<Tlp> out;
   std::uint32_t tag = 0;
   while (len > 0) {
     std::uint32_t chunk = std::min<std::uint32_t>(len, cfg.mrrs);
     chunk = std::min(chunk, bytes_to_boundary(addr, k4K));
-    out.push_back(Tlp{TlpType::MemRd, addr, 0, chunk, tag++});
+    emit(Tlp{TlpType::MemRd, addr, 0, chunk, tag++});
     addr += chunk;
     len -= chunk;
   }
-  return out;
 }
 
-std::vector<Tlp> segment_completions(const LinkConfig& cfg, std::uint64_t addr,
-                                     std::uint32_t len) {
+template <typename Emit>
+void emit_completions(const LinkConfig& cfg, std::uint64_t addr,
+                      std::uint32_t len, Emit&& emit) {
   check_len(len);
-  std::vector<Tlp> out;
-  std::uint32_t tag = 0;
+  const std::uint32_t tag = 0;
   // An RCB-unaligned first completion must end at the next RCB boundary;
   // aligned ones may carry a full MPS. Subsequent completions carry up to
   // MPS bytes each (MPS is a multiple of RCB, so they stay RCB-cut).
@@ -60,57 +61,124 @@ std::vector<Tlp> segment_completions(const LinkConfig& cfg, std::uint64_t addr,
       addr % cfg.rcb != 0
           ? std::min<std::uint32_t>(len, bytes_to_boundary(addr, cfg.rcb))
           : std::min<std::uint32_t>(len, cfg.mps);
-  out.push_back(Tlp{TlpType::CplD, addr, first, 0, tag});
+  emit(Tlp{TlpType::CplD, addr, first, 0, tag});
   addr += first;
   len -= first;
   while (len > 0) {
     std::uint32_t chunk = std::min<std::uint32_t>(len, cfg.mps);
-    out.push_back(Tlp{TlpType::CplD, addr, chunk, 0, tag});
+    emit(Tlp{TlpType::CplD, addr, chunk, 0, tag});
     addr += chunk;
     len -= chunk;
   }
+}
+
+template <typename Emit>
+std::uint32_t counting(Emit&& emitter, const LinkConfig& cfg,
+                       std::uint64_t addr, std::uint32_t len) {
+  std::uint32_t n = 0;
+  emitter(cfg, addr, len, [&n](const Tlp&) { ++n; });
+  return n;
+}
+
+}  // namespace
+
+std::uint32_t count_write_tlps(const LinkConfig& cfg, std::uint64_t addr,
+                               std::uint32_t len) {
+  return counting([](auto&&... a) { emit_write(a...); }, cfg, addr, len);
+}
+
+std::uint32_t count_read_requests(const LinkConfig& cfg, std::uint64_t addr,
+                                  std::uint32_t len) {
+  return counting([](auto&&... a) { emit_read_requests(a...); }, cfg, addr,
+                  len);
+}
+
+std::uint32_t count_completions(const LinkConfig& cfg, std::uint64_t addr,
+                                std::uint32_t len) {
+  return counting([](auto&&... a) { emit_completions(a...); }, cfg, addr, len);
+}
+
+std::vector<Tlp> segment_write(const LinkConfig& cfg, std::uint64_t addr,
+                               std::uint32_t len) {
+  std::vector<Tlp> out;
+  out.reserve(count_write_tlps(cfg, addr, len));
+  emit_write(cfg, addr, len, [&out](const Tlp& t) { out.push_back(t); });
   return out;
+}
+
+std::vector<Tlp> segment_read_requests(const LinkConfig& cfg,
+                                       std::uint64_t addr, std::uint32_t len) {
+  std::vector<Tlp> out;
+  out.reserve(count_read_requests(cfg, addr, len));
+  emit_read_requests(cfg, addr, len,
+                     [&out](const Tlp& t) { out.push_back(t); });
+  return out;
+}
+
+std::vector<Tlp> segment_completions(const LinkConfig& cfg, std::uint64_t addr,
+                                     std::uint32_t len) {
+  std::vector<Tlp> out;
+  out.reserve(count_completions(cfg, addr, len));
+  emit_completions(cfg, addr, len, [&out](const Tlp& t) { out.push_back(t); });
+  return out;
+}
+
+void segment_write(const LinkConfig& cfg, std::uint64_t addr,
+                   std::uint32_t len, TlpVec& out) {
+  out.clear();
+  emit_write(cfg, addr, len, [&out](const Tlp& t) { out.push_back(t); });
+}
+
+void segment_read_requests(const LinkConfig& cfg, std::uint64_t addr,
+                           std::uint32_t len, TlpVec& out) {
+  out.clear();
+  emit_read_requests(cfg, addr, len,
+                     [&out](const Tlp& t) { out.push_back(t); });
+}
+
+void segment_completions(const LinkConfig& cfg, std::uint64_t addr,
+                         std::uint32_t len, TlpVec& out) {
+  out.clear();
+  emit_completions(cfg, addr, len, [&out](const Tlp& t) { out.push_back(t); });
 }
 
 DirectionBytes dma_write_bytes(const LinkConfig& cfg, std::uint64_t addr,
                                std::uint32_t len) {
   DirectionBytes b;
-  for (const auto& tlp : segment_write(cfg, addr, len)) {
-    b.upstream += tlp.wire_bytes(cfg);
-  }
+  emit_write(cfg, addr, len,
+             [&](const Tlp& tlp) { b.upstream += tlp.wire_bytes(cfg); });
   return b;
 }
 
 DirectionBytes dma_read_bytes(const LinkConfig& cfg, std::uint64_t addr,
                               std::uint32_t len) {
   DirectionBytes b;
-  for (const auto& req : segment_read_requests(cfg, addr, len)) {
+  emit_read_requests(cfg, addr, len, [&](const Tlp& req) {
     b.upstream += req.wire_bytes(cfg);
-    for (const auto& cpl : segment_completions(cfg, req.addr, req.read_len)) {
+    emit_completions(cfg, req.addr, req.read_len, [&](const Tlp& cpl) {
       b.downstream += cpl.wire_bytes(cfg);
-    }
-  }
+    });
+  });
   return b;
 }
 
 DirectionBytes mmio_write_bytes(const LinkConfig& cfg, std::uint32_t len) {
   check_len(len);
   DirectionBytes b;
-  for (const auto& tlp : segment_write(cfg, 0, len)) {
-    b.downstream += tlp.wire_bytes(cfg);
-  }
+  emit_write(cfg, 0, len,
+             [&](const Tlp& tlp) { b.downstream += tlp.wire_bytes(cfg); });
   return b;
 }
 
 DirectionBytes mmio_read_bytes(const LinkConfig& cfg, std::uint32_t len) {
   check_len(len);
   DirectionBytes b;
-  for (const auto& req : segment_read_requests(cfg, 0, len)) {
+  emit_read_requests(cfg, 0, len, [&](const Tlp& req) {
     b.downstream += req.wire_bytes(cfg);
-    for (const auto& cpl : segment_completions(cfg, req.addr, req.read_len)) {
+    emit_completions(cfg, req.addr, req.read_len, [&](const Tlp& cpl) {
       b.upstream += cpl.wire_bytes(cfg);
-    }
-  }
+    });
+  });
   return b;
 }
 

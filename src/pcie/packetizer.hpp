@@ -11,6 +11,13 @@
 //    reads therefore cost extra completion TLPs — the effect the paper's
 //    model explicitly does not capture but pcie-bench can measure via the
 //    offset parameter.
+//
+// Each segmentation comes in two forms: a vector-returning convenience
+// (reserved to the exact TLP count up front) and an emit-into overload
+// writing into a caller-owned reusable TlpVec — the simulator hot path
+// uses the latter with per-component scratch buffers so steady-state
+// segmentation performs no allocations. The *_bytes totals are computed
+// without materializing TLP sequences at all.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 
 #include "pcie/link_config.hpp"
 #include "pcie/tlp.hpp"
+#include "pcie/tlp_vec.hpp"
 
 namespace pcieb::proto {
 
@@ -39,6 +47,23 @@ std::vector<Tlp> segment_read_requests(const LinkConfig& cfg,
 /// Completions generated for ONE read request (downstream).
 std::vector<Tlp> segment_completions(const LinkConfig& cfg, std::uint64_t addr,
                                      std::uint32_t len);
+
+/// Allocation-free variants: replace `out`'s contents with the split
+/// (identical TLPs, same order, as the vector-returning forms).
+void segment_write(const LinkConfig& cfg, std::uint64_t addr,
+                   std::uint32_t len, TlpVec& out);
+void segment_read_requests(const LinkConfig& cfg, std::uint64_t addr,
+                           std::uint32_t len, TlpVec& out);
+void segment_completions(const LinkConfig& cfg, std::uint64_t addr,
+                         std::uint32_t len, TlpVec& out);
+
+/// TLP counts of the corresponding splits, without building them.
+std::uint32_t count_write_tlps(const LinkConfig& cfg, std::uint64_t addr,
+                               std::uint32_t len);
+std::uint32_t count_read_requests(const LinkConfig& cfg, std::uint64_t addr,
+                                  std::uint32_t len);
+std::uint32_t count_completions(const LinkConfig& cfg, std::uint64_t addr,
+                                std::uint32_t len);
 
 /// Wire bytes for a device DMA write of `len` at `addr`.
 DirectionBytes dma_write_bytes(const LinkConfig& cfg, std::uint64_t addr,

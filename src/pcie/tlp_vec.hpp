@@ -1,0 +1,72 @@
+// Small-vector of TLPs for allocation-free segmentation.
+//
+// Segmenting one DMA op produces a handful of TLPs — at the paper
+// systems' MPS of 256 B a 4 KB-bounded op splits into at most 16 — so the
+// packetizer's emit-into overloads write into a caller-owned TlpVec whose
+// inline capacity covers that worst case. Components keep one TlpVec per
+// segmentation site as a reusable scratch buffer; steady-state traffic
+// then never allocates. Larger splits (bigger MRRS, tiny MPS) spill to a
+// heap buffer that sticks around for reuse, so even those amortize to
+// zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+
+#include "pcie/tlp.hpp"
+
+namespace pcieb::proto {
+
+class TlpVec {
+ public:
+  /// Covers a 4 KB-boundary-bounded op at MPS = 256 (16 TLPs).
+  static constexpr std::size_t kInlineCapacity = 16;
+
+  TlpVec() = default;
+
+  // Scratch buffers live in one component; neither copies nor moves.
+  TlpVec(const TlpVec&) = delete;
+  TlpVec& operator=(const TlpVec&) = delete;
+
+  void clear() { size_ = 0; }
+
+  void push_back(const Tlp& tlp) {
+    if (size_ == capacity_) grow();
+    data_[size_++] = tlp;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  Tlp& operator[](std::size_t i) { return data_[i]; }
+  const Tlp& operator[](std::size_t i) const { return data_[i]; }
+
+  Tlp* begin() { return data_; }
+  Tlp* end() { return data_ + size_; }
+  const Tlp* begin() const { return data_; }
+  const Tlp* end() const { return data_ + size_; }
+
+  /// True while the contents still sit in the inline buffer (test hook).
+  bool inline_storage() const { return data_ == inline_buf_; }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    auto bigger = std::make_unique<Tlp[]>(new_cap);
+    std::memcpy(static_cast<void*>(bigger.get()), data_,
+                size_ * sizeof(Tlp));
+    heap_ = std::move(bigger);
+    data_ = heap_.get();
+    capacity_ = new_cap;
+  }
+
+  Tlp inline_buf_[kInlineCapacity];
+  Tlp* data_ = inline_buf_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = kInlineCapacity;
+  std::unique_ptr<Tlp[]> heap_;
+};
+
+}  // namespace pcieb::proto

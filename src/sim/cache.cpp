@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <limits>
 #include <stdexcept>
@@ -11,13 +12,37 @@ LastLevelCache::LastLevelCache(const CacheConfig& cfg)
   if (cfg_.ways == 0 || cfg_.line_bytes == 0 || num_sets_ == 0) {
     throw std::invalid_argument("CacheConfig: zero-sized structure");
   }
+  if (cfg_.ways > 64) {
+    throw std::invalid_argument("CacheConfig: at most 64 ways supported");
+  }
   if (cfg_.ddio_ways == 0 || cfg_.ddio_ways > cfg_.ways) {
     throw std::invalid_argument("CacheConfig: ddio_ways must be in [1, ways]");
   }
   if (!std::has_single_bit(static_cast<std::uint64_t>(cfg_.line_bytes))) {
     throw std::invalid_argument("CacheConfig: line size must be a power of 2");
   }
-  lines_.resize(num_sets_ * cfg_.ways);
+  line_shift_ = static_cast<unsigned>(
+      std::countr_zero(static_cast<std::uint64_t>(cfg_.line_bytes)));
+  // Magic divisor for locate(): with m = ceil(2^p / d) and
+  // p = nbits + bit_width(d), floor(n*m / 2^p) == floor(n/d) exactly for
+  // all n < 2^nbits (the multiplier's excess e = m*d - 2^p is < d, so the
+  // error term n*e/(d*2^p) stays below 2^-bit_width(d) < 1/d). Line
+  // numbers fit nbits = 64 - line_shift_ bits by construction. Degenerate
+  // configs whose multiplier overflows 64 bits keep the hardware divide.
+  const unsigned nbits = 64u - line_shift_;
+  const unsigned p = nbits + static_cast<unsigned>(std::bit_width(num_sets_));
+  if (p <= 127) {
+    const unsigned __int128 m =
+        ((static_cast<unsigned __int128>(1) << p) + num_sets_ - 1) / num_sets_;
+    if ((m >> 64) == 0) {
+      set_magic_ = static_cast<std::uint64_t>(m);
+      set_magic_shift_ = p;
+    }
+  }
+  tags_.resize(num_sets_ * cfg_.ways);
+  lru_.resize(num_sets_ * cfg_.ways);
+  valid_.resize(num_sets_);
+  dirty_.resize(num_sets_);
 }
 
 std::uint64_t LastLevelCache::set_index(std::uint64_t addr) const {
@@ -28,22 +53,21 @@ std::uint64_t LastLevelCache::tag_of(std::uint64_t addr) const {
   return (addr / cfg_.line_bytes) / num_sets_;
 }
 
-LastLevelCache::Line* LastLevelCache::find(std::uint64_t addr) {
-  const std::uint64_t tag = tag_of(addr);
-  Line* base = &lines_[set_index(addr) * cfg_.ways];
+int LastLevelCache::find_way(std::uint64_t set, std::uint64_t tag) const {
+  const std::uint64_t* tags = &tags_[set * cfg_.ways];
+  const std::uint64_t vmask = valid_[set];
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return &base[w];
+    if (tags[w] == tag && ((vmask >> w) & 1u)) return static_cast<int>(w);
   }
-  return nullptr;
-}
-
-const LastLevelCache::Line* LastLevelCache::find(std::uint64_t addr) const {
-  return const_cast<LastLevelCache*>(this)->find(addr);
+  return -1;
 }
 
 bool LastLevelCache::read_probe(std::uint64_t addr) {
-  if (Line* line = find(addr)) {
-    line->lru = ++lru_clock_;
+  std::uint64_t set, tag;
+  locate(addr, set, tag);
+  const int w = find_way(set, tag);
+  if (w >= 0) {
+    lru_[set * cfg_.ways + static_cast<unsigned>(w)] = ++lru_clock_;
     ++hits_;
     return true;
   }
@@ -52,68 +76,81 @@ bool LastLevelCache::read_probe(std::uint64_t addr) {
 }
 
 LastLevelCache::WriteOutcome LastLevelCache::write_allocate(std::uint64_t addr) {
-  if (Line* line = find(addr)) {
-    line->lru = ++lru_clock_;
-    line->dirty = true;
+  std::uint64_t set, tag;
+  locate(addr, set, tag);
+  const std::uint64_t row = set * cfg_.ways;
+  if (const int w = find_way(set, tag); w >= 0) {
+    lru_[row + static_cast<unsigned>(w)] = ++lru_clock_;
+    dirty_[set] |= std::uint64_t{1} << w;
     ++hits_;
     return WriteOutcome::HitUpdate;
   }
   ++misses_;
   // Allocate within the DDIO quota: LRU among the first ddio_ways ways.
-  Line* base = &lines_[set_index(addr) * cfg_.ways];
-  Line* victim = &base[0];
+  unsigned victim = 0;
   for (unsigned w = 1; w < cfg_.ddio_ways; ++w) {
-    if (!base[w].valid) { victim = &base[w]; break; }
-    if (!victim->valid) break;
-    if (base[w].lru < victim->lru) victim = &base[w];
+    if (!valid(set, w)) { victim = w; break; }
+    if (!valid(set, victim)) break;
+    if (lru_[row + w] < lru_[row + victim]) victim = w;
   }
-  const bool was_dirty = victim->valid && victim->dirty;
+  const bool was_dirty = valid(set, victim) && dirty(set, victim);
   if (was_dirty) ++dirty_evictions_;
   ++ddio_allocations_;
-  if (victim->valid) ++ddio_evictions_;
-  victim->valid = true;
-  victim->dirty = true;
-  victim->tag = tag_of(addr);
-  victim->lru = ++lru_clock_;
+  if (valid(set, victim)) ++ddio_evictions_;
+  valid_[set] |= std::uint64_t{1} << victim;
+  dirty_[set] |= std::uint64_t{1} << victim;
+  tags_[row + victim] = tag;
+  lru_[row + victim] = ++lru_clock_;
   return was_dirty ? WriteOutcome::AllocatedDirty : WriteOutcome::AllocatedClean;
 }
 
-void LastLevelCache::host_touch(std::uint64_t addr, bool dirty) {
-  if (Line* line = find(addr)) {
-    line->lru = ++lru_clock_;
-    line->dirty = line->dirty || dirty;
+void LastLevelCache::host_touch(std::uint64_t addr, bool dirty_line) {
+  std::uint64_t set, tag;
+  locate(addr, set, tag);
+  const std::uint64_t row = set * cfg_.ways;
+  if (const int w = find_way(set, tag); w >= 0) {
+    lru_[row + static_cast<unsigned>(w)] = ++lru_clock_;
+    if (dirty_line) dirty_[set] |= std::uint64_t{1} << w;
     return;
   }
-  Line* base = &lines_[set_index(addr) * cfg_.ways];
-  Line* victim = &base[0];
+  unsigned victim = 0;
   for (unsigned w = 1; w < cfg_.ways; ++w) {
-    if (!base[w].valid) { victim = &base[w]; break; }
-    if (!victim->valid) break;
-    if (base[w].lru < victim->lru) victim = &base[w];
+    if (!valid(set, w)) { victim = w; break; }
+    if (!valid(set, victim)) break;
+    if (lru_[row + w] < lru_[row + victim]) victim = w;
   }
-  if (victim->valid && victim->dirty) ++dirty_evictions_;
-  victim->valid = true;
-  victim->dirty = dirty;
-  victim->tag = tag_of(addr);
-  victim->lru = ++lru_clock_;
+  if (valid(set, victim) && dirty(set, victim)) ++dirty_evictions_;
+  valid_[set] |= std::uint64_t{1} << victim;
+  if (dirty_line) {
+    dirty_[set] |= std::uint64_t{1} << victim;
+  } else {
+    dirty_[set] &= ~(std::uint64_t{1} << victim);
+  }
+  tags_[row + victim] = tag;
+  lru_[row + victim] = ++lru_clock_;
 }
 
 void LastLevelCache::thrash() {
   // Clean foreign lines everywhere: tags that no benchmark buffer address
   // maps to (top bit set), so every subsequent probe misses.
+  const std::uint64_t all_ways =
+      cfg_.ways == 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << cfg_.ways) - 1;
   for (std::uint64_t s = 0; s < num_sets_; ++s) {
     for (unsigned w = 0; w < cfg_.ways; ++w) {
-      Line& line = lines_[s * cfg_.ways + w];
-      line.valid = true;
-      line.dirty = false;
-      line.tag = (std::uint64_t{1} << 63) | w;
-      line.lru = ++lru_clock_;
+      tags_[s * cfg_.ways + w] = (std::uint64_t{1} << 63) | w;
+      lru_[s * cfg_.ways + w] = ++lru_clock_;
     }
+    valid_[s] = all_ways;
+    dirty_[s] = 0;
   }
 }
 
 void LastLevelCache::clear() {
-  for (auto& line : lines_) line = Line{};
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
 }
 
 void LastLevelCache::reset_stats() {
@@ -122,7 +159,9 @@ void LastLevelCache::reset_stats() {
 }
 
 bool LastLevelCache::contains(std::uint64_t addr) const {
-  return find(addr) != nullptr;
+  std::uint64_t set, tag;
+  locate(addr, set, tag);
+  return find_way(set, tag) >= 0;
 }
 
 }  // namespace pcieb::sim

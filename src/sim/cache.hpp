@@ -69,21 +69,51 @@ class LastLevelCache {
   bool contains(std::uint64_t addr) const;
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  ///< larger = more recently used
-    bool valid = false;
-    bool dirty = false;
-  };
-
   std::uint64_t set_index(std::uint64_t addr) const;
   std::uint64_t tag_of(std::uint64_t addr) const;
-  Line* find(std::uint64_t addr);
-  const Line* find(std::uint64_t addr) const;
+  /// Set and tag in one pass: a shift (line size is a power of two) and a
+  /// single division by num_sets_ whose quotient is the tag and whose
+  /// remainder is the set — the separate set_index/tag_of pair costs four
+  /// divisions per probe, which dominated the probe at -O2. The division
+  /// itself is strength-reduced to a multiply-high by a precomputed magic
+  /// constant (Granlund–Montgomery); the constructor proves the constant
+  /// exact for every representable line number or leaves set_magic_ at 0
+  /// to keep the hardware divide.
+  void locate(std::uint64_t addr, std::uint64_t& set, std::uint64_t& tag) const {
+    const std::uint64_t line = addr >> line_shift_;
+    if (set_magic_ != 0) {
+      tag = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(line) * set_magic_) >>
+          set_magic_shift_);
+    } else {
+      tag = line / num_sets_;
+    }
+    set = line - tag * num_sets_;
+  }
+  /// Way holding (set, tag), or -1 — a first-hit walk over the
+  /// contiguous tag row (8 B per way, one or two cache lines per set).
+  int find_way(std::uint64_t set, std::uint64_t tag) const;
+
+  bool valid(std::uint64_t set, unsigned way) const {
+    return (valid_[set] >> way) & 1u;
+  }
+  bool dirty(std::uint64_t set, unsigned way) const {
+    return (dirty_[set] >> way) & 1u;
+  }
 
   CacheConfig cfg_;
   std::uint64_t num_sets_;
-  std::vector<Line> lines_;  ///< num_sets_ * ways, set-major
+  unsigned line_shift_ = 0;      ///< log2(line_bytes)
+  std::uint64_t set_magic_ = 0;  ///< ceil(2^shift / num_sets_), 0 = divide
+  unsigned set_magic_shift_ = 0;
+  // Structure-of-arrays tag store: the probe (the simulator's single
+  // hottest cache operation) reads only the tag row — 8 B per way,
+  // contiguous — instead of striding over padded line records. Valid and
+  // dirty bits live in one bitmask word per set (ways <= 64 enforced).
+  std::vector<std::uint64_t> tags_;  ///< num_sets_ * ways, set-major
+  std::vector<std::uint64_t> lru_;   ///< num_sets_ * ways, set-major
+  std::vector<std::uint64_t> valid_;  ///< one mask per set
+  std::vector<std::uint64_t> dirty_;  ///< one mask per set
   std::uint64_t lru_clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -65,9 +65,8 @@ void DmaDevice::dma_read(std::uint64_t addr, std::uint32_t len, Callback done,
                     obs::EventKind::DmaReadSubmit, obs::Component::Device,
                     static_cast<std::uint8_t>(use_cmd_if ? 1 : 0)});
   }
-  const auto reqs = proto::segment_read_requests(link_cfg_, addr, len);
-  read_ops_[dma_id] = DmaReadOp{static_cast<std::uint32_t>(reqs.size()),
-                                use_cmd_if ? 0 : len, std::move(done)};
+  const std::uint32_t nreqs = proto::count_read_requests(link_cfg_, addr, len);
+  read_ops_.insert(dma_id, DmaReadOp{nreqs, use_cmd_if ? 0 : len, std::move(done)});
   read_bytes_requested_ += len;
   const Picos front_delay =
       use_cmd_if ? profile_.cmd_if_overhead : profile_.dma_enqueue;
@@ -77,11 +76,15 @@ void DmaDevice::dma_read(std::uint64_t addr, std::uint32_t len, Callback done,
 
 void DmaDevice::issue_read_requests(std::uint64_t addr, std::uint32_t len,
                                     std::uint32_t dma_id) {
-  for (auto req : proto::segment_read_requests(link_cfg_, addr, len)) {
-    read_tags_.acquire([this, req, dma_id]() mutable {
+  // Scratch buffer: acquire() never invokes the grant synchronously (it
+  // goes through the scheduler), so nothing re-enters this segmentation
+  // before the loop finishes copying each request into its closure.
+  proto::segment_read_requests(link_cfg_, addr, len, tlp_scratch_);
+  for (const proto::Tlp& r : tlp_scratch_) {
+    read_tags_.acquire([this, req = r, dma_id]() mutable {
       const std::uint32_t tag = next_tag_++;
       req.tag = tag;
-      inflight_reads_[tag] = ReadState{req.read_len, dma_id, req, 0, false};
+      inflight_reads_.insert(tag, ReadState{req.read_len, dma_id, req, 0, false});
       ++read_reqs_issued_;
       tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
       read_issue_.occupy(profile_.issue_interval, [this, req] {
@@ -109,13 +112,13 @@ void DmaDevice::arm_completion_timeout(std::uint32_t tag) {
 }
 
 void DmaDevice::on_completion_timeout(std::uint32_t tag) {
-  auto it = inflight_reads_.find(tag);
+  ReadState* found = inflight_reads_.find(tag);
   // Tags are monotonic and never reused, so a missing tag means the read
   // already finished (or was reissued) — this timer is stale.
-  if (it == inflight_reads_.end()) return;
+  if (found == nullptr) return;
   ++completion_timeouts_;
-  ReadState state = std::move(it->second);
-  inflight_reads_.erase(it);
+  ReadState state = std::move(*found);
+  inflight_reads_.erase(tag);
   ++read_reqs_retired_;
   read_tags_.release();
   if (aer_) {
@@ -143,7 +146,7 @@ void DmaDevice::reissue_read(proto::Tlp req, std::uint32_t dma_id,
   read_tags_.acquire([this, req, dma_id, retries]() mutable {
     const std::uint32_t tag = next_tag_++;
     req.tag = tag;
-    inflight_reads_[tag] = ReadState{req.read_len, dma_id, req, retries, false};
+    inflight_reads_.insert(tag, ReadState{req.read_len, dma_id, req, retries, false});
     ++read_reqs_issued_;
     tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
     read_issue_.occupy(profile_.issue_interval, [this, req] {
@@ -158,9 +161,9 @@ void DmaDevice::fail_request(std::uint32_t dma_id, const proto::Tlp& req) {
     aer_->record(fault::ErrorType::TransactionFailed, sim_.now(), req.addr,
                  req.tag, req.read_len);
   }
-  auto op_it = read_ops_.find(dma_id);
-  if (op_it == read_ops_.end()) return;
-  op_it->second.failed_bytes += req.read_len;
+  DmaReadOp* op = read_ops_.find(dma_id);
+  if (op == nullptr) return;
+  op->failed_bytes += req.read_len;
   retire_request(dma_id);
 }
 
@@ -195,8 +198,8 @@ void DmaDevice::on_downstream(const proto::Tlp& tlp) {
 }
 
 void DmaDevice::handle_completion(const proto::Tlp& tlp) {
-  auto it = inflight_reads_.find(tlp.tag);
-  if (it == inflight_reads_.end()) {
+  ReadState* found = inflight_reads_.find(tlp.tag);
+  if (found == nullptr) {
     // Stale (timed-out-and-reissued) or stray completion: tags are never
     // reused, so nothing can be misdelivered — count it and move on.
     ++unexpected_cpls_;
@@ -210,14 +213,14 @@ void DmaDevice::handle_completion(const proto::Tlp& tlp) {
     // UR/CA: the completer's verdict is authoritative — reclaim the tag
     // and fail the request now rather than burn retries.
     ++error_cpls_;
-    ReadState state = std::move(it->second);
-    inflight_reads_.erase(it);
+    ReadState state = std::move(*found);
+    inflight_reads_.erase(tlp.tag);
     ++read_reqs_retired_;
     read_tags_.release();
     fail_request(state.dma_id, state.req);
     return;
   }
-  ReadState& state = it->second;
+  ReadState& state = *found;
   if (tlp.poisoned) {
     ++poisoned_rx_;
     state.poisoned = true;
@@ -245,7 +248,7 @@ void DmaDevice::handle_completion(const proto::Tlp& tlp) {
   }
 
   ReadState finished = std::move(state);
-  inflight_reads_.erase(it);
+  inflight_reads_.erase(tlp.tag);
   ++read_reqs_retired_;
   read_tags_.release();
   if (!finished.poisoned) read_bytes_delivered_ += finished.req.read_len;
@@ -265,11 +268,11 @@ void DmaDevice::handle_completion(const proto::Tlp& tlp) {
 }
 
 bool DmaDevice::retire_request(std::uint32_t dma_id) {
-  auto op_it = read_ops_.find(dma_id);
-  if (op_it == read_ops_.end()) {
+  DmaReadOp* found = read_ops_.find(dma_id);
+  if (found == nullptr) {
     throw std::logic_error("DmaDevice: completion for unknown DMA op");
   }
-  DmaReadOp& op = op_it->second;
+  DmaReadOp& op = *found;
   if (--op.requests_left != 0) return false;
 
   // Whole DMA retired: device-side completion handling plus the staging
@@ -278,7 +281,7 @@ bool DmaDevice::retire_request(std::uint32_t dma_id) {
                      (op.total_len ? profile_.staging_delay(op.total_len) : 0);
   Callback done = std::move(op.done);
   const std::uint32_t failed_bytes = op.failed_bytes;
-  read_ops_.erase(op_it);
+  read_ops_.erase(dma_id);
   ++reads_completed_;
   if (failed_bytes > 0) {
     ++reads_failed_;
@@ -327,11 +330,11 @@ void DmaDevice::dma_write(std::uint64_t addr, std::uint32_t len, Callback done,
 
 void DmaDevice::send_write_tlps(std::uint64_t addr, std::uint32_t len,
                                 std::uint32_t dma_id, Callback done) {
-  auto tlps = proto::segment_write(link_cfg_, addr, len);
-  for (std::size_t i = 0; i < tlps.size(); ++i) {
-    const bool last = (i + 1 == tlps.size());
+  proto::segment_write(link_cfg_, addr, len, tlp_scratch_);
+  for (std::size_t i = 0; i < tlp_scratch_.size(); ++i) {
+    const bool last = (i + 1 == tlp_scratch_.size());
     pending_writes_.push_back(PendingWrite{
-        tlps[i], last ? std::move(done) : Callback{}, last, dma_id});
+        tlp_scratch_[i], last ? std::move(done) : Callback{}, last, dma_id});
   }
   try_send_pending_writes();
 }
@@ -365,24 +368,32 @@ void DmaDevice::try_send_pending_writes() {
     const std::uint32_t dma_id = pw.dma_id;
     pending_writes_.pop_front();
     ++writes_sent_;
-    write_issue_.occupy(profile_.issue_interval,
-                        [this, tlp, last, dma_id, done = std::move(done)] {
-                          upstream_.send(tlp);
-                          if (trace_ && last) {
-                            trace_->record({sim_.now(), 0, tlp.addr, dma_id,
-                                            tlp.payload,
-                                            obs::EventKind::DmaWriteDone,
-                                            obs::Component::Device, 0});
-                          }
-                          if (done) done();
-                        });
+    if (!last) {
+      // Non-final TLPs carry no completion state; the slim closure stays
+      // within the event engine's inline capture budget.
+      write_issue_.occupy(profile_.issue_interval,
+                          [this, tlp] { upstream_.send(tlp); });
+    } else {
+      write_issue_.occupy(profile_.issue_interval,
+                          [this, tlp, dma_id, done = std::move(done)] {
+                            upstream_.send(tlp);
+                            if (trace_) {
+                              trace_->record({sim_.now(), 0, tlp.addr, dma_id,
+                                              tlp.payload,
+                                              obs::EventKind::DmaWriteDone,
+                                              obs::Component::Device, 0});
+                            }
+                            if (done) done();
+                          });
+    }
   }
 }
 
 std::string DmaDevice::outstanding_tags() const {
   std::vector<std::uint32_t> tags;
   tags.reserve(inflight_reads_.size());
-  for (const auto& [tag, state] : inflight_reads_) tags.push_back(tag);
+  inflight_reads_.for_each(
+      [&tags](std::uint32_t tag, const ReadState&) { tags.push_back(tag); });
   std::sort(tags.begin(), tags.end());
   if (tags.empty()) return "none";
   std::string out = "tags:";

@@ -32,13 +32,13 @@
 #include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
 
 #include "fault/aer.hpp"
 #include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/packetizer.hpp"
 #include "pcie/tlp.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/link.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -236,8 +236,8 @@ class DmaDevice {
 
   std::uint32_t next_tag_ = 1;
   std::uint32_t next_dma_id_ = 1;
-  std::unordered_map<std::uint32_t, ReadState> inflight_reads_;
-  std::unordered_map<std::uint32_t, DmaReadOp> read_ops_;
+  FlatU32Map<ReadState> inflight_reads_;
+  FlatU32Map<DmaReadOp> read_ops_;
 
   std::int64_t posted_credits_;  ///< bytes of posted payload window left
   struct PendingWrite {
@@ -247,6 +247,12 @@ class DmaDevice {
     std::uint32_t dma_id = 0;
   };
   std::deque<PendingWrite> pending_writes_;
+
+  /// Reusable segmentation scratch. Safe to share across the read and
+  /// write paths: every segmentation loop finishes (copying each TLP out)
+  /// before any code that could segment again runs — grants and issue
+  /// completions always arrive via the scheduler, never synchronously.
+  proto::TlpVec tlp_scratch_;
 
   MmioHandler mmio_handler_;
   ProgressHook progress_;

@@ -33,33 +33,26 @@ void Iommu::tlb_insert(std::uint64_t page) {
   tlb_[page] = lru_.begin();
 }
 
-void Iommu::translate(std::uint64_t addr, bool is_write, Callback done) {
-  translate_checked(addr, is_write,
-                    [done = std::move(done)](bool /*ok*/) { done(); });
-}
-
-void Iommu::translate_checked(std::uint64_t addr, bool is_write,
-                              CheckedCallback done) {
-  if (!cfg_.enabled) {
-    done(true);
-    return;
-  }
+bool Iommu::probe(std::uint64_t addr, bool is_write, bool& fault) {
   // An injected fault models an unmapped/blocked page: such a page cannot
   // be TLB-resident, so the fault forces the full walk, which discovers
   // the missing leaf — full walk latency, nothing cached.
-  const bool fault =
-      injector_ && injector_->on_translate(addr, is_write, sim_.now());
-  const std::uint64_t page = addr / cfg_.page_bytes;
-  if (!fault && tlb_lookup(page)) {
+  fault = injector_ && injector_->on_translate(addr, is_write, sim_.now());
+  if (!fault && tlb_lookup(addr / cfg_.page_bytes)) {
     ++hits_;
     if (trace_) {
       trace_->record({sim_.now(), 0, addr, 0, 0, obs::EventKind::IommuHit,
                       obs::Component::Iommu,
                       static_cast<std::uint8_t>(is_write ? 1 : 0)});
     }
-    done(true);
-    return;
+    return true;
   }
+  return false;
+}
+
+void Iommu::walk(std::uint64_t addr, bool is_write, bool fault,
+                 CheckedCallback done) {
+  const std::uint64_t page = addr / cfg_.page_bytes;
   ++misses_;
   const Picos requested = sim_.now();
   const Picos occupancy =

@@ -45,16 +45,36 @@ class Iommu {
   /// translation is available (immediately-ish on a TLB hit). Faulting
   /// translations (see translate_checked) count but report success here —
   /// callers that can handle faults must use translate_checked.
-  void translate(std::uint64_t addr, bool is_write, Callback done);
+  template <typename F>
+  void translate(std::uint64_t addr, bool is_write, F&& done) {
+    translate_checked(
+        addr, is_write,
+        [done = std::forward<F>(done)](bool /*ok*/) mutable { done(); });
+  }
 
   /// Fault-aware translation: `done(ok)` runs when the translation
   /// resolves; ok=false means the remapping faulted (unmapped or blocked
   /// page — injected via the fault plan). A faulted walk still costs the
   /// full walk latency (the fault is discovered at the leaf) and is never
   /// cached, so retries of the same page fault again.
+  ///
+  /// The disabled and TLB-hit fast paths invoke `done` directly without
+  /// type-erasing it; only the (rare, already walk-latency-bound) miss
+  /// path builds a CheckedCallback.
   using CheckedCallback = std::function<void(bool ok)>;
-  void translate_checked(std::uint64_t addr, bool is_write,
-                         CheckedCallback done);
+  template <typename F>
+  void translate_checked(std::uint64_t addr, bool is_write, F&& done) {
+    if (!cfg_.enabled) {
+      done(true);
+      return;
+    }
+    bool fault = false;
+    if (probe(addr, is_write, fault)) {
+      done(true);
+      return;
+    }
+    walk(addr, is_write, fault, CheckedCallback(std::forward<F>(done)));
+  }
 
   /// Drop all cached translations (e.g. after a mapping change).
   void flush_tlb();
@@ -78,6 +98,12 @@ class Iommu {
 
   bool tlb_lookup(std::uint64_t page);
   void tlb_insert(std::uint64_t page);
+  /// Fault-injection check plus TLB probe; true on a hit (counted and
+  /// traced). On a miss, `fault` reports whether this walk will fault.
+  bool probe(std::uint64_t addr, bool is_write, bool& fault);
+  /// Miss path: acquire a walker, pay the walk latency, then resolve.
+  void walk(std::uint64_t addr, bool is_write, bool fault,
+            CheckedCallback done);
 
   Simulator& sim_;
   IommuConfig cfg_;

@@ -28,7 +28,7 @@ double Link::effective_rate() {
     }
     downtrained_ = false;
   }
-  return cfg_.tlp_gbps();
+  return line_rate_;
 }
 
 bool Link::replay_attempts(unsigned n, Picos gap, Picos ser,
@@ -76,7 +76,20 @@ Picos Link::send(const proto::Tlp& tlp) {
   ++tlps_;
   bytes_ += wire_bytes;
   payload_bytes_ += tlp.payload;
-  const Picos ser = serialization_ps(wire_bytes, effective_rate());
+  // At line rate (the overwhelmingly common case — derating only happens
+  // inside downtrain fault windows) the serialization time is a pure
+  // function of wire_bytes, memoized on first use with the identical
+  // floating-point expression, so values match recomputation bit-for-bit.
+  const double rate = effective_rate();
+  Picos ser;
+  if (rate == line_rate_ && wire_bytes < kSerMemoMax) {
+    if (wire_bytes >= ser_memo_.size()) ser_memo_.resize(wire_bytes + 1, -1);
+    Picos& slot = ser_memo_[wire_bytes];
+    if (slot < 0) slot = serialization_ps(wire_bytes, rate);
+    ser = slot;
+  } else {
+    ser = serialization_ps(wire_bytes, rate);
+  }
 
   // DLL recovery: each corrupted attempt occupies the wire, is NAKed, and
   // is replayed after the ACK/NAK round trip; a lost ACK replays after

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "fault/aer.hpp"
@@ -62,7 +63,8 @@ class Link {
   Link(Simulator& sim, const proto::LinkConfig& cfg, Picos propagation,
        const LinkFaultModel& faults = {}, const LinkDllConfig& dll = {})
       : sim_(sim), cfg_(cfg), wire_(sim), propagation_(propagation),
-        faults_(faults), dll_(dll), rng_(faults.seed) {
+        faults_(faults), dll_(dll), rng_(faults.seed),
+        line_rate_(cfg.tlp_gbps()) {
     // The compat shim's penalty is the NAK round trip of its era.
     if (faults_.replay_probability > 0.0) {
       dll_.ack_latency = faults_.replay_penalty;
@@ -158,6 +160,15 @@ class Link {
   bool downtrained_ = false;
   const fault::FaultRule* derated_rule_ = nullptr;
   double derated_rate_ = 0.0;
+  /// cfg_.tlp_gbps() computed once — it chains two switch lookups and
+  /// floating-point math, far too heavy for a per-TLP call.
+  double line_rate_;
+  /// Memo bound for ser_memo_: max header + MPS payload with margin.
+  static constexpr unsigned kSerMemoMax = 8192;
+  /// wire_bytes -> serialization time at line_rate_, filled lazily with
+  /// the identical FP expression (-1 = not yet computed). Bypassed while
+  /// a downtrain window derates the rate.
+  std::vector<Picos> ser_memo_;
 };
 
 }  // namespace pcieb::sim

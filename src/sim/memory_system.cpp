@@ -1,6 +1,7 @@
 #include "sim/memory_system.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -37,6 +38,8 @@ MemorySystem::MemorySystem(Simulator& sim, const CacheConfig& cache_cfg,
       interconnect_(sim, mem_cfg.interconnect_gbps),
       write_ingest_(sim, mem_cfg.write_ingest_gbps),
       read_pipeline_(sim, mem_cfg.read_pipeline_gbps),
+      line_shift_(static_cast<unsigned>(std::countr_zero(
+          static_cast<std::uint64_t>(cache_.config().line_bytes)))),
       jitter_(jitter),
       rng_(seed) {
   if (mem_cfg_.stall_interval > 0) {
@@ -48,17 +51,19 @@ MemorySystem::MemorySystem(Simulator& sim, const CacheConfig& cache_cfg,
   }
 }
 
-void MemorySystem::fetch(std::uint64_t addr, std::uint32_t len, bool local,
-                         Callback done) {
+Picos MemorySystem::fetch_ready(std::uint64_t addr, std::uint32_t len,
+                                bool local) {
   ++reads_;
+  // Line size is a power of two (validated by the cache), so the
+  // addr→line splits are shifts, not divisions.
   const unsigned line = cache_.config().line_bytes;
-  const std::uint64_t first = addr / line;
-  const std::uint64_t last = (addr + len - 1) / line;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + len - 1) >> line_shift_;
   std::uint32_t miss_bytes = 0;
   for (std::uint64_t l = first; l <= last; ++l) {
     // PCIe reads are serviced from the LLC when resident but do not
     // allocate on miss (Fig 7a: cold-read latency is flat in window size).
-    if (!cache_.read_probe(l * line)) miss_bytes += line;
+    if (!cache_.read_probe(l << line_shift_)) miss_bytes += line;
   }
 
   const Picos started = sim_.now();
@@ -92,21 +97,21 @@ void MemorySystem::fetch(std::uint64_t addr, std::uint32_t len, bool local,
                     obs::EventKind::MemRead, obs::Component::Memory,
                     static_cast<std::uint8_t>(miss_bytes > 0 ? 1 : 0)});
   }
-  sim_.at(ready, std::move(done));
+  return ready;
 }
 
-void MemorySystem::write(std::uint64_t addr, std::uint32_t len, bool local,
-                         Callback done) {
+Picos MemorySystem::write_ready(std::uint64_t addr, std::uint32_t len,
+                                bool local) {
   ++writes_;
   const unsigned line = cache_.config().line_bytes;
-  const std::uint64_t first = addr / line;
-  const std::uint64_t last = (addr + len - 1) / line;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + len - 1) >> line_shift_;
   std::uint32_t flushed_bytes = 0;
   for (std::uint64_t l = first; l <= last; ++l) {
     // DDIO: inbound writes always land in the (local) LLC regardless of
     // buffer locality — the paper's §6.4 observation that write
     // throughput is NUMA-insensitive.
-    if (cache_.write_allocate(l * line) ==
+    if (cache_.write_allocate(l << line_shift_) ==
         LastLevelCache::WriteOutcome::AllocatedDirty) {
       flushed_bytes += line;
     }
@@ -127,7 +132,7 @@ void MemorySystem::write(std::uint64_t addr, std::uint32_t len, bool local,
                     obs::EventKind::MemWrite, obs::Component::Memory,
                     static_cast<std::uint8_t>(flushed_bytes > 0 ? 1 : 0)});
   }
-  sim_.at(ready, std::move(done));
+  return ready;
 }
 
 }  // namespace pcieb::sim

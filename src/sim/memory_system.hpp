@@ -61,12 +61,19 @@ class MemorySystem {
 
   /// Fetch [addr, addr+len) for a DMA read. `local` selects whether the
   /// backing memory is on the device's node. `done` runs when the data is
-  /// available at the root complex.
-  void fetch(std::uint64_t addr, std::uint32_t len, bool local, Callback done);
+  /// available at the root complex. `done` is forwarded straight into the
+  /// event engine's inline storage — no std::function is built.
+  template <typename F>
+  void fetch(std::uint64_t addr, std::uint32_t len, bool local, F&& done) {
+    sim_.at(fetch_ready(addr, len, local), std::forward<F>(done));
+  }
 
   /// Commit a DMA write (DDIO allocation policy). `done` runs when the
   /// write is globally visible (the ordering point for later reads).
-  void write(std::uint64_t addr, std::uint32_t len, bool local, Callback done);
+  template <typename F>
+  void write(std::uint64_t addr, std::uint32_t len, bool local, F&& done) {
+    sim_.at(write_ready(addr, len, local), std::forward<F>(done));
+  }
 
   LastLevelCache& cache() { return cache_; }
   const MemoryConfig& config() const { return mem_cfg_; }
@@ -78,6 +85,11 @@ class MemorySystem {
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
  private:
+  /// Advance the cache/bandwidth/jitter state for one access and return
+  /// the completion time (all the work of fetch/write minus scheduling).
+  Picos fetch_ready(std::uint64_t addr, std::uint32_t len, bool local);
+  Picos write_ready(std::uint64_t addr, std::uint32_t len, bool local);
+
   Simulator& sim_;
   MemoryConfig mem_cfg_;
   LastLevelCache cache_;
@@ -90,6 +102,7 @@ class MemorySystem {
   /// the lazily evaluated stall schedule first.
   Picos stall_gate();
 
+  unsigned line_shift_ = 0;  ///< log2(cache line) for addr→line splits
   JitterModel jitter_;
   Xoshiro256 rng_;
   obs::TraceSink* trace_ = nullptr;

@@ -2,34 +2,21 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <utility>
 
 namespace pcieb::sim {
 
-Picos SerialResource::occupy(Picos service, Callback done) {
+Picos SerialResource::occupy(Picos service) {
   if (service < 0) throw std::invalid_argument("SerialResource: negative service");
   const Picos start = std::max(sim_.now(), busy_until_);
   busy_until_ = start + service;
   busy_total_ += service;
-  if (done) sim_.at(busy_until_, std::move(done));
   return busy_until_;
-}
-
-void TokenPool::acquire(Callback granted) {
-  if (in_use_ < capacity_) {
-    ++in_use_;
-    // Run via the scheduler so acquisition order stays deterministic and
-    // callers never re-enter their own call stack.
-    sim_.after(0, std::move(granted));
-  } else {
-    waiters_.push_back(std::move(granted));
-  }
 }
 
 void TokenPool::release() {
   if (in_use_ == 0) throw std::logic_error("TokenPool: release without acquire");
   if (!waiters_.empty()) {
-    Callback next = std::move(waiters_.front());
+    SmallFn next = std::move(waiters_.front());
     waiters_.pop_front();
     sim_.after(0, std::move(next));
     // Token transfers directly to the waiter; in_use_ unchanged.
@@ -38,8 +25,23 @@ void TokenPool::release() {
   }
 }
 
-Picos BandwidthResource::transfer(std::uint64_t bytes, Callback done) {
-  return serial_.occupy(serialization_ps(bytes, gbps_), std::move(done));
+Picos BandwidthResource::service_for(std::uint64_t bytes) const {
+  // The rate never changes, so the bytes→service map is a pure function
+  // memoized on first use (the memo is filled by the exact same
+  // floating-point expression, so values are bit-identical to computing
+  // every time). Transfer sizes cluster tightly (line- and MPS-sized), so
+  // the table stays tiny; outsized requests just compute directly.
+  if (bytes < kServiceMemoMax) {
+    if (bytes >= service_memo_.size()) service_memo_.resize(bytes + 1, -1);
+    Picos& slot = service_memo_[bytes];
+    if (slot < 0) slot = serialization_ps(bytes, gbps_);
+    return slot;
+  }
+  return serialization_ps(bytes, gbps_);
+}
+
+Picos BandwidthResource::transfer(std::uint64_t bytes) {
+  return serial_.occupy(service_for(bytes));
 }
 
 }  // namespace pcieb::sim

@@ -7,10 +7,16 @@
 //    page-walker slots).
 //  * BandwidthResource — a SerialResource whose service time is bytes at a
 //    fixed rate (memory channels, socket interconnect).
+//
+// Completion callbacks are perfect-forwarded straight into the event
+// engine's inline storage (sim/small_fn.hpp) — no std::function is built
+// on the way, so occupying a resource allocates nothing.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
@@ -23,8 +29,16 @@ class SerialResource {
 
   /// Occupy the resource for `service` starting no earlier than now and no
   /// earlier than the previous job's completion. Returns the completion
-  /// time; if `done` is provided it is scheduled at that time.
-  Picos occupy(Picos service, Callback done = {});
+  /// time.
+  Picos occupy(Picos service);
+
+  /// As above, additionally scheduling `done` at the completion time.
+  template <typename F>
+  Picos occupy(Picos service, F&& done) {
+    const Picos t = occupy(service);
+    sim_.at(t, std::forward<F>(done));
+    return t;
+  }
 
   /// Earliest time a new job could start.
   Picos next_free() const { return busy_until_; }
@@ -44,7 +58,17 @@ class TokenPool {
       : sim_(sim), capacity_(capacity) {}
 
   /// Run `granted` once a token is available (immediately if one is free).
-  void acquire(Callback granted);
+  template <typename F>
+  void acquire(F&& granted) {
+    if (in_use_ < capacity_) {
+      ++in_use_;
+      // Run via the scheduler so acquisition order stays deterministic and
+      // callers never re-enter their own call stack.
+      sim_.after(0, std::forward<F>(granted));
+    } else {
+      waiters_.emplace_back(std::forward<F>(granted));
+    }
+  }
 
   /// Return a token; hands it to the oldest waiter if any.
   void release();
@@ -57,7 +81,7 @@ class TokenPool {
   Simulator& sim_;
   unsigned capacity_;
   unsigned in_use_ = 0;
-  std::deque<Callback> waiters_;
+  std::deque<SmallFn> waiters_;
 };
 
 class BandwidthResource {
@@ -65,15 +89,28 @@ class BandwidthResource {
   BandwidthResource(Simulator& sim, double gbps)
       : serial_(sim), gbps_(gbps) {}
 
-  /// Stream `bytes` through; `done` runs when the last byte has passed.
-  Picos transfer(std::uint64_t bytes, Callback done = {});
+  /// Stream `bytes` through; returns the time the last byte passes.
+  Picos transfer(std::uint64_t bytes);
+
+  /// As above; `done` runs when the last byte has passed.
+  template <typename F>
+  Picos transfer(std::uint64_t bytes, F&& done) {
+    return serial_.occupy(service_for(bytes), std::forward<F>(done));
+  }
 
   double rate_gbps() const { return gbps_; }
   Picos busy_total() const { return serial_.busy_total(); }
 
  private:
+  /// Memo bound: covers every line-, MPS- and MRRS-sized transfer the
+  /// simulator issues; anything larger is computed directly.
+  static constexpr std::uint64_t kServiceMemoMax = 16384;
+
+  Picos service_for(std::uint64_t bytes) const;
+
   SerialResource serial_;
   double gbps_;
+  mutable std::vector<Picos> service_memo_;  ///< -1 = not yet computed
 };
 
 }  // namespace pcieb::sim

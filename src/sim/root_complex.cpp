@@ -55,7 +55,8 @@ void RootComplex::on_upstream(const proto::Tlp& tlp) {
 }
 
 void RootComplex::host_mmio_write(std::uint64_t addr, std::uint32_t len) {
-  for (const auto& tlp : proto::segment_write(link_cfg_, addr, len)) {
+  proto::segment_write(link_cfg_, addr, len, tlp_scratch_);
+  for (const proto::Tlp& tlp : tlp_scratch_) {
     downstream_.send(tlp);
   }
 }
@@ -212,7 +213,8 @@ void RootComplex::emit_completions(const proto::Tlp& req) {
   }
   const bool local = is_local_(req.addr);
   mem_.fetch(req.addr, req.read_len, local, [this, req] {
-    for (auto cpl : proto::segment_completions(link_cfg_, req.addr, req.read_len)) {
+    proto::segment_completions(link_cfg_, req.addr, req.read_len, tlp_scratch_);
+    for (proto::Tlp& cpl : tlp_scratch_) {
       cpl.tag = req.tag;
       downstream_.send(cpl);
     }

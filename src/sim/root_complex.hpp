@@ -30,6 +30,7 @@
 #include "obs/trace.hpp"
 #include "pcie/link_config.hpp"
 #include "pcie/tlp.hpp"
+#include "pcie/tlp_vec.hpp"
 #include "sim/iommu.hpp"
 #include "sim/link.hpp"
 #include "sim/memory_system.hpp"
@@ -138,6 +139,11 @@ class RootComplex {
   LocalityResolver is_local_;
   WriteCommitHook on_write_commit_;
   WriteDropHook on_write_drop_;
+
+  /// Reusable segmentation scratch (completion cutting, MMIO writes).
+  /// Safe: Link::send never delivers synchronously, so no segmentation
+  /// can start while a loop is still reading the buffer.
+  proto::TlpVec tlp_scratch_;
 
   std::uint64_t writes_arrived_ = 0;
   std::uint64_t writes_committed_ = 0;

@@ -4,27 +4,33 @@
 #include <utility>
 
 namespace pcieb::sim {
+namespace {
 
-void Simulator::at(Picos t, Callback fn) {
-  if (t < now_) {
-    throw std::logic_error("Simulator::at: scheduling into the past");
-  }
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+/// Recycles a popped node even when the callable (or a hook) throws, so
+/// aborting a run via a throwing hook never leaks event cells.
+struct NodeGuard {
+  EventQueue& queue;
+  EventQueue::EventNode* node;
+  ~NodeGuard() { queue.recycle(node); }
+};
+
+}  // namespace
+
+void Simulator::throw_past_schedule() {
+  throw std::logic_error("Simulator::at: scheduling into the past");
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast of the handle,
-  // then pop. The callback may schedule further events.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
+  EventQueue::EventNode* node = queue_.pop();
+  if (node == nullptr) return false;
+  NodeGuard guard{queue_, node};
+  now_ = node->time;
   ++executed_;
   if (step_hook_ && ++since_hook_ >= hook_every_) {
     since_hook_ = 0;
     step_hook_(now_, executed_);
   }
-  ev.fn();
+  node->fn.invoke_consume();
   // Checked after the callback so monitors observe the post-event state.
   if (check_hook_) check_hook_(now_);
   return true;
@@ -42,7 +48,11 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Picos t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  // Deliberately leaves since_hook_ alone: hook cadence is a property of
+  // executed events, not of how the caller chunks simulated time, so a
+  // sequence of run_until() calls fires hooks at exactly the same events
+  // as one uninterrupted run().
+  while (!queue_.empty() && queue_.next_time() <= t) {
     step();
   }
   if (now_ < t) now_ = t;

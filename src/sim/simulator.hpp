@@ -1,16 +1,24 @@
 // Discrete-event simulation engine.
 //
 // Time is integer picoseconds; events at equal timestamps run in schedule
-// order (a monotonically increasing sequence number breaks ties), so runs
-// are fully deterministic and bit-reproducible across platforms.
+// order, so runs are fully deterministic and bit-reproducible across
+// platforms. (The ordering used to be enforced by an explicit sequence
+// number in a priority queue; the hierarchical timing wheel in
+// sim/event_queue.hpp preserves the identical (time, schedule-order)
+// contract structurally — see the header comment there.)
+//
+// Scheduling is allocation-free on the hot path: `at`/`after` accept any
+// callable and store captures up to SmallFn::kInlineBytes (48 B) inline
+// in a pooled event node. Passing a prebuilt std::function still works —
+// it is moved, not copied, into the node.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "common/units.hpp"
+#include "sim/event_queue.hpp"
 
 namespace pcieb::sim {
 
@@ -21,10 +29,19 @@ class Simulator {
   Picos now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must not be in the past).
-  void at(Picos t, Callback fn);
+  template <typename F>
+  void at(Picos t, F&& fn) {
+    if (t < now_) {
+      throw_past_schedule();
+    }
+    queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` after `delay` from now.
-  void after(Picos delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void after(Picos delay, F&& fn) {
+    at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Execute one event; false if the queue is empty.
   bool step();
@@ -32,12 +49,21 @@ class Simulator {
   /// Run until the event queue drains.
   void run();
 
-  /// Run events with time <= t, then set now() to t.
+  /// Run events with time <= t, then set now() to t. The step-hook
+  /// cadence counter is NOT reset at run_until boundaries: hooks keep
+  /// firing every `every` executed events across chunked runs exactly as
+  /// they would across one uninterrupted run().
   void run_until(Picos t);
 
   bool empty() const { return queue_.empty(); }
   std::size_t executed() const { return executed_; }
   std::size_t pending() const { return queue_.size(); }
+
+  /// Event-node cells ever allocated by the pool (test probe: steady
+  /// traffic recycles nodes, so this stays flat once warmed).
+  std::size_t event_nodes_allocated() const {
+    return queue_.nodes_allocated();
+  }
 
   /// Invoke `hook(now, executed)` once per `every` executed events —
   /// the watchdog's sampling point. One branch per event when unset;
@@ -53,22 +79,11 @@ class Simulator {
   void set_check_hook(CheckHook hook) { check_hook_ = std::move(hook); }
 
  private:
-  struct Event {
-    Picos time;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  [[noreturn]] static void throw_past_schedule();
 
   Picos now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   StepHook step_hook_;
   CheckHook check_hook_;
   std::uint64_t hook_every_ = 1 << 12;

@@ -1,0 +1,165 @@
+// SmallFn — a move-only callable wrapper with small-buffer-optimized
+// inline storage, the event engine's replacement for std::function on the
+// simulator hot path.
+//
+// Captures up to kInlineBytes (48 B — enough for `this` plus a Tlp plus a
+// couple of scalars, and for a moved-in std::function) are stored inline
+// in the wrapper itself: constructing, invoking and destroying such a
+// callable never touches the heap. Larger or potentially-throwing-move
+// callables fall back to a single heap allocation, so correctness never
+// depends on capture size. A per-type static ops table (one pointer) does
+// the type erasure; no virtual dispatch, no RTTI.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pcieb::sim {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. Sized so the common simulator callbacks
+  /// (component pointer + Tlp + a tag or length) and a moved-in
+  /// std::function<void()> both stay allocation-free.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Replace the target with `fn`, constructed directly into the inline
+  /// buffer (or one heap cell when it does not fit).
+  template <typename F>
+  void emplace(F&& fn) {
+    using T = std::decay_t<F>;
+    reset();
+    if constexpr (fits_inline<T>()) {
+      ::new (static_cast<void*>(buf_)) T(std::forward<F>(fn));
+      ops_ = &kInlineOps<T>;
+    } else {
+      *reinterpret_cast<T**>(buf_) = new T(std::forward<F>(fn));
+      ops_ = &kHeapOps<T>;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invoke the target (must be non-empty). The target stays valid —
+  /// destruction is explicit via reset() or the destructor, so a callable
+  /// that throws is still destroyed exactly once by its owner.
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Invoke the target and destroy it in one dispatch — the event loop's
+  /// fire-once path, saving an indirect call per event over operator()
+  /// followed by reset(). Leaves *this empty even if the target throws
+  /// (the target is still destroyed exactly once, by the op itself).
+  void invoke_consume() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(buf_);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type T is stored inline (test hook).
+  template <typename T>
+  static constexpr bool stored_inline() {
+    return fits_inline<std::decay_t<T>>();
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    void (*destroy)(void* buf) noexcept;
+    /// Move-construct the target from `src_buf` into `dst_buf` and
+    /// destroy the source (heap targets just move the pointer).
+    void (*relocate)(void* dst_buf, void* src_buf) noexcept;
+    /// Invoke then destroy (destroying even when the call throws).
+    void (*invoke_destroy)(void* buf);
+  };
+
+  template <typename T>
+  static constexpr bool fits_inline() {
+    return sizeof(T) <= kInlineBytes &&
+           alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  template <typename T>
+  static constexpr Ops kInlineOps = {
+      [](void* buf) { (*std::launder(reinterpret_cast<T*>(buf)))(); },
+      [](void* buf) noexcept { std::launder(reinterpret_cast<T*>(buf))->~T(); },
+      [](void* dst, void* src) noexcept {
+        T* s = std::launder(reinterpret_cast<T*>(src));
+        ::new (dst) T(std::move(*s));
+        s->~T();
+      },
+      [](void* buf) {
+        T* p = std::launder(reinterpret_cast<T*>(buf));
+        struct Guard {
+          T* p;
+          ~Guard() { p->~T(); }
+        } guard{p};
+        (*p)();
+      },
+  };
+
+  template <typename T>
+  static constexpr Ops kHeapOps = {
+      [](void* buf) { (**std::launder(reinterpret_cast<T**>(buf)))(); },
+      [](void* buf) noexcept { delete *std::launder(reinterpret_cast<T**>(buf)); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<T**>(dst) = *std::launder(reinterpret_cast<T**>(src));
+      },
+      [](void* buf) {
+        T* p = *std::launder(reinterpret_cast<T**>(buf));
+        struct Guard {
+          T* p;
+          ~Guard() { delete p; }
+        } guard{p};
+        (*p)();
+      },
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace pcieb::sim

@@ -1,0 +1,135 @@
+// FlatU32Map — the DMA engine's direct-indexed in-flight bookkeeping.
+// The map's correctness hinges on one invariant: two live keys never share
+// a slot, enforced by growing whenever a collision appears. These tests
+// drive exactly that: monotone key windows (the intended workload),
+// forced collisions, erase-releases-value, and reuse after growth.
+#include "sim/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+namespace pcieb::sim {
+namespace {
+
+TEST(FlatU32Map, InsertFindErase) {
+  FlatU32Map<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  m.insert(1, 10);
+  m.insert(2, 20);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10);
+  EXPECT_EQ(*m.find(2), 20);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatU32Map, InsertOverwritesExistingKey) {
+  FlatU32Map<int> m;
+  m.insert(7, 1);
+  m.insert(7, 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(7), 2);
+}
+
+TEST(FlatU32Map, CollidingKeysForceGrowthAndBothSurvive) {
+  FlatU32Map<int> m;
+  m.insert(1, 100);
+  const std::size_t before = m.capacity();
+  // Same slot as key 1 in any table of size `before` (they differ by a
+  // multiple of the capacity) — inserting it must double the table.
+  const std::uint32_t colliding = 1 + static_cast<std::uint32_t>(before);
+  m.insert(colliding, 200);
+  EXPECT_GT(m.capacity(), before);
+  ASSERT_NE(m.find(1), nullptr);
+  ASSERT_NE(m.find(colliding), nullptr);
+  EXPECT_EQ(*m.find(1), 100);
+  EXPECT_EQ(*m.find(colliding), 200);
+}
+
+TEST(FlatU32Map, MonotoneWindowNeverGrowsPastTheWindow) {
+  // The DMA workload: keys 1..N with at most W live at once. The table
+  // stabilizes at the first power of two that holds the window.
+  FlatU32Map<std::uint32_t> m;
+  constexpr std::uint32_t kWindow = 48;  // < initial 64 slots
+  for (std::uint32_t key = 1; key <= 20000; ++key) {
+    m.insert(key, key * 3);
+    if (key > kWindow) {
+      EXPECT_TRUE(m.erase(key - kWindow));
+    }
+  }
+  EXPECT_EQ(m.capacity(), 64u);
+  EXPECT_EQ(m.size(), kWindow);
+  for (std::uint32_t key = 20000 - kWindow + 1; key <= 20000; ++key) {
+    ASSERT_NE(m.find(key), nullptr);
+    EXPECT_EQ(*m.find(key), key * 3);
+  }
+}
+
+TEST(FlatU32Map, EraseResetsValueEagerly) {
+  // Erase must drop held resources (the DMA map stores completion
+  // callbacks), not leave them parked in the slot until overwrite.
+  FlatU32Map<std::shared_ptr<int>> m;
+  auto payload = std::make_shared<int>(42);
+  m.insert(9, payload);
+  EXPECT_EQ(payload.use_count(), 2);
+  EXPECT_TRUE(m.erase(9));
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(FlatU32Map, ForEachVisitsExactlyTheLiveEntries) {
+  FlatU32Map<int> m;
+  std::map<std::uint32_t, int> expect;
+  for (std::uint32_t key = 1; key <= 40; ++key) {
+    m.insert(key, static_cast<int>(key) * 7);
+    expect[key] = static_cast<int>(key) * 7;
+  }
+  for (std::uint32_t key = 1; key <= 40; key += 2) {
+    m.erase(key);
+    expect.erase(key);
+  }
+  std::map<std::uint32_t, int> seen;
+  m.for_each([&seen](std::uint32_t k, const int& v) { seen[k] = v; });
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(FlatU32Map, RandomizedAgainstStdMap) {
+  std::mt19937_64 rng(0xdeadbeef);
+  FlatU32Map<std::uint64_t> m;
+  std::map<std::uint32_t, std::uint64_t> ref;
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint32_t key = 1 + static_cast<std::uint32_t>(rng() % 512);
+    switch (rng() % 3) {
+      case 0:
+        m.insert(key, rng());
+        // Keep the reference in lockstep with the overwrite semantics.
+        ref[key] = *m.find(key);
+        break;
+      case 1:
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+      default: {
+        const auto it = ref.find(key);
+        const std::uint64_t* got = m.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(*got, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace pcieb::sim

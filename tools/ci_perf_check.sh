@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Perf-regression gate (docs/PERFORMANCE.md): run `pciebench perf --quick`
+# and assert the machine-independent half of its output — the exact event
+# counts of each fixed workload. The simulator is deterministic, so any
+# drift in these counts means the simulated workload itself changed, which
+# must be a deliberate act (update the constants here AND in
+# tests/test_perf_harness.cpp in the same commit, with the reason).
+#
+# Rates (events/sec, ns/TLP) are machine-dependent and are NOT gated;
+# they land in the JSON report, which CI uploads as trajectory data.
+#
+# Usage: ci_perf_check.sh [path-to-pciebench] [json-output-path]
+set -u
+
+PCIEBENCH="${1:-./build/tools/pciebench}"
+OUT="${2:-BENCH_perf_quick.json}"
+
+# Quick-mode event counts (full-run counts for reference: fig04 2226000,
+# fig05 2144000, chaos 1883153).
+declare -A EXPECT=(
+    [fig04_bw_sweep]=222600
+    [fig05_latency]=214400
+    [chaos_dry_run]=194702
+)
+
+if [[ ! -x "$PCIEBENCH" ]]; then
+    echo "ci_perf_check: $PCIEBENCH not found or not executable" >&2
+    exit 3
+fi
+
+echo "== pciebench perf --quick"
+if ! "$PCIEBENCH" perf --quick --json "$OUT"; then
+    echo "ci_perf_check: perf run failed" >&2
+    exit 3
+fi
+
+fail=0
+for workload in fig04_bw_sweep fig05_latency chaos_dry_run; do
+    want="${EXPECT[$workload]}"
+    # One object per line in the report:
+    #   {"name": "fig04_bw_sweep", "events": 222600, "tlps": ...}
+    line=$(grep "\"name\": \"$workload\"" "$OUT")
+    if [[ -z "$line" ]]; then
+        echo "ci_perf_check: FAIL: workload $workload missing from $OUT" >&2
+        fail=1
+        continue
+    fi
+    got=$(sed -n 's/.*"events": \([0-9]*\).*/\1/p' <<<"$line")
+    if [[ "$got" != "$want" ]]; then
+        echo "ci_perf_check: FAIL: $workload executed $got events," \
+             "expected exactly $want — the simulated workload changed" >&2
+        fail=1
+    else
+        echo "   $workload: $got events (exact match)"
+    fi
+done
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "ok: all perf workloads executed their exact event counts" \
+     "(rates recorded in $OUT)"

@@ -27,6 +27,7 @@
 #include "check/campaign_exec.hpp"
 #include "check/chaos.hpp"
 #include "check/monitors.hpp"
+#include "check/perf.hpp"
 #include "core/multi_runner.hpp"
 #include "core/observe.hpp"
 #include "core/report.hpp"
@@ -34,6 +35,7 @@
 #include "core/suite.hpp"
 #include "exec/outcome.hpp"
 #include "exec/pool.hpp"
+#include "exec/thread_pool.hpp"
 #include "fault/plan.hpp"
 #include "sysconfig/profiles.hpp"
 
@@ -59,6 +61,7 @@ constexpr int kExitInfra = 3;
   pciebench suite --system NAME [--filter STR] [--csv FILE] [exec options]
   pciebench chaos [--trials N] [--master-seed N] [--iters N] [--no-shrink]
                   [exec options] [--csv FILE] [--artifacts DIR]
+  pciebench perf  [--quick] [--json FILE]
 
 run options:
   --bench KIND      LAT_RD | LAT_WRRD | BW_RD | BW_WR | BW_RDWR
@@ -119,6 +122,18 @@ quarantined; completed results append to a resumable journal. docs/EXEC.md):
   --journal DIR       journal directory for a fresh run    (default temp)
   --resume DIR        resume from DIR, skipping journaled results
                       (mutually exclusive with --journal)
+
+perf options (docs/PERFORMANCE.md):
+  --quick           ~10x smaller workloads (CI-sized; event counts stay
+                    exact, just different constants)
+  --json FILE       write the report JSON            (default BENCH_perf.json)
+
+thread options (suite and chaos):
+  --threads N         in-process thread-parallel execution: independent
+                      trials/experiments on a work-stealing pool (0 = all
+                      hardware threads). Canonical output is byte-identical
+                      to serial and to fork-isolated runs; crashes are NOT
+                      contained. Mutually exclusive with --jobs.
 
 exit codes (all commands):
   0  success          1  benchmark failure / invariant violation
@@ -228,15 +243,17 @@ const std::set<std::string> kRunFlagKeys = {"cdf",    "histogram", "timeseries",
 const std::set<std::string> kExecValueKeys = {
     "jobs", "trial-timeout", "max-retries", "rss-budget", "journal", "resume"};
 const std::set<std::string> kSuiteValueKeys = {
-    "system", "filter", "csv",
+    "system", "filter", "csv", "threads",
     "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
     "resume"};
 const std::set<std::string> kSuiteFlagKeys = {};
 const std::set<std::string> kChaosValueKeys = {
-    "trials", "master-seed", "iters", "csv", "artifacts",
+    "trials", "master-seed", "iters", "csv", "artifacts", "threads",
     "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
     "resume"};
 const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug"};
+const std::set<std::string> kPerfValueKeys = {"json"};
+const std::set<std::string> kPerfFlagKeys = {"quick"};
 
 bool exec_mode_requested(const Args& args) {
   for (const auto& key : kExecValueKeys) {
@@ -462,6 +479,15 @@ int cmd_chaos(const Args& args) {
   cfg.shrink = !args.has_flag("no-shrink");
   cfg.seed_credit_leak_bug = args.has_flag("seed-bug");
 
+  if (args.values.contains("threads")) {
+    if (exec_mode_requested(args)) {
+      usage("--threads (in-process) and the exec options (forked workers) "
+            "are mutually exclusive");
+    }
+    cfg.threads = parse_u64("threads", args.get("threads", "0"));
+    if (cfg.threads == 0) cfg.threads = exec::ThreadPool(0).threads();
+  }
+
   if (exec_mode_requested(args)) return cmd_chaos_isolated(args, cfg);
   if (args.values.contains("csv") || args.values.contains("artifacts")) {
     usage("--csv/--artifacts require isolated mode (pass an exec option)");
@@ -497,6 +523,27 @@ int cmd_chaos(const Args& args) {
   return 1;
 }
 
+int cmd_perf(const Args& args) {
+  check::PerfConfig cfg;
+  cfg.quick = args.has_flag("quick");
+  const std::string json_path = args.get("json", "BENCH_perf.json");
+
+  const auto report = check::run_perf(cfg);
+  std::printf("%s", report.summary().c_str());
+
+  const std::string json = report.to_json();
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", json_path.c_str(),
+                 std::strerror(errno));
+    return kExitInfra;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return kExitOk;
+}
+
 int cmd_suite(const Args& args) {
   const std::string system_name = args.get("system", "");
   if (system_name.empty()) usage("--system is required");
@@ -512,9 +559,18 @@ int cmd_suite(const Args& args) {
 
   std::vector<core::ExperimentRecord> records;
   int exit_code = kExitOk;
-  if (exec_mode_requested(args)) {
+  const bool threaded = args.values.contains("threads");
+  if (threaded && args.values.contains("jobs")) {
+    usage("--threads (in-process) and --jobs (forked workers) are mutually "
+          "exclusive");
+  }
+  if (exec_mode_requested(args) || threaded) {
     core::IsolatedRunConfig cfg;
     cfg.pool = parse_pool_config(args, cfg.journal_dir, cfg.resume);
+    if (threaded) {
+      cfg.threads = parse_u64("threads", args.get("threads", "0"));
+      if (cfg.threads == 0) cfg.threads = exec::ThreadPool(0).threads();
+    }
     core::MultiRunner runner(suite, cfg);
     auto res = runner.run(
         args.get("filter", ""), progress,
@@ -563,6 +619,9 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") {
       return cmd_chaos(
           parse_args(argc, argv, 2, kChaosValueKeys, kChaosFlagKeys));
+    }
+    if (cmd == "perf") {
+      return cmd_perf(parse_args(argc, argv, 2, kPerfValueKeys, kPerfFlagKeys));
     }
   } catch (const exec::InfraError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -65,7 +65,8 @@ std::string serialize_worker_result(const TrialOutcome& out) {
      << exec::escape_line(out.violations.empty() ? ""
                                                  : out.violations.front().format())
      << '\n'
-     << "error=" << exec::escape_line(out.error) << '\n';
+     << "error=" << exec::escape_line(out.error) << '\n'
+     << "digests=" << exec::escape_line(out.digests.serialize()) << '\n';
   return os.str();
 }
 
@@ -86,16 +87,21 @@ void check_or_write_meta(const exec::Journal& journal,
   std::ostringstream os;
   os << kMetaHeader << '\n'
      << "master_seed=" << chaos.master_seed << '\n'
-     << "iters=" << chaos.iterations << '\n';
+     << "iters=" << chaos.iterations << '\n'
+     << "telemetry=" << (chaos.telemetry ? 1 : 0) << '\n';
   if (resume && fs::exists(path)) {
     std::string header;
     const auto kv = parse_kv(exec::read_file(path), &header);
+    // Journals written before telemetry existed lack the key; kv_u64's
+    // zero default makes them resumable with telemetry off only.
     if (header != kMetaHeader ||
         kv_u64(kv, "master_seed") != chaos.master_seed ||
-        kv_u64(kv, "iters") != chaos.iterations) {
+        kv_u64(kv, "iters") != chaos.iterations ||
+        kv_u64(kv, "telemetry") != (chaos.telemetry ? 1u : 0u)) {
       throw exec::InfraError(
           "resume: journal " + journal.dir() +
-          " was written by a different campaign (seed/iters mismatch)");
+          " was written by a different campaign "
+          "(seed/iters/telemetry mismatch)");
     }
     return;
   }
@@ -152,6 +158,9 @@ std::string TrialRecord::serialize() const {
      << "error=" << exec::escape_line(error) << '\n'
      << "spec=" << exec::escape_line(spec) << '\n'
      << "repro=" << exec::escape_line(repro) << '\n';
+  // Written only when present so pre-telemetry journals and disarmed
+  // campaigns serialize exactly as before.
+  if (!digests.empty()) os << "digests=" << exec::escape_line(digests) << '\n';
   return os.str();
 }
 
@@ -174,6 +183,7 @@ std::optional<TrialRecord> TrialRecord::deserialize(
   rec.error = kv_str(kv, "error");
   rec.spec = kv_str(kv, "spec");
   rec.repro = kv_str(kv, "repro");
+  rec.digests = kv_str(kv, "digests");
   rec.resumed = true;
   return rec;
 }
@@ -281,7 +291,8 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
     // Captured by value: the closure must stay self-contained across fork.
     const ChaosConfig chaos = cfg.chaos;
     spec.fn = [chaos, i](unsigned /*attempt*/) {
-      return serialize_worker_result(run_trial(generate_trial(chaos, i)));
+      return serialize_worker_result(
+          run_trial(generate_trial(chaos, i), chaos.telemetry));
     };
     specs.push_back(std::move(spec));
   }
@@ -309,6 +320,7 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
       rec.violations = kv_u64(kv, "violations");
       rec.first_violation = kv_str(kv, "first");
       rec.error = kv_str(kv, "error");
+      rec.digests = kv_str(kv, "digests");
     }
     journal.append(rec.index, rec.serialize());
     if (observe) observe(rec);
@@ -370,6 +382,14 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
       case TrialRecord::Status::Quarantined: ++res.quarantined; break;
     }
     if (rec.resumed) ++res.resumed;
+    if (!rec.digests.empty()) {
+      obs::DigestSet set;
+      // Malformed digests (hand-edited journal) are dropped, not fatal:
+      // the campaign verdict never depends on telemetry.
+      if (obs::DigestSet::deserialize(rec.digests, &set)) {
+        res.digests.merge(set);
+      }
+    }
     res.records.push_back(std::move(rec));
   }
 

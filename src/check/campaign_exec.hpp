@@ -63,6 +63,10 @@ struct TrialRecord {
   std::string error;            ///< abort reason from inside the run
   std::string spec;             ///< TrialSpec::describe()
   std::string repro;            ///< TrialSpec::repro_command()
+  /// Serialized obs::DigestSet of the trial's per-DMA latencies; empty
+  /// unless the campaign ran with chaos.telemetry. Carried through the
+  /// journal so resumed campaigns merge identical campaign digests.
+  std::string digests;
   bool resumed = false;         ///< loaded from the journal, not re-run
 
   /// Canonical journal payload ("pcieb-trial v1" + key=value lines).
@@ -88,6 +92,10 @@ struct ExecCampaignResult {
   /// In-process shrink of the lowest-index Violation trial (when
   /// chaos.shrink and one exists).
   std::optional<ShrinkResult> minimized;
+  /// Campaign-level latency digests: every record's digests merged in
+  /// trial-index order (empty unless chaos.telemetry). Identical whether
+  /// records came from workers or the resume journal.
+  obs::DigestSet digests;
 
   bool all_ok() const { return violation == 0 && quarantined == 0; }
 

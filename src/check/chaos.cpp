@@ -2,6 +2,7 @@
 
 #include <iterator>
 #include <limits>
+#include <memory>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -200,7 +201,7 @@ TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index) {
   return t;
 }
 
-TrialOutcome run_trial(const TrialSpec& spec) {
+TrialOutcome run_trial(const TrialSpec& spec, bool telemetry) {
   TrialOutcome out;
   auto cfg = sys::profile_by_name(spec.system).config;
   if (spec.iommu) cfg = sys::with_iommu(cfg, true, spec.params.page_bytes);
@@ -210,6 +211,17 @@ TrialOutcome run_trial(const TrialSpec& spec) {
   sim::System system(cfg);
   if (spec.seed_credit_leak_bug) system.test_leak_credits_on_drop(true);
   MonitorSuite monitors(system);
+  // Telemetry rides the trace stream: a minimal ring (the recorder is a
+  // listener, so ring capacity is irrelevant to it) feeding per-DMA
+  // latency digests. Attached per trial, pure function of the spec.
+  std::unique_ptr<obs::TraceSink> sink;
+  obs::DmaLatencyRecorder recorder;
+  if (telemetry) {
+    sink = std::make_unique<obs::TraceSink>(/*capacity=*/1);
+    sink->set_listener(
+        [&recorder](const obs::TraceEvent& e) { recorder.on_event(e); });
+    system.set_trace_sink(sink.get());
+  }
   try {
     if (core::is_latency(spec.params.kind)) {
       core::run_latency_bench(system, spec.params);
@@ -225,6 +237,10 @@ TrialOutcome run_trial(const TrialSpec& spec) {
   out.failed = !monitors.ok() || !out.error.empty();
   out.events = system.sim().executed();
   out.tlps = system.upstream().tlps_sent() + system.downstream().tlps_sent();
+  if (telemetry) {
+    system.set_trace_sink(nullptr);
+    out.digests = std::move(recorder.digests());
+  }
   return out;
 }
 
@@ -308,7 +324,7 @@ CampaignResult run_campaign_threaded(const ChaosConfig& cfg,
   exec::ThreadPool pool(cfg.threads);
   pool.parallel_indexed(cfg.trials, [&](std::size_t i) {
     specs[i] = generate_trial(cfg, i);
-    outs[i] = run_trial(specs[i]);
+    outs[i] = run_trial(specs[i], cfg.telemetry);
   });
 
   std::size_t last = cfg.trials;  // one past the last trial "run"
@@ -323,6 +339,7 @@ CampaignResult run_campaign_threaded(const ChaosConfig& cfg,
   for (std::size_t i = 0; i < last && i < cfg.trials; ++i) {
     ++res.trials_run;
     if (observe) observe(specs[i], outs[i]);
+    res.digests.merge(outs[i].digests);
     if (outs[i].failed) {
       ++res.failures;
       res.first_failure = specs[i];
@@ -344,9 +361,10 @@ CampaignResult run_campaign(const ChaosConfig& cfg,
   CampaignResult res;
   for (std::size_t i = 0; i < cfg.trials; ++i) {
     const TrialSpec spec = generate_trial(cfg, i);
-    const TrialOutcome out = run_trial(spec);
+    const TrialOutcome out = run_trial(spec, cfg.telemetry);
     ++res.trials_run;
     if (observe) observe(spec, out);
+    res.digests.merge(out.digests);
     if (out.failed) {
       ++res.failures;
       res.first_failure = spec;

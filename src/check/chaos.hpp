@@ -28,6 +28,7 @@
 #include "check/monitors.hpp"
 #include "core/params.hpp"
 #include "fault/plan.hpp"
+#include "obs/digest.hpp"
 
 namespace pcieb::check {
 
@@ -59,6 +60,9 @@ struct TrialOutcome {
   /// the trial — the perf harness's raw material; zero-cost to record.
   std::uint64_t events = 0;
   std::uint64_t tlps = 0;
+  /// Per-DMA latency digests ("dma_read"/"dma_write"); only populated
+  /// when the campaign runs with telemetry enabled.
+  obs::DigestSet digests;
 
   std::string summary() const;  ///< one line: pass, or why it failed
 };
@@ -80,6 +84,9 @@ struct ChaosConfig {
   /// the observer sees exactly trials 0..f and trials_run == f + 1, even
   /// though later trials may have executed. Shrinking stays serial.
   std::size_t threads = 1;
+  /// Record per-DMA latency digests for every trial (attaches a trace
+  /// sink per trial — measurable overhead, so strictly opt-in).
+  bool telemetry = false;
 };
 
 /// Trial `index` of the campaign — pure in (cfg.master_seed, index).
@@ -87,8 +94,9 @@ TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index);
 
 /// Build the system, arm monitors (record mode), run the workload, check
 /// quiesce. Never throws on a finding; exceptions from the run (watchdog,
-/// logic errors) become `outcome.error`.
-TrialOutcome run_trial(const TrialSpec& spec);
+/// logic errors) become `outcome.error`. With `telemetry`, a per-trial
+/// DmaLatencyRecorder fills outcome.digests.
+TrialOutcome run_trial(const TrialSpec& spec, bool telemetry = false);
 
 struct ShrinkResult {
   TrialSpec minimal;      ///< smallest spec that still fails
@@ -113,6 +121,11 @@ struct CampaignResult {
   std::size_t failures = 0;
   std::optional<TrialSpec> first_failure;
   std::optional<ShrinkResult> minimized;  ///< present when shrink was on
+  /// Campaign-level latency digests: the observed trials' digests merged
+  /// in index order (empty unless cfg.telemetry). Because digest merge is
+  /// commutative count addition, the serial and threaded paths produce
+  /// byte-identical serializations.
+  obs::DigestSet digests;
 
   bool ok() const { return failures == 0; }
 };

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "check/chaos.hpp"
+#include "obs/profiler.hpp"
 
 #include "core/params.hpp"
 #include "core/runner.hpp"
@@ -104,6 +105,22 @@ PerfWorkloadResult run_chaos_dry(bool quick) {
   return r;
 }
 
+/// Run one workload, optionally under an armed profiler. The profiler is
+/// armed before the workload constructs its systems (the Simulator caches
+/// the armed pointer at construction) and disarmed right after.
+PerfWorkloadResult run_workload(PerfWorkloadResult (*fn)(bool), bool quick,
+                                bool profile) {
+  if (!profile) return fn(quick);
+  obs::Profiler prof;
+  obs::Profiler* prev = obs::Profiler::set_current(&prof);
+  prof.start();
+  PerfWorkloadResult r = fn(quick);
+  prof.stop();
+  obs::Profiler::set_current(prev);
+  r.profile_table = prof.table();
+  return r;
+}
+
 void json_workload(std::ostringstream& os, const PerfWorkloadResult& r) {
   os << "    {\"name\": \"" << r.name << "\", \"events\": " << r.events
      << ", \"tlps\": " << r.tlps << ", \"wall_seconds\": " << r.wall_seconds
@@ -149,6 +166,11 @@ std::string PerfReport::summary() const {
     os << " -> " << w.events_per_sec << " events/sec";
     os.precision(1);
     os << ", " << w.ns_per_tlp << " ns/TLP\n";
+    if (!w.profile_table.empty()) {
+      std::istringstream table(w.profile_table);
+      std::string line;
+      while (std::getline(table, line)) os << "    " << line << '\n';
+    }
   }
   os.precision(0);
   os << "  baseline (pre-change, fig04): " << baseline_events_per_sec
@@ -161,9 +183,10 @@ std::string PerfReport::summary() const {
 PerfReport run_perf(const PerfConfig& cfg) {
   PerfReport report;
   report.quick = cfg.quick;
-  report.workloads.push_back(run_fig04(cfg.quick));
-  report.workloads.push_back(run_fig05(cfg.quick));
-  report.workloads.push_back(run_chaos_dry(cfg.quick));
+  report.workloads.push_back(run_workload(run_fig04, cfg.quick, cfg.profile));
+  report.workloads.push_back(run_workload(run_fig05, cfg.quick, cfg.profile));
+  report.workloads.push_back(
+      run_workload(run_chaos_dry, cfg.quick, cfg.profile));
   if (const auto* fig04 = report.find("fig04_bw_sweep")) {
     report.fig04_speedup_vs_baseline =
         fig04->events_per_sec / report.baseline_events_per_sec;

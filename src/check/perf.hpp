@@ -37,6 +37,11 @@ struct PerfConfig {
   /// Quick mode: ~10x fewer iterations/trials per workload. Event counts
   /// are still exact — just different constants from the full run.
   bool quick = false;
+  /// Arm an obs::Profiler around each workload and attach the ranked
+  /// cost-center table to its result. Profiling distorts the measured
+  /// rates (two clock reads per scope), so use it to localize cost, never
+  /// to record trajectory numbers.
+  bool profile = false;
 };
 
 struct PerfWorkloadResult {
@@ -46,6 +51,7 @@ struct PerfWorkloadResult {
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
   double ns_per_tlp = 0.0;  ///< wall nanoseconds per simulated TLP
+  std::string profile_table;  ///< ranked cost centers (PerfConfig::profile)
 };
 
 struct PerfReport {

@@ -197,6 +197,11 @@ ExperimentRecord run_one_experiment(const Experiment& e) {
   record.experiment = e;
   if (is_latency(e.params.kind)) {
     record.latency = run_latency_bench(system, e.params);
+    obs::Digest digest;
+    for (const double ns : record.latency->samples_ns.raw()) {
+      digest.add_ns(ns);
+    }
+    record.latency_digest = digest.serialize();
   } else {
     record.bandwidth = run_bandwidth_bench(system, e.params);
   }

@@ -16,15 +16,38 @@ ObsSession::ObsSession(sim::System& system, const Options& opts)
     }
     system_.set_trace_sink(sink_.get());
   }
+  if (opts.telemetry) {
+    // Construct after register_counters so the series captures the full
+    // metric list; drive it from the simulator's dedicated sample hook.
+    series_ = std::make_unique<obs::TimeSeries>(counters_,
+                                                opts.telemetry_interval_ps);
+    system_.sim().set_sample_hook(
+        [s = series_.get()](Picos now) { s->observe(now); },
+        opts.telemetry_every_events);
+    sample_hook_set_ = true;
+  }
 }
 
 ObsSession::~ObsSession() {
   if (sink_) system_.set_trace_sink(nullptr);
+  if (sample_hook_set_) system_.sim().set_sample_hook({});
+}
+
+void ObsSession::finish_telemetry() {
+  if (series_) series_->finish(system_.sim().now());
 }
 
 void ObsSession::write_trace_json(const std::string& path) const {
   if (!sink_) throw std::logic_error("ObsSession: tracing was not enabled");
+  if (series_) {
+    // Merge the counter tracks into the TLP timeline for one Perfetto view.
+    sink_->set_extra_json(series_->chrome_counter_events());
+  }
   sink_->write_chrome_json_file(path);
+}
+
+obs::DigestSet ObsSession::stage_digests() const {
+  return breakdown_ ? breakdown_->stage_digests() : obs::DigestSet{};
 }
 
 obs::BreakdownReport ObsSession::breakdown_report() const {

@@ -16,6 +16,7 @@
 #include "model/latency_budget.hpp"
 #include "obs/counters.hpp"
 #include "obs/latency_breakdown.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/system.hpp"
 
@@ -27,6 +28,10 @@ class ObsSession {
     bool trace = false;      ///< capture events for Chrome-JSON export
     bool breakdown = false;  ///< attribute latency stages live
     std::size_t trace_capacity = 1 << 16;  ///< ring size (events)
+    bool telemetry = false;  ///< stream counter deltas per sim interval
+    Picos telemetry_interval_ps = 1'000'000;  ///< sampling cadence (1 us)
+    /// Sample-hook cadence in executed events; 1 = exact boundaries.
+    std::uint64_t telemetry_every_events = 1;
   };
 
   /// Attaches to `system`; counters are always registered (they read the
@@ -41,15 +46,26 @@ class ObsSession {
   /// Null when neither tracing nor breakdown was requested.
   obs::TraceSink* sink() { return sink_.get(); }
   obs::CounterRegistry& counters() { return counters_; }
+  /// Null when telemetry was not requested.
+  obs::TimeSeries* telemetry() { return series_.get(); }
+  const obs::TimeSeries* telemetry() const { return series_.get(); }
+
+  /// Close the partial tail interval at the system's current sim time.
+  /// Idempotent; called automatically before telemetry export.
+  void finish_telemetry();
 
   void write_trace_json(const std::string& path) const;
   obs::BreakdownReport breakdown_report() const;
+  /// Null breakdown -> empty set.
+  obs::DigestSet stage_digests() const;
 
  private:
   sim::System& system_;
   obs::CounterRegistry counters_;
   std::unique_ptr<obs::TraceSink> sink_;
   std::unique_ptr<obs::LatencyBreakdown> breakdown_;
+  std::unique_ptr<obs::TimeSeries> series_;
+  bool sample_hook_set_ = false;
 };
 
 /// Map a system configuration plus bench parameters onto the model's

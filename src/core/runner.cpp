@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/addressing.hpp"
+#include "obs/profiler.hpp"
 
 namespace pcieb::core {
 namespace {
@@ -42,6 +43,7 @@ BenchRunner::BenchRunner(sim::System& system, const BenchParams& params)
 }
 
 void BenchRunner::prepare_state() {
+  obs::ProfScope prof(obs::CostCenter::SystemBuild);
   system_.thrash_cache();
   switch (params_.cache_state) {
     case CacheState::Thrash:

@@ -56,6 +56,12 @@ std::uint64_t kv_u64(const std::map<std::string, std::string>& kv,
   return it == kv.end() ? 0 : std::strtoull(it->second.c_str(), nullptr, 10);
 }
 
+std::string kv_str(const std::map<std::string, std::string>& kv,
+                   const std::string& key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? std::string{} : it->second;
+}
+
 }  // namespace
 
 void Suite::add(Experiment experiment) {
@@ -113,6 +119,11 @@ std::vector<ExperimentRecord> Suite::run(
     record.experiment = e;
     if (is_latency(e.params.kind)) {
       record.latency = run_latency_bench(system, e.params);
+      obs::Digest digest;
+      for (const double ns : record.latency->samples_ns.raw()) {
+        digest.add_ns(ns);
+      }
+      record.latency_digest = digest.serialize();
     } else {
       record.bandwidth = run_bandwidth_bench(system, e.params);
     }
@@ -172,6 +183,9 @@ std::string serialize_record(const ExperimentRecord& record) {
        << "p95=" << num(s.p95_ns) << '\n'
        << "p99=" << num(s.p99_ns) << '\n'
        << "p999=" << num(s.p999_ns) << '\n';
+    if (!record.latency_digest.empty()) {
+      os << "digest=" << exec::escape_line(record.latency_digest) << '\n';
+    }
   }
   if (record.bandwidth) {
     const auto& b = *record.bandwidth;
@@ -213,6 +227,8 @@ std::optional<ExperimentRecord> deserialize_record(const std::string& payload,
     lat.summary.p99_ns = kv_num(kv, "p99");
     lat.summary.p999_ns = kv_num(kv, "p999");
     rec.latency = std::move(lat);
+    // Absent in pre-digest journals; those records simply have no digest.
+    rec.latency_digest = kv_str(kv, "digest");
   } else if (kind->second == "bw") {
     BandwidthResult bw;
     bw.params = expected.params;
@@ -271,6 +287,32 @@ void write_csv(const std::vector<ExperimentRecord>& records,
             p.transfer_size, p.window_bytes, to_string(p.cache_state), med,
             p95, p99, gbps, mtps);
   }
+}
+
+std::string digest_summary(const std::vector<ExperimentRecord>& records) {
+  TextTable table({"experiment", "count", "p50_ns", "p99_ns", "p999_ns",
+                   "max_ns"});
+  obs::Digest merged;
+  std::size_t decoded = 0;
+  for (const auto& r : records) {
+    if (r.latency_digest.empty()) continue;
+    obs::Digest d;
+    if (!obs::Digest::deserialize(r.latency_digest, &d)) continue;
+    ++decoded;
+    table.add_row({r.experiment.name, std::to_string(d.count()),
+                   TextTable::num(d.quantile_ns(0.50), 1),
+                   TextTable::num(d.quantile_ns(0.99), 1),
+                   TextTable::num(d.quantile_ns(0.999), 1),
+                   TextTable::num(d.max() / 1000.0, 1)});
+    merged.merge(d);
+  }
+  if (decoded == 0) return "no latency digests recorded\n";
+  table.add_row({"ALL (merged)", std::to_string(merged.count()),
+                 TextTable::num(merged.quantile_ns(0.50), 1),
+                 TextTable::num(merged.quantile_ns(0.99), 1),
+                 TextTable::num(merged.quantile_ns(0.999), 1),
+                 TextTable::num(merged.max() / 1000.0, 1)});
+  return table.to_string();
 }
 
 }  // namespace pcieb::core

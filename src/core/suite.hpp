@@ -15,6 +15,7 @@
 
 #include "core/params.hpp"
 #include "core/runner.hpp"
+#include "obs/digest.hpp"
 #include "sim/system.hpp"
 
 namespace pcieb::core {
@@ -31,6 +32,12 @@ struct ExperimentRecord {
   std::optional<LatencyResult> latency;
   std::optional<BandwidthResult> bandwidth;
   double wall_seconds = 0.0;  ///< host time spent simulating
+  /// Serialized obs::Digest over the latency samples (empty for bandwidth
+  /// experiments). Unlike the raw SampleSet, this DOES cross the process
+  /// boundary — workers and the resume journal carry it, so percentiles
+  /// beyond the fixed summary stay computable after a fork or resume,
+  /// and merging records merges their sample populations exactly.
+  std::string latency_digest;
 };
 
 class Suite {
@@ -79,6 +86,13 @@ std::optional<ExperimentRecord> deserialize_record(
 
 /// One-line summary per record, aligned.
 std::string summarize(const std::vector<ExperimentRecord>& records);
+
+/// Digest-backed percentile table over the latency experiments (printed
+/// under --telemetry): per-record p50/p99/p999 decoded from
+/// ExperimentRecord::latency_digest, plus an "ALL (merged)" row merging
+/// every digest — the campaign-level percentile the fixed summary cannot
+/// provide. Byte-stable across serial, forked and resumed runs.
+std::string digest_summary(const std::vector<ExperimentRecord>& records);
 
 /// CSV with one row per record (kind-dependent columns filled or empty).
 void write_csv(const std::vector<ExperimentRecord>& records,

@@ -149,4 +149,18 @@ BreakdownReport LatencyBreakdown::report() const {
   return out;
 }
 
+DigestSet LatencyBreakdown::stage_digests() const {
+  DigestSet set;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (stage_ns_[s].empty()) continue;
+    Digest& d = set.at(to_string(static_cast<Stage>(s)));
+    for (const double ns : stage_ns_[s]) d.add_ns(ns);
+  }
+  if (!totals_ns_.empty()) {
+    Digest& d = set.at("end_to_end");
+    for (const double ns : totals_ns_) d.add_ns(ns);
+  }
+  return set;
+}
+
 }  // namespace pcieb::obs

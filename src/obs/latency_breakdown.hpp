@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/digest.hpp"
 #include "obs/trace.hpp"
 
 namespace pcieb::obs {
@@ -75,6 +76,11 @@ class LatencyBreakdown {
   std::size_t transactions() const { return totals_ns_.size(); }
 
   BreakdownReport report() const;
+
+  /// Mergeable digests over the retained samples: one per stage (named as
+  /// to_string(Stage)) plus "end_to_end". Stages with no samples are
+  /// omitted, so serialized digests carry no empty entries.
+  DigestSet stage_digests() const;
 
  private:
   void take(Stage s, Picos t);

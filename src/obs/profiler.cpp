@@ -1,0 +1,123 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace pcieb::obs {
+namespace {
+
+thread_local Profiler* g_current = nullptr;
+
+}  // namespace
+
+const char* to_string(CostCenter c) {
+  switch (c) {
+    case CostCenter::WheelDispatch: return "wheel_dispatch";
+    case CostCenter::EventCallback: return "event_callback";
+    case CostCenter::Packetizer: return "packetizer";
+    case CostCenter::DllReplay: return "dll_replay";
+    case CostCenter::Monitors: return "monitors";
+    case CostCenter::FaultPredicates: return "fault_predicates";
+    case CostCenter::CountersTrace: return "counters_trace";
+    case CostCenter::StepHook: return "step_hook";
+    case CostCenter::SystemBuild: return "system_build";
+    case CostCenter::Other: return "other";
+  }
+  return "?";
+}
+
+Profiler* Profiler::current() { return g_current; }
+
+Profiler* Profiler::set_current(Profiler* p) {
+  Profiler* prev = g_current;
+  g_current = p;
+  return prev;
+}
+
+std::uint64_t Profiler::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Profiler::charge(std::uint64_t until) {
+  const CostCenter top =
+      depth_ == 0 ? CostCenter::Other : stack_[depth_ - 1];
+  ns_[static_cast<std::size_t>(top)] += until - mark_;
+  mark_ = until;
+}
+
+void Profiler::start() {
+  if (running_) return;
+  mark_ = now_ns();
+  running_ = true;
+}
+
+void Profiler::stop() {
+  if (!running_) return;
+  charge(now_ns());
+  running_ = false;
+}
+
+void Profiler::enter(CostCenter c) {
+  ++events_[static_cast<std::size_t>(c)];
+  if (depth_ >= kMaxDepth) return;  // saturate: time stays with the top
+  if (running_) charge(now_ns());
+  stack_[depth_++] = c;
+}
+
+void Profiler::leave() {
+  if (depth_ == 0) return;
+  if (running_) charge(now_ns());
+  --depth_;
+}
+
+void Profiler::add_events(CostCenter c, std::uint64_t n) {
+  events_[static_cast<std::size_t>(c)] += n;
+}
+
+double Profiler::total_seconds() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t ns : ns_) total += ns;
+  return static_cast<double>(total) * 1e-9;
+}
+
+std::vector<Profiler::Row> Profiler::ranked() const {
+  std::vector<Row> rows;
+  const double total = total_seconds();
+  for (std::size_t i = 0; i < kCostCenterCount; ++i) {
+    if (ns_[i] == 0 && events_[i] == 0) continue;
+    Row r;
+    r.center = static_cast<CostCenter>(i);
+    r.seconds = static_cast<double>(ns_[i]) * 1e-9;
+    r.events = events_[i];
+    r.share_pct = total > 0 ? 100.0 * r.seconds / total : 0;
+    rows.push_back(r);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.seconds != b.seconds) return a.seconds > b.seconds;
+    return static_cast<int>(a.center) < static_cast<int>(b.center);
+  });
+  return rows;
+}
+
+std::string Profiler::table() const {
+  std::string out =
+      "cost center          time_s   share        scopes\n"
+      "-----------------  --------  ------  ------------\n";
+  char line[120];
+  for (const Row& r : ranked()) {
+    std::snprintf(line, sizeof(line), "%-17s  %8.3f  %5.1f%%  %12llu\n",
+                  to_string(r.center), r.seconds, r.share_pct,
+                  static_cast<unsigned long long>(r.events));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-17s  %8.3f  %5.1f%%\n", "total",
+                total_seconds(), total_seconds() > 0 ? 100.0 : 0.0);
+  out += line;
+  return out;
+}
+
+}  // namespace pcieb::obs

@@ -1,0 +1,166 @@
+#include "obs/timeseries.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pcieb::obs {
+namespace {
+
+/// Integral values (counter deltas, event counts) print without a
+/// fraction; everything else gets a short stable decimal form. Matches
+/// the CounterRegistry CSV convention so diffs stay readable.
+std::string format_value(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Picoseconds as an exact microsecond decimal (1 ps = 1e-6 us).
+std::string ps_to_us(Picos ps) {
+  const std::uint64_t v = static_cast<std::uint64_t>(ps < 0 ? -ps : ps);
+  std::string frac = std::to_string(v % 1000000);
+  frac.insert(0, 6 - frac.size(), '0');
+  return (ps < 0 ? "-" : "") + std::to_string(v / 1000000) + "." + frac;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(const CounterRegistry& registry, Picos interval,
+                       std::size_t capacity)
+    : registry_(registry), interval_(interval), capacity_(capacity) {
+  if (interval_ <= 0) {
+    throw std::invalid_argument("TimeSeries: interval must be positive");
+  }
+  if (capacity_ == 0) {
+    throw std::invalid_argument("TimeSeries: zero capacity");
+  }
+  const auto snap = registry_.snapshot();
+  names_.reserve(snap.size());
+  kinds_.reserve(snap.size());
+  last_.reserve(snap.size());
+  for (const MetricSample& s : snap) {
+    names_.push_back(s.name);
+    kinds_.push_back(s.kind);
+    last_.push_back(s.value);
+  }
+  next_ = interval_;
+}
+
+void TimeSeries::close_interval(Picos start, Picos end) {
+  Interval rec;
+  rec.start = start;
+  rec.end = end;
+  const auto snap = registry_.snapshot();
+  if (snap.size() != names_.size()) {
+    throw std::logic_error("TimeSeries: registry changed after construction");
+  }
+  rec.values.reserve(snap.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (kinds_[i] == MetricKind::Counter) {
+      rec.values.push_back(snap[i].value - last_[i]);
+      last_[i] = snap[i].value;
+    } else {
+      rec.values.push_back(snap[i].value);
+    }
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+  ++closed_;
+}
+
+void TimeSeries::observe(Picos now) {
+  if (finished_) {
+    throw std::logic_error("TimeSeries: observe() after finish()");
+  }
+  while (now >= next_) {
+    close_interval(next_ - interval_, next_);
+    next_ += interval_;
+  }
+}
+
+void TimeSeries::finish(Picos now) {
+  if (finished_) return;
+  observe(now);
+  const Picos start = next_ - interval_;
+  if (now > start) close_interval(start, now);
+  finished_ = true;
+}
+
+std::vector<TimeSeries::Interval> TimeSeries::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t TimeSeries::size() const { return ring_.size(); }
+
+void TimeSeries::write_csv(std::ostream& os) const {
+  os << "t_start_ps,t_end_ps";
+  for (const std::string& n : names_) os << ',' << n;
+  os << '\n';
+  for (const Interval& rec : intervals()) {
+    os << rec.start << ',' << rec.end;
+    for (const double v : rec.values) os << ',' << format_value(v);
+    os << '\n';
+  }
+}
+
+void TimeSeries::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TimeSeries: cannot open " + path);
+  write_csv(out);
+}
+
+void TimeSeries::write_json(std::ostream& os) const {
+  os << "{\"schema\": \"pcieb-telemetry-v1\", \"interval_ps\": " << interval_
+     << ", \"dropped\": " << dropped_ << ", \"metrics\": [";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i) os << ", ";
+    os << "{\"name\": \"" << names_[i] << "\", \"kind\": \""
+       << to_string(kinds_[i]) << "\"}";
+  }
+  os << "], \"intervals\": [";
+  bool first = true;
+  for (const Interval& rec : intervals()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"t0\": " << rec.start << ", \"t1\": " << rec.end << ", \"v\": [";
+    for (std::size_t i = 0; i < rec.values.size(); ++i) {
+      if (i) os << ", ";
+      os << format_value(rec.values[i]);
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+std::string TimeSeries::chrome_counter_events() const {
+  std::string out;
+  for (const Interval& rec : intervals()) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (kinds_[i] != MetricKind::Counter) continue;
+      if (!out.empty()) out += ',';
+      out += "{\"name\":\"" + names_[i] +
+             "\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" +
+             ps_to_us(rec.end) + ",\"args\":{\"value\":" +
+             format_value(rec.values[i]) + "}}";
+    }
+  }
+  return out;
+}
+
+}  // namespace pcieb::obs

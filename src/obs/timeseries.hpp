@@ -1,0 +1,91 @@
+// Streaming time-series sampling over a CounterRegistry.
+//
+// A TimeSeries closes fixed sim-time intervals and records, per interval,
+// the delta of every registered counter (and an end-of-interval sample of
+// every gauge) into a bounded ring of records. Drive it from the
+// Simulator's sample hook: observe(now) closes every interval boundary
+// now has crossed, finish(now) closes the partial tail, after which the
+// per-interval counter deltas sum exactly to the final counter totals.
+//
+// The cadence is pure sim time, so the series is as deterministic as the
+// simulation itself: identical runs produce byte-identical CSV/JSON, and
+// the tier-2 telemetry snapshot holds the canonical fig05 series to that
+// contract. Exports: wide CSV (one row per interval, one column per
+// metric), a self-describing JSON object, and Chrome trace counter events
+// ("ph":"C") that merge into TraceSink::write_chrome_json output as
+// Perfetto counter tracks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/counters.hpp"
+
+namespace pcieb::obs {
+
+class TimeSeries {
+ public:
+  /// Captures the registry's metric list at construction — register every
+  /// metric first. `interval` is the sampling cadence in sim picoseconds;
+  /// `capacity` bounds the ring (oldest intervals drop once exceeded).
+  TimeSeries(const CounterRegistry& registry, Picos interval,
+             std::size_t capacity = 1 << 16);
+
+  /// Close every interval whose end boundary is <= now. The first close
+  /// takes the full counter delta since the previous close; later closes
+  /// in the same call see zero delta (work is attributed to the interval
+  /// during which it was observed).
+  void observe(Picos now);
+
+  /// Close the partial tail interval [last boundary, now], if nonempty.
+  /// Call once after the run; observe() may not be called afterwards.
+  void finish(Picos now);
+
+  struct Interval {
+    Picos start = 0;
+    Picos end = 0;
+    std::vector<double> values;  ///< counter deltas / gauge samples
+  };
+
+  Picos interval() const { return interval_; }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<MetricKind>& kinds() const { return kinds_; }
+  /// Retained intervals, oldest first.
+  std::vector<Interval> intervals() const;
+  std::size_t size() const;
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Wide CSV: "t_start_ps,t_end_ps,<metric>,..." one row per interval.
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+  /// Self-describing JSON: schema, interval, metric names/kinds, rows.
+  void write_json(std::ostream& os) const;
+
+  /// Chrome trace counter events ("ph":"C", one track per counter metric,
+  /// sampled at each interval end), as a comma-separated JSON fragment for
+  /// TraceSink::set_extra_json. Empty string when no intervals closed.
+  std::string chrome_counter_events() const;
+
+ private:
+  void close_interval(Picos start, Picos end);
+
+  const CounterRegistry& registry_;
+  Picos interval_;
+  std::size_t capacity_;
+  std::vector<std::string> names_;
+  std::vector<MetricKind> kinds_;
+  std::vector<double> last_;   ///< counter values at the previous close
+  Picos next_ = 0;             ///< end boundary of the open interval
+  bool finished_ = false;
+
+  std::vector<Interval> ring_;  ///< circular once full
+  std::size_t head_ = 0;        ///< next write position once full
+  std::uint64_t closed_ = 0;    ///< intervals ever closed
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pcieb::obs

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace pcieb::obs {
 
 const char* to_string(Component c) {
@@ -51,6 +53,7 @@ TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
 }
 
 void TraceSink::record(const TraceEvent& e) {
+  ProfScope prof(CostCenter::CountersTrace);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
   } else {
@@ -118,6 +121,7 @@ void TraceSink::write_chrome_json(std::ostream& os) const {
        << ",\"len\":" << e.len << ",\"flags\":" << static_cast<unsigned>(e.flags)
        << "}}";
   }
+  if (!extra_json_.empty()) os << "," << extra_json_;
   os << "]}\n";
 }
 

@@ -95,6 +95,14 @@ class TraceSink {
   /// Live consumer invoked on every record() (after ring insertion).
   void set_listener(Listener l) { listener_ = std::move(l); }
 
+  /// Pre-rendered comma-separated Chrome trace-event objects (e.g.
+  /// TimeSeries::chrome_counter_events) appended to the traceEvents array
+  /// by write_chrome_json — how counter tracks join the TLP timeline in
+  /// one Perfetto view.
+  void set_extra_json(std::string fragment) {
+    extra_json_ = std::move(fragment);
+  }
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   std::uint64_t recorded() const { return recorded_; }
@@ -117,6 +125,7 @@ class TraceSink {
   std::size_t head_ = 0;       ///< next write position once full
   std::uint64_t recorded_ = 0;
   Listener listener_;
+  std::string extra_json_;
 };
 
 }  // namespace pcieb::obs

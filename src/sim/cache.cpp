@@ -43,6 +43,7 @@ LastLevelCache::LastLevelCache(const CacheConfig& cfg)
   lru_.resize(num_sets_ * cfg_.ways);
   valid_.resize(num_sets_);
   dirty_.resize(num_sets_);
+  thrash_seen_.resize((num_sets_ + 63) / 64);
 }
 
 std::uint64_t LastLevelCache::set_index(std::uint64_t addr) const {
@@ -65,6 +66,7 @@ int LastLevelCache::find_way(std::uint64_t set, std::uint64_t tag) const {
 bool LastLevelCache::read_probe(std::uint64_t addr) {
   std::uint64_t set, tag;
   locate(addr, set, tag);
+  materialize(set);
   const int w = find_way(set, tag);
   if (w >= 0) {
     lru_[set * cfg_.ways + static_cast<unsigned>(w)] = ++lru_clock_;
@@ -78,6 +80,7 @@ bool LastLevelCache::read_probe(std::uint64_t addr) {
 LastLevelCache::WriteOutcome LastLevelCache::write_allocate(std::uint64_t addr) {
   std::uint64_t set, tag;
   locate(addr, set, tag);
+  materialize(set);
   const std::uint64_t row = set * cfg_.ways;
   if (const int w = find_way(set, tag); w >= 0) {
     lru_[row + static_cast<unsigned>(w)] = ++lru_clock_;
@@ -107,6 +110,7 @@ LastLevelCache::WriteOutcome LastLevelCache::write_allocate(std::uint64_t addr) 
 void LastLevelCache::host_touch(std::uint64_t addr, bool dirty_line) {
   std::uint64_t set, tag;
   locate(addr, set, tag);
+  materialize(set);
   const std::uint64_t row = set * cfg_.ways;
   if (const int w = find_way(set, tag); w >= 0) {
     lru_[row + static_cast<unsigned>(w)] = ++lru_clock_;
@@ -132,18 +136,32 @@ void LastLevelCache::host_touch(std::uint64_t addr, bool dirty_line) {
 
 void LastLevelCache::thrash() {
   // Clean foreign lines everywhere: tags that no benchmark buffer address
-  // maps to (top bit set), so every subsequent probe misses.
-  const std::uint64_t all_ways =
-      cfg_.ways == 64 ? ~std::uint64_t{0}
-                      : (std::uint64_t{1} << cfg_.ways) - 1;
-  for (std::uint64_t s = 0; s < num_sets_; ++s) {
-    for (unsigned w = 0; w < cfg_.ways; ++w) {
-      tags_[s * cfg_.ways + w] = (std::uint64_t{1} << 63) | w;
-      lru_[s * cfg_.ways + w] = ++lru_clock_;
-    }
-    valid_[s] = all_ways;
-    dirty_[s] = 0;
+  // maps to (top bit set), so every subsequent probe misses. Recorded
+  // lazily — materialize_slow() writes each set on first touch; here we
+  // only clear the seen bitmap and reserve the LRU-clock range the eager
+  // fill would have consumed (one ++ per line, set-major, way inner), so
+  // the materialized state and every later LRU decision are bit-identical
+  // to the eager loop's.
+  std::fill(thrash_seen_.begin(), thrash_seen_.end(), 0);
+  thrash_base_ = lru_clock_;
+  lru_clock_ += num_sets_ * cfg_.ways;
+  thrash_unmaterialized_ = num_sets_;
+}
+
+void LastLevelCache::materialize_slow(std::uint64_t set) {
+  const std::uint64_t word = set >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (set & 63);
+  if ((thrash_seen_[word] & bit) != 0) return;
+  thrash_seen_[word] |= bit;
+  --thrash_unmaterialized_;
+  const std::uint64_t row = set * cfg_.ways;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    tags_[row + w] = (std::uint64_t{1} << 63) | w;
+    lru_[row + w] = thrash_base_ + row + w + 1;
   }
+  valid_[set] = cfg_.ways == 64 ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << cfg_.ways) - 1;
+  dirty_[set] = 0;
 }
 
 void LastLevelCache::clear() {
@@ -151,6 +169,7 @@ void LastLevelCache::clear() {
   std::fill(lru_.begin(), lru_.end(), 0);
   std::fill(valid_.begin(), valid_.end(), 0);
   std::fill(dirty_.begin(), dirty_.end(), 0);
+  thrash_unmaterialized_ = 0;  // no pending fill; everything is invalid
 }
 
 void LastLevelCache::reset_stats() {
@@ -161,6 +180,12 @@ void LastLevelCache::reset_stats() {
 bool LastLevelCache::contains(std::uint64_t addr) const {
   std::uint64_t set, tag;
   locate(addr, set, tag);
+  // A set still holding the pending thrash fill contains only foreign
+  // lines ((1<<63)|way), and no reachable address produces a tag with
+  // the top bit set — so the answer is "no" without materializing.
+  if (thrash_pending(set)) {
+    return (tag >> 63) != 0 && (tag & ~(std::uint64_t{1} << 63)) < cfg_.ways;
+  }
   return find_way(set, tag) >= 0;
 }
 

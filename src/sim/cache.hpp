@@ -48,6 +48,13 @@ class LastLevelCache {
 
   /// Fill the whole cache with clean foreign lines, evicting everything —
   /// the pcie-bench "thrash the cache" step.
+  ///
+  /// Lazy: the fill is recorded (one bitmap clear + a reserved LRU-clock
+  /// range) and each set is materialized on first touch. Every run calls
+  /// this once per benchmark while touching only the window's sets, so
+  /// the eager O(sets * ways) store loop was the dominant system-build
+  /// cost on the chaos workload (docs/PERFORMANCE.md). Materialized
+  /// state is bit-identical to the eager fill, including the LRU stamps.
   void thrash();
 
   /// Drop all contents (power-on state).
@@ -94,6 +101,19 @@ class LastLevelCache {
   /// contiguous tag row (8 B per way, one or two cache lines per set).
   int find_way(std::uint64_t set, std::uint64_t tag) const;
 
+  /// Write the pending thrash fill into `set` if it hasn't been touched
+  /// since the last thrash(). The fast path is one counter test: once
+  /// every set is materialized (or on a fresh/cleared cache) the armed
+  /// counter is 0 and the probe pays a single predictable branch.
+  void materialize(std::uint64_t set) {
+    if (thrash_unmaterialized_ != 0) materialize_slow(set);
+  }
+  void materialize_slow(std::uint64_t set);
+  bool thrash_pending(std::uint64_t set) const {
+    return thrash_unmaterialized_ != 0 &&
+           (thrash_seen_[set >> 6] & (std::uint64_t{1} << (set & 63))) == 0;
+  }
+
   bool valid(std::uint64_t set, unsigned way) const {
     return (valid_[set] >> way) & 1u;
   }
@@ -114,6 +134,13 @@ class LastLevelCache {
   std::vector<std::uint64_t> lru_;   ///< num_sets_ * ways, set-major
   std::vector<std::uint64_t> valid_;  ///< one mask per set
   std::vector<std::uint64_t> dirty_;  ///< one mask per set
+  // Lazy-thrash state: sets materialized since the last thrash() (one bit
+  // per set), the LRU clock value the thrash started from (the reserved
+  // range [base+1, base+sets*ways] holds the per-line stamps the eager
+  // loop would have written), and how many sets still await the fill.
+  std::vector<std::uint64_t> thrash_seen_;
+  std::uint64_t thrash_base_ = 0;
+  std::uint64_t thrash_unmaterialized_ = 0;
   std::uint64_t lru_clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.hpp"
+
 namespace pcieb::sim {
 
 DeviceProfile DeviceProfile::nfp6000() {
@@ -79,7 +81,10 @@ void DmaDevice::issue_read_requests(std::uint64_t addr, std::uint32_t len,
   // Scratch buffer: acquire() never invokes the grant synchronously (it
   // goes through the scheduler), so nothing re-enters this segmentation
   // before the loop finishes copying each request into its closure.
-  proto::segment_read_requests(link_cfg_, addr, len, tlp_scratch_);
+  {
+    obs::ProfScope prof(obs::CostCenter::Packetizer);
+    proto::segment_read_requests(link_cfg_, addr, len, tlp_scratch_);
+  }
   for (const proto::Tlp& r : tlp_scratch_) {
     read_tags_.acquire([this, req = r, dma_id]() mutable {
       const std::uint32_t tag = next_tag_++;
@@ -330,7 +335,10 @@ void DmaDevice::dma_write(std::uint64_t addr, std::uint32_t len, Callback done,
 
 void DmaDevice::send_write_tlps(std::uint64_t addr, std::uint32_t len,
                                 std::uint32_t dma_id, Callback done) {
-  proto::segment_write(link_cfg_, addr, len, tlp_scratch_);
+  {
+    obs::ProfScope prof(obs::CostCenter::Packetizer);
+    proto::segment_write(link_cfg_, addr, len, tlp_scratch_);
+  }
   for (std::size_t i = 0; i < tlp_scratch_.size(); ++i) {
     const bool last = (i + 1 == tlp_scratch_.size());
     pending_writes_.push_back(PendingWrite{

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace pcieb::sim {
 
 Iommu::Iommu(Simulator& sim, const IommuConfig& cfg)
@@ -37,7 +39,12 @@ bool Iommu::probe(std::uint64_t addr, bool is_write, bool& fault) {
   // An injected fault models an unmapped/blocked page: such a page cannot
   // be TLB-resident, so the fault forces the full walk, which discovers
   // the missing leaf — full walk latency, nothing cached.
-  fault = injector_ && injector_->on_translate(addr, is_write, sim_.now());
+  if (injector_) {
+    obs::ProfScope prof(obs::CostCenter::FaultPredicates);
+    fault = injector_->on_translate(addr, is_write, sim_.now());
+  } else {
+    fault = false;
+  }
   if (!fault && tlb_lookup(addr / cfg_.page_bytes)) {
     ++hits_;
     if (trace_) {

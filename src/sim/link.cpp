@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace pcieb::sim {
 
 double Link::effective_rate() {
   if (injector_) {
+    obs::ProfScope prof(obs::CostCenter::FaultPredicates);
     if (const fault::FaultRule* rule = injector_->downtrain_now(sim_.now())) {
       if (!downtrained_) {
         downtrained_ = true;
@@ -64,7 +67,10 @@ bool Link::replay_attempts(unsigned n, Picos gap, Picos ser,
 
 Picos Link::send(const proto::Tlp& tlp) {
   fault::LinkTxDecision decision;
-  if (injector_) decision = injector_->on_link_tx(tlp, upstream_, sim_.now());
+  if (injector_) {
+    obs::ProfScope prof(obs::CostCenter::FaultPredicates);
+    decision = injector_->on_link_tx(tlp, upstream_, sim_.now());
+  }
   // Legacy LinkFaultModel shim: one corruption draw per TLP, feeding the
   // same replay state machine the injector uses.
   if (faults_.replay_probability > 0.0 &&
@@ -96,12 +102,15 @@ Picos Link::send(const proto::Tlp& tlp) {
   // REPLAY_TIMER instead. Replays happen before any later TLP is accepted
   // (the DLL retry buffer preserves order), so the wasted attempts plus
   // the timeout gaps simply extend the wire occupancy.
-  unsigned consecutive = 0;
-  if (replay_attempts(decision.corrupt_attempts, dll_.ack_latency, ser,
-                      wire_bytes, tlp, fault::ErrorType::BadTlp,
-                      consecutive)) {
-    replay_attempts(decision.ack_losses, dll_.replay_timer, ser, wire_bytes,
-                    tlp, fault::ErrorType::ReplayTimeout, consecutive);
+  if (decision.corrupt_attempts > 0 || decision.ack_losses > 0) {
+    obs::ProfScope prof(obs::CostCenter::DllReplay);
+    unsigned consecutive = 0;
+    if (replay_attempts(decision.corrupt_attempts, dll_.ack_latency, ser,
+                        wire_bytes, tlp, fault::ErrorType::BadTlp,
+                        consecutive)) {
+      replay_attempts(decision.ack_losses, dll_.replay_timer, ser, wire_bytes,
+                      tlp, fault::ErrorType::ReplayTimeout, consecutive);
+    }
   }
 
   if (trace_) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "pcie/packetizer.hpp"
 
 namespace pcieb::sim {
@@ -55,7 +56,10 @@ void RootComplex::on_upstream(const proto::Tlp& tlp) {
 }
 
 void RootComplex::host_mmio_write(std::uint64_t addr, std::uint32_t len) {
-  proto::segment_write(link_cfg_, addr, len, tlp_scratch_);
+  {
+    obs::ProfScope prof(obs::CostCenter::Packetizer);
+    proto::segment_write(link_cfg_, addr, len, tlp_scratch_);
+  }
   for (const proto::Tlp& tlp : tlp_scratch_) {
     downstream_.send(tlp);
   }
@@ -198,7 +202,11 @@ void RootComplex::emit_completions(const proto::Tlp& req) {
   if (injector_) {
     // Forced completer errors fire before memory is touched: a UR means
     // nobody claimed the address, a CA means the completer gave up.
-    const fault::CplFault f = injector_->on_completion(req, sim_.now());
+    fault::CplFault f;
+    {
+      obs::ProfScope prof(obs::CostCenter::FaultPredicates);
+      f = injector_->on_completion(req, sim_.now());
+    }
     if (f != fault::CplFault::None) {
       const bool ur = f == fault::CplFault::UnsupportedRequest;
       if (aer_) {
@@ -213,7 +221,11 @@ void RootComplex::emit_completions(const proto::Tlp& req) {
   }
   const bool local = is_local_(req.addr);
   mem_.fetch(req.addr, req.read_len, local, [this, req] {
-    proto::segment_completions(link_cfg_, req.addr, req.read_len, tlp_scratch_);
+    {
+      obs::ProfScope prof(obs::CostCenter::Packetizer);
+      proto::segment_completions(link_cfg_, req.addr, req.read_len,
+                                 tlp_scratch_);
+    }
     for (proto::Tlp& cpl : tlp_scratch_) {
       cpl.tag = req.tag;
       downstream_.send(cpl);

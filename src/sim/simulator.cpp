@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace pcieb::sim {
 namespace {
 
@@ -20,7 +22,10 @@ void Simulator::throw_past_schedule() {
   throw std::logic_error("Simulator::at: scheduling into the past");
 }
 
+Simulator::Simulator() : profiler_(obs::Profiler::current()) {}
+
 bool Simulator::step() {
+  if (profiler_) return step_profiled();
   EventQueue::EventNode* node = queue_.pop();
   if (node == nullptr) return false;
   NodeGuard guard{queue_, node};
@@ -33,6 +38,48 @@ bool Simulator::step() {
   node->fn.invoke_consume();
   // Checked after the callback so monitors observe the post-event state.
   if (check_hook_) check_hook_(now_);
+  // Sampled last so telemetry intervals include this event's effects.
+  if (sample_hook_ && ++since_sample_ >= sample_every_) {
+    since_sample_ = 0;
+    sample_hook_(now_);
+  }
+  return true;
+}
+
+/// step() with cost-center attribution — same semantics, with the four
+/// phases (wheel pop, callback, check hook, step/sample hooks) wrapped in
+/// ProfScopes. Kept as a separate body so the unprofiled path pays only
+/// the `profiler_` null check.
+bool Simulator::step_profiled() {
+  obs::Profiler& prof = *profiler_;
+  prof.enter(obs::CostCenter::WheelDispatch);
+  EventQueue::EventNode* node = queue_.pop();
+  if (node == nullptr) {
+    prof.leave();
+    return false;
+  }
+  NodeGuard guard{queue_, node};
+  now_ = node->time;
+  ++executed_;
+  prof.leave();
+  if (step_hook_ && ++since_hook_ >= hook_every_) {
+    since_hook_ = 0;
+    obs::ProfScope scope(&prof, obs::CostCenter::StepHook);
+    step_hook_(now_, executed_);
+  }
+  {
+    obs::ProfScope scope(&prof, obs::CostCenter::EventCallback);
+    node->fn.invoke_consume();
+  }
+  if (check_hook_) {
+    obs::ProfScope scope(&prof, obs::CostCenter::Monitors);
+    check_hook_(now_);
+  }
+  if (sample_hook_ && ++since_sample_ >= sample_every_) {
+    since_sample_ = 0;
+    obs::ProfScope scope(&prof, obs::CostCenter::CountersTrace);
+    sample_hook_(now_);
+  }
   return true;
 }
 
@@ -40,6 +87,12 @@ void Simulator::set_step_hook(StepHook hook, std::uint64_t every) {
   step_hook_ = std::move(hook);
   hook_every_ = every == 0 ? 1 : every;
   since_hook_ = 0;
+}
+
+void Simulator::set_sample_hook(SampleHook hook, std::uint64_t every) {
+  sample_hook_ = std::move(hook);
+  sample_every_ = every == 0 ? 1 : every;
+  since_sample_ = 0;
 }
 
 void Simulator::run() {

@@ -20,12 +20,21 @@
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
 
+namespace pcieb::obs {
+class Profiler;
+}  // namespace pcieb::obs
+
 namespace pcieb::sim {
 
 using Callback = std::function<void()>;
 
 class Simulator {
  public:
+  /// Caches the calling thread's armed obs::Profiler (if any) so the
+  /// per-event profiling check is a member null test, not a thread-local
+  /// read. Arm the profiler before constructing the Simulator.
+  Simulator();
+
   Picos now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must not be in the past).
@@ -78,16 +87,30 @@ class Simulator {
   using CheckHook = std::function<void(Picos)>;
   void set_check_hook(CheckHook hook) { check_hook_ = std::move(hook); }
 
+  /// Invoke `hook(now)` after every `every` executed events, after the
+  /// event's callback (and the check hook) ran — the telemetry sampler's
+  /// point (obs::TimeSeries::observe). A third independent slot so
+  /// telemetry, monitors, and the watchdog compose. Like the step hook,
+  /// the cadence counter is NOT reset by run_until boundaries; one branch
+  /// per event when unset. Pass an empty hook to detach.
+  using SampleHook = std::function<void(Picos)>;
+  void set_sample_hook(SampleHook hook, std::uint64_t every = 1);
+
  private:
   [[noreturn]] static void throw_past_schedule();
+  bool step_profiled();
 
   Picos now_ = 0;
   std::size_t executed_ = 0;
   EventQueue queue_;
   StepHook step_hook_;
   CheckHook check_hook_;
+  SampleHook sample_hook_;
   std::uint64_t hook_every_ = 1 << 12;
   std::uint64_t since_hook_ = 0;
+  std::uint64_t sample_every_ = 1;
+  std::uint64_t since_sample_ = 0;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace pcieb::sim

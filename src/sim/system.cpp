@@ -1,8 +1,11 @@
 #include "sim/system.hpp"
 
+#include "obs/profiler.hpp"
+
 namespace pcieb::sim {
 
 System::System(const SystemConfig& cfg) : cfg_(cfg) {
+  obs::ProfScope prof(obs::CostCenter::SystemBuild);
   cfg_.link.validate();
   LinkFaultModel up_faults = cfg_.link_faults;
   LinkFaultModel down_faults = cfg_.link_faults;

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Strict CLI validation for the telemetry/profiler flags: every malformed
+# spelling must exit 2 with a diagnostic on stderr (never run the bench,
+# never exit 0/1/3), and the well-formed spellings must be accepted. Run
+# by CTest as `cli_usage`; takes the pciebench path as $1.
+set -u
+
+PCIEBENCH="${1:?usage: cli_usage_check.sh <path-to-pciebench>}"
+fail=0
+
+# expect_usage <description> -- <args...>: exit code 2 + stderr diagnostic.
+expect_usage() {
+    local desc="$1"; shift
+    [[ "$1" == "--" ]] && shift
+    local err
+    err=$("$PCIEBENCH" "$@" 2>&1 >/dev/null)
+    local code=$?
+    if [[ $code -ne 2 ]]; then
+        echo "FAIL($desc): exit $code, want 2: pciebench $*" >&2
+        fail=1
+    elif [[ -z "$err" ]]; then
+        echo "FAIL($desc): exit 2 but no diagnostic on stderr" >&2
+        fail=1
+    else
+        echo "   ok($desc): exit 2, '$(head -1 <<<"$err")'"
+    fi
+}
+
+# expect_ok <description> -- <args...>: exit code 0.
+expect_ok() {
+    local desc="$1"; shift
+    [[ "$1" == "--" ]] && shift
+    if ! "$PCIEBENCH" "$@" >/dev/null 2>&1; then
+        echo "FAIL($desc): nonzero exit: pciebench $*" >&2
+        fail=1
+    else
+        echo "   ok($desc): accepted"
+    fi
+}
+
+RUN=(run --system NFP6000-HSW --bench LAT_RD --iters 50 --warmup 10)
+
+expect_usage "no command"          --
+expect_usage "unknown option"      -- run --telemetrie
+expect_usage "empty telemetry file" -- "${RUN[@]}" --telemetry=
+expect_usage "interval w/o telemetry" -- "${RUN[@]}" --telemetry-interval 1000
+expect_usage "zero interval"       -- "${RUN[@]}" --telemetry --telemetry-interval 0
+expect_usage "non-numeric interval" -- "${RUN[@]}" --telemetry --telemetry-interval xyz
+expect_usage "missing interval value" -- "${RUN[@]}" --telemetry --telemetry-interval
+expect_usage "profile takes no value" -- perf --quick --profile=on
+expect_usage "chaos empty telemetry file" -- chaos --trials 1 --telemetry=
+expect_usage "suite telemetry bad spelling" -- suite --telemetry --bogus
+
+expect_ok "bare telemetry to stdout" -- "${RUN[@]}" --telemetry
+expect_ok "telemetry to file" -- "${RUN[@]}" --telemetry="$(mktemp -u /tmp/pcieb-usage-XXXXXX.csv)"
+expect_ok "telemetry with interval" -- "${RUN[@]}" --telemetry --telemetry-interval 500000
+expect_ok "chaos with telemetry" -- chaos --trials 2 --iters 50 --telemetry
+
+exit $fail

@@ -1,0 +1,209 @@
+// obs::Digest / obs::DigestSet: the bucket mapping's error bound, the
+// merge algebra (commutative, associative, equal to digesting the
+// concatenated stream) and the canonical serialization that the journal
+// byte-identity contract rides on (docs/OBSERVABILITY.md).
+#include "obs/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace pcieb::obs {
+namespace {
+
+TEST(DigestBucketsTest, SmallValuesMapToThemselves) {
+  for (std::uint64_t v = 0; v < (1u << Digest::kSubBits); ++v) {
+    const std::uint64_t idx = Digest::bucket_index(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(Digest::bucket_lo(idx), v);
+    EXPECT_EQ(Digest::bucket_hi(idx), v);
+    EXPECT_EQ(Digest::bucket_rep(idx), v);
+  }
+}
+
+TEST(DigestBucketsTest, BucketsPartitionTheValueRange) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    // Bias toward small exponents but cover the full 64-bit range.
+    const unsigned shift = static_cast<unsigned>(rng() % 64);
+    const std::uint64_t v = rng() >> shift;
+    const std::uint64_t idx = Digest::bucket_index(v);
+    EXPECT_LE(Digest::bucket_lo(idx), v);
+    EXPECT_GE(Digest::bucket_hi(idx), v);
+    EXPECT_EQ(Digest::bucket_index(Digest::bucket_lo(idx)), idx);
+    EXPECT_EQ(Digest::bucket_index(Digest::bucket_hi(idx)), idx);
+    if (Digest::bucket_hi(idx) < std::numeric_limits<std::uint64_t>::max()) {
+      EXPECT_EQ(Digest::bucket_index(Digest::bucket_hi(idx) + 1), idx + 1);
+    }
+  }
+}
+
+TEST(DigestBucketsTest, RepresentativeWithinRelativeErrorBound) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng() >> (rng() % 40);
+    if (v == 0) continue;
+    const std::uint64_t rep = Digest::bucket_rep(Digest::bucket_index(v));
+    const double err = std::abs(static_cast<double>(rep) -
+                                static_cast<double>(v));
+    // Half a sub-bucket: 2^-(kSubBits+1) of the octave base.
+    EXPECT_LE(err, static_cast<double>(v) / (1 << Digest::kSubBits))
+        << "v=" << v << " rep=" << rep;
+  }
+}
+
+TEST(DigestTest, QuantilesOfKnownSmallPopulation) {
+  Digest d;
+  for (std::uint64_t v = 0; v < 32; ++v) d.add(v);
+  EXPECT_EQ(d.count(), 32u);
+  EXPECT_EQ(d.min(), 0u);
+  EXPECT_EQ(d.max(), 31u);
+  EXPECT_EQ(d.quantile(0.0), 0u);    // rank clamps to 1
+  EXPECT_EQ(d.quantile(0.5), 15u);   // ceil(0.5*32) = 16th smallest = 15
+  EXPECT_EQ(d.quantile(1.0), 31u);
+  EXPECT_DOUBLE_EQ(d.mean(), 15.5);
+}
+
+TEST(DigestTest, AddNsRoundsToPicosAndFloorsNonPositive) {
+  Digest d;
+  d.add_ns(1.0);     // 1000 ps
+  d.add_ns(0.0004);  // rounds to 0 ps
+  d.add_ns(-5.0);    // clamps to bucket 0
+  d.add_ns(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(d.count(), 4u);
+  EXPECT_EQ(d.quantile(1.0), Digest::bucket_rep(Digest::bucket_index(1000)));
+  EXPECT_EQ(d.min(), 0u);
+}
+
+Digest random_digest(std::uint64_t seed, int n) {
+  std::mt19937_64 rng(seed);
+  Digest d;
+  for (int i = 0; i < n; ++i) d.add(rng() >> (rng() % 48));
+  return d;
+}
+
+TEST(DigestTest, MergeIsCommutativeAndAssociative) {
+  const Digest a = random_digest(1, 500);
+  const Digest b = random_digest(2, 300);
+  const Digest c = random_digest(3, 700);
+
+  Digest ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.serialize(), ba.serialize());
+
+  Digest ab_c = ab;
+  ab_c.merge(c);
+  Digest bc = b, a_bc = a;
+  bc.merge(c);
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c.serialize(), a_bc.serialize());
+  EXPECT_EQ(ab_c.count(), a.count() + b.count() + c.count());
+}
+
+TEST(DigestTest, MergeEqualsDigestOfConcatenatedStream) {
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> all;
+  Digest merged;
+  for (int shard = 0; shard < 4; ++shard) {
+    Digest part;
+    for (int i = 0; i < 250; ++i) {
+      const std::uint64_t v = rng() >> (rng() % 32);
+      all.push_back(v);
+      part.add(v);
+    }
+    merged.merge(part);
+  }
+  Digest whole;
+  for (const std::uint64_t v : all) whole.add(v);
+  EXPECT_EQ(merged, whole);
+  EXPECT_EQ(merged.serialize(), whole.serialize());
+}
+
+TEST(DigestTest, SerializeRoundTripsExactly) {
+  const Digest d = random_digest(99, 1000);
+  Digest back;
+  ASSERT_TRUE(Digest::deserialize(d.serialize(), &back));
+  EXPECT_EQ(d, back);
+  EXPECT_EQ(d.serialize(), back.serialize());
+
+  Digest empty, empty_back;
+  ASSERT_TRUE(Digest::deserialize(empty.serialize(), &empty_back));
+  EXPECT_TRUE(empty_back.empty());
+}
+
+TEST(DigestTest, DeserializeRejectsMalformedInput) {
+  Digest out;
+  const char* bad[] = {
+      "",
+      "v=2;sub=5;n=0;b=",            // unknown version
+      "v=1;sub=4;n=0;b=",            // sub-bit mismatch
+      "v=1;sub=5;n=1;b=",            // count without buckets
+      "v=1;sub=5;n=2;b=3:1",         // sum != n
+      "v=1;sub=5;n=2;b=5:1,3:1",     // unsorted
+      "v=1;sub=5;n=2;b=3:1,3:1",     // duplicate index
+      "v=1;sub=5;n=1;b=3:0",         // zero count
+      "v=1;sub=5;n=1;b=3:1,",        // trailing separator
+      "v=1;sub=5;n=1;b=3:1;x=1",     // trailing field
+      "v=1;sub=5;n=x;b=",            // non-numeric
+  };
+  for (const char* s : bad) {
+    EXPECT_FALSE(Digest::deserialize(s, &out)) << "accepted: " << s;
+  }
+}
+
+TEST(DigestSetTest, MergeAndSerializeAreOrderIndependent) {
+  DigestSet x, y;
+  x.at("alpha").add(100);
+  x.at("beta").add(200);
+  y.at("beta").add(300);
+  y.at("gamma").add(400);
+
+  DigestSet xy = x, yx = y;
+  xy.merge(y);
+  yx.merge(x);
+  EXPECT_EQ(xy.serialize(), yx.serialize());
+  EXPECT_EQ(xy.total_count(), 4u);
+  EXPECT_EQ(xy.size(), 3u);
+
+  DigestSet back;
+  ASSERT_TRUE(DigestSet::deserialize(xy.serialize(), &back));
+  EXPECT_EQ(back.serialize(), xy.serialize());
+}
+
+TEST(DigestSetTest, EmptyMeansNoSamplesAnywhere) {
+  DigestSet s;
+  EXPECT_TRUE(s.empty());
+  s.at("untouched");  // a named but sample-free digest is still empty
+  EXPECT_TRUE(s.empty());
+  s.at("hot").add(1);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(DigestSetTest, SerializeRejectsReservedCharactersInNames) {
+  DigestSet s;
+  s.at("a:b").add(1);
+  EXPECT_THROW(s.serialize(), std::invalid_argument);
+  DigestSet t;
+  t.at("a|b").add(1);
+  EXPECT_THROW(t.serialize(), std::invalid_argument);
+}
+
+TEST(DigestSetTest, TableListsEntriesSortedByName) {
+  DigestSet s;
+  s.at("zeta").add(1000);
+  s.at("alpha").add(2000);
+  const std::string table = s.to_table();
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("zeta"), std::string::npos);
+  EXPECT_LT(table.find("alpha"), table.find("zeta"));
+}
+
+}  // namespace
+}  // namespace pcieb::obs

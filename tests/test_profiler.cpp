@@ -1,0 +1,186 @@
+// obs::Profiler: exclusive-time attribution on the explicit scope stack,
+// the thread-local arming handshake ProfScope and the Simulator rely on,
+// depth saturation, and the ranked table. Wall-clock assertions stay
+// coarse (ordering and conservation, not absolute durations) so the test
+// is immune to scheduler noise.
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace pcieb::obs {
+namespace {
+
+/// Busy-wait so the enclosing scope accumulates at least `us` of wall
+/// time — sleep_for would work too but busy-waiting keeps the charged
+/// time close to the waited time even under coarse timers.
+void burn_us(std::int64_t us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// Restores the calling thread's armed profiler on scope exit, so a
+/// failing test cannot leave the thread armed for its neighbours.
+struct ArmGuard {
+  explicit ArmGuard(Profiler* p) : prev_(Profiler::set_current(p)) {}
+  ~ArmGuard() { Profiler::set_current(prev_); }
+  Profiler* prev_;
+};
+
+TEST(ProfilerTest, DisarmedScopeIsANoOp) {
+  ArmGuard guard(nullptr);
+  ASSERT_EQ(Profiler::current(), nullptr);
+  {
+    ProfScope scope(CostCenter::Monitors);  // must not crash or allocate
+  }
+  ASSERT_EQ(Profiler::current(), nullptr);
+}
+
+TEST(ProfilerTest, SetCurrentReturnsThePreviouslyArmedProfiler) {
+  Profiler a, b;
+  ArmGuard guard(&a);
+  EXPECT_EQ(Profiler::current(), &a);
+  EXPECT_EQ(Profiler::set_current(&b), &a);
+  EXPECT_EQ(Profiler::current(), &b);
+  EXPECT_EQ(Profiler::set_current(nullptr), &b);
+}
+
+TEST(ProfilerTest, CountsScopeEntriesExactly) {
+  Profiler p;
+  ArmGuard guard(&p);
+  p.start();
+  for (int i = 0; i < 5; ++i) {
+    ProfScope outer(CostCenter::Packetizer);
+    ProfScope inner(CostCenter::Monitors);
+  }
+  p.stop();
+  EXPECT_EQ(p.events(CostCenter::Packetizer), 5u);
+  EXPECT_EQ(p.events(CostCenter::Monitors), 5u);
+  EXPECT_EQ(p.events(CostCenter::Other), 0u);
+}
+
+TEST(ProfilerTest, NestedScopesGetExclusiveTime) {
+  Profiler p;
+  p.start();
+  {
+    ProfScope outer(&p, CostCenter::Packetizer);
+    burn_us(2000);
+    {
+      ProfScope inner(&p, CostCenter::Monitors);
+      burn_us(2000);
+    }
+    burn_us(2000);
+  }
+  p.stop();
+  // Exclusive semantics: the inner scope's time is charged to Monitors
+  // only; Packetizer keeps its own ~4ms. Both must be visibly nonzero,
+  // and everything charged must be conserved in the total.
+  EXPECT_GT(p.nanos(CostCenter::Packetizer), 1000000u);
+  EXPECT_GT(p.nanos(CostCenter::Monitors), 1000000u);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < kCostCenterCount; ++i) {
+    sum += p.nanos(static_cast<CostCenter>(i));
+  }
+  EXPECT_DOUBLE_EQ(p.total_seconds(), static_cast<double>(sum) * 1e-9);
+}
+
+TEST(ProfilerTest, TimeOutsideAnyScopeGoesToOther) {
+  Profiler p;
+  p.start();
+  burn_us(2000);  // depth 0: charged to Other at stop()
+  p.stop();
+  EXPECT_GT(p.nanos(CostCenter::Other), 1000000u);
+  EXPECT_FALSE(p.running());
+}
+
+TEST(ProfilerTest, TimeBeforeStartAndAfterStopIsNotCharged) {
+  Profiler p;
+  burn_us(1000);  // not running: never charged
+  p.start();
+  EXPECT_TRUE(p.running());
+  p.start();  // idempotent: must not reset the mark or double-charge
+  p.stop();
+  p.stop();  // idempotent
+  burn_us(1000);
+  // The run window was empty, so everything stays (near) zero: well
+  // under the 1ms burned outside it.
+  EXPECT_LT(p.total_seconds(), 0.0005);
+}
+
+TEST(ProfilerTest, AddEventsFoldsCountsWithoutTouchingTheClock) {
+  Profiler p;
+  p.add_events(CostCenter::WheelDispatch, 194702);
+  EXPECT_EQ(p.events(CostCenter::WheelDispatch), 194702u);
+  EXPECT_EQ(p.nanos(CostCenter::WheelDispatch), 0u);
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 0.0);
+  // Zero-time centers with events still appear in the ranking.
+  const auto rows = p.ranked();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].center, CostCenter::WheelDispatch);
+  EXPECT_EQ(rows[0].events, 194702u);
+}
+
+TEST(ProfilerTest, RankedIsMostExpensiveFirstAndSharesSumTo100) {
+  Profiler p;
+  p.start();
+  {
+    ProfScope a(&p, CostCenter::SystemBuild);
+    burn_us(4000);
+  }
+  {
+    ProfScope b(&p, CostCenter::CountersTrace);
+    burn_us(1000);
+  }
+  p.stop();
+  const auto rows = p.ranked();
+  ASSERT_GE(rows.size(), 2u);
+  double share = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].seconds, rows[i].seconds);
+  }
+  for (const auto& r : rows) share += r.share_pct;
+  EXPECT_NEAR(share, 100.0, 1e-6);
+  EXPECT_EQ(rows[0].center, CostCenter::SystemBuild);
+}
+
+TEST(ProfilerTest, TableListsCentersAndEndsWithTotalRow) {
+  Profiler p;
+  p.start();
+  {
+    ProfScope a(&p, CostCenter::FaultPredicates);
+    burn_us(500);
+  }
+  p.stop();
+  const std::string t = p.table();
+  EXPECT_NE(t.find("cost center"), std::string::npos);
+  EXPECT_NE(t.find("fault_predicates"), std::string::npos);
+  EXPECT_NE(t.find("total"), std::string::npos);
+  EXPECT_LT(t.find("fault_predicates"), t.find("total"));
+}
+
+TEST(ProfilerTest, DepthSaturatesInsteadOfOverflowing) {
+  Profiler p;
+  p.start();
+  // 100 nested enters against a 64-deep stack: entries beyond the cap
+  // are counted but their time stays with the innermost stacked scope.
+  for (int i = 0; i < 100; ++i) p.enter(CostCenter::DllReplay);
+  burn_us(200);
+  for (int i = 0; i < 100; ++i) p.leave();  // surplus leaves are no-ops
+  p.stop();
+  EXPECT_EQ(p.events(CostCenter::DllReplay), 100u);
+  EXPECT_GT(p.nanos(CostCenter::DllReplay), 0u);
+  // Balanced again: new time at depth zero lands in Other, not DllReplay.
+  const std::uint64_t before = p.nanos(CostCenter::DllReplay);
+  p.start();
+  burn_us(200);
+  p.stop();
+  EXPECT_EQ(p.nanos(CostCenter::DllReplay), before);
+  EXPECT_GT(p.nanos(CostCenter::Other), 0u);
+}
+
+}  // namespace
+}  // namespace pcieb::obs

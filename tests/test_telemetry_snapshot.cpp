@@ -1,0 +1,69 @@
+// Tier-2 snapshot: the canonical Figure 5 latency configuration run with
+// streaming telemetry must reproduce the committed per-interval CSV
+// byte-for-byte. The sampler observes at deterministic sim times (event
+// execution crossing each 1 us boundary), so counter deltas AND gauge
+// samples are exact — any drift means the simulated workload or the
+// sampler's interval arithmetic changed. Regenerate with:
+//   pciebench run --system NFP6000-HSW --bench LAT_RD --size 64
+//       --window 8K --cache warm --iommu on --pages 4K
+//       --iters 5000 --warmup 1000 --seed 42
+//       --telemetry=bench/expected/fig05_telemetry.csv
+//       --telemetry-interval 1000000
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/observe.hpp"
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb {
+namespace {
+
+std::string load_expected() {
+  const std::string path =
+      std::string(PCIEB_SOURCE_DIR) + "/bench/expected/fig05_telemetry.csv";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TelemetrySnapshotTest, CanonicalFig05TimeSeriesMatchesCommittedCsv) {
+  auto cfg = sys::with_iommu(sys::profile_by_name("NFP6000-HSW").config,
+                             /*enabled=*/true, /*page_bytes=*/4096);
+  sim::System system(cfg);
+  core::ObsSession::Options oopts;
+  oopts.telemetry = true;
+  oopts.telemetry_interval_ps = 1'000'000;
+  core::ObsSession obs(system, oopts);
+
+  core::BenchParams params;
+  params.kind = core::BenchKind::LatRd;
+  params.transfer_size = 64;
+  params.window_bytes = 8192;
+  params.cache_state = core::CacheState::HostWarm;
+  params.page_bytes = 4096;
+  params.iterations = 5000;
+  params.warmup = 1000;
+  params.seed = 42;
+  core::run_latency_bench(system, params);
+  obs.finish_telemetry();
+
+  std::ostringstream csv;
+  ASSERT_NE(obs.telemetry(), nullptr);
+  obs.telemetry()->write_csv(csv);
+
+  const std::string expected = load_expected();
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(csv.str(), expected)
+      << "telemetry time series drifted from the committed snapshot";
+}
+
+}  // namespace
+}  // namespace pcieb

@@ -1,0 +1,184 @@
+// obs::TimeSeries: interval-close semantics (deltas sum exactly to the
+// counter totals), the sample-hook cadence surviving run_until boundaries
+// (the regression the step hook already guards against), the bounded
+// ring, and the CSV/JSON/Chrome export shapes.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcieb::obs {
+namespace {
+
+TEST(TimeSeriesTest, RejectsDegenerateConfigs) {
+  CounterRegistry reg;
+  EXPECT_THROW(TimeSeries(reg, 0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(reg, -5), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(reg, 100, 0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, DeltasSumToFinalCounterTotals) {
+  std::uint64_t ops = 0;
+  double gauge = 0.0;
+  CounterRegistry reg;
+  reg.add_counter("ops", [&] { return static_cast<double>(ops); });
+  reg.add_gauge("level", [&] { return gauge; });
+
+  TimeSeries ts(reg, 100);
+  ops = 3;
+  gauge = 1.5;
+  ts.observe(100);  // closes [0,100): delta 3
+  ops = 10;
+  gauge = 0.5;
+  ts.observe(250);  // closes [100,200): delta 7, then [200,250) stays open
+  ops = 12;
+  ts.finish(250);   // partial tail [200,250): delta 2
+
+  const auto iv = ts.intervals();
+  ASSERT_EQ(iv.size(), 3u);
+  EXPECT_EQ(iv[0].start, 0);
+  EXPECT_EQ(iv[0].end, 100);
+  EXPECT_DOUBLE_EQ(iv[0].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(iv[0].values[1], 1.5);  // gauge: end-of-interval sample
+  EXPECT_EQ(iv[1].start, 100);
+  EXPECT_EQ(iv[1].end, 200);
+  EXPECT_DOUBLE_EQ(iv[1].values[0], 7.0);
+  EXPECT_EQ(iv[2].start, 200);
+  EXPECT_EQ(iv[2].end, 250);
+  EXPECT_DOUBLE_EQ(iv[2].values[0], 2.0);
+
+  double sum = 0;
+  for (const auto& i : iv) sum += i.values[0];
+  EXPECT_DOUBLE_EQ(sum, 12.0);  // exactly the final counter value
+}
+
+TEST(TimeSeriesTest, CrossingManyBoundariesAttributesDeltaToFirstClose) {
+  std::uint64_t ops = 0;
+  CounterRegistry reg;
+  reg.add_counter("ops", [&] { return static_cast<double>(ops); });
+  TimeSeries ts(reg, 10);
+  ops = 5;
+  ts.observe(45);  // closes [0,10)..[30,40): first takes delta 5, rest 0
+  const auto iv = ts.intervals();
+  ASSERT_EQ(iv.size(), 4u);
+  EXPECT_DOUBLE_EQ(iv[0].values[0], 5.0);
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    EXPECT_DOUBLE_EQ(iv[i].values[0], 0.0);
+  }
+}
+
+TEST(TimeSeriesTest, FinishIsIdempotentAndSealsTheSeries) {
+  CounterRegistry reg;
+  std::uint64_t ops = 0;
+  reg.add_counter("ops", [&] { return static_cast<double>(ops); });
+  TimeSeries ts(reg, 100);
+  ts.observe(100);
+  ts.finish(130);
+  const std::size_t n = ts.size();
+  ts.finish(130);  // no-op
+  EXPECT_EQ(ts.size(), n);
+  EXPECT_THROW(ts.observe(200), std::logic_error);
+}
+
+TEST(TimeSeriesTest, RingDropsOldestBeyondCapacity) {
+  CounterRegistry reg;
+  std::uint64_t ops = 0;
+  reg.add_counter("ops", [&] { return static_cast<double>(ops); });
+  TimeSeries ts(reg, 10, /*capacity=*/4);
+  ops = 100;
+  ts.observe(100);  // closes 10 intervals into a 4-slot ring
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.dropped(), 6u);
+  const auto iv = ts.intervals();
+  ASSERT_EQ(iv.size(), 4u);
+  // Oldest-first, and the retained window is the LAST four intervals.
+  EXPECT_EQ(iv.front().start, 60);
+  EXPECT_EQ(iv.back().end, 100);
+}
+
+TEST(TimeSeriesTest, RegistryGrowthAfterConstructionThrows) {
+  CounterRegistry reg;
+  std::uint64_t ops = 0;
+  reg.add_counter("ops", [&] { return static_cast<double>(ops); });
+  TimeSeries ts(reg, 100);
+  reg.add_counter("late", [] { return 0.0; });
+  EXPECT_THROW(ts.observe(100), std::logic_error);
+}
+
+/// The cadence contract the ISSUE pins: driving the sampler through many
+/// run_until() boundaries must produce the identical series to one
+/// uninterrupted run — the sample-event counter is not reset when the
+/// engine stops at a time horizon.
+TEST(TimeSeriesTest, SampleHookCadenceSurvivesRunUntilBoundaries) {
+  const auto drive = [](bool chunked) {
+    sim::Simulator sim;
+    std::uint64_t work = 0;
+    CounterRegistry reg;
+    reg.add_counter("work", [&] { return static_cast<double>(work); });
+    TimeSeries ts(reg, 50);
+    // Sample every 3rd executed event: boundaries are only noticed on
+    // event execution, so the every-N cadence shapes the series.
+    sim.set_sample_hook([&](Picos now) { ts.observe(now); }, 3);
+    for (Picos t = 5; t <= 1000; t += 5) {
+      sim.at(t, [&] { ++work; });
+    }
+    if (chunked) {
+      // Horizons stay below the last event so the final run() leaves
+      // now() at 1000 in both drivers (run_until parks now() at the
+      // horizon even when no event lands there).
+      for (Picos horizon = 7; horizon < 1000; horizon += 7) {
+        sim.run_until(horizon);
+      }
+      sim.run();
+    } else {
+      sim.run();
+    }
+    ts.finish(sim.now());
+    std::ostringstream os;
+    ts.write_csv(os);
+    return os.str();
+  };
+  EXPECT_EQ(drive(false), drive(true));
+}
+
+TEST(TimeSeriesTest, CsvAndJsonShapes) {
+  CounterRegistry reg;
+  std::uint64_t ops = 0;
+  reg.add_counter("ops", [&] { return static_cast<double>(ops); });
+  reg.add_gauge("level", [] { return 2.5; });
+  TimeSeries ts(reg, 100);
+  ops = 4;
+  ts.observe(100);
+  ts.finish(150);
+
+  std::ostringstream csv;
+  ts.write_csv(csv);
+  const std::string c = csv.str();
+  EXPECT_EQ(c.substr(0, c.find('\n')), "t_start_ps,t_end_ps,ops,level");
+  EXPECT_NE(c.find("0,100,4,2.5"), std::string::npos);
+  EXPECT_NE(c.find("100,150,0,2.5"), std::string::npos);
+
+  std::ostringstream json;
+  ts.write_json(json);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"schema\": \"pcieb-telemetry-v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"interval_ps\": 100"), std::string::npos);
+  EXPECT_NE(j.find("\"ops\""), std::string::npos);
+
+  const std::string chrome = ts.chrome_counter_events();
+  EXPECT_NE(chrome.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ops\""), std::string::npos);
+  // Gauges are sampled, not counter tracks; only counters emit "C" events.
+  EXPECT_EQ(chrome.find("\"level\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcieb::obs

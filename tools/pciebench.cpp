@@ -20,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -61,7 +62,7 @@ constexpr int kExitInfra = 3;
   pciebench suite --system NAME [--filter STR] [--csv FILE] [exec options]
   pciebench chaos [--trials N] [--master-seed N] [--iters N] [--no-shrink]
                   [exec options] [--csv FILE] [--artifacts DIR]
-  pciebench perf  [--quick] [--json FILE]
+  pciebench perf  [--quick] [--json FILE] [--profile]
 
 run options:
   --bench KIND      LAT_RD | LAT_WRRD | BW_RD | BW_WR | BW_RDWR
@@ -86,6 +87,15 @@ observability options (run):
   --counters DEST   dump component counters: CSV file, or - for stdout
   --breakdown       per-stage latency attribution (serial reads), with the
                     model's stage budget alongside when it applies
+  --telemetry[=FILE]
+                    stream per-interval counter deltas over sim time; bare
+                    prints the CSV to stdout, =FILE writes CSV (JSON when
+                    FILE ends in .json). Combined with --trace the counter
+                    tracks are embedded in the Chrome JSON; combined with
+                    --breakdown the per-stage latency digests are printed
+  --telemetry-interval PS
+                    sampling interval in sim picoseconds (default 1000000
+                    = 1 us; requires --telemetry)
 
 fault-injection options (run):
   --faults SPEC     arm a deterministic fault plan; SPEC is ';'-separated
@@ -111,6 +121,14 @@ chaos options:
   --csv FILE        write the canonical per-trial CSV (isolated mode)
   --artifacts DIR   quarantine-artifact directory (default <journal>/artifacts)
 
+telemetry options (suite and chaos):
+  --telemetry[=FILE]
+                    record mergeable latency digests per trial/experiment
+                    and print campaign-level percentiles (p50/p99/p999);
+                    =FILE also writes the canonical serialized digest set,
+                    byte-identical across serial, --threads, --jobs and
+                    --resume runs (docs/OBSERVABILITY.md)
+
 exec options (suite and chaos — any of them switches the command into
 crash-safe isolated mode: every trial/experiment runs in a forked worker
 with a deadline and an RSS budget, is retried with capped backoff, then
@@ -127,6 +145,9 @@ perf options (docs/PERFORMANCE.md):
   --quick           ~10x smaller workloads (CI-sized; event counts stay
                     exact, just different constants)
   --json FILE       write the report JSON            (default BENCH_perf.json)
+  --profile         arm the in-sim cost-center profiler around each workload
+                    and print a ranked attribution table (distorts the
+                    recorded rates; use to localize cost, not to gate)
 
 thread options (suite and chaos):
   --threads N         in-process thread-parallel execution: independent
@@ -209,9 +230,12 @@ struct Args {
   }
 };
 
-/// Parse `--key value` / `--flag` arguments, validating every key against
-/// the command's allowed sets — a typo exits non-zero instead of being
-/// silently swallowed.
+/// Parse `--key value` / `--key=value` / `--flag` arguments, validating
+/// every key against the command's allowed sets — a typo exits non-zero
+/// instead of being silently swallowed. A key present in BOTH sets takes
+/// an optional value: bare `--key` records a flag, `--key=V` a value
+/// (the space-separated form is rejected so `--key next-arg` stays
+/// unambiguous).
 Args parse_args(int argc, char** argv, int start,
                 const std::set<std::string>& value_keys,
                 const std::set<std::string>& flag_keys) {
@@ -220,7 +244,17 @@ Args parse_args(int argc, char** argv, int start,
     std::string a = argv[i];
     if (a.rfind("--", 0) != 0) usage(("unexpected argument '" + a + "'").c_str());
     a = a.substr(2);
-    if (flag_keys.contains(a)) {
+    const auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = a.substr(0, eq);
+      if (!value_keys.contains(key)) {
+        if (flag_keys.contains(key)) {
+          usage(("option --" + key + " does not take a value").c_str());
+        }
+        usage(("unknown option '--" + key + "'").c_str());
+      }
+      args.values[key] = a.substr(eq + 1);
+    } else if (flag_keys.contains(a)) {
       args.flags.push_back(a);
     } else if (value_keys.contains(a)) {
       if (i + 1 >= argc) usage(("missing value for --" + a).c_str());
@@ -232,28 +266,63 @@ Args parse_args(int argc, char** argv, int start,
   return args;
 }
 
+// "telemetry" appears in both the value and flag sets of run/suite/chaos:
+// bare --telemetry arms it with stdout output, --telemetry=FILE writes the
+// canonical artifact to FILE (docs/OBSERVABILITY.md).
 const std::set<std::string> kRunValueKeys = {
     "system", "bench",  "size", "offset", "window",  "pattern", "cache",
     "numa",   "iommu",  "pages", "iters", "warmup",  "seed",    "trace",
-    "counters", "faults", "fault-seed"};
+    "counters", "faults", "fault-seed", "telemetry", "telemetry-interval"};
 const std::set<std::string> kRunFlagKeys = {"cdf",    "histogram", "timeseries",
                                             "cmd-if", "breakdown", "errors",
-                                            "monitors"};
+                                            "monitors", "telemetry"};
 // Any exec key present switches suite/chaos into crash-safe isolated mode.
 const std::set<std::string> kExecValueKeys = {
     "jobs", "trial-timeout", "max-retries", "rss-budget", "journal", "resume"};
 const std::set<std::string> kSuiteValueKeys = {
-    "system", "filter", "csv", "threads",
+    "system", "filter", "csv", "threads", "telemetry",
     "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
     "resume"};
-const std::set<std::string> kSuiteFlagKeys = {};
+const std::set<std::string> kSuiteFlagKeys = {"telemetry"};
 const std::set<std::string> kChaosValueKeys = {
     "trials", "master-seed", "iters", "csv", "artifacts", "threads",
     "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
-    "resume"};
-const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug"};
+    "resume", "telemetry"};
+const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug",
+                                              "telemetry"};
 const std::set<std::string> kPerfValueKeys = {"json"};
-const std::set<std::string> kPerfFlagKeys = {"quick"};
+const std::set<std::string> kPerfFlagKeys = {"quick", "profile"};
+
+/// `--telemetry` / `--telemetry=FILE`, shared by run/suite/chaos. An
+/// explicitly empty FILE is a usage error, not a silent stdout fallback.
+struct TelemetryOpt {
+  bool enabled = false;
+  std::string file;  ///< empty: canonical artifact goes to stdout
+};
+
+TelemetryOpt parse_telemetry(const Args& args) {
+  TelemetryOpt t;
+  if (args.has_flag("telemetry")) t.enabled = true;
+  const auto it = args.values.find("telemetry");
+  if (it != args.values.end()) {
+    if (it->second.empty()) {
+      usage("empty FILE for --telemetry= (use bare --telemetry for stdout)");
+    }
+    t.enabled = true;
+    t.file = it->second;
+  }
+  return t;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw exec::InfraError("cannot write " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+}
 
 bool exec_mode_requested(const Args& args) {
   for (const auto& key : kExecValueKeys) {
@@ -357,11 +426,21 @@ int cmd_run(const Args& args) {
 
   const std::string trace_path = args.get("trace", "");
   const std::string counters_dest = args.get("counters", "");
+  const TelemetryOpt telemetry = parse_telemetry(args);
   core::ObsSession::Options oopts;
   oopts.trace = !trace_path.empty();
   oopts.breakdown = args.has_flag("breakdown");
+  oopts.telemetry = telemetry.enabled;
+  if (args.values.contains("telemetry-interval")) {
+    if (!telemetry.enabled) usage("--telemetry-interval requires --telemetry");
+    const std::uint64_t interval =
+        parse_u64("telemetry-interval", args.get("telemetry-interval", ""));
+    if (interval == 0) usage("--telemetry-interval must be > 0 (picoseconds)");
+    oopts.telemetry_interval_ps = static_cast<Picos>(interval);
+  }
   std::optional<core::ObsSession> obs;
-  if (oopts.trace || oopts.breakdown || !counters_dest.empty()) {
+  if (oopts.trace || oopts.breakdown || oopts.telemetry ||
+      !counters_dest.empty()) {
     obs.emplace(system, oopts);
   }
 
@@ -414,6 +493,37 @@ int cmd_run(const Args& args) {
                   counters_dest.c_str());
     }
   }
+  if (telemetry.enabled) {
+    // Close the partial tail interval first so the CSV/JSON export and
+    // the Chrome counter tracks below both see the complete series.
+    obs->finish_telemetry();
+    const obs::TimeSeries* ts = obs->telemetry();
+    if (telemetry.file.empty()) {
+      std::printf("# telemetry: %zu intervals of %lld ps%s\n",
+                  ts->intervals().size(),
+                  static_cast<long long>(oopts.telemetry_interval_ps),
+                  ts->dropped() != 0 ? " (ring wrapped; oldest dropped)" : "");
+      std::ostringstream os;
+      ts->write_csv(os);
+      std::fputs(os.str().c_str(), stdout);
+    } else if (telemetry.file.size() >= 5 &&
+               telemetry.file.ends_with(".json")) {
+      std::ostringstream os;
+      ts->write_json(os);
+      write_text_file(telemetry.file, os.str());
+      std::printf("wrote %zu telemetry intervals to %s\n",
+                  ts->intervals().size(), telemetry.file.c_str());
+    } else {
+      ts->write_csv_file(telemetry.file);
+      std::printf("wrote %zu telemetry intervals to %s\n",
+                  ts->intervals().size(), telemetry.file.c_str());
+    }
+    // Per-stage latency digests ride on the breakdown's stage samples.
+    if (oopts.breakdown) {
+      const obs::DigestSet stages = obs->stage_digests();
+      if (!stages.empty()) std::printf("%s", stages.to_table().c_str());
+    }
+  }
   if (!trace_path.empty()) {
     obs->write_trace_json(trace_path);
     std::printf("wrote %llu trace events to %s\n",
@@ -451,6 +561,15 @@ int cmd_chaos_isolated(const Args& args, const check::ChaosConfig& chaos) {
       });
 
   std::fputs(result.summary_text(chaos).c_str(), stdout);
+  if (chaos.telemetry) {
+    std::fputs(result.digests.to_table().c_str(), stdout);
+    const TelemetryOpt telemetry = parse_telemetry(args);
+    if (!telemetry.file.empty()) {
+      write_text_file(telemetry.file, result.digests.serialize() + "\n");
+      std::fprintf(stderr, "wrote campaign latency digests to %s\n",
+                   telemetry.file.c_str());
+    }
+  }
   const std::string csv = args.get("csv", "");
   if (!csv.empty()) {
     result.write_csv(csv);
@@ -478,6 +597,8 @@ int cmd_chaos(const Args& args) {
   cfg.iterations = parse_u64("iters", args.get("iters", "400"));
   cfg.shrink = !args.has_flag("no-shrink");
   cfg.seed_credit_leak_bug = args.has_flag("seed-bug");
+  const TelemetryOpt telemetry = parse_telemetry(args);
+  cfg.telemetry = telemetry.enabled;
 
   if (args.values.contains("threads")) {
     if (exec_mode_requested(args)) {
@@ -504,6 +625,14 @@ int cmd_chaos(const Args& args) {
         if (out.failed) std::printf("     %s\n", out.summary().c_str());
       });
 
+  if (cfg.telemetry) {
+    std::fputs(result.digests.to_table().c_str(), stdout);
+    if (!telemetry.file.empty()) {
+      write_text_file(telemetry.file, result.digests.serialize() + "\n");
+      std::fprintf(stderr, "wrote campaign latency digests to %s\n",
+                   telemetry.file.c_str());
+    }
+  }
   if (result.ok()) {
     std::printf("chaos: %zu/%zu trials passed\n", result.trials_run,
                 result.trials_run);
@@ -526,6 +655,7 @@ int cmd_chaos(const Args& args) {
 int cmd_perf(const Args& args) {
   check::PerfConfig cfg;
   cfg.quick = args.has_flag("quick");
+  cfg.profile = args.has_flag("profile");
   const std::string json_path = args.get("json", "BENCH_perf.json");
 
   const auto report = check::run_perf(cfg);
@@ -593,6 +723,26 @@ int cmd_suite(const Args& args) {
   }
 
   std::printf("%s", core::summarize(records).c_str());
+  const TelemetryOpt telemetry = parse_telemetry(args);
+  if (telemetry.enabled) {
+    std::printf("%s", core::digest_summary(records).c_str());
+    if (!telemetry.file.empty()) {
+      // Canonical serialized digest set, keyed by experiment name: the
+      // artifact the byte-identity goldens diff across serial, --threads,
+      // forked and resumed runs.
+      obs::DigestSet set;
+      for (const auto& r : records) {
+        if (r.latency_digest.empty()) continue;
+        obs::Digest d;
+        if (obs::Digest::deserialize(r.latency_digest, &d)) {
+          set.at(r.experiment.name).merge(d);
+        }
+      }
+      write_text_file(telemetry.file, set.serialize() + "\n");
+      std::fprintf(stderr, "wrote %zu latency digests to %s\n", set.size(),
+                   telemetry.file.c_str());
+    }
+  }
   const std::string csv = args.get("csv", "");
   if (!csv.empty()) {
     core::write_csv(records, csv);

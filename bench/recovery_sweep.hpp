@@ -1,0 +1,124 @@
+// Goodput under escalating faults with the recovery ladder off vs armed,
+// shared between the ablation_recovery reproduction binary and the tier-2
+// snapshot test (tests/test_recovery_goodput_snapshot.cpp) so both always
+// run the exact same configuration. The committed CSV lives at
+// bench/expected/recovery_goodput.csv; regenerate it with
+//   ./build/bench/ablation_recovery bench/expected/recovery_goodput.csv
+//
+// Every CSV column is an integer or enum string from the deterministic
+// simulation, so the snapshot comparison is exact — any drift is a
+// semantic change to the fault or recovery machinery, not numeric noise.
+// The policy=none rows double as the zero-cost check: they must match a
+// run with no recovery code in the loop at all.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb::bench {
+
+struct RecoverySweepRow {
+  std::string faults;   ///< fault-plan spec ("none" for the baseline)
+  std::string policy;   ///< recovery policy spec ("none" = ladder off)
+  core::BandwidthResult result;
+  std::uint64_t injected = 0;
+  // Ladder outcome (all zero / "-" when the policy is "none").
+  std::string final_state = "-";
+  std::uint64_t transitions = 0;
+  std::uint64_t flrs = 0;
+  std::uint64_t hot_resets = 0;
+  std::uint64_t quarantines = 0;
+};
+
+/// One BW_WR point: 256 B posted writes over a 1 MB window on
+/// NFP6000-HSW with `faults` armed and `policy` driving the ladder.
+/// A surprise link-down without recovery freezes the port for good —
+/// everything after it is lost goodput; the armed ladder contains,
+/// hot-resets and re-enumerates, trading a bounded outage for the rest
+/// of the run. Non-fatal streaks cost an FLR window instead.
+inline RecoverySweepRow run_recovery_sweep_point(const std::string& faults,
+                                                 const std::string& policy) {
+  auto cfg = sys::profile_by_name("NFP6000-HSW").config;
+  if (faults != "none") cfg.fault_plan = fault::parse_plan(faults);
+  cfg.recovery = fault::parse_recovery_policy(policy);
+  sim::System system(cfg);
+  core::BenchParams p;
+  p.kind = core::BenchKind::BwWr;
+  p.transfer_size = 256;
+  p.window_bytes = 1ull << 20;
+  p.iterations = 6000;
+  p.warmup = 0;  // keep fault nth counters aligned with the measured phase
+  p.seed = 7;
+  RecoverySweepRow row;
+  row.faults = faults;
+  row.policy = policy;
+  row.result = core::run_bandwidth_bench(system, p);
+  if (auto* inj = system.fault_injector()) row.injected = inj->injected_total();
+  if (const auto* rec = system.recovery()) {
+    row.final_state = to_string(rec->state());
+    row.transitions = rec->transitions();
+    row.flrs = rec->flrs();
+    row.hot_resets = rec->hot_resets();
+    row.quarantines = rec->quarantines();
+  }
+  return row;
+}
+
+inline std::vector<RecoverySweepRow> run_recovery_sweep() {
+  // Escalating severity: clean wire, a correctable-heavy storm, a
+  // non-fatal streak, one mid-run link-down, then repeated link-downs
+  // that exhaust a one-reset budget. Crossed with the ladder off, the
+  // default policy, and the hair-trigger aggressive policy.
+  static const char* kFaults[] = {
+      "none",
+      "ack-loss@every=25",
+      "poison@every=150,dir=up",
+      "linkdown@nth=3000",
+  };
+  std::vector<RecoverySweepRow> rows;
+  for (const char* faults : kFaults) {
+    for (const char* policy : {"none", "default", "aggressive"}) {
+      rows.push_back(run_recovery_sweep_point(faults, policy));
+    }
+  }
+  // Reset-budget exhaustion: the second link-down would need a second
+  // hot reset, but max-resets=1 quarantines instead.
+  rows.push_back(run_recovery_sweep_point("linkdown@nth=1000",
+                                          "default,max-resets=0"));
+  return rows;
+}
+
+inline std::string recovery_sweep_csv(const std::vector<RecoverySweepRow>& rows) {
+  std::string out =
+      "faults,policy,offered_bytes,lost_bytes,wire_bytes,elapsed_ps,"
+      "injected,final_state,transitions,flrs,hot_resets,quarantines\n";
+  for (const auto& r : rows) {
+    // Fault and policy specs contain commas; quote them unconditionally.
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "\"%s\",\"%s\",%llu,%llu,%llu,%lld,%llu,%s,%llu,%llu,%llu,%llu\n",
+                  r.faults.c_str(), r.policy.c_str(),
+                  static_cast<unsigned long long>(r.result.payload_bytes),
+                  static_cast<unsigned long long>(r.result.lost_payload_bytes),
+                  static_cast<unsigned long long>(r.result.wire_bytes),
+                  static_cast<long long>(r.result.elapsed),
+                  static_cast<unsigned long long>(r.injected),
+                  r.final_state.c_str(),
+                  static_cast<unsigned long long>(r.transitions),
+                  static_cast<unsigned long long>(r.flrs),
+                  static_cast<unsigned long long>(r.hot_resets),
+                  static_cast<unsigned long long>(r.quarantines));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pcieb::bench

@@ -67,6 +67,10 @@ std::string serialize_worker_result(const TrialOutcome& out) {
      << '\n'
      << "error=" << exec::escape_line(out.error) << '\n'
      << "digests=" << exec::escape_line(out.digests.serialize()) << '\n';
+  if (!out.recovery_state.empty()) {
+    os << "recovery=" << exec::escape_line(out.recovery_digest) << '\n'
+       << "recovery_state=" << exec::escape_line(out.recovery_state) << '\n';
+  }
   return os.str();
 }
 
@@ -89,6 +93,11 @@ void check_or_write_meta(const exec::Journal& journal,
      << "master_seed=" << chaos.master_seed << '\n'
      << "iters=" << chaos.iterations << '\n'
      << "telemetry=" << (chaos.telemetry ? 1 : 0) << '\n';
+  // Written only when armed so pre-recovery journals (no key) resume
+  // cleanly with recovery off.
+  if (chaos.recovery.enabled) {
+    os << "recovery=" << exec::escape_line(chaos.recovery.describe()) << '\n';
+  }
   if (resume && fs::exists(path)) {
     std::string header;
     const auto kv = parse_kv(exec::read_file(path), &header);
@@ -97,11 +106,13 @@ void check_or_write_meta(const exec::Journal& journal,
     if (header != kMetaHeader ||
         kv_u64(kv, "master_seed") != chaos.master_seed ||
         kv_u64(kv, "iters") != chaos.iterations ||
-        kv_u64(kv, "telemetry") != (chaos.telemetry ? 1u : 0u)) {
+        kv_u64(kv, "telemetry") != (chaos.telemetry ? 1u : 0u) ||
+        kv_str(kv, "recovery") !=
+            (chaos.recovery.enabled ? chaos.recovery.describe() : "")) {
       throw exec::InfraError(
           "resume: journal " + journal.dir() +
           " was written by a different campaign "
-          "(seed/iters/telemetry mismatch)");
+          "(seed/iters/telemetry/recovery mismatch)");
     }
     return;
   }
@@ -161,6 +172,10 @@ std::string TrialRecord::serialize() const {
   // Written only when present so pre-telemetry journals and disarmed
   // campaigns serialize exactly as before.
   if (!digests.empty()) os << "digests=" << exec::escape_line(digests) << '\n';
+  if (!recovery_state.empty()) {
+    os << "recovery=" << exec::escape_line(recovery) << '\n'
+       << "recovery_state=" << exec::escape_line(recovery_state) << '\n';
+  }
   return os.str();
 }
 
@@ -184,6 +199,8 @@ std::optional<TrialRecord> TrialRecord::deserialize(
   rec.spec = kv_str(kv, "spec");
   rec.repro = kv_str(kv, "repro");
   rec.digests = kv_str(kv, "digests");
+  rec.recovery = kv_str(kv, "recovery");
+  rec.recovery_state = kv_str(kv, "recovery_state");
   rec.resumed = true;
   return rec;
 }
@@ -197,6 +214,10 @@ std::string TrialRecord::summary_line() const {
   std::string out = head;
   out += "  ";
   out += spec;
+  if (!recovery_state.empty()) {
+    out += " | recovery: " + recovery_state;
+    if (!recovery.empty()) out += " [" + recovery + "]";
+  }
   if (!first_violation.empty()) out += " | first: " + first_violation;
   if (!error.empty()) out += " | error: " + error;
   return out;
@@ -225,17 +246,24 @@ std::string ExecCampaignResult::summary_text(const ChaosConfig& cfg) const {
      << "completed-trial violations: n=" << violations_per_trial.count()
      << " mean=" << violations_per_trial.mean()
      << " max=" << violations_per_trial.max() << '\n';
+  if (cfg.recovery.enabled) {
+    os << "recovery: ladder fired in " << trials_recovered << " trial"
+       << (trials_recovered == 1 ? "" : "s") << ", " << trials_quarantined
+       << " quarantined\n";
+  }
   return os.str();
 }
 
 void ExecCampaignResult::write_csv(const std::string& path) const {
   std::ostringstream os;
-  os << "trial,status,classification,violations,first_violation,error,spec\n";
+  os << "trial,status,classification,violations,first_violation,error,spec,"
+        "recovery_state,recovery\n";
   for (const auto& r : records) {
     os << r.index << ',' << to_string(r.status) << ','
        << csv_quote(r.classification) << ',' << r.violations << ','
        << csv_quote(r.first_violation) << ',' << csv_quote(r.error) << ','
-       << csv_quote(r.spec) << '\n';
+       << csv_quote(r.spec) << ',' << csv_quote(r.recovery_state) << ','
+       << csv_quote(r.recovery) << '\n';
   }
   exec::atomic_write_file(path, os.str(), /*sync=*/false);
 }
@@ -291,8 +319,9 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
     // Captured by value: the closure must stay self-contained across fork.
     const ChaosConfig chaos = cfg.chaos;
     spec.fn = [chaos, i](unsigned /*attempt*/) {
-      return serialize_worker_result(
-          run_trial(generate_trial(chaos, i), chaos.telemetry));
+      return serialize_worker_result(run_trial(generate_trial(chaos, i),
+                                               chaos.telemetry,
+                                               chaos.monitors_throw));
     };
     specs.push_back(std::move(spec));
   }
@@ -321,6 +350,8 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
       rec.first_violation = kv_str(kv, "first");
       rec.error = kv_str(kv, "error");
       rec.digests = kv_str(kv, "digests");
+      rec.recovery = kv_str(kv, "recovery");
+      rec.recovery_state = kv_str(kv, "recovery_state");
     }
     journal.append(rec.index, rec.serialize());
     if (observe) observe(rec);
@@ -382,6 +413,8 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
       case TrialRecord::Status::Quarantined: ++res.quarantined; break;
     }
     if (rec.resumed) ++res.resumed;
+    if (!rec.recovery.empty()) ++res.trials_recovered;
+    if (rec.recovery_state == "quarantined") ++res.trials_quarantined;
     if (!rec.digests.empty()) {
       obs::DigestSet set;
       // Malformed digests (hand-edited journal) are dropped, not fatal:

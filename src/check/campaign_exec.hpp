@@ -67,6 +67,11 @@ struct TrialRecord {
   /// unless the campaign ran with chaos.telemetry. Carried through the
   /// journal so resumed campaigns merge identical campaign digests.
   std::string digests;
+  /// Recovery-ladder outcome (empty unless chaos.recovery armed): the
+  /// canonical transition digest and final state, journal-carried so
+  /// resumed/forked campaigns summarize byte-identically.
+  std::string recovery;
+  std::string recovery_state;
   bool resumed = false;         ///< loaded from the journal, not re-run
 
   /// Canonical journal payload ("pcieb-trial v1" + key=value lines).
@@ -96,6 +101,9 @@ struct ExecCampaignResult {
   /// trial-index order (empty unless chaos.telemetry). Identical whether
   /// records came from workers or the resume journal.
   obs::DigestSet digests;
+  /// Recovery-ladder tallies (zero when chaos.recovery was disarmed).
+  std::size_t trials_recovered = 0;    ///< trials where the ladder fired
+  std::size_t trials_quarantined = 0;  ///< trials ending quarantined
 
   bool all_ok() const { return violation == 0 && quarantined == 0; }
 

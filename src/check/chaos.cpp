@@ -44,7 +44,7 @@ fault::FaultRule random_rule(Xoshiro256& rng) {
   static constexpr FaultKind kinds[] = {
       FaultKind::LinkDrop,   FaultKind::LinkCorrupt, FaultKind::AckLoss,
       FaultKind::Poison,     FaultKind::CplUr,       FaultKind::CplCa,
-      FaultKind::IommuFault, FaultKind::Downtrain};
+      FaultKind::IommuFault, FaultKind::Downtrain,   FaultKind::LinkDown};
   fault::FaultRule r;
   r.kind = kinds[rng.below(std::size(kinds))];
 
@@ -59,6 +59,18 @@ fault::FaultRule random_rule(Xoshiro256& rng) {
     const Picos lo = from_micros(rng.below(200));
     r.from = lo;
     r.until = lo + from_micros(20 + rng.below(300));
+    return r;
+  }
+
+  if (r.kind == FaultKind::LinkDown) {
+    // A surprise link-down is a one-shot catastrophic event, not a rate:
+    // the port goes dark at some TLP index and only the recovery ladder's
+    // hot reset can bring it back (after which a later rule firing again
+    // burns another reset out of the quarantine budget).
+    r.nth = 1 + rng.below(1500);
+    if (rng.below(2) == 0) {
+      r.dir = rng.below(2) == 0 ? fault::LinkDir::Up : fault::LinkDir::Down;
+    }
     return r;
   }
 
@@ -135,13 +147,15 @@ std::string TrialSpec::describe() const {
      << (params.numa_local ? "" : " numa=remote") << (iommu ? " iommu" : "")
      << " iters=" << params.iterations
      << " faults=" << (plan.empty() ? "none" : plan.describe());
+  if (recovery.enabled) os << " recovery=" << recovery.describe();
   return os.str();
 }
 
 std::string TrialSpec::repro_command() const {
   return core::cli_run_command(system, params, iommu,
                                plan.empty() ? "" : plan.describe(), plan.seed,
-                               /*monitors=*/true);
+                               /*monitors=*/true,
+                               recovery.enabled ? recovery.describe() : "");
 }
 
 std::string TrialOutcome::summary() const {
@@ -198,19 +212,27 @@ TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index) {
   }
   t.plan.seed = rng.next();
   t.seed_credit_leak_bug = cfg.seed_credit_leak_bug;
+  // Campaign-level knobs ride along after the RNG stream is spent, so a
+  // recovery-armed campaign visits the exact same trial specs as a plain
+  // one — the ladder is the only delta.
+  t.recovery = cfg.recovery;
   return t;
 }
 
-TrialOutcome run_trial(const TrialSpec& spec, bool telemetry) {
+TrialOutcome run_trial(const TrialSpec& spec, bool telemetry,
+                       bool throw_monitors) {
   TrialOutcome out;
   auto cfg = sys::profile_by_name(spec.system).config;
   if (spec.iommu) cfg = sys::with_iommu(cfg, true, spec.params.page_bytes);
   cfg.fault_plan = spec.plan;
+  cfg.recovery = spec.recovery;
   if (!spec.plan.empty()) cfg.watchdog.max_sim_time = kTrialMaxSimTime;
 
   sim::System system(cfg);
   if (spec.seed_credit_leak_bug) system.test_leak_credits_on_drop(true);
-  MonitorSuite monitors(system);
+  MonitorConfig mon_cfg;
+  mon_cfg.throw_on_violation = throw_monitors;
+  MonitorSuite monitors(system, mon_cfg);
   // Telemetry rides the trace stream: a minimal ring (the recorder is a
   // listener, so ring capacity is irrelevant to it) feeding per-DMA
   // latency digests. Attached per trial, pure function of the spec.
@@ -237,6 +259,10 @@ TrialOutcome run_trial(const TrialSpec& spec, bool telemetry) {
   out.failed = !monitors.ok() || !out.error.empty();
   out.events = system.sim().executed();
   out.tlps = system.upstream().tlps_sent() + system.downstream().tlps_sent();
+  if (const auto* rec = system.recovery()) {
+    out.recovery_digest = rec->digest();
+    out.recovery_state = fault::to_string(rec->state());
+  }
   if (telemetry) {
     system.set_trace_sink(nullptr);
     out.digests = std::move(recorder.digests());
@@ -324,7 +350,7 @@ CampaignResult run_campaign_threaded(const ChaosConfig& cfg,
   exec::ThreadPool pool(cfg.threads);
   pool.parallel_indexed(cfg.trials, [&](std::size_t i) {
     specs[i] = generate_trial(cfg, i);
-    outs[i] = run_trial(specs[i], cfg.telemetry);
+    outs[i] = run_trial(specs[i], cfg.telemetry, cfg.monitors_throw);
   });
 
   std::size_t last = cfg.trials;  // one past the last trial "run"
@@ -340,6 +366,8 @@ CampaignResult run_campaign_threaded(const ChaosConfig& cfg,
     ++res.trials_run;
     if (observe) observe(specs[i], outs[i]);
     res.digests.merge(outs[i].digests);
+    if (!outs[i].recovery_digest.empty()) ++res.trials_recovered;
+    if (outs[i].recovery_state == "quarantined") ++res.trials_quarantined;
     if (outs[i].failed) {
       ++res.failures;
       res.first_failure = specs[i];
@@ -361,10 +389,12 @@ CampaignResult run_campaign(const ChaosConfig& cfg,
   CampaignResult res;
   for (std::size_t i = 0; i < cfg.trials; ++i) {
     const TrialSpec spec = generate_trial(cfg, i);
-    const TrialOutcome out = run_trial(spec, cfg.telemetry);
+    const TrialOutcome out = run_trial(spec, cfg.telemetry, cfg.monitors_throw);
     ++res.trials_run;
     if (observe) observe(spec, out);
     res.digests.merge(out.digests);
+    if (!out.recovery_digest.empty()) ++res.trials_recovered;
+    if (out.recovery_state == "quarantined") ++res.trials_quarantined;
     if (out.failed) {
       ++res.failures;
       res.first_failure = spec;

@@ -28,6 +28,7 @@
 #include "check/monitors.hpp"
 #include "core/params.hpp"
 #include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "obs/digest.hpp"
 
 namespace pcieb::check {
@@ -39,6 +40,9 @@ struct TrialSpec {
   bool iommu = false;           ///< arm the IOMMU (pages per params)
   core::BenchParams params;
   fault::FaultPlan plan;        ///< empty = fault-free trial
+  /// Error-recovery escalation ladder; disabled keeps trials identical to
+  /// previous releases. Campaign-level (every trial shares the policy).
+  fault::RecoveryPolicy recovery;
 
   /// TEST-ONLY: arm sim::System::test_leak_credits_on_drop so the credit
   /// monitor has a known bug to catch (monitor self-tests, --seed-bug).
@@ -63,6 +67,11 @@ struct TrialOutcome {
   /// Per-DMA latency digests ("dma_read"/"dma_write"); only populated
   /// when the campaign runs with telemetry enabled.
   obs::DigestSet digests;
+  /// Recovery-ladder outcome (empty/"" when no policy was armed): the
+  /// canonical transition digest and the final state. Journal-carried so
+  /// resumed/forked campaigns summarize byte-identically.
+  std::string recovery_digest;
+  std::string recovery_state;
 
   std::string summary() const;  ///< one line: pass, or why it failed
 };
@@ -87,16 +96,25 @@ struct ChaosConfig {
   /// Record per-DMA latency digests for every trial (attaches a trace
   /// sink per trial — measurable overhead, so strictly opt-in).
   bool telemetry = false;
+  /// Arm the error-recovery ladder in every trial (disabled by default).
+  fault::RecoveryPolicy recovery;
+  /// Run the monitors in throw mode: the first invariant breach aborts
+  /// the trial (the exception becomes outcome.error) instead of being
+  /// recorded and re-run by the shrinker. CI's chaos-recovery leg uses
+  /// this; shrinking wants record mode.
+  bool monitors_throw = false;
 };
 
 /// Trial `index` of the campaign — pure in (cfg.master_seed, index).
 TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index);
 
-/// Build the system, arm monitors (record mode), run the workload, check
-/// quiesce. Never throws on a finding; exceptions from the run (watchdog,
-/// logic errors) become `outcome.error`. With `telemetry`, a per-trial
-/// DmaLatencyRecorder fills outcome.digests.
-TrialOutcome run_trial(const TrialSpec& spec, bool telemetry = false);
+/// Build the system, arm monitors (record mode unless `throw_monitors`),
+/// run the workload, check quiesce. Never throws on a finding; exceptions
+/// from the run (watchdog, logic errors, thrown invariants) become
+/// `outcome.error`. With `telemetry`, a per-trial DmaLatencyRecorder
+/// fills outcome.digests.
+TrialOutcome run_trial(const TrialSpec& spec, bool telemetry = false,
+                       bool throw_monitors = false);
 
 struct ShrinkResult {
   TrialSpec minimal;      ///< smallest spec that still fails
@@ -126,6 +144,11 @@ struct CampaignResult {
   /// commutative count addition, the serial and threaded paths produce
   /// byte-identical serializations.
   obs::DigestSet digests;
+  /// Recovery-ladder tallies over the observed trials (zero when no
+  /// policy was armed): trials where the ladder fired at all, and trials
+  /// that ended permanently quarantined.
+  std::size_t trials_recovered = 0;
+  std::size_t trials_quarantined = 0;
 
   bool ok() const { return failures == 0; }
 };

@@ -150,6 +150,50 @@ void MonitorSuite::check_quiescent() {
                std::to_string(system_.upstream().unacked()) + ", down " +
                std::to_string(system_.downstream().unacked()));
   }
+
+  // recovery: the escalation ladder must have converged — the device is
+  // either healthy again or declared unrecoverable, within bounded
+  // sim-time (the queue draining IS the bound: a ladder stuck mid-flight
+  // would still hold scheduled events).
+  if (const auto* rec = system_.recovery()) {
+    const auto& up = system_.upstream();
+    const auto& down = system_.downstream();
+    if (!rec->converged()) {
+      record("recovery", now,
+             std::string("ladder did not converge: state '") +
+                 fault::to_string(rec->state()) +
+                 "' at quiesce (want operational or quarantined); digest " +
+                 rec->digest());
+    } else if (rec->state() == fault::RecoveryState::Operational) {
+      if (up.blocked() || down.blocked()) {
+        record("recovery", now,
+               "operational verdict but port still frozen: up blocked=" +
+                   std::to_string(up.blocked()) +
+                   ", down blocked=" + std::to_string(down.blocked()));
+      }
+      if (up.recovery_derated() != rec->link_degraded() ||
+          down.recovery_derated() != rec->link_degraded()) {
+        record("recovery", now,
+               "link derate disagrees with ladder: manager degraded=" +
+                   std::to_string(rec->link_degraded()) +
+                   ", up derated=" + std::to_string(up.recovery_derated()) +
+                   ", down derated=" + std::to_string(down.recovery_derated()));
+      }
+      if (rec->link_degraded()) {
+        record("recovery", now,
+               "operational verdict with downtrain still active (restore "
+               "never ran); digest " +
+                   rec->digest());
+      }
+    } else {  // Quarantined
+      if (!up.blocked() || !down.blocked()) {
+        record("recovery", now,
+               "quarantined verdict but port not frozen: up blocked=" +
+                   std::to_string(up.blocked()) +
+                   ", down blocked=" + std::to_string(down.blocked()));
+      }
+    }
+  }
 }
 
 std::string MonitorSuite::report() const {

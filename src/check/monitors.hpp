@@ -19,6 +19,13 @@
 //  * replay — the DLL retry buffer is bounded: sent-but-unacked TLPs
 //    never exceed TLPs sent and the buffer is empty at quiesce.
 //  * clock — the event clock never moves backwards.
+//  * recovery — convergence (liveness) of the error-recovery ladder: once
+//    the event queue drains, every device has either returned to
+//    Operational or been permanently Quarantined — never stuck mid-ladder
+//    (Contained/Resetting) or left Degraded with no probation pending —
+//    and the port state agrees with the verdict (Operational = links
+//    unblocked at full rate; Quarantined = port frozen). Only checked
+//    when a recovery policy is armed.
 //
 // Monitors are strictly opt-in: nothing constructs a MonitorSuite unless
 // asked (pciebench --monitors, the chaos driver, tests), and an unarmed
@@ -41,7 +48,7 @@ namespace pcieb::check {
 
 /// One invariant breach: which monitor, when, and what the ledger said.
 struct Violation {
-  std::string monitor;  ///< credits | tags | payload | replay | clock
+  std::string monitor;  ///< credits | tags | payload | replay | clock | recovery
   Picos when = 0;
   std::string detail;
 

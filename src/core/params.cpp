@@ -70,7 +70,8 @@ std::string BenchParams::describe() const {
 
 std::string cli_run_command(const std::string& system, const BenchParams& p,
                             bool iommu, const std::string& faults_spec,
-                            std::uint64_t fault_seed, bool monitors) {
+                            std::uint64_t fault_seed, bool monitors,
+                            const std::string& recovery_spec) {
   const char* cache = "warm";
   if (p.cache_state == CacheState::Thrash) cache = "cold";
   if (p.cache_state == CacheState::DeviceWarm) cache = "device";
@@ -88,6 +89,7 @@ std::string cli_run_command(const std::string& system, const BenchParams& p,
   if (!faults_spec.empty()) {
     os << " --faults '" << faults_spec << "' --fault-seed " << fault_seed;
   }
+  if (!recovery_spec.empty()) os << " --recovery '" << recovery_spec << "'";
   if (monitors) os << " --monitors";
   return os.str();
 }

@@ -65,9 +65,11 @@ struct BenchParams {
 /// The exact `pciebench run` invocation reproducing one benchmark run —
 /// the shared one-line repro format used by chaos shrink output, suite
 /// quarantine artifacts and docs. `faults_spec` is a docs/FAULTS.md plan
-/// string ("" = no faults; `fault_seed` is then ignored).
+/// string ("" = no faults; `fault_seed` is then ignored); `recovery_spec`
+/// is a recovery-policy spec ("" = no recovery ladder).
 std::string cli_run_command(const std::string& system, const BenchParams& p,
                             bool iommu, const std::string& faults_spec,
-                            std::uint64_t fault_seed, bool monitors);
+                            std::uint64_t fault_seed, bool monitors,
+                            const std::string& recovery_spec = "");
 
 }  // namespace pcieb::core

@@ -29,6 +29,14 @@ std::string format(const BandwidthResult& r) {
     os << " goodput=" << r.goodput_gbps << " Gb/s wire=" << r.wire_gbps
        << " Gb/s lost=" << r.lost_payload_bytes << " B";
   }
+  if (r.recovery) {
+    const auto& ph = *r.recovery;
+    os << "\nrecovery: " << ph.transitions << " transition"
+       << (ph.transitions == 1 ? "" : "s") << ", final state "
+       << ph.final_state << "; goodput before=" << ph.before_gbps
+       << " during=" << ph.during_gbps << " after=" << ph.after_gbps
+       << " Gb/s";
+  }
   return os.str();
 }
 

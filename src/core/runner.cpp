@@ -224,6 +224,9 @@ BandwidthResult BenchRunner::run_bandwidth() {
   const std::uint64_t failed_reads0 = dev.failed_read_bytes();
   const std::uint64_t up_wire0 = system_.upstream().wire_bytes_sent();
   const std::uint64_t down_wire0 = system_.downstream().wire_bytes_sent();
+  const std::uint64_t delivered0 =
+      system_.root_complex().write_bytes_committed() +
+      dev.read_payload_delivered();
   const Picos end_time = run_phase(total);
 
   BandwidthResult result;
@@ -261,6 +264,51 @@ BandwidthResult BenchRunner::run_bandwidth() {
     default: result.wire_bytes = up_wire + down_wire; break;
   }
   result.wire_gbps = gbps(result.wire_bytes, result.elapsed);
+
+  // Recovery-phase goodput: when the escalation ladder fired during the
+  // measurement phase, split delivered payload into before / during /
+  // after windows. Each RecoveryEvent snapshots delivered bytes at
+  // transition time, so the split needs no extra sampling machinery.
+  if (const auto* rec = system_.recovery()) {
+    const std::uint64_t delivered_end =
+        system_.root_complex().write_bytes_committed() +
+        dev.read_payload_delivered();
+    Picos t_first = -1;
+    Picos t_recov = -1;
+    std::uint64_t b_first = 0;
+    std::uint64_t b_recov = 0;
+    std::uint64_t in_phase = 0;
+    for (const auto& e : rec->events()) {
+      if (e.ts < start_time) continue;
+      ++in_phase;
+      // Ladder events after the last completion (e.g. a probation timer
+      // expiring post-drain) attribute to the run's very end.
+      const Picos ts = std::min(e.ts, end_time);
+      if (t_first < 0) {
+        t_first = ts;
+        b_first = e.bytes;
+      }
+      if (e.to == fault::RecoveryState::Operational ||
+          e.to == fault::RecoveryState::Quarantined) {
+        t_recov = ts;
+        b_recov = e.bytes;
+      }
+    }
+    if (t_first >= 0) {
+      BandwidthResult::RecoveryPhases ph;
+      ph.transitions = in_phase;
+      ph.first_activation = t_first;
+      const bool converged_in_phase = t_recov >= t_first;
+      ph.last_recovery = converged_in_phase ? t_recov : end_time;
+      if (!converged_in_phase) b_recov = delivered_end;
+      ph.before_gbps = gbps(b_first - delivered0, t_first - start_time);
+      ph.during_gbps = gbps(b_recov - b_first, ph.last_recovery - t_first);
+      ph.after_gbps =
+          gbps(delivered_end - b_recov, end_time - ph.last_recovery);
+      ph.final_state = fault::to_string(rec->state());
+      result.recovery = ph;
+    }
+  }
   return result;
 }
 

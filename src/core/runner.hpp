@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
@@ -37,6 +39,24 @@ struct BandwidthResult {
   std::uint64_t wire_bytes = 0;  ///< link bytes moved, incl. headers/replays
   double goodput_gbps = 0.0;     ///< payload actually delivered
   double wire_gbps = 0.0;        ///< wire rate on the payload direction(s)
+
+  /// Delivered-payload rate split around the recovery ladder's activity:
+  /// `before` covers measurement start up to the first transition out of
+  /// full health, `during` covers the ladder's active window (to the last
+  /// Operational/Quarantined verdict, or run end if it never converged
+  /// in-phase), `after` the remainder. Present only when a recovery
+  /// policy was armed AND the ladder transitioned during the measurement
+  /// phase.
+  struct RecoveryPhases {
+    Picos first_activation = 0;  ///< absolute sim time of first transition
+    Picos last_recovery = 0;     ///< absolute sim time closing `during`
+    double before_gbps = 0.0;
+    double during_gbps = 0.0;
+    double after_gbps = 0.0;
+    std::string final_state;     ///< recovery state at run end
+    std::uint64_t transitions = 0;  ///< ladder transitions in-phase
+  };
+  std::optional<RecoveryPhases> recovery;
 };
 
 /// Number of logical DMA workers for bandwidth runs (NFP firmware uses

@@ -30,6 +30,7 @@ const char* to_string(ErrorType t) {
     case ErrorType::IommuFault: return "iommu_fault";
     case ErrorType::MalformedTlp: return "malformed_tlp";
     case ErrorType::TransactionFailed: return "transaction_failed";
+    case ErrorType::SurpriseLinkDown: return "surprise_linkdown";
   }
   return "?";
 }
@@ -50,6 +51,7 @@ ErrorSeverity severity_of(ErrorType t) {
       return ErrorSeverity::NonFatal;
     case ErrorType::MalformedTlp:
     case ErrorType::TransactionFailed:
+    case ErrorType::SurpriseLinkDown:
       return ErrorSeverity::Fatal;
   }
   return ErrorSeverity::Fatal;
@@ -77,6 +79,7 @@ void AerLog::record(ErrorType type, Picos ts, std::uint64_t addr,
     trace_->record({ts, 0, addr, tag, info, obs::EventKind::AerError,
                     obs::Component::Fault, static_cast<std::uint8_t>(type)});
   }
+  if (listener_) listener_(ErrorRecord{ts, type, addr, tag, info});
 }
 
 std::uint64_t AerLog::total() const {

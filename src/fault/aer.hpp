@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,8 +47,9 @@ enum class ErrorType : std::uint8_t {
   // Fatal.
   MalformedTlp,         ///< violates formation rules (length, type)
   TransactionFailed,    ///< retries exhausted; data lost for good
+  SurpriseLinkDown,     ///< link dropped to detect without warning
 };
-constexpr std::size_t kErrorTypeCount = 12;
+constexpr std::size_t kErrorTypeCount = 13;
 
 const char* to_string(ErrorSeverity s);
 const char* to_string(ErrorType t);
@@ -87,6 +89,13 @@ class AerLog {
   /// Mirror each record into a trace sink (nullptr detaches).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Invoke `fn` on every record, after counts/ring/trace are updated.
+  /// Used by the recovery ladder to observe the error stream; empty
+  /// detaches. A clean run with no listener pays nothing extra.
+  void set_listener(std::function<void(const ErrorRecord&)> fn) {
+    listener_ = std::move(fn);
+  }
+
   void clear();
 
  private:
@@ -97,6 +106,7 @@ class AerLog {
   std::array<std::uint64_t, kErrorTypeCount> counts_{};
   std::array<std::uint64_t, kErrorSeverityCount> severity_totals_{};
   obs::TraceSink* trace_ = nullptr;
+  std::function<void(const ErrorRecord&)> listener_;
 };
 
 }  // namespace pcieb::fault

@@ -57,6 +57,12 @@ LinkTxDecision FaultInjector::on_link_tx(const proto::Tlp& tlp, bool upstream,
           tally(FaultKind::Poison);
         }
         break;
+      case FaultKind::LinkDown:
+        if (!d.linkdown && matches(rule, ordinal, tlp.addr, now)) {
+          d.linkdown = true;
+          tally(FaultKind::LinkDown);
+        }
+        break;
       default:
         break;  // not a link-site rule
     }

@@ -2,8 +2,9 @@
 //
 // One injector is consulted from four sites in the TLP pipeline:
 //  * on_link_tx    — per TLP handed to a link direction: drop, poison,
-//    and/or force corrupt (NAK-path) and ack-loss (REPLAY_TIMER-path)
-//    replay attempts in the transmitter's DLL state machine;
+//    surprise link-down, and/or force corrupt (NAK-path) and ack-loss
+//    (REPLAY_TIMER-path) replay attempts in the transmitter's DLL state
+//    machine;
 //  * on_completion — per read handled by a completer (the root complex):
 //    force an Unsupported Request / Completer Abort completion status;
 //  * on_translate  — per IOMMU translation: fail it;
@@ -34,6 +35,7 @@ namespace pcieb::fault {
 struct LinkTxDecision {
   bool drop = false;
   bool poison = false;
+  bool linkdown = false;          ///< surprise link-down fires on this TLP
   unsigned corrupt_attempts = 0;  ///< LCRC failures -> NAK -> replay
   unsigned ack_losses = 0;        ///< lost ACKs -> REPLAY_TIMER -> replay
 };

@@ -41,6 +41,7 @@ FaultKind parse_kind(const std::string& s) {
   if (s == "cpl-ca") return FaultKind::CplCa;
   if (s == "iommu") return FaultKind::IommuFault;
   if (s == "downtrain") return FaultKind::Downtrain;
+  if (s == "linkdown") return FaultKind::LinkDown;
   bad_spec("unknown fault kind '" + s + "'");
 }
 
@@ -162,6 +163,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::CplCa: return "cpl-ca";
     case FaultKind::IommuFault: return "iommu";
     case FaultKind::Downtrain: return "downtrain";
+    case FaultKind::LinkDown: return "linkdown";
   }
   return "?";
 }

@@ -14,7 +14,7 @@
 //   spec  := rule (';' rule)*
 //   rule  := kind ('@' key '=' value (',' key '=' value)*)?
 //   kind  := drop | corrupt | ack-loss | poison | cpl-ur | cpl-ca
-//          | iommu | downtrain
+//          | iommu | downtrain | linkdown
 //   keys  := nth=N       fire on the N-th TLP seen at the site (1-based)
 //            every=K     fire on every K-th TLP
 //            count=N     consecutive attempts affected (corrupt bursts)
@@ -31,6 +31,8 @@
 //   cpl-ur@every=5000                     periodic completer UR
 //   iommu@addr=0x100000-0x1fffff          unmapped window
 //   downtrain@time=50us-150us,lanes=4,gen=1  brown-out and recover
+//   linkdown@nth=500,dir=up               surprise link-down (fatal; only
+//                                         a recovery policy revives it)
 #pragma once
 
 #include <cstdint>
@@ -51,8 +53,10 @@ enum class FaultKind : std::uint8_t {
   CplCa,        ///< completer answers a read with Completer Abort
   IommuFault,   ///< IOMMU translation fails (unmapped / blocked page)
   Downtrain,    ///< link renegotiates to fewer lanes / lower gen
+  LinkDown,     ///< surprise link-down: the port drops to detect and
+                ///< stays down until a recovery policy hot-resets it
 };
-constexpr std::size_t kFaultKindCount = 8;
+constexpr std::size_t kFaultKindCount = 9;
 
 const char* to_string(FaultKind k);
 

@@ -1,0 +1,234 @@
+// Error containment & recovery escalation ladder.
+//
+// A per-device recovery state machine driven by AER severity
+// classification, modelling the containment/recovery stack real PCIe
+// deployments run (AER-driven link management, Function-Level Reset,
+// Downstream Port Containment, hot reset + re-enumeration):
+//
+//             correctable burst                 probation clean
+//   Operational ----------------> Degraded -----------------> Operational
+//        |  \                        |
+//        |   \ non-fatal >= K        | fatal
+//        |    v                      v
+//        |  Resetting (FLR) ---> Contained (DPC: port frozen, in-flight
+//        |        |                  |       TLPs discarded, requests UR)
+//        |        | flr done         | hold-off expired
+//        |        v                  v
+//        |  Operational/Degraded   Resetting (hot reset) --> Operational
+//        |                           |   (link retrain from detect,
+//        | fatal                     |    credit re-init, IOMMU re-map)
+//        +---------> Contained       | reset budget exhausted
+//                                    v
+//                                Quarantined (permanently contained)
+//
+// Escalation rules:
+//  * correctable — a burst (>= correctable_burst records within
+//    correctable_window) triggers an adaptive downtrain: both link
+//    directions retrain to downtrain_lanes/downtrain_gen as a *recovery
+//    action*. The link is restored after degraded_probation of
+//    correctable-clean operation.
+//  * non-fatal — every uncorrectable non-fatal record counts; at
+//    nonfatal_threshold the device takes a Function-Level Reset: all
+//    in-flight tags aborted and accounted, queued writes drained, then
+//    back to Operational (or Degraded, if a downtrain is still active).
+//  * fatal — DPC-style containment: the port pair freezes immediately,
+//    in-flight TLPs are discarded deterministically and subsequent host
+//    requests are answered UR. After containment_holdoff the port takes
+//    a hot reset lasting reset_duration (FLR + link retrain from detect
+//    + credit re-init + IOMMU re-map); after max_resets fatal episodes
+//    the device is permanently Quarantined instead.
+//
+// The manager is sim-agnostic: it observes the AER stream via
+// AerLog::set_listener and performs every action through an injected
+// Actions table (sim::System wires links/device/RC/IOMMU into it). State
+// transitions happen synchronously at classification time — so a second
+// fatal error during containment is recognised and ignored — but all
+// actions are deferred through Actions::schedule, because the error that
+// triggered them may have been recorded mid-event (e.g. inside
+// Link::send), where mutating component state would be unsafe. Scheduled
+// callbacks run in deterministic event order, so the whole ladder is
+// bit-reproducible: same run, same recovery event sequence.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fault/aer.hpp"
+#include "obs/trace.hpp"
+
+namespace pcieb::fault {
+
+enum class RecoveryState : std::uint8_t {
+  Operational,  ///< full-rate, unblocked, healthy
+  Degraded,     ///< adaptive downtrain active, on probation
+  Contained,    ///< DPC: port frozen, waiting out the hold-off
+  Resetting,    ///< FLR or hot reset in progress
+  Quarantined,  ///< reset budget exhausted; permanently contained
+};
+constexpr std::size_t kRecoveryStateCount = 5;
+const char* to_string(RecoveryState s);
+
+/// Escalation thresholds; `enabled = false` (the default) keeps the whole
+/// subsystem detached — zero cost, bit-identical to a recovery-free build.
+struct RecoveryPolicy {
+  bool enabled = false;
+
+  /// Correctable records within `correctable_window` that trigger the
+  /// adaptive downtrain.
+  std::uint64_t correctable_burst = 8;
+  Picos correctable_window = from_micros(100);
+  /// Correctable-clean time in Degraded before the link is restored.
+  Picos degraded_probation = from_micros(200);
+  /// Downtrain targets (0 keeps the configured value).
+  unsigned downtrain_lanes = 4;
+  unsigned downtrain_gen = 1;
+
+  /// Non-fatal records that trigger a Function-Level Reset.
+  std::uint64_t nonfatal_threshold = 4;
+  /// FLR completion time (CSR-visible reset window).
+  Picos flr_duration = from_micros(10);
+
+  /// Containment hold-off between the fatal trigger and the hot reset.
+  Picos containment_holdoff = from_micros(50);
+  /// Hot reset + retrain-from-detect + re-enumeration duration.
+  Picos reset_duration = from_micros(100);
+  /// Hot resets granted before the device is permanently quarantined.
+  unsigned max_resets = 2;
+
+  /// Canonical "name,key=value,..." form; parse_recovery_policy inverse
+  /// for every field that differs from the named base.
+  std::string describe() const;
+
+  friend bool operator==(const RecoveryPolicy&, const RecoveryPolicy&) =
+      default;
+};
+
+/// Parse a --recovery=POLICY spec: a named base policy — `none` (or ``,
+/// disabled), `default`, `aggressive` (hair-trigger thresholds, short
+/// hold-offs), `conservative` (tolerant thresholds, one reset) — followed
+/// by optional comma-separated key=value overrides:
+///
+///   correctable-burst=N  correctable-window=T  probation=T
+///   lanes=N  gen=G  nonfatal-threshold=N  flr-duration=T
+///   holdoff=T  reset-duration=T  max-resets=N
+///
+/// (times use the fault-plan grammar units: ps/ns/us/ms/s, bare = ns).
+/// Throws std::invalid_argument with a pointed message on malformed input.
+RecoveryPolicy parse_recovery_policy(const std::string& spec);
+
+/// Named base policy lookup used by parse_recovery_policy.
+RecoveryPolicy recovery_policy_named(const std::string& name);
+
+/// One ladder transition. `bytes` snapshots the Actions::delivered_bytes
+/// probe at transition time (0 when unwired) — the goodput
+/// before/during/after report in core::BenchRunner is built from these.
+struct RecoveryEvent {
+  Picos ts = 0;
+  RecoveryState from = RecoveryState::Operational;
+  RecoveryState to = RecoveryState::Operational;
+  const char* reason = "";  ///< static string (stable across runs)
+  std::uint64_t bytes = 0;
+};
+
+class RecoveryManager {
+ public:
+  /// Everything the ladder can do to the outside world. All hooks are
+  /// optional (unset = no-op) except `schedule` and `now`, which the
+  /// ladder cannot function without.
+  struct Actions {
+    /// Derate both link directions to lanes/gen (adaptive downtrain).
+    std::function<void(unsigned lanes, unsigned gen)> downtrain;
+    /// Clear the recovery derate (probation passed).
+    std::function<void()> restore_link;
+    /// Function-Level Reset the device (abort tags, drain write queue).
+    std::function<void()> flr;
+    /// Freeze the port pair (DPC containment): block both directions,
+    /// answer new host requests UR, abort outstanding host reads.
+    std::function<void()> contain;
+    /// Hot reset + re-enumeration: FLR, unblock the port, retrain at
+    /// full width, re-init credits, IOMMU re-map.
+    std::function<void()> hot_reset;
+    /// Defer `fn` by `delay` sim-time (wired to Simulator::after).
+    std::function<void(Picos, std::function<void()>)> schedule;
+    std::function<Picos()> now;
+    /// Invoked after every state transition — the watchdog re-primes
+    /// here so intentional containment/reset quiet windows never read
+    /// as stalls.
+    std::function<void()> on_transition;
+    /// Cumulative delivered payload bytes (for goodput phase reports).
+    std::function<std::uint64_t()> delivered_bytes;
+  };
+
+  RecoveryManager(const RecoveryPolicy& policy, Actions actions);
+
+  /// Wire to AerLog::set_listener — classifies and escalates.
+  void on_error(const ErrorRecord& rec);
+
+  RecoveryState state() const { return state_; }
+  /// Liveness verdict for the convergence monitor: the ladder has either
+  /// returned to full health or declared the device unrecoverable.
+  bool converged() const {
+    return state_ == RecoveryState::Operational ||
+           state_ == RecoveryState::Quarantined;
+  }
+  bool link_degraded() const { return link_degraded_; }
+
+  const RecoveryPolicy& policy() const { return policy_; }
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+
+  std::uint64_t transitions() const { return events_.size(); }
+  std::uint64_t downtrains() const { return downtrains_; }
+  std::uint64_t restores() const { return restores_; }
+  std::uint64_t flrs() const { return flrs_; }
+  std::uint64_t containments() const { return containments_; }
+  std::uint64_t hot_resets() const { return hot_resets_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+
+  /// Canonical one-line event digest, byte-identical for identical runs:
+  /// "ts:from>to:reason;..." (empty when no transition happened). Chaos
+  /// campaigns journal-carry this so serial/--threads/--jobs/--resume
+  /// summaries stay byte-identical.
+  std::string digest() const;
+
+  /// Human-readable transition log + counters, for --errors.
+  std::string to_table() const;
+
+  /// Mirror transitions into a trace sink (nullptr detaches).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+ private:
+  void on_correctable(const ErrorRecord& rec);
+  void on_nonfatal(const ErrorRecord& rec);
+  void on_fatal(const ErrorRecord& rec);
+  void transition(RecoveryState to, const char* reason);
+  void schedule_probation(Picos delay);
+  void probation_check();
+  void finish_flr();
+  void holdoff_expired();
+  void finish_hot_reset();
+
+  RecoveryPolicy policy_;
+  Actions actions_;
+  RecoveryState state_ = RecoveryState::Operational;
+  bool link_degraded_ = false;
+  bool hot_resetting_ = false;  ///< Resetting is a hot reset, not an FLR
+  bool probation_pending_ = false;
+  std::deque<Picos> correctable_window_;
+  Picos last_correctable_ = 0;
+  std::uint64_t nonfatal_count_ = 0;
+  unsigned resets_done_ = 0;
+  std::uint64_t downtrains_ = 0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t flrs_ = 0;
+  std::uint64_t containments_ = 0;
+  std::uint64_t hot_resets_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::vector<RecoveryEvent> events_;
+  obs::TraceSink* trace_ = nullptr;
+};
+
+}  // namespace pcieb::fault

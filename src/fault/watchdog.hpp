@@ -51,6 +51,15 @@ class Watchdog {
   /// Note forward progress (a transaction finished or committed).
   void kick() { ++progress_; }
 
+  /// Restart the stall window from scratch. Called on recovery state
+  /// transitions: containment / reset hold-offs intentionally stop all
+  /// traffic, and without a re-prime the quiet window would read as a
+  /// stall and fire a false positive mid-recovery.
+  void reprime() {
+    last_progress_ = progress_;
+    primed_ = false;
+  }
+
   /// Register a named outstanding-work probe; nonzero after the event
   /// queue drains means deadlock.
   void add_outstanding(std::string name, std::function<std::uint64_t()> probe);

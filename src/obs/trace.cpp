@@ -43,6 +43,7 @@ const char* to_string(EventKind k) {
     case EventKind::MemWrite: return "mem_write";
     case EventKind::BenchPhase: return "bench_phase";
     case EventKind::AerError: return "aer_error";
+    case EventKind::RecoveryTransition: return "recovery_transition";
   }
   return "?";
 }

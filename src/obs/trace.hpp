@@ -66,6 +66,8 @@ enum class EventKind : std::uint8_t {
   BenchPhase,      ///< flags: 0 = warmup start, 1 = measurement start
   // Fault subsystem.
   AerError,        ///< AER error record (instant; flags = fault::ErrorType)
+  RecoveryTransition,  ///< recovery ladder state change (instant; flags =
+                       ///< packed from<<4|to of fault::RecoveryState)
 };
 const char* to_string(EventKind k);
 

@@ -412,6 +412,46 @@ std::string DmaDevice::outstanding_tags() const {
   return out;
 }
 
+void DmaDevice::function_level_reset() {
+  ++flrs_;
+  // Abort in-flight reads in ascending tag order (the map's iteration
+  // order is slot-based; sorting pins the abort sequence) — each goes
+  // through the same retire/fail accounting as a retries-exhausted read.
+  std::vector<std::pair<std::uint32_t, ReadState>> aborted;
+  aborted.reserve(inflight_reads_.size());
+  inflight_reads_.for_each([&aborted](std::uint32_t tag, const ReadState& s) {
+    aborted.emplace_back(tag, s);
+  });
+  std::sort(aborted.begin(), aborted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [tag, state] : aborted) {
+    inflight_reads_.erase(tag);
+    ++read_reqs_retired_;
+    ++flr_aborted_reads_;
+    read_tags_.release();
+    fail_request(state.dma_id, state.req);
+  }
+  // Discard queued-but-unsent writes. They never consumed credits (the
+  // send loop takes credits only when it dequeues), so only the lost
+  // payload is accounted; done callbacks fire so workloads terminate.
+  if (stalled_) {
+    stalled_ = false;
+    fc_stall_ps_ += sim_.now() - stall_start_;
+  }
+  while (!pending_writes_.empty()) {
+    PendingWrite pw = std::move(pending_writes_.front());
+    pending_writes_.pop_front();
+    ++flr_dropped_writes_;
+    // The payload retires as issued-and-lost so both conservation
+    // ledgers (issued == committed + lost, offered == committed +
+    // dropped) balance without a special FLR term.
+    write_bytes_issued_ += pw.tlp.payload;
+    if (write_abort_) write_abort_(pw.tlp.payload);
+    if (pw.done) sim_.after(0, std::move(pw.done));
+  }
+  if (progress_) progress_();
+}
+
 void DmaDevice::grant_posted_credits(std::uint32_t payload_bytes) {
   posted_credits_ += payload_bytes;
   if (posted_credits_ > static_cast<std::int64_t>(profile_.posted_credit_bytes)) {

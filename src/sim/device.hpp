@@ -166,6 +166,27 @@ class DmaDevice {
   using ProgressHook = std::function<void()>;
   void set_progress_hook(ProgressHook h) { progress_ = std::move(h); }
 
+  /// Invoked with the payload bytes of every queued-but-unsent write TLP
+  /// a Function-Level Reset discards. Those TLPs never consumed posted
+  /// credits, so no credits come back — the hook only accounts the lost
+  /// goodput (System mirrors it into lost_write_bytes).
+  using WriteAbortHook = std::function<void(std::uint32_t)>;
+  void set_write_abort_hook(WriteAbortHook h) { write_abort_ = std::move(h); }
+
+  /// Function-Level Reset (recovery ladder): abort every in-flight read
+  /// request — tags reclaimed in ascending order, each accounted through
+  /// the same retire/fail path a retries-exhausted read takes, so the
+  /// issued == retired + in-flight ledger holds across the reset — and
+  /// discard queued-but-unsent writes (done callbacks still fire; payload
+  /// goes through the write-abort hook). Posted credits are NOT forced:
+  /// writes already on the wire return theirs via the RC commit/drop
+  /// hooks, so conservation re-initializes the window exactly.
+  void function_level_reset();
+  std::uint64_t flr_count() const { return flrs_; }
+  /// Read requests aborted and write TLPs discarded across all FLRs.
+  std::uint64_t flr_aborted_reads() const { return flr_aborted_reads_; }
+  std::uint64_t flr_dropped_writes() const { return flr_dropped_writes_; }
+
   // Outstanding-work probes for the watchdog's deadlock check.
   std::size_t inflight_read_requests() const { return inflight_reads_.size(); }
   std::size_t pending_read_ops() const { return read_ops_.size(); }
@@ -256,6 +277,7 @@ class DmaDevice {
 
   MmioHandler mmio_handler_;
   ProgressHook progress_;
+  WriteAbortHook write_abort_;
   obs::TraceSink* trace_ = nullptr;
   fault::AerLog* aer_ = nullptr;
   bool timeouts_armed_ = false;
@@ -270,6 +292,9 @@ class DmaDevice {
   std::uint64_t unexpected_cpls_ = 0;
   std::uint64_t error_cpls_ = 0;
   std::uint64_t poisoned_rx_ = 0;
+  std::uint64_t flrs_ = 0;
+  std::uint64_t flr_aborted_reads_ = 0;
+  std::uint64_t flr_dropped_writes_ = 0;
   std::uint64_t read_reqs_issued_ = 0;
   std::uint64_t read_reqs_retired_ = 0;
   std::uint64_t read_bytes_requested_ = 0;

@@ -79,6 +79,14 @@ class Iommu {
   /// Drop all cached translations (e.g. after a mapping change).
   void flush_tlb();
 
+  /// Hot-reset re-enumeration (recovery ladder): the device's mappings
+  /// are rebuilt from scratch, so every cached translation is stale.
+  void remap_after_reset() {
+    flush_tlb();
+    ++remaps_;
+  }
+  std::uint64_t remaps() const { return remaps_; }
+
   const IommuConfig& config() const { return cfg_; }
   std::uint64_t tlb_hits() const { return hits_; }
   std::uint64_t tlb_misses() const { return misses_; }
@@ -114,6 +122,7 @@ class Iommu {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t faults_ = 0;
+  std::uint64_t remaps_ = 0;
   fault::FaultInjector* injector_ = nullptr;
   fault::AerLog* aer_ = nullptr;
   obs::TraceSink* trace_ = nullptr;

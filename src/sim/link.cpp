@@ -31,7 +31,16 @@ double Link::effective_rate() {
     }
     downtrained_ = false;
   }
+  if (recovery_derate_active_) return recovery_rate_;
   return line_rate_;
+}
+
+void Link::set_recovery_derate(unsigned lanes, unsigned gen) {
+  proto::LinkConfig derated = cfg_;
+  if (lanes) derated.lanes = lanes;
+  if (gen) derated.gen = static_cast<proto::Generation>(gen);
+  recovery_rate_ = derated.tlp_gbps();
+  recovery_derate_active_ = true;
 }
 
 bool Link::replay_attempts(unsigned n, Picos gap, Picos ser,
@@ -66,6 +75,15 @@ bool Link::replay_attempts(unsigned n, Picos gap, Picos ser,
 }
 
 Picos Link::send(const proto::Tlp& tlp) {
+  if (blocked_) {
+    // The port is contained (DPC) or resetting: the TLP is discarded
+    // before the injector is consulted, so ordinals and RNG draws are
+    // not consumed while the link is down — the fault stream resumes
+    // exactly where it left off after a hot reset.
+    ++blocked_drops_;
+    if (on_drop_) on_drop_(tlp);
+    return sim_.now() + propagation_;
+  }
   fault::LinkTxDecision decision;
   if (injector_) {
     obs::ProfScope prof(obs::CostCenter::FaultPredicates);
@@ -76,6 +94,23 @@ Picos Link::send(const proto::Tlp& tlp) {
   if (faults_.replay_probability > 0.0 &&
       rng_.uniform() < faults_.replay_probability) {
     ++decision.corrupt_attempts;
+  }
+
+  if (decision.linkdown) {
+    // Surprise link-down: the port drops to detect mid-transfer. The
+    // triggering TLP is lost, a fatal SurpriseLinkDown AER record fires,
+    // and the hook freezes the port pair; from here on the blocked-
+    // discard path above handles traffic until a recovery policy (if
+    // any) hot-resets the link back up.
+    ++tlps_;
+    ++dropped_;
+    if (aer_) {
+      aer_->record(fault::ErrorType::SurpriseLinkDown, sim_.now(), tlp.addr,
+                   tlp.tag, cfg_.lanes);
+    }
+    if (on_linkdown_) on_linkdown_();
+    if (on_drop_) on_drop_(tlp);
+    return sim_.now() + propagation_;
   }
 
   const unsigned wire_bytes = tlp.wire_bytes(cfg_);
@@ -145,6 +180,14 @@ Picos Link::send(const proto::Tlp& tlp) {
       sim_.after(propagation_, [this, copy] {
         // The far end's ACK retires the retry-buffer entry.
         if (unacked_ > 0) --unacked_;
+        if (blocked_) {
+          // Containment hit while this TLP was in flight: DPC discards
+          // it at the port instead of delivering (deterministically —
+          // the discard point is fixed by the blocking event's time).
+          ++blocked_drops_;
+          if (on_drop_) on_drop_(copy);
+          return;
+        }
         deliver_(copy);
       });
     } else if (unacked_ > 0) {

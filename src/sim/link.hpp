@@ -114,6 +114,29 @@ class Link {
   using DropHook = std::function<void(const proto::Tlp&)>;
   void set_drop_hook(DropHook h) { on_drop_ = std::move(h); }
 
+  /// Invoked once per surprise link-down the injector fires on this
+  /// direction, after the SurpriseLinkDown AER record; the System uses it
+  /// to freeze both directions of the port (DPC-style containment needs
+  /// the pair, not just the direction the trigger TLP was on).
+  using LinkDownHook = std::function<void()>;
+  void set_linkdown_hook(LinkDownHook h) { on_linkdown_ = std::move(h); }
+
+  /// Containment: a blocked link discards every TLP instead of
+  /// transmitting it — deterministically, before the injector is even
+  /// consulted, so fault ordinals and RNG draws are not consumed while
+  /// the port is down. Discards are accounted through the drop hook.
+  void set_blocked(bool blocked) { blocked_ = blocked; }
+  bool blocked() const { return blocked_; }
+  std::uint64_t blocked_drops() const { return blocked_drops_; }
+
+  /// Recovery-action derate (adaptive downtrain): retrain this direction
+  /// to `lanes`/`gen` until cleared. An injected downtrain window takes
+  /// precedence while it is active — the fault models the marginal
+  /// hardware, the recovery derate models policy on top of it.
+  void set_recovery_derate(unsigned lanes, unsigned gen);
+  void clear_recovery_derate() { recovery_derate_active_ = false; }
+  bool recovery_derated() const { return recovery_derate_active_; }
+
   /// Attach tracing (nullptr detaches); `comp` names this direction's
   /// trace track (LinkUp / LinkDown).
   void set_trace(obs::TraceSink* sink, obs::Component comp) {
@@ -141,6 +164,7 @@ class Link {
   Xoshiro256 rng_;
   Deliver deliver_;
   DropHook on_drop_;
+  LinkDownHook on_linkdown_;
   fault::FaultInjector* injector_ = nullptr;
   fault::AerLog* aer_ = nullptr;
   bool upstream_ = true;
@@ -160,6 +184,10 @@ class Link {
   bool downtrained_ = false;
   const fault::FaultRule* derated_rule_ = nullptr;
   double derated_rate_ = 0.0;
+  bool blocked_ = false;
+  std::uint64_t blocked_drops_ = 0;
+  bool recovery_derate_active_ = false;
+  double recovery_rate_ = 0.0;
   /// cfg_.tlp_gbps() computed once — it chains two switch lookups and
   /// floating-point math, far too heavy for a per-TLP call.
   double line_rate_;

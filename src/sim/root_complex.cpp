@@ -1,6 +1,7 @@
 #include "sim/root_complex.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "obs/profiler.hpp"
 #include "pcie/packetizer.hpp"
@@ -67,10 +68,34 @@ void RootComplex::host_mmio_write(std::uint64_t addr, std::uint32_t len) {
 
 void RootComplex::host_mmio_read(std::uint64_t addr, std::uint32_t len,
                                  Callback done) {
+  if (port_contained_) {
+    // DPC: the downstream port is frozen, so the request can never be
+    // claimed — answer UR right away (all-ones data to the driver)
+    // instead of transmitting into the void and stranding the callback.
+    ++contained_host_reads_;
+    ++error_cpls_;
+    if (done) sim_.after(0, std::move(done));
+    return;
+  }
   const std::uint32_t tag = next_host_tag_++;
   host_reads_[tag] = std::move(done);
   proto::Tlp req{proto::TlpType::MemRd, addr, 0, len, tag};
   downstream_.send(req);
+}
+
+void RootComplex::abort_host_reads() {
+  std::vector<std::uint32_t> tags;
+  tags.reserve(host_reads_.size());
+  for (const auto& [tag, done] : host_reads_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  for (const std::uint32_t tag : tags) {
+    auto it = host_reads_.find(tag);
+    Callback done = std::move(it->second);
+    host_reads_.erase(it);
+    ++contained_host_reads_;
+    ++error_cpls_;
+    if (done) sim_.after(0, std::move(done));
+  }
 }
 
 void RootComplex::drop_write_payload(std::uint32_t payload) {

@@ -116,6 +116,19 @@ class RootComplex {
   void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
   void set_aer(fault::AerLog* aer) { aer_ = aer; }
 
+  // --- DPC containment support (fault::RecoveryManager via System) -----
+  /// While true, new host MMIO reads are answered UR immediately (the
+  /// downstream port is frozen; nobody will ever claim the request).
+  void set_port_contained(bool contained) { port_contained_ = contained; }
+  bool port_contained() const { return port_contained_; }
+  /// Deterministically complete every outstanding host MMIO read as UR —
+  /// containment discards the in-flight requests/completions, and a
+  /// frozen port must not strand the host's read callbacks. Ascending
+  /// tag order keeps the completion sequence reproducible.
+  void abort_host_reads();
+  /// Host MMIO reads answered UR by containment (immediate + aborted).
+  std::uint64_t contained_host_reads() const { return contained_host_reads_; }
+
  private:
   void handle_write(const proto::Tlp& tlp);
   void handle_read(const proto::Tlp& tlp);
@@ -161,6 +174,8 @@ class RootComplex {
   obs::TraceSink* trace_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
   fault::AerLog* aer_ = nullptr;
+  bool port_contained_ = false;
+  std::uint64_t contained_host_reads_ = 0;
 
   struct PendingRead {
     proto::Tlp req;

@@ -35,6 +35,13 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
     lost_write_bytes_ += bytes;
     if (write_drop_observer_) write_drop_observer_(bytes);
   });
+  // An FLR discards queued-but-unsent writes; their payload is lost
+  // goodput exactly like an RC-side drop, but no credits were ever taken
+  // for them, so only the loss is accounted.
+  device_->set_write_abort_hook([this](std::uint32_t bytes) {
+    lost_write_bytes_ += bytes;
+    if (write_drop_observer_) write_drop_observer_(bytes);
+  });
 
   // Error reporting is always on (legacy LinkFaultModel replays show up
   // too); the injector, read timeouts and watchdog arm only with a plan,
@@ -45,6 +52,12 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   rc_->set_aer(&aer_);
   device_->set_aer(&aer_);
   if (!cfg_.fault_plan.empty()) arm_faults();
+  if (cfg_.recovery.enabled) arm_recovery();
+}
+
+void System::freeze_port() {
+  up_->set_blocked(true);
+  down_->set_blocked(true);
 }
 
 void System::arm_faults() {
@@ -54,6 +67,13 @@ void System::arm_faults() {
   iommu_->set_fault_injector(injector_.get());
   rc_->set_fault_injector(injector_.get());
   device_->arm_timeouts(true);
+
+  // A surprise link-down is a physical event: the port pair goes dark
+  // whether or not a recovery policy is armed. Without one the links stay
+  // blocked forever (workloads terminate via drop accounting and
+  // completion timeouts); the recovery ladder is what brings them back.
+  up_->set_linkdown_hook([this] { freeze_port(); });
+  down_->set_linkdown_hook([this] { freeze_port(); });
 
   // A dropped posted write has no completion to time out on: reclaim its
   // credits at the loss site and report it as failed goodput. Dropped
@@ -102,6 +122,58 @@ void System::arm_faults() {
   });
 }
 
+void System::arm_recovery() {
+  // Recovery needs the read-timeout machinery even without a fault plan:
+  // completions discarded during containment must time out and retry (or
+  // fail with accounting) rather than strand their tags.
+  device_->arm_timeouts(true);
+
+  fault::RecoveryManager::Actions a;
+  a.downtrain = [this](unsigned lanes, unsigned gen) {
+    up_->set_recovery_derate(lanes, gen);
+    down_->set_recovery_derate(lanes, gen);
+  };
+  a.restore_link = [this] {
+    up_->clear_recovery_derate();
+    down_->clear_recovery_derate();
+  };
+  a.flr = [this] { device_->function_level_reset(); };
+  a.contain = [this] {
+    freeze_port();
+    rc_->set_port_contained(true);
+    rc_->abort_host_reads();
+  };
+  a.hot_reset = [this] {
+    // Re-enumeration: the function resets (tags aborted, write queue
+    // drained, credits re-initialized by conservation), the port
+    // unfreezes and retrains at full width, and the IOMMU mappings are
+    // rebuilt from scratch.
+    device_->function_level_reset();
+    up_->set_blocked(false);
+    down_->set_blocked(false);
+    up_->clear_recovery_derate();
+    down_->clear_recovery_derate();
+    rc_->set_port_contained(false);
+    iommu_->remap_after_reset();
+  };
+  a.schedule = [this](Picos delay, std::function<void()> fn) {
+    sim_.after(delay, std::move(fn));
+  };
+  a.now = [this] { return sim_.now(); };
+  a.on_transition = [this] {
+    // Containment and reset windows are intentionally quiet; re-prime so
+    // the stall detector never mistakes them for a hang.
+    if (watchdog_) watchdog_->reprime();
+  };
+  a.delivered_bytes = [this] {
+    return rc_->write_bytes_committed() + device_->read_payload_delivered();
+  };
+  recovery_ =
+      std::make_unique<fault::RecoveryManager>(cfg_.recovery, std::move(a));
+  aer_.set_listener(
+      [this](const fault::ErrorRecord& r) { recovery_->on_error(r); });
+}
+
 void System::check_deadlock() {
   if (watchdog_) watchdog_->check_quiescent(sim_.now());
 }
@@ -115,6 +187,7 @@ void System::set_trace_sink(obs::TraceSink* sink) {
   mem_->set_trace(sink);
   device_->set_trace(sink);
   aer_.set_trace(sink);
+  if (recovery_) recovery_->set_trace(sink);
 }
 
 void System::register_counters(obs::CounterRegistry& reg) {
@@ -221,6 +294,42 @@ void System::register_counters(obs::CounterRegistry& reg) {
   MemorySystem* mem = mem_.get();
   reg.add_counter("mem.reads", [mem] { return double(mem->reads()); });
   reg.add_counter("mem.writes", [mem] { return double(mem->writes()); });
+
+  // Recovery-ladder counters register only when a policy is armed, so
+  // recovery-free counter CSVs stay bit-identical to previous releases.
+  if (recovery_) {
+    fault::RecoveryManager* rec = recovery_.get();
+    reg.add_counter("recovery.transitions",
+                    [rec] { return double(rec->transitions()); });
+    reg.add_counter("recovery.downtrains",
+                    [rec] { return double(rec->downtrains()); });
+    reg.add_counter("recovery.restores",
+                    [rec] { return double(rec->restores()); });
+    reg.add_counter("recovery.flrs", [rec] { return double(rec->flrs()); });
+    reg.add_counter("recovery.containments",
+                    [rec] { return double(rec->containments()); });
+    reg.add_counter("recovery.hot_resets",
+                    [rec] { return double(rec->hot_resets()); });
+    reg.add_counter("recovery.quarantines",
+                    [rec] { return double(rec->quarantines()); });
+    reg.add_gauge("recovery.state", [rec] {
+      return double(static_cast<unsigned>(rec->state()));
+    });
+    reg.add_counter("device.flrs", [dev] { return double(dev->flr_count()); });
+    reg.add_counter("device.flr_aborted_reads",
+                    [dev] { return double(dev->flr_aborted_reads()); });
+    reg.add_counter("device.flr_dropped_writes",
+                    [dev] { return double(dev->flr_dropped_writes()); });
+    reg.add_counter("rc.contained_host_reads",
+                    [rc] { return double(rc->contained_host_reads()); });
+    reg.add_counter("iommu.remaps", [mmu] { return double(mmu->remaps()); });
+    Link* up = up_.get();
+    Link* down = down_.get();
+    reg.add_counter("link.up.blocked_drops",
+                    [up] { return double(up->blocked_drops()); });
+    reg.add_counter("link.down.blocked_drops",
+                    [down] { return double(down->blocked_drops()); });
+  }
 }
 
 void System::attach_buffer(const HostBuffer* buf) {

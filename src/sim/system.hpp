@@ -15,6 +15,7 @@
 #include "fault/aer.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "fault/watchdog.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -53,6 +54,10 @@ struct SystemConfig {
   fault::FaultPlan fault_plan;
   /// Watchdog thresholds; armed together with the fault plan.
   fault::WatchdogConfig watchdog;
+  /// Error containment & recovery escalation ladder (AER-driven
+  /// downtrain, FLR, DPC containment, hot reset); disabled by default —
+  /// when off the manager is never constructed and nothing changes.
+  fault::RecoveryPolicy recovery;
   std::uint64_t seed = 1;
 };
 
@@ -97,6 +102,9 @@ class System {
   fault::FaultInjector* fault_injector() { return injector_.get(); }
   fault::Watchdog* watchdog() { return watchdog_.get(); }
   bool faults_armed() const { return injector_ != nullptr; }
+  /// The recovery ladder, or nullptr when config().recovery is disabled.
+  fault::RecoveryManager* recovery() { return recovery_.get(); }
+  const fault::RecoveryManager* recovery() const { return recovery_.get(); }
 
   /// Call once the event queue drains: throws fault::WatchdogError when
   /// transactions are still outstanding (swallowed completion with no
@@ -134,6 +142,10 @@ class System {
 
  private:
   void arm_faults();
+  void arm_recovery();
+  /// DPC/linkdown port freeze: block both directions. In-flight TLPs are
+  /// discarded at delivery time; new sends drop at the entry check.
+  void freeze_port();
 
   SystemConfig cfg_;
   Simulator sim_;
@@ -150,6 +162,7 @@ class System {
   fault::AerLog aer_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::Watchdog> watchdog_;
+  std::unique_ptr<fault::RecoveryManager> recovery_;
   std::uint64_t lost_write_bytes_ = 0;
   bool test_leak_credits_on_drop_ = false;
 };

@@ -50,10 +50,18 @@ expect_usage "missing interval value" -- "${RUN[@]}" --telemetry --telemetry-int
 expect_usage "profile takes no value" -- perf --quick --profile=on
 expect_usage "chaos empty telemetry file" -- chaos --trials 1 --telemetry=
 expect_usage "suite telemetry bad spelling" -- suite --telemetry --bogus
+expect_usage "unknown recovery policy"  -- "${RUN[@]}" --recovery turbo
+expect_usage "recovery bad override"    -- "${RUN[@]}" --recovery default,flux=1
+expect_usage "recovery none w/override" -- "${RUN[@]}" --recovery none,lanes=2
+expect_usage "recovery bad time unit"   -- "${RUN[@]}" --recovery default,holdoff=5parsecs
+expect_usage "chaos unknown recovery"   -- chaos --trials 1 --recovery bogus
 
 expect_ok "bare telemetry to stdout" -- "${RUN[@]}" --telemetry
 expect_ok "telemetry to file" -- "${RUN[@]}" --telemetry="$(mktemp -u /tmp/pcieb-usage-XXXXXX.csv)"
 expect_ok "telemetry with interval" -- "${RUN[@]}" --telemetry --telemetry-interval 500000
 expect_ok "chaos with telemetry" -- chaos --trials 2 --iters 50 --telemetry
+expect_ok "recovery named policy" -- "${RUN[@]}" --recovery aggressive
+expect_ok "recovery with overrides" -- "${RUN[@]}" --recovery default,max-resets=3,holdoff=20us
+expect_ok "chaos recovery + throw-monitors" -- chaos --trials 2 --iters 50 --recovery default --throw-monitors
 
 exit $fail

@@ -112,6 +112,87 @@ TEST(Chaos, ShrinkerMinimizesSeededBugToTinyReproducer) {
   EXPECT_EQ(reparsed.rules, shrunk.minimal.plan.rules);
 }
 
+// The shrinker treats linkdown rules like any other clause: noise
+// clauses around one drop away, and the rule's own optional predicates
+// (dir, time window) are cleared while the failure survives. Driven by a
+// synthetic runner so the oracle is exact.
+TEST(Chaos, ShrinkerMinimizesLinkDownClauses) {
+  check::TrialSpec failing;
+  failing.system = "NFP6000-HSW";
+  failing.params.kind = core::BenchKind::BwWr;
+  failing.params.transfer_size = 256;
+  failing.params.window_bytes = 8192;
+  failing.params.iterations = 400;
+  failing.plan = fault::parse_plan(
+      "corrupt@prob=0.002;"
+      "linkdown@nth=40,dir=down,time=1000000ps-900000000ps;"
+      "ack-loss@every=900;"
+      "poison@nth=50");
+
+  // "Fails" iff some linkdown clause survives — the other clauses and
+  // linkdown's own dir/time predicates are shrinkable noise.
+  const auto oracle = [](const check::TrialSpec& s) {
+    check::TrialOutcome out;
+    for (const auto& r : s.plan.rules) {
+      if (r.kind == fault::FaultKind::LinkDown) out.failed = true;
+    }
+    return out;
+  };
+  const auto shrunk = check::shrink_trial(failing, 64, oracle);
+  ASSERT_TRUE(shrunk.outcome.failed);
+  ASSERT_EQ(shrunk.minimal.plan.rules.size(), 1u)
+      << shrunk.minimal.plan.describe();
+  const auto& r = shrunk.minimal.plan.rules[0];
+  EXPECT_EQ(r.kind, fault::FaultKind::LinkDown);
+  EXPECT_EQ(r.dir, fault::LinkDir::Both);  // dir predicate cleared
+  EXPECT_EQ(r.from, 0);                    // time window cleared
+  EXPECT_EQ(shrunk.minimal.plan.describe(), "linkdown@nth=40");
+}
+
+// A recovery-armed campaign must visit the exact same trial specs as a
+// plain one — the policy rides along after the generator's RNG stream is
+// spent, so arming the ladder changes outcomes, never inputs.
+TEST(Chaos, RecoveryArmedCampaignVisitsIdenticalTrialSpecs) {
+  check::ChaosConfig plain;
+  check::ChaosConfig armed = plain;
+  armed.recovery = fault::parse_recovery_policy("aggressive");
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto a = check::generate_trial(plain, i);
+    const auto b = check::generate_trial(armed, i);
+    EXPECT_EQ(a.plan, b.plan) << i;
+    EXPECT_EQ(a.params.seed, b.params.seed) << i;
+    EXPECT_EQ(a.system, b.system) << i;
+    // describe() differs only by the trailing recovery= tag.
+    EXPECT_EQ(b.describe(), a.describe() + " recovery=aggressive") << i;
+  }
+}
+
+TEST(Chaos, TrialOutcomeCarriesRecoveryDigestAndState) {
+  check::TrialSpec spec;
+  spec.system = "NFP6000-HSW";
+  spec.params.kind = core::BenchKind::BwWr;
+  spec.params.transfer_size = 256;
+  spec.params.window_bytes = 8192;
+  spec.params.iterations = 400;
+  spec.plan = fault::parse_plan("linkdown@nth=30");
+  spec.recovery = fault::parse_recovery_policy("default");
+
+  const auto out = check::run_trial(spec, /*telemetry=*/false,
+                                    /*throw_monitors=*/true);
+  EXPECT_FALSE(out.failed) << out.summary();
+  EXPECT_EQ(out.recovery_state, "operational");
+  EXPECT_NE(out.recovery_digest.find("operational>contained:fatal"),
+            std::string::npos)
+      << out.recovery_digest;
+
+  // Same spec without the policy: no ladder, empty outcome fields.
+  spec.recovery = fault::RecoveryPolicy{};
+  const auto bare = check::run_trial(spec);
+  EXPECT_FALSE(bare.failed) << bare.summary();
+  EXPECT_TRUE(bare.recovery_state.empty());
+  EXPECT_TRUE(bare.recovery_digest.empty());
+}
+
 TEST(Chaos, CleanCampaignPasses) {
   check::ChaosConfig cfg;
   cfg.trials = 6;

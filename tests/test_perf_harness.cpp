@@ -18,7 +18,7 @@ namespace {
 // with tools/ci_perf_check.sh.
 constexpr std::uint64_t kQuickFig04Events = 222600;
 constexpr std::uint64_t kQuickFig05Events = 214400;
-constexpr std::uint64_t kQuickChaosEvents = 194702;
+constexpr std::uint64_t kQuickChaosEvents = 194023;
 
 TEST(PerfHarness, QuickRunHasExactEventCounts) {
   PerfConfig cfg;

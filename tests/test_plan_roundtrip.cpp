@@ -33,7 +33,11 @@ TEST(PlanRoundTrip, CorpusIdentity) {
       "downtrain@time=50000000ps-150000000ps,lanes=4,gen=1",
       "downtrain@lanes=2",
       "downtrain@gen=3",
+      "linkdown@nth=100",
+      "linkdown@nth=50,dir=down",
+      "linkdown@every=1000,time=1000000ps-2000000ps",
       "drop@every=150,dir=up;corrupt@prob=0.002;ack-loss@every=900",
+      "linkdown@nth=318;downtrain@lanes=4,gen=1;linkdown@nth=760",
   };
   for (const auto& spec : corpus) {
     const auto plan = fault::parse_plan(spec);
@@ -49,10 +53,10 @@ FaultRule random_rule(Xoshiro256& rng) {
   static constexpr FaultKind kKinds[] = {
       FaultKind::LinkDrop, FaultKind::LinkCorrupt, FaultKind::AckLoss,
       FaultKind::Poison,   FaultKind::CplUr,       FaultKind::CplCa,
-      FaultKind::IommuFault, FaultKind::Downtrain,
+      FaultKind::IommuFault, FaultKind::Downtrain, FaultKind::LinkDown,
   };
   FaultRule r;
-  r.kind = kKinds[rng.below(8)];
+  r.kind = kKinds[rng.below(9)];
   if (r.kind == FaultKind::Downtrain) {
     static constexpr unsigned kLanes[] = {1, 2, 4, 8, 16, 32};
     r.lanes = kLanes[rng.below(6)];
@@ -145,6 +149,10 @@ TEST(PlanRoundTrip, MalformedSpecsRejectedWithPointedMessages) {
       {"downtrain@lanes=64", "lanes must be"},
       {"downtrain@gen=0", "gen must be 1..5"},
       {"downtrain@gen=6", "gen must be 1..5"},
+      {"linkdown@lanes=4", "only apply to downtrain"},
+      {"linkdown@gen=2", "only apply to downtrain"},
+      {"linkdown@nth=0", "1-based"},
+      {"linkdown@dir=both", "dir must be up or down"},
   };
   for (const auto& b : bad) {
     try {

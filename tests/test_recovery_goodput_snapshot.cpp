@@ -1,0 +1,50 @@
+// Tier-2 snapshot: the recovery-ladder ablation sweep
+// (bench/recovery_sweep.hpp, shared with the ablation_recovery binary)
+// must reproduce the committed CSV byte-for-byte. Fault injection and the
+// ladder are deterministic, so any drift is a semantic change to the
+// fault or recovery machinery — this makes such a change a conscious
+// decision (regenerate bench/expected/recovery_goodput.csv by running
+// ./build/bench/ablation_recovery with the path as argument) rather than
+// an accident. The policy=none rows pin the zero-cost contract: armed-off
+// runs are bit-identical to runs with no recovery code in the loop.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "recovery_sweep.hpp"
+
+namespace pcieb {
+namespace {
+
+std::string load_expected() {
+  const std::string path =
+      std::string(PCIEB_SOURCE_DIR) + "/bench/expected/recovery_goodput.csv";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(RecoveryGoodputSnapshotTest, SweepMatchesCommittedCsv) {
+  const std::string expected = load_expected();
+  ASSERT_FALSE(expected.empty());
+  const std::string actual =
+      bench::recovery_sweep_csv(bench::run_recovery_sweep());
+  // Line-by-line first, so a mismatch names the offending sweep point.
+  std::istringstream es(expected), as(actual);
+  std::string eline, aline;
+  std::size_t n = 0;
+  while (std::getline(es, eline)) {
+    ASSERT_TRUE(std::getline(as, aline)) << "row " << n << " missing";
+    EXPECT_EQ(aline, eline) << "row " << n;
+    ++n;
+  }
+  EXPECT_FALSE(std::getline(as, aline)) << "extra row: " << aline;
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace
+}  // namespace pcieb

@@ -1,0 +1,222 @@
+// The recovery ladder wired through a full sim::System: linkdown faults
+// freeze the port with or without recovery armed, the armed ladder
+// contains/hot-resets/re-enumerates and passes every invariant monitor,
+// the convergence monitor flags a ladder stuck mid-escalation, the
+// watchdog never mistakes an intentional containment quiet window for a
+// stall, and BenchRunner splits goodput around the recovery window.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/monitors.hpp"
+#include "core/runner.hpp"
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
+#include "obs/counters.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb {
+namespace {
+
+core::BenchParams bw_params(core::BenchKind kind, std::size_t iters) {
+  core::BenchParams p;
+  p.kind = kind;
+  p.transfer_size = 256;
+  p.window_bytes = 64 * 1024;
+  p.iterations = iters;
+  p.warmup = 0;
+  p.seed = 7;
+  return p;
+}
+
+sim::SystemConfig recovery_config(const std::string& faults,
+                                  const std::string& policy) {
+  auto cfg = sys::profile_by_name("NFP6000-HSW").config;
+  cfg.fault_plan = fault::parse_plan(faults);
+  cfg.recovery = fault::parse_recovery_policy(policy);
+  return cfg;
+}
+
+TEST(RecoverySystem, NoPolicyMeansNoManagerAndNoRecoveryCounters) {
+  auto cfg = sys::profile_by_name("NFP6000-HSW").config;
+  sim::System plain(cfg);
+  EXPECT_EQ(plain.recovery(), nullptr);
+  obs::CounterRegistry reg;
+  plain.register_counters(reg);
+  EXPECT_FALSE(reg.contains("recovery.transitions"));
+  EXPECT_FALSE(reg.contains("device.flrs"));
+
+  sim::System armed(recovery_config("linkdown@nth=50", "default"));
+  ASSERT_NE(armed.recovery(), nullptr);
+  obs::CounterRegistry reg2;
+  armed.register_counters(reg2);
+  EXPECT_TRUE(reg2.contains("recovery.transitions"));
+  EXPECT_TRUE(reg2.contains("device.flrs"));
+  EXPECT_TRUE(reg2.contains("link.up.blocked_drops"));
+}
+
+TEST(RecoverySystem, LinkDownWithoutRecoveryFreezesThePortForGood) {
+  // The physical event fires regardless of policy: both directions
+  // block, in-flight TLPs are discarded, and the workload terminates
+  // through drop accounting + completion timeouts — not a hang.
+  auto cfg = recovery_config("linkdown@nth=20", "none");
+  sim::System system(cfg);
+  check::MonitorSuite monitors(system);
+  const auto r = core::run_bandwidth_bench(system, bw_params(
+      core::BenchKind::BwWr, 400));
+  monitors.check_quiescent();
+  EXPECT_TRUE(monitors.ok()) << monitors.report();
+  EXPECT_TRUE(system.upstream().blocked());
+  EXPECT_TRUE(system.downstream().blocked());
+  EXPECT_GT(r.lost_payload_bytes, 0u);
+  EXPECT_FALSE(r.recovery.has_value());
+  EXPECT_EQ(system.aer().count(fault::ErrorType::SurpriseLinkDown), 1u);
+}
+
+TEST(RecoverySystem, LinkDownWithRecoveryContainsResetsAndReenumerates) {
+  sim::System system(recovery_config("linkdown@nth=20", "default"));
+  check::MonitorSuite monitors(system);
+  const auto r = core::run_bandwidth_bench(system, bw_params(
+      core::BenchKind::BwWr, 2000));
+  monitors.check_quiescent();
+  EXPECT_TRUE(monitors.ok()) << monitors.report();
+
+  const auto* rec = system.recovery();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state(), fault::RecoveryState::Operational);
+  EXPECT_TRUE(rec->converged());
+  EXPECT_EQ(rec->containments(), 1u);
+  EXPECT_EQ(rec->hot_resets(), 1u);
+  // The port is open again and the device took exactly one reset.
+  EXPECT_FALSE(system.upstream().blocked());
+  EXPECT_FALSE(system.downstream().blocked());
+  EXPECT_EQ(system.device().flr_count(), 1u);
+
+  // Goodput phase report: the ladder fired mid-measurement, the healthy
+  // window before the fault outpaces the containment window.
+  ASSERT_TRUE(r.recovery.has_value());
+  EXPECT_EQ(r.recovery->final_state, "operational");
+  EXPECT_GE(r.recovery->transitions, 3u);
+  EXPECT_GT(r.recovery->before_gbps, r.recovery->during_gbps);
+}
+
+TEST(RecoverySystem, RepeatedLinkDownExhaustsBudgetAndQuarantines) {
+  sim::System system(recovery_config("linkdown@nth=20", "default,max-resets=1"));
+  check::MonitorSuite monitors(system);
+  core::run_bandwidth_bench(system, bw_params(core::BenchKind::BwWr, 2000));
+  const auto* rec = system.recovery();
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->state(), fault::RecoveryState::Operational);
+  ASSERT_EQ(rec->hot_resets(), 1u);
+
+  // The reset budget is now spent. A second surprise link-down contains
+  // the port again, and when the hold-off expires the ladder gives up
+  // for good instead of burning another reset.
+  system.aer().record(fault::ErrorType::SurpriseLinkDown, system.sim().now());
+  system.sim().run();  // drain the containment action + hold-off timer
+
+  EXPECT_EQ(rec->state(), fault::RecoveryState::Quarantined);
+  EXPECT_TRUE(rec->converged());
+  EXPECT_EQ(rec->quarantines(), 1u);
+  // Quarantine keeps the port frozen — which is exactly what the
+  // convergence monitor demands for that verdict.
+  EXPECT_TRUE(system.upstream().blocked());
+  EXPECT_TRUE(system.downstream().blocked());
+  monitors.check_quiescent();
+  EXPECT_TRUE(monitors.ok()) << monitors.report();
+}
+
+TEST(RecoverySystem, ConvergenceMonitorFlagsALadderStuckMidEscalation) {
+  sim::System system(recovery_config("linkdown@nth=999999", "default"));
+  check::MonitorSuite monitors(system);
+  // Inject a fatal record directly: the listener moves the ladder to
+  // Contained synchronously, but nothing runs the sim, so the hold-off
+  // never expires — a quiesce in this state is a liveness violation.
+  system.aer().record(fault::ErrorType::SurpriseLinkDown, 0);
+  ASSERT_EQ(system.recovery()->state(), fault::RecoveryState::Contained);
+  monitors.check_quiescent();
+  EXPECT_FALSE(monitors.ok());
+  bool found = false;
+  for (const auto& v : monitors.violations()) {
+    if (v.monitor == "recovery") {
+      found = true;
+      EXPECT_NE(v.detail.find("did not converge"), std::string::npos);
+      EXPECT_NE(v.detail.find("contained"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found) << monitors.report();
+}
+
+TEST(RecoverySystem, WatchdogNeverFiresAcrossContainmentAndHotReset) {
+  // Regression: the containment hold-off and reset window are intentional
+  // quiet periods. The recovery manager re-primes the watchdog on every
+  // transition, so even a paranoid stall threshold plus a sim-time limit
+  // must survive a full contain -> reset -> re-enumerate episode.
+  auto cfg = recovery_config("linkdown@nth=20", "default");
+  cfg.watchdog.max_sim_time = from_millis(50);
+  sim::System system(cfg);
+  ASSERT_NE(system.watchdog(), nullptr);
+  EXPECT_NO_THROW(
+      core::run_bandwidth_bench(system, bw_params(core::BenchKind::BwWr, 2000)));
+  ASSERT_NE(system.recovery(), nullptr);
+  EXPECT_EQ(system.recovery()->state(), fault::RecoveryState::Operational);
+  EXPECT_NO_THROW(system.check_deadlock());
+}
+
+TEST(RecoverySystem, CorrectableStormDowntrainsBothDirectionsThenRestores) {
+  // ack-loss replays record correctable AER; a hair-trigger policy turns
+  // the storm into a downtrain, and once the storm window passes the
+  // probation clock restores full width.
+  sim::System system(recovery_config(
+      "ack-loss@every=3,time=0us-40us",
+      "default,correctable-burst=3,correctable-window=1ms,probation=30us"));
+  check::MonitorSuite monitors(system);
+  core::run_bandwidth_bench(system, bw_params(core::BenchKind::BwWr, 2000));
+  monitors.check_quiescent();
+  EXPECT_TRUE(monitors.ok()) << monitors.report();
+
+  const auto* rec = system.recovery();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GE(rec->downtrains(), 1u);
+  EXPECT_GE(rec->restores(), 1u);
+  EXPECT_EQ(rec->state(), fault::RecoveryState::Operational);
+  EXPECT_FALSE(system.upstream().recovery_derated());
+  EXPECT_FALSE(system.downstream().recovery_derated());
+}
+
+TEST(RecoverySystem, NonFatalStreakTriggersFlrAndCreditsSurvive) {
+  // Poisoned completions record non-fatal AER; at the threshold the
+  // device takes an FLR mid-run. The monitors' credit/tag/payload
+  // conservation checks passing at quiesce is the core of the FLR
+  // accounting story.
+  sim::System system(recovery_config(
+      "poison@every=40,dir=down", "default,nonfatal-threshold=3"));
+  check::MonitorSuite monitors(system);
+  core::run_bandwidth_bench(system, bw_params(core::BenchKind::BwRd, 2000));
+  monitors.check_quiescent();
+  EXPECT_TRUE(monitors.ok()) << monitors.report();
+
+  const auto* rec = system.recovery();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GE(rec->flrs(), 1u);
+  EXPECT_EQ(system.device().flr_count(), rec->flrs() + rec->hot_resets());
+  EXPECT_TRUE(rec->converged());
+}
+
+TEST(RecoverySystem, RecoveryRunIsDeterministic) {
+  const auto digest_of = [] {
+    sim::System system(recovery_config(
+        "linkdown@nth=20;cpl-ur@every=30", "aggressive"));
+    core::run_bandwidth_bench(system, bw_params(core::BenchKind::BwRdWr, 1500));
+    return system.recovery()->digest() + "|" +
+           std::to_string(system.sim().executed());
+  };
+  const std::string first = digest_of();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(digest_of(), first);
+  EXPECT_EQ(digest_of(), first);
+}
+
+}  // namespace
+}  // namespace pcieb

@@ -27,11 +27,12 @@ HOSTKEY="${PCIEB_PERF_HOSTKEY:-$(uname -m)-$(nproc)c}"
 MODE=quick
 
 # Quick-mode event counts (full-run counts for reference: fig04 2226000,
-# fig05 2144000, chaos 1883153).
+# fig05 2144000, chaos 1874425). Chaos counts last moved when linkdown
+# joined the fault-kind pool (trial generation draws shifted).
 declare -A EXPECT=(
     [fig04_bw_sweep]=222600
     [fig05_latency]=214400
-    [chaos_dry_run]=194702
+    [chaos_dry_run]=194023
 )
 
 if [[ ! -x "$PCIEBENCH" ]]; then

@@ -11,6 +11,9 @@
 #      to the reference.
 #
 # Usage: ci_resume_check.sh [path-to-pciebench]
+# PCIEB_RESUME_EXTRA adds flags to every campaign invocation — CI's
+# recovery leg sets it to "--recovery default --throw-monitors" so the
+# journal-carried ladder outcomes go through the same byte-identity gate.
 set -u
 
 PCIEBENCH="${1:-./build/tools/pciebench}"
@@ -19,6 +22,7 @@ ITERS=300
 SEED=0xc4a05
 JOBS=2
 KILL_AFTER=1.0   # seconds into the interrupted run
+read -r -a EXTRA <<< "${PCIEB_RESUME_EXTRA:-}"
 
 if [[ ! -x "$PCIEBENCH" ]]; then
     echo "ci_resume_check: $PCIEBENCH not found or not executable" >&2
@@ -32,7 +36,7 @@ run_chaos() { # journal-dir csv-path extra-args...
     local journal="$1" csv="$2"; shift 2
     "$PCIEBENCH" chaos --trials "$TRIALS" --iters "$ITERS" \
         --master-seed "$SEED" --jobs "$JOBS" --no-shrink \
-        --csv "$csv" "$@" 2>"$journal.log"
+        --csv "$csv" ${EXTRA[@]+"${EXTRA[@]}"} "$@" 2>"$journal.log"
 }
 
 echo "== reference (uninterrupted) run"
@@ -48,6 +52,7 @@ fi
 echo "== interrupted run (SIGKILL after ${KILL_AFTER}s)"
 setsid "$PCIEBENCH" chaos --trials "$TRIALS" --iters "$ITERS" \
     --master-seed "$SEED" --jobs "$JOBS" --no-shrink \
+    ${EXTRA[@]+"${EXTRA[@]}"} \
     --journal "$WORK/cut" >/dev/null 2>"$WORK/cut.log" &
 VICTIM=$!
 sleep "$KILL_AFTER"

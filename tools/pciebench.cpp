@@ -38,6 +38,7 @@
 #include "exec/pool.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "sysconfig/profiles.hpp"
 
 namespace {
@@ -103,7 +104,15 @@ fault-injection options (run):
                     (grammar: docs/FAULTS.md). Arms completion timeouts,
                     retries and the deadlock watchdog.
   --fault-seed N    seed for probabilistic fault rules    (default 0x5eed)
-  --errors          print the AER error log and injected-fault tallies
+  --recovery POLICY arm the AER-driven recovery escalation ladder
+                    (downtrain -> FLR -> containment -> hot reset ->
+                    quarantine, docs/FAULTS.md). POLICY is default,
+                    aggressive or conservative, optionally followed by
+                    ,key=value overrides (e.g. "default,max-resets=4");
+                    none disarms. Bandwidth runs report goodput before/
+                    during/after the ladder's active window.
+  --errors          print the AER error log, injected-fault tallies and
+                    (when --recovery armed) the recovery transition log
 
 self-checking options (run):
   --monitors        arm the invariant monitors (credit/tag/payload/replay
@@ -118,6 +127,12 @@ chaos options:
   --no-shrink       report the first failure without minimizing it
   --seed-bug        TEST-ONLY: plant the known credit-leak bug so the
                     campaign demonstrably catches and shrinks a failure
+  --recovery POLICY arm the recovery ladder in every trial (same grammar
+                    as run); trial outcomes gain the ladder's final state
+                    and transition digest, carried through journals
+  --throw-monitors  monitors throw at the violating event instead of
+                    recording (first violation aborts the trial with a
+                    stack-proximate diagnostic)
   --csv FILE        write the canonical per-trial CSV (isolated mode)
   --artifacts DIR   quarantine-artifact directory (default <journal>/artifacts)
 
@@ -183,6 +198,15 @@ double parse_f64(const char* key, const std::string& s) {
     usage(("bad value '" + s + "' for --" + key).c_str());
   }
   return v;
+}
+
+/// `--recovery POLICY` (run and chaos); absent = "none" = never armed.
+fault::RecoveryPolicy parse_recovery(const std::string& spec) {
+  try {
+    return fault::parse_recovery_policy(spec);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
 }
 
 std::uint64_t parse_size(const std::string& s) {
@@ -272,7 +296,8 @@ Args parse_args(int argc, char** argv, int start,
 const std::set<std::string> kRunValueKeys = {
     "system", "bench",  "size", "offset", "window",  "pattern", "cache",
     "numa",   "iommu",  "pages", "iters", "warmup",  "seed",    "trace",
-    "counters", "faults", "fault-seed", "telemetry", "telemetry-interval"};
+    "counters", "faults", "fault-seed", "recovery", "telemetry",
+    "telemetry-interval"};
 const std::set<std::string> kRunFlagKeys = {"cdf",    "histogram", "timeseries",
                                             "cmd-if", "breakdown", "errors",
                                             "monitors", "telemetry"};
@@ -287,9 +312,9 @@ const std::set<std::string> kSuiteFlagKeys = {"telemetry"};
 const std::set<std::string> kChaosValueKeys = {
     "trials", "master-seed", "iters", "csv", "artifacts", "threads",
     "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
-    "resume", "telemetry"};
+    "resume", "telemetry", "recovery"};
 const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug",
-                                              "telemetry"};
+                                              "telemetry", "throw-monitors"};
 const std::set<std::string> kPerfValueKeys = {"json"};
 const std::set<std::string> kPerfFlagKeys = {"quick", "profile"};
 
@@ -410,6 +435,7 @@ sim::SystemConfig configured_system(const Args& args,
     cfg.fault_plan = fault::parse_plan(faults);
     cfg.fault_plan.seed = parse_u64("fault-seed", args.get("fault-seed", "0x5eed"));
   }
+  cfg.recovery = parse_recovery(args.get("recovery", "none"));
   return cfg;
 }
 
@@ -468,6 +494,9 @@ int cmd_run(const Args& args) {
     std::printf("%s", system.aer().to_table().c_str());
     if (auto* inj = system.fault_injector()) {
       std::printf("%s", inj->to_table().c_str());
+    }
+    if (const auto* rec = system.recovery()) {
+      std::printf("%s", rec->to_table().c_str());
     }
   }
   if (oopts.breakdown) {
@@ -597,6 +626,8 @@ int cmd_chaos(const Args& args) {
   cfg.iterations = parse_u64("iters", args.get("iters", "400"));
   cfg.shrink = !args.has_flag("no-shrink");
   cfg.seed_credit_leak_bug = args.has_flag("seed-bug");
+  cfg.recovery = parse_recovery(args.get("recovery", "none"));
+  cfg.monitors_throw = args.has_flag("throw-monitors");
   const TelemetryOpt telemetry = parse_telemetry(args);
   cfg.telemetry = telemetry.enabled;
 
@@ -632,6 +663,10 @@ int cmd_chaos(const Args& args) {
       std::fprintf(stderr, "wrote campaign latency digests to %s\n",
                    telemetry.file.c_str());
     }
+  }
+  if (cfg.recovery.enabled) {
+    std::printf("recovery: ladder fired in %zu trial(s), %zu quarantined\n",
+                result.trials_recovered, result.trials_quarantined);
   }
   if (result.ok()) {
     std::printf("chaos: %zu/%zu trials passed\n", result.trials_run,

@@ -71,6 +71,14 @@ std::string serialize_worker_result(const TrialOutcome& out) {
     os << "recovery=" << exec::escape_line(out.recovery_digest) << '\n'
        << "recovery_state=" << exec::escape_line(out.recovery_state) << '\n';
   }
+  // Tenant-chaos blast radius: keys written only when nonzero so classic
+  // campaigns serialize exactly as before.
+  if (out.perturbed_victims != 0) {
+    os << "perturbed=" << out.perturbed_victims << '\n';
+  }
+  if (out.device_wide_actions != 0) {
+    os << "device_wide=" << out.device_wide_actions << '\n';
+  }
   return os.str();
 }
 
@@ -98,6 +106,14 @@ void check_or_write_meta(const exec::Journal& journal,
   if (chaos.recovery.enabled) {
     os << "recovery=" << exec::escape_line(chaos.recovery.describe()) << '\n';
   }
+  // Tenant keys only when tenant mode is on, so classic journals (no
+  // keys) keep resuming with tenants off.
+  if (chaos.tenants > 0) {
+    os << "tenants=" << chaos.tenants << '\n'
+       << "attacker=" << chaos.attacker << '\n'
+       << "isolation=" << (chaos.isolation_weakened ? "weakened" : "armed")
+       << '\n';
+  }
   if (resume && fs::exists(path)) {
     std::string header;
     const auto kv = parse_kv(exec::read_file(path), &header);
@@ -108,11 +124,17 @@ void check_or_write_meta(const exec::Journal& journal,
         kv_u64(kv, "iters") != chaos.iterations ||
         kv_u64(kv, "telemetry") != (chaos.telemetry ? 1u : 0u) ||
         kv_str(kv, "recovery") !=
-            (chaos.recovery.enabled ? chaos.recovery.describe() : "")) {
+            (chaos.recovery.enabled ? chaos.recovery.describe() : "") ||
+        kv_u64(kv, "tenants") != chaos.tenants ||
+        kv_u64(kv, "attacker") != chaos.attacker ||
+        kv_str(kv, "isolation") !=
+            (chaos.tenants > 0
+                 ? (chaos.isolation_weakened ? "weakened" : "armed")
+                 : "")) {
       throw exec::InfraError(
           "resume: journal " + journal.dir() +
           " was written by a different campaign "
-          "(seed/iters/telemetry/recovery mismatch)");
+          "(seed/iters/telemetry/recovery/tenants mismatch)");
     }
     return;
   }
@@ -176,6 +198,8 @@ std::string TrialRecord::serialize() const {
     os << "recovery=" << exec::escape_line(recovery) << '\n'
        << "recovery_state=" << exec::escape_line(recovery_state) << '\n';
   }
+  if (perturbed != 0) os << "perturbed=" << perturbed << '\n';
+  if (device_wide != 0) os << "device_wide=" << device_wide << '\n';
   return os.str();
 }
 
@@ -201,6 +225,8 @@ std::optional<TrialRecord> TrialRecord::deserialize(
   rec.digests = kv_str(kv, "digests");
   rec.recovery = kv_str(kv, "recovery");
   rec.recovery_state = kv_str(kv, "recovery_state");
+  rec.perturbed = kv_u64(kv, "perturbed");
+  rec.device_wide = kv_u64(kv, "device_wide");
   rec.resumed = true;
   return rec;
 }
@@ -217,6 +243,11 @@ std::string TrialRecord::summary_line() const {
   if (!recovery_state.empty()) {
     out += " | recovery: " + recovery_state;
     if (!recovery.empty()) out += " [" + recovery + "]";
+  }
+  if (perturbed != 0 || device_wide != 0) {
+    out += " | blast: " + std::to_string(perturbed) + " tenant" +
+           (perturbed == 1 ? "" : "s") + ", " + std::to_string(device_wide) +
+           " device-wide";
   }
   if (!first_violation.empty()) out += " | first: " + first_violation;
   if (!error.empty()) out += " | error: " + error;
@@ -251,19 +282,27 @@ std::string ExecCampaignResult::summary_text(const ChaosConfig& cfg) const {
        << (trials_recovered == 1 ? "" : "s") << ", " << trials_quarantined
        << " quarantined\n";
   }
+  if (cfg.tenants > 0) {
+    os << "isolation (" << (cfg.isolation_weakened ? "weakened" : "armed")
+       << "): blast radius " << perturbed_victims << " perturbed tenant-run"
+       << (perturbed_victims == 1 ? "" : "s") << ", " << device_wide_actions
+       << " device-wide recovery action"
+       << (device_wide_actions == 1 ? "" : "s") << '\n';
+  }
   return os.str();
 }
 
 void ExecCampaignResult::write_csv(const std::string& path) const {
   std::ostringstream os;
   os << "trial,status,classification,violations,first_violation,error,spec,"
-        "recovery_state,recovery\n";
+        "recovery_state,recovery,perturbed,device_wide\n";
   for (const auto& r : records) {
     os << r.index << ',' << to_string(r.status) << ','
        << csv_quote(r.classification) << ',' << r.violations << ','
        << csv_quote(r.first_violation) << ',' << csv_quote(r.error) << ','
        << csv_quote(r.spec) << ',' << csv_quote(r.recovery_state) << ','
-       << csv_quote(r.recovery) << '\n';
+       << csv_quote(r.recovery) << ',' << r.perturbed << ','
+       << r.device_wide << '\n';
   }
   exec::atomic_write_file(path, os.str(), /*sync=*/false);
 }
@@ -352,6 +391,8 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
       rec.digests = kv_str(kv, "digests");
       rec.recovery = kv_str(kv, "recovery");
       rec.recovery_state = kv_str(kv, "recovery_state");
+      rec.perturbed = kv_u64(kv, "perturbed");
+      rec.device_wide = kv_u64(kv, "device_wide");
     }
     journal.append(rec.index, rec.serialize());
     if (observe) observe(rec);
@@ -415,6 +456,8 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
     if (rec.resumed) ++res.resumed;
     if (!rec.recovery.empty()) ++res.trials_recovered;
     if (rec.recovery_state == "quarantined") ++res.trials_quarantined;
+    res.perturbed_victims += rec.perturbed;
+    res.device_wide_actions += rec.device_wide;
     if (!rec.digests.empty()) {
       obs::DigestSet set;
       // Malformed digests (hand-edited journal) are dropped, not fatal:

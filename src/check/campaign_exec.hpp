@@ -72,6 +72,11 @@ struct TrialRecord {
   /// resumed/forked campaigns summarize byte-identically.
   std::string recovery;
   std::string recovery_state;
+  /// Tenant-chaos blast radius (zero for classic trials): victims
+  /// perturbed by the attacker and device-wide recovery actions.
+  /// Journal-carried only when nonzero so classic records are unchanged.
+  std::uint64_t perturbed = 0;
+  std::uint64_t device_wide = 0;
   bool resumed = false;         ///< loaded from the journal, not re-run
 
   /// Canonical journal payload ("pcieb-trial v1" + key=value lines).
@@ -104,6 +109,9 @@ struct ExecCampaignResult {
   /// Recovery-ladder tallies (zero when chaos.recovery was disarmed).
   std::size_t trials_recovered = 0;    ///< trials where the ladder fired
   std::size_t trials_quarantined = 0;  ///< trials ending quarantined
+  /// Tenant-chaos blast-radius tallies (zero for classic campaigns).
+  std::uint64_t perturbed_victims = 0;
+  std::uint64_t device_wide_actions = 0;
 
   bool all_ok() const { return violation == 0 && quarantined == 0; }
 

@@ -5,10 +5,13 @@
 #include <memory>
 #include <sstream>
 
+#include "check/tenant_monitors.hpp"
 #include "common/rng.hpp"
 #include "core/runner.hpp"
+#include "core/tenant_runner.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/system.hpp"
+#include "sim/vf.hpp"
 #include "sysconfig/profiles.hpp"
 
 namespace pcieb::check {
@@ -98,14 +101,61 @@ fault::FaultRule random_rule(Xoshiro256& rng) {
   return r;
 }
 
+/// Attacker rules for tenant trials: TLP-scoped kinds only — Downtrain
+/// and LinkDown change physical port state that is not attributable to
+/// one requester ID — and every clause carries the attacker's vf:
+/// predicate, so the plan names exactly whose traffic it may touch.
+fault::FaultRule random_tenant_rule(Xoshiro256& rng, unsigned attacker) {
+  using fault::FaultKind;
+  static constexpr FaultKind kinds[] = {
+      FaultKind::LinkDrop, FaultKind::LinkCorrupt, FaultKind::AckLoss,
+      FaultKind::Poison,   FaultKind::CplUr,       FaultKind::CplCa,
+      FaultKind::IommuFault};
+  fault::FaultRule r;
+  r.kind = kinds[rng.below(std::size(kinds))];
+  r.vf = static_cast<int>(attacker);
+
+  // Exactly one trigger: a one-shot index, a period, or a probability.
+  switch (rng.below(3)) {
+    case 0: r.nth = 1 + rng.below(1500); break;
+    case 1: r.every = 50 + rng.below(450); break;
+    default: r.prob = 0.001 + 0.02 * rng.uniform(); break;
+  }
+
+  const bool link_site =
+      r.kind == FaultKind::LinkDrop || r.kind == FaultKind::LinkCorrupt ||
+      r.kind == FaultKind::AckLoss || r.kind == FaultKind::Poison;
+  if (link_site && rng.below(2) == 0) {
+    r.dir = rng.below(2) == 0 ? fault::LinkDir::Up : fault::LinkDir::Down;
+  }
+  if (r.kind == FaultKind::LinkCorrupt && rng.below(3) == 0) {
+    r.count = 2 + rng.below(3);
+  }
+  if (rng.below(5) == 0) {
+    const Picos lo = from_micros(rng.below(300));
+    r.from = lo;
+    r.until = lo + from_micros(50 + rng.below(400));
+  }
+  return r;
+}
+
 /// Simpler variants of one rule: each clears one optional predicate back
 /// to its default (a cleared predicate admits MORE TLPs, so a failure
 /// that survives is a strictly smaller reproducer in spec terms).
-std::vector<fault::FaultRule> simplified_rules(const fault::FaultRule& r) {
+/// `keep_vf` pins the vf: clause — in a tenant trial it is the plan's
+/// meaning (which RID the attacker may touch); clearing it would fault
+/// victim traffic directly and "fail" for the wrong reason.
+std::vector<fault::FaultRule> simplified_rules(const fault::FaultRule& r,
+                                               bool keep_vf) {
   std::vector<fault::FaultRule> out;
   const auto push_if_changed = [&](fault::FaultRule c) {
     if (!(c == r)) out.push_back(std::move(c));
   };
+  if (!keep_vf) {
+    fault::FaultRule c = r;
+    c.vf = -1;
+    push_if_changed(c);
+  }
   {
     fault::FaultRule c = r;
     c.from = 0;
@@ -148,18 +198,39 @@ std::string TrialSpec::describe() const {
      << " iters=" << params.iterations
      << " faults=" << (plan.empty() ? "none" : plan.describe());
   if (recovery.enabled) os << " recovery=" << recovery.describe();
+  if (tenants > 0) {
+    os << " tenants=" << tenants << " attacker=" << attacker
+       << " isolation=" << (isolation_weakened ? "weakened" : "armed");
+    if (seed_misroute_bug) os << " seed-misroute-bug";
+  }
   return os.str();
 }
 
 std::string TrialSpec::repro_command() const {
-  return core::cli_run_command(system, params, iommu,
-                               plan.empty() ? "" : plan.describe(), plan.seed,
-                               /*monitors=*/true,
-                               recovery.enabled ? recovery.describe() : "");
+  std::string cmd =
+      core::cli_run_command(system, params, iommu,
+                           plan.empty() ? "" : plan.describe(), plan.seed,
+                           /*monitors=*/true,
+                           recovery.enabled ? recovery.describe() : "");
+  if (tenants > 0) {
+    cmd += " --tenants " + std::to_string(tenants) + " --attacker " +
+           std::to_string(attacker);
+    if (isolation_weakened) cmd += " --isolation weakened";
+  }
+  return cmd;
 }
 
 std::string TrialOutcome::summary() const {
-  if (!failed) return "ok";
+  if (!failed) {
+    if (perturbed_victims == 0 && device_wide_actions == 0) return "ok";
+    // Weakened-isolation trial: the blast radius is the result.
+    std::ostringstream ok;
+    ok << "ok (blast radius: " << perturbed_victims << " perturbed tenant"
+       << (perturbed_victims == 1 ? "" : "s") << ", " << device_wide_actions
+       << " device-wide action" << (device_wide_actions == 1 ? "" : "s")
+       << ")";
+    return ok.str();
+  }
   std::ostringstream os;
   os << "FAILED:";
   if (!error.empty()) os << " " << first_line(error);
@@ -208,19 +279,160 @@ TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index) {
 
   const std::size_t nrules = rng.below(7);  // 0..6; 0 = fault-free trial
   for (std::size_t i = 0; i < nrules; ++i) {
-    t.plan.rules.push_back(random_rule(rng));
+    t.plan.rules.push_back(cfg.tenants > 0
+                               ? random_tenant_rule(rng, cfg.attacker)
+                               : random_rule(rng));
   }
   t.plan.seed = rng.next();
-  t.seed_credit_leak_bug = cfg.seed_credit_leak_bug;
+  t.seed_credit_leak_bug = cfg.seed_credit_leak_bug && cfg.tenants == 0;
   // Campaign-level knobs ride along after the RNG stream is spent, so a
   // recovery-armed campaign visits the exact same trial specs as a plain
   // one — the ladder is the only delta.
   t.recovery = cfg.recovery;
+  t.tenants = cfg.tenants;
+  t.attacker = cfg.attacker;
+  t.isolation_weakened = cfg.isolation_weakened;
+  t.seed_misroute_bug = cfg.seed_misroute_bug && cfg.tenants > 0;
   return t;
 }
 
+namespace {
+
+/// One run of a tenant trial: the per-victim identity artifacts plus
+/// everything the outcome reports.
+struct TenantRunArtifacts {
+  /// Per-VF victim artifact — serialized latency digest + counter line
+  /// ("" for the attacker's slot, which is not compared).
+  std::vector<std::string> victim;
+  std::uint64_t total_violations = 0;
+  std::vector<Violation> violations;
+  std::string error;
+  std::uint64_t events = 0;
+  std::uint64_t tlps = 0;
+  std::uint64_t device_wide_actions = 0;
+  std::string recovery_digest;
+  std::string recovery_state;
+  obs::DigestSet digests;
+};
+
+TenantRunArtifacts run_tenant_once(const TrialSpec& spec, bool armed,
+                                   bool telemetry, bool throw_monitors) {
+  TenantRunArtifacts a;
+  sim::MultiTenantConfig mc;
+  mc.base = sys::profile_by_name(spec.system).config;
+  if (spec.iommu) {
+    mc.base = sys::with_iommu(mc.base, true, spec.params.page_bytes);
+  }
+  if (armed) mc.base.fault_plan = spec.plan;
+  mc.base.recovery = spec.recovery;
+  // Unconditional (not plan-gated as in the classic path): the victim's
+  // event schedule must be identical whether or not the attacker's plan
+  // rides along, or the differential identity would compare two
+  // different simulations.
+  mc.base.watchdog.max_sim_time = kTrialMaxSimTime;
+  mc.tenants = spec.tenants;
+  mc.isolation = spec.isolation_weakened
+                     ? sim::TenantIsolation::all_weakened()
+                     : sim::TenantIsolation::all_armed();
+
+  sim::MultiTenantSystem system(mc);
+  if (armed && spec.seed_misroute_bug) system.test_misroute_completions(true);
+  MonitorConfig mon_cfg;
+  mon_cfg.throw_on_violation = throw_monitors;
+  TenantMonitorSuite monitors(system, mon_cfg);
+  std::vector<core::TenantResult> results;
+  try {
+    results = core::run_tenant_bench(system, spec.params);
+    monitors.check_quiescent();
+  } catch (const std::exception& e) {
+    a.error = e.what();
+  }
+  a.total_violations = monitors.total_violations();
+  a.violations = monitors.violations();
+  a.events = system.sim().executed();
+  a.tlps = system.upstream().tlps_sent() + system.downstream().tlps_sent();
+  a.device_wide_actions = system.device_wide_actions();
+  if (const auto* rec = system.recovery(spec.attacker)) {
+    a.recovery_digest = rec->digest();
+    a.recovery_state = fault::to_string(rec->state());
+  }
+  a.victim.resize(spec.tenants);
+  for (const auto& r : results) {
+    if (r.vf == spec.attacker) continue;
+    a.victim[r.vf] = r.latency.serialize() + "\n" + r.counters;
+  }
+  if (telemetry) {
+    for (const auto& r : results) {
+      a.digests.at("vf" + std::to_string(r.vf)).merge(r.latency);
+    }
+  }
+  return a;
+}
+
+/// Tenant trial: run with the attacker's plan armed, run again with it
+/// stripped (everything else identical), and byte-compare each victim's
+/// artifact between the runs. Armed isolation: any mismatch is an
+/// isolation violation. Weakened isolation: mismatches are the measured
+/// blast radius, reported but not failed.
+TrialOutcome run_tenant_trial(const TrialSpec& spec, bool telemetry,
+                              bool throw_monitors) {
+  TrialOutcome out;
+  TenantRunArtifacts armed =
+      run_tenant_once(spec, /*armed=*/true, telemetry, throw_monitors);
+  const TenantRunArtifacts control =
+      run_tenant_once(spec, /*armed=*/false, /*telemetry=*/false,
+                      /*throw_monitors=*/false);
+
+  out.total_violations = armed.total_violations;
+  out.violations = std::move(armed.violations);
+  out.error = armed.error;
+  if (!control.error.empty()) {
+    // The fault-free control run must never abort; if it does, the
+    // trial is broken, not the isolation.
+    out.error += (out.error.empty() ? "" : "; ");
+    out.error += "control run: " + control.error;
+  }
+  out.events = armed.events;
+  out.tlps = armed.tlps;
+  out.device_wide_actions = armed.device_wide_actions;
+  out.recovery_digest = armed.recovery_digest;
+  out.recovery_state = armed.recovery_state;
+  out.digests = std::move(armed.digests);
+
+  std::string first_perturbed;
+  if (armed.error.empty() && control.error.empty()) {
+    for (unsigned vf = 0; vf < spec.tenants; ++vf) {
+      if (vf == spec.attacker) continue;
+      if (armed.victim[vf] != control.victim[vf]) {
+        ++out.perturbed_victims;
+        if (first_perturbed.empty()) first_perturbed = std::to_string(vf);
+      }
+    }
+  }
+  if (!spec.isolation_weakened && out.perturbed_victims > 0) {
+    Violation v;
+    v.monitor = "isolation";
+    v.when = 0;
+    v.detail = std::to_string(out.perturbed_victims) +
+               " victim VF(s) perturbed by attacker vf" +
+               std::to_string(spec.attacker) +
+               "'s fault plan (first: vf" + first_perturbed +
+               ") — latency digest or counters differ from the " +
+               "attacker-stripped control run";
+    ++out.total_violations;
+    out.violations.insert(out.violations.begin(), std::move(v));
+  }
+  out.failed = !out.error.empty() || out.total_violations > 0;
+  return out;
+}
+
+}  // namespace
+
 TrialOutcome run_trial(const TrialSpec& spec, bool telemetry,
                        bool throw_monitors) {
+  if (spec.tenants > 0) {
+    return run_tenant_trial(spec, telemetry, throw_monitors);
+  }
   TrialOutcome out;
   auto cfg = sys::profile_by_name(spec.system).config;
   if (spec.iommu) cfg = sys::with_iommu(cfg, true, spec.params.page_bytes);
@@ -314,7 +526,8 @@ ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget,
     bool simplified = true;
     while (simplified) {
       simplified = false;
-      for (const auto& simpler : simplified_rules(res.minimal.plan.rules[i])) {
+      for (const auto& simpler : simplified_rules(
+               res.minimal.plan.rules[i], /*keep_vf=*/res.minimal.tenants > 0)) {
         TrialSpec cand = res.minimal;
         cand.plan.rules[i] = simpler;
         if (attempt(std::move(cand))) {
@@ -368,6 +581,8 @@ CampaignResult run_campaign_threaded(const ChaosConfig& cfg,
     res.digests.merge(outs[i].digests);
     if (!outs[i].recovery_digest.empty()) ++res.trials_recovered;
     if (outs[i].recovery_state == "quarantined") ++res.trials_quarantined;
+    res.perturbed_victims += outs[i].perturbed_victims;
+    res.device_wide_actions += outs[i].device_wide_actions;
     if (outs[i].failed) {
       ++res.failures;
       res.first_failure = specs[i];
@@ -395,6 +610,8 @@ CampaignResult run_campaign(const ChaosConfig& cfg,
     res.digests.merge(out.digests);
     if (!out.recovery_digest.empty()) ++res.trials_recovered;
     if (out.recovery_state == "quarantined") ++res.trials_quarantined;
+    res.perturbed_victims += out.perturbed_victims;
+    res.device_wide_actions += out.device_wide_actions;
     if (out.failed) {
       ++res.failures;
       res.first_failure = spec;

@@ -48,6 +48,21 @@ struct TrialSpec {
   /// monitor has a known bug to catch (monitor self-tests, --seed-bug).
   bool seed_credit_leak_bug = false;
 
+  /// Tenant-chaos mode (tenants > 0): N SR-IOV VFs share the port, VF
+  /// `attacker` owns the fault plan (every clause vf-scoped to it) and
+  /// the rest are victims. The trial runs TWICE — attacker plan armed,
+  /// then stripped — and byte-compares each victim's latency digest and
+  /// counter line between the runs. 0 = classic single-tenant trial.
+  unsigned tenants = 0;
+  unsigned attacker = 0;
+  /// Weakened isolation (shared wire/IO-TLB/uncore, device-scoped
+  /// recovery): victim perturbation is then the measured blast radius,
+  /// not a failure. Armed (default) makes any perturbation a violation.
+  bool isolation_weakened = false;
+  /// TEST-ONLY: arm sim::MultiTenantSystem::test_misroute_completions so
+  /// the isolation monitors have a known cross-VF bleed to catch.
+  bool seed_misroute_bug = false;
+
   /// One line: system, workload knobs and the fault plan.
   std::string describe() const;
   /// The exact `pciebench run ... --monitors` invocation replaying this
@@ -72,6 +87,13 @@ struct TrialOutcome {
   /// resumed/forked campaigns summarize byte-identically.
   std::string recovery_digest;
   std::string recovery_state;
+  /// Tenant-chaos differential identity (zero for classic trials):
+  /// victims whose digest or counters differed between the armed and the
+  /// stripped run, and device-wide recovery actions one VF's ladder
+  /// performed. Armed isolation turns any perturbation into a violation;
+  /// weakened isolation reports them as the measured blast radius.
+  std::uint64_t perturbed_victims = 0;
+  std::uint64_t device_wide_actions = 0;
 
   std::string summary() const;  ///< one line: pass, or why it failed
 };
@@ -103,6 +125,13 @@ struct ChaosConfig {
   /// recorded and re-run by the shrinker. CI's chaos-recovery leg uses
   /// this; shrinking wants record mode.
   bool monitors_throw = false;
+  /// Tenant-chaos mode: number of SR-IOV VFs per trial (0 = classic),
+  /// which VF carries the fault plan, and whether isolation runs
+  /// weakened (blast-radius measurement) or armed (identity enforcement).
+  unsigned tenants = 0;
+  unsigned attacker = 0;
+  bool isolation_weakened = false;
+  bool seed_misroute_bug = false;  ///< TEST-ONLY, tenant trials only
 };
 
 /// Trial `index` of the campaign — pure in (cfg.master_seed, index).
@@ -149,6 +178,11 @@ struct CampaignResult {
   /// that ended permanently quarantined.
   std::size_t trials_recovered = 0;
   std::size_t trials_quarantined = 0;
+  /// Tenant-chaos blast-radius tallies over the observed trials (zero
+  /// for classic campaigns): perturbed victim-runs and device-wide
+  /// recovery actions, summed.
+  std::uint64_t perturbed_victims = 0;
+  std::uint64_t device_wide_actions = 0;
 
   bool ok() const { return failures == 0; }
 };

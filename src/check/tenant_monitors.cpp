@@ -1,0 +1,178 @@
+#include "check/tenant_monitors.hpp"
+
+#include <sstream>
+
+namespace pcieb::check {
+
+TenantMonitorSuite::TenantMonitorSuite(sim::MultiTenantSystem& system,
+                                       MonitorConfig cfg)
+    : system_(system), cfg_(cfg) {
+  base_.resize(system_.tenants());
+  for (unsigned vf = 0; vf < system_.tenants(); ++vf) {
+    const auto& dev = system_.device(vf);
+    const auto& rc = system_.root_complex(vf);
+    base_[vf] = Baseline{dev.write_payload_issued(),
+                         rc.write_bytes_committed(),
+                         system_.lost_write_bytes(vf),
+                         dev.read_payload_requested(),
+                         dev.read_payload_delivered(),
+                         dev.failed_read_bytes()};
+  }
+  system_.sim().set_check_hook([this](Picos now) { on_step(now); });
+}
+
+TenantMonitorSuite::~TenantMonitorSuite() { system_.sim().set_check_hook({}); }
+
+void TenantMonitorSuite::record(const char* monitor, Picos now,
+                                std::string detail) {
+  ++total_;
+  Violation v{monitor, now, std::move(detail)};
+  if (cfg_.throw_on_violation) throw InvariantError(v);
+  if (violations_.size() < cfg_.max_recorded) violations_.push_back(std::move(v));
+}
+
+void TenantMonitorSuite::on_step(Picos now) {
+  if (clock_seen_ && now < last_now_) {
+    record("clock", now,
+           "event clock moved backwards: " + std::to_string(last_now_) +
+               " ps -> " + std::to_string(now) + " ps");
+  }
+  clock_seen_ = true;
+  last_now_ = now;
+  step_checks(now);
+}
+
+void TenantMonitorSuite::step_checks(Picos now) {
+  for (unsigned vf = 0; vf < system_.tenants(); ++vf) {
+    const auto& dev = system_.device(vf);
+
+    // bleed: no function ever receives another function's TLPs. The
+    // device counts-and-drops them, so the counter moving at all is the
+    // isolation breach.
+    if (dev.foreign_tlps() != 0) {
+      record("bleed", now,
+             vf_tag(vf) + std::to_string(dev.foreign_tlps()) +
+                 " TLPs carried a foreign requester ID (cross-VF bleed)");
+    }
+
+    const std::int64_t credits = dev.posted_credits_available();
+    const std::int64_t window =
+        static_cast<std::int64_t>(dev.profile().posted_credit_bytes);
+    if (credits < 0 || credits > window) {
+      record("credits", now,
+             vf_tag(vf) + "posted credits " + std::to_string(credits) +
+                 " outside [0, " + std::to_string(window) + "]");
+    }
+
+    const std::uint64_t issued = dev.read_requests_issued();
+    const std::uint64_t retired = dev.read_requests_retired();
+    const std::uint64_t inflight = dev.inflight_read_requests();
+    if (retired > issued || issued - retired != inflight) {
+      record("tags", now,
+             vf_tag(vf) + "issued " + std::to_string(issued) +
+                 " != retired " + std::to_string(retired) + " + in-flight " +
+                 std::to_string(inflight) + " (" + dev.outstanding_tags() +
+                 ")");
+    }
+  }
+
+  for (const auto* link : {&system_.upstream(), &system_.downstream()}) {
+    if (link->unacked() > link->tlps_sent()) {
+      record("replay", now,
+             "retry buffer holds " + std::to_string(link->unacked()) +
+                 " TLPs but only " + std::to_string(link->tlps_sent()) +
+                 " were sent");
+    }
+  }
+}
+
+void TenantMonitorSuite::check_now() { step_checks(system_.sim().now()); }
+
+void TenantMonitorSuite::check_quiescent() {
+  const Picos now = system_.sim().now();
+  step_checks(now);
+
+  for (unsigned vf = 0; vf < system_.tenants(); ++vf) {
+    const auto& dev = system_.device(vf);
+    const auto& rc = system_.root_complex(vf);
+    const Baseline& base = base_[vf];
+
+    const std::int64_t credits = dev.posted_credits_available();
+    const std::int64_t window =
+        static_cast<std::int64_t>(dev.profile().posted_credit_bytes);
+    if (credits != window) {
+      record("credits", now,
+             vf_tag(vf) + "at quiesce " + std::to_string(credits) + " of " +
+                 std::to_string(window) +
+                 " posted credit bytes returned (leaked " +
+                 std::to_string(window - credits) + ")");
+    }
+
+    if (dev.inflight_read_requests() != 0 || dev.pending_read_ops() != 0 ||
+        dev.pending_write_tlps() != 0 || rc.posted_writes_pending() != 0 ||
+        rc.host_reads_pending() != 0 || rc.ordered_reads_pending() != 0) {
+      record("tags", now,
+             vf_tag(vf) + "work outstanding at quiesce: read requests " +
+                 std::to_string(dev.inflight_read_requests()) + " (" +
+                 dev.outstanding_tags() + "), read ops " +
+                 std::to_string(dev.pending_read_ops()) + ", queued writes " +
+                 std::to_string(dev.pending_write_tlps()) + ", rc posted " +
+                 std::to_string(rc.posted_writes_pending()) +
+                 ", rc host reads " + std::to_string(rc.host_reads_pending()) +
+                 ", rc ordered reads " +
+                 std::to_string(rc.ordered_reads_pending()));
+    }
+
+    // payload: conserved per tenant — an aggregate-only check would let a
+    // byte leak from one VF's ledger into another's without firing.
+    const std::uint64_t wr_issued =
+        dev.write_payload_issued() - base.write_issued;
+    const std::uint64_t wr_committed =
+        rc.write_bytes_committed() - base.write_committed;
+    const std::uint64_t wr_lost =
+        system_.lost_write_bytes(vf) - base.write_lost;
+    if (wr_issued != wr_committed + wr_lost) {
+      record("payload", now,
+             vf_tag(vf) + "write bytes not conserved: issued " +
+                 std::to_string(wr_issued) + " != committed " +
+                 std::to_string(wr_committed) + " + lost " +
+                 std::to_string(wr_lost));
+    }
+    const std::uint64_t rd_requested =
+        dev.read_payload_requested() - base.read_requested;
+    const std::uint64_t rd_delivered =
+        dev.read_payload_delivered() - base.read_delivered;
+    const std::uint64_t rd_failed = dev.failed_read_bytes() - base.read_failed;
+    if (rd_requested != rd_delivered + rd_failed) {
+      record("payload", now,
+             vf_tag(vf) + "read bytes not conserved: requested " +
+                 std::to_string(rd_requested) + " != delivered " +
+                 std::to_string(rd_delivered) + " + failed " +
+                 std::to_string(rd_failed));
+    }
+  }
+
+  if (system_.upstream().unacked() != 0 ||
+      system_.downstream().unacked() != 0) {
+    record("replay", now,
+           "retry buffers not empty at quiesce: up " +
+               std::to_string(system_.upstream().unacked()) + ", down " +
+               std::to_string(system_.downstream().unacked()));
+  }
+}
+
+std::string TenantMonitorSuite::report() const {
+  if (total_ == 0) return "tenant monitors: all isolation invariants held\n";
+  std::ostringstream os;
+  for (const auto& v : violations_) os << v.format() << "\n";
+  if (total_ > violations_.size()) {
+    os << "... and " << (total_ - violations_.size())
+       << " further violations past the recording cap\n";
+  }
+  os << "tenant monitors: " << total_ << " violation"
+     << (total_ == 1 ? "" : "s") << " (" << violations_.size()
+     << " recorded)\n";
+  return os.str();
+}
+
+}  // namespace pcieb::check

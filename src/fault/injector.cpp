@@ -10,11 +10,15 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_(plan), rng_(plan.seed) {}
 
 bool FaultInjector::matches(const FaultRule& rule, std::uint64_t ordinal,
-                            std::uint64_t addr, Picos now) {
+                            std::uint64_t addr, Picos now, unsigned func) {
   if (now < rule.from || now >= rule.until) return false;
   if (addr < rule.addr_lo || addr > rule.addr_hi) return false;
   if (rule.nth != 0 && ordinal != rule.nth) return false;
   if (rule.every != 0 && ordinal % rule.every != 0) return false;
+  // vf= is checked before the probability draw: another function's TLPs
+  // must never consume randomness, or arming a per-VF fault plan would
+  // perturb the other tenants' fault sequences (isolation identity).
+  if (rule.vf >= 0 && static_cast<unsigned>(rule.vf) != func) return false;
   // The probability draw comes last so deterministic predicate misses
   // never consume randomness — keeps fault sequences stable when rules
   // are added or reordered.
@@ -32,19 +36,19 @@ LinkTxDecision FaultInjector::on_link_tx(const proto::Tlp& tlp, bool upstream,
     if (!dir_ok) continue;
     switch (rule.kind) {
       case FaultKind::LinkDrop:
-        if (!d.drop && matches(rule, ordinal, tlp.addr, now)) {
+        if (!d.drop && matches(rule, ordinal, tlp.addr, now, tlp.func)) {
           d.drop = true;
           tally(FaultKind::LinkDrop);
         }
         break;
       case FaultKind::LinkCorrupt:
-        if (matches(rule, ordinal, tlp.addr, now)) {
+        if (matches(rule, ordinal, tlp.addr, now, tlp.func)) {
           d.corrupt_attempts += static_cast<unsigned>(rule.count);
           tally(FaultKind::LinkCorrupt);
         }
         break;
       case FaultKind::AckLoss:
-        if (matches(rule, ordinal, tlp.addr, now)) {
+        if (matches(rule, ordinal, tlp.addr, now, tlp.func)) {
           d.ack_losses += static_cast<unsigned>(rule.count);
           tally(FaultKind::AckLoss);
         }
@@ -52,13 +56,13 @@ LinkTxDecision FaultInjector::on_link_tx(const proto::Tlp& tlp, bool upstream,
       case FaultKind::Poison:
         // Only payload-carrying TLPs can be poisoned (EP covers data).
         if (!d.poison && tlp.payload > 0 &&
-            matches(rule, ordinal, tlp.addr, now)) {
+            matches(rule, ordinal, tlp.addr, now, tlp.func)) {
           d.poison = true;
           tally(FaultKind::Poison);
         }
         break;
       case FaultKind::LinkDown:
-        if (!d.linkdown && matches(rule, ordinal, tlp.addr, now)) {
+        if (!d.linkdown && matches(rule, ordinal, tlp.addr, now, tlp.func)) {
           d.linkdown = true;
           tally(FaultKind::LinkDown);
         }
@@ -76,7 +80,7 @@ CplFault FaultInjector::on_completion(const proto::Tlp& req, Picos now) {
     if (rule.kind != FaultKind::CplUr && rule.kind != FaultKind::CplCa) {
       continue;
     }
-    if (matches(rule, ordinal, req.addr, now)) {
+    if (matches(rule, ordinal, req.addr, now, req.func)) {
       tally(rule.kind);
       return rule.kind == FaultKind::CplUr ? CplFault::UnsupportedRequest
                                            : CplFault::CompleterAbort;
@@ -86,12 +90,12 @@ CplFault FaultInjector::on_completion(const proto::Tlp& req, Picos now) {
 }
 
 bool FaultInjector::on_translate(std::uint64_t addr, bool is_write,
-                                 Picos now) {
+                                 Picos now, unsigned func) {
   (void)is_write;
   const std::uint64_t ordinal = ++translations_;
   for (const auto& rule : plan_.rules) {
     if (rule.kind != FaultKind::IommuFault) continue;
-    if (matches(rule, ordinal, addr, now)) {
+    if (matches(rule, ordinal, addr, now, func)) {
       tally(FaultKind::IommuFault);
       return true;
     }

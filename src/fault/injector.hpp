@@ -48,8 +48,10 @@ class FaultInjector {
 
   LinkTxDecision on_link_tx(const proto::Tlp& tlp, bool upstream, Picos now);
   CplFault on_completion(const proto::Tlp& req, Picos now);
-  /// True = translation fails for the page containing `addr`.
-  bool on_translate(std::uint64_t addr, bool is_write, Picos now);
+  /// True = translation fails for the page containing `addr`. `func` is
+  /// the requesting function (IOMMU domain) for vf= predicates.
+  bool on_translate(std::uint64_t addr, bool is_write, Picos now,
+                    unsigned func = 0);
   /// The downtrain rule whose window covers `now`, or nullptr. Rules are
   /// checked in plan order; the first match wins.
   const FaultRule* downtrain_now(Picos now) const;
@@ -68,7 +70,7 @@ class FaultInjector {
 
  private:
   bool matches(const FaultRule& rule, std::uint64_t ordinal,
-               std::uint64_t addr, Picos now);
+               std::uint64_t addr, Picos now, unsigned func);
   void tally(FaultKind k) { ++injected_[static_cast<std::size_t>(k)]; }
 
   FaultPlan plan_;

@@ -129,6 +129,10 @@ FaultRule parse_rule(const std::string& text) {
       if (value == "up") rule.dir = LinkDir::Up;
       else if (value == "down") rule.dir = LinkDir::Down;
       else bad_spec("dir must be up or down");
+    } else if (key == "vf") {
+      const std::uint64_t v = parse_u64(value, key);
+      if (v > 255) bad_spec("vf must be in 0..255, got '" + value + "'");
+      rule.vf = static_cast<int>(v);
     } else if (key == "lanes") {
       const std::uint64_t v = parse_u64(value, key);
       if (v == 0 || (v & (v - 1)) != 0 || v > 32) {
@@ -147,6 +151,11 @@ FaultRule parse_rule(const std::string& text) {
   }
   if (rule.kind != FaultKind::Downtrain && (rule.lanes != 0 || rule.gen != 0)) {
     bad_spec("lanes=/gen= only apply to downtrain rules");
+  }
+  if (rule.vf >= 0 &&
+      (rule.kind == FaultKind::Downtrain || rule.kind == FaultKind::LinkDown)) {
+    bad_spec("vf= cannot scope " + std::string(to_string(rule.kind)) +
+             " (physical-layer faults hit the whole link)");
   }
   return rule;
 }
@@ -201,6 +210,7 @@ std::string FaultRule::describe() const {
     emit(a.str());
   }
   if (dir != LinkDir::Both) emit(std::string("dir=") + (dir == LinkDir::Up ? "up" : "down"));
+  if (vf >= 0) emit("vf=" + std::to_string(vf));
   if (lanes) emit("lanes=" + std::to_string(lanes));
   if (gen) emit("gen=" + std::to_string(gen));
   return os.str();

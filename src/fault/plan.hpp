@@ -22,6 +22,9 @@
 //            time=A-B    only within sim-time window (e.g. 10us-2ms)
 //            addr=L-H    only for targets in [L,H] (0x hex accepted)
 //            dir=up|down restrict to one link direction
+//            vf=K        restrict to TLPs of SR-IOV function K (multi-
+//                        tenant systems; rejected on downtrain/linkdown,
+//                        which are physical-layer, link-wide events)
 //            lanes=N     downtrain: new lane count
 //            gen=G       downtrain: new generation (1..5)
 //
@@ -76,6 +79,12 @@ struct FaultRule {
   Picos until = std::numeric_limits<Picos>::max();  ///< window end (exclusive)
   std::uint64_t addr_lo = 0;
   std::uint64_t addr_hi = std::numeric_limits<std::uint64_t>::max();
+
+  /// Restrict to one SR-IOV function's TLPs (-1 = any function). Checked
+  /// before the probability draw, so TLPs of other functions never
+  /// consume randomness — the property the tenant-isolation identity
+  /// relies on. Not valid on Downtrain/LinkDown (link-wide events).
+  int vf = -1;
 
   /// Consecutive transmission attempts affected when the rule fires —
   /// corrupt@count=5 NAKs one TLP five times in a row, driving the DLL

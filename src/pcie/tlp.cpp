@@ -104,6 +104,7 @@ PackedHeader pack_header(const Tlp& tlp) {
   put_u64(&buf[6], tlp.addr);
   put_u32(&buf[14], tlp.payload);
   put_u32(&buf[18], tlp.read_len);
+  buf[22] = tlp.func;
   return buf;
 }
 
@@ -131,6 +132,7 @@ Tlp unpack_header(const std::uint8_t* data, std::size_t size) {
   t.addr = get_u64(&data[6]);
   t.payload = get_u32(&data[14]);
   t.read_len = get_u32(&data[18]);
+  t.func = data[22];
   validate_fields(t);
   return t;
 }
@@ -141,6 +143,7 @@ std::string Tlp::describe() const {
      << " payload=" << payload << " read_len=" << read_len << " tag=" << tag;
   if (cpl_status != CplStatus::SC) os << " status=" << to_string(cpl_status);
   if (poisoned) os << " EP";
+  if (func != 0) os << " fn=" << static_cast<unsigned>(func);
   return os.str();
 }
 

@@ -56,6 +56,7 @@ struct Tlp {
   std::uint32_t tag = 0;       ///< Transaction tag for request/completion matching.
   CplStatus cpl_status = CplStatus::SC;  ///< Completion status (Cpl/CplD).
   bool poisoned = false;       ///< EP bit: payload known-corrupt in flight.
+  std::uint8_t func = 0;       ///< Requester function number (SR-IOV VF index).
 
   bool is_completion() const {
     return type == TlpType::CplD || type == TlpType::Cpl;
@@ -90,8 +91,9 @@ struct Tlp {
 //   [6..13]  addr            u64 LE
 //   [14..17] payload bytes   u32 LE
 //   [18..21] read_len bytes  u32 LE
+//   [22]     func            requester function number (SR-IOV VF index)
 
-constexpr std::size_t kPackedHeaderBytes = 22;
+constexpr std::size_t kPackedHeaderBytes = 23;
 using PackedHeader = std::array<std::uint8_t, kPackedHeaderBytes>;
 
 /// Pack the header fields. Throws std::invalid_argument when the Tlp is

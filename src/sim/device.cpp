@@ -89,6 +89,7 @@ void DmaDevice::issue_read_requests(std::uint64_t addr, std::uint32_t len,
     read_tags_.acquire([this, req = r, dma_id]() mutable {
       const std::uint32_t tag = next_tag_++;
       req.tag = tag;
+      req.func = func_;
       inflight_reads_.insert(tag, ReadState{req.read_len, dma_id, req, 0, false});
       ++read_reqs_issued_;
       tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
@@ -151,6 +152,7 @@ void DmaDevice::reissue_read(proto::Tlp req, std::uint32_t dma_id,
   read_tags_.acquire([this, req, dma_id, retries]() mutable {
     const std::uint32_t tag = next_tag_++;
     req.tag = tag;
+    req.func = func_;
     inflight_reads_.insert(tag, ReadState{req.read_len, dma_id, req, retries, false});
     ++read_reqs_issued_;
     tags_hwm_ = std::max(tags_hwm_, read_tags_.in_use());
@@ -173,6 +175,20 @@ void DmaDevice::fail_request(std::uint32_t dma_id, const proto::Tlp& req) {
 }
 
 void DmaDevice::on_downstream(const proto::Tlp& tlp) {
+  if (has_rid_ && tlp.func != func_) {
+    // Requester-ID check: a TLP carrying another function's RID reached
+    // this function — cross-VF bleed. Count and drop; the isolation
+    // monitors assert this counter stays zero.
+    ++foreign_tlps_;
+    if (aer_) {
+      aer_->record(tlp.type == proto::TlpType::MemRd ||
+                           tlp.type == proto::TlpType::MemWr
+                       ? fault::ErrorType::MalformedTlp
+                       : fault::ErrorType::UnexpectedCompletion,
+                   sim_.now(), tlp.addr, tlp.tag, tlp.func);
+    }
+    return;
+  }
   if (tlp.type == proto::TlpType::MemWr) {
     if (tlp.poisoned) {
       // Poisoned doorbell: the payload is known-bad, so the CSR update is
@@ -195,6 +211,7 @@ void DmaDevice::on_downstream(const proto::Tlp& tlp) {
     ++mmio_reads_served_;
     if (mmio_handler_) mmio_handler_(tlp, /*is_write=*/false);
     proto::Tlp cpl{proto::TlpType::CplD, tlp.addr, tlp.read_len, 0, tlp.tag};
+    cpl.func = tlp.func;  // completion routes back to the requesting RC
     sim_.after(profile_.mmio_read_latency,
                [this, cpl] { upstream_.send(cpl); });
     return;
@@ -341,8 +358,10 @@ void DmaDevice::send_write_tlps(std::uint64_t addr, std::uint32_t len,
   }
   for (std::size_t i = 0; i < tlp_scratch_.size(); ++i) {
     const bool last = (i + 1 == tlp_scratch_.size());
-    pending_writes_.push_back(PendingWrite{
-        tlp_scratch_[i], last ? std::move(done) : Callback{}, last, dma_id});
+    proto::Tlp tlp = tlp_scratch_[i];
+    tlp.func = func_;
+    pending_writes_.push_back(
+        PendingWrite{tlp, last ? std::move(done) : Callback{}, last, dma_id});
   }
   try_send_pending_writes();
 }
@@ -403,8 +422,12 @@ std::string DmaDevice::outstanding_tags() const {
   inflight_reads_.for_each(
       [&tags](std::uint32_t tag, const ReadState&) { tags.push_back(tag); });
   std::sort(tags.begin(), tags.end());
-  if (tags.empty()) return "none";
-  std::string out = "tags:";
+  // SR-IOV devices prefix their requester ID so a watchdog dump of a
+  // multi-tenant deadlock names the owning function of every stuck tag.
+  const std::string rid =
+      has_rid_ ? "rid 00:00." + std::to_string(func_) + " " : "";
+  if (tags.empty()) return rid + "none";
+  std::string out = rid + "tags:";
   for (const std::uint32_t t : tags) {
     out += ' ';
     out += std::to_string(t);

@@ -161,6 +161,19 @@ class DmaDevice {
   /// Attach AER error reporting (nullptr detaches).
   void set_aer(fault::AerLog* aer) { aer_ = aer; }
 
+  /// SR-IOV: assign this device a requester function number. Every TLP it
+  /// emits is stamped with it, inbound TLPs carrying another function's
+  /// requester ID are counted and dropped (cross-VF tag bleed — the
+  /// isolation monitors assert this stays zero), and watchdog tag dumps
+  /// gain a "rid 00:00.K" prefix naming the owner.
+  void set_function(unsigned func) {
+    func_ = static_cast<std::uint8_t>(func);
+    has_rid_ = true;
+  }
+  unsigned function() const { return func_; }
+  /// Inbound TLPs dropped because their requester function was not ours.
+  std::uint64_t foreign_tlps() const { return foreign_tlps_; }
+
   /// Invoked whenever a DMA read op retires — the watchdog's forward-
   /// progress signal (writes kick via the RC commit hook).
   using ProgressHook = std::function<void()>;
@@ -304,6 +317,9 @@ class DmaDevice {
   Picos fc_stall_ps_ = 0;
   Picos stall_start_ = 0;
   bool stalled_ = false;
+  std::uint8_t func_ = 0;
+  bool has_rid_ = false;
+  std::uint64_t foreign_tlps_ = 0;
 };
 
 }  // namespace pcieb::sim

@@ -1,5 +1,6 @@
 #include "sim/iommu.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +17,40 @@ Iommu::Iommu(Simulator& sim, const IommuConfig& cfg)
   }
 }
 
+void Iommu::configure_domains(unsigned n, bool partitioned) {
+  if (n == 0 || n > 256) {
+    throw std::invalid_argument("Iommu: domain count must be in 1..256");
+  }
+  if (!tlb_.empty() || hits_ != 0 || misses_ != 0) {
+    throw std::logic_error("Iommu: configure_domains after translations");
+  }
+  domains_.clear();
+  partitioned_ = partitioned;
+  if (n == 1 && !partitioned) return;  // single-domain default path
+  domains_.resize(n);
+  if (partitioned) {
+    // Each domain owns an equal slice of the IO-TLB and the walker pool;
+    // a slice is never smaller than one entry/walker so every tenant can
+    // always make forward progress.
+    const unsigned cap = std::max(1u, cfg_.tlb_entries / n);
+    const unsigned wlk = std::max(1u, cfg_.walkers / n);
+    for (auto& d : domains_) {
+      d.capacity = cap;
+      d.walkers = std::make_unique<TokenPool>(sim_, wlk);
+    }
+  }
+}
+
+const Iommu::DomainStats& Iommu::domain_stats(unsigned domain) const {
+  static const DomainStats kEmpty;
+  if (domains_.empty()) return kEmpty;
+  return domains_.at(domain).stats;
+}
+
+void Iommu::set_domain_aer(unsigned domain, fault::AerLog* aer) {
+  domains_.at(domain).aer = aer;
+}
+
 bool Iommu::tlb_lookup(std::uint64_t page) {
   auto it = tlb_.find(page);
   if (it == tlb_.end()) return false;
@@ -30,23 +65,61 @@ void Iommu::tlb_insert(std::uint64_t page) {
     lru_.pop_back();
     tlb_.erase(victim);
     ++evictions_;
+    if (!domains_.empty()) {
+      // Shared-mode eviction bills the domain that loses the entry, not
+      // the one that caused it — the cross-tenant interference signal.
+      ++domains_[victim & 0xff].stats.evictions;
+    }
   }
   lru_.push_front(page);
   tlb_[page] = lru_.begin();
 }
 
-bool Iommu::probe(std::uint64_t addr, bool is_write, bool& fault) {
+bool Iommu::domain_lookup(unsigned domain, std::uint64_t page) {
+  if (!partitioned_) return tlb_lookup(shared_key(domain, page));
+  Domain& d = domains_[domain];
+  auto it = d.tlb.find(page);
+  if (it == d.tlb.end()) return false;
+  d.lru.splice(d.lru.begin(), d.lru, it->second);
+  return true;
+}
+
+void Iommu::domain_insert(unsigned domain, std::uint64_t page) {
+  if (!partitioned_) {
+    tlb_insert(shared_key(domain, page));
+    return;
+  }
+  Domain& d = domains_[domain];
+  if (d.tlb.contains(page)) return;
+  if (d.tlb.size() >= d.capacity) {
+    const std::uint64_t victim = d.lru.back();
+    d.lru.pop_back();
+    d.tlb.erase(victim);
+    ++evictions_;
+    ++d.stats.evictions;
+  }
+  d.lru.push_front(page);
+  d.tlb[page] = d.lru.begin();
+}
+
+bool Iommu::probe(std::uint64_t addr, bool is_write, unsigned domain,
+                  bool& fault) {
   // An injected fault models an unmapped/blocked page: such a page cannot
   // be TLB-resident, so the fault forces the full walk, which discovers
   // the missing leaf — full walk latency, nothing cached.
   if (injector_) {
     obs::ProfScope prof(obs::CostCenter::FaultPredicates);
-    fault = injector_->on_translate(addr, is_write, sim_.now());
+    fault = injector_->on_translate(addr, is_write, sim_.now(), domain);
   } else {
     fault = false;
   }
-  if (!fault && tlb_lookup(addr / cfg_.page_bytes)) {
+  const std::uint64_t page = addr / cfg_.page_bytes;
+  const bool hit =
+      !fault && (domains_.empty() ? tlb_lookup(page)
+                                  : domain_lookup(domain, page));
+  if (hit) {
     ++hits_;
+    if (!domains_.empty()) ++domains_[domain].stats.hits;
     if (trace_) {
       trace_->record({sim_.now(), 0, addr, 0, 0, obs::EventKind::IommuHit,
                       obs::Component::Iommu,
@@ -57,30 +130,43 @@ bool Iommu::probe(std::uint64_t addr, bool is_write, bool& fault) {
   return false;
 }
 
-void Iommu::walk(std::uint64_t addr, bool is_write, bool fault,
-                 CheckedCallback done) {
+void Iommu::walk(std::uint64_t addr, bool is_write, unsigned domain,
+                 bool fault, CheckedCallback done) {
   const std::uint64_t page = addr / cfg_.page_bytes;
   ++misses_;
+  if (!domains_.empty()) ++domains_[domain].stats.misses;
   const Picos requested = sim_.now();
   const Picos occupancy =
       is_write ? cfg_.walk_occupancy_write : cfg_.walk_occupancy_read;
   const Picos latency = cfg_.walk_latency;
-  walkers_.acquire([this, page, addr, is_write, fault, requested, occupancy,
-                    latency, done = std::move(done)]() mutable {
+  // Partitioned mode: the walk queues on the domain's own walker slice,
+  // so one tenant's miss storm cannot starve another's translations.
+  TokenPool& pool = (partitioned_ && !domains_.empty())
+                        ? *domains_[domain].walkers
+                        : walkers_;
+  pool.acquire([this, &pool, page, addr, is_write, domain, fault, requested,
+                occupancy, latency, done = std::move(done)]() mutable {
     // The walker is busy for `occupancy`; the requester additionally waits
     // the full walk latency (occupancy <= latency).
     const Picos start = sim_.now();
-    sim_.after(occupancy, [this] { walkers_.release(); });
-    sim_.at(start + latency, [this, page, addr, is_write, fault, requested,
-                              done = std::move(done)] {
+    sim_.after(occupancy, [&pool] { pool.release(); });
+    sim_.at(start + latency, [this, page, addr, is_write, domain, fault,
+                              requested, done = std::move(done)] {
       if (fault) {
         ++faults_;
-        if (aer_) {
-          aer_->record(fault::ErrorType::IommuFault, sim_.now(), addr, 0,
-                       is_write ? 1 : 0);
+        fault::AerLog* aer = aer_;
+        if (!domains_.empty()) {
+          ++domains_[domain].stats.faults;
+          if (domains_[domain].aer) aer = domains_[domain].aer;
         }
-      } else {
+        if (aer) {
+          aer->record(fault::ErrorType::IommuFault, sim_.now(), addr, 0,
+                      is_write ? 1 : 0);
+        }
+      } else if (domains_.empty()) {
         tlb_insert(page);
+      } else {
+        domain_insert(domain, page);
       }
       if (trace_) {
         // Span covers the requester's whole wait, including any queueing
@@ -98,6 +184,38 @@ void Iommu::walk(std::uint64_t addr, bool is_write, bool fault,
 void Iommu::flush_tlb() {
   tlb_.clear();
   lru_.clear();
+  for (auto& d : domains_) {
+    d.tlb.clear();
+    d.lru.clear();
+  }
+}
+
+void Iommu::flush_domain(unsigned domain) {
+  if (domains_.empty()) {
+    flush_tlb();
+    return;
+  }
+  if (partitioned_) {
+    Domain& d = domains_.at(domain);
+    d.tlb.clear();
+    d.lru.clear();
+    return;
+  }
+  // Shared pool: erase only this domain's composite keys.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it & 0xff) == domain) {
+      tlb_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Iommu::remap_domain(unsigned domain) {
+  flush_domain(domain);
+  ++remaps_;
+  if (!domains_.empty()) ++domains_.at(domain).stats.remaps;
 }
 
 }  // namespace pcieb::sim

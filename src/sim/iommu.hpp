@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/units.hpp"
 #include "fault/aer.hpp"
@@ -41,6 +43,29 @@ class Iommu {
  public:
   Iommu(Simulator& sim, const IommuConfig& cfg);
 
+  /// Per-domain IO-TLB statistics (multi-tenant accounting).
+  struct DomainStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t remaps = 0;  ///< domain-scoped remaps (VF-level FLR)
+  };
+
+  /// Split the IOMMU into `n` translation domains (SR-IOV: one per VF).
+  /// `partitioned` gives each domain an independent IO-TLB slice
+  /// (tlb_entries/n) and walker-pool slice — one tenant's miss stream
+  /// cannot evict another's entries or starve its walks. Shared mode
+  /// keeps one capacity pool keyed by (domain, page): translations still
+  /// never resolve across domains, but tenants contend for entries and
+  /// walkers. Must be called before any translation; n in 1..256.
+  void configure_domains(unsigned n, bool partitioned);
+  unsigned domain_count() const {
+    return domains_.empty() ? 1u : static_cast<unsigned>(domains_.size());
+  }
+  bool partitioned() const { return partitioned_; }
+  const DomainStats& domain_stats(unsigned domain) const;
+
   /// Translate the page containing `addr`; `done` runs when the
   /// translation is available (immediately-ish on a TLB hit). Faulting
   /// translations (see translate_checked) count but report success here —
@@ -64,16 +89,24 @@ class Iommu {
   using CheckedCallback = std::function<void(bool ok)>;
   template <typename F>
   void translate_checked(std::uint64_t addr, bool is_write, F&& done) {
+    translate_checked(addr, is_write, 0u, std::forward<F>(done));
+  }
+
+  /// Domain-qualified translation (SR-IOV: domain = VF index). A page
+  /// cached by one domain never satisfies a lookup from another.
+  template <typename F>
+  void translate_checked(std::uint64_t addr, bool is_write, unsigned domain,
+                         F&& done) {
     if (!cfg_.enabled) {
       done(true);
       return;
     }
     bool fault = false;
-    if (probe(addr, is_write, fault)) {
+    if (probe(addr, is_write, domain, fault)) {
       done(true);
       return;
     }
-    walk(addr, is_write, fault, CheckedCallback(std::forward<F>(done)));
+    walk(addr, is_write, domain, fault, CheckedCallback(std::forward<F>(done)));
   }
 
   /// Drop all cached translations (e.g. after a mapping change).
@@ -87,16 +120,35 @@ class Iommu {
   }
   std::uint64_t remaps() const { return remaps_; }
 
+  /// Drop one domain's cached translations (other domains untouched).
+  void flush_domain(unsigned domain);
+
+  /// VF-level FLR: only the resetting function's mappings are rebuilt —
+  /// the domain-scoped analogue of remap_after_reset. Counts into both
+  /// the domain's and the global remap tallies.
+  void remap_domain(unsigned domain);
+
   const IommuConfig& config() const { return cfg_; }
   std::uint64_t tlb_hits() const { return hits_; }
   std::uint64_t tlb_misses() const { return misses_; }
   std::uint64_t tlb_evictions() const { return evictions_; }
   std::uint64_t faults() const { return faults_; }
-  void reset_stats() { hits_ = misses_ = evictions_ = faults_ = 0; }
+  void reset_stats() {
+    hits_ = misses_ = evictions_ = faults_ = 0;
+    for (auto& d : domains_) {
+      // remaps persist, mirroring the global remap counter's lifetime.
+      const std::uint64_t remaps = d.stats.remaps;
+      d.stats = DomainStats{};
+      d.stats.remaps = remaps;
+    }
+  }
 
   /// Attach fault injection (nullptr detaches).
   void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
   void set_aer(fault::AerLog* aer) { aer_ = aer; }
+  /// Route one domain's translation faults to its own AER log (falls back
+  /// to the shared log when unset). Requires configured domains.
+  void set_domain_aer(unsigned domain, fault::AerLog* aer);
 
   /// Attach tracing (nullptr detaches).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
@@ -104,13 +156,33 @@ class Iommu {
  private:
   using LruList = std::list<std::uint64_t>;  // front = most recent
 
+  /// One translation domain's private state (populated only when
+  /// configure_domains was called; the single-domain default keeps using
+  /// the flat members below so that path is unchanged).
+  struct Domain {
+    LruList lru;
+    std::unordered_map<std::uint64_t, LruList::iterator> tlb;
+    unsigned capacity = 0;                 ///< partitioned TLB slice
+    std::unique_ptr<TokenPool> walkers;    ///< partitioned walker slice
+    DomainStats stats;
+    fault::AerLog* aer = nullptr;
+  };
+
   bool tlb_lookup(std::uint64_t page);
   void tlb_insert(std::uint64_t page);
+  bool domain_lookup(unsigned domain, std::uint64_t page);
+  void domain_insert(unsigned domain, std::uint64_t page);
+  /// Shared-mode composite key: translations are domain-qualified even
+  /// when the capacity pool is shared, so a cross-domain hit is
+  /// structurally impossible.
+  static std::uint64_t shared_key(unsigned domain, std::uint64_t page) {
+    return (page << 8) | domain;
+  }
   /// Fault-injection check plus TLB probe; true on a hit (counted and
   /// traced). On a miss, `fault` reports whether this walk will fault.
-  bool probe(std::uint64_t addr, bool is_write, bool& fault);
+  bool probe(std::uint64_t addr, bool is_write, unsigned domain, bool& fault);
   /// Miss path: acquire a walker, pay the walk latency, then resolve.
-  void walk(std::uint64_t addr, bool is_write, bool fault,
+  void walk(std::uint64_t addr, bool is_write, unsigned domain, bool fault,
             CheckedCallback done);
 
   Simulator& sim_;
@@ -118,6 +190,8 @@ class Iommu {
   TokenPool walkers_;
   LruList lru_;
   std::unordered_map<std::uint64_t, LruList::iterator> tlb_;
+  std::vector<Domain> domains_;  ///< empty until configure_domains
+  bool partitioned_ = false;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

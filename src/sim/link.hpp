@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -137,6 +138,54 @@ class Link {
   void clear_recovery_derate() { recovery_derate_active_ = false; }
   bool recovery_derated() const { return recovery_derate_active_; }
 
+  // --- SR-IOV tenant mode: weighted TDM virtual lanes -----------------
+  //
+  // configure_tenants splits this direction into one virtual lane per
+  // function, each serializing independently at weight/total of the link
+  // rate (non-work-conserving time-division arbitration, like a fixed
+  // DLL timeslot schedule). A lane's timing is a pure function of its own
+  // traffic: one tenant saturating its slice never delays another — the
+  // property the isolation-identity acceptance pins. Aggregate counters
+  // keep counting across all lanes; per-function counters ride alongside.
+
+  /// Enter tenant mode with one lane per function; weights[f] is lane
+  /// f's arbitration weight (> 0). Call once, before any traffic.
+  void configure_tenants(const std::vector<unsigned>& weights);
+  bool tenant_mode() const { return !lanes_.empty(); }
+  unsigned tenant_count() const { return static_cast<unsigned>(lanes_.size()); }
+
+  /// Per-function containment: discard function f's TLPs at this port
+  /// (before the injector is consulted — same determinism contract as
+  /// set_blocked) while other functions keep transmitting.
+  void set_func_blocked(unsigned func, bool blocked);
+  bool func_blocked(unsigned func) const { return lanes_.at(func).blocked; }
+
+  /// VF-scoped recovery derate: only function f's lane retrains to the
+  /// reduced lanes/gen share.
+  void set_func_recovery_derate(unsigned func, unsigned lanes, unsigned gen);
+  void clear_func_recovery_derate(unsigned func);
+
+  /// Route function f's DLL error records (replays, retrains, poison) to
+  /// its own AER log; link-wide events (surprise link-down, downtrain)
+  /// stay on the shared log.
+  void set_func_aer(unsigned func, fault::AerLog* aer);
+
+  /// Per-function counters (tenant mode only).
+  struct FuncCounters {
+    std::uint64_t tlps = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t replay_timeouts = 0;
+    std::uint64_t retrains = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t poisoned = 0;
+    std::uint64_t blocked_drops = 0;
+  };
+  const FuncCounters& func_counters(unsigned func) const {
+    return lanes_.at(func).counters;
+  }
+
   /// Attach tracing (nullptr detaches); `comp` names this direction's
   /// trace track (LinkUp / LinkDown).
   void set_trace(obs::TraceSink* sink, obs::Component comp) {
@@ -145,6 +194,19 @@ class Link {
   }
 
  private:
+  /// One TDM virtual lane (tenant mode).
+  struct Lane {
+    std::unique_ptr<SerialResource> wire;
+    double share = 1.0;      ///< weight / total weight
+    double base_rate = 0.0;  ///< share * line rate, memo anchor
+    bool blocked = false;
+    bool derate_active = false;
+    double derate_rate = 0.0;  ///< derated link rate (share applied later)
+    fault::AerLog* aer = nullptr;
+    FuncCounters counters;
+    std::vector<Picos> ser_memo;
+  };
+
   /// TLP-layer rate honouring any active downtrain window; logs the
   /// transition into a window once per entry.
   double effective_rate();
@@ -154,6 +216,9 @@ class Link {
   bool replay_attempts(unsigned n, Picos gap, Picos ser, unsigned wire_bytes,
                        const proto::Tlp& tlp, fault::ErrorType type,
                        unsigned& consecutive);
+  /// Tenant-mode transmit path: serialization and DLL recovery on the
+  /// sender function's own lane clock.
+  Picos send_tenant(const proto::Tlp& tlp);
 
   Simulator& sim_;
   proto::LinkConfig cfg_;
@@ -197,6 +262,9 @@ class Link {
   /// the identical FP expression (-1 = not yet computed). Bypassed while
   /// a downtrain window derates the rate.
   std::vector<Picos> ser_memo_;
+  /// Tenant mode: one virtual lane per function (empty = single-tenant,
+  /// which keeps the flat path above byte-identical and branch-light).
+  std::vector<Lane> lanes_;
 };
 
 }  // namespace pcieb::sim

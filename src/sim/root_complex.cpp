@@ -61,7 +61,8 @@ void RootComplex::host_mmio_write(std::uint64_t addr, std::uint32_t len) {
     obs::ProfScope prof(obs::CostCenter::Packetizer);
     proto::segment_write(link_cfg_, addr, len, tlp_scratch_);
   }
-  for (const proto::Tlp& tlp : tlp_scratch_) {
+  for (proto::Tlp& tlp : tlp_scratch_) {
+    tlp.func = func_;
     downstream_.send(tlp);
   }
 }
@@ -80,6 +81,7 @@ void RootComplex::host_mmio_read(std::uint64_t addr, std::uint32_t len,
   const std::uint32_t tag = next_host_tag_++;
   host_reads_[tag] = std::move(done);
   proto::Tlp req{proto::TlpType::MemRd, addr, 0, len, tag};
+  req.func = func_;
   downstream_.send(req);
 }
 
@@ -130,7 +132,10 @@ void RootComplex::handle_write(const proto::Tlp& tlp) {
   posted_hwm_ = std::max(posted_hwm_, posted_writes_pending());
   if (trace_) record_rx_and_pipeline(tlp);
   pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp] {
-    iommu_.translate_checked(tlp.addr, /*is_write=*/true, [this, tlp](bool ok) {
+    // Translate in the requester function's own IOMMU domain — the TLP's
+    // requester ID, not any RC-local state, selects the page tables.
+    iommu_.translate_checked(tlp.addr, /*is_write=*/true, tlp.func,
+                             [this, tlp](bool ok) {
       if (!ok) {
         // Remapping fault on a posted write: spec-correct silent discard
         // (the IOMMU already logged the AER record). The write still
@@ -167,7 +172,7 @@ void RootComplex::handle_read(const proto::Tlp& tlp) {
   // Snapshot the posted writes this read must not pass (arrival order).
   const std::uint64_t fence = writes_arrived_;
   pipeline_.occupy(cfg_.tlp_pipeline, [this, tlp, fence] {
-    iommu_.translate_checked(tlp.addr, /*is_write=*/false,
+    iommu_.translate_checked(tlp.addr, /*is_write=*/false, tlp.func,
                              [this, tlp, fence](bool ok) {
       if (!ok) {
         // Unmapped page: nobody can claim the read — answer UR so the
@@ -220,6 +225,7 @@ void RootComplex::send_error_completion(const proto::Tlp& req,
   ++error_cpls_;
   proto::Tlp cpl{proto::TlpType::Cpl, req.addr, 0, 0, req.tag};
   cpl.cpl_status = status;
+  cpl.func = req.func;
   downstream_.send(cpl);
 }
 
@@ -253,6 +259,7 @@ void RootComplex::emit_completions(const proto::Tlp& req) {
     }
     for (proto::Tlp& cpl : tlp_scratch_) {
       cpl.tag = req.tag;
+      cpl.func = req.func;  // completions route back to the requester VF
       downstream_.send(cpl);
     }
   });

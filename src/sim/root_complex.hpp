@@ -116,6 +116,12 @@ class RootComplex {
   void set_fault_injector(fault::FaultInjector* inj) { injector_ = inj; }
   void set_aer(fault::AerLog* aer) { aer_ = aer; }
 
+  /// SR-IOV: the function this RC instance serves. Host MMIO TLPs are
+  /// stamped with it; inbound DMA translates in the TLP's own requester
+  /// function's IOMMU domain regardless. Default 0 = legacy single-tenant.
+  void set_function(unsigned func) { func_ = static_cast<std::uint8_t>(func); }
+  unsigned function() const { return func_; }
+
   // --- DPC containment support (fault::RecoveryManager via System) -----
   /// While true, new host MMIO reads are answered UR immediately (the
   /// downstream port is frozen; nobody will ever claim the request).
@@ -176,6 +182,7 @@ class RootComplex {
   fault::AerLog* aer_ = nullptr;
   bool port_contained_ = false;
   std::uint64_t contained_host_reads_ = 0;
+  std::uint8_t func_ = 0;
 
   struct PendingRead {
     proto::Tlp req;

@@ -56,6 +56,30 @@ expect_usage "recovery none w/override" -- "${RUN[@]}" --recovery none,lanes=2
 expect_usage "recovery bad time unit"   -- "${RUN[@]}" --recovery default,holdoff=5parsecs
 expect_usage "chaos unknown recovery"   -- chaos --trials 1 --recovery bogus
 
+# Multi-tenant flags (docs/ISOLATION.md): strict range and dependency
+# validation, on run and chaos alike.
+expect_usage "zero tenants"            -- "${RUN[@]}" --tenants 0
+expect_usage "too many tenants"        -- "${RUN[@]}" --tenants 65
+expect_usage "non-numeric tenants"     -- "${RUN[@]}" --tenants lots
+expect_usage "attacker out of range"   -- "${RUN[@]}" --tenants 4 --attacker 4
+expect_usage "attacker w/o tenants"    -- "${RUN[@]}" --attacker 1
+expect_usage "isolation w/o tenants"   -- "${RUN[@]}" --isolation weakened
+expect_usage "unknown isolation mode"  -- "${RUN[@]}" --tenants 4 --isolation bogus
+expect_usage "weights w/o tenants"     -- "${RUN[@]}" --weights 1,2
+expect_usage "weights size mismatch"   -- "${RUN[@]}" --tenants 4 --weights 1,2
+expect_usage "zero weight"             -- "${RUN[@]}" --tenants 2 --weights 1,0
+expect_usage "malformed weights list"  -- "${RUN[@]}" --tenants 2 --weights 1,,2
+expect_usage "non-numeric weight"      -- "${RUN[@]}" --tenants 2 --weights 1,heavy
+expect_usage "quota w/o tenants"       -- "${RUN[@]}" --ddio-quota 2,2
+expect_usage "quota size mismatch"     -- "${RUN[@]}" --tenants 4 --ddio-quota 2
+expect_usage "tenants with trace"      -- "${RUN[@]}" --tenants 2 --trace /tmp/t.csv
+expect_usage "tenants with telemetry"  -- "${RUN[@]}" --tenants 2 --telemetry
+expect_usage "chaos zero tenants"      -- chaos --trials 1 --tenants 0
+expect_usage "chaos attacker range"    -- chaos --trials 1 --tenants 4 --attacker 9
+expect_usage "chaos weights rejected"  -- chaos --trials 1 --tenants 4 --weights 1,1,1,1
+expect_usage "chaos quota rejected"    -- chaos --trials 1 --tenants 4 --ddio-quota 2,2,2,2
+expect_usage "chaos bad isolation"     -- chaos --trials 1 --tenants 4 --isolation tight
+
 expect_ok "bare telemetry to stdout" -- "${RUN[@]}" --telemetry
 expect_ok "telemetry to file" -- "${RUN[@]}" --telemetry="$(mktemp -u /tmp/pcieb-usage-XXXXXX.csv)"
 expect_ok "telemetry with interval" -- "${RUN[@]}" --telemetry --telemetry-interval 500000
@@ -63,5 +87,8 @@ expect_ok "chaos with telemetry" -- chaos --trials 2 --iters 50 --telemetry
 expect_ok "recovery named policy" -- "${RUN[@]}" --recovery aggressive
 expect_ok "recovery with overrides" -- "${RUN[@]}" --recovery default,max-resets=3,holdoff=20us
 expect_ok "chaos recovery + throw-monitors" -- chaos --trials 2 --iters 50 --recovery default --throw-monitors
+expect_ok "tenant run" -- run --system NFP6000-HSW --bench BW_WR --iters 50 --tenants 2
+expect_ok "tenant run full knobs" -- run --system NFP6000-HSW --bench BW_WR --iters 50 --tenants 4 --attacker 1 --isolation weakened --weights 2,1,1,1 --ddio-quota 2,2,2,2
+expect_ok "tenant chaos" -- chaos --trials 2 --iters 50 --tenants 2 --attacker 0
 
 exit $fail

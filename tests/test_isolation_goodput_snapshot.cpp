@@ -1,0 +1,69 @@
+// Tier-2 snapshot: the SR-IOV isolation ablation sweep
+// (bench/isolation_sweep.hpp, shared with the ablation_isolation binary)
+// must reproduce the committed CSV byte-for-byte. The tenant fabric,
+// fault injection and recovery are deterministic, so any drift is a
+// semantic change to the isolation machinery — this makes such a change
+// a conscious decision (regenerate bench/expected/isolation_goodput.csv
+// by running ./build/bench/ablation_isolation with the path as argument)
+// rather than an accident. The isolation=armed rows pin the containment
+// contract: the victim columns are identical whether the attacker's
+// fault plan is "none" or a drop storm — the same differential identity
+// the tenant chaos campaign verifies per-trial.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isolation_sweep.hpp"
+
+namespace pcieb {
+namespace {
+
+std::string load_expected() {
+  const std::string path =
+      std::string(PCIEB_SOURCE_DIR) + "/bench/expected/isolation_goodput.csv";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(IsolationGoodputSnapshotTest, SweepMatchesCommittedCsv) {
+  const std::string expected = load_expected();
+  ASSERT_FALSE(expected.empty());
+  const std::string actual =
+      bench::isolation_sweep_csv(bench::run_isolation_sweep());
+  // Line-by-line first, so a mismatch names the offending sweep point.
+  std::istringstream es(expected), as(actual);
+  std::string eline, aline;
+  std::size_t n = 0;
+  while (std::getline(es, eline)) {
+    ASSERT_TRUE(std::getline(as, aline)) << "row " << n << " missing";
+    EXPECT_EQ(aline, eline) << "row " << n;
+    ++n;
+  }
+  EXPECT_FALSE(std::getline(as, aline)) << "extra row: " << aline;
+  EXPECT_EQ(actual, expected);
+}
+
+// The armed rows' containment contract, asserted structurally (not just
+// against the snapshot): every victim column is invariant across the
+// attacker's fault plans when all isolation knobs are on.
+TEST(IsolationGoodputSnapshotTest, ArmedVictimColumnsInvariant) {
+  const auto quiet = bench::run_isolation_sweep_point("armed", "none");
+  const auto storm =
+      bench::run_isolation_sweep_point("armed", "drop@every=15,dir=up,vf=0");
+  EXPECT_EQ(storm.victim_p50_ps, quiet.victim_p50_ps);
+  EXPECT_EQ(storm.victim_p99_ps, quiet.victim_p99_ps);
+  EXPECT_EQ(storm.victim_payload, quiet.victim_payload);
+  EXPECT_EQ(storm.victim_lost, quiet.victim_lost);
+  EXPECT_EQ(storm.victim_elapsed_ps, quiet.victim_elapsed_ps);
+  // The attacker, meanwhile, really was under attack.
+  EXPECT_GT(storm.attacker_lost, 0u);
+  EXPECT_GT(storm.injected, 0u);
+}
+
+}  // namespace
+}  // namespace pcieb

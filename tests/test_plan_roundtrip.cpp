@@ -38,6 +38,11 @@ TEST(PlanRoundTrip, CorpusIdentity) {
       "linkdown@every=1000,time=1000000ps-2000000ps",
       "drop@every=150,dir=up;corrupt@prob=0.002;ack-loss@every=900",
       "linkdown@nth=318;downtrain@lanes=4,gen=1;linkdown@nth=760",
+      // VF-scoped clauses (SR-IOV tenant attribution, docs/ISOLATION.md).
+      "drop@nth=100,vf=0",
+      "poison@every=50,dir=up,vf=3",
+      "iommu@vf=255",
+      "cpl-ur@every=70,vf=1;ack-loss@every=900;corrupt@prob=0.25,vf=1",
   };
   for (const auto& spec : corpus) {
     const auto plan = fault::parse_plan(spec);
@@ -72,6 +77,11 @@ FaultRule random_rule(Xoshiro256& rng) {
     }
     if (rng.below(2)) r.dir = rng.below(2) ? LinkDir::Up : LinkDir::Down;
     if (rng.below(3) == 0) r.count = 2 + rng.below(7);
+    // vf= scoping is only legal on TLP-class kinds (not link-physical
+    // downtrain/linkdown; linkdown takes the non-downtrain branch here).
+    if (r.kind != FaultKind::LinkDown && rng.below(3) == 0) {
+      r.vf = static_cast<int>(rng.below(256));
+    }
   }
   if (rng.below(3) == 0) {
     r.from = static_cast<Picos>(rng.below(1'000'000'000));
@@ -153,6 +163,11 @@ TEST(PlanRoundTrip, MalformedSpecsRejectedWithPointedMessages) {
       {"linkdown@gen=2", "only apply to downtrain"},
       {"linkdown@nth=0", "1-based"},
       {"linkdown@dir=both", "dir must be up or down"},
+      {"drop@vf=256", "vf must be in 0..255"},
+      {"drop@vf=-1", "vf must be in 0..255"},  // strtoull wraps negatives
+      {"drop@vf=abc", "bad integer"},
+      {"downtrain@lanes=4,vf=1", "cannot scope"},
+      {"linkdown@nth=5,vf=0", "cannot scope"},
   };
   for (const auto& b : bad) {
     try {

@@ -67,6 +67,7 @@ TEST(TlpRoundTrip, RandomizedWellFormedHeaders) {
     t.addr = rng.next();
     t.tag = static_cast<std::uint32_t>(rng.next());
     t.poisoned = rng.below(2) != 0;
+    t.func = static_cast<std::uint8_t>(rng.below(8));
     switch (t.type) {
       case TlpType::MemRd:
         t.read_len = 1 + static_cast<std::uint32_t>(rng.below(1 << 20));

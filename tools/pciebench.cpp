@@ -29,6 +29,8 @@
 #include "check/chaos.hpp"
 #include "check/monitors.hpp"
 #include "check/perf.hpp"
+#include "check/tenant_monitors.hpp"
+#include "core/tenant_runner.hpp"
 #include "core/multi_runner.hpp"
 #include "core/observe.hpp"
 #include "core/report.hpp"
@@ -119,6 +121,18 @@ self-checking options (run):
                     conservation — docs/CHECKING.md); prints a report and
                     exits non-zero on any violation
 
+multi-tenant options (run — docs/ISOLATION.md):
+  --tenants N       run N SR-IOV VFs sharing the port (1..64), one
+                    closed-loop workload per VF; per-VF results print one
+                    line each. --monitors arms the isolation invariants.
+  --attacker K      mark VF K (0-based, < N) as the attacker for display;
+                    fault plans scope themselves with vf:K clauses
+  --isolation MODE  armed (default) | weakened — weakened swaps every
+                    isolation mechanism for its shared implementation
+  --weights LIST    comma-separated link-arbitration weight per VF,
+                    e.g. 3,1,1,1 (default: equal shares)
+  --ddio-quota LIST comma-separated DDIO ways per VF's LLC slice
+
 chaos options:
   --trials N        trials to run                         (default 20)
   --master-seed N   campaign seed; every trial derives from it (default
@@ -135,6 +149,16 @@ chaos options:
                     stack-proximate diagnostic)
   --csv FILE        write the canonical per-trial CSV (isolated mode)
   --artifacts DIR   quarantine-artifact directory (default <journal>/artifacts)
+  --tenants N       tenant chaos: N VFs per trial, every trial runs twice
+                    (attacker plan armed vs stripped) and victims' digests
+                    and counters are compared byte-for-byte
+                    (docs/ISOLATION.md)
+  --attacker K      the VF carrying the fault plan     (default 0)
+  --isolation MODE  armed (default): any victim perturbation is a
+                    violation | weakened: perturbation is reported as the
+                    measured blast radius
+                    (with --seed-bug and --tenants, plants the completion-
+                    misroute bug instead of the credit leak)
 
 telemetry options (suite and chaos):
   --telemetry[=FILE]
@@ -297,7 +321,8 @@ const std::set<std::string> kRunValueKeys = {
     "system", "bench",  "size", "offset", "window",  "pattern", "cache",
     "numa",   "iommu",  "pages", "iters", "warmup",  "seed",    "trace",
     "counters", "faults", "fault-seed", "recovery", "telemetry",
-    "telemetry-interval"};
+    "telemetry-interval", "tenants", "attacker", "isolation", "weights",
+    "ddio-quota"};
 const std::set<std::string> kRunFlagKeys = {"cdf",    "histogram", "timeseries",
                                             "cmd-if", "breakdown", "errors",
                                             "monitors", "telemetry"};
@@ -312,7 +337,7 @@ const std::set<std::string> kSuiteFlagKeys = {"telemetry"};
 const std::set<std::string> kChaosValueKeys = {
     "trials", "master-seed", "iters", "csv", "artifacts", "threads",
     "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
-    "resume", "telemetry", "recovery"};
+    "resume", "telemetry", "recovery", "tenants", "attacker", "isolation"};
 const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug",
                                               "telemetry", "throw-monitors"};
 const std::set<std::string> kPerfValueKeys = {"json"};
@@ -335,6 +360,68 @@ TelemetryOpt parse_telemetry(const Args& args) {
     }
     t.enabled = true;
     t.file = it->second;
+  }
+  return t;
+}
+
+/// Multi-tenant flags shared by run and chaos; tenants == 0 means the
+/// classic single-tenant path (all other tenant flags then rejected).
+struct TenantOpt {
+  unsigned tenants = 0;
+  unsigned attacker = 0;
+  bool weakened = false;
+  std::vector<unsigned> weights;
+  std::vector<unsigned> ddio_quota;
+};
+
+std::vector<unsigned> parse_unsigned_list(const char* key,
+                                          const std::string& s) {
+  std::vector<unsigned> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    out.push_back(static_cast<unsigned>(parse_u64(key, tok)));
+  }
+  if (out.empty()) usage(("empty list for --" + std::string(key)).c_str());
+  return out;
+}
+
+TenantOpt parse_tenant_opts(const Args& args) {
+  TenantOpt t;
+  if (args.values.contains("tenants")) {
+    const std::uint64_t n = parse_u64("tenants", args.get("tenants", ""));
+    if (n < 1 || n > 64) usage("--tenants must be in [1, 64]");
+    t.tenants = static_cast<unsigned>(n);
+  }
+  for (const char* dep : {"attacker", "isolation", "weights", "ddio-quota"}) {
+    if (t.tenants == 0 && args.values.contains(dep)) {
+      usage(("--" + std::string(dep) + " requires --tenants").c_str());
+    }
+  }
+  if (args.values.contains("attacker")) {
+    const std::uint64_t k = parse_u64("attacker", args.get("attacker", ""));
+    if (k >= t.tenants) {
+      usage("--attacker must name a VF index below --tenants");
+    }
+    t.attacker = static_cast<unsigned>(k);
+  }
+  const std::string iso = args.get("isolation", "armed");
+  if (iso == "weakened") t.weakened = true;
+  else if (iso != "armed") usage("--isolation must be armed or weakened");
+  if (args.values.contains("weights")) {
+    t.weights = parse_unsigned_list("weights", args.get("weights", ""));
+    if (t.weights.size() != t.tenants) {
+      usage("--weights must list exactly one weight per tenant");
+    }
+    for (unsigned w : t.weights) {
+      if (w == 0) usage("--weights entries must be >= 1");
+    }
+  }
+  if (args.values.contains("ddio-quota")) {
+    t.ddio_quota = parse_unsigned_list("ddio-quota", args.get("ddio-quota", ""));
+    if (t.ddio_quota.size() != t.tenants) {
+      usage("--ddio-quota must list exactly one way count per tenant");
+    }
   }
   return t;
 }
@@ -439,7 +526,84 @@ sim::SystemConfig configured_system(const Args& args,
   return cfg;
 }
 
+/// Multi-tenant run: one closed-loop workload per VF on a
+/// MultiTenantSystem, one result line per VF. The observability stack
+/// (traces, counters CSV, breakdown, telemetry) is single-system-only.
+int cmd_run_tenants(const Args& args, const TenantOpt& topt) {
+  for (const char* incompatible :
+       {"trace", "counters", "telemetry", "telemetry-interval"}) {
+    if (args.values.contains(incompatible)) {
+      usage(("--" + std::string(incompatible) +
+             " is not supported with --tenants").c_str());
+    }
+  }
+  for (const char* incompatible :
+       {"cdf", "histogram", "timeseries", "breakdown", "telemetry"}) {
+    if (args.has_flag(incompatible)) {
+      usage(("--" + std::string(incompatible) +
+             " is not supported with --tenants").c_str());
+    }
+  }
+
+  core::BenchParams params;
+  params.kind = parse_kind(args.get("bench", "LAT_RD"));
+  sim::MultiTenantConfig mc;
+  mc.base = configured_system(args, params);
+  mc.tenants = topt.tenants;
+  mc.weights = topt.weights;
+  mc.ddio_quota = topt.ddio_quota;
+  mc.isolation = topt.weakened ? sim::TenantIsolation::all_weakened()
+                               : sim::TenantIsolation::all_armed();
+  sim::MultiTenantSystem system(mc);
+
+  std::optional<check::TenantMonitorSuite> monitors;
+  if (args.has_flag("monitors")) monitors.emplace(system);
+
+  const auto results = core::run_tenant_bench(system, params);
+  for (const auto& r : results) {
+    std::printf(
+        "vf%-2u%s p50=%.1fns p99=%.1fns p999=%.1fns goodput=%.2fGb/s "
+        "ops=%llu lost=%llu B\n",
+        r.vf,
+        (args.values.contains("attacker") && r.vf == topt.attacker)
+            ? " [attacker]"
+            : "",
+        r.latency.quantile_ns(0.5), r.latency.quantile_ns(0.99),
+        r.latency.quantile_ns(0.999), r.goodput_gbps,
+        static_cast<unsigned long long>(r.ops),
+        static_cast<unsigned long long>(r.lost_payload_bytes));
+  }
+
+  if (args.has_flag("errors")) {
+    std::printf("port AER:\n%s", system.port_aer().to_table().c_str());
+    for (unsigned vf = 0; vf < system.tenants(); ++vf) {
+      std::printf("vf%u AER:\n%s", vf, system.aer(vf).to_table().c_str());
+    }
+    if (auto* inj = system.fault_injector()) {
+      std::printf("%s", inj->to_table().c_str());
+    }
+    for (unsigned vf = 0; vf < system.tenants(); ++vf) {
+      if (const auto* rec = system.recovery(vf)) {
+        std::printf("vf%u recovery:\n%s", vf, rec->to_table().c_str());
+      }
+    }
+    if (system.device_wide_actions() != 0) {
+      std::printf("device-wide recovery actions (blast radius): %llu\n",
+                  static_cast<unsigned long long>(
+                      system.device_wide_actions()));
+    }
+  }
+  if (monitors) {
+    monitors->check_quiescent();
+    std::printf("%s", monitors->report().c_str());
+    if (!monitors->ok()) return kExitFailure;
+  }
+  return kExitOk;
+}
+
 int cmd_run(const Args& args) {
+  const TenantOpt topt = parse_tenant_opts(args);
+  if (topt.tenants > 0) return cmd_run_tenants(args, topt);
   core::BenchParams params;
   params.kind = parse_kind(args.get("bench", "LAT_RD"));
   const auto cfg = configured_system(args, params);
@@ -625,9 +789,20 @@ int cmd_chaos(const Args& args) {
   cfg.master_seed = parse_u64("master-seed", args.get("master-seed", "0xc4a05"));
   cfg.iterations = parse_u64("iters", args.get("iters", "400"));
   cfg.shrink = !args.has_flag("no-shrink");
-  cfg.seed_credit_leak_bug = args.has_flag("seed-bug");
   cfg.recovery = parse_recovery(args.get("recovery", "none"));
   cfg.monitors_throw = args.has_flag("throw-monitors");
+  const TenantOpt topt = parse_tenant_opts(args);
+  if (!topt.weights.empty() || !topt.ddio_quota.empty()) {
+    usage("--weights/--ddio-quota apply to run, not chaos (trials use "
+          "equal shares)");
+  }
+  cfg.tenants = topt.tenants;
+  cfg.attacker = topt.attacker;
+  cfg.isolation_weakened = topt.weakened;
+  // One --seed-bug flag, two planted bugs: the credit leak for classic
+  // campaigns, the completion misroute for tenant campaigns.
+  cfg.seed_credit_leak_bug = args.has_flag("seed-bug") && cfg.tenants == 0;
+  cfg.seed_misroute_bug = args.has_flag("seed-bug") && cfg.tenants > 0;
   const TelemetryOpt telemetry = parse_telemetry(args);
   cfg.telemetry = telemetry.enabled;
 
@@ -645,10 +820,15 @@ int cmd_chaos(const Args& args) {
     usage("--csv/--artifacts require isolated mode (pass an exec option)");
   }
 
-  std::printf("chaos: %zu trials, master seed 0x%llx, %zu iters/trial%s\n",
+  std::printf("chaos: %zu trials, master seed 0x%llx, %zu iters/trial%s%s\n",
               cfg.trials, static_cast<unsigned long long>(cfg.master_seed),
               cfg.iterations,
-              cfg.seed_credit_leak_bug ? " [credit-leak bug planted]" : "");
+              cfg.seed_credit_leak_bug ? " [credit-leak bug planted]" : "",
+              cfg.seed_misroute_bug ? " [misroute bug planted]" : "");
+  if (cfg.tenants > 0) {
+    std::printf("tenants: %u VFs, attacker vf%u, isolation %s\n", cfg.tenants,
+                cfg.attacker, cfg.isolation_weakened ? "weakened" : "armed");
+  }
   const auto result = check::run_campaign(
       cfg, [](const check::TrialSpec& spec, const check::TrialOutcome& out) {
         std::printf("%-4s %s\n", out.failed ? "FAIL" : "ok",
@@ -667,6 +847,13 @@ int cmd_chaos(const Args& args) {
   if (cfg.recovery.enabled) {
     std::printf("recovery: ladder fired in %zu trial(s), %zu quarantined\n",
                 result.trials_recovered, result.trials_quarantined);
+  }
+  if (cfg.tenants > 0) {
+    std::printf("isolation (%s): blast radius %llu perturbed tenant-run(s), "
+                "%llu device-wide action(s)\n",
+                cfg.isolation_weakened ? "weakened" : "armed",
+                static_cast<unsigned long long>(result.perturbed_victims),
+                static_cast<unsigned long long>(result.device_wide_actions));
   }
   if (result.ok()) {
     std::printf("chaos: %zu/%zu trials passed\n", result.trials_run,

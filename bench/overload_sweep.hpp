@@ -1,0 +1,100 @@
+// Hockey-stick overload sweep: goodput and tail latency vs offered load
+// (0.5x - 4x of calibrated capacity) for each host service model
+// (busy-poll vs IRQ coalescing) with MAC backpressure on and off. Shared
+// between the ablation_overload reproduction binary and the tier-2
+// snapshot test (tests/test_overload_goodput_snapshot.cpp) so both
+// always run the exact same configuration. The committed CSV lives at
+// bench/expected/overload_goodput.csv; regenerate it with
+//   ./build/bench/ablation_overload bench/expected/overload_goodput.csv
+//
+// Every CSV column is an integer from the deterministic simulation, so
+// the snapshot comparison is exact — any drift is a semantic change to
+// the overload datapath, not numeric noise.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nic/overload.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
+
+namespace pcieb::bench {
+
+struct OverloadSweepRow {
+  double offered_load;  ///< multiple of calibrated capacity
+  nic::ServiceMode service;
+  bool backpressure;
+  nic::OverloadResult result;
+};
+
+/// The sweep's shared datapath shape: 256 B frames through a 256-slot
+/// freelist, no admission control (the pure ring-drop hockey stick).
+inline nic::OverloadConfig overload_sweep_config() {
+  nic::OverloadConfig cfg;
+  cfg.frame_bytes = 256;
+  cfg.ring_slots = 256;
+  cfg.frames = 6000;
+  cfg.admission_slots = 0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// 0.5x/1x/2x/4x offered load x {poll, coalesce} x backpressure {off, on}
+/// on NetFPGA-HSW. Capacity is calibrated once per service model (the
+/// IRQ wakeup cost is part of the sustainable rate) and shared across
+/// that model's points, so the x-axis means the same thing per curve.
+inline std::vector<OverloadSweepRow> run_overload_sweep() {
+  std::vector<OverloadSweepRow> rows;
+  const auto sys_cfg = sys::netfpga_hsw().config;
+  for (const auto service :
+       {nic::ServiceMode::BusyPoll, nic::ServiceMode::Coalesce}) {
+    nic::OverloadConfig base = overload_sweep_config();
+    base.service = service;
+    const std::uint64_t capacity = nic::calibrate_capacity(sys_cfg, base);
+    for (const bool backpressure : {false, true}) {
+      for (const double load : {0.5, 1.0, 2.0, 4.0}) {
+        nic::OverloadConfig cfg = base;
+        cfg.backpressure = backpressure;
+        cfg.offered_load = load;
+        cfg.capacity_pps = capacity;
+        sim::System system(sys_cfg);
+        rows.push_back(
+            {load, service, backpressure, nic::run_overload(system, cfg)});
+      }
+    }
+  }
+  return rows;
+}
+
+inline std::string overload_sweep_csv(
+    const std::vector<OverloadSweepRow>& rows) {
+  std::string out =
+      "offered_x1000,service,bp,capacity_pps,offered,delivered,mac,ring,"
+      "admission,pause_ps,irqs,p50_ps,p99_ps\n";
+  for (const auto& r : rows) {
+    const auto& st = r.result.stats;
+    char line[256];
+    std::snprintf(
+        line, sizeof line,
+        "%lld,%s,%d,%llu,%llu,%llu,%llu,%llu,%llu,%lld,%llu,%llu,%llu\n",
+        static_cast<long long>(r.offered_load * 1000.0),
+        nic::to_string(r.service), r.backpressure ? 1 : 0,
+        static_cast<unsigned long long>(r.result.capacity_pps),
+        static_cast<unsigned long long>(st.offered),
+        static_cast<unsigned long long>(st.delivered),
+        static_cast<unsigned long long>(st.dropped_mac),
+        static_cast<unsigned long long>(st.dropped_ring),
+        static_cast<unsigned long long>(st.dropped_admission),
+        static_cast<long long>(st.pause_ps),
+        static_cast<unsigned long long>(st.irqs),
+        static_cast<unsigned long long>(r.result.latency.quantile(0.5)),
+        static_cast<unsigned long long>(r.result.latency.quantile(0.99)));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pcieb::bench

@@ -79,6 +79,11 @@ std::string serialize_worker_result(const TrialOutcome& out) {
   if (out.device_wide_actions != 0) {
     os << "device_wide=" << out.device_wide_actions << '\n';
   }
+  // Overload ledger only when the trial ran the overload datapath, so
+  // classic campaigns serialize exactly as before.
+  if (!out.overload.empty()) {
+    os << "overload=" << exec::escape_line(out.overload) << '\n';
+  }
   return os.str();
 }
 
@@ -114,6 +119,16 @@ void check_or_write_meta(const exec::Journal& journal,
        << "isolation=" << (chaos.isolation_weakened ? "weakened" : "armed")
        << '\n';
   }
+  // Overload keys only when overload mode is on, so classic journals (no
+  // keys) keep resuming with overload off.
+  std::string overload_desc;
+  if (chaos.offered_load > 0) {
+    std::ostringstream od;
+    od << chaos.offered_load << "x " << nic::to_string(chaos.service)
+       << " bp=" << (chaos.backpressure ? "on" : "off");
+    overload_desc = od.str();
+    os << "overload=" << exec::escape_line(overload_desc) << '\n';
+  }
   if (resume && fs::exists(path)) {
     std::string header;
     const auto kv = parse_kv(exec::read_file(path), &header);
@@ -130,11 +145,12 @@ void check_or_write_meta(const exec::Journal& journal,
         kv_str(kv, "isolation") !=
             (chaos.tenants > 0
                  ? (chaos.isolation_weakened ? "weakened" : "armed")
-                 : "")) {
+                 : "") ||
+        kv_str(kv, "overload") != overload_desc) {
       throw exec::InfraError(
           "resume: journal " + journal.dir() +
           " was written by a different campaign "
-          "(seed/iters/telemetry/recovery/tenants mismatch)");
+          "(seed/iters/telemetry/recovery/tenants/overload mismatch)");
     }
     return;
   }
@@ -200,6 +216,7 @@ std::string TrialRecord::serialize() const {
   }
   if (perturbed != 0) os << "perturbed=" << perturbed << '\n';
   if (device_wide != 0) os << "device_wide=" << device_wide << '\n';
+  if (!overload.empty()) os << "overload=" << exec::escape_line(overload) << '\n';
   return os.str();
 }
 
@@ -227,6 +244,7 @@ std::optional<TrialRecord> TrialRecord::deserialize(
   rec.recovery_state = kv_str(kv, "recovery_state");
   rec.perturbed = kv_u64(kv, "perturbed");
   rec.device_wide = kv_u64(kv, "device_wide");
+  rec.overload = kv_str(kv, "overload");
   rec.resumed = true;
   return rec;
 }
@@ -249,6 +267,7 @@ std::string TrialRecord::summary_line() const {
            (perturbed == 1 ? "" : "s") + ", " + std::to_string(device_wide) +
            " device-wide";
   }
+  if (!overload.empty()) out += " | overload: " + overload;
   if (!first_violation.empty()) out += " | first: " + first_violation;
   if (!error.empty()) out += " | error: " + error;
   return out;
@@ -289,20 +308,27 @@ std::string ExecCampaignResult::summary_text(const ChaosConfig& cfg) const {
        << " device-wide recovery action"
        << (device_wide_actions == 1 ? "" : "s") << '\n';
   }
+  if (cfg.offered_load > 0) {
+    os << "overload (" << cfg.offered_load << "x, "
+       << nic::to_string(cfg.service) << ", bp="
+       << (cfg.backpressure ? "on" : "off") << "): offered="
+       << overload_offered << " delivered=" << overload_delivered
+       << " dropped=" << overload_dropped << '\n';
+  }
   return os.str();
 }
 
 void ExecCampaignResult::write_csv(const std::string& path) const {
   std::ostringstream os;
   os << "trial,status,classification,violations,first_violation,error,spec,"
-        "recovery_state,recovery,perturbed,device_wide\n";
+        "recovery_state,recovery,perturbed,device_wide,overload\n";
   for (const auto& r : records) {
     os << r.index << ',' << to_string(r.status) << ','
        << csv_quote(r.classification) << ',' << r.violations << ','
        << csv_quote(r.first_violation) << ',' << csv_quote(r.error) << ','
        << csv_quote(r.spec) << ',' << csv_quote(r.recovery_state) << ','
        << csv_quote(r.recovery) << ',' << r.perturbed << ','
-       << r.device_wide << '\n';
+       << r.device_wide << ',' << csv_quote(r.overload) << '\n';
   }
   exec::atomic_write_file(path, os.str(), /*sync=*/false);
 }
@@ -393,6 +419,7 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
       rec.recovery_state = kv_str(kv, "recovery_state");
       rec.perturbed = kv_u64(kv, "perturbed");
       rec.device_wide = kv_u64(kv, "device_wide");
+      rec.overload = kv_str(kv, "overload");
     }
     journal.append(rec.index, rec.serialize());
     if (observe) observe(rec);
@@ -458,6 +485,12 @@ ExecCampaignResult run_campaign_isolated(const ExecCampaignConfig& cfg,
     if (rec.recovery_state == "quarantined") ++res.trials_quarantined;
     res.perturbed_victims += rec.perturbed;
     res.device_wide_actions += rec.device_wide;
+    std::uint64_t off = 0, del = 0, drop = 0;
+    if (parse_overload_ledger(rec.overload, off, del, drop)) {
+      res.overload_offered += off;
+      res.overload_delivered += del;
+      res.overload_dropped += drop;
+    }
     if (!rec.digests.empty()) {
       obs::DigestSet set;
       // Malformed digests (hand-edited journal) are dropped, not fatal:

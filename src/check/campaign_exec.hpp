@@ -77,6 +77,9 @@ struct TrialRecord {
   /// Journal-carried only when nonzero so classic records are unchanged.
   std::uint64_t perturbed = 0;
   std::uint64_t device_wide = 0;
+  /// Overload-trial frame ledger (empty for classic trials). Journal-
+  /// carried only when nonempty so classic records are unchanged.
+  std::string overload;
   bool resumed = false;         ///< loaded from the journal, not re-run
 
   /// Canonical journal payload ("pcieb-trial v1" + key=value lines).
@@ -112,6 +115,11 @@ struct ExecCampaignResult {
   /// Tenant-chaos blast-radius tallies (zero for classic campaigns).
   std::uint64_t perturbed_victims = 0;
   std::uint64_t device_wide_actions = 0;
+  /// Overload-chaos frame tallies (zero for classic campaigns), summed
+  /// from each record's journal-carried ledger.
+  std::uint64_t overload_offered = 0;
+  std::uint64_t overload_delivered = 0;
+  std::uint64_t overload_dropped = 0;
 
   bool all_ok() const { return violation == 0 && quarantined == 0; }
 

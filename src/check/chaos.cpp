@@ -1,10 +1,13 @@
 #include "check/chaos.hpp"
 
+#include <cinttypes>
+#include <cstdio>
 #include <iterator>
 #include <limits>
 #include <memory>
 #include <sstream>
 
+#include "check/overload_monitors.hpp"
 #include "check/tenant_monitors.hpp"
 #include "common/rng.hpp"
 #include "core/runner.hpp"
@@ -203,10 +206,37 @@ std::string TrialSpec::describe() const {
        << " isolation=" << (isolation_weakened ? "weakened" : "armed");
     if (seed_misroute_bug) os << " seed-misroute-bug";
   }
+  if (overload_armed) {
+    os << " overload=" << overload.offered_load << "x "
+       << nic::to_string(overload.service)
+       << " bp=" << (overload.backpressure ? "on" : "off")
+       << " frame=" << overload.frame_bytes
+       << " arrivals=" << core::to_string(overload.arrivals)
+       << " ring=" << overload.ring_slots
+       << " adm=" << overload.admission_slots;
+  }
   return os.str();
 }
 
 std::string TrialSpec::repro_command() const {
+  if (overload_armed) {
+    std::ostringstream os;
+    os << "pciebench overload --system " << system
+       << " --offered-load " << overload.offered_load
+       << " --service-mode " << nic::to_string(overload.service)
+       << " --backpressure " << (overload.backpressure ? "on" : "off")
+       << " --frame " << overload.frame_bytes
+       << " --arrivals " << core::to_string(overload.arrivals)
+       << " --ring-slots " << overload.ring_slots
+       << " --admission " << overload.admission_slots
+       << " --frames " << overload.frames << " --seed " << overload.seed;
+    if (!plan.empty()) {
+      os << " --faults '" << plan.describe() << "' --fault-seed " << plan.seed;
+    }
+    if (recovery.enabled) os << " --recovery '" << recovery.describe() << "'";
+    os << " --monitors";
+    return os.str();
+  }
   std::string cmd =
       core::cli_run_command(system, params, iommu,
                            plan.empty() ? "" : plan.describe(), plan.seed,
@@ -222,6 +252,7 @@ std::string TrialSpec::repro_command() const {
 
 std::string TrialOutcome::summary() const {
   if (!failed) {
+    if (!overload.empty()) return "ok (" + overload + ")";
     if (perturbed_victims == 0 && device_wide_actions == 0) return "ok";
     // Weakened-isolation trial: the blast radius is the result.
     std::ostringstream ok;
@@ -239,7 +270,26 @@ std::string TrialOutcome::summary() const {
        << (total_violations == 1 ? "" : "s");
     if (!violations.empty()) os << " (first: " << violations.front().format() << ")";
   }
+  if (!overload.empty()) os << " [" << overload << "]";
   return os.str();
+}
+
+bool parse_overload_ledger(const std::string& ledger, std::uint64_t& offered,
+                           std::uint64_t& delivered, std::uint64_t& dropped) {
+  if (ledger.empty()) return false;
+  unsigned long long off = 0, del = 0, mac = 0, ring = 0, adm = 0;
+  long long pause = 0;
+  unsigned long long irqs = 0;
+  if (std::sscanf(ledger.c_str(),
+                  "offered=%llu delivered=%llu mac=%llu ring=%llu "
+                  "admission=%llu pause_ps=%lld irqs=%llu",
+                  &off, &del, &mac, &ring, &adm, &pause, &irqs) != 7) {
+    return false;
+  }
+  offered = off;
+  delivered = del;
+  dropped = mac + ring + adm;
+  return true;
 }
 
 TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index) {
@@ -293,6 +343,29 @@ TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index) {
   t.attacker = cfg.attacker;
   t.isolation_weakened = cfg.isolation_weakened;
   t.seed_misroute_bug = cfg.seed_misroute_bug && cfg.tenants > 0;
+  // Overload variety is drawn strictly AFTER the classic stream, so an
+  // overload campaign visits the exact same (system, fault-plan) specs a
+  // classic one does — sustained load is the only delta.
+  if (cfg.offered_load > 0 && cfg.tenants == 0) {
+    t.overload_armed = true;
+    auto& o = t.overload;
+    static constexpr std::uint32_t frame_sizes[] = {64, 256, 1024, 1514};
+    o.frame_bytes = frame_sizes[rng.below(std::size(frame_sizes))];
+    o.arrivals = rng.below(2) == 0 ? core::ArrivalModel::Poisson
+                                   : core::ArrivalModel::Burst;
+    static constexpr std::uint32_t ring_sizes[] = {128, 256, 512};
+    o.ring_slots = ring_sizes[rng.below(std::size(ring_sizes))];
+    o.admission_slots =
+        rng.below(2) == 0 ? 0 : 64 + static_cast<std::uint32_t>(rng.below(192));
+    o.seed = rng.next();
+    o.frames = cfg.iterations;
+    o.offered_load = cfg.offered_load;
+    o.service = cfg.service;
+    o.backpressure = cfg.backpressure;
+    // The overload datapath owns its buffer layout; IOMMU chaos stays the
+    // classic campaigns' concern.
+    t.iommu = false;
+  }
   return t;
 }
 
@@ -426,10 +499,83 @@ TrialOutcome run_tenant_trial(const TrialSpec& spec, bool telemetry,
   return out;
 }
 
+/// Overload trial: calibrate the trial's datapath capacity on the
+/// fault-free profile (calibrate_capacity strips the plan itself), then
+/// run the open-loop datapath at the configured multiple with the fault
+/// plan armed and BOTH monitor suites attached — PCIe-level conservation
+/// and overload frame accounting must hold simultaneously.
+TrialOutcome run_overload_trial(const TrialSpec& spec, bool telemetry,
+                                bool throw_monitors) {
+  TrialOutcome out;
+  auto cfg = sys::profile_by_name(spec.system).config;
+  cfg.fault_plan = spec.plan;
+  cfg.recovery = spec.recovery;
+  if (!spec.plan.empty()) cfg.watchdog.max_sim_time = kTrialMaxSimTime;
+
+  MonitorConfig mon_cfg;
+  mon_cfg.throw_on_violation = throw_monitors;
+  OverloadMonitorSuite overload_monitors(mon_cfg);
+  std::unique_ptr<obs::TraceSink> sink;
+  obs::DmaLatencyRecorder recorder;
+  try {
+    // Calibration is itself a bounded run: a few thousand closed-loop
+    // frames pin the rate well enough, and keeping it short keeps a
+    // 300-trial campaign in seconds.
+    nic::OverloadConfig ocfg = spec.overload;
+    nic::OverloadConfig cal = ocfg;
+    cal.frames = std::min<std::uint64_t>(cal.frames, 2000);
+    ocfg.capacity_pps = nic::calibrate_capacity(cfg, cal);
+
+    sim::System system(cfg);
+    MonitorSuite monitors(system, mon_cfg);
+    if (telemetry) {
+      sink = std::make_unique<obs::TraceSink>(/*capacity=*/1);
+      sink->set_listener(
+          [&recorder](const obs::TraceEvent& e) { recorder.on_event(e); });
+      system.set_trace_sink(sink.get());
+    }
+    nic::OverloadResult r;
+    try {
+      r = nic::run_overload(system, ocfg, overload_monitors.probe());
+      monitors.check_quiescent();
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+    out.overload = r.ledger();
+    out.total_violations =
+        monitors.total_violations() + overload_monitors.total_violations();
+    out.violations = monitors.violations();
+    out.violations.insert(out.violations.end(),
+                          overload_monitors.violations().begin(),
+                          overload_monitors.violations().end());
+    out.events = system.sim().executed();
+    out.tlps =
+        system.upstream().tlps_sent() + system.downstream().tlps_sent();
+    if (const auto* rec = system.recovery()) {
+      out.recovery_digest = rec->digest();
+      out.recovery_state = fault::to_string(rec->state());
+    }
+    if (telemetry) {
+      system.set_trace_sink(nullptr);
+      out.digests = std::move(recorder.digests());
+      out.digests.at("frame").merge(r.latency);
+    }
+  } catch (const std::exception& e) {
+    // Calibration or system construction failed — the trial itself is
+    // broken, which is a finding in its own right.
+    out.error = out.error.empty() ? e.what() : out.error;
+  }
+  out.failed = out.total_violations > 0 || !out.error.empty();
+  return out;
+}
+
 }  // namespace
 
 TrialOutcome run_trial(const TrialSpec& spec, bool telemetry,
                        bool throw_monitors) {
+  if (spec.overload_armed) {
+    return run_overload_trial(spec, telemetry, throw_monitors);
+  }
   if (spec.tenants > 0) {
     return run_tenant_trial(spec, telemetry, throw_monitors);
   }
@@ -538,10 +684,13 @@ ShrinkResult shrink_trial(const TrialSpec& failing, std::size_t budget,
     }
   }
 
-  // 3. Halve the trial length while it still reproduces.
-  while (res.minimal.params.iterations >= 100) {
+  // 3. Halve the trial length while it still reproduces (overload trials
+  //    measure length in offered frames, classic ones in iterations).
+  while (res.minimal.overload_armed ? res.minimal.overload.frames >= 100
+                                    : res.minimal.params.iterations >= 100) {
     TrialSpec cand = res.minimal;
     cand.params.iterations /= 2;
+    if (cand.overload_armed) cand.overload.frames /= 2;
     if (!attempt(std::move(cand))) break;
   }
   return res;
@@ -583,6 +732,12 @@ CampaignResult run_campaign_threaded(const ChaosConfig& cfg,
     if (outs[i].recovery_state == "quarantined") ++res.trials_quarantined;
     res.perturbed_victims += outs[i].perturbed_victims;
     res.device_wide_actions += outs[i].device_wide_actions;
+    std::uint64_t off = 0, del = 0, drop = 0;
+    if (parse_overload_ledger(outs[i].overload, off, del, drop)) {
+      res.overload_offered += off;
+      res.overload_delivered += del;
+      res.overload_dropped += drop;
+    }
     if (outs[i].failed) {
       ++res.failures;
       res.first_failure = specs[i];
@@ -612,6 +767,12 @@ CampaignResult run_campaign(const ChaosConfig& cfg,
     if (out.recovery_state == "quarantined") ++res.trials_quarantined;
     res.perturbed_victims += out.perturbed_victims;
     res.device_wide_actions += out.device_wide_actions;
+    std::uint64_t off = 0, del = 0, drop = 0;
+    if (parse_overload_ledger(out.overload, off, del, drop)) {
+      res.overload_offered += off;
+      res.overload_delivered += del;
+      res.overload_dropped += drop;
+    }
     if (out.failed) {
       ++res.failures;
       res.first_failure = spec;

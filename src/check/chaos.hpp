@@ -29,6 +29,7 @@
 #include "core/params.hpp"
 #include "fault/plan.hpp"
 #include "fault/recovery.hpp"
+#include "nic/overload.hpp"
 #include "obs/digest.hpp"
 
 namespace pcieb::check {
@@ -63,6 +64,17 @@ struct TrialSpec {
   /// the isolation monitors have a known cross-VF bleed to catch.
   bool seed_misroute_bug = false;
 
+  /// Overload-chaos mode (overload_armed): the trial runs the open-loop
+  /// overload datapath (nic::run_overload_point) instead of a
+  /// micro-benchmark, composing the randomized fault plan with sustained
+  /// past-capacity load, with BOTH the PCIe-level MonitorSuite and the
+  /// OverloadMonitorSuite attached. Per-trial datapath variety (frame
+  /// size, arrival process, ring size, admission threshold) is drawn from
+  /// the trial stream; the load multiple / service model / backpressure
+  /// come from the campaign config.
+  bool overload_armed = false;
+  nic::OverloadConfig overload;
+
   /// One line: system, workload knobs and the fault plan.
   std::string describe() const;
   /// The exact `pciebench run ... --monitors` invocation replaying this
@@ -94,9 +106,19 @@ struct TrialOutcome {
   /// weakened isolation reports them as the measured blast radius.
   std::uint64_t perturbed_victims = 0;
   std::uint64_t device_wide_actions = 0;
+  /// Overload-trial frame ledger (nic::OverloadResult::ledger(); "" for
+  /// classic trials). Canonical integer-only string, journal-carried so
+  /// resumed/forked campaigns summarize byte-identically.
+  std::string overload;
 
   std::string summary() const;  ///< one line: pass, or why it failed
 };
+
+/// Parse a TrialOutcome::overload ledger back into its aggregate frame
+/// counts (dropped = mac + ring + admission). Returns false when the
+/// ledger is empty or malformed.
+bool parse_overload_ledger(const std::string& ledger, std::uint64_t& offered,
+                           std::uint64_t& delivered, std::uint64_t& dropped);
 
 struct ChaosConfig {
   std::uint64_t master_seed = 0xc4a05;
@@ -132,6 +154,12 @@ struct ChaosConfig {
   unsigned attacker = 0;
   bool isolation_weakened = false;
   bool seed_misroute_bug = false;  ///< TEST-ONLY, tenant trials only
+  /// Overload-chaos mode: offered load as a multiple of each trial's
+  /// calibrated capacity (0 = classic campaign). Mutually exclusive with
+  /// tenant mode. Service model and backpressure apply to every trial.
+  double offered_load = 0.0;
+  nic::ServiceMode service = nic::ServiceMode::BusyPoll;
+  bool backpressure = false;
 };
 
 /// Trial `index` of the campaign — pure in (cfg.master_seed, index).
@@ -183,6 +211,11 @@ struct CampaignResult {
   /// recovery actions, summed.
   std::uint64_t perturbed_victims = 0;
   std::uint64_t device_wide_actions = 0;
+  /// Overload-chaos frame tallies over the observed trials (zero for
+  /// classic campaigns), summed from each trial's ledger.
+  std::uint64_t overload_offered = 0;
+  std::uint64_t overload_delivered = 0;
+  std::uint64_t overload_dropped = 0;
 
   bool ok() const { return failures == 0; }
 };

@@ -75,11 +75,22 @@ CommodityProbeResult run_commodity_probe(sim::System& system,
   // from inside its own invocation would destroy the std::function that
   // is still executing. Writes only occur in the RX phase, after
   // `expected` is set, so the permanent observer fires at the same points.
+  const Picos frame_wire = wire_time(cfg.frame_bytes, cfg.wire_gbps);
+  std::uint64_t rx_dropped = 0;
   system.set_write_observer([&](std::uint32_t bytes) {
     committed += bytes;
     if (expected == 0 || committed < expected) return;
     expected = 0;
-    samples.add(to_nanos(sim.now() - t0));
+    const Picos service = sim.now() - t0;
+    samples.add(to_nanos(service));
+    if (cfg.freelist_slots > 0) {
+      // Bounded-freelist accounting: line-rate arrivals kept coming while
+      // this probe held the pipe; whatever exceeded the freelist is lost.
+      const std::uint64_t arrivals =
+          static_cast<std::uint64_t>(service / frame_wire);
+      if (arrivals > cfg.freelist_slots)
+        rx_dropped += arrivals - cfg.freelist_slots;
+    }
     next();
   });
   next();
@@ -89,6 +100,7 @@ CommodityProbeResult run_commodity_probe(sim::System& system,
   CommodityProbeResult result;
   result.config = cfg;
   result.per_packet = summarize_latency(samples);
+  result.rx_dropped = rx_dropped;
   // The two descriptor reads and one descriptor write-back are the fixed
   // commodity overhead per packet; estimate from the wire model.
   const auto& link = system.config().link;

@@ -251,6 +251,8 @@ NicSimResult run_nic_sim(sim::System& system, const NicSimConfig& cfg) {
 
   NicSimResult r;
   r.rx_dropped = rx_dropped;
+  r.tx_ring_max_pending = tx_ring.max_pending();
+  r.rx_ring_max_pending = rx_ring.max_pending();
   const double tx_elapsed_s = to_seconds(tx_last - start);
   const double rx_elapsed_s = to_seconds(rx_last - start);
   if (tx_elapsed_s > 0) {

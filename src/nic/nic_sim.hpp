@@ -43,6 +43,11 @@ struct NicSimResult {
   double tx_pps = 0.0;
   double rx_pps = 0.0;
   std::uint64_t rx_dropped = 0;  ///< arrivals lost to freelist starvation
+  /// Ring occupancy high-watermarks — how close the descriptor protocol
+  /// came to its structural bound (== ring_slots when the NIC consumed a
+  /// full ring's worth before the driver caught up).
+  std::uint32_t tx_ring_max_pending = 0;
+  std::uint32_t rx_ring_max_pending = 0;
   /// min(tx, rx): the symmetric per-direction goodput comparable with
   /// model::bidirectional_goodput_gbps.
   double per_direction_goodput_gbps = 0.0;

@@ -1,0 +1,505 @@
+#include "nic/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "nic/frame.hpp"
+#include "nic/ring.hpp"
+#include "obs/trace.hpp"
+#include "pcie/tlp.hpp"
+#include "sim/host_buffer.hpp"
+
+namespace pcieb::nic {
+namespace {
+
+constexpr std::uint32_t kPointerBytes = 4;
+
+/// Buffer layout, mirroring nic_sim: freelist ring + MSI mailbox in the
+/// first MB (kept host-warm), packet landing area behind it (cycled).
+constexpr std::uint64_t kRxDescArea = 0;
+constexpr std::uint64_t kMsiArea = 256ull << 10;
+constexpr std::uint64_t kPktArea = 1ull << 20;
+constexpr std::uint64_t kPktAreaBytes = 3ull << 20;
+constexpr std::uint64_t kRxDoorbell = 0x20;
+constexpr unsigned kMaxDescFetches = 8;
+
+/// Drop-site codes carried in FrameDrop trace flags (docs/OVERLOAD.md).
+constexpr std::uint8_t kDropMac = 0;
+constexpr std::uint8_t kDropRing = 1;
+constexpr std::uint8_t kDropAdmission = 2;
+
+OverloadResult run_datapath(sim::System& system, const OverloadConfig& cfg,
+                            const OverloadProbe* probe, bool calibrate) {
+  auto& sim = system.sim();
+  auto& dev = system.device();
+  auto& rc = system.root_complex();
+  obs::TraceSink* trace = system.trace_sink();
+
+  sim::BufferConfig buf_cfg;
+  buf_cfg.size_bytes = 8ull << 20;
+  sim::HostBuffer buffer(buf_cfg);
+  system.attach_buffer(&buffer);
+  system.thrash_cache();
+  system.warm_host(buffer, 0, 1ull << 20);  // ring and mailbox warm
+
+  const std::uint32_t frame = cfg.frame_bytes;
+  const Picos frame_wire = wire_time(frame, cfg.wire_gbps);
+  const std::uint32_t desc = cfg.descriptor_bytes;
+  const Picos pause_quantum =
+      cfg.pause_quantum > 0 ? cfg.pause_quantum : 8 * frame_wire;
+  // Calibration runs the identical pipeline closed-loop: backpressure is
+  // forced on with an unbounded budget, so the PAUSE mechanism throttles
+  // line-rate arrivals to exactly the service rate and nothing drops —
+  // the delivered rate IS the sustainable capacity.
+  const bool backpressure = calibrate ? true : cfg.backpressure;
+  const Picos pause_budget = calibrate
+                                 ? std::numeric_limits<Picos>::max() / 2
+                                 : (cfg.backpressure ? cfg.pause_budget : 0);
+  const std::uint32_t admission_slots = calibrate ? 0 : cfg.admission_slots;
+
+  core::LoadGenConfig lg;
+  lg.arrivals = cfg.arrivals;
+  lg.mean_gap_ps =
+      calibrate ? static_cast<double>(frame_wire)
+                : 1e12 / (static_cast<double>(cfg.capacity_pps) *
+                          cfg.offered_load);
+  lg.burst_frames = cfg.burst_frames;
+  lg.flows = cfg.flows;
+  lg.zipf_s = cfg.zipf_s;
+  lg.seed = cfg.seed;
+  core::LoadGen gen(lg);
+  core::FlowTable flows(cfg.flows);
+
+  OverloadStats st;
+  st.ring_slots = cfg.ring_slots;
+  st.admission_slots = admission_slots;
+  st.pause_budget = pause_budget;
+
+  DescriptorRing ring(cfg.ring_slots, desc);
+  std::uint64_t posted_total = 0;  ///< freelist descriptors the driver queued
+  std::uint64_t returned = 0;      ///< buffers recycled (delivered + adm-drop)
+  std::uint32_t creds = 0;         ///< freelist descriptors resident on NIC
+  unsigned fetch_inflight = 0;
+  std::uint32_t wb_due = 0;
+  std::uint32_t irq_due = 0;
+  std::uint64_t pkt_cursor = 0;
+  std::uint64_t arrivals = 0;
+  bool arrivals_done = false;
+  std::uint32_t epoch_pos = 0;
+  Picos pause_until = 0;
+  bool host_awake = cfg.service == ServiceMode::BusyPoll;
+  bool irq_pending = false;  ///< MSI + wakeup scheduled, host still asleep
+  bool service_busy = false;
+  Picos service_ready_at = 0;  ///< livelock-bug postponement horizon
+  Picos first_arrival = -1;
+  Picos last_delivery = 0;
+  obs::Digest latency;
+
+  struct Waiting {
+    std::uint32_t flow;
+    Picos t_arr;
+  };
+  std::deque<Waiting> backlog;
+
+  const std::uint64_t msi_addr = buffer.iova(kMsiArea);
+
+  auto driver_fill = [&] {
+    // The driver recycles returned buffers onto the freelist; undelivered
+    // posted buffers are bounded by the ring size (as in nic_sim).
+    while (ring.free_slots() >= cfg.doorbell_batch &&
+           posted_total - returned + cfg.doorbell_batch <= cfg.ring_slots) {
+      ring.post(cfg.doorbell_batch);
+      posted_total += cfg.doorbell_batch;
+      rc.host_mmio_write(kRxDoorbell, kPointerBytes);
+    }
+  };
+
+  bool mac_enabled = false;  ///< arrivals start once credits are resident
+  std::function<void()> start_arrivals;  // defined below
+
+  std::function<void()> fetch_descs = [&] {
+    while (fetch_inflight < kMaxDescFetches && ring.pending() > 0) {
+      const std::uint32_t n =
+          std::min<std::uint32_t>(cfg.desc_batch, ring.pending());
+      ring.consume(n);
+      ++fetch_inflight;
+      dev.dma_read(buffer.iova(kRxDescArea), n * desc, [&, n] {
+        creds += n;
+        st.creds_max = std::max(st.creds_max, creds);
+        --fetch_inflight;
+        driver_fill();
+        if (!mac_enabled) {
+          // The driver enables the MAC only after the freelist is
+          // provisioned (as real drivers do) — otherwise the first wire
+          // frames race the first descriptor-fetch DMA and drop during
+          // cold start even far below capacity.
+          mac_enabled = true;
+          start_arrivals();
+        }
+      });
+    }
+  };
+
+  std::function<void()> pump_service;
+  std::function<void()> raise_irq;
+  std::function<void()> maybe_flush;
+  std::function<void(Waiting)> finish_service;
+
+  finish_service = [&](Waiting w) {
+    if (sim.now() < service_ready_at) {
+      // TEST-ONLY livelock: interrupt storms keep postponing the bottom
+      // half; re-arm at the current horizon.
+      sim.after(service_ready_at - sim.now(), [&, w] { finish_service(w); });
+      return;
+    }
+    ++st.delivered;
+    flows.delivered(w.flow);
+    const Picos now = sim.now();
+    latency.add(static_cast<std::uint64_t>(now - w.t_arr));
+    if (trace) {
+      trace->record({w.t_arr, now - w.t_arr, 0, w.flow, frame,
+                     obs::EventKind::FrameDelivered, obs::Component::Device,
+                     0});
+    }
+    ++returned;
+    st.in_service = 0;
+    service_busy = false;
+    last_delivery = now;
+    driver_fill();
+    fetch_descs();
+    pump_service();
+    maybe_flush();
+  };
+
+  pump_service = [&] {
+    if (service_busy || !host_awake) return;
+    if (backlog.empty()) {
+      // Coalesced host goes back to sleep until the next MSI wakes it.
+      if (cfg.service == ServiceMode::Coalesce) host_awake = false;
+      return;
+    }
+    service_busy = true;
+    st.in_service = 1;
+    const Waiting w = backlog.front();
+    backlog.pop_front();
+    st.backlog = backlog.size();
+    sim.after(cfg.host_service_ps, [&, w] { finish_service(w); });
+  };
+
+  raise_irq = [&] {
+    if (irq_pending || host_awake) {
+      if (cfg.test_livelock_bug) {
+        // Broken moderation: the storm keeps hammering MSIs and each one
+        // postpones in-progress service by the interrupt cost.
+        ++st.irqs;
+        dev.dma_write(msi_addr, kPointerBytes, {});
+        service_ready_at =
+            std::max(service_ready_at, sim.now() + cfg.irq_cost);
+      }
+      return;
+    }
+    irq_pending = true;
+    irq_due = 0;
+    ++st.irqs;
+    dev.dma_write(msi_addr, kPointerBytes, [&] {
+      sim.after(cfg.irq_cost, [&] {
+        irq_pending = false;
+        host_awake = true;
+        if (cfg.test_livelock_bug) {
+          service_ready_at =
+              std::max(service_ready_at, sim.now() + cfg.irq_cost);
+        }
+        pump_service();
+      });
+    });
+  };
+
+  maybe_flush = [&] {
+    if (cfg.service != ServiceMode::Coalesce) return;
+    if (host_awake || irq_pending || backlog.empty()) return;
+    // Moderation while load is sustained; an unconditional flush once
+    // arrivals end, so the tail of the backlog can never strand.
+    if (arrivals_done || irq_due >= cfg.irq_moderation) raise_irq();
+  };
+
+  std::function<void()> on_arrival;
+  std::function<void()> schedule_arrival = [&] {
+    const Picos gap = calibrate ? frame_wire : gen.next_gap();
+    Picos due = sim.now() + gap;
+    // A paused sender holds its frames: the arrival clock stretches by
+    // however much of the PAUSE window is still ahead.
+    if (backpressure && due < pause_until) due = pause_until;
+    sim.after(due - sim.now(), on_arrival);
+  };
+
+  on_arrival = [&] {
+    const Picos now = sim.now();
+    if (first_arrival < 0) first_arrival = now;
+    ++st.offered;
+    const std::uint32_t flow = gen.next_flow();
+    flows.offered(flow);
+    if (trace) {
+      trace->record({now, 0, 0, flow, frame, obs::EventKind::FrameArrival,
+                     obs::Component::Device, 0});
+    }
+    if (cfg.test_livelock_bug && cfg.service == ServiceMode::Coalesce) {
+      // TEST-ONLY receive livelock: broken moderation raises an MSI for
+      // every wire arrival — dropped or not — so at sufficient offered
+      // load the interrupt storm postpones the bottom half faster than
+      // time passes and delivery freezes.
+      raise_irq();
+    }
+    // MAC PAUSE: assert when resident freelist credits run low, bounded
+    // by the cumulative pause budget.
+    if (backpressure && creds < cfg.pause_threshold && now >= pause_until) {
+      const Picos remaining = pause_budget - st.pause_ps;
+      if (remaining > 0) {
+        const Picos q = std::min(pause_quantum, remaining);
+        pause_until = now + q;
+        st.pause_ps += q;
+        ++st.pause_events;
+      }
+    }
+    if (creds == 0) {
+      // The wire does not wait. With backpressure the budget failed to
+      // protect the freelist (MAC drop); without it this is the classic
+      // rx_no_buffer ring drop.
+      if (backpressure) {
+        ++st.dropped_mac;
+      } else {
+        ++st.dropped_ring;
+      }
+      flows.dropped(flow);
+      if (trace) {
+        trace->record({now, 0, 0, flow, frame, obs::EventKind::FrameDrop,
+                       obs::Component::Device,
+                       backpressure ? kDropMac : kDropRing});
+      }
+    } else {
+      --creds;
+      ++st.dma_inflight;
+      fetch_descs();
+      const std::uint64_t addr =
+          buffer.iova(kPktArea + (pkt_cursor * 2048) % kPktAreaBytes);
+      ++pkt_cursor;
+      dev.dma_write(addr, frame, [&, flow, t_arr = now] {
+        --st.dma_inflight;
+        if (++wb_due >= cfg.rx_wb_batch) {
+          dev.dma_write(buffer.iova(kRxDescArea), wb_due * desc, {});
+          wb_due = 0;
+        }
+        if (admission_slots != 0 && backlog.size() >= admission_slots) {
+          // Tail-drop at the driver: the frame burned PCIe bandwidth but
+          // the host refuses to queue it — goodput degrades instead of
+          // the backlog (and its latency) growing without bound.
+          ++st.dropped_admission;
+          flows.dropped(flow);
+          ++returned;
+          if (trace) {
+            trace->record({sim.now(), 0, 0, flow, frame,
+                           obs::EventKind::FrameDrop, obs::Component::Device,
+                           kDropAdmission});
+          }
+          driver_fill();
+          maybe_flush();
+        } else {
+          backlog.push_back({flow, t_arr});
+          st.backlog = backlog.size();
+          st.backlog_max =
+              std::max<std::uint64_t>(st.backlog_max, backlog.size());
+          if (cfg.service == ServiceMode::Coalesce) {
+            ++irq_due;
+            maybe_flush();
+          } else {
+            pump_service();
+          }
+        }
+      });
+    }
+    // Monitor epoch: fires only while the offered load is sustained, so
+    // the forward-progress check never judges the drain tail.
+    if (probe && probe->on_epoch && ++epoch_pos >= cfg.epoch_arrivals) {
+      epoch_pos = 0;
+      st.ring_max_pending = ring.max_pending();
+      probe->on_epoch(st, now);
+    }
+    ++arrivals;
+    if (arrivals < cfg.frames) {
+      schedule_arrival();
+    } else {
+      arrivals_done = true;
+      maybe_flush();
+    }
+  };
+
+  start_arrivals = [&] { schedule_arrival(); };
+
+  dev.set_mmio_handler([&](const proto::Tlp& tlp, bool is_write) {
+    if (is_write && tlp.addr == kRxDoorbell) fetch_descs();
+  });
+
+  const Picos start = sim.now();
+  driver_fill();
+  sim.run();
+
+  st.ring_max_pending = ring.max_pending();
+  st.backlog = backlog.size();
+  if (probe && probe->on_quiesce) {
+    probe->on_quiesce(st, flows.stats(), sim.now());
+  }
+
+  OverloadResult r;
+  r.stats = st;
+  r.capacity_pps = cfg.capacity_pps;
+  r.flows = flows.stats();
+  r.latency = std::move(latency);
+  r.offered_pps = 1e12 / lg.mean_gap_ps;
+  const Picos t0 = first_arrival >= 0 ? first_arrival : start;
+  r.elapsed = std::max<Picos>(last_delivery - t0, 0);
+  if (r.elapsed > 0 && st.delivered > 0) {
+    r.goodput_pps = static_cast<double>(st.delivered) / to_seconds(r.elapsed);
+    r.goodput_gbps = r.goodput_pps * frame * 8.0 / 1e9;
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(ServiceMode m) {
+  switch (m) {
+    case ServiceMode::BusyPoll: return "poll";
+    case ServiceMode::Coalesce: return "coalesce";
+  }
+  return "?";
+}
+
+ServiceMode parse_service_mode(const std::string& s) {
+  if (s == "poll") return ServiceMode::BusyPoll;
+  if (s == "coalesce") return ServiceMode::Coalesce;
+  throw std::invalid_argument("service mode must be poll or coalesce, got '" +
+                              s + "'");
+}
+
+void OverloadConfig::validate() const {
+  if (frame_bytes < kMinFrame || frame_bytes > kMaxFrame) {
+    throw std::invalid_argument("overload: frame_bytes out of [60, 1514]");
+  }
+  if (wire_gbps <= 0) throw std::invalid_argument("overload: wire_gbps <= 0");
+  if (descriptor_bytes == 0 || ring_slots == 0) {
+    throw std::invalid_argument("overload: zero descriptor_bytes/ring_slots");
+  }
+  if (desc_batch == 0 || rx_wb_batch == 0 || doorbell_batch == 0) {
+    throw std::invalid_argument("overload: zero batch size");
+  }
+  if (doorbell_batch > ring_slots) {
+    throw std::invalid_argument("overload: doorbell_batch > ring_slots");
+  }
+  if (service == ServiceMode::Coalesce && irq_moderation == 0) {
+    throw std::invalid_argument("overload: coalesce needs irq_moderation >= 1");
+  }
+  if (host_service_ps < 1) {
+    throw std::invalid_argument("overload: host_service_ps < 1");
+  }
+  if (backpressure && pause_threshold == 0) {
+    throw std::invalid_argument("overload: backpressure needs pause_threshold");
+  }
+  if (offered_load <= 0) {
+    throw std::invalid_argument("overload: offered_load must be > 0");
+  }
+  if (frames == 0) throw std::invalid_argument("overload: zero frames");
+  if (flows == 0) throw std::invalid_argument("overload: zero flows");
+  if (burst_frames == 0) throw std::invalid_argument("overload: zero burst");
+  if (epoch_arrivals == 0) {
+    throw std::invalid_argument("overload: zero epoch_arrivals");
+  }
+}
+
+std::string OverloadResult::ledger() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "offered=%llu delivered=%llu mac=%llu ring=%llu admission=%llu "
+                "pause_ps=%lld irqs=%llu",
+                static_cast<unsigned long long>(stats.offered),
+                static_cast<unsigned long long>(stats.delivered),
+                static_cast<unsigned long long>(stats.dropped_mac),
+                static_cast<unsigned long long>(stats.dropped_ring),
+                static_cast<unsigned long long>(stats.dropped_admission),
+                static_cast<long long>(stats.pause_ps),
+                static_cast<unsigned long long>(stats.irqs));
+  return buf;
+}
+
+void register_overload_counters(obs::CounterRegistry& reg,
+                                const OverloadResult& result) {
+  const OverloadStats s = result.stats;  // snapshot by value
+  reg.add_counter("nic.overload.offered",
+                  [s] { return static_cast<double>(s.offered); });
+  reg.add_counter("nic.overload.delivered",
+                  [s] { return static_cast<double>(s.delivered); });
+  reg.add_counter("nic.overload.dropped.mac",
+                  [s] { return static_cast<double>(s.dropped_mac); });
+  reg.add_counter("nic.overload.dropped.ring",
+                  [s] { return static_cast<double>(s.dropped_ring); });
+  reg.add_counter("nic.overload.dropped.admission",
+                  [s] { return static_cast<double>(s.dropped_admission); });
+  reg.add_counter("nic.overload.pause.events",
+                  [s] { return static_cast<double>(s.pause_events); });
+  reg.add_counter("nic.overload.pause.ps",
+                  [s] { return static_cast<double>(s.pause_ps); });
+  reg.add_counter("nic.overload.irqs",
+                  [s] { return static_cast<double>(s.irqs); });
+  reg.add_gauge("nic.overload.ring.max_pending",
+                [s] { return static_cast<double>(s.ring_max_pending); });
+  reg.add_gauge("nic.overload.backlog.max",
+                [s] { return static_cast<double>(s.backlog_max); });
+}
+
+std::uint64_t calibrate_capacity(const sim::SystemConfig& sys_cfg,
+                                 const OverloadConfig& cfg) {
+  cfg.validate();
+  // Capacity is a property of the healthy path: strip faults/recovery —
+  // and the planted livelock bug — so the scale a faulted or bugged
+  // overload run is measured against stays stable.
+  sim::SystemConfig clean = sys_cfg;
+  clean.fault_plan = {};
+  clean.recovery = {};
+  OverloadConfig cal = cfg;
+  cal.test_livelock_bug = false;
+  sim::System system(clean);
+  const OverloadResult r =
+      run_datapath(system, cal, /*probe=*/nullptr, /*calibrate=*/true);
+  if (r.stats.delivered == 0 || r.elapsed <= 0) {
+    throw std::runtime_error("overload calibration delivered no frames");
+  }
+  return static_cast<std::uint64_t>(static_cast<double>(r.stats.delivered) *
+                                    1e12 / static_cast<double>(r.elapsed));
+}
+
+OverloadResult run_overload(sim::System& system, const OverloadConfig& cfg,
+                            const OverloadProbe* probe) {
+  cfg.validate();
+  if (cfg.capacity_pps == 0) {
+    throw std::invalid_argument(
+        "run_overload: capacity_pps unset (run calibrate_capacity first)");
+  }
+  return run_datapath(system, cfg, probe, /*calibrate=*/false);
+}
+
+OverloadResult run_overload_point(const sim::SystemConfig& sys_cfg,
+                                  const OverloadConfig& cfg,
+                                  const OverloadProbe* probe) {
+  OverloadConfig run_cfg = cfg;
+  if (run_cfg.capacity_pps == 0) {
+    run_cfg.capacity_pps = calibrate_capacity(sys_cfg, cfg);
+  }
+  sim::System system(sys_cfg);
+  OverloadResult r = run_overload(system, run_cfg, probe);
+  return r;
+}
+
+}  // namespace pcieb::nic

@@ -17,6 +17,12 @@ class DescriptorRing {
   DescriptorRing(std::uint32_t slots, std::uint32_t descriptor_bytes)
       : slots_(slots), descriptor_bytes_(descriptor_bytes) {
     if (slots == 0) throw std::invalid_argument("DescriptorRing: zero slots");
+    if (descriptor_bytes == 0) {
+      // A zero-byte descriptor would make every ring DMA zero-length —
+      // the occupancy protocol would "work" while nothing ever crossed
+      // the link. Reject it at construction like zero slots.
+      throw std::invalid_argument("DescriptorRing: zero descriptor_bytes");
+    }
   }
 
   /// Producer (driver on TX / freelist; device on RX completion) posts
@@ -24,6 +30,7 @@ class DescriptorRing {
   std::uint32_t post(std::uint32_t n) {
     const std::uint32_t fit = std::min(n, free_slots());
     tail_ += fit;
+    max_pending_ = std::max(max_pending_, pending());
     return fit;
   }
 
@@ -34,16 +41,22 @@ class DescriptorRing {
     return take;
   }
 
-  std::uint32_t pending() const { return tail_ - head_; }
+  std::uint32_t pending() const {
+    return static_cast<std::uint32_t>(tail_ - head_);
+  }
   std::uint32_t free_slots() const { return slots_ - pending(); }
   std::uint32_t slots() const { return slots_; }
   std::uint32_t descriptor_bytes() const { return descriptor_bytes_; }
   std::uint64_t total_posted() const { return tail_; }
   std::uint64_t total_consumed() const { return head_; }
+  /// High-watermark occupancy over the ring's lifetime — what the
+  /// bounded-occupancy overload monitor checks against slots().
+  std::uint32_t max_pending() const { return max_pending_; }
 
  private:
   std::uint32_t slots_;
   std::uint32_t descriptor_bytes_;
+  std::uint32_t max_pending_ = 0;
   std::uint64_t tail_ = 0;  ///< producer index (monotonic)
   std::uint64_t head_ = 0;  ///< consumer index (monotonic)
 };

@@ -44,6 +44,9 @@ const char* to_string(EventKind k) {
     case EventKind::BenchPhase: return "bench_phase";
     case EventKind::AerError: return "aer_error";
     case EventKind::RecoveryTransition: return "recovery_transition";
+    case EventKind::FrameArrival: return "frame_arrival";
+    case EventKind::FrameDelivered: return "frame_delivered";
+    case EventKind::FrameDrop: return "frame_drop";
   }
   return "?";
 }

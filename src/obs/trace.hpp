@@ -68,6 +68,12 @@ enum class EventKind : std::uint8_t {
   AerError,        ///< AER error record (instant; flags = fault::ErrorType)
   RecoveryTransition,  ///< recovery ladder state change (instant; flags =
                        ///< packed from<<4|to of fault::RecoveryState)
+  // NIC frame lifecycle (overload datapath, docs/OVERLOAD.md).
+  FrameArrival,    ///< open-loop frame hit the MAC (instant; id = flow)
+  FrameDelivered,  ///< host service completed a frame (dur = arrival ->
+                   ///< completion latency; id = flow)
+  FrameDrop,       ///< frame dropped (instant; id = flow; flags =
+                   ///< overload drop site: 0 mac, 1 ring, 2 admission)
 };
 const char* to_string(EventKind k);
 

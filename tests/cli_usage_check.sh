@@ -80,6 +80,23 @@ expect_usage "chaos weights rejected"  -- chaos --trials 1 --tenants 4 --weights
 expect_usage "chaos quota rejected"    -- chaos --trials 1 --tenants 4 --ddio-quota 2,2,2,2
 expect_usage "chaos bad isolation"     -- chaos --trials 1 --tenants 4 --isolation tight
 
+# Overload flags (docs/OVERLOAD.md): the dedicated subcommand and the
+# chaos riders both validate strictly.
+expect_usage "overload needs system"      -- overload
+expect_usage "overload unknown option"    -- overload --system NFP6000-HSW --offered-loda 2
+expect_usage "overload zero load"         -- overload --system NFP6000-HSW --offered-load 0
+expect_usage "overload non-numeric load"  -- overload --system NFP6000-HSW --offered-load heavy
+expect_usage "overload bad service mode"  -- overload --system NFP6000-HSW --service-mode napi
+expect_usage "overload bad backpressure"  -- overload --system NFP6000-HSW --backpressure maybe
+expect_usage "overload bad arrivals"      -- overload --system NFP6000-HSW --arrivals uniform
+expect_usage "overload zero frames"       -- overload --system NFP6000-HSW --frames 0
+expect_usage "overload tiny frame"        -- overload --system NFP6000-HSW --frame 32
+expect_usage "chaos zero offered load"    -- chaos --trials 1 --offered-load 0
+expect_usage "chaos service w/o load"     -- chaos --trials 1 --service-mode poll
+expect_usage "chaos bp w/o load"          -- chaos --trials 1 --backpressure on
+expect_usage "chaos bad backpressure"     -- chaos --trials 1 --offered-load 2 --backpressure sometimes
+expect_usage "chaos overload + tenants"   -- chaos --trials 1 --offered-load 2 --tenants 2
+
 expect_ok "bare telemetry to stdout" -- "${RUN[@]}" --telemetry
 expect_ok "telemetry to file" -- "${RUN[@]}" --telemetry="$(mktemp -u /tmp/pcieb-usage-XXXXXX.csv)"
 expect_ok "telemetry with interval" -- "${RUN[@]}" --telemetry --telemetry-interval 500000
@@ -90,5 +107,8 @@ expect_ok "chaos recovery + throw-monitors" -- chaos --trials 2 --iters 50 --rec
 expect_ok "tenant run" -- run --system NFP6000-HSW --bench BW_WR --iters 50 --tenants 2
 expect_ok "tenant run full knobs" -- run --system NFP6000-HSW --bench BW_WR --iters 50 --tenants 4 --attacker 1 --isolation weakened --weights 2,1,1,1 --ddio-quota 2,2,2,2
 expect_ok "tenant chaos" -- chaos --trials 2 --iters 50 --tenants 2 --attacker 0
+expect_ok "overload quick run" -- overload --system NFP6000-HSW --offered-load 2 --frames 400 --capacity-pps 2000000
+expect_ok "overload coalesce bp monitors" -- overload --system NFP6000-HSW --offered-load 2 --service-mode coalesce --backpressure on --frames 400 --capacity-pps 2000000 --monitors
+expect_ok "overload chaos" -- chaos --trials 2 --iters 200 --offered-load 2 --service-mode coalesce --backpressure on
 
 exit $fail

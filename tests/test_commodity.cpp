@@ -27,6 +27,30 @@ TEST(CommodityProbeTest, ProducesRequestedSamples) {
   EXPECT_GT(r.per_packet.median_ns, 0.0);
 }
 
+TEST(CommodityProbeTest, FreelistAccountingIsOffByDefaultAndZeroCost) {
+  // Unarmed probes report no drops, and arming the accounting changes
+  // nothing about the measurement itself — same samples, same latency.
+  const auto plain = probe(8192, true);
+  EXPECT_EQ(plain.rx_dropped, 0u);
+
+  sim::System system(host());
+  CommodityProbeConfig cfg;
+  cfg.window_bytes = 8192;
+  cfg.iterations = 1500;
+  cfg.freelist_slots = 4;  // per-packet service ~1 µs >> 4 frame times
+  const auto armed = run_commodity_probe(system, cfg);
+  EXPECT_GT(armed.rx_dropped, 0u);
+  EXPECT_DOUBLE_EQ(armed.per_packet.median_ns, plain.per_packet.median_ns);
+  EXPECT_EQ(armed.per_packet.count, plain.per_packet.count);
+
+  // A freelist deeper than the service time's worth of arrivals loses
+  // nothing — the §5.5 probe only drops when the host is the bottleneck.
+  sim::System deep_sys(host());
+  cfg.freelist_slots = 4096;
+  const auto deep = run_commodity_probe(deep_sys, cfg);
+  EXPECT_EQ(deep.rx_dropped, 0u);
+}
+
 TEST(CommodityProbeTest, VaryTxExposesCacheResidency) {
   // §6.3 through the commodity lens: warm windows are ~70 ns faster.
   const auto warm = probe(64 << 10, true);

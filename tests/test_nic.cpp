@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "model/interaction.hpp"
 #include "model/nic_models.hpp"
 #include "nic/frame.hpp"
@@ -56,6 +59,74 @@ TEST(DescriptorRingTest, MonotonicTotals) {
 
 TEST(DescriptorRingTest, ZeroSlotsThrows) {
   EXPECT_THROW(DescriptorRing(0, 16), std::invalid_argument);
+}
+
+TEST(DescriptorRingTest, ZeroDescriptorBytesThrows) {
+  // Regression: a zero-byte descriptor made every ring DMA zero-length —
+  // the occupancy protocol "worked" while nothing crossed the link.
+  EXPECT_THROW(DescriptorRing(8, 0), std::invalid_argument);
+}
+
+TEST(DescriptorRingTest, MaxPendingTracksHighWatermark) {
+  DescriptorRing ring(8, 16);
+  ring.post(3);
+  ring.consume(3);
+  ring.post(6);
+  EXPECT_EQ(ring.max_pending(), 6u);
+  ring.consume(6);
+  EXPECT_EQ(ring.max_pending(), 6u);  // watermark never decays
+}
+
+// Property: under any randomized post/consume sequence the occupancy
+// protocol holds — pending never exceeds slots, pending + free == slots,
+// post/consume return values match the index deltas, and the watermark
+// dominates every observed occupancy.
+TEST(DescriptorRingTest, RandomizedSequencePreservesInvariants) {
+  std::mt19937_64 rng(0xdecafbad);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint32_t slots = 1u + static_cast<std::uint32_t>(rng() % 512);
+    DescriptorRing ring(slots, 16);
+    std::uint64_t posted = 0, consumed = 0;
+    std::uint32_t peak = 0;
+    for (int step = 0; step < 4000; ++step) {
+      const std::uint32_t n = static_cast<std::uint32_t>(rng() % 64);
+      if (rng() & 1) {
+        const std::uint32_t fit = ring.post(n);
+        ASSERT_LE(fit, n);
+        posted += fit;
+      } else {
+        const std::uint32_t took = ring.consume(n);
+        ASSERT_LE(took, n);
+        consumed += took;
+      }
+      ASSERT_LE(ring.pending(), slots);
+      ASSERT_EQ(ring.pending() + ring.free_slots(), slots);
+      ASSERT_EQ(ring.total_posted(), posted);
+      ASSERT_EQ(ring.total_consumed(), consumed);
+      ASSERT_EQ(ring.pending(), posted - consumed);
+      peak = std::max(peak, ring.pending());
+      ASSERT_EQ(ring.max_pending(), peak);
+    }
+  }
+}
+
+// Property: the monotonic u64 producer/consumer indices survive past
+// 2^32 descriptors — the u32 occupancy arithmetic must keep working
+// when the 32-bit truncation of either index has wrapped.
+TEST(DescriptorRingTest, IndicesSurvivePastFourBillionDescriptors) {
+  const std::uint32_t slots = 1u << 20;
+  DescriptorRing ring(slots, 16);
+  const std::uint64_t rounds = (1ull << 32) / slots + 2;  // > 2^32 total
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    ASSERT_EQ(ring.post(slots), slots);
+    ASSERT_EQ(ring.pending(), slots);
+    ASSERT_EQ(ring.consume(slots), slots);
+    ASSERT_EQ(ring.pending(), 0u);
+  }
+  EXPECT_GT(ring.total_posted(), 1ull << 32);
+  EXPECT_EQ(ring.total_posted(), ring.total_consumed());
+  EXPECT_EQ(ring.free_slots(), slots);
+  EXPECT_EQ(ring.max_pending(), slots);
 }
 
 // ---- loopback (Fig 2) -------------------------------------------------------
@@ -182,6 +253,17 @@ TEST(NicSimTest, PerDirectionIsMinOfTxRx) {
   const auto r = simulate(NicSimConfig::modern_kernel(), 256);
   EXPECT_DOUBLE_EQ(r.per_direction_goodput_gbps,
                    std::min(r.tx_goodput_gbps, r.rx_goodput_gbps));
+}
+
+TEST(NicSimTest, RingWatermarksAreBoundedAndExercised) {
+  const auto cfg = NicSimConfig::modern_dpdk();
+  const auto r = simulate(cfg, 256);
+  EXPECT_GT(r.tx_ring_max_pending, 0u);
+  EXPECT_LE(r.tx_ring_max_pending, cfg.ring_slots);
+  EXPECT_GT(r.rx_ring_max_pending, 0u);
+  EXPECT_LE(r.rx_ring_max_pending, cfg.ring_slots);
+  // The saturating TX driver keeps its ring essentially full.
+  EXPECT_GE(r.tx_ring_max_pending, cfg.ring_slots / 2);
 }
 
 }  // namespace

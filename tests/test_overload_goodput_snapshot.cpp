@@ -1,0 +1,49 @@
+// Tier-2 snapshot: the overload hockey-stick sweep
+// (bench/overload_sweep.hpp, shared with the ablation_overload binary)
+// must reproduce the committed CSV byte-for-byte. The load generator is
+// seeded and the simulator deterministic, so any drift is a semantic
+// change to the overload datapath — this makes such a change a conscious
+// decision (regenerate bench/expected/overload_goodput.csv by running
+// ./build/bench/ablation_overload with the path as argument) rather than
+// an accident.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "overload_sweep.hpp"
+
+namespace pcieb {
+namespace {
+
+std::string load_expected() {
+  const std::string path =
+      std::string(PCIEB_SOURCE_DIR) + "/bench/expected/overload_goodput.csv";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(OverloadGoodputSnapshotTest, SweepMatchesCommittedCsv) {
+  const std::string expected = load_expected();
+  ASSERT_FALSE(expected.empty());
+  const std::string actual =
+      bench::overload_sweep_csv(bench::run_overload_sweep());
+  // Line-by-line first, so a mismatch names the offending sweep point.
+  std::istringstream es(expected), as(actual);
+  std::string eline, aline;
+  std::size_t n = 0;
+  while (std::getline(es, eline)) {
+    ASSERT_TRUE(std::getline(as, aline)) << "row " << n << " missing";
+    EXPECT_EQ(aline, eline) << "row " << n;
+    ++n;
+  }
+  EXPECT_FALSE(std::getline(as, aline)) << "extra row: " << aline;
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace
+}  // namespace pcieb

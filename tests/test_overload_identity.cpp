@@ -1,0 +1,170 @@
+// Overload determinism: an overload-armed chaos campaign produces the
+// same per-trial frame ledgers — and the campaign summary and CSV built
+// from them — whether trials run serially, on the in-process thread
+// pool, in fork-isolated workers (any --jobs), or resumed from a journal
+// cut mid-campaign. Ledgers are journal-carried, so a resumed campaign
+// never re-simulates them.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/campaign_exec.hpp"
+#include "check/chaos.hpp"
+#include "exec/journal.hpp"
+#include "exec/outcome.hpp"
+#include "nic/overload.hpp"
+
+namespace fs = std::filesystem;
+using namespace pcieb;
+
+namespace {
+
+struct TempDir {
+  std::string path = exec::make_temp_dir("pcieb-overload-id-");
+  ~TempDir() { fs::remove_all(path); }
+};
+
+check::ChaosConfig overload_campaign() {
+  check::ChaosConfig cfg;
+  cfg.trials = 10;
+  cfg.iterations = 500;
+  cfg.shrink = false;
+  cfg.offered_load = 2.0;
+  cfg.service = nic::ServiceMode::Coalesce;
+  cfg.backpressure = true;
+  cfg.monitors_throw = true;
+  return cfg;
+}
+
+/// Per-trial ledgers in index order, via the campaign observer.
+std::vector<std::string> collect(check::ChaosConfig cfg) {
+  std::vector<std::string> out;
+  check::run_campaign(cfg, [&](const check::TrialSpec&,
+                               const check::TrialOutcome& o) {
+    out.push_back(o.overload);
+  });
+  return out;
+}
+
+}  // namespace
+
+TEST(OverloadIdentity, ThreadedCampaignMatchesSerialTrialForTrial) {
+  const auto serial = collect(overload_campaign());
+  ASSERT_EQ(serial.size(), 10u);
+  for (const auto& ledger : serial) EXPECT_FALSE(ledger.empty());
+
+  auto threaded = overload_campaign();
+  threaded.threads = 8;
+  EXPECT_EQ(collect(threaded), serial);
+}
+
+TEST(OverloadIdentity, ForkIsolatedAndResumedCampaignsMatchByteForByte) {
+  // Reference: uninterrupted fork-isolated run on several workers.
+  TempDir ref_dir, cut_dir;
+  check::ExecCampaignConfig ref_cfg;
+  ref_cfg.chaos = overload_campaign();
+  ref_cfg.journal_dir = ref_dir.path;
+  ref_cfg.pool.jobs = 3;
+  ref_cfg.pool.backoff.initial_seconds = 0.01;
+  ref_cfg.pool.backoff.cap_seconds = 0.02;
+  const auto ref = check::run_campaign_isolated(ref_cfg);
+  ASSERT_EQ(ref.records.size(), 10u);
+  EXPECT_EQ(ref.violation, 0u);
+  EXPECT_GT(ref.overload_offered, 0u);
+  EXPECT_EQ(ref.overload_offered,
+            ref.overload_delivered + ref.overload_dropped);
+
+  // The worker ledgers agree with the in-process campaign's.
+  const auto in_process = collect(overload_campaign());
+  for (std::size_t i = 0; i < ref.records.size(); ++i) {
+    EXPECT_EQ(ref.records[i].overload, in_process[i]) << i;
+  }
+
+  // A campaign killed mid-run and resumed reproduces the canonical
+  // summary and CSV byte for byte — ledger columns included, read back
+  // from the journal rather than re-simulated.
+  auto cut = ref_cfg;
+  cut.journal_dir = cut_dir.path;
+  cut.pool.jobs = 1;
+  cut.stop_after = 4;
+  const auto partial = check::run_campaign_isolated(cut);
+  EXPECT_EQ(partial.records.size(), 4u);
+
+  cut.stop_after = 0;
+  cut.resume = true;
+  const auto resumed = check::run_campaign_isolated(cut);
+  EXPECT_EQ(resumed.resumed, 4u);
+  EXPECT_EQ(resumed.summary_text(cut.chaos), ref.summary_text(ref_cfg.chaos));
+  EXPECT_EQ(resumed.overload_offered, ref.overload_offered);
+  EXPECT_EQ(resumed.overload_delivered, ref.overload_delivered);
+  EXPECT_EQ(resumed.overload_dropped, ref.overload_dropped);
+
+  const std::string csv_ref = ref_dir.path + "/ref.csv";
+  const std::string csv_res = ref_dir.path + "/resumed.csv";
+  ref.write_csv(csv_ref);
+  resumed.write_csv(csv_res);
+  EXPECT_EQ(exec::read_file(csv_ref), exec::read_file(csv_res));
+}
+
+TEST(OverloadIdentity, ResumeRejectsOverloadMismatch) {
+  // The journal meta pins the overload shape: resuming an overload-armed
+  // journal with a different load multiple (or none at all) must refuse
+  // rather than mix ledgers from two different campaigns.
+  TempDir tmp;
+  check::ExecCampaignConfig cfg;
+  cfg.chaos = overload_campaign();
+  cfg.chaos.trials = 3;
+  cfg.journal_dir = tmp.path;
+  check::run_campaign_isolated(cfg);
+
+  auto other = cfg;
+  other.resume = true;
+  other.chaos.offered_load = 4.0;
+  EXPECT_THROW(check::run_campaign_isolated(other), exec::InfraError);
+  other.chaos.offered_load = 0.0;
+  EXPECT_THROW(check::run_campaign_isolated(other), exec::InfraError);
+}
+
+TEST(OverloadIdentity, TrialRecordRoundTripsLedger) {
+  check::TrialRecord rec;
+  rec.index = 2;
+  rec.status = check::TrialRecord::Status::Ok;
+  rec.spec = "trial 2: X overload=2x poll bp=off";
+  rec.overload =
+      "offered=800 delivered=500 mac=1 ring=299 admission=0 pause_ps=0 irqs=0";
+  const auto back = check::TrialRecord::deserialize(rec.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->overload, rec.overload);
+
+  // Records without the field (pre-overload journals) still parse.
+  check::TrialRecord bare;
+  bare.index = 1;
+  bare.spec = "trial 1: X";
+  const auto old = check::TrialRecord::deserialize(bare.serialize());
+  ASSERT_TRUE(old.has_value());
+  EXPECT_TRUE(old->overload.empty());
+}
+
+TEST(OverloadIdentity, ShrinkHalvesOverloadFrames) {
+  // The shrinker's length-halving step must shrink the overload frame
+  // count (the trial's actual workload length), not just the unused
+  // micro-bench iteration count.
+  check::ChaosConfig cfg;
+  cfg.offered_load = 2.0;
+  // Enough arrivals for several monitor epochs (epoch_arrivals = 256):
+  // the planted IRQ storm needs at least two consecutive epoch edges
+  // with delivery frozen before the progress monitor can flag it.
+  cfg.iterations = 4000;
+  auto spec = check::generate_trial(cfg, 0);
+  ASSERT_TRUE(spec.overload_armed);
+  spec.overload.test_livelock_bug = true;
+  spec.overload.service = nic::ServiceMode::Coalesce;
+  auto out = check::run_trial(spec);
+  ASSERT_TRUE(out.failed);
+  const auto shrunk = check::shrink_trial(spec, 64);
+  EXPECT_TRUE(shrunk.outcome.failed);
+  EXPECT_LT(shrunk.minimal.overload.frames, spec.overload.frames);
+  EXPECT_TRUE(shrunk.minimal.plan.rules.empty());
+}

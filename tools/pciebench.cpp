@@ -28,6 +28,7 @@
 #include "check/campaign_exec.hpp"
 #include "check/chaos.hpp"
 #include "check/monitors.hpp"
+#include "check/overload_monitors.hpp"
 #include "check/perf.hpp"
 #include "check/tenant_monitors.hpp"
 #include "core/tenant_runner.hpp"
@@ -41,6 +42,7 @@
 #include "exec/thread_pool.hpp"
 #include "fault/plan.hpp"
 #include "fault/recovery.hpp"
+#include "nic/overload.hpp"
 #include "sysconfig/profiles.hpp"
 
 namespace {
@@ -65,6 +67,8 @@ constexpr int kExitInfra = 3;
   pciebench suite --system NAME [--filter STR] [--csv FILE] [exec options]
   pciebench chaos [--trials N] [--master-seed N] [--iters N] [--no-shrink]
                   [exec options] [--csv FILE] [--artifacts DIR]
+  pciebench overload --system NAME [--offered-load X] [--service-mode M]
+                  [--backpressure on|off] [options]
   pciebench perf  [--quick] [--json FILE] [--profile]
 
 run options:
@@ -159,6 +163,40 @@ chaos options:
                     measured blast radius
                     (with --seed-bug and --tenants, plants the completion-
                     misroute bug instead of the credit leak)
+
+overload options (open-loop RX overload — docs/OVERLOAD.md):
+  --offered-load X  offered load as a multiple of the calibrated capacity,
+                    e.g. 0.5, 1, 2, 4                    (default 2)
+  --service-mode M  poll (busy-poll host service) | coalesce (IRQ
+                    moderation with per-interrupt wakeup cost)
+  --backpressure S  on | off — MAC-level PAUSE with a bounded budget
+                    protecting the RX freelist            (default off)
+  --frame N         frame size in bytes, 60..1514         (default 256)
+  --arrivals A      poisson | burst arrival process       (default poisson)
+  --burst N         frames per burst (burst arrivals)     (default 16)
+  --flows N         Zipf-weighted flow count              (default 64)
+  --zipf S          Zipf skew parameter                   (default 1.1)
+  --frames N        offered frames per run                (default 20000)
+  --ring-slots N    RX freelist ring slots                (default 512)
+  --admission N     host-backlog tail-drop threshold; 0 disables admission
+                    control                               (default 0)
+  --pause-budget NS cumulative PAUSE cap in nanoseconds   (default 500000)
+  --capacity-pps N  skip calibration and scale against this capacity
+  --seed N          arrival-process RNG seed              (default 42)
+  --faults / --fault-seed / --recovery / --errors  as in run: compose the
+                    overload with a fault plan and the recovery ladder
+  --monitors        arm the PCIe invariant monitors AND the overload
+                    monitors (conservation / progress / occupancy —
+                    docs/OVERLOAD.md); exits non-zero on any violation
+
+overload-chaos options (chaos — docs/OVERLOAD.md):
+  --offered-load X  switch every trial to the open-loop overload datapath
+                    at X times that trial's calibrated capacity (mutually
+                    exclusive with --tenants); per-trial frame size,
+                    arrival process, ring size and admission threshold are
+                    drawn from the trial stream
+  --service-mode M  poll | coalesce, applied to every trial (default poll)
+  --backpressure S  on | off, applied to every trial       (default off)
 
 telemetry options (suite and chaos):
   --telemetry[=FILE]
@@ -337,9 +375,16 @@ const std::set<std::string> kSuiteFlagKeys = {"telemetry"};
 const std::set<std::string> kChaosValueKeys = {
     "trials", "master-seed", "iters", "csv", "artifacts", "threads",
     "jobs",   "trial-timeout", "max-retries", "rss-budget", "journal",
-    "resume", "telemetry", "recovery", "tenants", "attacker", "isolation"};
+    "resume", "telemetry", "recovery", "tenants", "attacker", "isolation",
+    "offered-load", "service-mode", "backpressure"};
 const std::set<std::string> kChaosFlagKeys = {"no-shrink", "seed-bug",
                                               "telemetry", "throw-monitors"};
+const std::set<std::string> kOverloadValueKeys = {
+    "system", "frame", "offered-load", "service-mode", "backpressure",
+    "arrivals", "burst", "flows", "zipf", "frames", "ring-slots",
+    "admission", "pause-budget", "capacity-pps", "seed", "faults",
+    "fault-seed", "recovery"};
+const std::set<std::string> kOverloadFlagKeys = {"monitors", "errors"};
 const std::set<std::string> kPerfValueKeys = {"json"};
 const std::set<std::string> kPerfFlagKeys = {"quick", "profile"};
 
@@ -731,6 +776,140 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+nic::ServiceMode parse_service_mode_arg(const std::string& s) {
+  try {
+    return nic::parse_service_mode(s);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+}
+
+bool parse_on_off(const char* key, const std::string& s) {
+  if (s == "on") return true;
+  if (s == "off") return false;
+  usage(("--" + std::string(key) + " must be on or off").c_str());
+}
+
+/// Open-loop overload point: calibrate capacity closed-loop, then sustain
+/// --offered-load times that rate through the same RX datapath with the
+/// frame-accounting ledger printed (docs/OVERLOAD.md). --monitors arms
+/// both the PCIe-level MonitorSuite and the OverloadMonitorSuite.
+int cmd_overload(const Args& args) {
+  core::BenchParams params;  // only the system/fault/recovery flags apply
+  const auto cfg = configured_system(args, params);
+
+  nic::OverloadConfig ocfg;
+  ocfg.frame_bytes =
+      static_cast<std::uint32_t>(parse_size(args.get("frame", "256")));
+  ocfg.offered_load = parse_f64("offered-load", args.get("offered-load", "2"));
+  if (ocfg.offered_load <= 0) usage("--offered-load must be > 0");
+  ocfg.service = parse_service_mode_arg(args.get("service-mode", "poll"));
+  ocfg.backpressure =
+      parse_on_off("backpressure", args.get("backpressure", "off"));
+  const std::string arrivals = args.get("arrivals", "poisson");
+  if (arrivals == "poisson") ocfg.arrivals = core::ArrivalModel::Poisson;
+  else if (arrivals == "burst") ocfg.arrivals = core::ArrivalModel::Burst;
+  else usage("--arrivals must be poisson or burst");
+  ocfg.burst_frames =
+      static_cast<std::uint32_t>(parse_u64("burst", args.get("burst", "16")));
+  ocfg.flows =
+      static_cast<std::uint32_t>(parse_u64("flows", args.get("flows", "64")));
+  ocfg.zipf_s = parse_f64("zipf", args.get("zipf", "1.1"));
+  ocfg.frames = parse_u64("frames", args.get("frames", "20000"));
+  ocfg.ring_slots = static_cast<std::uint32_t>(
+      parse_u64("ring-slots", args.get("ring-slots", "512")));
+  ocfg.admission_slots = static_cast<std::uint32_t>(
+      parse_u64("admission", args.get("admission", "0")));
+  ocfg.pause_budget = static_cast<Picos>(from_nanos(static_cast<double>(
+      parse_u64("pause-budget", args.get("pause-budget", "500000")))));
+  ocfg.capacity_pps =
+      parse_u64("capacity-pps", args.get("capacity-pps", "0"));
+  ocfg.seed = parse_u64("seed", args.get("seed", "42"));
+  ocfg.validate();
+
+  if (ocfg.capacity_pps == 0) {
+    // Calibration strips faults/recovery: capacity is a property of the
+    // healthy path, so the same seed yields the same scale whether or
+    // not a fault plan rides along.
+    ocfg.capacity_pps = nic::calibrate_capacity(cfg, ocfg);
+  }
+
+  sim::System system(cfg);
+  std::optional<check::MonitorSuite> monitors;
+  std::optional<check::OverloadMonitorSuite> omonitors;
+  if (args.has_flag("monitors")) {
+    monitors.emplace(system);
+    omonitors.emplace();
+  }
+  const auto r = nic::run_overload(system, ocfg,
+                                   omonitors ? omonitors->probe() : nullptr);
+
+  const auto& st = r.stats;
+  std::printf("capacity: %llu frames/s (closed-loop calibration)\n",
+              static_cast<unsigned long long>(r.capacity_pps));
+  std::printf(
+      "offered:  %.2fx capacity = %.0f frames/s (%s arrivals, %u flows, "
+      "%u B frames)\n",
+      ocfg.offered_load, r.offered_pps, core::to_string(ocfg.arrivals),
+      ocfg.flows, ocfg.frame_bytes);
+  std::printf(
+      "goodput:  %.0f frames/s (%.2f Gb/s) — delivered %llu of %llu "
+      "offered in %.3f ms\n",
+      r.goodput_pps, r.goodput_gbps,
+      static_cast<unsigned long long>(st.delivered),
+      static_cast<unsigned long long>(st.offered),
+      static_cast<double>(r.elapsed) / 1e9);
+  std::printf("drops:    mac=%llu ring=%llu admission=%llu (total %llu)\n",
+              static_cast<unsigned long long>(st.dropped_mac),
+              static_cast<unsigned long long>(st.dropped_ring),
+              static_cast<unsigned long long>(st.dropped_admission),
+              static_cast<unsigned long long>(st.dropped_total()));
+  if (ocfg.backpressure) {
+    std::printf("pause:    %llu assertion(s), %.1f us asserted of %.1f us "
+                "budget\n",
+                static_cast<unsigned long long>(st.pause_events),
+                static_cast<double>(st.pause_ps) / 1e6,
+                static_cast<double>(st.pause_budget) / 1e6);
+  }
+  if (ocfg.service == nic::ServiceMode::Coalesce) {
+    std::printf("irqs:     %llu (moderation %u frames, wakeup %.1f ns)\n",
+                static_cast<unsigned long long>(st.irqs),
+                ocfg.irq_moderation,
+                static_cast<double>(ocfg.irq_cost) / 1e3);
+  }
+  std::printf("occupancy: ring peak %u/%u, backlog peak %llu%s\n",
+              st.ring_max_pending, st.ring_slots,
+              static_cast<unsigned long long>(st.backlog_max),
+              ocfg.admission_slots != 0 ? " (admission-capped)" : "");
+  if (!r.latency.empty()) {
+    std::printf(
+        "latency:  p50=%.1fns p99=%.1fns p999=%.1fns max=%.1fns "
+        "(arrival -> delivery)\n",
+        r.latency.quantile_ns(0.5), r.latency.quantile_ns(0.99),
+        r.latency.quantile_ns(0.999),
+        static_cast<double>(r.latency.max()) / 1e3);
+  }
+  std::printf("ledger:   %s\n", r.ledger().c_str());
+
+  if (args.has_flag("errors")) {
+    std::printf("%s", system.aer().to_table().c_str());
+    if (auto* inj = system.fault_injector()) {
+      std::printf("%s", inj->to_table().c_str());
+    }
+    if (const auto* rec = system.recovery()) {
+      std::printf("%s", rec->to_table().c_str());
+    }
+  }
+  int exit_code = kExitOk;
+  if (monitors) {
+    monitors->check_quiescent();
+    std::printf("%s", monitors->report().c_str());
+    std::printf("%s", omonitors->report().c_str());
+    if (!monitors->ok() || !omonitors->ok()) exit_code = kExitFailure;
+  }
+  return exit_code;
+}
+
 /// Crash-safe isolated campaign: progress to stderr, the canonical
 /// byte-stable summary (what the CI resume leg diffs) alone on stdout.
 int cmd_chaos_isolated(const Args& args, const check::ChaosConfig& chaos) {
@@ -803,6 +982,24 @@ int cmd_chaos(const Args& args) {
   // campaigns, the completion misroute for tenant campaigns.
   cfg.seed_credit_leak_bug = args.has_flag("seed-bug") && cfg.tenants == 0;
   cfg.seed_misroute_bug = args.has_flag("seed-bug") && cfg.tenants > 0;
+
+  if (args.values.contains("offered-load")) {
+    cfg.offered_load =
+        parse_f64("offered-load", args.get("offered-load", ""));
+    if (cfg.offered_load <= 0) usage("--offered-load must be > 0");
+    if (cfg.tenants > 0) {
+      usage("--offered-load (overload chaos) and --tenants (tenant chaos) "
+            "are mutually exclusive");
+    }
+  }
+  for (const char* dep : {"service-mode", "backpressure"}) {
+    if (cfg.offered_load == 0 && args.values.contains(dep)) {
+      usage(("--" + std::string(dep) + " requires --offered-load").c_str());
+    }
+  }
+  cfg.service = parse_service_mode_arg(args.get("service-mode", "poll"));
+  cfg.backpressure =
+      parse_on_off("backpressure", args.get("backpressure", "off"));
   const TelemetryOpt telemetry = parse_telemetry(args);
   cfg.telemetry = telemetry.enabled;
 
@@ -829,6 +1026,12 @@ int cmd_chaos(const Args& args) {
     std::printf("tenants: %u VFs, attacker vf%u, isolation %s\n", cfg.tenants,
                 cfg.attacker, cfg.isolation_weakened ? "weakened" : "armed");
   }
+  if (cfg.offered_load > 0) {
+    std::printf("overload: %gx capacity per trial, %s service, "
+                "backpressure %s\n",
+                cfg.offered_load, nic::to_string(cfg.service),
+                cfg.backpressure ? "on" : "off");
+  }
   const auto result = check::run_campaign(
       cfg, [](const check::TrialSpec& spec, const check::TrialOutcome& out) {
         std::printf("%-4s %s\n", out.failed ? "FAIL" : "ok",
@@ -854,6 +1057,12 @@ int cmd_chaos(const Args& args) {
                 cfg.isolation_weakened ? "weakened" : "armed",
                 static_cast<unsigned long long>(result.perturbed_victims),
                 static_cast<unsigned long long>(result.device_wide_actions));
+  }
+  if (cfg.offered_load > 0) {
+    std::printf("overload: offered=%llu delivered=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(result.overload_offered),
+                static_cast<unsigned long long>(result.overload_delivered),
+                static_cast<unsigned long long>(result.overload_dropped));
   }
   if (result.ok()) {
     std::printf("chaos: %zu/%zu trials passed\n", result.trials_run,
@@ -991,6 +1200,10 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") {
       return cmd_chaos(
           parse_args(argc, argv, 2, kChaosValueKeys, kChaosFlagKeys));
+    }
+    if (cmd == "overload") {
+      return cmd_overload(
+          parse_args(argc, argv, 2, kOverloadValueKeys, kOverloadFlagKeys));
     }
     if (cmd == "perf") {
       return cmd_perf(parse_args(argc, argv, 2, kPerfValueKeys, kPerfFlagKeys));

@@ -7,6 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "pcie/packetizer.hpp"
 #include "pcie/tlp_vec.hpp"
 #include "sim/cache.hpp"
@@ -14,6 +18,8 @@
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "sim/small_fn.hpp"
+#include "sim/system.hpp"
+#include "sysconfig/profiles.hpp"
 
 namespace {
 
@@ -166,6 +172,116 @@ void BM_Xoshiro(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Xoshiro);
+
+// The fault-predicate fast path: a sparse plan (one nth= rule far in the
+// future, one bounded window already past) against a dense TLP stream.
+// Every call should take the compiled gate's handful of branches, never
+// the per-rule walk — this is the common no-match event in a chaos trial.
+void BM_FaultGateNoMatch(benchmark::State& state) {
+  fault::FaultPlan plan;
+  fault::FaultRule nth;
+  nth.kind = fault::FaultKind::LinkDrop;
+  nth.nth = 1u << 30;  // never reached
+  plan.rules.push_back(nth);
+  fault::FaultRule window;
+  window.kind = fault::FaultKind::Poison;
+  window.from = from_nanos(10);
+  window.until = from_nanos(20);  // already past
+  plan.rules.push_back(window);
+  fault::FaultInjector inj(plan);
+  proto::Tlp tlp{proto::TlpType::MemWr, 0x1000, 64, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inj.on_link_tx(tlp, true, from_micros(5)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultGateNoMatch);
+
+// Comparison point: a prob= rule cannot be gated (every TLP must draw),
+// so this measures the full per-rule walk plus the RNG draw.
+void BM_FaultGateProbWalk(benchmark::State& state) {
+  fault::FaultPlan plan;
+  fault::FaultRule r;
+  r.kind = fault::FaultKind::LinkCorrupt;
+  r.prob = 1e-9;
+  plan.rules.push_back(r);
+  fault::FaultInjector inj(plan);
+  proto::Tlp tlp{proto::TlpType::MemWr, 0x1000, 64, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inj.on_link_tx(tlp, true, from_micros(5)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultGateProbWalk);
+
+// Counter snapshot with raw uint64_t* readers vs std::function readers —
+// the batching front replaced per-snapshot std::function hops with
+// pointer dereferences for every monotonic total.
+void BM_CounterSnapshotRaw(benchmark::State& state) {
+  obs::CounterRegistry reg;
+  std::uint64_t sources[32] = {};
+  for (int i = 0; i < 32; ++i) {
+    reg.add_counter("raw." + std::to_string(i), &sources[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CounterSnapshotRaw);
+
+void BM_CounterSnapshotLambda(benchmark::State& state) {
+  obs::CounterRegistry reg;
+  std::uint64_t sources[32] = {};
+  for (int i = 0; i < 32; ++i) {
+    std::uint64_t* src = &sources[i];
+    reg.add_counter("fn." + std::to_string(i),
+                    [src] { return double(*src); });
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CounterSnapshotLambda);
+
+// Trace staging: listener-free recording batches events 64 at a time
+// before touching the bounded ring, so the per-event cost is one store
+// plus a branch. The ring capacity is default (1<<16).
+void BM_TraceRecordStaged(benchmark::State& state) {
+  obs::TraceSink sink;
+  obs::TraceEvent e{0, 1, 2, 3, 4, obs::EventKind::LinkTx,
+                    obs::Component::LinkUp, 0};
+  for (auto _ : state) {
+    sink.record(e);
+  }
+  benchmark::DoNotOptimize(sink.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordStaged);
+
+// Trial-reuse reset vs full rebuild of a Table-1 system — the chaos
+// campaign's per-trial fixed cost (front 1 of hot-path round 3).
+void BM_SystemRebuild(benchmark::State& state) {
+  const auto& prof = sys::profile_by_name("NFP6000-HSW");
+  for (auto _ : state) {
+    sim::System system(prof.config);
+    benchmark::DoNotOptimize(system.sim().now());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemRebuild);
+
+void BM_SystemReset(benchmark::State& state) {
+  const auto& prof = sys::profile_by_name("NFP6000-HSW");
+  sim::System system(prof.config);
+  for (auto _ : state) {
+    system.reset(prof.config);
+    benchmark::DoNotOptimize(system.sim().now());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemReset);
 
 void BM_SerialResource(benchmark::State& state) {
   for (auto _ : state) {

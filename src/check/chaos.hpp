@@ -173,6 +173,16 @@ TrialSpec generate_trial(const ChaosConfig& cfg, std::uint64_t index);
 TrialOutcome run_trial(const TrialSpec& spec, bool telemetry = false,
                        bool throw_monitors = false);
 
+/// Trial System pooling (on by default): classic (non-tenant,
+/// non-overload) trials reuse one thread-local sim::System per
+/// (profile, IOMMU, page size) shape via sim::System::reset instead of
+/// rebuilding the component graph per trial — the dominant cost of a
+/// fault-free trial. Byte-identity with pooling off is pinned by the
+/// reset-vs-fresh property test; this switch exists for that test and
+/// for A/B profiling. Disabling also drops the calling thread's pool.
+void set_trial_system_pooling(bool on);
+bool trial_system_pooling();
+
 struct ShrinkResult {
   TrialSpec minimal;      ///< smallest spec that still fails
   TrialOutcome outcome;   ///< its (failing) outcome

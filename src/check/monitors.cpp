@@ -20,10 +20,34 @@ MonitorSuite::MonitorSuite(sim::System& system, MonitorConfig cfg)
       base_read_requested_(system.device().read_payload_requested()),
       base_read_delivered_(system.device().read_payload_delivered()),
       base_read_failed_(system.device().failed_read_bytes()) {
-  system_.sim().set_check_hook([this](Picos now) { on_step(now); });
+  auto& sim = system_.sim();
+  // Clock first: if time ran backwards, everything else is suspect too.
+  sim.add_monitor(&MonitorSuite::clock_monitor, this);
+  sim.add_monitor(&MonitorSuite::credits_monitor, this);
+  sim.add_monitor(&MonitorSuite::tags_monitor, this);
+  sim.add_monitor(&MonitorSuite::replay_monitor, this);
 }
 
-MonitorSuite::~MonitorSuite() { system_.sim().set_check_hook({}); }
+MonitorSuite::~MonitorSuite() {
+  auto& sim = system_.sim();
+  sim.remove_monitor(&MonitorSuite::clock_monitor, this);
+  sim.remove_monitor(&MonitorSuite::credits_monitor, this);
+  sim.remove_monitor(&MonitorSuite::tags_monitor, this);
+  sim.remove_monitor(&MonitorSuite::replay_monitor, this);
+}
+
+void MonitorSuite::clock_monitor(void* ctx, Picos now) {
+  static_cast<MonitorSuite*>(ctx)->clock_check(now);
+}
+void MonitorSuite::credits_monitor(void* ctx, Picos now) {
+  static_cast<MonitorSuite*>(ctx)->credits_check(now);
+}
+void MonitorSuite::tags_monitor(void* ctx, Picos now) {
+  static_cast<MonitorSuite*>(ctx)->tags_check(now);
+}
+void MonitorSuite::replay_monitor(void* ctx, Picos now) {
+  static_cast<MonitorSuite*>(ctx)->replay_check(now);
+}
 
 void MonitorSuite::record(const char* monitor, Picos now, std::string detail) {
   ++total_;
@@ -32,9 +56,8 @@ void MonitorSuite::record(const char* monitor, Picos now, std::string detail) {
   if (violations_.size() < cfg_.max_recorded) violations_.push_back(std::move(v));
 }
 
-void MonitorSuite::on_step(Picos now) {
-  // Clock monotonicity first: if time ran backwards, everything else is
-  // suspect too.
+void MonitorSuite::clock_check(Picos now) {
+  // Clock monotonicity: the event clock never moves backwards.
   if (clock_seen_ && now < last_now_) {
     record("clock", now,
            "event clock moved backwards: " + std::to_string(last_now_) +
@@ -42,13 +65,11 @@ void MonitorSuite::on_step(Picos now) {
   }
   clock_seen_ = true;
   last_now_ = now;
-  step_checks(now);
 }
 
-void MonitorSuite::step_checks(Picos now) {
-  const auto& dev = system_.device();
-
+void MonitorSuite::credits_check(Picos now) {
   // credits: 0 <= available <= advertised window, at every instant.
+  const auto& dev = system_.device();
   const std::int64_t credits = dev.posted_credits_available();
   const std::int64_t window =
       static_cast<std::int64_t>(dev.profile().posted_credit_bytes);
@@ -57,8 +78,11 @@ void MonitorSuite::step_checks(Picos now) {
            "posted credits " + std::to_string(credits) +
                " outside [0, " + std::to_string(window) + "]");
   }
+}
 
+void MonitorSuite::tags_check(Picos now) {
   // tags: every issued tag is either retired or still in flight.
+  const auto& dev = system_.device();
   const std::uint64_t issued = dev.read_requests_issued();
   const std::uint64_t retired = dev.read_requests_retired();
   const std::uint64_t inflight = dev.inflight_read_requests();
@@ -68,7 +92,9 @@ void MonitorSuite::step_checks(Picos now) {
                std::to_string(retired) + " + in-flight " +
                std::to_string(inflight) + " (" + dev.outstanding_tags() + ")");
   }
+}
 
+void MonitorSuite::replay_check(Picos now) {
   // replay: the retry buffer tracks sent-but-unacked TLPs; it can never
   // hold more than were ever sent (an excess means retire accounting
   // drifted or wrapped).
@@ -80,6 +106,12 @@ void MonitorSuite::step_checks(Picos now) {
                  " were sent");
     }
   }
+}
+
+void MonitorSuite::step_checks(Picos now) {
+  credits_check(now);
+  tags_check(now);
+  replay_check(now);
 }
 
 void MonitorSuite::check_now() { step_checks(system_.sim().now()); }

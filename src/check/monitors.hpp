@@ -75,9 +75,11 @@ struct MonitorConfig {
 
 class MonitorSuite {
  public:
-  /// Attaches to `system`'s simulator check hook and captures baseline
-  /// payload tallies, so a suite attached mid-life checks only the delta.
-  /// One suite per system at a time (the hook has a single slot).
+  /// Registers one devirtualized monitor per per-step invariant (clock,
+  /// credits, tags, replay — in that order) on `system`'s simulator and
+  /// captures baseline payload tallies, so a suite attached mid-life
+  /// checks only the delta. The destructor removes exactly its own slots,
+  /// leaving any other registered monitors untouched.
   explicit MonitorSuite(sim::System& system, MonitorConfig cfg = {});
   ~MonitorSuite();
 
@@ -103,7 +105,18 @@ class MonitorSuite {
   std::string report() const;
 
  private:
-  void on_step(Picos now);
+  // Simulator::MonitorFn trampolines — one flattened dispatch slot per
+  // invariant, so the per-event path is an indirect call through a plain
+  // function pointer instead of a std::function.
+  static void clock_monitor(void* ctx, Picos now);
+  static void credits_monitor(void* ctx, Picos now);
+  static void tags_monitor(void* ctx, Picos now);
+  static void replay_monitor(void* ctx, Picos now);
+
+  void clock_check(Picos now);
+  void credits_check(Picos now);
+  void tags_check(Picos now);
+  void replay_check(Picos now);
   void step_checks(Picos now);
   void record(const char* monitor, Picos now, std::string detail);
 

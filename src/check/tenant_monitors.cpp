@@ -18,10 +18,16 @@ TenantMonitorSuite::TenantMonitorSuite(sim::MultiTenantSystem& system,
                          dev.read_payload_delivered(),
                          dev.failed_read_bytes()};
   }
-  system_.sim().set_check_hook([this](Picos now) { on_step(now); });
+  system_.sim().add_monitor(&TenantMonitorSuite::step_monitor, this);
 }
 
-TenantMonitorSuite::~TenantMonitorSuite() { system_.sim().set_check_hook({}); }
+TenantMonitorSuite::~TenantMonitorSuite() {
+  system_.sim().remove_monitor(&TenantMonitorSuite::step_monitor, this);
+}
+
+void TenantMonitorSuite::step_monitor(void* ctx, Picos now) {
+  static_cast<TenantMonitorSuite*>(ctx)->on_step(now);
+}
 
 void TenantMonitorSuite::record(const char* monitor, Picos now,
                                 std::string detail) {

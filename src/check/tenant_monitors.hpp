@@ -74,6 +74,8 @@ class TenantMonitorSuite {
     std::uint64_t read_failed = 0;
   };
 
+  /// Simulator::MonitorFn trampoline (devirtualized check dispatch).
+  static void step_monitor(void* ctx, Picos now);
   void on_step(Picos now);
   void step_checks(Picos now);
   void record(const char* monitor, Picos now, std::string detail);

@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/table.hpp"
@@ -7,7 +9,72 @@
 namespace pcieb::fault {
 
 FaultInjector::FaultInjector(const FaultPlan& plan)
-    : plan_(plan), rng_(plan.seed) {}
+    : plan_(plan), rng_(plan.seed) {
+  compile();
+}
+
+void FaultInjector::SiteGate::add(const FaultRule& r, std::uint32_t index) {
+  rules.push_back(index);
+  // Gate on the most selective cheap predicate. Each choice is sound on
+  // its own: a rule can only match when its nth equals the ordinal / its
+  // every divides it / `now` falls inside its window — so gating on any
+  // one of them never suppresses a possible match. Rules constrained
+  // only by addr / vf / probability have no cheap gate and pin the site
+  // to always-walk.
+  constexpr Picos kNoUntil = std::numeric_limits<Picos>::max();
+  if (r.nth != 0) {
+    nths.push_back(r.nth);
+  } else if (r.every != 0) {
+    everys.push_back(r.every);
+  } else if (r.from > 0 || r.until != kNoUntil) {
+    hull_from = has_window ? std::min(hull_from, r.from) : r.from;
+    hull_until = has_window ? std::max(hull_until, r.until) : r.until;
+    has_window = true;
+  } else {
+    always = true;
+  }
+}
+
+void FaultInjector::SiteGate::seal() { std::sort(nths.begin(), nths.end()); }
+
+void FaultInjector::compile() {
+  for (std::uint32_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    switch (r.kind) {
+      case FaultKind::LinkDrop:
+      case FaultKind::LinkCorrupt:
+      case FaultKind::AckLoss:
+      case FaultKind::Poison:
+      case FaultKind::LinkDown:
+        if (r.dir == LinkDir::Both || r.dir == LinkDir::Up) link_up_.add(r, i);
+        if (r.dir == LinkDir::Both || r.dir == LinkDir::Down) {
+          link_down_.add(r, i);
+        }
+        break;
+      case FaultKind::CplUr:
+      case FaultKind::CplCa:
+        cpl_.add(r, i);
+        break;
+      case FaultKind::IommuFault:
+        xlate_.add(r, i);
+        break;
+      case FaultKind::Downtrain:
+        if (downtrain_rules_.empty()) {
+          downtrain_from_ = r.from;
+          downtrain_until_ = r.until;
+        } else {
+          downtrain_from_ = std::min(downtrain_from_, r.from);
+          downtrain_until_ = std::max(downtrain_until_, r.until);
+        }
+        downtrain_rules_.push_back(i);
+        break;
+    }
+  }
+  link_up_.seal();
+  link_down_.seal();
+  cpl_.seal();
+  xlate_.seal();
+}
 
 bool FaultInjector::matches(const FaultRule& rule, std::uint64_t ordinal,
                             std::uint64_t addr, Picos now, unsigned func) {
@@ -30,10 +97,13 @@ LinkTxDecision FaultInjector::on_link_tx(const proto::Tlp& tlp, bool upstream,
                                          Picos now) {
   const std::uint64_t ordinal = upstream ? ++up_tlps_ : ++down_tlps_;
   LinkTxDecision d;
-  for (const auto& rule : plan_.rules) {
-    const bool dir_ok = rule.dir == LinkDir::Both ||
-                        (rule.dir == LinkDir::Up) == upstream;
-    if (!dir_ok) continue;
+  SiteGate& gate = upstream ? link_up_ : link_down_;
+  if (!gate.need_walk(ordinal, now)) return d;
+  // Full walk over this direction's plan-order subset — identical rule
+  // and probability-draw order to a walk over the whole plan, because
+  // direction-mismatched rules never drew randomness there either.
+  for (const std::uint32_t index : gate.rules) {
+    const FaultRule& rule = plan_.rules[index];
     switch (rule.kind) {
       case FaultKind::LinkDrop:
         if (!d.drop && matches(rule, ordinal, tlp.addr, now, tlp.func)) {
@@ -76,10 +146,9 @@ LinkTxDecision FaultInjector::on_link_tx(const proto::Tlp& tlp, bool upstream,
 
 CplFault FaultInjector::on_completion(const proto::Tlp& req, Picos now) {
   const std::uint64_t ordinal = ++completions_;
-  for (const auto& rule : plan_.rules) {
-    if (rule.kind != FaultKind::CplUr && rule.kind != FaultKind::CplCa) {
-      continue;
-    }
+  if (!cpl_.need_walk(ordinal, now)) return CplFault::None;
+  for (const std::uint32_t index : cpl_.rules) {
+    const FaultRule& rule = plan_.rules[index];
     if (matches(rule, ordinal, req.addr, now, req.func)) {
       tally(rule.kind);
       return rule.kind == FaultKind::CplUr ? CplFault::UnsupportedRequest
@@ -93,8 +162,9 @@ bool FaultInjector::on_translate(std::uint64_t addr, bool is_write,
                                  Picos now, unsigned func) {
   (void)is_write;
   const std::uint64_t ordinal = ++translations_;
-  for (const auto& rule : plan_.rules) {
-    if (rule.kind != FaultKind::IommuFault) continue;
+  if (!xlate_.need_walk(ordinal, now)) return false;
+  for (const std::uint32_t index : xlate_.rules) {
+    const FaultRule& rule = plan_.rules[index];
     if (matches(rule, ordinal, addr, now, func)) {
       tally(FaultKind::IommuFault);
       return true;
@@ -104,8 +174,14 @@ bool FaultInjector::on_translate(std::uint64_t addr, bool is_write,
 }
 
 const FaultRule* FaultInjector::downtrain_now(Picos now) const {
-  for (const auto& rule : plan_.rules) {
-    if (rule.kind != FaultKind::Downtrain) continue;
+  // Window-hull fast path: links poll this on every TLP they serialize,
+  // and outside the union of downtrain windows nothing can match.
+  if (downtrain_rules_.empty() ||
+      now < downtrain_from_ || now >= downtrain_until_) {
+    return nullptr;
+  }
+  for (const std::uint32_t index : downtrain_rules_) {
+    const FaultRule& rule = plan_.rules[index];
     if (now >= rule.from && now < rule.until) return &rule;
   }
   return nullptr;

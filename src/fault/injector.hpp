@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "fault/plan.hpp"
@@ -69,6 +70,46 @@ class FaultInjector {
   std::string to_table() const;
 
  private:
+  /// Compiled per-site prefilter. Each injection site (link-tx per
+  /// direction, completion, translation) gets the plan-order subset of
+  /// rules that can ever apply there, plus a conservative gate answering
+  /// "could ANY rule's deterministic predicates pass this event?" in a
+  /// handful of branches. The gate is a strict superset test: it may
+  /// demand a full walk that matches nothing, but it never skips a walk
+  /// any rule could pass — so probability draws happen in exactly the
+  /// order the plain loop would produce and fault sequences stay
+  /// bit-identical. Rules whose only cheap-ungateable predicates are
+  /// addr/vf/prob force always-walk.
+  struct SiteGate {
+    std::vector<std::uint32_t> rules;   ///< indices into plan_.rules
+    std::vector<std::uint64_t> nths;    ///< sorted one-shot ordinals
+    std::vector<std::uint64_t> everys;  ///< modulus list
+    std::size_t nth_ptr = 0;            ///< advances with the ordinal
+    Picos hull_from = 0;                ///< union of bounded time windows
+    Picos hull_until = 0;
+    bool has_window = false;
+    bool always = false;  ///< some rule needs the walk on every event
+
+    void add(const FaultRule& r, std::uint32_t index);
+    void seal();  ///< sort the nth table once the plan is classified
+
+    /// Superset gate; `ordinal` must be non-decreasing across calls
+    /// (each site's ordinal is a per-site counter, so it is).
+    bool need_walk(std::uint64_t ordinal, Picos now) {
+      if (rules.empty()) return false;
+      if (always) return true;
+      while (nth_ptr < nths.size() && nths[nth_ptr] < ordinal) ++nth_ptr;
+      if (nth_ptr < nths.size() && nths[nth_ptr] == ordinal) return true;
+      for (const std::uint64_t e : everys) {
+        if (ordinal % e == 0) return true;
+      }
+      return has_window && now >= hull_from && now < hull_until;
+    }
+  };
+
+  /// Classify plan_.rules into the per-site gates (constructor helper).
+  void compile();
+
   bool matches(const FaultRule& rule, std::uint64_t ordinal,
                std::uint64_t addr, Picos now, unsigned func);
   void tally(FaultKind k) { ++injected_[static_cast<std::size_t>(k)]; }
@@ -80,6 +121,13 @@ class FaultInjector {
   std::uint64_t completions_ = 0;
   std::uint64_t translations_ = 0;
   std::array<std::uint64_t, kFaultKindCount> injected_{};
+  SiteGate link_up_;
+  SiteGate link_down_;
+  SiteGate cpl_;
+  SiteGate xlate_;
+  std::vector<std::uint32_t> downtrain_rules_;  ///< plan-order indices
+  Picos downtrain_from_ = 0;  ///< window hull over downtrain rules
+  Picos downtrain_until_ = 0;
 };
 
 }  // namespace pcieb::fault

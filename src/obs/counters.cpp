@@ -14,18 +14,23 @@ const char* to_string(MetricKind k) {
 }
 
 void CounterRegistry::add(const std::string& name, MetricKind kind,
-                          Reader read) {
-  if (name.empty() || !read) {
+                          Reader read, const std::uint64_t* raw) {
+  if (name.empty() || (!read && raw == nullptr)) {
     throw std::invalid_argument("CounterRegistry: empty name or reader");
   }
   if (contains(name)) {
     throw std::invalid_argument("CounterRegistry: duplicate metric " + name);
   }
-  entries_.push_back(Entry{name, kind, std::move(read)});
+  entries_.push_back(Entry{name, kind, std::move(read), raw});
 }
 
 void CounterRegistry::add_counter(const std::string& name, Reader read) {
   add(name, MetricKind::Counter, std::move(read));
+}
+
+void CounterRegistry::add_counter(const std::string& name,
+                                  const std::uint64_t* source) {
+  add(name, MetricKind::Counter, {}, source);
 }
 
 void CounterRegistry::add_gauge(const std::string& name, Reader read) {
@@ -41,7 +46,7 @@ bool CounterRegistry::contains(const std::string& name) const {
 
 double CounterRegistry::value(const std::string& name) const {
   for (const Entry& e : entries_) {
-    if (e.name == name) return e.read();
+    if (e.name == name) return e.value();
   }
   throw std::out_of_range("CounterRegistry: unknown metric " + name);
 }
@@ -50,7 +55,7 @@ std::vector<MetricSample> CounterRegistry::snapshot() const {
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const Entry& e : entries_) {
-    out.push_back(MetricSample{e.name, e.kind, e.read()});
+    out.push_back(MetricSample{e.name, e.kind, e.value()});
   }
   return out;
 }

@@ -34,6 +34,11 @@ class CounterRegistry {
   /// Register a monotonic counter. Names are hierarchical by convention
   /// ("link.up.tlps"); duplicates throw.
   void add_counter(const std::string& name, Reader read);
+  /// Raw-source counter: reads the component's own uint64 total through
+  /// a stable pointer at snapshot time — no std::function hop, nothing
+  /// captured. The source must outlive the registry (the same lifetime
+  /// rule every gauge lambda already imposes).
+  void add_counter(const std::string& name, const std::uint64_t* source);
   /// Register a gauge (may decrease between snapshots).
   void add_gauge(const std::string& name, Reader read);
 
@@ -56,9 +61,14 @@ class CounterRegistry {
   struct Entry {
     std::string name;
     MetricKind kind;
-    Reader read;
+    Reader read;                         ///< empty when raw is set
+    const std::uint64_t* raw = nullptr;  ///< direct counter source
+    double value() const {
+      return raw != nullptr ? static_cast<double>(*raw) : read();
+    }
   };
-  void add(const std::string& name, MetricKind kind, Reader read);
+  void add(const std::string& name, MetricKind kind, Reader read,
+           const std::uint64_t* raw = nullptr);
 
   std::vector<Entry> entries_;
 };

@@ -56,7 +56,7 @@ TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
   ring_.reserve(capacity_);
 }
 
-void TraceSink::record(const TraceEvent& e) {
+void TraceSink::record_live(const TraceEvent& e) {
   ProfScope prof(CostCenter::CountersTrace);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
@@ -68,11 +68,34 @@ void TraceSink::record(const TraceEvent& e) {
   if (listener_) listener_(e);
 }
 
-std::size_t TraceSink::size() const { return ring_.size(); }
+void TraceSink::flush_staged() const {
+  if (staged_count_ == 0) return;
+  ProfScope prof(CostCenter::CountersTrace);
+  for (std::size_t i = 0; i < staged_count_; ++i) {
+    const TraceEvent& e = staged_[i];
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+    } else {
+      ring_[head_] = e;
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+  recorded_ += staged_count_;
+  staged_count_ = 0;
+}
 
-std::uint64_t TraceSink::dropped() const { return recorded_ - ring_.size(); }
+std::size_t TraceSink::size() const {
+  flush_staged();
+  return ring_.size();
+}
+
+std::uint64_t TraceSink::dropped() const {
+  flush_staged();
+  return recorded_ - ring_.size();
+}
 
 std::vector<TraceEvent> TraceSink::events() const {
+  flush_staged();
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
@@ -85,6 +108,7 @@ void TraceSink::clear() {
   ring_.clear();
   head_ = 0;
   recorded_ = 0;
+  staged_count_ = 0;
 }
 
 namespace {

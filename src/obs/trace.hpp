@@ -14,6 +14,7 @@
 // recorded, independent of ring capacity.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -98,10 +99,28 @@ class TraceSink {
   /// it fills (`dropped()` counts them). Listeners still see every event.
   explicit TraceSink(std::size_t capacity = 1 << 16);
 
-  void record(const TraceEvent& e);
+  /// With no listener attached, events are staged into a fixed batch and
+  /// folded into the ring in blocks — one array store per event on the
+  /// instrumented hot paths instead of ring arithmetic. Every reader
+  /// flushes first, so the staged tail is never observable. A listener
+  /// bypasses staging entirely: live consumers (latency recorders,
+  /// breakdowns) see every event exactly when it is recorded.
+  void record(const TraceEvent& e) {
+    if (listener_) {
+      record_live(e);
+      return;
+    }
+    staged_[staged_count_++] = e;
+    if (staged_count_ == kStageBatch) flush_staged();
+  }
 
   /// Live consumer invoked on every record() (after ring insertion).
-  void set_listener(Listener l) { listener_ = std::move(l); }
+  /// Attaching flushes any staged events first, so the listener only ever
+  /// sees events recorded after the attach.
+  void set_listener(Listener l) {
+    flush_staged();
+    listener_ = std::move(l);
+  }
 
   /// Pre-rendered comma-separated Chrome trace-event objects (e.g.
   /// TimeSeries::chrome_counter_events) appended to the traceEvents array
@@ -113,7 +132,10 @@ class TraceSink {
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
-  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t recorded() const {
+    flush_staged();
+    return recorded_;
+  }
   std::uint64_t dropped() const;
 
   /// Buffered events, oldest first (chronological by record order).
@@ -128,12 +150,23 @@ class TraceSink {
   void write_chrome_json_file(const std::string& path) const;
 
  private:
+  static constexpr std::size_t kStageBatch = 64;
+
+  /// Unbatched insert + listener invocation (listener mode / flush body).
+  void record_live(const TraceEvent& e);
+  /// Fold the staged batch into the ring. Const because every accessor
+  /// calls it: the ring members are mutable — the staged tail is
+  /// logically already part of the ring, flushing just materializes it.
+  void flush_staged() const;
+
   std::size_t capacity_;
-  std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;       ///< next write position once full
-  std::uint64_t recorded_ = 0;
+  mutable std::vector<TraceEvent> ring_;
+  mutable std::size_t head_ = 0;  ///< next write position once full
+  mutable std::uint64_t recorded_ = 0;
   Listener listener_;
   std::string extra_json_;
+  mutable std::array<TraceEvent, kStageBatch> staged_;
+  mutable std::size_t staged_count_ = 0;
 };
 
 }  // namespace pcieb::obs

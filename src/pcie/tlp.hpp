@@ -22,6 +22,7 @@ enum class TlpType : std::uint8_t {
   CplD,   ///< Completion with data.
   Cpl,    ///< Completion without data (e.g. zero-length read flush).
 };
+constexpr std::size_t kTlpTypeCount = 4;
 
 const char* to_string(TlpType t);
 

@@ -39,11 +39,19 @@ LastLevelCache::LastLevelCache(const CacheConfig& cfg)
       set_magic_shift_ = p;
     }
   }
-  tags_.resize(num_sets_ * cfg_.ways);
-  lru_.resize(num_sets_ * cfg_.ways);
+  // Uninitialized on purpose (see the header): the valid bitmap gates
+  // every read, so the zero-fill the vector form paid — ~4 MB for the
+  // default LLC, the top system-build cost — buys nothing.
+  tags_.reset(new std::uint64_t[num_sets_ * cfg_.ways]);
+  lru_.reset(new std::uint64_t[num_sets_ * cfg_.ways]);
   valid_.resize(num_sets_);
   dirty_.resize(num_sets_);
-  thrash_seen_.resize((num_sets_ + 63) / 64);
+  fill_seen_.resize((num_sets_ + 63) / 64);
+  // Start life with a pending (trivial) clear: the valid masks are
+  // already zero, so materializing is a no-op — but an armed fill is what
+  // makes warm_host_range on a freshly built cache eligible for the lazy
+  // path.
+  arm_fill(LazyFill::Clear);
 }
 
 std::uint64_t LastLevelCache::set_index(std::uint64_t addr) const {
@@ -57,8 +65,11 @@ std::uint64_t LastLevelCache::tag_of(std::uint64_t addr) const {
 int LastLevelCache::find_way(std::uint64_t set, std::uint64_t tag) const {
   const std::uint64_t* tags = &tags_[set * cfg_.ways];
   const std::uint64_t vmask = valid_[set];
+  // Valid bit first: the tag word of an invalid way is never read, which
+  // is what lets the tag store start life (and survive clear()) without a
+  // whole-array fill.
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    if (tags[w] == tag && ((vmask >> w) & 1u)) return static_cast<int>(w);
+    if (((vmask >> w) & 1u) && tags[w] == tag) return static_cast<int>(w);
   }
   return -1;
 }
@@ -134,6 +145,16 @@ void LastLevelCache::host_touch(std::uint64_t addr, bool dirty_line) {
   lru_[row + victim] = ++lru_clock_;
 }
 
+void LastLevelCache::arm_fill(LazyFill mode) {
+  std::fill(fill_seen_.begin(), fill_seen_.end(), 0);
+  fill_unmaterialized_ = num_sets_;
+  fill_mode_ = mode;
+  // A whole-cache fill supersedes any unreplayed warm touches; their
+  // statistics and LRU-clock advance were applied at record time, exactly
+  // as the eager loop would have left them.
+  warm_ranges_.clear();
+}
+
 void LastLevelCache::thrash() {
   // Clean foreign lines everywhere: tags that no benchmark buffer address
   // maps to (top bit set), so every subsequent probe misses. Recorded
@@ -142,34 +163,172 @@ void LastLevelCache::thrash() {
   // fill would have consumed (one ++ per line, set-major, way inner), so
   // the materialized state and every later LRU decision are bit-identical
   // to the eager loop's.
-  std::fill(thrash_seen_.begin(), thrash_seen_.end(), 0);
   thrash_base_ = lru_clock_;
   lru_clock_ += num_sets_ * cfg_.ways;
-  thrash_unmaterialized_ = num_sets_;
+  arm_fill(LazyFill::Thrash);
 }
 
 void LastLevelCache::materialize_slow(std::uint64_t set) {
   const std::uint64_t word = set >> 6;
   const std::uint64_t bit = std::uint64_t{1} << (set & 63);
-  if ((thrash_seen_[word] & bit) != 0) return;
-  thrash_seen_[word] |= bit;
-  --thrash_unmaterialized_;
-  const std::uint64_t row = set * cfg_.ways;
-  for (unsigned w = 0; w < cfg_.ways; ++w) {
-    tags_[row + w] = (std::uint64_t{1} << 63) | w;
-    lru_[row + w] = thrash_base_ + row + w + 1;
+  if ((fill_seen_[word] & bit) != 0) return;
+  fill_seen_[word] |= bit;
+  --fill_unmaterialized_;
+  if (fill_mode_ == LazyFill::Clear) {
+    valid_[set] = 0;
+    dirty_[set] = 0;
+  } else {
+    const std::uint64_t row = set * cfg_.ways;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+      tags_[row + w] = (std::uint64_t{1} << 63) | w;
+      lru_[row + w] = thrash_base_ + row + w + 1;
+    }
+    valid_[set] = cfg_.ways == 64 ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << cfg_.ways) - 1;
+    dirty_[set] = 0;
   }
-  valid_[set] = cfg_.ways == 64 ? ~std::uint64_t{0}
-                                : (std::uint64_t{1} << cfg_.ways) - 1;
-  dirty_[set] = 0;
+  if (!warm_ranges_.empty()) replay_warm(set);
+}
+
+void LastLevelCache::replay_warm(std::uint64_t set) {
+  const std::uint64_t row = set * cfg_.ways;
+  for (const WarmRange& r : warm_ranges_) {
+    // First range index j whose line lands in this set; the rest follow
+    // every num_sets_ lines (the range is line-contiguous).
+    const std::uint64_t start_set = r.first_line % num_sets_;
+    std::uint64_t j = set >= start_set ? set - start_set
+                                       : set + num_sets_ - start_set;
+    for (; j < r.count; j += num_sets_) {
+      const std::uint64_t line = r.first_line + j;
+      std::uint64_t tag;
+      if (set_magic_ != 0) {
+        tag = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(line) * set_magic_) >>
+            set_magic_shift_);
+      } else {
+        tag = line / num_sets_;
+      }
+      const std::uint64_t stamp = r.clock0 + j + 1;
+      if (r.ddio) {
+        replay_ddio_touch(set, row, tag, stamp);
+      } else {
+        replay_host_touch(set, row, tag, stamp, r.dirty);
+      }
+    }
+  }
+}
+
+// host_touch with an explicit LRU stamp and no statistics (both were
+// applied when the range was recorded).
+void LastLevelCache::replay_host_touch(std::uint64_t set, std::uint64_t row,
+                                       std::uint64_t tag, std::uint64_t stamp,
+                                       bool dirty_line) {
+  if (const int w = find_way(set, tag); w >= 0) {
+    lru_[row + static_cast<unsigned>(w)] = stamp;
+    if (dirty_line) dirty_[set] |= std::uint64_t{1} << w;
+    return;
+  }
+  unsigned victim = 0;
+  for (unsigned w = 1; w < cfg_.ways; ++w) {
+    if (!valid(set, w)) { victim = w; break; }
+    if (!valid(set, victim)) break;
+    if (lru_[row + w] < lru_[row + victim]) victim = w;
+  }
+  valid_[set] |= std::uint64_t{1} << victim;
+  if (dirty_line) {
+    dirty_[set] |= std::uint64_t{1} << victim;
+  } else {
+    dirty_[set] &= ~(std::uint64_t{1} << victim);
+  }
+  tags_[row + victim] = tag;
+  lru_[row + victim] = stamp;
+}
+
+// write_allocate with an explicit LRU stamp and no statistics.
+void LastLevelCache::replay_ddio_touch(std::uint64_t set, std::uint64_t row,
+                                       std::uint64_t tag,
+                                       std::uint64_t stamp) {
+  if (const int w = find_way(set, tag); w >= 0) {
+    lru_[row + static_cast<unsigned>(w)] = stamp;
+    dirty_[set] |= std::uint64_t{1} << w;
+    return;
+  }
+  unsigned victim = 0;
+  for (unsigned w = 1; w < cfg_.ddio_ways; ++w) {
+    if (!valid(set, w)) { victim = w; break; }
+    if (!valid(set, victim)) break;
+    if (lru_[row + w] < lru_[row + victim]) victim = w;
+  }
+  valid_[set] |= std::uint64_t{1} << victim;
+  dirty_[set] |= std::uint64_t{1} << victim;
+  tags_[row + victim] = tag;
+  lru_[row + victim] = stamp;
+}
+
+std::uint64_t LastLevelCache::wrap_evictions(std::uint64_t lines,
+                                             std::uint64_t ways) const {
+  // A contiguous range puts q or q+1 lines into each set (r sets get the
+  // extra one). Touches past a set's replacement domain evict the range's
+  // own earlier lines.
+  const std::uint64_t q = lines / num_sets_;
+  const std::uint64_t r = lines % num_sets_;
+  const std::uint64_t extra_hi = q + 1 > ways ? q + 1 - ways : 0;
+  const std::uint64_t extra_lo = q > ways ? q - ways : 0;
+  return r * extra_hi + (num_sets_ - r) * extra_lo;
+}
+
+void LastLevelCache::warm_host_range(std::uint64_t addr, std::uint64_t len,
+                                     bool dirty_lines) {
+  if (len == 0) return;
+  const std::uint64_t n = (len + cfg_.line_bytes - 1) / cfg_.line_bytes;
+  if (warm_lazy_eligible()) {
+    // The range's lines are distinct and no reachable tag matches the
+    // pending fill's contents, so every touch misses deterministically:
+    // the statistics of the eager loop are computable up front.
+    if (dirty_lines) dirty_evictions_ += wrap_evictions(n, cfg_.ways);
+    warm_ranges_.push_back(
+        {addr >> line_shift_, n, lru_clock_, dirty_lines, /*ddio=*/false});
+    lru_clock_ += n;
+    return;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    host_touch(addr + i * cfg_.line_bytes, dirty_lines);
+  }
+}
+
+void LastLevelCache::warm_device_range(std::uint64_t addr, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t n = (len + cfg_.line_bytes - 1) / cfg_.line_bytes;
+  if (warm_lazy_eligible()) {
+    misses_ += n;
+    ddio_allocations_ += n;
+    // Post-thrash every victim is a valid line; on a cleared cache only
+    // wraps past the DDIO quota evict (the range's own dirty lines).
+    const std::uint64_t wraps = wrap_evictions(n, cfg_.ddio_ways);
+    ddio_evictions_ += fill_mode_ == LazyFill::Thrash ? n : wraps;
+    dirty_evictions_ += wraps;
+    warm_ranges_.push_back(
+        {addr >> line_shift_, n, lru_clock_, /*dirty=*/true, /*ddio=*/true});
+    lru_clock_ += n;
+    return;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    write_allocate(addr + i * cfg_.line_bytes);
+  }
 }
 
 void LastLevelCache::clear() {
-  std::fill(tags_.begin(), tags_.end(), 0);
-  std::fill(lru_.begin(), lru_.end(), 0);
-  std::fill(valid_.begin(), valid_.end(), 0);
-  std::fill(dirty_.begin(), dirty_.end(), 0);
-  thrash_unmaterialized_ = 0;  // no pending fill; everything is invalid
+  // Lazy whole-cache invalidation: each set's valid/dirty masks are
+  // zeroed on first touch. Tag and LRU words of invalid ways are never
+  // read, so they can stay stale.
+  arm_fill(LazyFill::Clear);
+}
+
+void LastLevelCache::reset() {
+  clear();
+  reset_stats();
+  lru_clock_ = 0;
+  thrash_base_ = 0;
 }
 
 void LastLevelCache::reset_stats() {
@@ -180,10 +339,18 @@ void LastLevelCache::reset_stats() {
 bool LastLevelCache::contains(std::uint64_t addr) const {
   std::uint64_t set, tag;
   locate(addr, set, tag);
-  // A set still holding the pending thrash fill contains only foreign
-  // lines ((1<<63)|way), and no reachable address produces a tag with
-  // the top bit set — so the answer is "no" without materializing.
-  if (thrash_pending(set)) {
+  if (fill_pending(set)) {
+    if (!warm_ranges_.empty()) {
+      // Lazy warm touches may land in this set; materializing is
+      // logically const (observable state is unchanged by design).
+      const_cast<LastLevelCache*>(this)->materialize(set);
+      return find_way(set, tag) >= 0;
+    }
+    // A set awaiting a clear contains nothing; one awaiting the thrash
+    // fill contains only foreign lines ((1<<63)|way), and no reachable
+    // address produces a tag with the top bit set — so the answer is
+    // computable without materializing.
+    if (fill_mode_ == LazyFill::Clear) return false;
     return (tag >> 63) != 0 && (tag & ~(std::uint64_t{1} << 63)) < cfg_.ways;
   }
   return find_way(set, tag) >= 0;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/units.hpp"
@@ -46,6 +47,26 @@ class LastLevelCache {
   /// Host warms a line (may use any way).
   void host_touch(std::uint64_t addr, bool dirty);
 
+  /// Bulk host warm of the contiguous range [addr, addr+len): observable
+  /// state, LRU stamps, and statistics are byte-identical to calling
+  /// host_touch(addr + i*line_bytes, dirty) for each line in order.
+  ///
+  /// Lazy when the whole cache is still awaiting a bulk fill (the
+  /// prepare-state pattern: thrash()/clear()/construction immediately
+  /// followed by one warm): the range is recorded in O(1), its statistics
+  /// and LRU-clock advance are applied eagerly (so a reset_stats() right
+  /// after behaves exactly as with the eager loop), and each set replays
+  /// its touches on first probe. A benchmark touching 100 lines of a 16K-
+  /// line warmed window pays for 100, not 16K — the dominant per-trial
+  /// cost of the chaos campaign (docs/PERFORMANCE.md round 3). Falls back
+  /// to the eager per-line loop whenever any set was touched since the
+  /// fill was armed or a lazy range is already recorded.
+  void warm_host_range(std::uint64_t addr, std::uint64_t len, bool dirty);
+
+  /// Bulk DDIO warm: identical to write_allocate(addr + i*line_bytes) per
+  /// line in order, lazy under the same conditions as warm_host_range.
+  void warm_device_range(std::uint64_t addr, std::uint64_t len);
+
   /// Fill the whole cache with clean foreign lines, evicting everything —
   /// the pcie-bench "thrash the cache" step.
   ///
@@ -57,8 +78,16 @@ class LastLevelCache {
   /// state is bit-identical to the eager fill, including the LRU stamps.
   void thrash();
 
-  /// Drop all contents (power-on state).
+  /// Drop all contents (power-on state). Lazy like thrash(): the
+  /// invalidation is recorded in O(1) and each set is emptied on first
+  /// touch, so clearing costs O(sets touched afterwards), not O(capacity).
   void clear();
+
+  /// Trial-reuse reset: power-on state AND fresh statistics AND the LRU
+  /// clock rewound to zero — a reset cache behaves byte-identically to a
+  /// newly constructed one (docs/PERFORMANCE.md round 3). O(1) plus one
+  /// bitmap clear; no tag/LRU array pass.
+  void reset();
 
   const CacheConfig& config() const { return cfg_; }
 
@@ -71,6 +100,20 @@ class LastLevelCache {
   /// Valid lines displaced by those allocations (clean or dirty).
   std::uint64_t ddio_evictions() const { return ddio_evictions_; }
   void reset_stats();
+
+  /// Stable addresses of the monotonic totals, for obs::CounterRegistry's
+  /// raw readers. Valid for the cache's lifetime, across reset().
+  struct CounterSources {
+    const std::uint64_t* hits;
+    const std::uint64_t* misses;
+    const std::uint64_t* dirty_evictions;
+    const std::uint64_t* ddio_allocations;
+    const std::uint64_t* ddio_evictions;
+  };
+  CounterSources counter_sources() const {
+    return {&hits_, &misses_, &dirty_evictions_, &ddio_allocations_,
+            &ddio_evictions_};
+  }
 
   /// True if the line holding addr is resident (no LRU update) — test hook.
   bool contains(std::uint64_t addr) const;
@@ -101,18 +144,57 @@ class LastLevelCache {
   /// contiguous tag row (8 B per way, one or two cache lines per set).
   int find_way(std::uint64_t set, std::uint64_t tag) const;
 
-  /// Write the pending thrash fill into `set` if it hasn't been touched
-  /// since the last thrash(). The fast path is one counter test: once
-  /// every set is materialized (or on a fresh/cleared cache) the armed
+  /// Pending lazy bulk operation: thrash() records a whole-cache foreign
+  /// fill, clear()/reset() record a whole-cache invalidation. Either is
+  /// applied per set on first touch via materialize().
+  enum class LazyFill : std::uint8_t { None, Clear, Thrash };
+
+  /// One recorded lazy warm range (see warm_host_range): line j of the
+  /// range was stamped clock0 + j + 1, so every touch replays with its
+  /// original LRU stamp regardless of materialization order.
+  struct WarmRange {
+    std::uint64_t first_line = 0;
+    std::uint64_t count = 0;
+    std::uint64_t clock0 = 0;  ///< lru_clock_ before the range's first touch
+    bool dirty = false;        ///< host_touch dirty flag (host ranges)
+    bool ddio = false;         ///< write_allocate (DDIO) vs host_touch
+  };
+
+  /// Replay every recorded warm touch that lands in `set`, in original
+  /// global order (ranges were recorded in order; within a range the
+  /// per-set touches ascend). Statistics were counted at record time, so
+  /// replay only moves tags/LRU/valid/dirty state.
+  void replay_warm(std::uint64_t set);
+  void replay_host_touch(std::uint64_t set, std::uint64_t row,
+                         std::uint64_t tag, std::uint64_t stamp, bool dirty);
+  void replay_ddio_touch(std::uint64_t set, std::uint64_t row,
+                         std::uint64_t tag, std::uint64_t stamp);
+  /// Evictions of the range's own earlier lines once a set's replacement
+  /// domain (`ways` wide) wraps: sum over sets of max(0, touches - ways).
+  std::uint64_t wrap_evictions(std::uint64_t lines, std::uint64_t ways) const;
+  /// True when a fresh warm range may be recorded lazily: a whole-cache
+  /// fill is pending with no set materialized yet and no range recorded
+  /// (a second range could hit the first's lines, invalidating the O(1)
+  /// statistics accounting).
+  bool warm_lazy_eligible() const {
+    return fill_mode_ != LazyFill::None &&
+           fill_unmaterialized_ == num_sets_ && warm_ranges_.empty();
+  }
+
+  /// Write the pending bulk fill into `set` if it hasn't been touched
+  /// since the last thrash()/clear(). The fast path is one counter test:
+  /// once every set is materialized (or nothing is pending) the armed
   /// counter is 0 and the probe pays a single predictable branch.
   void materialize(std::uint64_t set) {
-    if (thrash_unmaterialized_ != 0) materialize_slow(set);
+    if (fill_unmaterialized_ != 0) materialize_slow(set);
   }
   void materialize_slow(std::uint64_t set);
-  bool thrash_pending(std::uint64_t set) const {
-    return thrash_unmaterialized_ != 0 &&
-           (thrash_seen_[set >> 6] & (std::uint64_t{1} << (set & 63))) == 0;
+  bool fill_pending(std::uint64_t set) const {
+    return fill_unmaterialized_ != 0 &&
+           (fill_seen_[set >> 6] & (std::uint64_t{1} << (set & 63))) == 0;
   }
+  /// Arm a lazy whole-cache fill: O(1) plus one bitmap clear.
+  void arm_fill(LazyFill mode);
 
   bool valid(std::uint64_t set, unsigned way) const {
     return (valid_[set] >> way) & 1u;
@@ -130,17 +212,27 @@ class LastLevelCache {
   // hottest cache operation) reads only the tag row — 8 B per way,
   // contiguous — instead of striding over padded line records. Valid and
   // dirty bits live in one bitmask word per set (ways <= 64 enforced).
-  std::vector<std::uint64_t> tags_;  ///< num_sets_ * ways, set-major
-  std::vector<std::uint64_t> lru_;   ///< num_sets_ * ways, set-major
+  //
+  // tags_/lru_ are deliberately left UNINITIALIZED at construction (3.9 MB
+  // of zero-fill for the default 15 MB LLC was the dominant system-build
+  // cost on the chaos workload): every read of a tag or LRU stamp is
+  // guarded by the corresponding valid bit, and materialize() writes a
+  // set's row before any guarded read, so an indeterminate word is never
+  // observed. This also leaves the backing pages uncommitted until touched.
+  std::unique_ptr<std::uint64_t[]> tags_;  ///< num_sets_ * ways, set-major
+  std::unique_ptr<std::uint64_t[]> lru_;   ///< num_sets_ * ways, set-major
   std::vector<std::uint64_t> valid_;  ///< one mask per set
   std::vector<std::uint64_t> dirty_;  ///< one mask per set
-  // Lazy-thrash state: sets materialized since the last thrash() (one bit
-  // per set), the LRU clock value the thrash started from (the reserved
-  // range [base+1, base+sets*ways] holds the per-line stamps the eager
-  // loop would have written), and how many sets still await the fill.
-  std::vector<std::uint64_t> thrash_seen_;
+  // Lazy-fill state: sets materialized since the last thrash()/clear()
+  // (one bit per set), the LRU clock value a thrash started from (the
+  // reserved range [base+1, base+sets*ways] holds the per-line stamps the
+  // eager loop would have written), how many sets still await the fill,
+  // and which bulk operation is pending.
+  std::vector<std::uint64_t> fill_seen_;
+  std::vector<WarmRange> warm_ranges_;  ///< lazy warms over the pending fill
   std::uint64_t thrash_base_ = 0;
-  std::uint64_t thrash_unmaterialized_ = 0;
+  std::uint64_t fill_unmaterialized_ = 0;
+  LazyFill fill_mode_ = LazyFill::None;
   std::uint64_t lru_clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

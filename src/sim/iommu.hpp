@@ -133,6 +133,18 @@ class Iommu {
   std::uint64_t tlb_misses() const { return misses_; }
   std::uint64_t tlb_evictions() const { return evictions_; }
   std::uint64_t faults() const { return faults_; }
+
+  /// Stable addresses of the monotonic totals, for obs::CounterRegistry's
+  /// raw readers. Valid for the IOMMU's lifetime, across reset().
+  struct CounterSources {
+    const std::uint64_t* tlb_hits;
+    const std::uint64_t* tlb_misses;
+    const std::uint64_t* tlb_evictions;
+    const std::uint64_t* faults;
+  };
+  CounterSources counter_sources() const {
+    return {&hits_, &misses_, &evictions_, &faults_};
+  }
   void reset_stats() {
     hits_ = misses_ = evictions_ = faults_ = 0;
     for (auto& d : domains_) {
@@ -152,6 +164,22 @@ class Iommu {
 
   /// Attach tracing (nullptr detaches).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Trial-reuse reset to the just-constructed state: translations and
+  /// domains dropped, walker tokens freed, every statistic (including
+  /// remaps, unlike reset_stats) zeroed, attachments detached. The TLB
+  /// map's bucket array survives — rebuilding it was part of the per-trial
+  /// build cost this path removes.
+  void reset() {
+    flush_tlb();
+    walkers_.reset();
+    domains_.clear();
+    partitioned_ = false;
+    hits_ = misses_ = evictions_ = faults_ = remaps_ = 0;
+    injector_ = nullptr;
+    aer_ = nullptr;
+    trace_ = nullptr;
+  }
 
  private:
   using LruList = std::list<std::uint64_t>;  // front = most recent

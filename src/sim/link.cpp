@@ -151,7 +151,7 @@ Picos Link::send_tenant(const proto::Tlp& tlp) {
     return sim_.now() + propagation_;
   }
 
-  const unsigned wire_bytes = tlp.wire_bytes(cfg_);
+  const unsigned wire_bytes = wire_bytes_of(tlp);
   ++tlps_;
   bytes_ += wire_bytes;
   payload_bytes_ += tlp.payload;
@@ -303,7 +303,7 @@ Picos Link::send(const proto::Tlp& tlp) {
     return sim_.now() + propagation_;
   }
 
-  const unsigned wire_bytes = tlp.wire_bytes(cfg_);
+  const unsigned wire_bytes = wire_bytes_of(tlp);
   ++tlps_;
   bytes_ += wire_bytes;
   payload_bytes_ += tlp.payload;

@@ -16,6 +16,7 @@
 // poison, downtrain windows) or from the legacy LinkFaultModel shim.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -69,6 +70,10 @@ class Link {
     // The compat shim's penalty is the NAK round trip of its era.
     if (faults_.replay_probability > 0.0) {
       dll_.ack_latency = faults_.replay_penalty;
+    }
+    for (std::size_t t = 0; t < proto::kTlpTypeCount; ++t) {
+      overhead_[t] =
+          proto::overhead_bytes(static_cast<proto::TlpType>(t), cfg_);
     }
   }
 
@@ -186,11 +191,67 @@ class Link {
     return lanes_.at(func).counters;
   }
 
+  /// Stable addresses of this direction's monotonic totals, for
+  /// obs::CounterRegistry's raw readers — snapshot reads skip the
+  /// std::function hop. Pointers stay valid for the Link's lifetime,
+  /// across reset() included.
+  struct CounterSources {
+    const std::uint64_t* tlps;
+    const std::uint64_t* wire_bytes;
+    const std::uint64_t* payload_bytes;
+    const std::uint64_t* replays;
+    const std::uint64_t* replay_timeouts;
+    const std::uint64_t* retrains;
+    const std::uint64_t* dropped;
+    const std::uint64_t* poisoned;
+  };
+  CounterSources counter_sources() const {
+    return {&tlps_,     &bytes_,    &payload_bytes_, &replays_,
+            &replay_timeouts_, &retrains_, &dropped_,       &poisoned_};
+  }
+
   /// Attach tracing (nullptr detaches); `comp` names this direction's
   /// trace track (LinkUp / LinkDown).
   void set_trace(obs::TraceSink* sink, obs::Component comp) {
     trace_ = sink;
     trace_comp_ = comp;
+  }
+
+  /// Trial-reuse reset to the just-constructed state for the same wire
+  /// shape (LinkConfig and propagation are fixed at construction). The
+  /// fault shim / DLL parameters are re-derived exactly as the
+  /// constructor does, the legacy RNG is re-seeded, and every hook,
+  /// attachment, counter and containment/derate latch is dropped. The
+  /// serialization memo survives: it is a pure function of the unchanged
+  /// line rate.
+  void reset(const LinkFaultModel& faults, const LinkDllConfig& dll) {
+    wire_.reset();
+    faults_ = faults;
+    dll_ = dll;
+    if (faults_.replay_probability > 0.0) {
+      dll_.ack_latency = faults_.replay_penalty;
+    }
+    rng_ = Xoshiro256(faults_.seed);
+    deliver_ = {};
+    on_drop_ = {};
+    on_linkdown_ = {};
+    injector_ = nullptr;
+    aer_ = nullptr;
+    upstream_ = true;
+    trace_ = nullptr;
+    trace_comp_ = obs::Component::LinkUp;
+    tlps_ = bytes_ = payload_bytes_ = 0;
+    replays_ = replay_timeouts_ = retrains_ = 0;
+    dropped_ = poisoned_ = downtrains_ = 0;
+    unacked_ = unacked_hwm_ = 0;
+    downtrained_ = false;
+    derated_rule_ = nullptr;
+    derated_rate_ = 0.0;
+    blocked_ = false;
+    blocked_drops_ = 0;
+    recovery_derate_active_ = false;
+    recovery_rate_ = 0.0;
+    lanes_.clear();
   }
 
  private:
@@ -253,6 +314,14 @@ class Link {
   std::uint64_t blocked_drops_ = 0;
   bool recovery_derate_active_ = false;
   double recovery_rate_ = 0.0;
+  /// Per-TLP wire accounting without the per-call switch chain in
+  /// proto::overhead_bytes: the overhead is a pure function of (type,
+  /// cfg_), both fixed for this link's lifetime (reset() keeps the same
+  /// wire shape), so one 4-entry table covers every TLP.
+  std::array<unsigned, proto::kTlpTypeCount> overhead_{};
+  unsigned wire_bytes_of(const proto::Tlp& t) const {
+    return overhead_[static_cast<std::size_t>(t.type)] + t.payload;
+  }
   /// cfg_.tlp_gbps() computed once — it chains two switch lookups and
   /// floating-point math, far too heavy for a per-TLP call.
   double line_rate_;

@@ -81,8 +81,23 @@ class MemorySystem {
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
 
+  /// Stable addresses of the monotonic totals, for obs::CounterRegistry's
+  /// raw readers. Valid for the memory system's lifetime, across reset().
+  struct CounterSources {
+    const std::uint64_t* reads;
+    const std::uint64_t* writes;
+  };
+  CounterSources counter_sources() const { return {&reads_, &writes_}; }
+
   /// Attach tracing (nullptr detaches).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Trial-reuse reset to the just-constructed state (same cache/memory
+  /// shape): cache reset lazily, bandwidth servers freed, the RNG
+  /// re-seeded and the stall schedule re-derived with the constructor's
+  /// exact draw sequence, so a reset memory system replays a fresh one's
+  /// stall/jitter stream bit-for-bit.
+  void reset(std::uint64_t seed);
 
  private:
   /// Advance the cache/bandwidth/jitter state for one access and return

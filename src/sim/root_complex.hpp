@@ -105,6 +105,28 @@ class RootComplex {
   /// High-water mark of the ordered-read queue depth.
   std::uint64_t ordered_reads_hwm() const { return ordered_hwm_; }
 
+  /// Stable addresses of the monotonic totals, for obs::CounterRegistry's
+  /// raw readers. Valid for the root complex's lifetime, across reset().
+  /// Derived values (malformed_tlps, posted_writes_pending) stay lambdas.
+  struct CounterSources {
+    const std::uint64_t* reads;
+    const std::uint64_t* writes_committed;
+    const std::uint64_t* write_bytes;
+    const std::uint64_t* ordered_hwm;
+    const std::uint64_t* posted_hwm;
+    const std::uint64_t* writes_dropped;
+    const std::uint64_t* write_bytes_dropped;
+    const std::uint64_t* poisoned_dropped;
+    const std::uint64_t* unexpected_cpls;
+    const std::uint64_t* error_cpls;
+  };
+  CounterSources counter_sources() const {
+    return {&reads_,          &writes_committed_,    &write_bytes_,
+            &ordered_hwm_,    &posted_hwm_,          &writes_dropped_,
+            &write_bytes_dropped_, &poisoned_dropped_, &unexpected_cpls_,
+            &error_cpls_};
+  }
+
   // Outstanding-work probes for the watchdog's deadlock check.
   std::size_t host_reads_pending() const { return host_reads_.size(); }
   std::size_t ordered_reads_pending() const { return ordered_reads_.size(); }
@@ -134,6 +156,30 @@ class RootComplex {
   void abort_host_reads();
   /// Host MMIO reads answered UR by containment (immediate + aborted).
   std::uint64_t contained_host_reads() const { return contained_host_reads_; }
+
+  /// Trial-reuse reset to the just-constructed state: pipeline freed,
+  /// hooks and attachments dropped, all counters and queues cleared, the
+  /// host-tag allocator rewound. Segmentation scratch keeps its capacity.
+  void reset() {
+    pipeline_.reset();
+    is_local_ = {};
+    on_write_commit_ = {};
+    on_write_drop_ = {};
+    writes_arrived_ = writes_committed_ = write_bytes_ = reads_ = 0;
+    posted_hwm_ = ordered_hwm_ = 0;
+    writes_dropped_ = write_bytes_dropped_ = 0;
+    malformed_writes_ = malformed_reads_ = poisoned_dropped_ = 0;
+    unexpected_cpls_ = error_cpls_ = 0;
+    trace_ = nullptr;
+    injector_ = nullptr;
+    aer_ = nullptr;
+    port_contained_ = false;
+    contained_host_reads_ = 0;
+    func_ = 0;
+    ordered_reads_.clear();
+    next_host_tag_ = 0x8000'0000u;
+    host_reads_.clear();
+  }
 
  private:
   void handle_write(const proto::Tlp& tlp);

@@ -80,12 +80,24 @@ class Simulator {
   using StepHook = std::function<void(Picos, std::size_t)>;
   void set_step_hook(StepHook hook, std::uint64_t every = 1 << 12);
 
-  /// Invoke `hook(now)` after every executed event — the invariant
-  /// monitors' sampling point (check::MonitorSuite). Independent of the
-  /// step hook so monitors and the watchdog can coexist; one branch per
-  /// event when unset. The hook may throw to abort the run.
-  using CheckHook = std::function<void(Picos)>;
-  void set_check_hook(CheckHook hook) { check_hook_ = std::move(hook); }
+  /// Per-event invariant monitors (check::MonitorSuite) — the devirtualized
+  /// replacement for the old std::function check hook. Each armed monitor
+  /// is a plain function pointer plus a context pointer, dispatched from a
+  /// flattened array after every event's callback; the disarmed path pays
+  /// exactly one integer test (monitor_count_ == 0). Monitors run in
+  /// registration order and may throw to abort the run.
+  ///
+  /// Compile-time opt-out: building with -DPCIEB_DISABLE_CHECK_DISPATCH
+  /// removes the dispatch from step() entirely (the perf harness's
+  /// zero-cost configuration); add_monitor then throws, so a misconfigured
+  /// build fails loudly instead of silently skipping invariants.
+  using MonitorFn = void (*)(void*, Picos);
+  static constexpr std::size_t kMaxMonitors = 8;
+  void add_monitor(MonitorFn fn, void* ctx);
+  /// Remove the first slot matching (fn, ctx); later slots shift down,
+  /// preserving registration order. Unknown pairs are ignored.
+  void remove_monitor(MonitorFn fn, void* ctx);
+  std::size_t monitor_count() const { return monitor_count_; }
 
   /// Invoke `hook(now)` after every `every` executed events, after the
   /// event's callback (and the check hook) ran — the telemetry sampler's
@@ -96,16 +108,35 @@ class Simulator {
   using SampleHook = std::function<void(Picos)>;
   void set_sample_hook(SampleHook hook, std::uint64_t every = 1);
 
+  /// Trial-reuse reset: rewind the engine to its just-constructed state —
+  /// time zero, zero executed events, empty queue (pool kept warm), all
+  /// hooks and monitors detached, default cadences — and re-cache the
+  /// calling thread's armed profiler (a pooled Simulator outlives
+  /// individual profiler arm/disarm windows, so the constructor-time
+  /// pointer may be stale).
+  void reset();
+
  private:
   [[noreturn]] static void throw_past_schedule();
   bool step_profiled();
+  void dispatch_monitors(Picos now) {
+    for (std::size_t i = 0; i < monitor_count_; ++i) {
+      monitors_[i].fn(monitors_[i].ctx, now);
+    }
+  }
+
+  struct MonitorSlot {
+    MonitorFn fn = nullptr;
+    void* ctx = nullptr;
+  };
 
   Picos now_ = 0;
   std::size_t executed_ = 0;
   EventQueue queue_;
   StepHook step_hook_;
-  CheckHook check_hook_;
   SampleHook sample_hook_;
+  MonitorSlot monitors_[kMaxMonitors];
+  std::size_t monitor_count_ = 0;
   std::uint64_t hook_every_ = 1 << 12;
   std::uint64_t since_hook_ = 0;
   std::uint64_t sample_every_ = 1;

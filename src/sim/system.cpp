@@ -20,7 +20,40 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   rc_ = std::make_unique<RootComplex>(sim_, cfg_.link, cfg_.rc, *mem_,
                                       *iommu_, *down_);
   device_ = std::make_unique<DmaDevice>(sim_, cfg_.device, cfg_.link, *up_);
+  wire();
+}
 
+void System::reset(const SystemConfig& cfg) {
+  obs::ProfScope prof(obs::CostCenter::SystemBuild);
+  // Per-trial machinery first: the AER listener points into the recovery
+  // manager and the simulator's step hook into the watchdog, so detach
+  // before destroying either.
+  aer_.reset();
+  recovery_.reset();
+  watchdog_.reset();
+  injector_.reset();
+  cfg_ = cfg;
+  cfg_.link.validate();
+  sim_.reset();
+  LinkFaultModel up_faults = cfg_.link_faults;
+  LinkFaultModel down_faults = cfg_.link_faults;
+  down_faults.seed ^= 0xd041ULL;
+  up_->reset(up_faults, cfg_.dll);
+  down_->reset(down_faults, cfg_.dll);
+  mem_->reset(cfg_.seed);
+  iommu_->reset();
+  rc_->reset();
+  device_->reset();
+  buffer_ = nullptr;
+  write_observer_ = {};
+  write_drop_observer_ = {};
+  trace_ = nullptr;
+  lost_write_bytes_ = 0;
+  test_leak_credits_on_drop_ = false;
+  wire();
+}
+
+void System::wire() {
   up_->set_deliver([this](const proto::Tlp& t) { rc_->on_upstream(t); });
   down_->set_deliver([this](const proto::Tlp& t) { device_->on_downstream(t); });
   rc_->set_write_commit_hook([this](std::uint32_t bytes) {
@@ -191,20 +224,21 @@ void System::set_trace_sink(obs::TraceSink* sink) {
 }
 
 void System::register_counters(obs::CounterRegistry& reg) {
+  // Monotonic uint64 totals register their member's address directly
+  // (obs::CounterRegistry raw readers) — a snapshot read dereferences a
+  // pointer instead of hopping through a std::function. Derived values,
+  // non-uint64 sources (Picos, unsigned), and gauges keep lambdas.
   auto link_counters = [&](const char* prefix, Link* link) {
     const std::string p = prefix;
-    reg.add_counter(p + ".tlps", [link] { return double(link->tlps_sent()); });
-    reg.add_counter(p + ".wire_bytes",
-                    [link] { return double(link->wire_bytes_sent()); });
-    reg.add_counter(p + ".payload_bytes",
-                    [link] { return double(link->payload_bytes_sent()); });
-    reg.add_counter(p + ".replays", [link] { return double(link->replays()); });
-    reg.add_counter(p + ".replay_timeouts",
-                    [link] { return double(link->replay_timeouts()); });
-    reg.add_counter(p + ".retrains", [link] { return double(link->retrains()); });
-    reg.add_counter(p + ".dropped", [link] { return double(link->dropped()); });
-    reg.add_counter(p + ".poisoned",
-                    [link] { return double(link->poisoned()); });
+    const Link::CounterSources s = link->counter_sources();
+    reg.add_counter(p + ".tlps", s.tlps);
+    reg.add_counter(p + ".wire_bytes", s.wire_bytes);
+    reg.add_counter(p + ".payload_bytes", s.payload_bytes);
+    reg.add_counter(p + ".replays", s.replays);
+    reg.add_counter(p + ".replay_timeouts", s.replay_timeouts);
+    reg.add_counter(p + ".retrains", s.retrains);
+    reg.add_counter(p + ".dropped", s.dropped);
+    reg.add_counter(p + ".poisoned", s.poisoned);
     reg.add_counter(p + ".busy_ps",
                     [link] { return double(link->busy_total()); });
     reg.add_gauge(p + ".utilization", [this, link] {
@@ -216,59 +250,43 @@ void System::register_counters(obs::CounterRegistry& reg) {
   link_counters("link.down", down_.get());
 
   DmaDevice* dev = device_.get();
-  reg.add_counter("device.reads_completed",
-                  [dev] { return double(dev->reads_completed()); });
-  reg.add_counter("device.writes_sent",
-                  [dev] { return double(dev->writes_sent()); });
+  const DmaDevice::CounterSources ds = dev->counter_sources();
+  reg.add_counter("device.reads_completed", ds.reads_completed);
+  reg.add_counter("device.writes_sent", ds.writes_sent);
   reg.add_counter("device.fc_stall_ps",
                   [dev] { return double(dev->fc_stall_total()); });
   reg.add_counter("device.read_tags_hwm",
                   [dev] { return double(dev->read_tags_hwm()); });
-  reg.add_counter("device.completion_timeouts",
-                  [dev] { return double(dev->completion_timeouts()); });
-  reg.add_counter("device.read_retries",
-                  [dev] { return double(dev->read_retries()); });
-  reg.add_counter("device.reads_failed",
-                  [dev] { return double(dev->reads_failed()); });
-  reg.add_counter("device.failed_read_bytes",
-                  [dev] { return double(dev->failed_read_bytes()); });
-  reg.add_counter("device.unexpected_cpls",
-                  [dev] { return double(dev->unexpected_completions()); });
+  reg.add_counter("device.completion_timeouts", ds.completion_timeouts);
+  reg.add_counter("device.read_retries", ds.read_retries);
+  reg.add_counter("device.reads_failed", ds.reads_failed);
+  reg.add_counter("device.failed_read_bytes", ds.failed_read_bytes);
+  reg.add_counter("device.unexpected_cpls", ds.unexpected_cpls);
   reg.add_gauge("device.read_tags_in_use",
                 [dev] { return double(dev->read_tags_in_use()); });
 
   RootComplex* rc = rc_.get();
-  reg.add_counter("rc.reads", [rc] { return double(rc->reads_handled()); });
-  reg.add_counter("rc.writes_committed",
-                  [rc] { return double(rc->writes_committed()); });
-  reg.add_counter("rc.write_bytes",
-                  [rc] { return double(rc->write_bytes_committed()); });
-  reg.add_counter("rc.ordered_queue_hwm",
-                  [rc] { return double(rc->ordered_reads_hwm()); });
-  reg.add_counter("rc.posted_buffer_hwm",
-                  [rc] { return double(rc->posted_writes_pending_hwm()); });
-  reg.add_counter("rc.writes_dropped",
-                  [rc] { return double(rc->writes_dropped()); });
-  reg.add_counter("rc.write_bytes_dropped",
-                  [rc] { return double(rc->write_bytes_dropped()); });
+  const RootComplex::CounterSources rs = rc->counter_sources();
+  reg.add_counter("rc.reads", rs.reads);
+  reg.add_counter("rc.writes_committed", rs.writes_committed);
+  reg.add_counter("rc.write_bytes", rs.write_bytes);
+  reg.add_counter("rc.ordered_queue_hwm", rs.ordered_hwm);
+  reg.add_counter("rc.posted_buffer_hwm", rs.posted_hwm);
+  reg.add_counter("rc.writes_dropped", rs.writes_dropped);
+  reg.add_counter("rc.write_bytes_dropped", rs.write_bytes_dropped);
   reg.add_counter("rc.malformed_tlps",
                   [rc] { return double(rc->malformed_tlps()); });
-  reg.add_counter("rc.poisoned_dropped",
-                  [rc] { return double(rc->poisoned_dropped()); });
-  reg.add_counter("rc.unexpected_cpls",
-                  [rc] { return double(rc->unexpected_completions()); });
-  reg.add_counter("rc.error_cpls",
-                  [rc] { return double(rc->error_completions()); });
+  reg.add_counter("rc.poisoned_dropped", rs.poisoned_dropped);
+  reg.add_counter("rc.unexpected_cpls", rs.unexpected_cpls);
+  reg.add_counter("rc.error_cpls", rs.error_cpls);
   reg.add_gauge("rc.posted_buffer_occupancy",
                 [rc] { return double(rc->posted_writes_pending()); });
 
-  Iommu* mmu = iommu_.get();
-  reg.add_counter("iommu.tlb_hits", [mmu] { return double(mmu->tlb_hits()); });
-  reg.add_counter("iommu.tlb_misses",
-                  [mmu] { return double(mmu->tlb_misses()); });
-  reg.add_counter("iommu.tlb_evictions",
-                  [mmu] { return double(mmu->tlb_evictions()); });
-  reg.add_counter("iommu.faults", [mmu] { return double(mmu->faults()); });
+  const Iommu::CounterSources ms = iommu_->counter_sources();
+  reg.add_counter("iommu.tlb_hits", ms.tlb_hits);
+  reg.add_counter("iommu.tlb_misses", ms.tlb_misses);
+  reg.add_counter("iommu.tlb_evictions", ms.tlb_evictions);
+  reg.add_counter("iommu.faults", ms.faults);
 
   const fault::AerLog* aer = &aer_;
   reg.add_counter("aer.correctable", [aer] {
@@ -281,19 +299,16 @@ void System::register_counters(obs::CounterRegistry& reg) {
     return double(aer->total(fault::ErrorSeverity::Fatal));
   });
 
-  LastLevelCache* llc = &mem_->cache();
-  reg.add_counter("cache.hits", [llc] { return double(llc->hits()); });
-  reg.add_counter("cache.misses", [llc] { return double(llc->misses()); });
-  reg.add_counter("cache.dirty_evictions",
-                  [llc] { return double(llc->dirty_evictions()); });
-  reg.add_counter("cache.ddio_allocations",
-                  [llc] { return double(llc->ddio_allocations()); });
-  reg.add_counter("cache.ddio_evictions",
-                  [llc] { return double(llc->ddio_evictions()); });
+  const LastLevelCache::CounterSources cs = mem_->cache().counter_sources();
+  reg.add_counter("cache.hits", cs.hits);
+  reg.add_counter("cache.misses", cs.misses);
+  reg.add_counter("cache.dirty_evictions", cs.dirty_evictions);
+  reg.add_counter("cache.ddio_allocations", cs.ddio_allocations);
+  reg.add_counter("cache.ddio_evictions", cs.ddio_evictions);
 
-  MemorySystem* mem = mem_.get();
-  reg.add_counter("mem.reads", [mem] { return double(mem->reads()); });
-  reg.add_counter("mem.writes", [mem] { return double(mem->writes()); });
+  const MemorySystem::CounterSources es = mem_->counter_sources();
+  reg.add_counter("mem.reads", es.reads);
+  reg.add_counter("mem.writes", es.writes);
 
   // Recovery-ladder counters register only when a policy is armed, so
   // recovery-free counter CSVs stay bit-identical to previous releases.
@@ -322,6 +337,7 @@ void System::register_counters(obs::CounterRegistry& reg) {
                     [dev] { return double(dev->flr_dropped_writes()); });
     reg.add_counter("rc.contained_host_reads",
                     [rc] { return double(rc->contained_host_reads()); });
+    Iommu* mmu = iommu_.get();
     reg.add_counter("iommu.remaps", [mmu] { return double(mmu->remaps()); });
     Link* up = up_.get();
     Link* down = down_.get();
@@ -342,20 +358,14 @@ void System::attach_buffer(const HostBuffer* buf) {
 
 void System::warm_host(const HostBuffer& buf, std::uint64_t offset,
                        std::uint64_t len) {
-  auto& cache = mem_->cache();
-  const unsigned line = cache.config().line_bytes;
-  for (std::uint64_t o = offset; o < offset + len; o += line) {
-    cache.host_touch(buf.iova(o), /*dirty=*/true);
-  }
+  // The buffer's IOVA range is contiguous, so this is the bulk (lazily
+  // replayed) form of host_touch(buf.iova(o), true) per line.
+  mem_->cache().warm_host_range(buf.iova(offset), len, /*dirty=*/true);
 }
 
 void System::warm_device(const HostBuffer& buf, std::uint64_t offset,
                          std::uint64_t len) {
-  auto& cache = mem_->cache();
-  const unsigned line = cache.config().line_bytes;
-  for (std::uint64_t o = offset; o < offset + len; o += line) {
-    cache.write_allocate(buf.iova(o));
-  }
+  mem_->cache().warm_device_range(buf.iova(offset), len);
 }
 
 void System::thrash_cache() { mem_->cache().thrash(); }

@@ -65,6 +65,16 @@ class System {
  public:
   explicit System(const SystemConfig& cfg);
 
+  /// Trial-reuse reset: rewind every component to its just-constructed
+  /// state and re-arm from `cfg`, without reallocating the component
+  /// graph. `cfg` must describe the same system *shape* as construction —
+  /// identical link, cache, memory, IOMMU, RC, device, jitter,
+  /// propagation, legacy link-fault and seed fields; only the per-trial
+  /// fields (fault_plan, watchdog, recovery) may differ. Used by
+  /// check::run_campaign to reuse one pooled System per system spec; the
+  /// reset-vs-fresh property test pins byte-identical behaviour.
+  void reset(const SystemConfig& cfg);
+
   Simulator& sim() { return sim_; }
   DmaDevice& device() { return *device_; }
   RootComplex& root_complex() { return *rc_; }
@@ -141,6 +151,11 @@ class System {
   void thrash_cache();
 
  private:
+  /// Shared by the constructor and reset(): install the inter-component
+  /// hooks and AER attachments, then arm fault/recovery machinery per
+  /// cfg_. Components must be in their just-constructed (or just-reset)
+  /// state when called.
+  void wire();
   void arm_faults();
   void arm_recovery();
   /// DPC/linkdown port freeze: block both directions. In-flight TLPs are

@@ -1,0 +1,209 @@
+// Lazy bulk warm (warm_host_range / warm_device_range) identity: the
+// bulk form must be byte-identical — tags, LRU stamps, valid/dirty bits,
+// statistics, and every subsequent probe outcome — to the legacy eager
+// per-line host_touch / write_allocate loop it replaces. The chaos
+// campaign's per-trial prepare_state cost rides on this (hot-path round
+// 3), so the equivalence is pinned by a randomized property test plus
+// the edge cases the analytic statistics accounting depends on.
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pcieb::sim {
+namespace {
+
+CacheConfig make_cfg(std::uint64_t sets, unsigned ways, unsigned ddio) {
+  CacheConfig cfg;
+  cfg.ways = ways;
+  cfg.line_bytes = 64;
+  cfg.ddio_ways = ddio;
+  cfg.size_bytes = sets * ways * cfg.line_bytes;
+  return cfg;
+}
+
+/// The legacy eager loops System::warm_host/warm_device used to run.
+void eager_warm_host(LastLevelCache& c, std::uint64_t addr, std::uint64_t len,
+                     bool dirty) {
+  const unsigned line = c.config().line_bytes;
+  for (std::uint64_t o = 0; o < len; o += line) c.host_touch(addr + o, dirty);
+}
+
+void eager_warm_device(LastLevelCache& c, std::uint64_t addr,
+                       std::uint64_t len) {
+  const unsigned line = c.config().line_bytes;
+  for (std::uint64_t o = 0; o < len; o += line) c.write_allocate(addr + o);
+}
+
+void expect_stats_equal(const LastLevelCache& lazy, const LastLevelCache& ref,
+                        const std::string& where) {
+  EXPECT_EQ(lazy.hits(), ref.hits()) << where;
+  EXPECT_EQ(lazy.misses(), ref.misses()) << where;
+  EXPECT_EQ(lazy.dirty_evictions(), ref.dirty_evictions()) << where;
+  EXPECT_EQ(lazy.ddio_allocations(), ref.ddio_allocations()) << where;
+  EXPECT_EQ(lazy.ddio_evictions(), ref.ddio_evictions()) << where;
+}
+
+/// Drive both caches through an identical random probe mix and demand
+/// identical outcomes at every step. Outcome identity transitively pins
+/// the tag/LRU/valid/dirty state the warm left behind: a single swapped
+/// LRU stamp changes a later eviction choice, which changes a later
+/// probe result or statistic.
+void expect_probe_identical(LastLevelCache& lazy, LastLevelCache& ref,
+                            std::uint64_t seed, std::uint64_t addr_span,
+                            int steps) {
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < steps; ++i) {
+    const std::uint64_t addr = rng.below(addr_span) * 64;
+    switch (rng.below(4)) {
+      case 0:
+        ASSERT_EQ(lazy.read_probe(addr), ref.read_probe(addr)) << "step " << i;
+        break;
+      case 1:
+        ASSERT_EQ(lazy.write_allocate(addr), ref.write_allocate(addr))
+            << "step " << i;
+        break;
+      case 2:
+        lazy.host_touch(addr, (i & 1) != 0);
+        ref.host_touch(addr, (i & 1) != 0);
+        break;
+      case 3:
+        ASSERT_EQ(lazy.contains(addr), ref.contains(addr)) << "step " << i;
+        break;
+    }
+    expect_stats_equal(lazy, ref, "step " + std::to_string(i));
+  }
+}
+
+TEST(CacheWarmTest, LazyWarmMatchesEagerLoopAcrossRandomizedShapes) {
+  Xoshiro256 rng(0xca5e);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t sets = 1ull << (3 + rng.below(4));  // 8..64
+    const unsigned ways = static_cast<unsigned>(1 + rng.below(8));
+    const unsigned ddio = static_cast<unsigned>(1 + rng.below(ways));
+    const CacheConfig cfg = make_cfg(sets, ways, ddio);
+    LastLevelCache lazy(cfg), ref(cfg);
+
+    // Random base state: fresh, cleared, or thrashed (all leave a
+    // whole-cache fill pending, so the bulk warm takes the lazy path).
+    switch (rng.below(3)) {
+      case 0: break;
+      case 1: lazy.clear(); ref.clear(); break;
+      case 2: lazy.thrash(); ref.thrash(); break;
+    }
+
+    // Random range, deliberately allowed to wrap every set's replacement
+    // domain several times (count up to 3x the cache's line capacity).
+    const std::uint64_t count = 1 + rng.below(3 * sets * ways);
+    const std::uint64_t base = rng.below(1024) * 64;
+    const bool dirty = rng.below(2) == 0;
+    const bool ddio_warm = rng.below(3) == 0;
+    if (ddio_warm) {
+      lazy.warm_device_range(base, count * 64);
+      eager_warm_device(ref, base, count * 64);
+    } else {
+      lazy.warm_host_range(base, count * 64, dirty);
+      eager_warm_host(ref, base, count * 64, dirty);
+    }
+    expect_stats_equal(lazy, ref, "post-warm trial " + std::to_string(trial));
+
+    // Probe over a span covering the warmed range and beyond.
+    expect_probe_identical(lazy, ref, 0x9e37 + trial, 1024 + count + 64, 300);
+  }
+}
+
+TEST(CacheWarmTest, WarmAfterTouchFallsBackAndStillMatches) {
+  const CacheConfig cfg = make_cfg(16, 4, 2);
+  LastLevelCache lazy(cfg), ref(cfg);
+  lazy.thrash();
+  ref.thrash();
+  // A touched set breaks whole-cache pendingness: the bulk form must
+  // fall back to the eager loop and still be identical.
+  lazy.read_probe(0x40);
+  ref.read_probe(0x40);
+  lazy.warm_host_range(0, 48 * 64, true);
+  eager_warm_host(ref, 0, 48 * 64, true);
+  expect_stats_equal(lazy, ref, "fallback");
+  expect_probe_identical(lazy, ref, 0xfa11, 256, 200);
+}
+
+TEST(CacheWarmTest, SecondRangeFallsBackAndStillMatches) {
+  const CacheConfig cfg = make_cfg(16, 4, 2);
+  LastLevelCache lazy(cfg), ref(cfg);
+  lazy.thrash();
+  ref.thrash();
+  // Two overlapping warms: the second must not take the lazy path (its
+  // touches could hit the first range's lines, breaking the analytic
+  // statistics) — and the combined result must match two eager loops.
+  lazy.warm_host_range(0, 32 * 64, true);
+  eager_warm_host(ref, 0, 32 * 64, true);
+  lazy.warm_host_range(16 * 64, 32 * 64, false);
+  eager_warm_host(ref, 16 * 64, 32 * 64, false);
+  expect_stats_equal(lazy, ref, "two ranges");
+  expect_probe_identical(lazy, ref, 0x2ca5e, 256, 200);
+}
+
+TEST(CacheWarmTest, ThrashAfterLazyWarmDiscardsOverlayIdentically) {
+  const CacheConfig cfg = make_cfg(16, 4, 2);
+  LastLevelCache lazy(cfg), ref(cfg);
+  lazy.thrash();
+  ref.thrash();
+  lazy.warm_host_range(0, 40 * 64, true);
+  eager_warm_host(ref, 0, 40 * 64, true);
+  // A new whole-cache fill supersedes the (unreplayed) warm; clocks and
+  // statistics must still line up with the eager world.
+  lazy.thrash();
+  ref.thrash();
+  expect_stats_equal(lazy, ref, "post-thrash");
+  expect_probe_identical(lazy, ref, 0x7d1, 256, 200);
+}
+
+TEST(CacheWarmTest, MisalignedRangeMatchesEagerLoop) {
+  const CacheConfig cfg = make_cfg(16, 4, 2);
+  LastLevelCache lazy(cfg), ref(cfg);
+  lazy.thrash();
+  ref.thrash();
+  // Unaligned base and a length that is not a line multiple: the line
+  // count must replicate the eager loop's ceil(len/line) iterations.
+  lazy.warm_host_range(0x20, 40 * 64 + 17, true);
+  eager_warm_host(ref, 0x20, 40 * 64 + 17, true);
+  expect_stats_equal(lazy, ref, "misaligned");
+  expect_probe_identical(lazy, ref, 0x3b9, 256, 200);
+}
+
+TEST(CacheWarmTest, ContainsMaterializesLazyWarm) {
+  const CacheConfig cfg = make_cfg(16, 4, 2);
+  LastLevelCache cache(cfg);
+  cache.thrash();
+  cache.warm_host_range(0, 8 * 64, true);
+  // contains() is a const probe, but it must still see the lazy warm.
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(7 * 64));
+  EXPECT_FALSE(cache.contains(9 * 64));
+}
+
+TEST(CacheWarmTest, DeviceWarmWrapsDdioQuotaIdentically) {
+  // 8 sets x 4 ways with a 2-way DDIO quota; 80 lines = 10 per set, so
+  // every set wraps its quota 8 times — the eviction-statistics edge.
+  const CacheConfig cfg = make_cfg(8, 4, 2);
+  for (const bool thrashed : {false, true}) {
+    LastLevelCache lazy(cfg), ref(cfg);
+    if (thrashed) {
+      lazy.thrash();
+      ref.thrash();
+    }
+    lazy.warm_device_range(0, 80 * 64);
+    eager_warm_device(ref, 0, 80 * 64);
+    expect_stats_equal(lazy, ref,
+                       thrashed ? "ddio wrap thrashed" : "ddio wrap cold");
+    expect_probe_identical(lazy, ref, 0xdd10 + (thrashed ? 1 : 0), 128, 200);
+  }
+}
+
+}  // namespace
+}  // namespace pcieb::sim
